@@ -1,0 +1,71 @@
+// Ablation (DESIGN.md): robustness of the log-quadratic abstraction to a
+// gate-tunneling component. The paper models subthreshold leakage only; gate
+// leakage is linear (not exponential) in L, so turning it on perturbs the
+// a*exp(bL+cL^2) fit. This experiment sweeps the tunneling density and
+// reports (a) how much total leakage shifts and (b) how far the analytic
+// characterization drifts from Monte-Carlo — i.e. when the paper's
+// abstraction starts to crack.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/estimators.h"
+#include "math/stats.h"
+#include "placement/placement.h"
+#include "util/table.h"
+
+int main() {
+  using namespace rgleak;
+  bench::banner("Gate-leakage extension ablation", "DESIGN.md ablation index");
+
+  const auto process = bench::bench_process();
+  placement::Floorplan fp;
+  fp.rows = fp.cols = 60;
+  fp.site_w_nm = fp.site_h_nm = 1500.0;
+
+  util::Table t({"j_gate (nA/um^2)", "chip mean (uA)", "chip sigma (uA)",
+                 "fit-vs-MC mean err % (max)", "fit-vs-MC sigma err % (max)"});
+  for (const double j : {0.0, 2.0, 10.0, 50.0}) {
+    device::TechnologyParams tech;
+    tech.gate_leak_na_per_um2 = j;
+    const cells::StdCellLibrary lib = cells::build_virtual90_library(tech);
+    const charlib::CharacterizedLibrary fit = charlib::characterize_analytic(lib, process);
+    charlib::McCharOptions mc_opts;
+    mc_opts.samples = 8000;
+    const charlib::CharacterizedLibrary mc =
+        charlib::characterize_monte_carlo(lib, process, mc_opts);
+
+    double worst_mean = 0.0, worst_sigma = 0.0;
+    for (std::size_t ci = 0; ci < lib.size(); ++ci) {
+      for (std::size_t s = 0; s < fit.cell(ci).states.size(); ++s) {
+        worst_mean = std::max(worst_mean,
+                              100.0 * math::relative_error(fit.cell(ci).states[s].mean_na,
+                                                           mc.cell(ci).states[s].mean_na));
+        worst_sigma = std::max(worst_sigma,
+                               100.0 * math::relative_error(fit.cell(ci).states[s].sigma_na,
+                                                            mc.cell(ci).states[s].sigma_na));
+      }
+    }
+
+    netlist::UsageHistogram usage;
+    usage.alphas.assign(lib.size(), 0.0);
+    usage.alphas[lib.index_of("INV_X1")] = 0.4;
+    usage.alphas[lib.index_of("NAND2_X1")] = 0.4;
+    usage.alphas[lib.index_of("NOR2_X1")] = 0.2;
+    const core::RandomGate rg(fit, usage, 0.5, core::CorrelationMode::kAnalytic);
+    const core::LeakageEstimate e = core::estimate_linear(rg, fp);
+
+    t.row()
+        .cell(j, 4)
+        .cell(e.mean_na * 1e-3, 5)
+        .cell(e.sigma_na * 1e-3, 5)
+        .cell(worst_mean, 3)
+        .cell(worst_sigma, 3);
+  }
+  t.print(std::cout);
+  std::cout << "\ntakeaway: moderate gate tunneling adds a weakly-L-dependent pedestal that\n"
+               "the log-quadratic fit absorbs with modest extra error; at large densities\n"
+               "the subthreshold-only abstraction of the paper would need a two-component\n"
+               "model (its stated scope excludes this regime)\n";
+  return 0;
+}

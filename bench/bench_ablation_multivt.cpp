@@ -1,0 +1,63 @@
+// Ablation (DESIGN.md): dual-Vt leakage recovery through the RG machinery.
+// Sweep the fraction of cells swapped to HVT variants and report full-chip
+// mean/sigma next to the alpha-power delay proxy — the curve a leakage-
+// recovery flow walks. Also shows the LVT penalty for context.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/multi_vt.h"
+#include "core/yield.h"
+#include "util/table.h"
+
+int main() {
+  using namespace rgleak;
+  bench::banner("Dual-Vt leakage recovery", "DESIGN.md ablation index");
+
+  const cells::MultiVtOffsets offsets;
+  const cells::StdCellLibrary lib = cells::build_virtual90_multivt_library({}, offsets);
+  const auto process = bench::bench_process();
+  const charlib::CharacterizedLibrary chars = charlib::characterize_analytic(lib, process);
+
+  netlist::UsageHistogram usage;
+  usage.alphas.assign(lib.size(), 0.0);
+  usage.alphas[lib.index_of("INV_X1")] = 0.3;
+  usage.alphas[lib.index_of("NAND2_X1")] = 0.3;
+  usage.alphas[lib.index_of("NOR2_X1")] = 0.2;
+  usage.alphas[lib.index_of("DFF_X1")] = 0.2;
+
+  placement::Floorplan fp;
+  fp.rows = fp.cols = 100;
+  fp.site_w_nm = fp.site_h_nm = 1500.0;
+
+  const auto curve = core::hvt_tradeoff(chars, usage, fp, offsets.hvt_shift_v);
+  const double base_mean = curve.front().estimate.mean_na;
+
+  util::Table t({"HVT fraction", "mean (uA)", "sigma (uA)", "leakage saved %",
+                 "delay penalty x", "P99 (uA)"});
+  for (const auto& pt : curve) {
+    const core::LeakageYieldModel yield(pt.estimate);
+    t.row()
+        .cell(pt.hvt_fraction, 3)
+        .cell(pt.estimate.mean_na * 1e-3, 5)
+        .cell(pt.estimate.sigma_na * 1e-3, 5)
+        .cell(100.0 * (base_mean - pt.estimate.mean_na) / base_mean, 4)
+        .cell(pt.delay_penalty, 5)
+        .cell(yield.quantile(0.99) * 1e-3, 5);
+  }
+  t.print(std::cout);
+
+  const double svt = lib.cell(lib.index_of("INV_X1")).leakage_na(0, 40.0, lib.tech());
+  const double lvt = lib.cell(lib.index_of("INV_X1_LVT")).leakage_na(0, 40.0, lib.tech());
+  std::cout << "\nLVT context: per-cell LVT/SVT leakage ratio = " << lvt / svt
+            << ", speed gain "
+            << 1.0 / core::alpha_power_delay_ratio(lib.tech(), offsets.lvt_shift_v, 1.3)
+            << "x\n";
+  std::cout << "takeaway: swapping the full design to HVT buys ~" << std::fixed
+            << 100.0 * (base_mean - curve.back().estimate.mean_na) / base_mean
+            << "% leakage at ~" << curve.back().delay_penalty
+            << "x the alpha-power delay proxy; the curve is linear in the swap\n"
+               "fraction because the RG mean is a mixture — the knob is budgeting,\n"
+               "not prediction\n";
+  return 0;
+}

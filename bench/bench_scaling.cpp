@@ -1,0 +1,89 @@
+// Complexity claims of section 3: runtime scaling of the three estimators —
+// O(n^2) exact pairwise baseline, O(n) distance-histogram (eq. 17), and O(1)
+// integration (eqs 20/25) — using google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/estimators.h"
+#include "netlist/random_circuit.h"
+#include "placement/placement.h"
+
+namespace {
+
+using namespace rgleak;
+
+netlist::UsageHistogram bench_usage() {
+  const auto& lib = bench::library();
+  netlist::UsageHistogram u;
+  u.alphas.assign(lib.size(), 0.0);
+  u.alphas[lib.index_of("INV_X1")] = 0.4;
+  u.alphas[lib.index_of("NAND2_X1")] = 0.4;
+  u.alphas[lib.index_of("NOR2_X1")] = 0.2;
+  return u;
+}
+
+const core::RandomGate& bench_rg() {
+  static const core::RandomGate rg(bench::chars_analytic(), bench_usage(), 0.5,
+                                   core::CorrelationMode::kAnalytic);
+  return rg;
+}
+
+placement::Floorplan square(std::size_t side) {
+  placement::Floorplan fp;
+  fp.rows = fp.cols = side;
+  fp.site_w_nm = fp.site_h_nm = 1500.0;
+  return fp;
+}
+
+void BM_ExactPairwise(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  math::Rng rng(1);
+  const netlist::Netlist nl = netlist::generate_random_circuit(
+      bench::library(), bench_usage(), side * side, rng);
+  const placement::Placement pl(&nl, square(side));
+  const core::ExactEstimator exact(bench::chars_analytic(), 0.5,
+                                   core::CorrelationMode::kAnalytic);
+  for (auto _ : state) benchmark::DoNotOptimize(exact.estimate(pl));
+  state.SetComplexityN(static_cast<long long>(side * side));
+}
+BENCHMARK(BM_ExactPairwise)->RangeMultiplier(2)->Range(8, 64)->Complexity();
+
+void BM_LinearHistogram(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const placement::Floorplan fp = square(side);
+  for (auto _ : state) benchmark::DoNotOptimize(core::estimate_linear(bench_rg(), fp));
+  state.SetComplexityN(static_cast<long long>(side * side));
+}
+BENCHMARK(BM_LinearHistogram)->RangeMultiplier(2)->Range(8, 512)->Complexity();
+
+void BM_IntegralRect(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const placement::Floorplan fp = square(side);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::estimate_integral_rect(bench_rg(), fp));
+  state.SetComplexityN(static_cast<long long>(side * side));
+}
+BENCHMARK(BM_IntegralRect)->RangeMultiplier(4)->Range(8, 2048)->Complexity();
+
+void BM_IntegralPolar(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const placement::Floorplan fp = square(side);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::estimate_integral_polar(bench_rg(), fp));
+  state.SetComplexityN(static_cast<long long>(side * side));
+}
+BENCHMARK(BM_IntegralPolar)->RangeMultiplier(4)->Range(8, 2048)->Complexity();
+
+void BM_Characterization(benchmark::State& state) {
+  // Cost of the one-time analytic characterization of the full library.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        charlib::characterize_analytic(bench::library(), bench::bench_process()));
+  }
+}
+BENCHMARK(BM_Characterization)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

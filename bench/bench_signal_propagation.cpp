@@ -1,0 +1,69 @@
+// Extension of the Fig.-3 discussion: what does the paper's global-p
+// ball-park actually cost against propagated per-gate signal probabilities?
+// Random DAGs over the virtual library are evaluated three ways: the global
+// ExactEstimator at p = 0.5, at the conservative max-mean p*, and the
+// connectivity-aware estimator with exact per-gate state distributions.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/connectivity_estimator.h"
+#include "core/estimators.h"
+#include "core/signal_probability.h"
+#include "netlist/connectivity.h"
+#include "placement/placement.h"
+#include "util/table.h"
+
+int main() {
+  using namespace rgleak;
+  bench::banner("Global signal probability vs netlist propagation",
+                "Fig. 3 follow-up (DESIGN.md)");
+
+  const auto& lib = bench::library();
+  const auto& chars = bench::chars_analytic();
+
+  netlist::UsageHistogram usage;
+  usage.alphas.assign(lib.size(), 0.0);
+  usage.alphas[lib.index_of("INV_X1")] = 0.25;
+  usage.alphas[lib.index_of("NAND2_X1")] = 0.3;
+  usage.alphas[lib.index_of("NOR2_X1")] = 0.2;
+  usage.alphas[lib.index_of("XOR2_X1")] = 0.1;
+  usage.alphas[lib.index_of("AOI21_X1")] = 0.15;
+
+  const double p_star = core::max_leakage_signal_probability(chars, usage);
+  const core::ExactEstimator global_half(chars, 0.5, core::CorrelationMode::kAnalytic);
+  const core::ExactEstimator global_star(chars, p_star, core::CorrelationMode::kAnalytic);
+  const core::ConnectivityAwareEstimator aware(chars, core::CorrelationMode::kAnalytic);
+
+  util::Table t({"n", "mean p=0.5 (uA)", "mean p*=max (uA)", "mean propagated (uA)",
+                 "mean err p=0.5 %", "sigma err p=0.5 %"});
+  math::Rng rng(314);
+  for (std::size_t side : {10u, 16u, 24u, 32u}) {
+    const std::size_t n = side * side;
+    const netlist::ConnectedNetlist nl =
+        netlist::generate_random_dag(lib, usage, n, 32, rng);
+    placement::Floorplan fp;
+    fp.rows = fp.cols = side;
+    fp.site_w_nm = fp.site_h_nm = 1500.0;
+
+    const core::LeakageEstimate ref = aware.estimate(nl, fp, 0.5);
+    const netlist::Netlist flat = nl.flatten();
+    const placement::Placement pl(&flat, fp);
+    const core::LeakageEstimate at_half = global_half.estimate(pl);
+    const core::LeakageEstimate at_star = global_star.estimate(pl);
+
+    t.row()
+        .cell(static_cast<long long>(n))
+        .cell(at_half.mean_na * 1e-3, 5)
+        .cell(at_star.mean_na * 1e-3, 5)
+        .cell(ref.mean_na * 1e-3, 5)
+        .cell(100.0 * (at_half.mean_na - ref.mean_na) / ref.mean_na, 3)
+        .cell(100.0 * (at_half.sigma_na - ref.sigma_na) / ref.sigma_na, 3);
+  }
+  t.print(std::cout);
+  std::cout << "\nconservative p* for this mix: " << p_star
+            << "\ntakeaway: the global-p approximation lands within a few percent of the\n"
+               "propagated reference (the paper's 'not pronounced' claim), and the\n"
+               "max-mean p* upper-bounds it\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+#pragma once
+// Shared setup for the experiment harness: the benchmark process corner and
+// cached characterized libraries. Every bench binary regenerates one table or
+// figure of the paper (see DESIGN.md §4) and prints the corresponding rows.
+
+#include <cmath>
+#include <iostream>
+
+#include "cells/library.h"
+#include "charlib/characterize.h"
+#include "process/variation.h"
+
+namespace rgleak::bench {
+
+/// The benchmark process corner: L = 40 +/- 2.5 nm total (even D2D/WID
+/// split), exponential WID correlation with a 0.1 mm correlation length —
+/// so that benchmark-sized dies (tens of um to mm) span the correlation
+/// decay.
+inline process::ProcessVariation bench_process(double corr_length_nm = 1.0e5,
+                                               double d2d_share = 0.5) {
+  process::LengthVariation len;
+  len.mean_nm = 40.0;
+  const double total_var = 2.5 * 2.5;
+  len.sigma_d2d_nm = std::sqrt(total_var * d2d_share);
+  len.sigma_wid_nm = std::sqrt(total_var * (1.0 - d2d_share));
+  process::VtVariation vt;
+  vt.sigma_v = 0.02;
+  return process::ProcessVariation(
+      len, vt, std::make_shared<process::ExponentialCorrelation>(corr_length_nm));
+}
+
+inline const cells::StdCellLibrary& library() {
+  static const cells::StdCellLibrary lib = cells::build_virtual90_library();
+  return lib;
+}
+
+/// Analytically characterized full library at the default bench corner.
+inline const charlib::CharacterizedLibrary& chars_analytic() {
+  static const charlib::CharacterizedLibrary chars =
+      charlib::characterize_analytic(library(), bench_process());
+  return chars;
+}
+
+/// MC-characterized full library (heavier; built on first use).
+inline const charlib::CharacterizedLibrary& chars_mc() {
+  static const charlib::CharacterizedLibrary chars = [] {
+    charlib::McCharOptions opts;
+    opts.samples = 30000;
+    return charlib::characterize_monte_carlo(library(), bench_process(), opts);
+  }();
+  return chars;
+}
+
+inline void banner(const char* title, const char* paper_ref) {
+  std::cout << "\n=== " << title << " ===\n"
+            << "reproduces: " << paper_ref << "\n\n";
+}
+
+}  // namespace rgleak::bench

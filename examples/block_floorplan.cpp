@@ -1,0 +1,114 @@
+// Block-level floorplan planning: a chip assembled from IP blocks with
+// different cell mixes (a CPU core, an SRAM array, a datapath unit, an I/O
+// ring strip). Each block gets its own Random Gate; the estimator combines
+// within-block statistics with exact cross-block covariances to give both
+// per-block budgets and the chip total, early in the flow.
+
+#include <cstdio>
+
+#include "cells/library.h"
+#include "charlib/characterize.h"
+#include "core/multi_block.h"
+#include "core/yield.h"
+#include "process/variation.h"
+
+using namespace rgleak;
+
+namespace {
+
+netlist::UsageHistogram mix(const cells::StdCellLibrary& lib,
+                            const std::vector<std::pair<std::string, double>>& m) {
+  netlist::UsageHistogram u;
+  u.alphas.assign(lib.size(), 0.0);
+  double total = 0.0;
+  for (const auto& [name, a] : m) total += a;
+  for (const auto& [name, a] : m) u.alphas[lib.index_of(name)] = a / total;
+  return u;
+}
+
+core::BlockSpec block(std::string name, netlist::UsageHistogram usage, std::size_t c0,
+                      std::size_t r0, std::size_t cols, std::size_t rows) {
+  core::BlockSpec b;
+  b.name = std::move(name);
+  b.usage = std::move(usage);
+  b.col0 = c0;
+  b.row0 = r0;
+  b.cols = cols;
+  b.rows = rows;
+  return b;
+}
+
+}  // namespace
+
+int main() {
+  const cells::StdCellLibrary lib = cells::build_virtual90_library();
+  process::LengthVariation len;
+  len.mean_nm = 40.0;
+  len.sigma_d2d_nm = len.sigma_wid_nm = 2.5 / std::sqrt(2.0);
+  const process::ProcessVariation process(
+      len, process::VtVariation{}, std::make_shared<process::ExponentialCorrelation>(1.5e5));
+  const charlib::CharacterizedLibrary chars = charlib::characterize_analytic(lib, process);
+
+  // 400 x 400 site grid (0.6 x 0.6 mm at 1.5 um pitch).
+  placement::Floorplan fp;
+  fp.rows = fp.cols = 400;
+  fp.site_w_nm = fp.site_h_nm = 1500.0;
+
+  std::vector<core::BlockSpec> blocks = {
+      block("cpu_core",
+            mix(lib, {{"NAND2_X1", 3}, {"NOR2_X1", 2}, {"INV_X1", 3}, {"AOI21_X1", 1},
+                      {"DFF_X1", 2}}),
+            0, 0, 240, 240),
+      block("sram_array", mix(lib, {{"SRAM6T", 9}, {"INV_X2", 1}}), 240, 0, 160, 240),
+      block("datapath",
+            mix(lib, {{"FA_X1", 3}, {"XOR2_X1", 2}, {"MUX2_X1", 2}, {"DFF_X1", 2},
+                      {"BUF_X2", 1}}),
+            0, 240, 240, 160),
+      block("io_strip", mix(lib, {{"TBUF_X2", 1}, {"BUF_X4", 1}, {"INV_X8", 1}}), 240, 240,
+            160, 160),
+  };
+
+  const core::MultiBlockEstimator mb(chars, fp, blocks);
+
+  std::printf("floorplan: %.2f x %.2f mm, %zu blocks\n\n", fp.width_nm() * 1e-6,
+              fp.height_nm() * 1e-6, mb.num_blocks());
+  std::printf("%-12s %10s %12s %12s %10s %14s\n", "block", "gates", "mean (uA)",
+              "sigma (uA)", "sigma/mu", "P99 (uA)");
+  for (std::size_t b = 0; b < mb.num_blocks(); ++b) {
+    const core::LeakageEstimate e = mb.block_estimate(b);
+    const core::LeakageYieldModel yield(e);
+    std::printf("%-12s %10zu %12.2f %12.2f %9.1f%% %14.2f\n", mb.block(b).name.c_str(),
+                mb.block(b).num_sites(), e.mean_na * 1e-3, e.sigma_na * 1e-3,
+                100.0 * e.cv(), yield.quantile(0.99) * 1e-3);
+  }
+
+  std::printf("\nblock correlation matrix:\n%-12s", "");
+  for (std::size_t b = 0; b < mb.num_blocks(); ++b)
+    std::printf(" %10s", mb.block(b).name.substr(0, 10).c_str());
+  std::printf("\n");
+  for (std::size_t a = 0; a < mb.num_blocks(); ++a) {
+    std::printf("%-12s", mb.block(a).name.c_str());
+    for (std::size_t b = 0; b < mb.num_blocks(); ++b)
+      std::printf(" %10.3f", mb.block_correlation(a, b));
+    std::printf("\n");
+  }
+
+  const core::LeakageEstimate chip = mb.chip_estimate();
+  const core::LeakageYieldModel chip_yield(chip);
+  std::printf("\nchip total: mean %.2f uA, sigma %.2f uA, P99 %.2f uA\n", chip.mean_na * 1e-3,
+              chip.sigma_na * 1e-3, chip_yield.quantile(0.99) * 1e-3);
+  const double naive = [&] {
+    double s = 0.0;
+    for (std::size_t b = 0; b < mb.num_blocks(); ++b) {
+      const auto e = mb.block_estimate(b);
+      s += core::LeakageYieldModel(e).quantile(0.99);
+    }
+    return s;
+  }();
+  std::printf(
+      "sum of per-block P99s: %.2f uA — budgeting blocks independently overshoots,\n"
+      "but ignoring the strong cross-block correlation would undershoot; the block\n"
+      "covariance matrix is what a correct chip budget needs.\n",
+      naive * 1e-3);
+  return 0;
+}

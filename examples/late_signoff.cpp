@@ -1,0 +1,75 @@
+// Late-mode sign-off: a placed netlist exists (here, the c7552 ISCAS85
+// benchmark). Extract the high-level characteristics, run the constant-time
+// RG estimate, and cross-check it against the exact O(n^2) pairwise analysis
+// and a full-chip Monte-Carlo simulation of the placed design.
+
+#include <cstdio>
+
+#include "cells/library.h"
+#include "charlib/characterize.h"
+#include "core/estimators.h"
+#include "core/leakage_estimator.h"
+#include "mc/full_chip_mc.h"
+#include "netlist/iscas85.h"
+#include "netlist/random_circuit.h"
+#include "process/variation.h"
+
+using namespace rgleak;
+
+int main() {
+  const cells::StdCellLibrary library = cells::build_virtual90_library();
+
+  // Use a 0.1 mm correlation length so the benchmark die spans some decay.
+  process::LengthVariation len;
+  len.mean_nm = 40.0;
+  len.sigma_d2d_nm = len.sigma_wid_nm = 2.5 / std::sqrt(2.0);
+  const process::ProcessVariation process(
+      len, process::VtVariation{}, std::make_shared<process::ExponentialCorrelation>(1.0e5));
+  const charlib::CharacterizedLibrary chars = charlib::characterize_analytic(library, process);
+
+  // "Tape-out" netlist: c7552 placed row-major on a square grid (padded to
+  // fill the grid, as the RG array is k x m).
+  math::Rng rng(7552);
+  const netlist::Netlist seed =
+      netlist::make_iscas85(netlist::iscas85_descriptors().back(), library, rng);
+  const placement::Floorplan fp = placement::Floorplan::for_gate_count(seed.size());
+  const netlist::Netlist nl = netlist::generate_random_circuit(
+      library, netlist::extract_usage(seed), fp.num_sites(), rng,
+      netlist::UsageMatch::kExact, seed.name());
+  const placement::Placement pl(&nl, fp);
+
+  const double p = 0.5;
+
+  // 1. Late-mode RG estimate from the extracted characteristics.
+  const netlist::UsageHistogram usage = netlist::extract_usage(nl);
+  const core::RandomGate rg(chars, usage, p, core::CorrelationMode::kAnalytic);
+  const core::LeakageEstimate rg_est = core::estimate_linear(rg, fp);
+
+  // 2. Exact O(n^2) pairwise analysis of the placed design.
+  const core::ExactEstimator exact(chars, p, core::CorrelationMode::kAnalytic);
+  const core::LeakageEstimate truth = exact.estimate(pl);
+
+  // 3. Full-chip Monte Carlo (process-space sampling of the placed design).
+  mc::FullChipMcOptions opts;
+  opts.trials = 2000;
+  opts.signal_probability = p;
+  opts.resample_states_per_trial = true;
+  mc::FullChipMonteCarlo sim(pl, chars, opts);
+  const mc::FullChipMcResult mc_res = sim.run();
+
+  std::printf("late-mode sign-off for %s: %zu gates, %.0f x %.0f um die\n\n",
+              nl.name().c_str(), nl.size(), fp.width_nm() * 1e-3, fp.height_nm() * 1e-3);
+  std::printf("%-28s %12s %12s\n", "method", "mean (uA)", "sigma (uA)");
+  std::printf("%-28s %12.3f %12.3f\n", "RG estimate (O(n), eq.17)", rg_est.mean_na * 1e-3,
+              rg_est.sigma_na * 1e-3);
+  std::printf("%-28s %12.3f %12.3f\n", "exact pairwise (O(n^2))", truth.mean_na * 1e-3,
+              truth.sigma_na * 1e-3);
+  std::printf("%-28s %12.3f %12.3f   (%zu trials)\n", "full-chip Monte Carlo",
+              mc_res.mean_na * 1e-3, mc_res.sigma_na * 1e-3, mc_res.trials);
+  std::printf("\nsigma error, RG vs exact : %.3f%%\n",
+              100.0 * std::abs(rg_est.sigma_na - truth.sigma_na) / truth.sigma_na);
+  std::printf("(the MC sigma itself carries a few %% sampling error at %zu trials —\n"
+              " the total-leakage distribution is heavily right-skewed)\n",
+              mc_res.trials);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// The full netlist-centric flow: generate a connected (DAG) netlist,
+// propagate signal probabilities through it, estimate leakage with per-gate
+// state distributions, compare against the paper's global-p treatment, and
+// export the artifacts (.rgnl netlist, .rgchar characterization, .lib
+// Liberty view) for downstream tools.
+
+#include <cstdio>
+
+#include "cells/library.h"
+#include "charlib/characterize.h"
+#include "charlib/io.h"
+#include "charlib/liberty_writer.h"
+#include "core/connectivity_estimator.h"
+#include "core/estimators.h"
+#include "core/signal_probability.h"
+#include "netlist/connectivity.h"
+#include "netlist/io.h"
+#include "process/variation.h"
+
+using namespace rgleak;
+
+int main() {
+  const cells::StdCellLibrary library = cells::build_virtual90_library();
+  process::LengthVariation len;
+  len.mean_nm = 40.0;
+  len.sigma_d2d_nm = len.sigma_wid_nm = 2.5 / std::sqrt(2.0);
+  const process::ProcessVariation process(
+      len, process::VtVariation{}, std::make_shared<process::ExponentialCorrelation>(1.0e5));
+  const charlib::CharacterizedLibrary chars = charlib::characterize_analytic(library, process);
+
+  // A 4096-gate random DAG with 64 primary inputs.
+  netlist::UsageHistogram usage;
+  usage.alphas.assign(library.size(), 0.0);
+  usage.alphas[library.index_of("NAND2_X1")] = 0.3;
+  usage.alphas[library.index_of("NOR2_X1")] = 0.2;
+  usage.alphas[library.index_of("INV_X1")] = 0.2;
+  usage.alphas[library.index_of("XOR2_X1")] = 0.15;
+  usage.alphas[library.index_of("AOI21_X1")] = 0.15;
+  math::Rng rng(2007);
+  const netlist::ConnectedNetlist nl =
+      netlist::generate_random_dag(library, usage, 4096, 64, rng, "demo-dag");
+
+  placement::Floorplan fp;
+  fp.rows = fp.cols = 64;
+  fp.site_w_nm = fp.site_h_nm = 1500.0;
+
+  // Propagated signal probabilities.
+  const auto net_probs = netlist::propagate_probabilities(nl, 0.5);
+  double lo = 1.0, hi = 0.0, sum = 0.0;
+  for (std::size_t net = nl.num_primary_inputs(); net < nl.num_nets(); ++net) {
+    lo = std::min(lo, net_probs[net]);
+    hi = std::max(hi, net_probs[net]);
+    sum += net_probs[net];
+  }
+  std::printf("propagated net probabilities: min %.3f, mean %.3f, max %.3f\n", lo,
+              sum / static_cast<double>(nl.size()), hi);
+
+  // Connectivity-aware vs global-p estimates.
+  const core::ConnectivityAwareEstimator aware(chars, core::CorrelationMode::kAnalytic);
+  const core::LeakageEstimate e_aware = aware.estimate(nl, fp, 0.5);
+  const netlist::Netlist flat = nl.flatten();
+  const placement::Placement pl(&flat, fp);
+  const core::ExactEstimator global(chars, 0.5, core::CorrelationMode::kAnalytic);
+  const core::LeakageEstimate e_global = global.estimate(pl);
+
+  std::printf("\n%-34s %12s %12s\n", "method", "mean (uA)", "sigma (uA)");
+  std::printf("%-34s %12.3f %12.3f\n", "global p = 0.5 (paper, sec 2.1.4)",
+              e_global.mean_na * 1e-3, e_global.sigma_na * 1e-3);
+  std::printf("%-34s %12.3f %12.3f\n", "propagated per-gate probabilities",
+              e_aware.mean_na * 1e-3, e_aware.sigma_na * 1e-3);
+  std::printf("global-p mean error: %.2f%%\n",
+              100.0 * (e_global.mean_na - e_aware.mean_na) / e_aware.mean_na);
+
+  // Artifacts for downstream tools.
+  netlist::save_netlist(flat, "demo-dag.rgnl");
+  charlib::save_characterization(chars, "virtual90.rgchar");
+  charlib::write_liberty(chars, "virtual90_leakage.lib");
+  std::printf("\nwrote demo-dag.rgnl, virtual90.rgchar, virtual90_leakage.lib\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+#include "cells/expr.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace rgleak::cells {
+
+Expr Expr::var(int signal) {
+  RGLEAK_REQUIRE(signal >= 0, "signal id must be non-negative");
+  Expr e;
+  e.kind_ = Kind::kVar;
+  e.signal_ = signal;
+  return e;
+}
+
+Expr Expr::all_of(std::vector<Expr> kids) {
+  RGLEAK_REQUIRE(!kids.empty(), "AND needs operands");
+  if (kids.size() == 1) return std::move(kids.front());
+  Expr e;
+  e.kind_ = Kind::kAnd;
+  e.kids_ = std::move(kids);
+  return e;
+}
+
+Expr Expr::any_of(std::vector<Expr> kids) {
+  RGLEAK_REQUIRE(!kids.empty(), "OR needs operands");
+  if (kids.size() == 1) return std::move(kids.front());
+  Expr e;
+  e.kind_ = Kind::kOr;
+  e.kids_ = std::move(kids);
+  return e;
+}
+
+bool Expr::eval(const std::vector<bool>& signals) const {
+  switch (kind_) {
+    case Kind::kVar:
+      RGLEAK_REQUIRE(static_cast<std::size_t>(signal_) < signals.size(),
+                     "expression references unknown signal");
+      return signals[static_cast<std::size_t>(signal_)];
+    case Kind::kAnd:
+      return std::all_of(kids_.begin(), kids_.end(),
+                         [&](const Expr& k) { return k.eval(signals); });
+    case Kind::kOr:
+      return std::any_of(kids_.begin(), kids_.end(),
+                         [&](const Expr& k) { return k.eval(signals); });
+  }
+  return false;  // unreachable
+}
+
+int Expr::nmos_stack_depth() const {
+  switch (kind_) {
+    case Kind::kVar:
+      return 1;
+    case Kind::kAnd: {  // series
+      int d = 0;
+      for (const auto& k : kids_) d += k.nmos_stack_depth();
+      return d;
+    }
+    case Kind::kOr: {  // parallel
+      int d = 0;
+      for (const auto& k : kids_) d = std::max(d, k.nmos_stack_depth());
+      return d;
+    }
+  }
+  return 1;
+}
+
+int Expr::pmos_stack_depth() const {
+  switch (kind_) {
+    case Kind::kVar:
+      return 1;
+    case Kind::kAnd: {  // parallel in the dual
+      int d = 0;
+      for (const auto& k : kids_) d = std::max(d, k.pmos_stack_depth());
+      return d;
+    }
+    case Kind::kOr: {  // series in the dual
+      int d = 0;
+      for (const auto& k : kids_) d += k.pmos_stack_depth();
+      return d;
+    }
+  }
+  return 1;
+}
+
+namespace {
+
+device::Network build_impl(const Expr& f, const Sizing& sizing, int& next_dvt,
+                           device::DeviceType type, int stack_depth) {
+  using device::Network;
+  const bool series_is_and = type == device::DeviceType::kNmos;
+  switch (f.kind()) {
+    case Expr::Kind::kVar: {
+      device::NetworkDevice d;
+      d.type = type;
+      d.gate_signal = f.signal();
+      const double base = type == device::DeviceType::kNmos ? sizing.wn_nm : sizing.wp_nm;
+      d.w_nm = base * sizing.drive * static_cast<double>(stack_depth);
+      d.dvt_index = next_dvt++;
+      return Network::device(d);
+    }
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr: {
+      const bool series = (f.kind() == Expr::Kind::kAnd) == series_is_and;
+      std::vector<Network> kids;
+      kids.reserve(f.kids().size());
+      for (const auto& k : f.kids())
+        kids.push_back(build_impl(k, sizing, next_dvt, type, stack_depth));
+      return series ? Network::series(std::move(kids)) : Network::parallel(std::move(kids));
+    }
+  }
+  throw ContractViolation("build_impl: unreachable expression kind");
+}
+
+}  // namespace
+
+device::Network build_pulldown(const Expr& f, const Sizing& sizing, int& next_dvt) {
+  return build_impl(f, sizing, next_dvt, device::DeviceType::kNmos, f.nmos_stack_depth());
+}
+
+device::Network build_pullup(const Expr& f, const Sizing& sizing, int& next_dvt) {
+  return build_impl(f, sizing, next_dvt, device::DeviceType::kPmos, f.pmos_stack_depth());
+}
+
+}  // namespace rgleak::cells

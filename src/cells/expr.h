@@ -1,0 +1,60 @@
+#pragma once
+// Series/parallel boolean expressions over cell signals.
+//
+// A static CMOS gate computing out = !f(inputs) is built from a
+// series/parallel expression of f: the pull-down network realizes f with NMOS
+// (AND -> series, OR -> parallel) and the pull-up network realizes the dual
+// with PMOS (AND -> parallel, OR -> series). This module provides the
+// expression type, its boolean evaluation, and the dual-network construction
+// with classic stack-aware sizing (series devices widened by stack depth).
+
+#include <span>
+#include <vector>
+
+#include "device/network.h"
+
+namespace rgleak::cells {
+
+/// Boolean series/parallel expression over signal ids.
+class Expr {
+ public:
+  enum class Kind { kVar, kAnd, kOr };
+
+  static Expr var(int signal);
+  static Expr all_of(std::vector<Expr> kids);  ///< AND
+  static Expr any_of(std::vector<Expr> kids);  ///< OR
+
+  Kind kind() const { return kind_; }
+  int signal() const { return signal_; }
+  const std::vector<Expr>& kids() const { return kids_; }
+
+  /// Evaluates the expression over resolved signal values.
+  bool eval(const std::vector<bool>& signals) const;
+
+  /// Deepest series chain of the NMOS realization (used for sizing).
+  int nmos_stack_depth() const;
+  /// Deepest series chain of the PMOS (dual) realization.
+  int pmos_stack_depth() const;
+
+ private:
+  Kind kind_ = Kind::kVar;
+  int signal_ = 0;
+  std::vector<Expr> kids_;
+};
+
+/// Per-gate transistor sizing.
+struct Sizing {
+  double wn_nm = 120.0;  ///< X1 NMOS width
+  double wp_nm = 200.0;  ///< X1 PMOS width
+  double drive = 1.0;    ///< drive-strength multiplier (X1, X2, ...)
+};
+
+/// Builds the NMOS pull-down network realizing `f`. `next_dvt` is a running
+/// per-device index counter, advanced for every device created.
+device::Network build_pulldown(const Expr& f, const Sizing& sizing, int& next_dvt);
+
+/// Builds the PMOS pull-up network realizing the dual of `f` (conducts when f
+/// is false).
+device::Network build_pullup(const Expr& f, const Sizing& sizing, int& next_dvt);
+
+}  // namespace rgleak::cells

@@ -1,0 +1,389 @@
+#include "cells/library.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace rgleak::cells {
+
+StdCellLibrary::StdCellLibrary(device::TechnologyParams tech, std::vector<Cell> cells)
+    : tech_(tech), cells_(std::move(cells)) {
+  RGLEAK_REQUIRE(!cells_.empty(), "library must contain at least one cell");
+  for (std::size_t i = 0; i < cells_.size(); ++i)
+    for (std::size_t j = i + 1; j < cells_.size(); ++j)
+      RGLEAK_REQUIRE(cells_[i].name() != cells_[j].name(),
+                     "duplicate cell name: " + cells_[i].name());
+}
+
+const Cell& StdCellLibrary::cell(std::size_t index) const {
+  RGLEAK_REQUIRE(index < cells_.size(), "cell index out of range");
+  return cells_[index];
+}
+
+std::size_t StdCellLibrary::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < cells_.size(); ++i)
+    if (cells_[i].name() == name) return i;
+  RGLEAK_REQUIRE(false, "no such cell: " + name);
+  return 0;  // unreachable
+}
+
+bool StdCellLibrary::contains(const std::string& name) const {
+  return std::any_of(cells_.begin(), cells_.end(),
+                     [&](const Cell& c) { return c.name() == name; });
+}
+
+namespace {
+
+Sizing sized(double drive) {
+  Sizing s;
+  s.drive = drive;
+  return s;
+}
+
+Cell make_inv(const std::string& name, double drive) {
+  CellBuilder b(name, 1, sized(drive));
+  b.add_inverter(b.input(0));
+  return std::move(b).build();
+}
+
+Cell make_buf(const std::string& name, double drive) {
+  CellBuilder b(name, 1, sized(drive));
+  const int n = b.add_inverter(b.input(0));
+  b.add_inverter(n);
+  return std::move(b).build();
+}
+
+// NAND / NOR of k inputs.
+Cell make_nand(const std::string& name, int k, double drive) {
+  CellBuilder b(name, k, sized(drive));
+  std::vector<Expr> in;
+  for (int i = 0; i < k; ++i) in.push_back(Expr::var(b.input(i)));
+  b.add_inverting_gate(Expr::all_of(std::move(in)));
+  return std::move(b).build();
+}
+
+Cell make_nor(const std::string& name, int k, double drive) {
+  CellBuilder b(name, k, sized(drive));
+  std::vector<Expr> in;
+  for (int i = 0; i < k; ++i) in.push_back(Expr::var(b.input(i)));
+  b.add_inverting_gate(Expr::any_of(std::move(in)));
+  return std::move(b).build();
+}
+
+Cell make_and(const std::string& name, int k, double drive) {
+  CellBuilder b(name, k, sized(drive));
+  std::vector<Expr> in;
+  for (int i = 0; i < k; ++i) in.push_back(Expr::var(b.input(i)));
+  const int n = b.add_inverting_gate(Expr::all_of(std::move(in)));
+  b.add_inverter(n);
+  return std::move(b).build();
+}
+
+Cell make_or(const std::string& name, int k, double drive) {
+  CellBuilder b(name, k, sized(drive));
+  std::vector<Expr> in;
+  for (int i = 0; i < k; ++i) in.push_back(Expr::var(b.input(i)));
+  const int n = b.add_inverting_gate(Expr::any_of(std::move(in)));
+  b.add_inverter(n);
+  return std::move(b).build();
+}
+
+// XOR2 / XNOR2: two input inverters plus the 8T complex gate.
+Cell make_xor2(const std::string& name, double drive, bool xnor) {
+  CellBuilder b(name, 2, sized(drive));
+  const int a = b.input(0), c = b.input(1);
+  const int na = b.add_inverter(a);
+  const int nc = b.add_inverter(c);
+  // out = !(f); XOR: f = a*c + na*nc (pulls low when a == c).
+  // XNOR: f = a*nc + na*c.
+  const Expr f =
+      xnor ? Expr::any_of({Expr::all_of({Expr::var(a), Expr::var(nc)}),
+                           Expr::all_of({Expr::var(na), Expr::var(c)})})
+           : Expr::any_of({Expr::all_of({Expr::var(a), Expr::var(c)}),
+                           Expr::all_of({Expr::var(na), Expr::var(nc)})});
+  b.add_inverting_gate(f);
+  return std::move(b).build();
+}
+
+// AOI21: out = !(a*b + c); AOI22: !(a*b + c*d); AOI211: !(a*b + c + d).
+Cell make_aoi(const std::string& name, int and_pairs, int singles, double drive) {
+  const int k = 2 * and_pairs + singles;
+  CellBuilder b(name, k, sized(drive));
+  std::vector<Expr> terms;
+  int next = 0;
+  for (int p = 0; p < and_pairs; ++p) {
+    terms.push_back(Expr::all_of({Expr::var(b.input(next)), Expr::var(b.input(next + 1))}));
+    next += 2;
+  }
+  for (int s = 0; s < singles; ++s) terms.push_back(Expr::var(b.input(next++)));
+  b.add_inverting_gate(Expr::any_of(std::move(terms)));
+  return std::move(b).build();
+}
+
+// OAI21: out = !((a+b)*c); OAI22: !((a+b)*(c+d)); OAI211: !((a+b)*c*d).
+Cell make_oai(const std::string& name, int or_pairs, int singles, double drive) {
+  const int k = 2 * or_pairs + singles;
+  CellBuilder b(name, k, sized(drive));
+  std::vector<Expr> factors;
+  int next = 0;
+  for (int p = 0; p < or_pairs; ++p) {
+    factors.push_back(Expr::any_of({Expr::var(b.input(next)), Expr::var(b.input(next + 1))}));
+    next += 2;
+  }
+  for (int s = 0; s < singles; ++s) factors.push_back(Expr::var(b.input(next++)));
+  b.add_inverting_gate(Expr::all_of(std::move(factors)));
+  return std::move(b).build();
+}
+
+// MUX2: inputs (d0, d1, s); out = s ? d1 : d0, built as INV(s) + AOI-style
+// complex gate + output inverter.
+Cell make_mux2(const std::string& name, double drive) {
+  CellBuilder b(name, 3, sized(drive));
+  const int d0 = b.input(0), d1 = b.input(1), s = b.input(2);
+  const int ns = b.add_inverter(s);
+  const int nout = b.add_inverting_gate(
+      Expr::any_of({Expr::all_of({Expr::var(s), Expr::var(d1)}),
+                    Expr::all_of({Expr::var(ns), Expr::var(d0)})}));
+  b.add_inverter(nout);
+  return std::move(b).build();
+}
+
+// MUX4: inputs (d0..d3, s0, s1).
+Cell make_mux4(const std::string& name, double drive) {
+  CellBuilder b(name, 6, sized(drive));
+  const int s0 = b.input(4), s1 = b.input(5);
+  const int ns0 = b.add_inverter(s0);
+  const int ns1 = b.add_inverter(s1);
+  auto sel = [&](int i) {
+    return Expr::all_of({Expr::var(i & 1 ? s0 : ns0), Expr::var(i & 2 ? s1 : ns1)});
+  };
+  std::vector<Expr> terms;
+  for (int i = 0; i < 4; ++i)
+    terms.push_back(Expr::all_of({sel(i), Expr::var(b.input(i))}));
+  const int nout = b.add_inverting_gate(Expr::any_of(std::move(terms)));
+  b.add_inverter(nout);
+  return std::move(b).build();
+}
+
+// Half adder: sum = a ^ b, carry = a & b.
+Cell make_ha(const std::string& name, double drive) {
+  CellBuilder b(name, 2, sized(drive));
+  const int a = b.input(0), c = b.input(1);
+  const int na = b.add_inverter(a);
+  const int nc = b.add_inverter(c);
+  b.add_inverting_gate(Expr::any_of({Expr::all_of({Expr::var(a), Expr::var(c)}),
+                                     Expr::all_of({Expr::var(na), Expr::var(nc)})}));  // sum
+  const int nand_out = b.add_inverting_gate(Expr::all_of({Expr::var(a), Expr::var(c)}));
+  b.add_inverter(nand_out);  // carry
+  return std::move(b).build();
+}
+
+// Full adder: sum = a ^ b ^ cin, cout = MAJ(a, b, cin) via mirror-style gates.
+Cell make_fa(const std::string& name, double drive) {
+  CellBuilder b(name, 3, sized(drive));
+  const int a = b.input(0), c = b.input(1), ci = b.input(2);
+  // ncout = !(a*b + a*ci + b*ci)
+  const int ncout = b.add_inverting_gate(
+      Expr::any_of({Expr::all_of({Expr::var(a), Expr::var(c)}),
+                    Expr::all_of({Expr::var(a), Expr::var(ci)}),
+                    Expr::all_of({Expr::var(c), Expr::var(ci)})}));
+  // nsum = !(a*b*ci + ncout*(a + b + ci))
+  const int nsum = b.add_inverting_gate(Expr::any_of(
+      {Expr::all_of({Expr::var(a), Expr::var(c), Expr::var(ci)}),
+       Expr::all_of({Expr::var(ncout),
+                     Expr::any_of({Expr::var(a), Expr::var(c), Expr::var(ci)})})}));
+  b.add_inverter(nsum);   // sum
+  b.add_inverter(ncout);  // cout
+  return std::move(b).build();
+}
+
+// D flip-flop, inputs (d, clk): clock buffer, master/slave inverter loops and
+// two off-transmission-gate leak paths (see cell.h for the approximation).
+Cell make_dff(const std::string& name, double drive, bool with_set_or_reset, bool set) {
+  const int num_inputs = with_set_or_reset ? 3 : 2;
+  CellBuilder b(name, num_inputs, sized(drive));
+  const int d = b.input(0), clk = b.input(1);
+  const int nclk = b.add_inverter(clk);
+  b.add_inverter(nclk);  // internal buffered clock
+  const int nd = b.add_inverter(d);
+  int m;
+  if (with_set_or_reset) {
+    const int sr = b.input(2);
+    // Master latch node with asynchronous set/reset folded into a NAND/NOR.
+    m = set ? b.add_inverting_gate(Expr::all_of({Expr::var(nd), Expr::var(sr)}))   // NAND
+            : b.add_inverting_gate(Expr::any_of({Expr::var(nd), Expr::var(sr)}));  // NOR
+  } else {
+    m = b.add_inverter(nd);
+  }
+  const int nm = b.add_inverter(m);
+  const int q = b.add_inverter(nm);
+  b.add_inverter(q);  // feedback / QN driver
+  b.set_primary_output(q);
+  b.add_tgate_path(clk);
+  b.add_tgate_path(nclk);
+  return std::move(b).build();
+}
+
+// Level-sensitive latch, inputs (d, en).
+Cell make_latch(const std::string& name, double drive, bool active_low) {
+  CellBuilder b(name, 2, sized(drive));
+  const int d = b.input(0), en = b.input(1);
+  const int nen = b.add_inverter(en);
+  const int nd = b.add_inverter(d);
+  const int m = b.add_inverter(nd);
+  b.add_inverter(m);  // feedback inverter
+  b.set_primary_output(m);
+  b.add_tgate_path(active_low ? nen : en);
+  return std::move(b).build();
+}
+
+// 6T SRAM bit cell, input = stored value. Cross-coupled inverters plus one
+// access transistor leaking from the precharged bitline into the low node.
+Cell make_sram6t(const std::string& name) {
+  CellBuilder b(name, 1, sized(1.0));
+  const int d = b.input(0);
+  const int nd = b.add_inverter(d);
+  b.add_inverter(nd);
+  b.add_off_nmos_path(/*width_multiplier=*/1.0);
+  return std::move(b).build();
+}
+
+// Tri-state buffer, inputs (a, en): NAND + NOR predrivers and the output
+// stage whose devices are gated by them (both off when disabled).
+Cell make_tbuf(const std::string& name, double drive, bool inverting) {
+  CellBuilder b(name, 2, sized(drive));
+  const int a = b.input(0), en = b.input(1);
+  const int nen = b.add_inverter(en);
+  int src = a;
+  if (inverting) src = b.add_inverter(a);
+  const int g_p = b.add_inverting_gate(Expr::all_of({Expr::var(src), Expr::var(en)}));   // NAND
+  const int g_n = b.add_inverting_gate(Expr::any_of({Expr::var(src), Expr::var(nen)}));  // NOR
+  // Output stage: PDN = NMOS(g_n), PUN = PMOS(g_p); when disabled both are
+  // off and the stage is a 2-stack leak path.
+  b.add_split_gate_stage(g_n, g_p);
+  return std::move(b).build();
+}
+
+// NAND2B / NOR2B: one inverted input.
+Cell make_nand2b(const std::string& name, double drive) {
+  CellBuilder b(name, 2, sized(drive));
+  const int an = b.add_inverter(b.input(0));
+  b.add_inverting_gate(Expr::all_of({Expr::var(an), Expr::var(b.input(1))}));
+  return std::move(b).build();
+}
+
+Cell make_nor2b(const std::string& name, double drive) {
+  CellBuilder b(name, 2, sized(drive));
+  const int an = b.add_inverter(b.input(0));
+  b.add_inverting_gate(Expr::any_of({Expr::var(an), Expr::var(b.input(1))}));
+  return std::move(b).build();
+}
+
+}  // namespace
+
+StdCellLibrary build_virtual90_library(const device::TechnologyParams& tech) {
+  std::vector<Cell> cells;
+  cells.reserve(62);
+
+  cells.push_back(make_inv("INV_X1", 1));
+  cells.push_back(make_inv("INV_X2", 2));
+  cells.push_back(make_inv("INV_X4", 4));
+  cells.push_back(make_inv("INV_X8", 8));
+  cells.push_back(make_buf("BUF_X1", 1));
+  cells.push_back(make_buf("BUF_X2", 2));
+  cells.push_back(make_buf("BUF_X4", 4));
+  cells.push_back(make_buf("CLKBUF_X1", 1.5));
+  cells.push_back(make_buf("CLKBUF_X2", 3));
+  cells.push_back(make_buf("CLKBUF_X4", 6));
+
+  cells.push_back(make_nand("NAND2_X1", 2, 1));
+  cells.push_back(make_nand("NAND2_X2", 2, 2));
+  cells.push_back(make_nand("NAND3_X1", 3, 1));
+  cells.push_back(make_nand("NAND3_X2", 3, 2));
+  cells.push_back(make_nand("NAND4_X1", 4, 1));
+  cells.push_back(make_nor("NOR2_X1", 2, 1));
+  cells.push_back(make_nor("NOR2_X2", 2, 2));
+  cells.push_back(make_nor("NOR3_X1", 3, 1));
+  cells.push_back(make_nor("NOR3_X2", 3, 2));
+  cells.push_back(make_nor("NOR4_X1", 4, 1));
+
+  cells.push_back(make_and("AND2_X1", 2, 1));
+  cells.push_back(make_and("AND2_X2", 2, 2));
+  cells.push_back(make_and("AND3_X1", 3, 1));
+  cells.push_back(make_and("AND4_X1", 4, 1));
+  cells.push_back(make_or("OR2_X1", 2, 1));
+  cells.push_back(make_or("OR2_X2", 2, 2));
+  cells.push_back(make_or("OR3_X1", 3, 1));
+  cells.push_back(make_or("OR4_X1", 4, 1));
+
+  cells.push_back(make_xor2("XOR2_X1", 1, false));
+  cells.push_back(make_xor2("XOR2_X2", 2, false));
+  cells.push_back(make_xor2("XNOR2_X1", 1, true));
+  cells.push_back(make_xor2("XNOR2_X2", 2, true));
+
+  cells.push_back(make_aoi("AOI21_X1", 1, 1, 1));
+  cells.push_back(make_aoi("AOI21_X2", 1, 1, 2));
+  cells.push_back(make_aoi("AOI22_X1", 2, 0, 1));
+  cells.push_back(make_aoi("AOI22_X2", 2, 0, 2));
+  cells.push_back(make_aoi("AOI211_X1", 1, 2, 1));
+  cells.push_back(make_oai("OAI21_X1", 1, 1, 1));
+  cells.push_back(make_oai("OAI21_X2", 1, 1, 2));
+  cells.push_back(make_oai("OAI22_X1", 2, 0, 1));
+  cells.push_back(make_oai("OAI22_X2", 2, 0, 2));
+  cells.push_back(make_oai("OAI211_X1", 1, 2, 1));
+
+  cells.push_back(make_mux2("MUX2_X1", 1));
+  cells.push_back(make_mux2("MUX2_X2", 2));
+  cells.push_back(make_mux4("MUX4_X1", 1));
+
+  cells.push_back(make_ha("HA_X1", 1));
+  cells.push_back(make_fa("FA_X1", 1));
+  cells.push_back(make_fa("FA_X2", 2));
+
+  cells.push_back(make_dff("DFF_X1", 1, false, false));
+  cells.push_back(make_dff("DFF_X2", 2, false, false));
+  cells.push_back(make_dff("DFFR_X1", 1, true, false));
+  cells.push_back(make_dff("DFFS_X1", 1, true, true));
+  cells.push_back(make_latch("DLATCH_X1", 1, false));
+  cells.push_back(make_latch("DLATCHN_X1", 1, true));
+  cells.push_back(make_sram6t("SRAM6T"));
+
+  cells.push_back(make_tbuf("TBUF_X1", 1, false));
+  cells.push_back(make_tbuf("TBUF_X2", 2, false));
+  cells.push_back(make_tbuf("TINV_X1", 1, true));
+
+  cells.push_back(make_nand2b("NAND2B_X1", 1));
+  cells.push_back(make_nor2b("NOR2B_X1", 1));
+  cells.push_back(make_aoi("AOI222_X1", 3, 0, 1));
+  cells.push_back(make_oai("OAI222_X1", 3, 0, 1));
+
+  RGLEAK_REQUIRE(cells.size() == 62, "virtual90 library must have exactly 62 cells");
+  return StdCellLibrary(tech, std::move(cells));
+}
+
+StdCellLibrary build_virtual90_multivt_library(const device::TechnologyParams& tech,
+                                               const MultiVtOffsets& offsets) {
+  RGLEAK_REQUIRE(offsets.lvt_shift_v < 0.0 && offsets.hvt_shift_v > 0.0,
+                 "LVT must lower Vt and HVT must raise it");
+  const StdCellLibrary base = build_virtual90_library(tech);
+  std::vector<Cell> cells;
+  cells.reserve(3 * base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    cells.push_back(base.cell(i));
+    cells.push_back(base.cell(i).with_vt_flavor("_LVT", offsets.lvt_shift_v));
+    cells.push_back(base.cell(i).with_vt_flavor("_HVT", offsets.hvt_shift_v));
+  }
+  return StdCellLibrary(tech, std::move(cells));
+}
+
+StdCellLibrary build_mini_library(const device::TechnologyParams& tech) {
+  std::vector<Cell> cells;
+  cells.push_back(make_inv("INV_X1", 1));
+  cells.push_back(make_nand("NAND2_X1", 2, 1));
+  cells.push_back(make_nor("NOR2_X1", 2, 1));
+  cells.push_back(make_nand("NAND3_X1", 3, 1));
+  cells.push_back(make_aoi("AOI21_X1", 1, 1, 1));
+  return StdCellLibrary(tech, std::move(cells));
+}
+
+}  // namespace rgleak::cells

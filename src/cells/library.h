@@ -1,0 +1,53 @@
+#pragma once
+// The "virtual 90 nm" standard-cell library: 62 cells covering the classes the
+// paper characterizes (logic gates of various topologies and drive strengths,
+// complex AOI/OAI gates, muxes, adders, latches, flip-flops, tri-states, and
+// an SRAM cell). Substitute for the commercial library (see DESIGN.md §2).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cells/cell.h"
+#include "device/subthreshold.h"
+
+namespace rgleak::cells {
+
+/// Immutable collection of cells plus the technology they are built in.
+class StdCellLibrary {
+ public:
+  StdCellLibrary(device::TechnologyParams tech, std::vector<Cell> cells);
+
+  const device::TechnologyParams& tech() const { return tech_; }
+  std::size_t size() const { return cells_.size(); }
+  const Cell& cell(std::size_t index) const;
+  const std::vector<Cell>& cells() const { return cells_; }
+
+  /// Index of the cell with the given name; throws if absent.
+  std::size_t index_of(const std::string& name) const;
+  bool contains(const std::string& name) const;
+
+ private:
+  device::TechnologyParams tech_;
+  std::vector<Cell> cells_;
+};
+
+/// Builds the full 62-cell virtual 90 nm library.
+StdCellLibrary build_virtual90_library(const device::TechnologyParams& tech = {});
+
+/// Builds a small library (INV/NAND2/NOR2/NAND3/DFF-free) for fast tests.
+StdCellLibrary build_mini_library(const device::TechnologyParams& tech = {});
+
+/// Multi-Vt flavor offsets: systematic Vt shifts of the LVT (faster, leakier)
+/// and HVT (slower, low-leakage) variants relative to the SVT masters.
+struct MultiVtOffsets {
+  double lvt_shift_v = -0.06;
+  double hvt_shift_v = +0.08;
+};
+
+/// Builds the 186-cell multi-Vt library: every virtual 90 nm cell in SVT
+/// (original name), LVT (`_LVT` suffix), and HVT (`_HVT` suffix) flavors.
+StdCellLibrary build_virtual90_multivt_library(const device::TechnologyParams& tech = {},
+                                               const MultiVtOffsets& offsets = {});
+
+}  // namespace rgleak::cells

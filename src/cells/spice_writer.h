@@ -1,0 +1,34 @@
+#pragma once
+// SPICE netlist export of the virtual library's transistor topologies.
+//
+// Each cell becomes a .subckt with explicit M devices; internal
+// series-chain nodes are materialized so the deck is simulatable against any
+// external BSIM model card (handy for cross-checking the built-in
+// subthreshold solver against a real simulator, and for inspecting what the
+// CellBuilder actually constructed).
+
+#include <iosfwd>
+#include <string>
+
+#include "cells/library.h"
+
+namespace rgleak::cells {
+
+struct SpiceWriterOptions {
+  std::string nmos_model = "nch";
+  std::string pmos_model = "pch";
+  double l_nm = 40.0;  ///< drawn channel length emitted on every device
+};
+
+/// Writes one cell as a .subckt (pins: A, B, ... VDD VSS plus OUT when the
+/// cell has a primary output).
+void write_spice_subckt(const Cell& cell, std::ostream& os,
+                        const SpiceWriterOptions& options = {});
+
+/// Writes the whole library as a deck of subcircuits.
+void write_spice_library(const StdCellLibrary& library, std::ostream& os,
+                         const SpiceWriterOptions& options = {});
+void write_spice_library(const StdCellLibrary& library, const std::string& path,
+                         const SpiceWriterOptions& options = {});
+
+}  // namespace rgleak::cells

@@ -1,0 +1,179 @@
+#include "charlib/correlation_map.h"
+
+#include <cmath>
+
+#include "math/gaussian_moments.h"
+#include "util/require.h"
+
+namespace rgleak::charlib {
+
+double pair_product_expectation(const math::LogQuadraticModel& m1,
+                                const math::LogQuadraticModel& m2, double mu_l, double sigma_l,
+                                double rho_l) {
+  RGLEAK_REQUIRE(m1.a > 0.0 && m2.a > 0.0, "models need positive scale");
+  return m1.a * m2.a *
+         math::expectation_exp_quadratic_2d(m1.b, m1.c, m2.b, m2.c, mu_l,
+                                            sigma_l * sigma_l, rho_l);
+}
+
+double pair_leakage_covariance(const math::LogQuadraticModel& m1,
+                               const math::LogQuadraticModel& m2, double mu_l, double sigma_l,
+                               double rho_l) {
+  const math::LogQuadraticMoments mo1(m1, mu_l, sigma_l);
+  const math::LogQuadraticMoments mo2(m2, mu_l, sigma_l);
+  return pair_product_expectation(m1, m2, mu_l, sigma_l, rho_l) - mo1.mean() * mo2.mean();
+}
+
+double pair_leakage_correlation(const math::LogQuadraticModel& m1,
+                                const math::LogQuadraticModel& m2, double mu_l, double sigma_l,
+                                double rho_l) {
+  const math::LogQuadraticMoments mo1(m1, mu_l, sigma_l);
+  const math::LogQuadraticMoments mo2(m2, mu_l, sigma_l);
+  RGLEAK_REQUIRE(mo1.stddev() > 0.0 && mo2.stddev() > 0.0,
+                 "correlation needs non-degenerate leakage");
+  return pair_leakage_covariance(m1, m2, mu_l, sigma_l, rho_l) / (mo1.stddev() * mo2.stddev());
+}
+
+std::vector<RgComponent> make_rg_components(const CharacterizedLibrary& chars,
+                                            const std::vector<double>& usage_alphas,
+                                            double signal_probability) {
+  RGLEAK_REQUIRE(usage_alphas.size() == chars.size(),
+                 "usage distribution must have one entry per library cell");
+  double total = 0.0;
+  for (double a : usage_alphas) {
+    RGLEAK_REQUIRE(a >= 0.0, "usage frequencies must be non-negative");
+    total += a;
+  }
+  RGLEAK_REQUIRE(std::abs(total - 1.0) < 1e-6, "usage frequencies must sum to 1");
+
+  std::vector<RgComponent> components;
+  for (std::size_t ci = 0; ci < chars.size(); ++ci) {
+    if (usage_alphas[ci] == 0.0) continue;
+    const std::vector<double> sp = chars.state_probabilities(ci, signal_probability);
+    const CellChar& cc = chars.cell(ci);
+    for (std::size_t s = 0; s < cc.states.size(); ++s) {
+      const double w = usage_alphas[ci] * sp[s];
+      if (w == 0.0) continue;
+      RgComponent comp;
+      comp.weight = w;
+      comp.mean_na = cc.states[s].mean_na;
+      comp.sigma_na = cc.states[s].sigma_na;
+      comp.model = cc.states[s].model;
+      components.push_back(comp);
+    }
+  }
+  RGLEAK_REQUIRE(!components.empty(), "RG mixture has no components");
+  return components;
+}
+
+namespace {
+
+// Mixture mean and variance of the RG (eqs (7)-(8)).
+void mixture_stats(const std::vector<RgComponent>& comps, double& mean, double& variance) {
+  double m = 0.0, second = 0.0;
+  for (const auto& c : comps) {
+    m += c.weight * c.mean_na;
+    second += c.weight * (c.sigma_na * c.sigma_na + c.mean_na * c.mean_na);
+  }
+  mean = m;
+  variance = second - m * m;
+}
+
+}  // namespace
+
+AnalyticRgCovariance::AnalyticRgCovariance(std::vector<RgComponent> components, double mu_l,
+                                           double sigma_l, std::size_t grid_points)
+    : components_(std::move(components)), mu_l_(mu_l), sigma_l_(sigma_l) {
+  RGLEAK_REQUIRE(grid_points >= 2, "rho grid needs at least two points");
+  for (const auto& c : components_)
+    RGLEAK_REQUIRE(c.model.has_value(),
+                   "analytic RG covariance needs fitted models for every component");
+  mixture_stats(components_, mean_, variance_);
+  grid_.resize(grid_points);
+  for (std::size_t i = 0; i < grid_points; ++i) {
+    const double rho = static_cast<double>(i) / static_cast<double>(grid_points - 1);
+    grid_[i] = exact_covariance(rho);
+  }
+}
+
+double AnalyticRgCovariance::exact_covariance(double rho_l) const {
+  // F(rho) = sum_k sum_l w_k w_l Cov(X_k, X_l; rho); symmetric, so fold.
+  const std::size_t n = components_.size();
+  const double var_l = sigma_l_ * sigma_l_;
+  double f = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto& a = components_[k];
+    for (std::size_t l = k; l < n; ++l) {
+      const auto& b = components_[l];
+      const double e12 = a.model->a * b.model->a *
+                         math::expectation_exp_quadratic_2d(a.model->b, a.model->c, b.model->b,
+                                                            b.model->c, mu_l_, var_l, rho_l);
+      const double cov = e12 - a.mean_na * b.mean_na;
+      f += (k == l ? 1.0 : 2.0) * a.weight * b.weight * cov;
+    }
+  }
+  return f;
+}
+
+double AnalyticRgCovariance::covariance(double rho_l) const {
+  RGLEAK_REQUIRE(rho_l >= 0.0 && rho_l <= 1.0, "rho_L must be in [0, 1]");
+  const double pos = rho_l * static_cast<double>(grid_.size() - 1);
+  const auto idx = std::min(static_cast<std::size_t>(pos), grid_.size() - 2);
+  const double frac = pos - static_cast<double>(idx);
+  return grid_[idx] + frac * (grid_[idx + 1] - grid_[idx]);
+}
+
+CrossRgCovariance::CrossRgCovariance(std::vector<RgComponent> a, std::vector<RgComponent> b,
+                                     double mu_l, double sigma_l, std::size_t grid_points) {
+  RGLEAK_REQUIRE(grid_points >= 2, "rho grid needs at least two points");
+  RGLEAK_REQUIRE(!a.empty() && !b.empty(), "cross covariance needs non-empty mixtures");
+  for (const auto& c : a)
+    RGLEAK_REQUIRE(c.model.has_value(), "analytic cross covariance needs fitted models");
+  for (const auto& c : b)
+    RGLEAK_REQUIRE(c.model.has_value(), "analytic cross covariance needs fitted models");
+  const double var_l = sigma_l * sigma_l;
+  grid_.resize(grid_points);
+  for (std::size_t i = 0; i < grid_points; ++i) {
+    const double rho = static_cast<double>(i) / static_cast<double>(grid_points - 1);
+    double f = 0.0;
+    for (const auto& ca : a) {
+      for (const auto& cb : b) {
+        const double e12 =
+            ca.model->a * cb.model->a *
+            math::expectation_exp_quadratic_2d(ca.model->b, ca.model->c, cb.model->b,
+                                               cb.model->c, mu_l, var_l, rho);
+        f += ca.weight * cb.weight * (e12 - ca.mean_na * cb.mean_na);
+      }
+    }
+    grid_[i] = f;
+  }
+}
+
+CrossRgCovariance::CrossRgCovariance(const std::vector<RgComponent>& a,
+                                     const std::vector<RgComponent>& b, bool simplified)
+    : simplified_(true) {
+  RGLEAK_REQUIRE(simplified, "use the analytic constructor for the exact mapping");
+  RGLEAK_REQUIRE(!a.empty() && !b.empty(), "cross covariance needs non-empty mixtures");
+  double sa = 0.0, sb = 0.0;
+  for (const auto& c : a) sa += c.weight * c.sigma_na;
+  for (const auto& c : b) sb += c.weight * c.sigma_na;
+  scale_ = sa * sb;
+}
+
+double CrossRgCovariance::covariance(double rho_l) const {
+  RGLEAK_REQUIRE(rho_l >= 0.0 && rho_l <= 1.0, "rho_L must be in [0, 1]");
+  if (simplified_) return scale_ * rho_l;
+  const double pos = rho_l * static_cast<double>(grid_.size() - 1);
+  const auto idx = std::min(static_cast<std::size_t>(pos), grid_.size() - 2);
+  const double frac = pos - static_cast<double>(idx);
+  return grid_[idx] + frac * (grid_[idx + 1] - grid_[idx]);
+}
+
+SimplifiedRgCovariance::SimplifiedRgCovariance(const std::vector<RgComponent>& components) {
+  mixture_stats(components, mean_, variance_);
+  double s = 0.0;
+  for (const auto& c : components) s += c.weight * c.sigma_na;
+  rho_scale_ = s * s;
+}
+
+}  // namespace rgleak::charlib

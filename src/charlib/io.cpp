@@ -1,0 +1,123 @@
+#include "charlib/io.h"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/require.h"
+
+namespace rgleak::charlib {
+
+namespace {
+constexpr const char* kMagic = "rgchar-v1";
+
+std::string correlation_family(const process::SpatialCorrelation& corr) {
+  return corr.name();
+}
+
+}  // namespace
+
+void save_characterization(const CharacterizedLibrary& chars, std::ostream& os) {
+  const auto& p = chars.process();
+  os << kMagic << "\n";
+  os << std::setprecision(17);
+  const std::string family = correlation_family(p.wid_correlation());
+  // Only factory-constructible families round-trip (powerexp carries a second
+  // parameter the format does not store).
+  try {
+    (void)process::make_correlation(family, 1.0);
+  } catch (const ContractViolation&) {
+    throw ContractViolation("correlation family '" + family + "' is not serializable");
+  }
+  os << "process " << p.length().mean_nm << ' ' << p.length().sigma_d2d_nm << ' '
+     << p.length().sigma_wid_nm << ' ' << p.vt().sigma_v << ' ' << family << ' '
+     << process::correlation_scale_nm(p.wid_correlation()) << ' ' << p.anisotropy().scale_x << ' '
+     << p.anisotropy().scale_y << "\n";
+  os << "cells " << chars.size() << "\n";
+  for (std::size_t ci = 0; ci < chars.size(); ++ci) {
+    const CellChar& cc = chars.cell(ci);
+    os << "cell " << chars.library().cell(ci).name() << ' ' << cc.states.size() << "\n";
+    for (const StateChar& s : cc.states) {
+      os << "state " << s.mean_na << ' ' << s.sigma_na;
+      if (s.model) os << " model " << s.model->a << ' ' << s.model->b << ' ' << s.model->c;
+      os << "\n";
+    }
+  }
+}
+
+void save_characterization(const CharacterizedLibrary& chars, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw NumericalError("cannot open for writing: " + path);
+  save_characterization(chars, os);
+  if (!os) throw NumericalError("write failed: " + path);
+}
+
+CharacterizedLibrary load_characterization(const cells::StdCellLibrary& library,
+                                           std::istream& is) {
+  std::string line;
+  RGLEAK_REQUIRE(std::getline(is, line) && line == kMagic, "bad .rgchar header");
+
+  RGLEAK_REQUIRE(static_cast<bool>(std::getline(is, line)), "missing process line");
+  std::istringstream ps(line);
+  std::string tag, family;
+  process::LengthVariation len;
+  process::VtVariation vt;
+  double scale = 0.0;
+  ps >> tag >> len.mean_nm >> len.sigma_d2d_nm >> len.sigma_wid_nm >> vt.sigma_v >> family >>
+      scale;
+  RGLEAK_REQUIRE(static_cast<bool>(ps) && tag == "process", "bad process line");
+  process::CorrelationAnisotropy aniso;
+  // Optional trailing anisotropy pair (older files omit it).
+  if (!(ps >> aniso.scale_x >> aniso.scale_y)) aniso = {};
+  process::ProcessVariation process(len, vt, process::make_correlation(family, scale), aniso);
+
+  RGLEAK_REQUIRE(static_cast<bool>(std::getline(is, line)), "missing cells line");
+  std::istringstream cs(line);
+  std::size_t count = 0;
+  cs >> tag >> count;
+  RGLEAK_REQUIRE(static_cast<bool>(cs) && tag == "cells", "bad cells line");
+  RGLEAK_REQUIRE(count == library.size(), "cell count does not match target library");
+
+  std::vector<CellChar> cells(library.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    RGLEAK_REQUIRE(static_cast<bool>(std::getline(is, line)), "missing cell line");
+    std::istringstream hs(line);
+    std::string name;
+    std::size_t states = 0;
+    hs >> tag >> name >> states;
+    RGLEAK_REQUIRE(static_cast<bool>(hs) && tag == "cell", "bad cell line");
+    const std::size_t idx = library.index_of(name);
+    RGLEAK_REQUIRE(states == library.cell(idx).num_states(),
+                   "state count mismatch for cell " + name);
+    CellChar cc;
+    cc.states.resize(states);
+    for (std::size_t s = 0; s < states; ++s) {
+      RGLEAK_REQUIRE(static_cast<bool>(std::getline(is, line)), "missing state line");
+      std::istringstream ss(line);
+      StateChar st;
+      ss >> tag >> st.mean_na >> st.sigma_na;
+      RGLEAK_REQUIRE(static_cast<bool>(ss) && tag == "state", "bad state line");
+      std::string model_tag;
+      if (ss >> model_tag) {
+        RGLEAK_REQUIRE(model_tag == "model", "unexpected token on state line");
+        math::LogQuadraticModel m;
+        ss >> m.a >> m.b >> m.c;
+        RGLEAK_REQUIRE(static_cast<bool>(ss), "bad model triplet");
+        st.model = m;
+      }
+      cc.states[s] = st;
+    }
+    cells[idx] = std::move(cc);
+  }
+  return CharacterizedLibrary(&library, std::move(process), std::move(cells));
+}
+
+CharacterizedLibrary load_characterization(const cells::StdCellLibrary& library,
+                                           const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw NumericalError("cannot open for reading: " + path);
+  return load_characterization(library, is);
+}
+
+}  // namespace rgleak::charlib

@@ -1,0 +1,32 @@
+#pragma once
+// Serialization of characterization results.
+//
+// Characterizing a 62-cell library is the expensive one-time step of the flow
+// (minutes of MC, seconds analytically); production flows persist it. The
+// `.rgchar` format is a line-based text format carrying the process
+// description and the per-(cell, state) statistics plus, when present, the
+// fitted (a,b,c) triplets. Loading binds the data back against a concrete
+// StdCellLibrary by cell name and validates state counts.
+
+#include <iosfwd>
+#include <string>
+
+#include "charlib/characterize.h"
+
+namespace rgleak::charlib {
+
+/// Writes a characterized library (process + per-cell statistics) to a
+/// stream in the .rgchar text format.
+void save_characterization(const CharacterizedLibrary& chars, std::ostream& os);
+/// Convenience: writes to a file path. Throws NumericalError on I/O failure.
+void save_characterization(const CharacterizedLibrary& chars, const std::string& path);
+
+/// Reads a .rgchar stream and rebinds it against `library` (cell names and
+/// state counts must match). Throws ContractViolation on format or binding
+/// errors.
+CharacterizedLibrary load_characterization(const cells::StdCellLibrary& library,
+                                           std::istream& is);
+CharacterizedLibrary load_characterization(const cells::StdCellLibrary& library,
+                                           const std::string& path);
+
+}  // namespace rgleak::charlib

@@ -1,0 +1,38 @@
+#include "charlib/leakage_table.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace rgleak::charlib {
+
+LeakageTable::LeakageTable(const cells::Cell& cell, std::uint32_t state,
+                           const device::TechnologyParams& tech, double l_min_nm,
+                           double l_max_nm, std::size_t points)
+    : l_min_(l_min_nm), l_max_(l_max_nm) {
+  RGLEAK_REQUIRE(points >= 2, "leakage table needs at least two points");
+  RGLEAK_REQUIRE(l_min_nm > 0.0 && l_min_nm < l_max_nm, "invalid length range");
+  step_ = (l_max_ - l_min_) / static_cast<double>(points - 1);
+  log_i_.resize(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double l = l_min_ + static_cast<double>(i) * step_;
+    const double leak = cell.leakage_na(state, l, tech);
+    RGLEAK_REQUIRE(leak > 0.0, "cell leakage must be positive");
+    log_i_[i] = std::log(leak);
+  }
+}
+
+double LeakageTable::eval_na(double l_nm) const {
+  const double pos = (l_nm - l_min_) / step_;
+  const auto n = static_cast<double>(log_i_.size() - 1);
+  // Clamp to the end segments: linear extrapolation of ln(I).
+  double p = pos;
+  if (p < 0.0) p = 0.0;
+  if (p > n - 1.0) p = n - 1.0;
+  const auto idx = static_cast<std::size_t>(p);
+  const double frac = pos - static_cast<double>(idx);
+  const double log_i = log_i_[idx] + frac * (log_i_[idx + 1] - log_i_[idx]);
+  return std::exp(log_i);
+}
+
+}  // namespace rgleak::charlib

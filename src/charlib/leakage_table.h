@@ -1,0 +1,40 @@
+#pragma once
+// Tabulated leakage-vs-channel-length curve for one (cell, input state).
+//
+// Cell leakage with fully correlated within-cell L (the paper's MC assumption)
+// and no random Vt is a deterministic scalar function of L. The
+// characterization and full-chip Monte-Carlo engines therefore evaluate the
+// transistor-network solver on a fixed L grid once and interpolate ln(I)
+// linearly afterwards — turning microsecond network solves into nanosecond
+// lookups without changing the statistics.
+
+#include <cstdint>
+#include <vector>
+
+#include "cells/cell.h"
+#include "device/subthreshold.h"
+
+namespace rgleak::charlib {
+
+class LeakageTable {
+ public:
+  /// Tabulates cell leakage for `state` on `points` equally spaced lengths in
+  /// [l_min_nm, l_max_nm]. Requires points >= 2 and l_min < l_max.
+  LeakageTable(const cells::Cell& cell, std::uint32_t state,
+               const device::TechnologyParams& tech, double l_min_nm, double l_max_nm,
+               std::size_t points = 129);
+
+  /// Leakage (nA) at channel length l_nm; linear interpolation of ln(I),
+  /// linear extrapolation of ln(I) beyond the table ends.
+  double eval_na(double l_nm) const;
+
+  double l_min_nm() const { return l_min_; }
+  double l_max_nm() const { return l_max_; }
+  std::size_t size() const { return log_i_.size(); }
+
+ private:
+  double l_min_, l_max_, step_;
+  std::vector<double> log_i_;
+};
+
+}  // namespace rgleak::charlib

@@ -1,0 +1,35 @@
+#pragma once
+// Liberty-style (.lib) export of leakage characterization.
+//
+// Downstream power flows consume per-cell, per-state leakage in the Liberty
+// format's `leakage_power` groups with `when` conditions. This writer emits a
+// minimal-but-valid Liberty library: one `cell` group per library cell, one
+// state-conditioned `leakage_power` group per input state (mean leakage in
+// the library's `leakage_power_unit`), plus the default (state-mixed at
+// p = 0.5) `cell_leakage_power` attribute.
+
+#include <iosfwd>
+#include <string>
+
+#include "charlib/characterize.h"
+
+namespace rgleak::charlib {
+
+struct LibertyWriterOptions {
+  std::string library_name = "rgleak_virtual90";
+  /// Signal probability used for each cell's default cell_leakage_power.
+  double default_signal_probability = 0.5;
+};
+
+/// Writes the characterized library as Liberty text to `os`.
+void write_liberty(const CharacterizedLibrary& chars, std::ostream& os,
+                   const LibertyWriterOptions& options = {});
+void write_liberty(const CharacterizedLibrary& chars, const std::string& path,
+                   const LibertyWriterOptions& options = {});
+
+/// The Liberty `when` condition for one input state of a cell: input pins are
+/// named A, B, C, ... in bit order; e.g. state 0b10 of a 2-input cell is
+/// "!A & B". Exposed for tests.
+std::string liberty_when_condition(int num_inputs, std::uint32_t state);
+
+}  // namespace rgleak::charlib

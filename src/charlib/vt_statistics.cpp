@@ -1,0 +1,53 @@
+#include "charlib/vt_statistics.h"
+
+#include <cmath>
+#include <vector>
+
+#include "math/stats.h"
+#include "util/require.h"
+
+namespace rgleak::charlib {
+
+double pelgrom_sigma_v(const process::VtVariation& vt, const device::TechnologyParams& tech,
+                       double w_nm, double l_nm) {
+  RGLEAK_REQUIRE(w_nm > 0.0 && l_nm > 0.0, "device geometry must be positive");
+  const double ref_area = 120.0 * tech.l_nominal_nm;
+  return vt.sigma_v * std::sqrt(ref_area / (w_nm * l_nm));
+}
+
+VtCellStats vt_cell_statistics(const cells::Cell& cell, std::uint32_t state,
+                               const device::TechnologyParams& tech,
+                               const process::VtVariation& vt, math::Rng& rng,
+                               std::size_t samples) {
+  RGLEAK_REQUIRE(samples >= 2, "vt_cell_statistics needs >= 2 samples");
+
+  // Collect per-device sigmas (by dvt_index) from every stage network.
+  std::vector<const device::NetworkDevice*> devices;
+  for (const auto& stage : cell.stages()) {
+    if (stage.pdn) stage.pdn->collect_devices(devices);
+    if (stage.pun) stage.pun->collect_devices(devices);
+    if (stage.rail_path) stage.rail_path->collect_devices(devices);
+  }
+  std::vector<double> sigma(cell.num_devices(), vt.sigma_v);
+  for (const auto* d : devices) {
+    if (d->dvt_index >= 0 && static_cast<std::size_t>(d->dvt_index) < sigma.size())
+      sigma[static_cast<std::size_t>(d->dvt_index)] =
+          pelgrom_sigma_v(vt, tech, d->w_nm, tech.l_nominal_nm);
+  }
+
+  VtCellStats out;
+  out.nominal_na = cell.leakage_na(state, tech.l_nominal_nm, tech);
+
+  math::RunningStats acc;
+  std::vector<double> dvt(sigma.size());
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (std::size_t d = 0; d < dvt.size(); ++d) dvt[d] = rng.normal(0.0, sigma[d]);
+    acc.add(cell.leakage_na(state, tech.l_nominal_nm, tech, dvt));
+  }
+  out.mean_na = acc.mean();
+  out.sigma_na = acc.stddev();
+  out.mean_inflation = out.mean_na / out.nominal_na;
+  return out;
+}
+
+}  // namespace rgleak::charlib

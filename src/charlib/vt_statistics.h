@@ -1,0 +1,45 @@
+#pragma once
+// Random-Vt leakage statistics (section 2.1 of the paper).
+//
+// Random dopant fluctuation makes each device's threshold voltage an
+// independent normal; the paper argues that for full-chip estimation this
+// component (i) scales the *mean* by a log-normal factor and (ii) contributes
+// negligibly to the *variance* for large n, because independent contributions
+// average as n while correlated L contributions grow as n^2.
+//
+// This module quantifies both claims from the transistor netlists themselves:
+// per (cell, state), Monte-Carlo over per-device dVt vectors yields the
+// cell-level mean inflation and the cell-level sigma due to Vt alone.
+
+#include <cstdint>
+
+#include "cells/library.h"
+#include "math/rng.h"
+#include "process/variation.h"
+
+namespace rgleak::charlib {
+
+/// Per-(cell, state) leakage statistics under random Vt only (channel length
+/// held at nominal).
+struct VtCellStats {
+  double mean_na = 0.0;        ///< E[I] with dVt ~ iid N(0, sigma_vt)
+  double sigma_na = 0.0;       ///< std[I] under Vt randomness alone
+  double nominal_na = 0.0;     ///< I at dVt = 0
+  double mean_inflation = 0.0; ///< mean_na / nominal_na
+};
+
+/// Monte-Carlo estimate of VtCellStats: `samples` draws of the per-device
+/// dVt vector. The per-device sigma is scaled by sqrt(Wmin*Lmin/(W*L))
+/// (Pelgrom): wider devices fluctuate less.
+VtCellStats vt_cell_statistics(const cells::Cell& cell, std::uint32_t state,
+                               const device::TechnologyParams& tech,
+                               const process::VtVariation& vt, math::Rng& rng,
+                               std::size_t samples = 20000);
+
+/// Pelgrom-scaled per-device sigma for a device of width w_nm at channel
+/// length l_nm: sigma_vt * sqrt(Wref*Lref / (w*l)) with the reference device
+/// being a minimum-size NMOS (120 nm x nominal L).
+double pelgrom_sigma_v(const process::VtVariation& vt, const device::TechnologyParams& tech,
+                       double w_nm, double l_nm);
+
+}  // namespace rgleak::charlib

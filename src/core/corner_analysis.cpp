@@ -1,0 +1,77 @@
+#include "core/corner_analysis.h"
+
+#include "charlib/characterize.h"
+#include "core/estimators.h"
+#include "core/random_gate.h"
+#include "util/require.h"
+
+namespace rgleak::core {
+
+std::vector<ProcessCorner> standard_corners(double sigma_shift_nm) {
+  RGLEAK_REQUIRE(sigma_shift_nm >= 0.0, "corner shift must be non-negative");
+  std::vector<ProcessCorner> corners;
+  for (const auto& [proc, dl] : std::vector<std::pair<std::string, double>>{
+           {"SS", +sigma_shift_nm}, {"TT", 0.0}, {"FF", -sigma_shift_nm}}) {
+    for (const double t_c : {25.0, 110.0}) {
+      ProcessCorner c;
+      c.name = proc + "/" + (t_c < 50.0 ? "25C" : "110C");
+      c.delta_l_nm = dl;
+      c.temperature_c = t_c;
+      corners.push_back(c);
+    }
+  }
+  return corners;
+}
+
+std::vector<CornerResult> analyze_corners(const device::TechnologyParams& base_tech,
+                                          const process::ProcessVariation& base_process,
+                                          const netlist::UsageHistogram& usage,
+                                          std::size_t gate_count,
+                                          const std::vector<ProcessCorner>& corners,
+                                          const CornerAnalysisOptions& options) {
+  RGLEAK_REQUIRE(!corners.empty(), "corner analysis needs at least one corner");
+  usage.validate();
+  auto factory = options.library_factory;
+  if (!factory)
+    factory = [](const device::TechnologyParams& t) { return cells::build_virtual90_library(t); };
+
+  const placement::Floorplan fp = placement::Floorplan::for_gate_count(
+      gate_count, options.site_pitch_nm, options.site_pitch_nm);
+
+  std::vector<CornerResult> results;
+  results.reserve(corners.size());
+  for (const ProcessCorner& corner : corners) {
+    const device::TechnologyParams tech =
+        device::at_temperature(base_tech, corner.temperature_c + 273.15);
+    const cells::StdCellLibrary lib = factory(tech);
+
+    process::LengthVariation len = base_process.length();
+    len.mean_nm += corner.delta_l_nm;
+    RGLEAK_REQUIRE(len.mean_nm > 0.0, "corner shift drives nominal length non-positive");
+    const process::ProcessVariation process(len, base_process.vt(),
+                                            base_process.wid_correlation_ptr(),
+                                            base_process.anisotropy());
+
+    const charlib::CharacterizedLibrary chars = charlib::characterize_analytic(lib, process);
+    const RandomGate rg(chars, usage, options.signal_probability,
+                        CorrelationMode::kAnalytic);
+    CornerResult r;
+    r.corner = corner;
+    r.estimate = estimate_linear(rg, fp);
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+const CornerResult& worst_corner(const std::vector<CornerResult>& results) {
+  RGLEAK_REQUIRE(!results.empty(), "no corner results");
+  const CornerResult* worst = &results.front();
+  for (const auto& r : results) {
+    const double budget = r.estimate.mean_na + 3.0 * r.estimate.sigma_na;
+    const double worst_budget = worst->estimate.mean_na + 3.0 * worst->estimate.sigma_na;
+    if (budget > worst_budget) worst = &r;
+  }
+  return *worst;
+}
+
+}  // namespace rgleak::core

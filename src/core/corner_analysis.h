@@ -1,0 +1,56 @@
+#pragma once
+// Multi-corner leakage sign-off: evaluate the full-chip estimate across
+// process/temperature corners (systematic channel-length shift x junction
+// temperature), the table a power-signoff flow reads. Leakage is worst at
+// the fast (short-L) hot corner — the classic FF/110C.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cells/library.h"
+#include "core/estimate.h"
+#include "netlist/netlist.h"
+#include "process/variation.h"
+
+namespace rgleak::core {
+
+/// One process/temperature corner: a systematic shift of the nominal channel
+/// length (negative = fast/short) and a junction temperature.
+struct ProcessCorner {
+  std::string name;
+  double delta_l_nm = 0.0;
+  double temperature_c = 25.0;
+};
+
+/// The classic 6-corner set: {SS, TT, FF} x {25C, 110C}, with +/- 1 sigma_dd
+/// systematic L shifts.
+std::vector<ProcessCorner> standard_corners(double sigma_shift_nm);
+
+struct CornerResult {
+  ProcessCorner corner;
+  LeakageEstimate estimate;
+};
+
+struct CornerAnalysisOptions {
+  double signal_probability = 0.5;
+  double site_pitch_nm = 1500.0;
+  /// Rebuilds the library for a corner's technology parameters. Defaults to
+  /// the virtual 90 nm builder.
+  std::function<cells::StdCellLibrary(const device::TechnologyParams&)> library_factory;
+};
+
+/// Runs the constant-inputs estimate at every corner. The corner shifts the
+/// process mean length and re-targets the device model to the corner
+/// temperature; statistical sigmas are unchanged (corner = systematic shift).
+std::vector<CornerResult> analyze_corners(const device::TechnologyParams& base_tech,
+                                          const process::ProcessVariation& base_process,
+                                          const netlist::UsageHistogram& usage,
+                                          std::size_t gate_count,
+                                          const std::vector<ProcessCorner>& corners,
+                                          const CornerAnalysisOptions& options = {});
+
+/// The corner with the largest mean + 3 sigma (the sign-off number).
+const CornerResult& worst_corner(const std::vector<CornerResult>& results);
+
+}  // namespace rgleak::core

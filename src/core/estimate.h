@@ -1,0 +1,18 @@
+#pragma once
+// Result type shared by all full-chip leakage estimators.
+
+#include <cmath>
+
+namespace rgleak::core {
+
+/// Mean and standard deviation of total chip leakage (nA).
+struct LeakageEstimate {
+  double mean_na = 0.0;
+  double sigma_na = 0.0;
+
+  double variance_na2() const { return sigma_na * sigma_na; }
+  /// Coefficient of variation sigma/mean.
+  double cv() const { return mean_na > 0.0 ? sigma_na / mean_na : 0.0; }
+};
+
+}  // namespace rgleak::core

@@ -1,0 +1,201 @@
+#include "core/estimators.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace rgleak::core {
+
+LeakageEstimate estimate_linear(const RandomGate& rg, const placement::Floorplan& fp) {
+  const std::size_t k = fp.rows, m = fp.cols;
+  const double n = static_cast<double>(fp.num_sites());
+  double var = 0.0;
+  // Signed offsets (i, j) folded to i, j >= 0 with multiplicity 2 per nonzero
+  // axis; n_ij = (m - i)(k - j) occurrences per signed offset (eq. (16)).
+  for (std::size_t i = 0; i < m; ++i) {
+    const double wx = (i == 0 ? 1.0 : 2.0) * static_cast<double>(m - i);
+    const double dx = static_cast<double>(i) * fp.site_w_nm;
+    for (std::size_t j = 0; j < k; ++j) {
+      const double wy = (j == 0 ? 1.0 : 2.0) * static_cast<double>(k - j);
+      const double dy = static_cast<double>(j) * fp.site_h_nm;
+      var += wx * wy * rg.covariance_at_offset(dx, dy);
+    }
+  }
+  LeakageEstimate e;
+  e.mean_na = n * rg.mean_na();
+  e.sigma_na = std::sqrt(var);
+  return e;
+}
+
+LeakageEstimate estimate_integral_rect(const RandomGate& rg, const placement::Floorplan& fp,
+                                       const math::QuadratureOptions& opts) {
+  const double w = fp.width_nm(), h = fp.height_nm();
+  const double n = static_cast<double>(fp.num_sites());
+  const double area = fp.area_nm2();
+  // Eq. (20): 4 n^2/A^2 * int_0^W int_0^H (W-x)(H-y) C(sqrt(x^2+y^2)) dy dx,
+  // with C(r) = sigma_XI^2 rho_XI(r) = F(rho_L(r)).
+  const double integral = math::integrate_2d_adaptive(
+      [&](double x, double y) { return (w - x) * (h - y) * rg.covariance_at_offset(x, y); },
+      0.0, w, 0.0, h, opts);
+  LeakageEstimate e;
+  e.mean_na = n * rg.mean_na();
+  e.sigma_na = std::sqrt(std::max(0.0, 4.0 * n * n / (area * area) * integral));
+  return e;
+}
+
+LeakageEstimate estimate_integral_polar(const RandomGate& rg, const placement::Floorplan& fp,
+                                        const math::QuadratureOptions& opts, bool* used_polar) {
+  const double w = fp.width_nm(), h = fp.height_nm();
+  const double d_max = rg.process().wid_correlation_range_nm();
+  if (d_max >= std::min(w, h) || !rg.process().is_isotropic()) {
+    // Validity conditions of section 3.2.2 not met (the polar reduction
+    // additionally needs an isotropic kernel); use the 2-D form.
+    if (used_polar != nullptr) *used_polar = false;
+    return estimate_integral_rect(rg, fp, opts);
+  }
+  if (used_polar != nullptr) *used_polar = true;
+
+  const double n = static_cast<double>(fp.num_sites());
+  const double area = fp.area_nm2();
+  const double c_floor = rg.covariance_floor_na2();
+
+  // g(r) of eq. (24): the analytic angular integral.
+  const auto g = [&](double r) { return 0.5 * r * r - (w + h) * r + 0.5 * M_PI * w * h; };
+  // Eq. (26): split C(r) into a constant D2D part and a compact-support part.
+  const double integral = math::integrate_adaptive(
+      [&](double r) { return (rg.covariance_at_distance(r) - c_floor) * r * g(r); }, 0.0, d_max,
+      opts);
+
+  LeakageEstimate e;
+  e.mean_na = n * rg.mean_na();
+  const double var = 4.0 * n * n / (area * area) * integral + n * n * c_floor;
+  e.sigma_na = std::sqrt(std::max(0.0, var));
+  return e;
+}
+
+ExactEstimator::ExactEstimator(const charlib::CharacterizedLibrary& chars,
+                               double signal_probability, CorrelationMode mode)
+    : chars_(&chars), signal_probability_(signal_probability), mode_(mode) {
+  num_types_ = chars.size();
+  effective_.resize(num_types_);
+  proc_sigma_.resize(num_types_);
+  state_probs_.resize(num_types_);
+  for (std::size_t i = 0; i < num_types_; ++i) {
+    state_probs_[i] = chars.state_probabilities(i, signal_probability);
+    effective_[i] = chars.effective(i, state_probs_[i]);
+    // State-weighted process sigma: the component of spread that is shared
+    // through L (state choice is independent across gates and must not enter
+    // cross covariances; cf. eq. (10)).
+    double ps = 0.0;
+    for (std::size_t s = 0; s < state_probs_[i].size(); ++s)
+      ps += state_probs_[i][s] * chars.cell(i).states[s].sigma_na;
+    proc_sigma_[i] = ps;
+  }
+  if (mode_ == CorrelationMode::kAnalytic) {
+    RGLEAK_REQUIRE(chars.has_models(),
+                   "analytic correlation mode needs an analytically characterized library");
+    pair_grid_.resize(num_types_ * num_types_);
+  }
+}
+
+double ExactEstimator::exact_pair_covariance(std::size_t m, std::size_t n, double rho_l) const {
+  const double mu_l = chars_->process().length().mean_nm;
+  const double sigma_l = chars_->process().length().sigma_total_nm();
+  const auto& cm = chars_->cell(m);
+  const auto& cn = chars_->cell(n);
+  double cov = 0.0;
+  for (std::size_t sm = 0; sm < cm.states.size(); ++sm) {
+    const double pm = state_probs_[m][sm];
+    if (pm == 0.0) continue;
+    for (std::size_t sn = 0; sn < cn.states.size(); ++sn) {
+      const double pn = state_probs_[n][sn];
+      if (pn == 0.0) continue;
+      cov += pm * pn *
+             (charlib::pair_product_expectation(*cm.states[sm].model, *cn.states[sn].model, mu_l,
+                                                sigma_l, rho_l) -
+              cm.states[sm].mean_na * cn.states[sn].mean_na);
+    }
+  }
+  return cov;
+}
+
+const std::vector<double>& ExactEstimator::pair_grid(std::size_t m, std::size_t n) const {
+  auto& slot = pair_grid_[m * num_types_ + n];
+  if (!slot) {
+    std::vector<double> grid(kRhoGrid);
+    for (std::size_t i = 0; i < kRhoGrid; ++i) {
+      const double rho = static_cast<double>(i) / static_cast<double>(kRhoGrid - 1);
+      grid[i] = exact_pair_covariance(m, n, rho);
+    }
+    slot = std::move(grid);
+    if (m != n) pair_grid_[n * num_types_ + m] = slot;  // symmetric
+  }
+  return *slot;
+}
+
+double ExactEstimator::type_covariance(std::size_t type_m, std::size_t type_n,
+                                       double rho_l) const {
+  RGLEAK_REQUIRE(type_m < num_types_ && type_n < num_types_, "cell type out of range");
+  RGLEAK_REQUIRE(rho_l >= 0.0 && rho_l <= 1.0, "rho_L must be in [0, 1]");
+  if (mode_ == CorrelationMode::kSimplified)
+    return proc_sigma_[type_m] * proc_sigma_[type_n] * rho_l;
+  const std::vector<double>& grid = pair_grid(type_m, type_n);
+  const double pos = rho_l * static_cast<double>(kRhoGrid - 1);
+  const auto idx = std::min(static_cast<std::size_t>(pos), kRhoGrid - 2);
+  const double frac = pos - static_cast<double>(idx);
+  return grid[idx] + frac * (grid[idx + 1] - grid[idx]);
+}
+
+LeakageEstimate ExactEstimator::estimate(const placement::Placement& placement) const {
+  const netlist::Netlist& nl = placement.netlist();
+  const std::size_t n = nl.size();
+  const placement::Floorplan& fp = placement.floorplan();
+
+  // Pre-resolve gate types and warm the pair grids for used types.
+  std::vector<std::size_t> type(n);
+  for (std::size_t i = 0; i < n; ++i) type[i] = nl.gate(i).cell_index;
+  if (mode_ == CorrelationMode::kAnalytic) {
+    std::vector<bool> used(num_types_, false);
+    for (std::size_t t : type) used[t] = true;
+    for (std::size_t a = 0; a < num_types_; ++a)
+      for (std::size_t b = a; b < num_types_; ++b)
+        if (used[a] && used[b]) (void)pair_grid(a, b);
+  }
+
+  // Per-offset length correlation: distances on the grid repeat, so compute
+  // rho_L once per (|drow|, |dcol|) offset.
+  const std::size_t k = fp.rows, m = fp.cols;
+  std::vector<double> rho(k * m);
+  for (std::size_t j = 0; j < k; ++j)
+    for (std::size_t i = 0; i < m; ++i) {
+      rho[j * m + i] = chars_->process().total_length_correlation_xy(
+          static_cast<double>(i) * fp.site_w_nm, static_cast<double>(j) * fp.site_h_nm);
+    }
+
+  double mean = 0.0, var = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean += effective_[type[i]].mean_na;
+  for (std::size_t a = 0; a < n; ++a) {
+    const std::size_t ra = a / m, ca = a % m;
+    const double sa = effective_[type[a]].sigma_na;
+    // Diagonal: same gate, same location -> its own variance.
+    var += sa * sa;
+    for (std::size_t b = a + 1; b < n; ++b) {
+      const std::size_t rb = b / m, cb = b % m;
+      const std::size_t dr = ra > rb ? ra - rb : rb - ra;
+      const std::size_t dc = ca > cb ? ca - cb : cb - ca;
+      var += 2.0 * type_covariance(type[a], type[b], rho[dr * m + dc]);
+    }
+  }
+  LeakageEstimate e;
+  e.mean_na = mean;
+  e.sigma_na = std::sqrt(std::max(0.0, var));
+  return e;
+}
+
+double vt_mean_factor(const process::VtVariation& vt, const device::TechnologyParams& tech) {
+  const double n_vt = tech.subthreshold_n * tech.thermal_vt_v;
+  const double z = vt.sigma_v / n_vt;
+  return std::exp(0.5 * z * z);
+}
+
+}  // namespace rgleak::core

@@ -1,0 +1,82 @@
+#pragma once
+// The three full-chip estimators of section 3, plus the O(n^2) exact baseline:
+//
+//  * estimate_linear      — eq. (17): exact distance-histogram transformation
+//                           of the pairwise sum; O(n) in the site count.
+//  * estimate_integral_rect — eq. (20): 2-D rectangular-coordinate integral;
+//                           O(1) in the site count.
+//  * estimate_integral_polar — eqs (25)/(26): 1-D polar integral with the D2D
+//                           constant split; O(1); requires the WID correlation
+//                           range to fit inside min(W, H), else falls back to
+//                           the 2-D form.
+//  * ExactEstimator       — the "true leakage" of a specific placed design:
+//                           full pairwise covariance sum, O(n^2). This is the
+//                           baseline the paper compares against (Table 1,
+//                           Fig. 6).
+
+#include <optional>
+#include <vector>
+
+#include "core/estimate.h"
+#include "core/random_gate.h"
+#include "math/quadrature.h"
+#include "placement/placement.h"
+
+namespace rgleak::core {
+
+/// Eq. (17): exact O(n) evaluation of the RG-array leakage variance over a
+/// k x m floorplan; mean = n * mu_XI.
+LeakageEstimate estimate_linear(const RandomGate& rg, const placement::Floorplan& fp);
+
+/// Eq. (20): constant-time 2-D integral approximation (rectangular
+/// coordinates). `opts` controls the quadrature tolerances.
+LeakageEstimate estimate_integral_rect(const RandomGate& rg, const placement::Floorplan& fp,
+                                       const math::QuadratureOptions& opts = {});
+
+/// Eqs (25)-(26): constant-time 1-D polar integral with the D2D split. Falls
+/// back to the rectangular form when D_max >= min(W, H) (the paper's validity
+/// condition); `used_polar`, when given, reports which path ran.
+LeakageEstimate estimate_integral_polar(const RandomGate& rg, const placement::Floorplan& fp,
+                                        const math::QuadratureOptions& opts = {},
+                                        bool* used_polar = nullptr);
+
+/// The O(n^2) "true leakage" of a placed design. The covariance between two
+/// placed gates mixes the per-state pairwise covariances of their cell types
+/// under the signal-probability state distribution; in analytic mode these
+/// come from the f_{m,n} mapping (cached per type pair on a rho grid), in
+/// simplified mode cov = sigma_m sigma_n rho_L(d).
+class ExactEstimator {
+ public:
+  ExactEstimator(const charlib::CharacterizedLibrary& chars, double signal_probability,
+                 CorrelationMode mode);
+
+  /// Full pairwise estimate for a placed netlist.
+  LeakageEstimate estimate(const placement::Placement& placement) const;
+
+  /// Pairwise covariance of cell types (m, n) at length correlation rho_l
+  /// (exposed for validation).
+  double type_covariance(std::size_t type_m, std::size_t type_n, double rho_l) const;
+
+ private:
+  const charlib::CharacterizedLibrary* chars_;
+  double signal_probability_;
+  CorrelationMode mode_;
+  std::vector<charlib::EffectiveCellStats> effective_;     // per library cell
+  std::vector<double> proc_sigma_;                         // state-weighted process sigma
+  std::vector<std::vector<double>> state_probs_;           // per library cell
+
+  // Analytic mode: per type pair, covariance sampled on a uniform rho grid.
+  static constexpr std::size_t kRhoGrid = 33;
+  mutable std::vector<std::optional<std::vector<double>>> pair_grid_;  // p*p entries
+  std::size_t num_types_ = 0;
+
+  const std::vector<double>& pair_grid(std::size_t m, std::size_t n) const;
+  double exact_pair_covariance(std::size_t m, std::size_t n, double rho_l) const;
+};
+
+/// Multiplicative correction to the chip mean leakage from random Vt
+/// variation (section 2.1): E[exp(-dVt/(n vT))] = exp(sigma_vt^2/(2 (n vT)^2))
+/// for dVt ~ N(0, sigma_vt^2) — the log-normal mean term of [Rao'04/Helms'06].
+double vt_mean_factor(const process::VtVariation& vt, const device::TechnologyParams& tech);
+
+}  // namespace rgleak::core

@@ -1,0 +1,83 @@
+#include "core/floorplan_optimizer.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace rgleak::core {
+
+FloorplanOptimizerResult optimize_floorplan(MultiBlockEstimator& estimator,
+                                            const FloorplanOptimizerOptions& options) {
+  RGLEAK_REQUIRE(options.iterations >= 1, "optimizer needs at least one iteration");
+  RGLEAK_REQUIRE(options.initial_temperature > 0.0 &&
+                     options.final_temperature > 0.0 &&
+                     options.final_temperature <= options.initial_temperature,
+                 "invalid annealing schedule");
+  const std::size_t nb = estimator.num_blocks();
+
+  // Swappable pairs: identical extents.
+  std::vector<std::pair<std::size_t, std::size_t>> swappable;
+  for (std::size_t i = 0; i < nb; ++i)
+    for (std::size_t j = i + 1; j < nb; ++j)
+      if (estimator.block(i).cols == estimator.block(j).cols &&
+          estimator.block(i).rows == estimator.block(j).rows)
+        swappable.emplace_back(i, j);
+  RGLEAK_REQUIRE(!swappable.empty(),
+                 "optimizer needs at least one pair of equal-extent blocks");
+
+  const auto snapshot = [&] {
+    std::vector<std::pair<std::size_t, std::size_t>> pos(nb);
+    for (std::size_t b = 0; b < nb; ++b)
+      pos[b] = {estimator.block(b).col0, estimator.block(b).row0};
+    return pos;
+  };
+
+  math::Rng rng(options.seed);
+  FloorplanOptimizerResult result;
+  double sigma = estimator.chip_estimate().sigma_na;
+  result.initial_sigma_na = sigma;
+  double best_sigma = sigma;
+  auto best_pos = snapshot();
+
+  const double cool = std::pow(options.final_temperature / options.initial_temperature,
+                               1.0 / static_cast<double>(options.iterations));
+  double temperature = options.initial_temperature * result.initial_sigma_na;
+
+  for (std::size_t it = 0; it < options.iterations; ++it, temperature *= cool) {
+    const auto [a, b] = swappable[rng.uniform_index(swappable.size())];
+    estimator.swap_block_positions(a, b);
+    const double candidate = estimator.chip_estimate().sigma_na;
+    const double delta = candidate - sigma;
+    if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temperature)) {
+      sigma = candidate;
+      ++result.accepted_moves;
+      if (sigma < best_sigma) {
+        best_sigma = sigma;
+        best_pos = snapshot();
+      }
+    } else {
+      estimator.swap_block_positions(a, b);  // revert
+    }
+  }
+
+  // Restore the best assignment found. Both the current and the best layouts
+  // occupy the same slot set (only swaps were applied), so the restore is a
+  // sequence of swaps — never a transiently-overlapping move.
+  auto current = snapshot();
+  for (std::size_t b = 0; b < nb; ++b) {
+    if (current[b] == best_pos[b]) continue;
+    for (std::size_t j = b + 1; j < nb; ++j) {
+      if (current[j] == best_pos[b]) {
+        estimator.swap_block_positions(b, j);
+        std::swap(current[b], current[j]);
+        break;
+      }
+    }
+    RGLEAK_REQUIRE(current[b] == best_pos[b], "restore failed to realize best layout");
+  }
+  result.final_sigma_na = estimator.chip_estimate().sigma_na;
+  result.positions = best_pos;
+  return result;
+}
+
+}  // namespace rgleak::core

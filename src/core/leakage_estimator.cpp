@@ -1,0 +1,68 @@
+#include "core/leakage_estimator.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace rgleak::core {
+
+placement::Floorplan floorplan_for_design(const DesignCharacteristics& design) {
+  RGLEAK_REQUIRE(design.gate_count >= 1, "design needs at least one gate");
+  RGLEAK_REQUIRE(design.width_nm > 0.0 && design.height_nm > 0.0,
+                 "design needs positive layout dimensions");
+  const double n = static_cast<double>(design.gate_count);
+  const double aspect = design.height_nm / design.width_nm;
+  placement::Floorplan fp;
+  fp.rows = static_cast<std::size_t>(std::max(1.0, std::round(std::sqrt(n * aspect))));
+  fp.cols = (design.gate_count + fp.rows - 1) / fp.rows;
+  fp.site_w_nm = design.width_nm / static_cast<double>(fp.cols);
+  fp.site_h_nm = design.height_nm / static_cast<double>(fp.rows);
+  return fp;
+}
+
+LeakageEstimator::LeakageEstimator(const charlib::CharacterizedLibrary& chars,
+                                   EstimatorConfig config)
+    : chars_(&chars), config_(config) {
+  RGLEAK_REQUIRE(config_.signal_probability >= 0.0 && config_.signal_probability <= 1.0,
+                 "signal probability must be in [0, 1]");
+}
+
+double LeakageEstimator::resolve_signal_probability(const netlist::UsageHistogram& usage) const {
+  if (config_.maximize_signal_probability)
+    return max_leakage_signal_probability(*chars_, usage);
+  return config_.signal_probability;
+}
+
+RandomGate LeakageEstimator::make_random_gate(const netlist::UsageHistogram& usage) const {
+  return RandomGate(*chars_, usage, resolve_signal_probability(usage),
+                    config_.correlation_mode);
+}
+
+LeakageEstimate LeakageEstimator::estimate(const DesignCharacteristics& design) const {
+  const placement::Floorplan fp = floorplan_for_design(design);
+  const RandomGate rg = make_random_gate(design.usage);
+
+  EstimationMethod method = config_.method;
+  if (method == EstimationMethod::kAuto)
+    method = design.gate_count <= 10000 ? EstimationMethod::kLinear
+                                        : EstimationMethod::kIntegralPolar;
+
+  LeakageEstimate e;
+  switch (method) {
+    case EstimationMethod::kLinear:
+      e = estimate_linear(rg, fp);
+      break;
+    case EstimationMethod::kIntegralRect:
+      e = estimate_integral_rect(rg, fp);
+      break;
+    case EstimationMethod::kIntegralPolar:
+    case EstimationMethod::kAuto:
+      e = estimate_integral_polar(rg, fp);
+      break;
+  }
+  if (config_.apply_vt_mean_factor)
+    e.mean_na *= vt_mean_factor(chars_->process().vt(), chars_->library().tech());
+  return e;
+}
+
+}  // namespace rgleak::core

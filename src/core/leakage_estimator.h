@@ -1,0 +1,71 @@
+#pragma once
+// Top-level facade: the block diagram of Fig. 1. Given the process, the
+// characterized library, and the high-level design characteristics —
+// (expected or extracted) usage histogram, gate count, and layout dimensions
+// — produce the full-chip leakage mean and sigma with the configured
+// estimator.
+
+#include <cstddef>
+#include <optional>
+
+#include "core/estimate.h"
+#include "core/estimators.h"
+#include "core/random_gate.h"
+#include "core/signal_probability.h"
+
+namespace rgleak::core {
+
+/// The four high-level characteristics of section 2.2 (the library itself is
+/// carried by the CharacterizedLibrary).
+struct DesignCharacteristics {
+  netlist::UsageHistogram usage;
+  std::size_t gate_count = 0;
+  double width_nm = 0.0;
+  double height_nm = 0.0;
+};
+
+/// Which estimator evaluates the RG-array variance.
+enum class EstimationMethod {
+  kLinear,        ///< eq. (17), O(n)
+  kIntegralRect,  ///< eq. (20), O(1)
+  kIntegralPolar, ///< eqs (25)/(26), O(1)
+  kAuto,          ///< linear below 10k gates, polar above (paper's suggestion)
+};
+
+struct EstimatorConfig {
+  /// Fixed signal probability; ignored when maximize_signal_probability.
+  double signal_probability = 0.5;
+  /// Use the conservative max-mean setting of section 2.1.4.
+  bool maximize_signal_probability = true;
+  CorrelationMode correlation_mode = CorrelationMode::kAnalytic;
+  EstimationMethod method = EstimationMethod::kAuto;
+  /// Apply the random-Vt multiplicative mean correction.
+  bool apply_vt_mean_factor = true;
+};
+
+/// Builds the k x m RG floorplan matching a design's gate count and layout
+/// dimensions (rows/cols chosen so sites tile W x H and rows*cols >= n, as
+/// close to n as possible).
+placement::Floorplan floorplan_for_design(const DesignCharacteristics& design);
+
+class LeakageEstimator {
+ public:
+  LeakageEstimator(const charlib::CharacterizedLibrary& chars, EstimatorConfig config = {});
+
+  /// Full-chip mean/sigma for a candidate design (early or late mode).
+  LeakageEstimate estimate(const DesignCharacteristics& design) const;
+
+  /// The RG constructed for a design (exposed for validation/benchmarks).
+  RandomGate make_random_gate(const netlist::UsageHistogram& usage) const;
+
+  /// Signal probability that would be used for this usage distribution.
+  double resolve_signal_probability(const netlist::UsageHistogram& usage) const;
+
+  const EstimatorConfig& config() const { return config_; }
+
+ private:
+  const charlib::CharacterizedLibrary* chars_;
+  EstimatorConfig config_;
+};
+
+}  // namespace rgleak::core

@@ -1,0 +1,63 @@
+#include "core/multi_vt.h"
+
+#include <cmath>
+
+#include "core/estimators.h"
+#include "core/random_gate.h"
+#include "util/require.h"
+
+namespace rgleak::core {
+
+double alpha_power_delay_ratio(const device::TechnologyParams& tech, double vt_shift_v,
+                               double alpha) {
+  const double drive_base = tech.vdd_v - tech.vt0_n_v;
+  const double drive_shifted = tech.vdd_v - (tech.vt0_n_v + vt_shift_v);
+  RGLEAK_REQUIRE(drive_base > 0.0 && drive_shifted > 0.0,
+                 "Vt shift leaves no gate overdrive");
+  return std::pow(drive_base / drive_shifted, alpha);
+}
+
+std::vector<MultiVtPoint> hvt_tradeoff(const charlib::CharacterizedLibrary& chars,
+                                       const netlist::UsageHistogram& svt_usage,
+                                       const placement::Floorplan& floorplan,
+                                       double hvt_vt_shift_v, const MultiVtOptions& options) {
+  RGLEAK_REQUIRE(options.steps >= 2, "tradeoff sweep needs at least two steps");
+  svt_usage.validate();
+  RGLEAK_REQUIRE(svt_usage.alphas.size() == chars.size(), "histogram/library size mismatch");
+
+  const cells::StdCellLibrary& lib = chars.library();
+  // Resolve every used SVT cell's HVT sibling once.
+  std::vector<std::pair<std::size_t, std::size_t>> svt_to_hvt;  // (svt idx, hvt idx)
+  for (std::size_t i = 0; i < svt_usage.alphas.size(); ++i) {
+    if (svt_usage.alphas[i] == 0.0) continue;
+    const std::string hvt_name = lib.cell(i).name() + options.hvt_suffix;
+    RGLEAK_REQUIRE(lib.contains(hvt_name),
+                   "no HVT sibling for cell " + lib.cell(i).name());
+    svt_to_hvt.emplace_back(i, lib.index_of(hvt_name));
+  }
+  const double delay_ratio =
+      alpha_power_delay_ratio(lib.tech(), hvt_vt_shift_v, options.alpha);
+
+  std::vector<MultiVtPoint> curve;
+  curve.reserve(options.steps);
+  for (std::size_t s = 0; s < options.steps; ++s) {
+    const double f = static_cast<double>(s) / static_cast<double>(options.steps - 1);
+    netlist::UsageHistogram mixed;
+    mixed.alphas.assign(chars.size(), 0.0);
+    for (const auto& [svt, hvt] : svt_to_hvt) {
+      mixed.alphas[svt] = svt_usage.alphas[svt] * (1.0 - f);
+      mixed.alphas[hvt] = svt_usage.alphas[svt] * f;
+    }
+    const RandomGate rg(chars, mixed, options.signal_probability,
+                        CorrelationMode::kAnalytic);
+    MultiVtPoint pt;
+    pt.hvt_fraction = f;
+    pt.estimate = estimate_linear(rg, floorplan);
+    // Mean delay proxy: swapped cells slow by delay_ratio, others unchanged.
+    pt.delay_penalty = 1.0 + f * (delay_ratio - 1.0);
+    curve.push_back(pt);
+  }
+  return curve;
+}
+
+}  // namespace rgleak::core

@@ -1,0 +1,52 @@
+#pragma once
+// Dual-Vt leakage recovery analysis.
+//
+// The standard leakage knob: swap a fraction of the design's cells to
+// high-Vt variants (exponentially lower leakage, slower). This module sweeps
+// the HVT fraction and reports the full-chip leakage statistics alongside an
+// alpha-power-law delay proxy, so a designer can read "swap fraction f buys
+// X% leakage at Y% nominal-delay penalty" directly off the curve. Leakage is
+// exact through the RG machinery; the delay proxy is a first-order model
+// (delay ~ 1/(Vdd - Vt)^alpha), honest about being a proxy.
+
+#include <vector>
+
+#include "charlib/characterize.h"
+#include "core/estimate.h"
+#include "netlist/netlist.h"
+#include "placement/placement.h"
+
+namespace rgleak::core {
+
+struct MultiVtPoint {
+  double hvt_fraction = 0.0;
+  LeakageEstimate estimate;
+  /// Mean per-gate delay proxy relative to the all-SVT design (>= 1).
+  double delay_penalty = 1.0;
+};
+
+struct MultiVtOptions {
+  std::size_t steps = 11;       ///< sweep points over f in [0, 1]
+  double signal_probability = 0.5;
+  double alpha = 1.3;           ///< alpha-power-law exponent for the delay proxy
+  std::string hvt_suffix = "_HVT";
+};
+
+/// Sweeps the fraction of cells swapped from their SVT master to the HVT
+/// variant. `chars` must be a characterization of a multi-Vt library (every
+/// cell named in `svt_usage` must have a `<name><hvt_suffix>` sibling).
+/// `svt_usage` is the design histogram over SVT names (indices into the
+/// multi-Vt library).
+std::vector<MultiVtPoint> hvt_tradeoff(const charlib::CharacterizedLibrary& chars,
+                                       const netlist::UsageHistogram& svt_usage,
+                                       const placement::Floorplan& floorplan,
+                                       double hvt_vt_shift_v,
+                                       const MultiVtOptions& options = {});
+
+/// Alpha-power-law delay ratio of a cell with Vt shifted by dvt relative to
+/// the unshifted cell: ((Vdd - Vt0) / (Vdd - Vt0 - dvt... )) — i.e.
+/// (Vdd - Vt)^alpha ratio. Exposed for tests.
+double alpha_power_delay_ratio(const device::TechnologyParams& tech, double vt_shift_v,
+                               double alpha);
+
+}  // namespace rgleak::core

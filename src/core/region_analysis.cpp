@@ -1,0 +1,88 @@
+#include "core/region_analysis.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace rgleak::core {
+
+RegionAnalysis::RegionAnalysis(const RandomGate* rg, placement::Floorplan floorplan,
+                               std::size_t tiles_x, std::size_t tiles_y)
+    : rg_(rg), fp_(floorplan), tiles_x_(tiles_x), tiles_y_(tiles_y) {
+  RGLEAK_REQUIRE(rg_ != nullptr, "region analysis needs a random gate");
+  RGLEAK_REQUIRE(tiles_x >= 1 && tiles_y >= 1, "need at least one tile per axis");
+  RGLEAK_REQUIRE(fp_.cols % tiles_x == 0, "cols must divide evenly into tiles_x");
+  RGLEAK_REQUIRE(fp_.rows % tiles_y == 0, "rows must divide evenly into tiles_y");
+  tile_cols_ = fp_.cols / tiles_x;
+  tile_rows_ = fp_.rows / tiles_y;
+}
+
+// Sum of covariances over all site pairs between two tile_cols_ x tile_rows_
+// tiles whose origins differ by (col_offset_sites, row_offset_sites).
+double RegionAnalysis::pair_sum(long long col_offset, long long row_offset) const {
+  const auto mc = static_cast<long long>(tile_cols_);
+  const auto mr = static_cast<long long>(tile_rows_);
+  double total = 0.0;
+  // Column-difference histogram: count(dc) = mc - |dc - col_offset| for
+  // |dc - col_offset| < mc; likewise for rows.
+  for (long long dc = col_offset - mc + 1; dc <= col_offset + mc - 1; ++dc) {
+    const double wc = static_cast<double>(mc - std::llabs(dc - col_offset));
+    const double dx = static_cast<double>(dc) * fp_.site_w_nm;
+    for (long long dr = row_offset - mr + 1; dr <= row_offset + mr - 1; ++dr) {
+      const double wr = static_cast<double>(mr - std::llabs(dr - row_offset));
+      const double dy = static_cast<double>(dr) * fp_.site_h_nm;
+      total += wc * wr * rg_->covariance_at_offset(dx, dy);
+    }
+  }
+  return total;
+}
+
+LeakageEstimate RegionAnalysis::tile_estimate() const {
+  LeakageEstimate e;
+  e.mean_na = static_cast<double>(tile_sites()) * rg_->mean_na();
+  e.sigma_na = std::sqrt(pair_sum(0, 0));
+  return e;
+}
+
+double RegionAnalysis::tile_covariance(std::size_t tx1, std::size_t ty1, std::size_t tx2,
+                                       std::size_t ty2) const {
+  RGLEAK_REQUIRE(tx1 < tiles_x_ && tx2 < tiles_x_, "tile x index out of range");
+  RGLEAK_REQUIRE(ty1 < tiles_y_ && ty2 < tiles_y_, "tile y index out of range");
+  const long long dc = (static_cast<long long>(tx2) - static_cast<long long>(tx1)) *
+                       static_cast<long long>(tile_cols_);
+  const long long dr = (static_cast<long long>(ty2) - static_cast<long long>(ty1)) *
+                       static_cast<long long>(tile_rows_);
+  return pair_sum(dc, dr);
+}
+
+double RegionAnalysis::tile_correlation(std::size_t tx1, std::size_t ty1, std::size_t tx2,
+                                        std::size_t ty2) const {
+  const double var = pair_sum(0, 0);
+  RGLEAK_REQUIRE(var > 0.0, "tile variance is zero");
+  return tile_covariance(tx1, ty1, tx2, ty2) / var;
+}
+
+math::Matrix RegionAnalysis::covariance_matrix() const {
+  const std::size_t t = tiles_x_ * tiles_y_;
+  math::Matrix cov(t, t);
+  for (std::size_t a = 0; a < t; ++a) {
+    for (std::size_t b = a; b < t; ++b) {
+      const double c = tile_covariance(a % tiles_x_, a / tiles_x_, b % tiles_x_, b / tiles_x_);
+      cov(a, b) = cov(b, a) = c;
+    }
+  }
+  return cov;
+}
+
+LeakageEstimate RegionAnalysis::chip_estimate() const {
+  const math::Matrix cov = covariance_matrix();
+  double var = 0.0;
+  for (std::size_t a = 0; a < cov.rows(); ++a)
+    for (std::size_t b = 0; b < cov.cols(); ++b) var += cov(a, b);
+  LeakageEstimate e;
+  e.mean_na = static_cast<double>(fp_.num_sites()) * rg_->mean_na();
+  e.sigma_na = std::sqrt(var);
+  return e;
+}
+
+}  // namespace rgleak::core

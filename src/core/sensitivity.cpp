@@ -1,0 +1,82 @@
+#include "core/sensitivity.h"
+
+#include <cmath>
+#include <functional>
+
+#include "charlib/characterize.h"
+#include "core/estimators.h"
+#include "core/random_gate.h"
+#include "util/require.h"
+
+namespace rgleak::core {
+
+namespace {
+
+LeakageEstimate estimate_at(const cells::StdCellLibrary& library,
+                            const process::ProcessVariation& process,
+                            const netlist::UsageHistogram& usage, std::size_t gate_count,
+                            double pitch, double signal_probability) {
+  const charlib::CharacterizedLibrary chars = charlib::characterize_analytic(library, process);
+  const RandomGate rg(chars, usage, signal_probability, CorrelationMode::kAnalytic);
+  return estimate_linear(rg, placement::Floorplan::for_gate_count(gate_count, pitch, pitch));
+}
+
+}  // namespace
+
+std::vector<SensitivityEntry> process_sensitivities(
+    const cells::StdCellLibrary& library, const process::ProcessVariation& base,
+    const netlist::UsageHistogram& usage, std::size_t gate_count, double site_pitch_nm,
+    const SensitivityOptions& options) {
+  RGLEAK_REQUIRE(options.step > 0.0 && options.step < 0.5, "step must be in (0, 0.5)");
+  usage.validate();
+
+  const double h = options.step;
+  const double dlogx = std::log(1.0 + h) - std::log(1.0 - h);
+
+  // Rebuilds a process with one knob scaled by `factor`.
+  const std::string family = base.wid_correlation().name();
+  const double base_scale = process::correlation_scale_nm(base.wid_correlation());
+  const auto perturbed = [&](const std::string& knob,
+                             double factor) -> process::ProcessVariation {
+    process::LengthVariation len = base.length();
+    double scale = base_scale;
+    if (knob == "mean_l") len.mean_nm *= factor;
+    if (knob == "sigma_d2d") len.sigma_d2d_nm *= factor;
+    if (knob == "sigma_wid") len.sigma_wid_nm *= factor;
+    if (knob == "corr_length") scale *= factor;
+    return process::ProcessVariation(len, base.vt(),
+                                     process::make_correlation(family, scale),
+                                     base.anisotropy());
+  };
+
+  struct Knob {
+    const char* name;
+    double base_value;
+  };
+  const std::vector<Knob> knobs = {
+      {"mean_l", base.length().mean_nm},
+      {"sigma_d2d", base.length().sigma_d2d_nm},
+      {"sigma_wid", base.length().sigma_wid_nm},
+      {"corr_length", base_scale},
+  };
+
+  std::vector<SensitivityEntry> out;
+  for (const Knob& knob : knobs) {
+    if (knob.base_value == 0.0) continue;  // elasticity undefined
+    const LeakageEstimate up = estimate_at(library, perturbed(knob.name, 1.0 + h), usage,
+                                           gate_count, site_pitch_nm,
+                                           options.signal_probability);
+    const LeakageEstimate down = estimate_at(library, perturbed(knob.name, 1.0 - h), usage,
+                                             gate_count, site_pitch_nm,
+                                             options.signal_probability);
+    SensitivityEntry e;
+    e.parameter = knob.name;
+    e.base_value = knob.base_value;
+    e.mean_elasticity = (std::log(up.mean_na) - std::log(down.mean_na)) / dlogx;
+    e.sigma_elasticity = (std::log(up.sigma_na) - std::log(down.sigma_na)) / dlogx;
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace rgleak::core

@@ -1,0 +1,45 @@
+#pragma once
+// Process-sensitivity analysis for design planning.
+//
+// "Which process knob moves my leakage spread?" — the estimator chain makes
+// this cheap to answer: re-characterize at perturbed corners and difference
+// the chip statistics. Central differences over the four first-order knobs:
+// nominal length, D2D sigma, WID sigma, and the WID correlation length.
+// Reported as relative sensitivities d(ln y)/d(ln x) so the knobs are
+// comparable.
+
+#include <string>
+#include <vector>
+
+#include "cells/library.h"
+#include "core/estimate.h"
+#include "netlist/netlist.h"
+#include "process/variation.h"
+
+namespace rgleak::core {
+
+/// Sensitivity of the chip mean and sigma to one process parameter.
+struct SensitivityEntry {
+  std::string parameter;
+  double base_value = 0.0;
+  /// d(ln mean)/d(ln parameter) and d(ln sigma)/d(ln parameter).
+  double mean_elasticity = 0.0;
+  double sigma_elasticity = 0.0;
+};
+
+struct SensitivityOptions {
+  /// Relative perturbation for the central differences.
+  double step = 0.05;
+  double signal_probability = 0.5;
+};
+
+/// Computes elasticities of the full-chip estimate (linear method on a
+/// floorplan sized for `gate_count` at `site_pitch_nm`) with respect to the
+/// process knobs. The correlation-length knob requires the WID model to be
+/// one of the factory families (it is rebuilt by name at the scaled length).
+std::vector<SensitivityEntry> process_sensitivities(
+    const cells::StdCellLibrary& library, const process::ProcessVariation& base,
+    const netlist::UsageHistogram& usage, std::size_t gate_count,
+    double site_pitch_nm = 1500.0, const SensitivityOptions& options = {});
+
+}  // namespace rgleak::core

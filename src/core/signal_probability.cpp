@@ -1,0 +1,60 @@
+#include "core/signal_probability.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace rgleak::core {
+
+namespace {
+
+SignalProbabilityPoint rg_stats_at(const charlib::CharacterizedLibrary& chars,
+                                   const netlist::UsageHistogram& usage, double p) {
+  double mean = 0.0, second = 0.0;
+  for (std::size_t ci = 0; ci < chars.size(); ++ci) {
+    if (usage.alphas[ci] == 0.0) continue;
+    const std::vector<double> sp = chars.state_probabilities(ci, p);
+    const charlib::EffectiveCellStats eff = chars.effective(ci, sp);
+    mean += usage.alphas[ci] * eff.mean_na;
+    second += usage.alphas[ci] * (eff.sigma_na * eff.sigma_na + eff.mean_na * eff.mean_na);
+  }
+  SignalProbabilityPoint pt;
+  pt.p = p;
+  pt.rg_mean_na = mean;
+  const double var = second - mean * mean;
+  pt.rg_sigma_na = var > 0.0 ? std::sqrt(var) : 0.0;
+  return pt;
+}
+
+}  // namespace
+
+std::vector<SignalProbabilityPoint> sweep_signal_probability(
+    const charlib::CharacterizedLibrary& chars, const netlist::UsageHistogram& usage,
+    std::size_t points) {
+  RGLEAK_REQUIRE(points >= 2, "sweep needs at least two points");
+  usage.validate();
+  RGLEAK_REQUIRE(usage.alphas.size() == chars.size(), "histogram/library size mismatch");
+  std::vector<SignalProbabilityPoint> curve;
+  curve.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double p = static_cast<double>(i) / static_cast<double>(points - 1);
+    curve.push_back(rg_stats_at(chars, usage, p));
+  }
+  return curve;
+}
+
+double max_leakage_signal_probability(const charlib::CharacterizedLibrary& chars,
+                                      const netlist::UsageHistogram& usage, std::size_t points) {
+  const auto curve = sweep_signal_probability(chars, usage, points);
+  double best_p = curve.front().p;
+  double best_mean = curve.front().rg_mean_na;
+  for (const auto& pt : curve) {
+    if (pt.rg_mean_na > best_mean) {
+      best_mean = pt.rg_mean_na;
+      best_p = pt.p;
+    }
+  }
+  return best_p;
+}
+
+}  // namespace rgleak::core

@@ -1,0 +1,35 @@
+#pragma once
+// Signal-probability handling (section 2.1.4 / Fig. 3).
+//
+// The probability p that any logic signal is 1 modulates the per-cell input
+// state distribution and hence the RG statistics. For large circuits the
+// effect on total leakage is mild (law of large numbers over states), and the
+// paper's conservative policy is: sweep p, pick the p that maximizes the RG
+// mean leakage, and use it for both mean and sigma.
+
+#include <vector>
+
+#include "charlib/characterize.h"
+#include "netlist/netlist.h"
+
+namespace rgleak::core {
+
+/// One point of the Fig.-3 sweep.
+struct SignalProbabilityPoint {
+  double p = 0.0;
+  double rg_mean_na = 0.0;   ///< per-gate (RG) mean leakage
+  double rg_sigma_na = 0.0;  ///< per-gate (RG) sigma
+};
+
+/// Sweeps p over [0, 1] with `points` samples and returns the RG mean/sigma
+/// curve for the given usage distribution.
+std::vector<SignalProbabilityPoint> sweep_signal_probability(
+    const charlib::CharacterizedLibrary& chars, const netlist::UsageHistogram& usage,
+    std::size_t points = 21);
+
+/// The conservative setting: the p in the sweep that maximizes the RG mean.
+double max_leakage_signal_probability(const charlib::CharacterizedLibrary& chars,
+                                      const netlist::UsageHistogram& usage,
+                                      std::size_t points = 41);
+
+}  // namespace rgleak::core

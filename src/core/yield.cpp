@@ -1,0 +1,78 @@
+#include "core/yield.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace rgleak::core {
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double normal_quantile(double q) {
+  RGLEAK_REQUIRE(q > 0.0 && q < 1.0, "quantile probability must be in (0, 1)");
+  // Acklam's rational approximation with one Halley refinement step.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425, phigh = 1.0 - plow;
+  double x;
+  if (q < plow) {
+    const double u = std::sqrt(-2.0 * std::log(q));
+    x = (((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]) /
+        ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0);
+  } else if (q <= phigh) {
+    const double u = q - 0.5;
+    const double r = u * u;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * u /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double u = std::sqrt(-2.0 * std::log(1.0 - q));
+    x = -(((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]) /
+        ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0);
+  }
+  // Halley refinement against the exact CDF.
+  const double e = normal_cdf(x) - q;
+  const double pdf = std::exp(-0.5 * x * x) / std::sqrt(2.0 * M_PI);
+  const double u = e / pdf;
+  x -= u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+LeakageYieldModel::LeakageYieldModel(const LeakageEstimate& estimate,
+                                     LeakageDistribution shape)
+    : estimate_(estimate), shape_(shape) {
+  RGLEAK_REQUIRE(estimate.mean_na > 0.0, "yield model needs positive mean leakage");
+  RGLEAK_REQUIRE(estimate.sigma_na >= 0.0, "yield model needs non-negative sigma");
+  // Log-normal moment matching: if X ~ LN(mu, s^2) then
+  //   E X = exp(mu + s^2/2),  Var X = (exp(s^2) - 1) exp(2 mu + s^2).
+  const double cv2 = estimate.cv() * estimate.cv();
+  sigma_ln_ = std::sqrt(std::log1p(cv2));
+  mu_ln_ = std::log(estimate.mean_na) - 0.5 * sigma_ln_ * sigma_ln_;
+}
+
+double LeakageYieldModel::cdf(double budget_na) const {
+  if (budget_na <= 0.0) return 0.0;
+  if (estimate_.sigma_na == 0.0) return budget_na >= estimate_.mean_na ? 1.0 : 0.0;
+  if (shape_ == LeakageDistribution::kNormal)
+    return normal_cdf((budget_na - estimate_.mean_na) / estimate_.sigma_na);
+  return normal_cdf((std::log(budget_na) - mu_ln_) / sigma_ln_);
+}
+
+double LeakageYieldModel::quantile(double q) const {
+  RGLEAK_REQUIRE(q > 0.0 && q < 1.0, "quantile probability must be in (0, 1)");
+  if (estimate_.sigma_na == 0.0) return estimate_.mean_na;
+  const double z = normal_quantile(q);
+  if (shape_ == LeakageDistribution::kNormal)
+    return estimate_.mean_na + z * estimate_.sigma_na;
+  return std::exp(mu_ln_ + z * sigma_ln_);
+}
+
+}  // namespace rgleak::core

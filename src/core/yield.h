@@ -1,0 +1,50 @@
+#pragma once
+// Leakage yield analysis on top of the RG estimates.
+//
+// The estimators deliver the first two moments of total chip leakage. For
+// sign-off questions ("what fraction of dies exceeds the leakage budget?",
+// "what is the 99th-percentile leakage?") a distribution shape is needed.
+// Chip leakage is dominated by shared (D2D + long-range WID) variation acting
+// through an exponential, so a moment-matched log-normal is the standard
+// model ([Rao'04]); a normal model is provided for comparison (it
+// underestimates the upper tail).
+
+#include "core/estimate.h"
+
+namespace rgleak::core {
+
+enum class LeakageDistribution {
+  kLognormal,  ///< moment-matched log-normal (recommended)
+  kNormal,     ///< moment-matched normal (tail underestimate, for reference)
+};
+
+/// Distribution model fitted to a LeakageEstimate by moment matching.
+class LeakageYieldModel {
+ public:
+  /// Requires mean > 0 and sigma >= 0.
+  LeakageYieldModel(const LeakageEstimate& estimate,
+                    LeakageDistribution shape = LeakageDistribution::kLognormal);
+
+  /// P(total leakage <= budget_na).
+  double cdf(double budget_na) const;
+  /// Leakage yield: fraction of dies within budget (== cdf).
+  double yield(double budget_na) const { return cdf(budget_na); }
+  /// Inverse CDF: the leakage value not exceeded with probability q in (0,1).
+  double quantile(double q) const;
+
+  LeakageDistribution shape() const { return shape_; }
+  const LeakageEstimate& estimate() const { return estimate_; }
+
+ private:
+  LeakageEstimate estimate_;
+  LeakageDistribution shape_;
+  double mu_ln_ = 0.0, sigma_ln_ = 0.0;  // log-normal parameters
+};
+
+/// Standard normal CDF.
+double normal_cdf(double z);
+/// Inverse standard normal CDF (Acklam/Moro-style rational approximation,
+/// |error| < 1.2e-9). Requires q in (0, 1).
+double normal_quantile(double q);
+
+}  // namespace rgleak::core

@@ -1,0 +1,196 @@
+#include "device/network.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/require.h"
+
+namespace rgleak::device {
+
+Network Network::device(NetworkDevice d) {
+  Network n;
+  n.kind_ = Kind::kDevice;
+  n.device_ = d;
+  return n;
+}
+
+Network Network::series(std::vector<Network> children) {
+  RGLEAK_REQUIRE(!children.empty(), "series network needs children");
+  if (children.size() == 1) return std::move(children.front());
+  Network n;
+  n.kind_ = Kind::kSeries;
+  // Flatten nested series so the chain solver sees all internal nodes at once.
+  for (auto& c : children) {
+    if (c.kind_ == Kind::kSeries) {
+      for (auto& gc : c.children_) n.children_.push_back(std::move(gc));
+    } else {
+      n.children_.push_back(std::move(c));
+    }
+  }
+  return n;
+}
+
+Network Network::parallel(std::vector<Network> children) {
+  RGLEAK_REQUIRE(!children.empty(), "parallel network needs children");
+  if (children.size() == 1) return std::move(children.front());
+  Network n;
+  n.kind_ = Kind::kParallel;
+  for (auto& c : children) {
+    if (c.kind_ == Kind::kParallel) {
+      for (auto& gc : c.children_) n.children_.push_back(std::move(gc));
+    } else {
+      n.children_.push_back(std::move(c));
+    }
+  }
+  return n;
+}
+
+const NetworkDevice& Network::dev() const {
+  RGLEAK_REQUIRE(kind_ == Kind::kDevice, "dev() on a composite network");
+  return device_;
+}
+
+std::size_t Network::device_count() const {
+  if (kind_ == Kind::kDevice) return 1;
+  std::size_t n = 0;
+  for (const auto& c : children_) n += c.device_count();
+  return n;
+}
+
+void Network::collect_devices(std::vector<const NetworkDevice*>& out) const {
+  if (kind_ == Kind::kDevice) {
+    out.push_back(&device_);
+    return;
+  }
+  for (const auto& c : children_) c.collect_devices(out);
+}
+
+namespace {
+
+double device_current(const NetworkDevice& d, const NetworkEvalContext& ctx, double v_lo,
+                      double v_hi) {
+  RGLEAK_REQUIRE(ctx.tech != nullptr, "evaluation context missing technology");
+  RGLEAK_REQUIRE(d.gate_signal >= 0 &&
+                     static_cast<std::size_t>(d.gate_signal) < ctx.gate_voltage_v.size(),
+                 "gate signal index out of range");
+  const double vg = ctx.gate_voltage_v[static_cast<std::size_t>(d.gate_signal)];
+  const double dvt = (d.dvt_index >= 0 &&
+                      static_cast<std::size_t>(d.dvt_index) < ctx.dvt_v.size())
+                         ? ctx.dvt_v[static_cast<std::size_t>(d.dvt_index)]
+                         : 0.0;
+  const double vds = v_hi - v_lo;
+  if (d.type == DeviceType::kNmos) {
+    // Current flows drain (v_hi) -> source (v_lo); Vgs measured from source.
+    return subthreshold_current(*ctx.tech, DeviceType::kNmos, d.w_nm, ctx.l_nm, vg - v_lo, vds,
+                                dvt);
+  }
+  // PMOS: source is the high node; Vsg = v_hi - vg, Vsd = vds.
+  return subthreshold_current(*ctx.tech, DeviceType::kPmos, d.w_nm, ctx.l_nm, v_hi - vg, vds, dvt);
+}
+
+double element_current(const Network& n, const NetworkEvalContext& ctx, double v_lo, double v_hi);
+
+// Solves a series chain by current marching: for a trial chain current I,
+// walk the chain bottom-up inverting each element's monotone I-V curve to find
+// the voltage it consumes; the total consumed voltage is increasing in I, so
+// an outer bisection (in log-current, since stack currents span many decades)
+// pins the unique I whose march lands exactly on v_hi. Unlike nonlinear
+// Gauss-Seidel, this has no trouble with near-rigid links (an ON device
+// between OFF devices).
+double series_current(const Network& n, const NetworkEvalContext& ctx, double v_lo, double v_hi) {
+  const auto& ch = n.children();
+
+  if (ch.size() == 2) {
+    // Fast path: one internal node; bisect the (non-decreasing in v) current
+    // mismatch I_below(v_lo, v) - I_above(v, v_hi) directly.
+    double lo = v_lo, hi = v_hi;
+    for (int it = 0; it < 70 && hi - lo > 1e-16; ++it) {
+      const double v = 0.5 * (lo + hi);
+      if (element_current(ch[0], ctx, v_lo, v) > element_current(ch[1], ctx, v, v_hi)) {
+        hi = v;
+      } else {
+        lo = v;
+      }
+    }
+    const double v = 0.5 * (lo + hi);
+    // Report the smaller side: at the bisection limit the two are equal to
+    // solver precision, and taking the min avoids overstating the current
+    // when the node sits against a rail.
+    return std::min(element_current(ch[0], ctx, v_lo, v), element_current(ch[1], ctx, v, v_hi));
+  }
+
+  // Upper bound: no element can carry more than it would with the full swing
+  // across it.
+  double hi_i = std::numeric_limits<double>::infinity();
+  for (const auto& c : ch) hi_i = std::min(hi_i, element_current(c, ctx, v_lo, v_hi));
+  if (hi_i <= 0.0) return 0.0;
+
+  // Inverts one element: the voltage v_above in [v_below, v_hi] at which the
+  // element carries current i. Returns v_hi + 1 when even the full remaining
+  // swing cannot carry i (the march overshoots).
+  const auto invert = [&](const Network& e, double v_below, double i) {
+    if (element_current(e, ctx, v_below, v_hi) < i) return v_hi + 1.0;
+    double lo = v_below, hi = v_hi;
+    for (int it = 0; it < 64 && hi - lo > 1e-15; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      if (element_current(e, ctx, v_below, mid) < i) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return 0.5 * (lo + hi);
+  };
+
+  // March the chain for current i; returns the top voltage reached (or the
+  // overshoot marker > v_hi).
+  const auto march = [&](double i) {
+    double v = v_lo;
+    for (const auto& c : ch) {
+      v = invert(c, v, i);
+      if (v > v_hi) return v;
+    }
+    return v;
+  };
+
+  // Outer bisection on ln(I). The chain current cannot be more than ~e^53
+  // below the weakest element's full-swing current (ON/OFF current ratio
+  // bound), so 1e-36 relative is a safe floor.
+  double lo_log = std::log(hi_i * 1e-36);
+  double hi_log = std::log(hi_i);
+  for (int it = 0; it < 90; ++it) {
+    const double mid = 0.5 * (lo_log + hi_log);
+    if (march(std::exp(mid)) >= v_hi) {
+      hi_log = mid;
+    } else {
+      lo_log = mid;
+    }
+  }
+  return std::exp(0.5 * (lo_log + hi_log));
+}
+
+double element_current(const Network& n, const NetworkEvalContext& ctx, double v_lo, double v_hi) {
+  switch (n.kind()) {
+    case Network::Kind::kDevice:
+      return device_current(n.dev(), ctx, v_lo, v_hi);
+    case Network::Kind::kParallel: {
+      double s = 0.0;
+      for (const auto& c : n.children()) s += element_current(c, ctx, v_lo, v_hi);
+      return s;
+    }
+    case Network::Kind::kSeries:
+      return series_current(n, ctx, v_lo, v_hi);
+  }
+  throw NumericalError("element_current: unreachable network kind");
+}
+
+}  // namespace
+
+double network_current(const Network& network, const NetworkEvalContext& ctx, double v_lo_v,
+                       double v_hi_v) {
+  RGLEAK_REQUIRE(v_hi_v >= v_lo_v, "network_current needs v_hi >= v_lo");
+  if (v_hi_v == v_lo_v) return 0.0;
+  return element_current(network, ctx, v_lo_v, v_hi_v);
+}
+
+}  // namespace rgleak::device

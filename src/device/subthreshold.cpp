@@ -1,0 +1,50 @@
+#include "device/subthreshold.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace rgleak::device {
+
+TechnologyParams at_temperature(const TechnologyParams& reference, double kelvin) {
+  RGLEAK_REQUIRE(kelvin > 0.0, "temperature must be positive kelvin");
+  TechnologyParams t = reference;
+  const double tref = reference.temperature_k;
+  t.temperature_k = kelvin;
+  t.thermal_vt_v = reference.thermal_vt_v * kelvin / tref;
+  const double dvt = reference.vt_tempco_v_per_k * (kelvin - tref);
+  t.vt0_n_v = reference.vt0_n_v - dvt;
+  t.vt0_p_v = reference.vt0_p_v - dvt;
+  t.i0_na = reference.i0_na * std::sqrt(kelvin / tref);
+  return t;
+}
+
+double gate_tunneling_current(const TechnologyParams& tech, double w_nm, double l_nm) {
+  RGLEAK_REQUIRE(w_nm > 0.0 && l_nm > 0.0, "device geometry must be positive");
+  return tech.gate_leak_na_per_um2 * (w_nm * l_nm) * 1e-6;  // nm^2 -> um^2
+}
+
+double effective_vt(const TechnologyParams& tech, DeviceType type, double l_nm, double vds_v,
+                    double dvt_v) {
+  RGLEAK_REQUIRE(l_nm > 0.0, "channel length must be positive");
+  const double vt0 = type == DeviceType::kNmos ? tech.vt0_n_v : tech.vt0_p_v;
+  return vt0 - tech.sce_v0_v * std::exp(-l_nm / tech.sce_l_nm) - tech.dibl_eta * vds_v + dvt_v;
+}
+
+double subthreshold_current(const TechnologyParams& tech, DeviceType type, double w_nm,
+                            double l_nm, double vgs_v, double vds_v, double dvt_v) {
+  RGLEAK_REQUIRE(w_nm > 0.0, "device width must be positive");
+  RGLEAK_REQUIRE(vds_v >= 0.0, "solver must pass vds >= 0");
+  if (vds_v == 0.0) return 0.0;
+  const double vt_eff = effective_vt(tech, type, l_nm, vds_v, dvt_v);
+  const double n_vt = tech.subthreshold_n * tech.thermal_vt_v;
+  // Saturate the exponent in strong inversion: the network solver only needs
+  // an ON device to be orders of magnitude more conductive than an OFF one.
+  const double arg = std::min((vgs_v - vt_eff) / n_vt, 40.0);
+  const double i0 =
+      tech.i0_na * (type == DeviceType::kPmos ? tech.pmos_mobility_ratio : 1.0);
+  return i0 * (w_nm / l_nm) * std::exp(arg) * (1.0 - std::exp(-vds_v / tech.thermal_vt_v));
+}
+
+}  // namespace rgleak::device

@@ -1,0 +1,63 @@
+#pragma once
+// BSIM-flavored subthreshold leakage device model (substitute for the
+// commercial 90 nm SPICE models used in the paper; see DESIGN.md).
+//
+//   I_off = I0 * (W / L) * exp((Vgs - Vt_eff) / (n * vT)) * (1 - exp(-Vds / vT))
+//   Vt_eff(L, Vds) = Vt0 - Vsce * exp(-L / Lsce) - eta * Vds + dVt
+//
+// The exp(-L/Lsce) term is the short-channel Vt roll-off; it gives leakage its
+// strong (approximately log-quadratic) dependence on channel length, which is
+// exactly the property the paper's a*exp(bL + cL^2) fit captures. dVt is the
+// per-device random dopant fluctuation. Units: nm, V, nA.
+
+namespace rgleak::device {
+
+/// Technology constants of the virtual 90 nm process.
+struct TechnologyParams {
+  double vdd_v = 1.0;
+  double vt0_n_v = 0.35;        ///< long-channel NMOS threshold
+  double vt0_p_v = 0.35;        ///< |Vt| of the PMOS
+  double subthreshold_n = 1.4;  ///< subthreshold-swing ideality factor
+  double thermal_vt_v = 0.0259; ///< kT/q at 300 K
+  double dibl_eta = 0.08;       ///< DIBL coefficient (V/V)
+  double sce_v0_v = 0.64;       ///< Vt roll-off magnitude
+  double sce_l_nm = 20.0;       ///< Vt roll-off characteristic length
+  double i0_na = 1000.0;        ///< leakage prefactor per W/L square, nA
+  double pmos_mobility_ratio = 0.45;  ///< PMOS current per square vs NMOS
+  double l_nominal_nm = 40.0;   ///< drawn == effective nominal channel length
+  double temperature_k = 300.0; ///< junction temperature this corner models
+  double vt_tempco_v_per_k = 8.0e-4;  ///< |dVt/dT| (Vt falls as T rises)
+  /// Gate tunneling current density (nA/um^2) for a device with the full
+  /// supply across its oxide. 0 (default) models the paper's
+  /// subthreshold-only scope; nonzero enables the gate-leakage extension
+  /// (linear in device area, so it perturbs the log-quadratic L fit — see
+  /// bench_ablation_gate_leakage).
+  double gate_leak_na_per_um2 = 0.0;
+};
+
+/// Gate tunneling current (nA) of one device with the full supply across its
+/// oxide: density * W * L.
+double gate_tunneling_current(const TechnologyParams& tech, double w_nm, double l_nm);
+
+/// Technology parameters re-targeted to a junction temperature: the thermal
+/// voltage kT/q scales linearly, Vt falls by vt_tempco per kelvin, and the
+/// prefactor picks up the net mobility*vT^2 ~ sqrt(T/Tref) factor. This is
+/// how leakage's strong positive temperature dependence enters the model.
+TechnologyParams at_temperature(const TechnologyParams& reference, double kelvin);
+
+enum class DeviceType { kNmos, kPmos };
+
+/// Effective threshold voltage for a device of length l_nm under drain bias
+/// vds_v and random dopant shift dvt_v.
+double effective_vt(const TechnologyParams& tech, DeviceType type, double l_nm, double vds_v,
+                    double dvt_v);
+
+/// Subthreshold drain current (nA, >= 0) of a device with gate-source voltage
+/// vgs_v and drain-source voltage vds_v >= 0 (polarities are magnitudes: for
+/// PMOS pass Vsg and Vsd). Valid in weak inversion; in strong inversion it
+/// saturates the exponent so the device simply looks very conductive, which is
+/// all the leakage solver needs from an ON switch.
+double subthreshold_current(const TechnologyParams& tech, DeviceType type, double w_nm,
+                            double l_nm, double vgs_v, double vds_v, double dvt_v);
+
+}  // namespace rgleak::device

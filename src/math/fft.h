@@ -1,0 +1,22 @@
+#pragma once
+// Radix-2 complex FFT (1-D and 2-D). Substrate for the circulant-embedding
+// sampler of spatially correlated channel-length fields (process module).
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace rgleak::math {
+
+/// In-place iterative radix-2 Cooley–Tukey FFT. Size must be a power of two.
+/// `inverse` applies the conjugate transform and 1/N scaling.
+void fft(std::vector<std::complex<double>>& data, bool inverse);
+
+/// 2-D FFT over a rows x cols row-major array; both dims must be powers of two.
+void fft2d(std::vector<std::complex<double>>& data, std::size_t rows, std::size_t cols,
+           bool inverse);
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t next_pow2(std::size_t n);
+
+}  // namespace rgleak::math

@@ -1,0 +1,119 @@
+#include "math/gaussian_moments.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace rgleak::math {
+
+namespace {
+
+// Inverse of an SPD matrix via its Cholesky factor, plus log-determinant.
+struct SpdInverse {
+  Matrix inverse;
+  double log_det;
+};
+
+SpdInverse spd_inverse(const Matrix& a) {
+  const std::size_t n = a.rows();
+  const Matrix l = cholesky(a);
+  double log_det = 0.0;
+  for (std::size_t i = 0; i < n; ++i) log_det += 2.0 * std::log(l(i, i));
+
+  Matrix inv(n, n);
+  std::vector<double> e(n, 0.0);
+  for (std::size_t col = 0; col < n; ++col) {
+    e.assign(n, 0.0);
+    e[col] = 1.0;
+    const std::vector<double> x = backward_substitute_transposed(l, forward_substitute(l, e));
+    for (std::size_t r = 0; r < n; ++r) inv(r, col) = x[r];
+  }
+  return {inv, log_det};
+}
+
+}  // namespace
+
+double expectation_exp_quadratic(const std::vector<double>& w, const Matrix& a,
+                                 const std::vector<double>& mu, const Matrix& sigma) {
+  const std::size_t n = mu.size();
+  RGLEAK_REQUIRE(w.size() == n, "w dimension mismatch");
+  RGLEAK_REQUIRE(a.rows() == n && a.cols() == n, "A dimension mismatch");
+  RGLEAK_REQUIRE(sigma.rows() == n && sigma.cols() == n, "Sigma dimension mismatch");
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      RGLEAK_REQUIRE(std::abs(a(i, j) - a(j, i)) < 1e-12, "A must be symmetric");
+
+  // E[exp(w'z + z'Az)] with z = mu + u, u ~ N(0, Sigma):
+  //   = exp(w'mu + mu'A mu) * |Sigma|^{-1/2} |B|^{-1/2} exp(0.5 v'B^{-1} v)
+  // with B = Sigma^{-1} - 2A (must be SPD) and v = w + 2 A mu.
+  const SpdInverse si = spd_inverse(sigma);
+  Matrix b = si.inverse;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) b(i, j) -= 2.0 * a(i, j);
+
+  Matrix lb;
+  try {
+    lb = cholesky(b);
+  } catch (const NumericalError&) {
+    throw NumericalError(
+        "expectation_exp_quadratic: I - 2*Sigma*A not positive definite; expectation diverges");
+  }
+  double log_det_b = 0.0;
+  for (std::size_t i = 0; i < n; ++i) log_det_b += 2.0 * std::log(lb(i, i));
+
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = w[i];
+    for (std::size_t j = 0; j < n; ++j) s += 2.0 * a(i, j) * mu[j];
+    v[i] = s;
+  }
+  const std::vector<double> binv_v = backward_substitute_transposed(lb, forward_substitute(lb, v));
+
+  double quad_mu = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) quad_mu += mu[i] * a(i, j) * mu[j];
+
+  const double log_e = dot(w, mu) + quad_mu - 0.5 * (si.log_det + log_det_b) + 0.5 * dot(v, binv_v);
+  return std::exp(log_e);
+}
+
+double expectation_exp_quadratic_1d(double b, double c, double mu, double var) {
+  RGLEAK_REQUIRE(var >= 0.0, "variance must be non-negative");
+  if (var == 0.0) return std::exp(b * mu + c * mu * mu);
+  const double denom = 1.0 - 2.0 * c * var;
+  if (denom <= 0.0)
+    throw NumericalError("expectation_exp_quadratic_1d: 1 - 2c*var <= 0; expectation diverges");
+  const double v = b + 2.0 * c * mu;
+  const double log_e = b * mu + c * mu * mu + 0.5 * v * v * var / denom - 0.5 * std::log(denom);
+  return std::exp(log_e);
+}
+
+double expectation_exp_quadratic_2d(double b1, double c1, double b2, double c2, double mu,
+                                    double var, double rho) {
+  RGLEAK_REQUIRE(var >= 0.0, "variance must be non-negative");
+  RGLEAK_REQUIRE(rho >= -1.0 && rho <= 1.0, "correlation must be in [-1, 1]");
+  if (var == 0.0) return std::exp((b1 + b2) * mu + (c1 + c2) * mu * mu);
+
+  constexpr double kRhoDegenerate = 1.0 - 1e-9;
+  if (rho >= kRhoDegenerate) {
+    // z1 == z2: collapses to a single Gaussian.
+    return expectation_exp_quadratic_1d(b1 + b2, c1 + c2, mu, var);
+  }
+  if (rho <= -kRhoDegenerate) {
+    // z2 = 2*mu - z1 exactly: substitute and reduce to 1-D.
+    const double lin = b1 - b2 - 4.0 * c2 * mu;
+    const double quad = c1 + c2;
+    const double constant = 2.0 * b2 * mu + 4.0 * c2 * mu * mu;
+    return std::exp(constant) * expectation_exp_quadratic_1d(lin, quad, mu, var);
+  }
+
+  Matrix sigma(2, 2);
+  sigma(0, 0) = sigma(1, 1) = var;
+  sigma(0, 1) = sigma(1, 0) = rho * var;
+  Matrix a(2, 2);
+  a(0, 0) = c1;
+  a(1, 1) = c2;
+  return expectation_exp_quadratic({b1, b2}, a, {mu, mu}, sigma);
+}
+
+}  // namespace rgleak::math

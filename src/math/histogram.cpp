@@ -1,0 +1,39 @@
+#include "math/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace rgleak::math {
+
+double SampleSet::mean() const {
+  RGLEAK_REQUIRE(!samples_.empty(), "mean of empty sample set");
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double SampleSet::stddev() const {
+  RGLEAK_REQUIRE(samples_.size() >= 2, "stddev needs at least two samples");
+  const double m = mean();
+  double s = 0.0;
+  for (double x : samples_) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleSet::percentile(double q) const {
+  RGLEAK_REQUIRE(!samples_.empty(), "percentile of empty sample set");
+  RGLEAK_REQUIRE(q >= 0.0 && q <= 1.0, "percentile q must be in [0, 1]");
+  if (sorted_.size() != samples_.size()) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto idx = static_cast<std::size_t>(pos);
+  if (idx + 1 >= sorted_.size()) return sorted_.back();
+  const double frac = pos - static_cast<double>(idx);
+  return sorted_[idx] + frac * (sorted_[idx + 1] - sorted_[idx]);
+}
+
+}  // namespace rgleak::math

@@ -1,0 +1,32 @@
+#pragma once
+// Sample collection with percentile queries, used by the Monte-Carlo engines
+// to report empirical quantiles (P50/P90/P99) next to mean/sigma. Keeps the
+// raw samples (MC trial counts are small); percentile() interpolates between
+// order statistics (type-7 quantile, the R/NumPy default).
+
+#include <vector>
+
+namespace rgleak::math {
+
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  /// Unbiased sample standard deviation (n-1). Requires count() >= 2.
+  double stddev() const;
+  /// Type-7 interpolated percentile, q in [0, 1]. Requires count() >= 1.
+  double percentile(double q) const;
+  double min() const { return percentile(0.0); }
+  double max() const { return percentile(1.0); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;  // lazily rebuilt cache
+};
+
+}  // namespace rgleak::math

@@ -1,0 +1,176 @@
+#include "math/linalg.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace rgleak::math {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  RGLEAK_REQUIRE(a.cols() == b.rows(), "matrix product dimension mismatch");
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) out(i, j) += aik * b(k, j);
+    }
+  return out;
+}
+
+Matrix operator+(const Matrix& a, const Matrix& b) {
+  RGLEAK_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(), "matrix sum dimension mismatch");
+  Matrix out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < out.data().size(); ++i) out.data()[i] = a.data()[i] + b.data()[i];
+  return out;
+}
+
+Matrix operator-(const Matrix& a, const Matrix& b) {
+  RGLEAK_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(), "matrix diff dimension mismatch");
+  Matrix out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < out.data().size(); ++i) out.data()[i] = a.data()[i] - b.data()[i];
+  return out;
+}
+
+Matrix operator*(double s, const Matrix& a) {
+  Matrix out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < out.data().size(); ++i) out.data()[i] = s * a.data()[i];
+  return out;
+}
+
+std::vector<double> operator*(const Matrix& a, const std::vector<double>& x) {
+  RGLEAK_REQUIRE(a.cols() == x.size(), "matrix-vector dimension mismatch");
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) s += a(i, j) * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+Matrix cholesky(const Matrix& a) {
+  RGLEAK_REQUIRE(a.rows() == a.cols(), "cholesky needs a square matrix");
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= l(j, k) * l(j, k);
+    if (d <= 0.0 || !std::isfinite(d))
+      throw NumericalError("cholesky: matrix is not positive definite");
+    const double ljj = std::sqrt(d);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / ljj;
+    }
+  }
+  return l;
+}
+
+std::vector<double> forward_substitute(const Matrix& lower, const std::vector<double>& b) {
+  RGLEAK_REQUIRE(lower.rows() == lower.cols() && lower.rows() == b.size(),
+                 "forward_substitute dimension mismatch");
+  const std::size_t n = b.size();
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t j = 0; j < i; ++j) s -= lower(i, j) * y[j];
+    y[i] = s / lower(i, i);
+  }
+  return y;
+}
+
+std::vector<double> backward_substitute_transposed(const Matrix& lower, const std::vector<double>& y) {
+  RGLEAK_REQUIRE(lower.rows() == lower.cols() && lower.rows() == y.size(),
+                 "backward_substitute dimension mismatch");
+  const std::size_t n = y.size();
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= lower(j, ii) * x[j];
+    x[ii] = s / lower(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> solve_spd(const Matrix& a, const std::vector<double>& b) {
+  const Matrix l = cholesky(a);
+  return backward_substitute_transposed(l, forward_substitute(l, b));
+}
+
+std::vector<double> solve_least_squares(const Matrix& a, const std::vector<double>& b) {
+  RGLEAK_REQUIRE(a.rows() >= a.cols(), "least squares needs rows >= cols");
+  RGLEAK_REQUIRE(a.rows() == b.size(), "least squares dimension mismatch");
+  const std::size_t m = a.rows(), n = a.cols();
+  Matrix r = a;                 // reduced in place by Householder reflections
+  std::vector<double> rhs = b;  // same reflections applied to the RHS
+
+  double frob = 0.0;
+  for (double v : a.data()) frob += v * v;
+  frob = std::sqrt(frob);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += r(i, k) * r(i, k);
+    norm = std::sqrt(norm);
+    if (norm <= 1e-12 * frob)
+      throw NumericalError("least squares: rank-deficient design matrix");
+    const double alpha = r(k, k) > 0 ? -norm : norm;
+    std::vector<double> v(m - k);
+    v[0] = r(k, k) - alpha;
+    for (std::size_t i = k + 1; i < m; ++i) v[i - k] = r(i, k);
+    double vnorm2 = 0.0;
+    for (double vi : v) vnorm2 += vi * vi;
+    if (vnorm2 == 0.0) continue;
+
+    auto reflect = [&](auto&& get, auto&& set) {
+      double s = 0.0;
+      for (std::size_t i = k; i < m; ++i) s += v[i - k] * get(i);
+      s *= 2.0 / vnorm2;
+      for (std::size_t i = k; i < m; ++i) set(i, get(i) - s * v[i - k]);
+    };
+    for (std::size_t j = k; j < n; ++j)
+      reflect([&](std::size_t i) { return r(i, j); },
+              [&](std::size_t i, double x) { r(i, j) = x; });
+    reflect([&](std::size_t i) { return rhs[i]; },
+            [&](std::size_t i, double x) { rhs[i] = x; });
+  }
+
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = rhs[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= r(ii, j) * x[j];
+    if (r(ii, ii) == 0.0) throw NumericalError("least squares: singular R");
+    x[ii] = s / r(ii, ii);
+  }
+  return x;
+}
+
+double det2(double a00, double a01, double a10, double a11) { return a00 * a11 - a01 * a10; }
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  RGLEAK_REQUIRE(a.size() == b.size(), "dot dimension mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace rgleak::math

@@ -1,0 +1,66 @@
+#pragma once
+// Small dense linear algebra used by the characterization and sampling layers:
+// row-major Matrix, Cholesky factorization, triangular solves, Householder-QR
+// least squares, and 2x2 closed-form helpers for the bivariate Gaussian
+// moment formulas.
+
+#include <cstddef>
+#include <vector>
+
+namespace rgleak::math {
+
+/// Dense row-major matrix of doubles. Value type; sized at construction.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  Matrix transposed() const;
+
+  /// Raw storage (row-major); used by performance-sensitive loops.
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+Matrix operator*(const Matrix& a, const Matrix& b);
+Matrix operator+(const Matrix& a, const Matrix& b);
+Matrix operator-(const Matrix& a, const Matrix& b);
+Matrix operator*(double s, const Matrix& a);
+std::vector<double> operator*(const Matrix& a, const std::vector<double>& x);
+
+/// In-place lower Cholesky factorization of a symmetric positive-definite
+/// matrix: returns L with A = L Lᵀ. Throws NumericalError if A is not
+/// (numerically) positive definite.
+Matrix cholesky(const Matrix& a);
+
+/// Solves L y = b for lower-triangular L.
+std::vector<double> forward_substitute(const Matrix& lower, const std::vector<double>& b);
+/// Solves Lᵀ x = y for lower-triangular L.
+std::vector<double> backward_substitute_transposed(const Matrix& lower, const std::vector<double>& y);
+
+/// Solves the SPD system A x = b via Cholesky.
+std::vector<double> solve_spd(const Matrix& a, const std::vector<double>& b);
+
+/// Least-squares solution of min ||A x - b||_2 via Householder QR.
+/// Requires rows >= cols and full column rank.
+std::vector<double> solve_least_squares(const Matrix& a, const std::vector<double>& b);
+
+/// Determinant of a 2x2 matrix.
+double det2(double a00, double a01, double a10, double a11);
+
+/// Dot product. Sizes must match.
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace rgleak::math

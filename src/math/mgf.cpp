@@ -1,0 +1,60 @@
+#include "math/mgf.h"
+
+#include <cmath>
+
+#include "math/gaussian_moments.h"
+#include "util/require.h"
+
+namespace rgleak::math {
+
+double LogQuadraticModel::operator()(double l) const { return a * std::exp(b * l + c * l * l); }
+
+LogQuadraticMoments::LogQuadraticMoments(const LogQuadraticModel& model, double mu_l,
+                                         double sigma_l)
+    : mu_l_(mu_l), sigma_l_(sigma_l), model_(model) {
+  RGLEAK_REQUIRE(model.a > 0.0, "log-quadratic model needs a > 0");
+  RGLEAK_REQUIRE(sigma_l >= 0.0, "sigma_l must be non-negative");
+  const double var = sigma_l * sigma_l;
+  k1_ = model.c * var;
+  has_k2_ = model.c != 0.0 && sigma_l > 0.0;
+  if (has_k2_) {
+    const double shift = model.b / (2.0 * model.c) + mu_l;
+    k2_value_ = shift / sigma_l;
+    k3_ = std::log(model.a) + model.b * mu_l + model.c * mu_l * mu_l - model.c * shift * shift;
+  } else {
+    k2_value_ = 0.0;
+    k3_ = std::log(model.a) + model.b * mu_l + model.c * mu_l * mu_l;
+  }
+
+  // Moments through the (robust, c == 0 safe) Gaussian quadratic-form
+  // expectation; identical to M_Y(1), M_Y(2) when c != 0.
+  mean_ = model.a * expectation_exp_quadratic_1d(model.b, model.c, mu_l, var);
+  second_ =
+      model.a * model.a * expectation_exp_quadratic_1d(2.0 * model.b, 2.0 * model.c, mu_l, var);
+}
+
+double LogQuadraticMoments::k2() const {
+  RGLEAK_REQUIRE(has_k2_, "K2 is undefined for c == 0 or sigma == 0");
+  return k2_value_;
+}
+
+double LogQuadraticMoments::mgf_log(double t) const {
+  // M_Y(t) = E[X^t] = a^t * E[exp(t b L + t c L^2)].
+  return std::exp(t * std::log(model_.a)) *
+         expectation_exp_quadratic_1d(t * model_.b, t * model_.c, mu_l_, sigma_l_ * sigma_l_);
+}
+
+double LogQuadraticMoments::mgf_log_paper_form(double t) const {
+  RGLEAK_REQUIRE(has_k2_, "paper-form MGF needs c != 0 and sigma > 0");
+  const double denom = 1.0 - 2.0 * k1_ * t;
+  if (denom <= 0.0) throw NumericalError("mgf_log: 1 - 2 K1 t <= 0; MGF diverges");
+  const double noncentral = k2_value_ * k2_value_ * k1_ * t / denom;
+  return std::pow(denom, -0.5) * std::exp(noncentral + k3_ * t);
+}
+
+double LogQuadraticMoments::stddev() const {
+  const double v = variance();
+  return v > 0.0 ? std::sqrt(v) : 0.0;
+}
+
+}  // namespace rgleak::math

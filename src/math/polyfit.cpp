@@ -1,0 +1,29 @@
+#include "math/polyfit.h"
+
+#include "math/linalg.h"
+#include "util/require.h"
+
+namespace rgleak::math {
+
+std::vector<double> polyfit(const std::vector<double>& x, const std::vector<double>& y,
+                            std::size_t degree) {
+  RGLEAK_REQUIRE(x.size() == y.size(), "polyfit needs equal-length x and y");
+  RGLEAK_REQUIRE(x.size() >= degree + 1, "polyfit needs at least degree+1 samples");
+  Matrix a(x.size(), degree + 1);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double p = 1.0;
+    for (std::size_t j = 0; j <= degree; ++j) {
+      a(i, j) = p;
+      p *= x[i];
+    }
+  }
+  return solve_least_squares(a, y);
+}
+
+double polyval(const std::vector<double>& coeffs, double x) {
+  double acc = 0.0;
+  for (std::size_t j = coeffs.size(); j-- > 0;) acc = acc * x + coeffs[j];
+  return acc;
+}
+
+}  // namespace rgleak::math

@@ -1,0 +1,18 @@
+#pragma once
+// Polynomial least-squares fitting (Vandermonde + Householder QR). Used by the
+// analytical characterizer to fit ln(leakage) as a quadratic in channel length.
+
+#include <vector>
+
+namespace rgleak::math {
+
+/// Fits y ~ c0 + c1 x + ... + c_degree x^degree in the least-squares sense.
+/// Returns the coefficients lowest-order first. Requires at least degree+1
+/// samples and distinct abscissae.
+std::vector<double> polyfit(const std::vector<double>& x, const std::vector<double>& y,
+                            std::size_t degree);
+
+/// Evaluates a polynomial given coefficients lowest-order first (Horner).
+double polyval(const std::vector<double>& coeffs, double x);
+
+}  // namespace rgleak::math

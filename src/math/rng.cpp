@@ -1,0 +1,94 @@
+#include "math/rng.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace rgleak::math {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& w : state_) w = splitmix64(s);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  RGLEAK_REQUIRE(lo <= hi, "uniform(lo,hi) needs lo <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  RGLEAK_REQUIRE(n > 0, "uniform_index needs n > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % n;
+  std::uint64_t v;
+  do {
+    v = (*this)();
+  } while (v >= limit);
+  return v % n;
+}
+
+double Rng::normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double f = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * f;
+  has_spare_ = true;
+  return u * f;
+}
+
+double Rng::normal(double mean, double sigma) {
+  RGLEAK_REQUIRE(sigma >= 0.0, "normal() needs sigma >= 0");
+  return mean + sigma * normal();
+}
+
+std::vector<double> Rng::normal_vector(std::size_t n) {
+  std::vector<double> out(n);
+  for (auto& x : out) x = normal();
+  return out;
+}
+
+bool Rng::bernoulli(double p) {
+  RGLEAK_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli needs p in [0,1]");
+  return uniform() < p;
+}
+
+Rng Rng::fork() { return Rng((*this)()); }
+
+}  // namespace rgleak::math

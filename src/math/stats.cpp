@@ -1,0 +1,123 @@
+#include "math/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace rgleak::math {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  RGLEAK_REQUIRE(n_ >= 1, "mean needs at least one sample");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  RGLEAK_REQUIRE(n_ >= 2, "variance needs at least two samples");
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  RGLEAK_REQUIRE(n_ >= 1, "min needs at least one sample");
+  return min_;
+}
+
+double RunningStats::max() const {
+  RGLEAK_REQUIRE(n_ >= 1, "max needs at least one sample");
+  return max_;
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_), nb = static_cast<double>(other.n_);
+  const double d = other.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += d * nb / nt;
+  m2_ += other.m2_ + d * d * na * nb / nt;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+void RunningCovariance::add(double x, double y) {
+  ++n_;
+  const double n = static_cast<double>(n_);
+  const double dx = x - mx_;
+  const double dy = y - my_;
+  mx_ += dx / n;
+  my_ += dy / n;
+  cxy_ += dx * (y - my_);
+  cxx_ += dx * (x - mx_);
+  cyy_ += dy * (y - my_);
+}
+
+double RunningCovariance::mean_x() const {
+  RGLEAK_REQUIRE(n_ >= 1, "mean_x needs at least one sample");
+  return mx_;
+}
+
+double RunningCovariance::mean_y() const {
+  RGLEAK_REQUIRE(n_ >= 1, "mean_y needs at least one sample");
+  return my_;
+}
+
+double RunningCovariance::covariance() const {
+  RGLEAK_REQUIRE(n_ >= 2, "covariance needs at least two samples");
+  return cxy_ / static_cast<double>(n_ - 1);
+}
+
+double RunningCovariance::correlation() const {
+  RGLEAK_REQUIRE(n_ >= 2, "correlation needs at least two samples");
+  RGLEAK_REQUIRE(cxx_ > 0.0 && cyy_ > 0.0, "correlation needs non-degenerate marginals");
+  return cxy_ / std::sqrt(cxx_ * cyy_);
+}
+
+double mean(const std::vector<double>& v) {
+  RGLEAK_REQUIRE(!v.empty(), "mean of empty vector");
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double variance(const std::vector<double>& v) {
+  RGLEAK_REQUIRE(v.size() >= 2, "variance needs at least two samples");
+  const double m = mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size() - 1);
+}
+
+double stddev(const std::vector<double>& v) { return std::sqrt(variance(v)); }
+
+double correlation(const std::vector<double>& x, const std::vector<double>& y) {
+  RGLEAK_REQUIRE(x.size() == y.size(), "correlation needs equal-length vectors");
+  RunningCovariance c;
+  for (std::size_t i = 0; i < x.size(); ++i) c.add(x[i], y[i]);
+  return c.correlation();
+}
+
+double relative_error(double a, double b) {
+  if (b == 0.0) return std::abs(a);
+  return std::abs(a - b) / std::abs(b);
+}
+
+}  // namespace rgleak::math

@@ -1,0 +1,64 @@
+#pragma once
+// Streaming statistics used throughout the Monte-Carlo and validation code:
+// Welford mean/variance, bivariate covariance/correlation accumulation, and
+// simple summary helpers over vectors.
+
+#include <cstddef>
+#include <vector>
+
+namespace rgleak::math {
+
+/// Numerically-stable streaming mean/variance (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample variance (n-1 denominator). Requires count() >= 2.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0, max_ = 0.0;
+};
+
+/// Streaming covariance/correlation of paired samples (x, y).
+class RunningCovariance {
+ public:
+  void add(double x, double y);
+
+  std::size_t count() const { return n_; }
+  double mean_x() const;
+  double mean_y() const;
+  /// Unbiased sample covariance. Requires count() >= 2.
+  double covariance() const;
+  /// Pearson correlation. Requires both marginal variances > 0.
+  double correlation() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mx_ = 0.0, my_ = 0.0;
+  double cxy_ = 0.0, cxx_ = 0.0, cyy_ = 0.0;
+};
+
+/// Mean of a vector. Requires non-empty input.
+double mean(const std::vector<double>& v);
+/// Unbiased sample variance. Requires size >= 2.
+double variance(const std::vector<double>& v);
+double stddev(const std::vector<double>& v);
+/// Pearson correlation of two equal-length vectors.
+double correlation(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Relative error |a - b| / |b| (guards b == 0 by absolute error).
+double relative_error(double a, double b);
+
+}  // namespace rgleak::math

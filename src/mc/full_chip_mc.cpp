@@ -1,0 +1,125 @@
+#include "mc/full_chip_mc.h"
+
+#include <cmath>
+#include <thread>
+
+#include "util/require.h"
+
+namespace rgleak::mc {
+
+FullChipMonteCarlo::FullChipMonteCarlo(const placement::Placement& placement,
+                                       const charlib::CharacterizedLibrary& chars,
+                                       FullChipMcOptions options)
+    : placement_(&placement),
+      chars_(&chars),
+      options_(options),
+      field_(placement.floorplan().rows, placement.floorplan().cols,
+             placement.floorplan().site_w_nm, placement.floorplan().site_h_nm,
+             chars.process().wid_correlation(), chars.process().length().sigma_wid_nm,
+             chars.process().anisotropy()),
+      rng_(options.seed) {
+  RGLEAK_REQUIRE(options_.trials >= 2, "MC needs at least two trials");
+  const std::size_t n = placement.netlist().size();
+  state_.resize(n);
+  table_.resize(n, nullptr);
+  draw_states(rng_);
+}
+
+void FullChipMonteCarlo::draw_states(math::Rng& rng) {
+  const netlist::Netlist& nl = placement_->netlist();
+  for (std::size_t g = 0; g < nl.size(); ++g) {
+    const std::size_t ci = nl.gate(g).cell_index;
+    const cells::Cell& cell = chars_->library().cell(ci);
+    std::uint32_t s = 0;
+    for (int bit = 0; bit < cell.num_inputs(); ++bit)
+      if (rng.bernoulli(options_.signal_probability)) s |= (1u << bit);
+    state_[g] = s;
+    table_[g] = table_for(ci, s);
+  }
+}
+
+const charlib::LeakageTable* FullChipMonteCarlo::table_for(std::size_t cell_index,
+                                                           std::uint32_t state) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(cell_index) << 32) | state;
+  const auto it = table_index_.find(key);
+  if (it != table_index_.end()) return it->second;
+
+  const double mu = chars_->process().length().mean_nm;
+  const double sigma = chars_->process().length().sigma_total_nm();
+  const double span = 8.0 * sigma;
+  auto table = std::make_unique<charlib::LeakageTable>(
+      chars_->library().cell(cell_index), state, chars_->library().tech(),
+      std::max(mu - span, 1.0), mu + std::max(span, 1e-3), options_.table_points);
+  const charlib::LeakageTable* ptr = table.get();
+  tables_.push_back(std::move(table));
+  table_index_.emplace(key, ptr);
+  return ptr;
+}
+
+double FullChipMonteCarlo::sample_total_na(math::Rng& rng) {
+  if (options_.resample_states_per_trial) draw_states(rng);
+  return sample_total_with(field_, rng);
+}
+
+double FullChipMonteCarlo::sample_total_with(process::GridFieldSampler& field,
+                                             math::Rng& rng) const {
+  const double mu = chars_->process().length().mean_nm;
+  const double d2d = rng.normal(0.0, chars_->process().length().sigma_d2d_nm);
+  const std::vector<double> wid = field.sample(rng);
+  const placement::Floorplan& fp = placement_->floorplan();
+  const std::size_t n = placement_->netlist().size();
+  double total = 0.0;
+  for (std::size_t g = 0; g < n; ++g) {
+    const std::size_t site = placement_->site_of(g);
+    const std::size_t row = site / fp.cols, col = site % fp.cols;
+    const double l = mu + d2d + wid[row * fp.cols + col];
+    total += table_[g]->eval_na(l);
+  }
+  return total;
+}
+
+FullChipMcResult FullChipMonteCarlo::run() {
+  math::SampleSet acc;
+  acc.reserve(options_.trials);
+  const std::size_t threads = std::max<std::size_t>(options_.threads, 1);
+  RGLEAK_REQUIRE(threads == 1 || !options_.resample_states_per_trial,
+                 "per-trial state resampling mutates shared state; use threads = 1");
+  if (threads == 1) {
+    for (std::size_t t = 0; t < options_.trials; ++t) acc.add(sample_total_na(rng_));
+  } else {
+    // Each worker gets a forked RNG stream and its own field-sampler copy
+    // (the sampler caches the second field of each FFT). Workers fill
+    // disjoint slices so the merged sample set is deterministic.
+    std::vector<math::Rng> rngs;
+    rngs.reserve(threads);
+    for (std::size_t w = 0; w < threads; ++w) rngs.push_back(rng_.fork());
+    std::vector<std::vector<double>> slices(threads);
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t w = 0; w < threads; ++w) {
+      const std::size_t begin = w * options_.trials / threads;
+      const std::size_t end = (w + 1) * options_.trials / threads;
+      pool.emplace_back([this, w, begin, end, &rngs, &slices] {
+        process::GridFieldSampler field = field_;  // thread-local copy
+        std::vector<double> out;
+        out.reserve(end - begin);
+        for (std::size_t t = begin; t < end; ++t)
+          out.push_back(sample_total_with(field, rngs[w]));
+        slices[w] = std::move(out);
+      });
+    }
+    for (auto& th : pool) th.join();
+    for (const auto& s : slices)
+      for (double v : s) acc.add(v);
+  }
+  FullChipMcResult r;
+  r.mean_na = acc.mean();
+  r.sigma_na = acc.stddev();
+  r.trials = options_.trials;
+  r.p50_na = acc.percentile(0.50);
+  r.p90_na = acc.percentile(0.90);
+  r.p99_na = acc.percentile(0.99);
+  return r;
+}
+
+}  // namespace rgleak::mc

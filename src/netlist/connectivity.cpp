@@ -1,0 +1,97 @@
+#include "netlist/connectivity.h"
+
+#include "netlist/random_circuit.h"
+#include "util/require.h"
+
+namespace rgleak::netlist {
+
+ConnectedNetlist::ConnectedNetlist(std::string name, const cells::StdCellLibrary* library,
+                                   std::size_t num_primary_inputs,
+                                   std::vector<ConnectedGate> gates)
+    : name_(std::move(name)),
+      library_(library),
+      num_primary_inputs_(num_primary_inputs),
+      gates_(std::move(gates)) {
+  RGLEAK_REQUIRE(library_ != nullptr, "connected netlist needs a library");
+  RGLEAK_REQUIRE(num_primary_inputs_ >= 1, "need at least one primary input");
+  RGLEAK_REQUIRE(!gates_.empty(), "connected netlist needs at least one gate");
+  for (std::size_t g = 0; g < gates_.size(); ++g) {
+    const ConnectedGate& gate = gates_[g];
+    RGLEAK_REQUIRE(gate.cell_index < library_->size(), "gate references unknown cell");
+    const cells::Cell& cell = library_->cell(gate.cell_index);
+    RGLEAK_REQUIRE(gate.input_nets.size() == static_cast<std::size_t>(cell.num_inputs()),
+                   "input-net count mismatch for cell " + cell.name());
+    for (std::size_t net : gate.input_nets)
+      RGLEAK_REQUIRE(net < num_primary_inputs_ + g,
+                     "gate input references a later net (not a DAG)");
+  }
+}
+
+const ConnectedGate& ConnectedNetlist::gate(std::size_t g) const {
+  RGLEAK_REQUIRE(g < gates_.size(), "gate index out of range");
+  return gates_[g];
+}
+
+Netlist ConnectedNetlist::flatten() const {
+  std::vector<GateInstance> flat;
+  flat.reserve(gates_.size());
+  for (const auto& g : gates_) flat.push_back({g.cell_index});
+  return Netlist(name_, library_, std::move(flat));
+}
+
+ConnectedNetlist generate_random_dag(const cells::StdCellLibrary& library,
+                                     const UsageHistogram& usage, std::size_t n,
+                                     std::size_t num_primary_inputs, math::Rng& rng,
+                                     const std::string& name) {
+  usage.validate();
+  RGLEAK_REQUIRE(usage.alphas.size() == library.size(), "histogram/library size mismatch");
+  for (std::size_t ci = 0; ci < library.size(); ++ci)
+    RGLEAK_REQUIRE(usage.alphas[ci] == 0.0 || library.cell(ci).has_primary_output(),
+                   "DAG cells need a primary output: " + library.cell(ci).name());
+
+  // Type sequence via the exact-match generator (shuffled).
+  const Netlist types = generate_random_circuit(library, usage, n, rng);
+
+  std::vector<ConnectedGate> gates;
+  gates.reserve(n);
+  for (std::size_t g = 0; g < n; ++g) {
+    ConnectedGate gate;
+    gate.cell_index = types.gate(g).cell_index;
+    const int k = library.cell(gate.cell_index).num_inputs();
+    const std::size_t available = num_primary_inputs + g;
+    for (int i = 0; i < k; ++i)
+      gate.input_nets.push_back(rng.uniform_index(available));
+    gates.push_back(std::move(gate));
+  }
+  return ConnectedNetlist(name, &library, num_primary_inputs, std::move(gates));
+}
+
+std::vector<double> propagate_probabilities(const ConnectedNetlist& netlist,
+                                            double input_probability) {
+  RGLEAK_REQUIRE(input_probability >= 0.0 && input_probability <= 1.0,
+                 "input probability must be in [0, 1]");
+  std::vector<double> prob(netlist.num_nets(), input_probability);
+  for (std::size_t g = 0; g < netlist.size(); ++g) {
+    const ConnectedGate& gate = netlist.gate(g);
+    const cells::Cell& cell = netlist.library().cell(gate.cell_index);
+    std::vector<double> inputs(gate.input_nets.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i) inputs[i] = prob[gate.input_nets[i]];
+    prob[netlist.output_net(g)] = cell.output_probability(inputs);
+  }
+  return prob;
+}
+
+std::vector<std::vector<double>> gate_input_probabilities(
+    const ConnectedNetlist& netlist, const std::vector<double>& net_probs) {
+  RGLEAK_REQUIRE(net_probs.size() == netlist.num_nets(), "net probability count mismatch");
+  std::vector<std::vector<double>> out(netlist.size());
+  for (std::size_t g = 0; g < netlist.size(); ++g) {
+    const ConnectedGate& gate = netlist.gate(g);
+    out[g].resize(gate.input_nets.size());
+    for (std::size_t i = 0; i < gate.input_nets.size(); ++i)
+      out[g][i] = net_probs[gate.input_nets[i]];
+  }
+  return out;
+}
+
+}  // namespace rgleak::netlist

@@ -1,0 +1,75 @@
+#pragma once
+// Gate-level connectivity and signal-probability propagation.
+//
+// The paper treats signal probability as one global knob p (section 2.1.4).
+// A placed netlist carries more information: each gate's inputs are driven by
+// specific nets, so per-net 1-probabilities can be propagated through the
+// logic (with the standard independence assumption — reconvergent fan-out
+// correlation is ignored, as in classic probabilistic switching analysis).
+// This module provides the connected-netlist representation, a random-DAG
+// generator for experiments, and the propagation pass; the
+// connectivity-aware estimator in core/ consumes the per-gate state
+// distributions it produces.
+
+#include <vector>
+
+#include "math/rng.h"
+#include "netlist/netlist.h"
+
+namespace rgleak::netlist {
+
+/// One gate with its input nets. Net ids: 0..num_primary_inputs-1 are primary
+/// inputs; gate g drives net num_primary_inputs + g. Inputs must reference
+/// lower-numbered nets (the netlist is a DAG in construction order).
+struct ConnectedGate {
+  std::size_t cell_index = 0;
+  std::vector<std::size_t> input_nets;
+};
+
+class ConnectedNetlist {
+ public:
+  ConnectedNetlist(std::string name, const cells::StdCellLibrary* library,
+                   std::size_t num_primary_inputs, std::vector<ConnectedGate> gates);
+
+  const std::string& name() const { return name_; }
+  const cells::StdCellLibrary& library() const { return *library_; }
+  std::size_t size() const { return gates_.size(); }
+  std::size_t num_primary_inputs() const { return num_primary_inputs_; }
+  std::size_t num_nets() const { return num_primary_inputs_ + gates_.size(); }
+  const ConnectedGate& gate(std::size_t g) const;
+  /// Net driven by gate g.
+  std::size_t output_net(std::size_t g) const { return num_primary_inputs_ + g; }
+
+  /// Drops connectivity: the plain netlist (same gate order).
+  Netlist flatten() const;
+
+ private:
+  std::string name_;
+  const cells::StdCellLibrary* library_;
+  std::size_t num_primary_inputs_;
+  std::vector<ConnectedGate> gates_;
+};
+
+/// Generates a random DAG: gates sampled from `usage` (exact-match
+/// apportionment, shuffled), each input wired uniformly to one of the nets
+/// already defined (primary inputs or earlier gate outputs). Cells sampled
+/// for internal nodes must expose a primary output; cells without one (pure
+/// leak-path cells) are rejected by precondition.
+ConnectedNetlist generate_random_dag(const cells::StdCellLibrary& library,
+                                     const UsageHistogram& usage, std::size_t n,
+                                     std::size_t num_primary_inputs, math::Rng& rng,
+                                     const std::string& name = "random-dag");
+
+/// Propagates per-net 1-probabilities: primary-input nets take
+/// `input_probability`, every gate's output net gets its cell's exact output
+/// probability given its input-net probabilities. Returns one probability per
+/// net.
+std::vector<double> propagate_probabilities(const ConnectedNetlist& netlist,
+                                            double input_probability);
+
+/// Per-gate input-signal probabilities (one vector entry per gate input, in
+/// bit order), derived from a propagated net-probability vector.
+std::vector<std::vector<double>> gate_input_probabilities(
+    const ConnectedNetlist& netlist, const std::vector<double>& net_probs);
+
+}  // namespace rgleak::netlist

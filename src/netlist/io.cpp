@@ -1,0 +1,76 @@
+#include "netlist/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/require.h"
+
+namespace rgleak::netlist {
+
+namespace {
+constexpr const char* kMagic = "rgnl-v1";
+}
+
+void save_netlist(const Netlist& netlist, std::ostream& os) {
+  os << kMagic << "\n";
+  os << "name " << netlist.name() << "\n";
+  os << "gates " << netlist.size() << "\n";
+  // Run-length encode consecutive repeats to keep files compact while
+  // preserving order.
+  const auto& gates = netlist.gates();
+  std::size_t i = 0;
+  while (i < gates.size()) {
+    std::size_t j = i;
+    while (j < gates.size() && gates[j].cell_index == gates[i].cell_index) ++j;
+    os << netlist.library().cell(gates[i].cell_index).name() << ' ' << (j - i) << "\n";
+    i = j;
+  }
+}
+
+void save_netlist(const Netlist& netlist, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw NumericalError("cannot open for writing: " + path);
+  save_netlist(netlist, os);
+  if (!os) throw NumericalError("write failed: " + path);
+}
+
+Netlist load_netlist(const cells::StdCellLibrary& library, std::istream& is) {
+  std::string line;
+  RGLEAK_REQUIRE(std::getline(is, line) && line == kMagic, "bad .rgnl header");
+
+  RGLEAK_REQUIRE(static_cast<bool>(std::getline(is, line)), "missing name line");
+  std::istringstream ns(line);
+  std::string tag, name;
+  ns >> tag >> name;
+  RGLEAK_REQUIRE(static_cast<bool>(ns) && tag == "name", "bad name line");
+
+  RGLEAK_REQUIRE(static_cast<bool>(std::getline(is, line)), "missing gates line");
+  std::istringstream gs(line);
+  std::size_t total = 0;
+  gs >> tag >> total;
+  RGLEAK_REQUIRE(static_cast<bool>(gs) && tag == "gates", "bad gates line");
+
+  std::vector<GateInstance> gates;
+  gates.reserve(total);
+  while (gates.size() < total) {
+    RGLEAK_REQUIRE(static_cast<bool>(std::getline(is, line)), "truncated gate list");
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string cell;
+    std::size_t count = 0;
+    ls >> cell >> count;
+    RGLEAK_REQUIRE(static_cast<bool>(ls) && count > 0, "bad gate run line: " + line);
+    const std::size_t idx = library.index_of(cell);
+    RGLEAK_REQUIRE(gates.size() + count <= total, "gate run exceeds declared total");
+    for (std::size_t k = 0; k < count; ++k) gates.push_back({idx});
+  }
+  return Netlist(name, &library, std::move(gates));
+}
+
+Netlist load_netlist(const cells::StdCellLibrary& library, const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw NumericalError("cannot open for reading: " + path);
+  return load_netlist(library, is);
+}
+
+}  // namespace rgleak::netlist

@@ -1,0 +1,21 @@
+#pragma once
+// Netlist serialization: the `.rgnl` line-based text format. Gate order is
+// preserved (placement is row-major in gate order, so order carries the
+// spatial arrangement of types).
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace rgleak::netlist {
+
+/// Writes a netlist to a stream (.rgnl text format).
+void save_netlist(const Netlist& netlist, std::ostream& os);
+void save_netlist(const Netlist& netlist, const std::string& path);
+
+/// Reads a .rgnl stream, binding cell names against `library`.
+Netlist load_netlist(const cells::StdCellLibrary& library, std::istream& is);
+Netlist load_netlist(const cells::StdCellLibrary& library, const std::string& path);
+
+}  // namespace rgleak::netlist

@@ -1,0 +1,63 @@
+#include "netlist/iscas85.h"
+
+#include "util/require.h"
+
+namespace rgleak::netlist {
+
+std::size_t Iscas85Descriptor::total_gates() const {
+  std::size_t n = 0;
+  for (const auto& [name, count] : composition) n += count;
+  return n;
+}
+
+const std::vector<Iscas85Descriptor>& iscas85_descriptors() {
+  // Totals follow the published ISCAS85 gate counts; the per-type split is a
+  // synthesized composition consistent with each circuit's documented
+  // character (see header comment).
+  static const std::vector<Iscas85Descriptor> kCircuits = {
+      {"c432",  // 36-input priority decoder: NAND/NOR tree + XOR layer
+       {{"NAND2_X1", 60}, {"NAND3_X1", 20}, {"NOR2_X1", 22}, {"INV_X1", 40}, {"XOR2_X1", 18}}},
+      {"c499",  // 32-bit SEC circuit: XOR dominated
+       {{"XOR2_X1", 104}, {"AND2_X1", 40}, {"OR2_X1", 18}, {"INV_X1", 40}}},
+      {"c880",  // 8-bit ALU
+       {{"NAND2_X1", 120}, {"NAND3_X1", 30}, {"NAND4_X1", 14}, {"NOR2_X1", 60},
+        {"AND2_X1", 35}, {"OR2_X1", 30}, {"INV_X1", 64}, {"BUF_X1", 30}}},
+      {"c1355",  // 32-bit SEC (NAND-mapped version of c499)
+       {{"NAND2_X1", 416}, {"AND2_X1", 40}, {"OR2_X1", 18}, {"INV_X1", 40}, {"BUF_X1", 32}}},
+      {"c1908",  // 16-bit SEC/DED
+       {{"NAND2_X1", 350}, {"NAND3_X1", 60}, {"NOR2_X1", 90}, {"XOR2_X1", 60}, {"INV_X1", 280},
+        {"BUF_X1", 40}}},
+      {"c2670",  // 12-bit ALU and controller
+       {{"NAND2_X1", 380}, {"NAND3_X1", 70}, {"NAND4_X1", 30}, {"NOR2_X1", 150},
+        {"AND2_X1", 160}, {"OR2_X1", 90}, {"INV_X1", 250}, {"BUF_X1", 63}}},
+      {"c5315",  // 9-bit ALU
+       {{"NAND2_X1", 750}, {"NAND3_X1", 150}, {"NAND4_X1", 60}, {"NOR2_X1", 300},
+        {"AND2_X1", 280}, {"OR2_X1", 180}, {"AOI21_X1", 100}, {"OAI21_X1", 80},
+        {"INV_X1", 327}, {"BUF_X1", 80}}},
+      {"c6288",  // 16x16 multiplier: NOR/AND carry-save array
+       {{"NOR2_X1", 1860}, {"AND2_X1", 256}, {"INV_X1", 300}}},
+      {"c7552",  // 32-bit adder/comparator
+       {{"NAND2_X1", 1100}, {"NAND3_X1", 200}, {"NAND4_X1", 80}, {"NOR2_X1", 450},
+        {"AND2_X1", 400}, {"OR2_X1", 250}, {"XOR2_X1", 150}, {"AOI21_X1", 120},
+        {"OAI21_X1", 100}, {"INV_X1", 562}, {"BUF_X1", 100}}},
+  };
+  return kCircuits;
+}
+
+Netlist make_iscas85(const Iscas85Descriptor& descriptor, const cells::StdCellLibrary& library,
+                     math::Rng& rng) {
+  std::vector<GateInstance> gates;
+  gates.reserve(descriptor.total_gates());
+  for (const auto& [name, count] : descriptor.composition) {
+    const std::size_t idx = library.index_of(name);
+    for (std::size_t k = 0; k < count; ++k) gates.push_back({idx});
+  }
+  RGLEAK_REQUIRE(!gates.empty(), "benchmark has no gates");
+  for (std::size_t i = gates.size(); i > 1; --i) {
+    const std::size_t j = rng.uniform_index(i);
+    std::swap(gates[i - 1], gates[j]);
+  }
+  return Netlist(descriptor.name, &library, std::move(gates));
+}
+
+}  // namespace rgleak::netlist

@@ -1,0 +1,37 @@
+#pragma once
+// The nine ISCAS85 benchmark circuits used in Table 1 of the paper, mapped
+// onto the virtual 90 nm library.
+//
+// Substitution note (DESIGN.md §2): the original placed-and-routed netlists
+// are not available offline, so each circuit is represented by its published
+// total gate count plus a synthesized per-type composition consistent with
+// the benchmark's documented structure (e.g. c6288 is a NOR/AND multiplier
+// array; c499/c1355 are XOR-rich ECC circuits). Table 1 only consumes the
+// high-level characteristics (histogram, gate count, layout dims) plus a
+// placement, so the experiment's comparison is preserved.
+
+#include <string>
+#include <vector>
+
+#include "math/rng.h"
+#include "netlist/netlist.h"
+
+namespace rgleak::netlist {
+
+/// Descriptor of one benchmark: name, and (cell name, count) composition.
+struct Iscas85Descriptor {
+  std::string name;
+  std::vector<std::pair<std::string, std::size_t>> composition;
+
+  std::size_t total_gates() const;
+};
+
+/// All nine circuits of Table 1 (c432 ... c7552), in the paper's order.
+const std::vector<Iscas85Descriptor>& iscas85_descriptors();
+
+/// Instantiates a benchmark as a netlist over `library` (shuffled gate order
+/// so a row-major placement scatters types across the die).
+Netlist make_iscas85(const Iscas85Descriptor& descriptor,
+                     const cells::StdCellLibrary& library, math::Rng& rng);
+
+}  // namespace rgleak::netlist

@@ -1,0 +1,64 @@
+#include "netlist/iscas89.h"
+
+#include "util/require.h"
+
+namespace rgleak::netlist {
+
+std::size_t Iscas89Descriptor::total_gates() const {
+  std::size_t n = 0;
+  for (const auto& [name, count] : composition) n += count;
+  return n;
+}
+
+const std::vector<Iscas89Descriptor>& iscas89_descriptors() {
+  // Totals follow the published ISCAS89 gate + flip-flop counts; the
+  // combinational split is synthesized (see header).
+  static const std::vector<Iscas89Descriptor> kCircuits = {
+      {"s298",  // 119 gates + 14 FF
+       {{"NAND2_X1", 30}, {"NOR2_X1", 38}, {"INV_X1", 44}, {"BUF_X1", 7}, {"DFF_X1", 14}}},
+      {"s344",  // 160 gates + 15 FF
+       {{"NAND2_X1", 50}, {"NOR2_X1", 30}, {"AND2_X1", 25}, {"INV_X1", 45}, {"BUF_X1", 10},
+        {"DFF_X1", 15}}},
+      {"s641",  // 379 gates + 19 FF
+       {{"NAND2_X1", 120}, {"NOR2_X1", 60}, {"AND2_X1", 50}, {"OR2_X1", 40}, {"INV_X1", 85},
+        {"BUF_X1", 24}, {"DFF_X1", 19}}},
+      {"s1196",  // 529 gates + 18 FF
+       {{"NAND2_X1", 180}, {"NOR2_X1", 80}, {"AND2_X1", 70}, {"OR2_X1", 50},
+        {"XOR2_X1", 30}, {"INV_X1", 99}, {"BUF_X1", 20}, {"DFF_X1", 18}}},
+      {"s5378",  // 2779 gates + 179 FF
+       {{"NAND2_X1", 800}, {"NOR2_X1", 500}, {"AND2_X1", 350}, {"OR2_X1", 250},
+        {"AOI21_X1", 150}, {"INV_X1", 600}, {"BUF_X1", 129}, {"DFF_X1", 179}}},
+      {"s9234",  // 5597 gates + 211 FF
+       {{"NAND2_X1", 1700}, {"NOR2_X1", 900}, {"AND2_X1", 700}, {"OR2_X1", 500},
+        {"AOI21_X1", 300}, {"OAI21_X1", 250}, {"INV_X1", 1000}, {"BUF_X1", 247},
+        {"DFF_X1", 211}}},
+      {"s13207",  // 7951 gates + 638 FF
+       {{"NAND2_X1", 2300}, {"NOR2_X1", 1300}, {"AND2_X1", 1000}, {"OR2_X1", 700},
+        {"AOI21_X1", 450}, {"OAI21_X1", 350}, {"INV_X1", 1400}, {"BUF_X1", 451},
+        {"DFF_X1", 638}, {"CLKBUF_X2", 0}}},
+      {"s38417",  // 22179 gates + 1636 FF
+       {{"NAND2_X1", 6500}, {"NOR2_X1", 3600}, {"AND2_X1", 2800}, {"OR2_X1", 2000},
+        {"AOI21_X1", 1300}, {"OAI21_X1", 1000}, {"XOR2_X1", 800}, {"INV_X1", 3300},
+        {"BUF_X1", 879}, {"DFF_X1", 1636}, {"CLKBUF_X2", 364}}},
+  };
+  return kCircuits;
+}
+
+Netlist make_iscas89(const Iscas89Descriptor& descriptor, const cells::StdCellLibrary& library,
+                     math::Rng& rng) {
+  std::vector<GateInstance> gates;
+  gates.reserve(descriptor.total_gates());
+  for (const auto& [name, count] : descriptor.composition) {
+    if (count == 0) continue;
+    const std::size_t idx = library.index_of(name);
+    for (std::size_t k = 0; k < count; ++k) gates.push_back({idx});
+  }
+  RGLEAK_REQUIRE(!gates.empty(), "benchmark has no gates");
+  for (std::size_t i = gates.size(); i > 1; --i) {
+    const std::size_t j = rng.uniform_index(i);
+    std::swap(gates[i - 1], gates[j]);
+  }
+  return Netlist(descriptor.name, &library, std::move(gates));
+}
+
+}  // namespace rgleak::netlist

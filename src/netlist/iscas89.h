@@ -1,0 +1,33 @@
+#pragma once
+// ISCAS89 sequential benchmarks mapped onto the virtual 90 nm library — an
+// extension of the paper's Table-1 protocol to flip-flop-heavy designs
+// (the paper's library includes flip-flops; its benchmark set does not
+// exercise them).
+//
+// As with ISCAS85 (see iscas85.h), the original netlists are not available
+// offline: each circuit is its published gate/FF total with a synthesized
+// combinational composition, which is all the Table-1 experiment consumes.
+
+#include <string>
+#include <vector>
+
+#include "math/rng.h"
+#include "netlist/netlist.h"
+
+namespace rgleak::netlist {
+
+struct Iscas89Descriptor {
+  std::string name;
+  std::vector<std::pair<std::string, std::size_t>> composition;
+
+  std::size_t total_gates() const;
+};
+
+/// Eight circuits spanning s298 (133 gates) to s38417 (~23.8k gates).
+const std::vector<Iscas89Descriptor>& iscas89_descriptors();
+
+/// Instantiates a benchmark as a shuffled netlist over `library`.
+Netlist make_iscas89(const Iscas89Descriptor& descriptor,
+                     const cells::StdCellLibrary& library, math::Rng& rng);
+
+}  // namespace rgleak::netlist

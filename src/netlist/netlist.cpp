@@ -1,0 +1,55 @@
+#include "netlist/netlist.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace rgleak::netlist {
+
+Netlist::Netlist(std::string name, const cells::StdCellLibrary* library,
+                 std::vector<GateInstance> gates)
+    : name_(std::move(name)), library_(library), gates_(std::move(gates)) {
+  RGLEAK_REQUIRE(library_ != nullptr, "netlist needs a library");
+  RGLEAK_REQUIRE(!gates_.empty(), "netlist needs at least one gate");
+  for (const auto& g : gates_)
+    RGLEAK_REQUIRE(g.cell_index < library_->size(), "gate references unknown cell");
+}
+
+const GateInstance& Netlist::gate(std::size_t i) const {
+  RGLEAK_REQUIRE(i < gates_.size(), "gate index out of range");
+  return gates_[i];
+}
+
+void UsageHistogram::validate() const {
+  RGLEAK_REQUIRE(!alphas.empty(), "usage histogram is empty");
+  double total = 0.0;
+  for (double a : alphas) {
+    RGLEAK_REQUIRE(a >= 0.0, "usage frequencies must be non-negative");
+    total += a;
+  }
+  RGLEAK_REQUIRE(std::abs(total - 1.0) < 1e-6, "usage frequencies must sum to 1");
+}
+
+UsageHistogram extract_usage(const Netlist& netlist) {
+  UsageHistogram h;
+  h.alphas.assign(netlist.library().size(), 0.0);
+  for (const auto& g : netlist.gates()) h.alphas[g.cell_index] += 1.0;
+  for (double& a : h.alphas) a /= static_cast<double>(netlist.size());
+  return h;
+}
+
+UsageHistogram usage_from_counts(const cells::StdCellLibrary& library,
+                                 const std::vector<std::pair<std::string, std::size_t>>& counts) {
+  UsageHistogram h;
+  h.alphas.assign(library.size(), 0.0);
+  std::size_t total = 0;
+  for (const auto& [name, count] : counts) {
+    h.alphas[library.index_of(name)] += static_cast<double>(count);
+    total += count;
+  }
+  RGLEAK_REQUIRE(total > 0, "usage counts are all zero");
+  for (double& a : h.alphas) a /= static_cast<double>(total);
+  return h;
+}
+
+}  // namespace rgleak::netlist

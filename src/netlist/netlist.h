@@ -1,0 +1,54 @@
+#pragma once
+// Gate-level netlist abstraction and the high-level-characteristics
+// extraction the paper's late-mode flow performs (cell-usage histogram, gate
+// count; layout dimensions come from the placement).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cells/library.h"
+
+namespace rgleak::netlist {
+
+/// One placed-or-unplaced gate instance: its library cell index.
+struct GateInstance {
+  std::size_t cell_index = 0;
+};
+
+/// A netlist over a given library. Connectivity is not modeled — leakage does
+/// not depend on it (interconnect leakage is excluded, as in the paper).
+class Netlist {
+ public:
+  Netlist(std::string name, const cells::StdCellLibrary* library,
+          std::vector<GateInstance> gates);
+
+  const std::string& name() const { return name_; }
+  const cells::StdCellLibrary& library() const { return *library_; }
+  std::size_t size() const { return gates_.size(); }
+  const GateInstance& gate(std::size_t i) const;
+  const std::vector<GateInstance>& gates() const { return gates_; }
+
+ private:
+  std::string name_;
+  const cells::StdCellLibrary* library_;
+  std::vector<GateInstance> gates_;
+};
+
+/// Frequency-of-use distribution over library cells (the alpha_i of eq. (6)).
+struct UsageHistogram {
+  std::vector<double> alphas;  ///< one entry per library cell, sums to 1
+
+  /// Validates non-negativity and normalization.
+  void validate() const;
+};
+
+/// Extracts the usage histogram from a netlist (late-mode extraction; linear
+/// time, as footnote 1 of the paper notes).
+UsageHistogram extract_usage(const Netlist& netlist);
+
+/// Builds a histogram from (cell name, count) pairs; unlisted cells get 0.
+UsageHistogram usage_from_counts(const cells::StdCellLibrary& library,
+                                 const std::vector<std::pair<std::string, std::size_t>>& counts);
+
+}  // namespace rgleak::netlist

@@ -1,0 +1,58 @@
+#include "netlist/random_circuit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/require.h"
+
+namespace rgleak::netlist {
+
+Netlist generate_random_circuit(const cells::StdCellLibrary& library,
+                                const UsageHistogram& usage, std::size_t n, math::Rng& rng,
+                                UsageMatch match, const std::string& name) {
+  usage.validate();
+  RGLEAK_REQUIRE(usage.alphas.size() == library.size(), "histogram/library size mismatch");
+  RGLEAK_REQUIRE(n >= 1, "circuit needs at least one gate");
+
+  std::vector<GateInstance> gates;
+  gates.reserve(n);
+
+  if (match == UsageMatch::kIid) {
+    // Inverse-CDF draw per gate.
+    std::vector<double> cdf(usage.alphas.size());
+    std::partial_sum(usage.alphas.begin(), usage.alphas.end(), cdf.begin());
+    for (std::size_t g = 0; g < n; ++g) {
+      const double u = rng.uniform() * cdf.back();
+      const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+      gates.push_back({static_cast<std::size_t>(it - cdf.begin())});
+    }
+  } else {
+    // Largest-remainder apportionment: floor everything, then hand out the
+    // remaining gates to the largest fractional parts.
+    const double dn = static_cast<double>(n);
+    std::vector<std::size_t> count(usage.alphas.size(), 0);
+    std::vector<std::pair<double, std::size_t>> remainder;
+    std::size_t assigned = 0;
+    for (std::size_t i = 0; i < usage.alphas.size(); ++i) {
+      const double ideal = usage.alphas[i] * dn;
+      count[i] = static_cast<std::size_t>(std::floor(ideal));
+      assigned += count[i];
+      remainder.emplace_back(ideal - std::floor(ideal), i);
+    }
+    std::sort(remainder.begin(), remainder.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (std::size_t r = 0; assigned < n; ++r, ++assigned) count[remainder[r % remainder.size()].second]++;
+    for (std::size_t i = 0; i < count.size(); ++i)
+      for (std::size_t k = 0; k < count[i]; ++k) gates.push_back({i});
+  }
+
+  // Fisher-Yates shuffle: random assignment of types to placement order.
+  for (std::size_t i = gates.size(); i > 1; --i) {
+    const std::size_t j = rng.uniform_index(i);
+    std::swap(gates[i - 1], gates[j]);
+  }
+  return Netlist(name, &library, std::move(gates));
+}
+
+}  // namespace rgleak::netlist

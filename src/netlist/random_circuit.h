@@ -1,0 +1,26 @@
+#pragma once
+// Random circuit generation (the Fig.-6 experiment substrate): produces
+// netlists of a given size whose cell-usage histogram matches a target
+// distribution, either exactly (largest-remainder apportionment, then
+// shuffled) or by i.i.d. sampling.
+
+#include "math/rng.h"
+#include "netlist/netlist.h"
+
+namespace rgleak::netlist {
+
+/// How the generator matches the target histogram.
+enum class UsageMatch {
+  kExact,  ///< per-cell counts = round(alpha_i * n) via largest remainder
+  kIid,    ///< each gate drawn i.i.d. from the histogram
+};
+
+/// Generates a random netlist of `n` gates over `library` matching `usage`.
+/// The gate order is shuffled (which, combined with a row-major placement,
+/// yields a random placement of types on the grid).
+Netlist generate_random_circuit(const cells::StdCellLibrary& library,
+                                const UsageHistogram& usage, std::size_t n, math::Rng& rng,
+                                UsageMatch match = UsageMatch::kExact,
+                                const std::string& name = "random");
+
+}  // namespace rgleak::netlist

@@ -1,0 +1,55 @@
+#include "placement/placement.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace rgleak::placement {
+
+double Floorplan::site_x_nm(std::size_t c) const {
+  RGLEAK_REQUIRE(c < cols, "column out of range");
+  return (static_cast<double>(c) + 0.5) * site_w_nm;
+}
+
+double Floorplan::site_y_nm(std::size_t r) const {
+  RGLEAK_REQUIRE(r < rows, "row out of range");
+  return (static_cast<double>(r) + 0.5) * site_h_nm;
+}
+
+Floorplan Floorplan::for_gate_count(std::size_t n, double site_w_nm, double site_h_nm) {
+  RGLEAK_REQUIRE(n >= 1, "floorplan needs at least one site");
+  RGLEAK_REQUIRE(site_w_nm > 0.0 && site_h_nm > 0.0, "site pitch must be positive");
+  Floorplan fp;
+  fp.site_w_nm = site_w_nm;
+  fp.site_h_nm = site_h_nm;
+  fp.rows = static_cast<std::size_t>(std::floor(std::sqrt(static_cast<double>(n))));
+  if (fp.rows == 0) fp.rows = 1;
+  fp.cols = (n + fp.rows - 1) / fp.rows;
+  return fp;
+}
+
+Placement::Placement(const netlist::Netlist* netlist, Floorplan floorplan)
+    : netlist_(netlist), floorplan_(floorplan) {
+  RGLEAK_REQUIRE(netlist_ != nullptr, "placement needs a netlist");
+  RGLEAK_REQUIRE(floorplan_.num_sites() >= netlist_->size(),
+                 "floorplan has fewer sites than gates");
+}
+
+std::size_t Placement::site_of(std::size_t gate) const {
+  RGLEAK_REQUIRE(gate < netlist_->size(), "gate index out of range");
+  return gate;  // row-major in (shuffled) gate order
+}
+
+double Placement::x_nm(std::size_t gate) const {
+  return floorplan_.site_x_nm(site_of(gate) % floorplan_.cols);
+}
+
+double Placement::y_nm(std::size_t gate) const {
+  return floorplan_.site_y_nm(site_of(gate) / floorplan_.cols);
+}
+
+double Placement::distance_nm(std::size_t gate_a, std::size_t gate_b) const {
+  return std::hypot(x_nm(gate_a) - x_nm(gate_b), y_nm(gate_a) - y_nm(gate_b));
+}
+
+}  // namespace rgleak::placement

@@ -1,0 +1,56 @@
+#pragma once
+// Floorplan and placement: the k x m site grid of Fig. 4 with site pitch
+// (dW, dH), and the mapping of netlist gates onto sites. Distances between
+// sites are centre-to-centre, d_ij = sqrt((i dW)^2 + (j dH)^2).
+
+#include <cstddef>
+
+#include "netlist/netlist.h"
+
+namespace rgleak::placement {
+
+/// The rectangular RG array of the paper: k rows x m columns of identical
+/// sites.
+struct Floorplan {
+  std::size_t rows = 1;      ///< k
+  std::size_t cols = 1;      ///< m
+  double site_w_nm = 1500.0; ///< dW
+  double site_h_nm = 1500.0; ///< dH
+
+  std::size_t num_sites() const { return rows * cols; }
+  double width_nm() const { return static_cast<double>(cols) * site_w_nm; }
+  double height_nm() const { return static_cast<double>(rows) * site_h_nm; }
+  double area_nm2() const { return width_nm() * height_nm(); }
+
+  /// Centre of site (row r, col c).
+  double site_x_nm(std::size_t c) const;
+  double site_y_nm(std::size_t r) const;
+
+  /// Near-square floorplan with at least `n` sites (rows*cols >= n, as tight
+  /// as possible).
+  static Floorplan for_gate_count(std::size_t n, double site_w_nm = 1500.0,
+                                  double site_h_nm = 1500.0);
+};
+
+/// Assignment of every netlist gate to a distinct site, row-major in gate
+/// order (the netlist generators shuffle gate order, so this scatters types
+/// randomly over the die).
+class Placement {
+ public:
+  Placement(const netlist::Netlist* netlist, Floorplan floorplan);
+
+  const netlist::Netlist& netlist() const { return *netlist_; }
+  const Floorplan& floorplan() const { return floorplan_; }
+
+  std::size_t site_of(std::size_t gate) const;
+  double x_nm(std::size_t gate) const;
+  double y_nm(std::size_t gate) const;
+  /// Centre-to-centre distance between two gates' sites.
+  double distance_nm(std::size_t gate_a, std::size_t gate_b) const;
+
+ private:
+  const netlist::Netlist* netlist_;
+  Floorplan floorplan_;
+};
+
+}  // namespace rgleak::placement

@@ -1,0 +1,173 @@
+#include "process/correlation_fit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace rgleak::process {
+
+std::vector<CorrelogramBin> empirical_correlogram(
+    const std::vector<std::vector<double>>& die_samples, std::size_t rows, std::size_t cols,
+    double dx_nm, double dy_nm, std::size_t bins, double max_distance_nm) {
+  RGLEAK_REQUIRE(die_samples.size() >= 2, "correlogram needs at least two dies");
+  RGLEAK_REQUIRE(rows >= 2 && cols >= 2, "correlogram needs a 2-D grid");
+  RGLEAK_REQUIRE(dx_nm > 0.0 && dy_nm > 0.0, "site pitch must be positive");
+  RGLEAK_REQUIRE(bins >= 2, "correlogram needs at least two bins");
+  const std::size_t n = rows * cols;
+  for (const auto& die : die_samples)
+    RGLEAK_REQUIRE(die.size() == n, "die sample size mismatch");
+
+  if (max_distance_nm <= 0.0)
+    max_distance_nm =
+        0.5 * std::hypot(static_cast<double>(cols) * dx_nm, static_cast<double>(rows) * dy_nm);
+
+  // Global (pooled) mean and variance under the stationarity assumption.
+  double mean = 0.0;
+  std::size_t count = 0;
+  for (const auto& die : die_samples)
+    for (double x : die) {
+      mean += x;
+      ++count;
+    }
+  mean /= static_cast<double>(count);
+  double var = 0.0;
+  for (const auto& die : die_samples)
+    for (double x : die) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(count - 1);
+  RGLEAK_REQUIRE(var > 0.0, "field samples are constant; no correlation to extract");
+
+  struct BinAcc {
+    double dist_weighted = 0.0;
+    double rho_weighted = 0.0;
+    std::size_t pairs = 0;
+  };
+  std::vector<BinAcc> acc(bins);
+  const double bin_w = max_distance_nm / static_cast<double>(bins);
+
+  // All unordered offsets: (di = 0, dj > 0) and (di > 0, any dj).
+  const auto add_offset = [&](std::size_t di, long long dj) {
+    const double d = std::hypot(static_cast<double>(dj) * dx_nm,
+                                static_cast<double>(di) * dy_nm);
+    if (d <= 0.0 || d >= max_distance_nm) return;
+    double cov = 0.0;
+    std::size_t pairs = 0;
+    for (const auto& die : die_samples) {
+      for (std::size_t r = 0; r + di < rows; ++r) {
+        const std::size_t c_lo = dj < 0 ? static_cast<std::size_t>(-dj) : 0;
+        const std::size_t c_hi = dj > 0 ? cols - static_cast<std::size_t>(dj) : cols;
+        for (std::size_t c = c_lo; c < c_hi; ++c) {
+          const double a = die[r * cols + c];
+          const double b =
+              die[(r + di) * cols + static_cast<std::size_t>(static_cast<long long>(c) + dj)];
+          cov += (a - mean) * (b - mean);
+          ++pairs;
+        }
+      }
+    }
+    if (pairs == 0) return;
+    const double rho = cov / static_cast<double>(pairs) / var;
+    auto bin = static_cast<std::size_t>(d / bin_w);
+    bin = std::min(bin, bins - 1);
+    acc[bin].dist_weighted += d * static_cast<double>(pairs);
+    acc[bin].rho_weighted += rho * static_cast<double>(pairs);
+    acc[bin].pairs += pairs;
+  };
+  for (long long dj = 1; dj < static_cast<long long>(cols); ++dj) add_offset(0, dj);
+  for (std::size_t di = 1; di < rows; ++di)
+    for (long long dj = -(static_cast<long long>(cols) - 1);
+         dj < static_cast<long long>(cols); ++dj)
+      add_offset(di, dj);
+
+  std::vector<CorrelogramBin> out;
+  for (const auto& b : acc) {
+    if (b.pairs == 0) continue;
+    CorrelogramBin bin;
+    bin.distance_nm = b.dist_weighted / static_cast<double>(b.pairs);
+    bin.correlation = b.rho_weighted / static_cast<double>(b.pairs);
+    bin.pairs = b.pairs;
+    out.push_back(bin);
+  }
+  RGLEAK_REQUIRE(out.size() >= 2, "correlogram has too few populated bins");
+  return out;
+}
+
+namespace {
+
+double fit_error(const std::vector<CorrelogramBin>& correlogram, const std::string& family,
+                 double scale) {
+  const auto model = make_correlation(family, scale);
+  double se = 0.0, wsum = 0.0;
+  for (const auto& bin : correlogram) {
+    const double r = (*model)(bin.distance_nm) - bin.correlation;
+    const double w = static_cast<double>(bin.pairs);
+    se += w * r * r;
+    wsum += w;
+  }
+  return std::sqrt(se / wsum);
+}
+
+}  // namespace
+
+CorrelationFit fit_correlation_model(const std::vector<CorrelogramBin>& correlogram,
+                                     const std::string& family) {
+  RGLEAK_REQUIRE(correlogram.size() >= 2, "fit needs at least two correlogram bins");
+  double d_min = correlogram.front().distance_nm, d_max = 0.0;
+  for (const auto& b : correlogram) {
+    d_min = std::min(d_min, b.distance_nm);
+    d_max = std::max(d_max, b.distance_nm);
+  }
+  RGLEAK_REQUIRE(d_min > 0.0, "correlogram bins must have positive distance");
+
+  // Coarse log-grid search, then golden-section refinement.
+  const double lo0 = d_min / 8.0, hi0 = d_max * 32.0;
+  double best_scale = lo0, best_err = fit_error(correlogram, family, lo0);
+  const int kGrid = 64;
+  for (int i = 1; i < kGrid; ++i) {
+    const double s =
+        lo0 * std::pow(hi0 / lo0, static_cast<double>(i) / static_cast<double>(kGrid - 1));
+    const double e = fit_error(correlogram, family, s);
+    if (e < best_err) {
+      best_err = e;
+      best_scale = s;
+    }
+  }
+  double lo = best_scale / 2.0, hi = best_scale * 2.0;
+  const double gr = (std::sqrt(5.0) - 1.0) / 2.0;
+  double a = hi - gr * (hi - lo), b = lo + gr * (hi - lo);
+  double fa = fit_error(correlogram, family, a), fb = fit_error(correlogram, family, b);
+  for (int it = 0; it < 60; ++it) {
+    if (fa < fb) {
+      hi = b;
+      b = a;
+      fb = fa;
+      a = hi - gr * (hi - lo);
+      fa = fit_error(correlogram, family, a);
+    } else {
+      lo = a;
+      a = b;
+      fa = fb;
+      b = lo + gr * (hi - lo);
+      fb = fit_error(correlogram, family, b);
+    }
+  }
+  CorrelationFit fit;
+  fit.family = family;
+  fit.scale_nm = 0.5 * (lo + hi);
+  fit.rms_error = fit_error(correlogram, family, fit.scale_nm);
+  fit.model = make_correlation(family, fit.scale_nm);
+  return fit;
+}
+
+std::vector<CorrelationFit> fit_all_families(const std::vector<CorrelogramBin>& correlogram) {
+  std::vector<CorrelationFit> fits;
+  for (const char* family : {"exponential", "gaussian", "linear", "spherical", "matern32"})
+    fits.push_back(fit_correlation_model(correlogram, family));
+  std::sort(fits.begin(), fits.end(),
+            [](const CorrelationFit& a, const CorrelationFit& b) {
+              return a.rms_error < b.rms_error;
+            });
+  return fits;
+}
+
+}  // namespace rgleak::process

@@ -1,0 +1,50 @@
+#pragma once
+// Robust extraction of the WID spatial-correlation model from measured (or
+// simulated) parameter fields — the calibration step the paper delegates to
+// Xiong/Zolotov/He [ISPD'06]. Given per-die samples of a parameter on a site
+// grid, compute the empirical correlogram (average correlation per lag
+// distance) and fit a chosen valid correlation family's scale to it, so that
+// the fitted model is positive definite by construction.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "process/spatial_correlation.h"
+
+namespace rgleak::process {
+
+/// One point of the empirical correlogram.
+struct CorrelogramBin {
+  double distance_nm = 0.0;
+  double correlation = 0.0;
+  std::size_t pairs = 0;  ///< site pairs averaged into this bin
+};
+
+/// Computes the empirical correlogram of per-die field samples on a
+/// rows x cols grid (row-major, one vector per die). Lags are binned by
+/// centre distance into `bins` equal-width bins up to `max_distance_nm`
+/// (default: half the grid diagonal). Requires >= 2 dies.
+std::vector<CorrelogramBin> empirical_correlogram(
+    const std::vector<std::vector<double>>& die_samples, std::size_t rows, std::size_t cols,
+    double dx_nm, double dy_nm, std::size_t bins = 24, double max_distance_nm = 0.0);
+
+/// Result of a correlation-model fit.
+struct CorrelationFit {
+  std::string family;
+  double scale_nm = 0.0;
+  double rms_error = 0.0;  ///< RMS residual of rho over the correlogram bins
+  std::shared_ptr<const SpatialCorrelation> model;
+};
+
+/// Fits one factory family ("exponential", "gaussian", "linear", "spherical",
+/// "matern32") to a correlogram by golden-section search on the scale
+/// (pair-count-weighted least squares).
+CorrelationFit fit_correlation_model(const std::vector<CorrelogramBin>& correlogram,
+                                     const std::string& family);
+
+/// Fits all factory families and returns them sorted by ascending RMS error
+/// (best first) — "pick the family the silicon actually follows".
+std::vector<CorrelationFit> fit_all_families(const std::vector<CorrelogramBin>& correlogram);
+
+}  // namespace rgleak::process

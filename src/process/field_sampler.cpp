@@ -1,0 +1,124 @@
+#include "process/field_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "math/fft.h"
+#include "util/require.h"
+
+namespace rgleak::process {
+
+GridFieldSampler::GridFieldSampler(std::size_t rows, std::size_t cols, double dx_nm, double dy_nm,
+                                   const SpatialCorrelation& rho, double sigma,
+                                   CorrelationAnisotropy anisotropy)
+    : rows_(rows), cols_(cols) {
+  RGLEAK_REQUIRE(rows >= 1 && cols >= 1, "grid must be non-empty");
+  RGLEAK_REQUIRE(dx_nm > 0.0 && dy_nm > 0.0, "site pitch must be positive");
+  RGLEAK_REQUIRE(sigma >= 0.0, "sigma must be non-negative");
+  RGLEAK_REQUIRE(anisotropy.scale_x > 0.0 && anisotropy.scale_y > 0.0,
+                 "anisotropy scales must be positive");
+  // Fold the anisotropy into effective pitches: rho is evaluated at
+  // hypot(dx/ax, dy/ay).
+  dx_nm /= anisotropy.scale_x;
+  dy_nm /= anisotropy.scale_y;
+
+  // Periodic embedding (powers of two for the FFT). The embedding is exact
+  // when the padded half-domain exceeds the kernel range (no wrap-around
+  // correlation); pad up to that point, capped at 4x the grid to bound
+  // memory for very long-range kernels (the residual shows up in
+  // clamped_eigenvalue_fraction()).
+  const auto padded = [&](std::size_t n, double pitch) {
+    const double range_sites = rho.range_nm() / pitch;
+    const double want = static_cast<double>(n) +
+                        std::min(range_sites, 4.0 * static_cast<double>(n));
+    return math::next_pow2(std::max<std::size_t>(static_cast<std::size_t>(std::ceil(want)), 2));
+  };
+  prow_ = padded(rows, dy_nm);
+  pcol_ = padded(cols, dx_nm);
+
+  // First row of the block-circulant covariance: wrap-around distances.
+  std::vector<std::complex<double>> kernel(prow_ * pcol_);
+  const double var = sigma * sigma;
+  for (std::size_t r = 0; r < prow_; ++r) {
+    const std::size_t wr = std::min(r, prow_ - r);
+    const double dyv = static_cast<double>(wr) * dy_nm;
+    for (std::size_t c = 0; c < pcol_; ++c) {
+      const std::size_t wc = std::min(c, pcol_ - c);
+      const double dxv = static_cast<double>(wc) * dx_nm;
+      const double d = std::hypot(dxv, dyv);
+      kernel[r * pcol_ + c] = var * rho(d);
+    }
+  }
+
+  math::fft2d(kernel, prow_, pcol_, /*inverse=*/false);
+
+  sqrt_eig_.resize(prow_ * pcol_);
+  double max_eig = 0.0, worst_neg = 0.0;
+  for (std::size_t i = 0; i < kernel.size(); ++i) {
+    const double lambda = kernel[i].real();  // imaginary parts are FFT noise
+    max_eig = std::max(max_eig, lambda);
+    worst_neg = std::min(worst_neg, lambda);
+    sqrt_eig_[i] = lambda > 0.0 ? std::sqrt(lambda) : 0.0;
+  }
+  clamped_fraction_ = max_eig > 0.0 ? -worst_neg / max_eig : 0.0;
+}
+
+std::vector<double> GridFieldSampler::sample(math::Rng& rng) {
+  if (has_cached_) {
+    has_cached_ = false;
+    return std::move(cached_);
+  }
+  const std::size_t np = prow_ * pcol_;
+  std::vector<std::complex<double>> z(np);
+  for (auto& v : z) v = {rng.normal(), rng.normal()};
+  for (std::size_t i = 0; i < np; ++i) z[i] *= sqrt_eig_[i];
+  math::fft2d(z, prow_, pcol_, /*inverse=*/true);
+
+  // y = sqrt(N) * IFFT(sqrt(lambda) .* eps) has E[Re(y) Re(y)^T] = C; the
+  // imaginary part is a second independent sample that we cache.
+  const double scale = std::sqrt(static_cast<double>(np));
+  std::vector<double> field(rows_ * cols_);
+  cached_.resize(rows_ * cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const auto v = z[r * pcol_ + c] * scale;
+      field[r * cols_ + c] = v.real();
+      cached_[r * cols_ + c] = v.imag();
+    }
+  has_cached_ = true;
+  return field;
+}
+
+DenseFieldSampler::DenseFieldSampler(std::vector<Site> sites, const SpatialCorrelation& rho,
+                                     double sigma)
+    : sites_(std::move(sites)) {
+  RGLEAK_REQUIRE(!sites_.empty(), "dense sampler needs at least one site");
+  RGLEAK_REQUIRE(sigma >= 0.0, "sigma must be non-negative");
+  const std::size_t n = sites_.size();
+  math::Matrix cov(n, n);
+  const double var = sigma * sigma;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double d = std::hypot(sites_[i].x_nm - sites_[j].x_nm, sites_[i].y_nm - sites_[j].y_nm);
+      double v = var * rho(d);
+      if (i == j) v += var * 1e-10;  // jitter to keep coincident sites factorizable
+      cov(i, j) = cov(j, i) = v;
+    }
+  }
+  chol_ = math::cholesky(cov);
+}
+
+std::vector<double> DenseFieldSampler::sample(math::Rng& rng) const {
+  const std::size_t n = sites_.size();
+  const std::vector<double> z = rng.normal_vector(n);
+  std::vector<double> y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j <= i; ++j) s += chol_(i, j) * z[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+}  // namespace rgleak::process

@@ -1,0 +1,73 @@
+#pragma once
+// Sampling of spatially correlated within-die parameter fields.
+//
+// The full-chip Monte-Carlo validator needs draws of the WID channel-length
+// deviation at every placement site with covariance
+//   cov(s1, s2) = sigma_wid^2 * rho_wid(||s1 - s2||).
+// For regular grids we use circulant embedding (Dietrich & Newsam): embed the
+// stationary covariance in a periodic domain, diagonalize it with a 2-D FFT,
+// and color white noise — exact (up to eigenvalue clamping) and
+// O(N log N). For small irregular site sets a dense Cholesky factorization of
+// the covariance matrix is provided.
+
+#include <cstddef>
+#include <vector>
+
+#include "math/linalg.h"
+#include "math/rng.h"
+#include "process/spatial_correlation.h"
+#include "process/variation.h"
+
+namespace rgleak::process {
+
+/// Samples zero-mean stationary Gaussian fields on a k x m grid of sites with
+/// spacing (dx, dy) nm, covariance sigma^2 * rho(effective distance), where
+/// the effective distance applies the optional per-axis anisotropy scaling.
+class GridFieldSampler {
+ public:
+  GridFieldSampler(std::size_t rows, std::size_t cols, double dx_nm, double dy_nm,
+                   const SpatialCorrelation& rho, double sigma,
+                   CorrelationAnisotropy anisotropy = {});
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// One field sample, row-major rows() x cols(). Each call consumes fresh
+  /// randomness; successive samples are independent.
+  std::vector<double> sample(math::Rng& rng);
+
+  /// Largest negative embedding eigenvalue that was clamped to zero, as a
+  /// fraction of the largest eigenvalue (0 when the embedding was exactly
+  /// non-negative). Diagnostic for kernel validity.
+  double clamped_eigenvalue_fraction() const { return clamped_fraction_; }
+
+ private:
+  std::size_t rows_, cols_;      // requested grid
+  std::size_t prow_, pcol_;      // padded periodic grid (powers of two)
+  std::vector<double> sqrt_eig_; // sqrt of embedding eigenvalues, prow_ x pcol_
+  double clamped_fraction_ = 0.0;
+  std::vector<double> cached_;   // second independent field from the last FFT
+  bool has_cached_ = false;
+};
+
+/// Dense sampler for arbitrary site locations: factorizes the n x n covariance
+/// once (O(n^3)) and produces samples in O(n^2). Intended for n up to a few
+/// thousand.
+class DenseFieldSampler {
+ public:
+  struct Site {
+    double x_nm = 0.0;
+    double y_nm = 0.0;
+  };
+
+  DenseFieldSampler(std::vector<Site> sites, const SpatialCorrelation& rho, double sigma);
+
+  std::size_t size() const { return sites_.size(); }
+  std::vector<double> sample(math::Rng& rng) const;
+
+ private:
+  std::vector<Site> sites_;
+  math::Matrix chol_;
+};
+
+}  // namespace rgleak::process

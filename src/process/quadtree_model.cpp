@@ -1,0 +1,82 @@
+#include "process/quadtree_model.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "util/require.h"
+
+namespace rgleak::process {
+
+QuadtreeModel::QuadtreeModel(std::vector<double> level_sigmas, double width_nm,
+                             double height_nm)
+    : sigmas_(std::move(level_sigmas)), width_(width_nm), height_(height_nm) {
+  RGLEAK_REQUIRE(!sigmas_.empty(), "quadtree needs at least one level");
+  RGLEAK_REQUIRE(sigmas_.size() <= 20, "quadtree depth capped at 20 levels");
+  RGLEAK_REQUIRE(width_ > 0.0 && height_ > 0.0, "die dimensions must be positive");
+  double var = 0.0;
+  for (double s : sigmas_) {
+    RGLEAK_REQUIRE(s >= 0.0, "level sigmas must be non-negative");
+    var += s * s;
+  }
+  RGLEAK_REQUIRE(var > 0.0, "quadtree has zero total variance");
+  total_sigma_ = std::sqrt(var);
+}
+
+std::size_t QuadtreeModel::region_index(std::size_t level, double x, double y) const {
+  const auto cells = static_cast<std::size_t>(1) << level;  // 2^level per axis
+  auto ix = static_cast<std::size_t>(x / width_ * static_cast<double>(cells));
+  auto iy = static_cast<std::size_t>(y / height_ * static_cast<double>(cells));
+  ix = std::min(ix, cells - 1);
+  iy = std::min(iy, cells - 1);
+  return iy * cells + ix;
+}
+
+double QuadtreeModel::correlation(double x1, double y1, double x2, double y2) const {
+  RGLEAK_REQUIRE(x1 >= 0.0 && x1 <= width_ && x2 >= 0.0 && x2 <= width_ && y1 >= 0.0 &&
+                     y1 <= height_ && y2 >= 0.0 && y2 <= height_,
+                 "locations must lie on the die");
+  double shared = 0.0;
+  for (std::size_t l = 0; l < sigmas_.size(); ++l) {
+    if (region_index(l, x1, y1) != region_index(l, x2, y2)) break;  // tree: once split, always split
+    shared += sigmas_[l] * sigmas_[l];
+  }
+  return shared / (total_sigma_ * total_sigma_);
+}
+
+std::vector<double> QuadtreeModel::sample(
+    const std::vector<std::pair<double, double>>& locations, math::Rng& rng) const {
+  RGLEAK_REQUIRE(!locations.empty(), "sample needs at least one location");
+  for (const auto& [x, y] : locations)
+    RGLEAK_REQUIRE(x >= 0.0 && x <= width_ && y >= 0.0 && y <= height_,
+                   "locations must lie on the die");
+
+  std::vector<double> out(locations.size(), 0.0);
+  // Draw region components lazily per level; regions are keyed by index.
+  for (std::size_t l = 0; l < sigmas_.size(); ++l) {
+    if (sigmas_[l] == 0.0) continue;
+    std::unordered_map<std::size_t, double> draw;
+    for (std::size_t i = 0; i < locations.size(); ++i) {
+      const std::size_t region = region_index(l, locations[i].first, locations[i].second);
+      auto it = draw.find(region);
+      if (it == draw.end()) it = draw.emplace(region, rng.normal(0.0, sigmas_[l])).first;
+      out[i] += it->second;
+    }
+  }
+  return out;
+}
+
+std::vector<double> QuadtreeModel::sample_grid(std::size_t rows, std::size_t cols,
+                                               math::Rng& rng) const {
+  RGLEAK_REQUIRE(rows >= 1 && cols >= 1, "grid must be non-empty");
+  const double px = width_ / static_cast<double>(cols);
+  const double py = height_ / static_cast<double>(rows);
+  std::vector<std::pair<double, double>> locations;
+  locations.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      locations.emplace_back((static_cast<double>(c) + 0.5) * px,
+                             (static_cast<double>(r) + 0.5) * py);
+  return sample(locations, rng);
+}
+
+}  // namespace rgleak::process

@@ -1,0 +1,57 @@
+#pragma once
+// Hierarchical (quadtree) WID variation model, Agarwal/Blaauw style — the
+// main *competing* correlation abstraction in the SSTA literature (used by
+// the paper's reference [4]).
+//
+// The die is recursively partitioned: level 0 is one region, level l has
+// 2^l x 2^l regions; each region carries an independent N(0, sigma_l^2)
+// component and a site's WID deviation is the sum of its regions' components
+// down the tree. Correlation between two sites is the fraction of variance
+// they share: sum of sigma_l^2 over the levels where they fall in the same
+// region. This is NOT a function of distance alone (two sites straddling a
+// high-level boundary decorrelate sharply), which makes the model the
+// natural stress test for the paper's distance-based rho_L(d) assumption
+// (bench_model_mismatch).
+
+#include <cstddef>
+#include <vector>
+
+#include "math/rng.h"
+
+namespace rgleak::process {
+
+class QuadtreeModel {
+ public:
+  /// `level_sigmas[l]` is the sigma of level l's independent components
+  /// (level 0 = whole-die region; deeper levels decorrelate shorter ranges).
+  /// The die spans [0, width_nm] x [0, height_nm].
+  QuadtreeModel(std::vector<double> level_sigmas, double width_nm, double height_nm);
+
+  std::size_t levels() const { return sigmas_.size(); }
+  /// Total WID sigma: sqrt(sum sigma_l^2).
+  double total_sigma() const { return total_sigma_; }
+  double width_nm() const { return width_; }
+  double height_nm() const { return height_; }
+
+  /// Exact correlation between two die locations: shared-variance fraction.
+  double correlation(double x1_nm, double y1_nm, double x2_nm, double y2_nm) const;
+
+  /// Samples the WID deviations at the given locations (one draw of the whole
+  /// tree). Locations outside the die are rejected.
+  std::vector<double> sample(const std::vector<std::pair<double, double>>& locations_nm,
+                             math::Rng& rng) const;
+
+  /// Convenience: samples a rows x cols site grid (row-major, site centres at
+  /// pitch/2 offsets), pitch derived from the die dimensions.
+  std::vector<double> sample_grid(std::size_t rows, std::size_t cols, math::Rng& rng) const;
+
+ private:
+  std::vector<double> sigmas_;
+  double width_, height_;
+  double total_sigma_;
+
+  /// Region index of a location at level l.
+  std::size_t region_index(std::size_t level, double x, double y) const;
+};
+
+}  // namespace rgleak::process

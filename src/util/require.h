@@ -1,0 +1,42 @@
+#pragma once
+// Precondition / invariant checking for rgleak.
+//
+// RGLEAK_REQUIRE(cond, msg)  — throws rgleak::ContractViolation when `cond` is
+// false. Used for API preconditions; always on (these checks are cheap relative
+// to the numerical work this library does).
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rgleak {
+
+/// Thrown when a documented precondition or invariant of the library is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a numerical routine fails to converge or receives an
+/// ill-conditioned problem (distinct from caller bugs, which are
+/// ContractViolation).
+class NumericalError : public std::runtime_error {
+ public:
+  explicit NumericalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* expr, const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << "rgleak contract violation: " << msg << " [" << expr << "] at " << file << ":" << line;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace rgleak
+
+#define RGLEAK_REQUIRE(cond, msg)                                           \
+  do {                                                                      \
+    if (!(cond)) ::rgleak::detail::contract_fail(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

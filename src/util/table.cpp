@@ -1,0 +1,72 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/require.h"
+
+namespace rgleak::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  RGLEAK_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(std::string value) {
+  RGLEAK_REQUIRE(!rows_.empty(), "call row() before cell()");
+  RGLEAK_REQUIRE(rows_.back().size() < header_.size(), "row has more cells than header columns");
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+  return cell(std::string(buf));
+}
+
+Table& Table::cell(long long value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", value);
+  return cell(std::string(buf));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string();
+      os << s;
+      if (c + 1 < header_.size()) os << std::string(width[c] - s.size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < header_.size(); ++c) total += width[c] + (c + 1 < header_.size() ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+}  // namespace rgleak::util

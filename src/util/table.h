@@ -1,0 +1,35 @@
+#pragma once
+// Small text/CSV table writer used by the benchmark harness to print the
+// rows/series corresponding to each table and figure in the paper.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rgleak::util {
+
+/// Column-aligned text table with an optional CSV dump. Cells are strings;
+/// numeric helpers format with a fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row. Subsequent add_* calls append cells to it.
+  Table& row();
+  Table& cell(std::string value);
+  Table& cell(double value, int precision = 4);
+  Table& cell(long long value);
+
+  /// Renders the table, column-aligned, to `os`.
+  void print(std::ostream& os) const;
+  /// Renders the table as CSV to `os`.
+  void print_csv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rgleak::util

@@ -1,0 +1,211 @@
+#include "cells/cell.h"
+
+#include <gtest/gtest.h>
+
+#include "cells/library.h"
+#include "util/require.h"
+
+namespace rgleak::cells {
+namespace {
+
+const device::TechnologyParams kTech{};
+
+Cell make_test_inv() {
+  CellBuilder b("INV_T", 1, Sizing{});
+  b.add_inverter(b.input(0));
+  return std::move(b).build();
+}
+
+TEST(CellBuilder, InverterStructure) {
+  const Cell inv = make_test_inv();
+  EXPECT_EQ(inv.num_inputs(), 1);
+  EXPECT_EQ(inv.num_states(), 2u);
+  EXPECT_EQ(inv.num_devices(), 2u);
+  EXPECT_EQ(inv.stages().size(), 1u);
+  EXPECT_GT(inv.footprint_nm2(), 0.0);
+}
+
+TEST(Cell, InverterSignalResolution) {
+  const Cell inv = make_test_inv();
+  // signals: [in, gnd, vdd, out]
+  const auto s0 = inv.resolve_signals(0);
+  ASSERT_EQ(s0.size(), 4u);
+  EXPECT_FALSE(s0[0]);
+  EXPECT_FALSE(s0[1]);  // gnd
+  EXPECT_TRUE(s0[2]);   // vdd
+  EXPECT_TRUE(s0[3]);   // out = !0
+  const auto s1 = inv.resolve_signals(1);
+  EXPECT_TRUE(s1[0]);
+  EXPECT_FALSE(s1[3]);
+}
+
+TEST(Cell, InverterLeakagePositiveBothStates) {
+  const Cell inv = make_test_inv();
+  const double i0 = inv.leakage_na(0, 40.0, kTech);
+  const double i1 = inv.leakage_na(1, 40.0, kTech);
+  EXPECT_GT(i0, 0.0);
+  EXPECT_GT(i1, 0.0);
+  // input 0 -> output high -> NMOS (stronger per square) leaks; input 1 ->
+  // PMOS leaks. With default sizing the two differ.
+  EXPECT_NE(i0, i1);
+}
+
+TEST(Cell, LeakageDecreasesWithLength) {
+  const Cell inv = make_test_inv();
+  double prev = inv.leakage_na(0, 34.0, kTech);
+  for (double l = 36.0; l <= 48.0; l += 2.0) {
+    const double i = inv.leakage_na(0, l, kTech);
+    EXPECT_LT(i, prev);
+    prev = i;
+  }
+}
+
+TEST(Cell, Nand2TruthTableAndStackEffect) {
+  CellBuilder b("NAND2_T", 2, Sizing{});
+  b.add_inverting_gate(Expr::all_of({Expr::var(0), Expr::var(1)}));
+  const Cell nand = std::move(b).build();
+
+  // Output = !(a & b).
+  EXPECT_TRUE(nand.resolve_signals(0)[4]);
+  EXPECT_TRUE(nand.resolve_signals(1)[4]);
+  EXPECT_TRUE(nand.resolve_signals(2)[4]);
+  EXPECT_FALSE(nand.resolve_signals(3)[4]);
+
+  // State 00 has a full OFF 2-stack in the PDN -> lowest leakage of the
+  // output-high states.
+  const double i00 = nand.leakage_na(0, 40.0, kTech);
+  const double i01 = nand.leakage_na(1, 40.0, kTech);
+  const double i10 = nand.leakage_na(2, 40.0, kTech);
+  EXPECT_LT(i00, i01);
+  EXPECT_LT(i00, i10);
+}
+
+TEST(Cell, Nand2StateSpreadIsLarge) {
+  CellBuilder b("NAND2_T", 2, Sizing{});
+  b.add_inverting_gate(Expr::all_of({Expr::var(0), Expr::var(1)}));
+  const Cell nand = std::move(b).build();
+  double lo = 1e300, hi = 0.0;
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    const double i = nand.leakage_na(s, 40.0, kTech);
+    lo = std::min(lo, i);
+    hi = std::max(hi, i);
+  }
+  EXPECT_GT(hi / lo, 2.0);  // states matter
+}
+
+TEST(Cell, MultiStageSignalPropagation) {
+  // AND2 = NAND2 + INV: out = a & b.
+  CellBuilder b("AND2_T", 2, Sizing{});
+  const int n = b.add_inverting_gate(Expr::all_of({Expr::var(0), Expr::var(1)}));
+  b.add_inverter(n);
+  const Cell and2 = std::move(b).build();
+  // signals: [a, b, gnd, vdd, nand_out, and_out]
+  EXPECT_FALSE(and2.resolve_signals(0)[5]);
+  EXPECT_FALSE(and2.resolve_signals(1)[5]);
+  EXPECT_FALSE(and2.resolve_signals(2)[5]);
+  EXPECT_TRUE(and2.resolve_signals(3)[5]);
+}
+
+TEST(Cell, RailPathsLeakIndependently) {
+  CellBuilder b("PATHS_T", 1, Sizing{});
+  b.add_inverter(b.input(0));
+  b.add_off_nmos_path();
+  const Cell c = std::move(b).build();
+  CellBuilder b2("INV_T", 1, Sizing{});
+  b2.add_inverter(b2.input(0));
+  const Cell inv = std::move(b2).build();
+  // The off-NMOS path adds strictly positive leakage on top of the inverter.
+  EXPECT_GT(c.leakage_na(0, 40.0, kTech), inv.leakage_na(0, 40.0, kTech));
+}
+
+TEST(Cell, TgatePathLeaksForBothGateValues) {
+  CellBuilder b("TG_T", 1, Sizing{});
+  b.add_inverter(b.input(0));  // need at least one logic stage
+  b.add_tgate_path(b.input(0));
+  const Cell c = std::move(b).build();
+  EXPECT_GT(c.leakage_na(0, 40.0, kTech), 0.0);
+  EXPECT_GT(c.leakage_na(1, 40.0, kTech), 0.0);
+}
+
+TEST(Cell, SplitGateStageLeaksWhenBothOff) {
+  CellBuilder b("TRI_T", 2, Sizing{});
+  // PDN gate = in0 (off when 0), PUN gate = in1 (off when 1).
+  b.add_inverter(b.input(0));
+  b.add_split_gate_stage(b.input(0), b.input(1));
+  const Cell c = std::move(b).build();
+  // State (0, 1): both output devices off -> 2-stack leak.
+  const double i = c.leakage_na(2, 40.0, kTech);  // bit0=0, bit1=1
+  EXPECT_GT(i, 0.0);
+}
+
+TEST(Cell, StateOutOfRangeThrows) {
+  const Cell inv = make_test_inv();
+  EXPECT_THROW(inv.leakage_na(2, 40.0, kTech), ContractViolation);
+  EXPECT_THROW(inv.resolve_signals(5), ContractViolation);
+}
+
+TEST(CellBuilder, ContractChecks) {
+  EXPECT_THROW(CellBuilder("X", -1, Sizing{}), ContractViolation);
+  EXPECT_THROW(CellBuilder("X", 9, Sizing{}), ContractViolation);
+  CellBuilder b("X", 1, Sizing{});
+  EXPECT_THROW(b.input(1), ContractViolation);
+  EXPECT_THROW(std::move(b).build(), ContractViolation);  // no stages
+}
+
+TEST(Cell, GateLeakageOffByDefault) {
+  const Cell inv = make_test_inv();
+  device::TechnologyParams tech;
+  const double base = inv.leakage_na(0, 40.0, tech);
+  tech.gate_leak_na_per_um2 = 0.0;
+  EXPECT_DOUBLE_EQ(inv.leakage_na(0, 40.0, tech), base);
+}
+
+TEST(Cell, GateLeakageAddsAreaTerm) {
+  const Cell inv = make_test_inv();
+  device::TechnologyParams tech;
+  const double base = inv.leakage_na(1, 40.0, tech);
+  tech.gate_leak_na_per_um2 = 100.0;
+  const double with_gate = inv.leakage_na(1, 40.0, tech);
+  // Input high: the NMOS (W=120) channel is inverted -> j * W * L.
+  const double expected = 100.0 * (120.0 * 40.0) * 1e-6;
+  EXPECT_NEAR(with_gate - base, expected, 1e-9 * with_gate);
+}
+
+TEST(Cell, GateLeakageTracksInvertedDevices) {
+  // For the inverter, input low inverts the PMOS (W=200) instead.
+  const Cell inv = make_test_inv();
+  device::TechnologyParams tech;
+  tech.gate_leak_na_per_um2 = 100.0;
+  device::TechnologyParams off = tech;
+  off.gate_leak_na_per_um2 = 0.0;
+  const double add_low = inv.leakage_na(0, 40.0, tech) - inv.leakage_na(0, 40.0, off);
+  const double add_high = inv.leakage_na(1, 40.0, tech) - inv.leakage_na(1, 40.0, off);
+  EXPECT_NEAR(add_low, 100.0 * (200.0 * 40.0) * 1e-6, 1e-9);
+  EXPECT_NEAR(add_high, 100.0 * (120.0 * 40.0) * 1e-6, 1e-9);
+}
+
+TEST(Cell, PerDeviceVtIndicesAreDense) {
+  CellBuilder b("XOR_T", 2, Sizing{});
+  const int na = b.add_inverter(b.input(0));
+  const int nb = b.add_inverter(b.input(1));
+  b.add_inverting_gate(Expr::any_of({Expr::all_of({Expr::var(0), Expr::var(1)}),
+                                     Expr::all_of({Expr::var(na), Expr::var(nb)})}));
+  const Cell c = std::move(b).build();
+  std::vector<const device::NetworkDevice*> devs;
+  for (const auto& st : c.stages()) {
+    if (st.pdn) st.pdn->collect_devices(devs);
+    if (st.pun) st.pun->collect_devices(devs);
+    if (st.rail_path) st.rail_path->collect_devices(devs);
+  }
+  ASSERT_EQ(devs.size(), c.num_devices());
+  std::vector<bool> seen(devs.size(), false);
+  for (const auto* d : devs) {
+    ASSERT_GE(d->dvt_index, 0);
+    ASSERT_LT(static_cast<std::size_t>(d->dvt_index), devs.size());
+    EXPECT_FALSE(seen[static_cast<std::size_t>(d->dvt_index)]) << "duplicate dvt index";
+    seen[static_cast<std::size_t>(d->dvt_index)] = true;
+  }
+}
+
+}  // namespace
+}  // namespace rgleak::cells

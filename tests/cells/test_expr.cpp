@@ -1,0 +1,106 @@
+#include "cells/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "util/require.h"
+
+namespace rgleak::cells {
+namespace {
+
+TEST(Expr, VarEvaluation) {
+  const Expr e = Expr::var(1);
+  EXPECT_FALSE(e.eval({false, false}));
+  EXPECT_TRUE(e.eval({false, true}));
+}
+
+TEST(Expr, AndOrEvaluation) {
+  const Expr f = Expr::all_of({Expr::var(0), Expr::var(1)});
+  EXPECT_TRUE(f.eval({true, true}));
+  EXPECT_FALSE(f.eval({true, false}));
+  const Expr g = Expr::any_of({Expr::var(0), Expr::var(1)});
+  EXPECT_TRUE(g.eval({true, false}));
+  EXPECT_FALSE(g.eval({false, false}));
+}
+
+TEST(Expr, NestedAoi) {
+  // f = a*b + c.
+  const Expr f = Expr::any_of({Expr::all_of({Expr::var(0), Expr::var(1)}), Expr::var(2)});
+  EXPECT_TRUE(f.eval({true, true, false}));
+  EXPECT_TRUE(f.eval({false, false, true}));
+  EXPECT_FALSE(f.eval({true, false, false}));
+}
+
+TEST(Expr, SingleOperandCollapses) {
+  const Expr e = Expr::all_of({Expr::var(3)});
+  EXPECT_EQ(e.kind(), Expr::Kind::kVar);
+  EXPECT_EQ(e.signal(), 3);
+}
+
+TEST(Expr, StackDepths) {
+  // NAND3 expression: nmos depth 3, pmos depth 1.
+  const Expr nand3 = Expr::all_of({Expr::var(0), Expr::var(1), Expr::var(2)});
+  EXPECT_EQ(nand3.nmos_stack_depth(), 3);
+  EXPECT_EQ(nand3.pmos_stack_depth(), 1);
+  // NOR2: nmos 1, pmos 2.
+  const Expr nor2 = Expr::any_of({Expr::var(0), Expr::var(1)});
+  EXPECT_EQ(nor2.nmos_stack_depth(), 1);
+  EXPECT_EQ(nor2.pmos_stack_depth(), 2);
+  // AOI21 (a*b + c): nmos 2, pmos 2.
+  const Expr aoi = Expr::any_of({Expr::all_of({Expr::var(0), Expr::var(1)}), Expr::var(2)});
+  EXPECT_EQ(aoi.nmos_stack_depth(), 2);
+  EXPECT_EQ(aoi.pmos_stack_depth(), 2);
+}
+
+TEST(Expr, ContractChecks) {
+  EXPECT_THROW(Expr::var(-1), ContractViolation);
+  EXPECT_THROW(Expr::all_of({}), ContractViolation);
+  EXPECT_THROW(Expr::any_of({}), ContractViolation);
+  EXPECT_THROW(Expr::var(3).eval({false}), ContractViolation);
+}
+
+TEST(BuildNetworks, PulldownSeriesForAnd) {
+  int dvt = 0;
+  const Expr nand2 = Expr::all_of({Expr::var(0), Expr::var(1)});
+  const auto pdn = build_pulldown(nand2, Sizing{}, dvt);
+  EXPECT_EQ(pdn.kind(), device::Network::Kind::kSeries);
+  EXPECT_EQ(pdn.device_count(), 2u);
+  EXPECT_EQ(dvt, 2);
+  const auto pun = build_pullup(nand2, Sizing{}, dvt);
+  EXPECT_EQ(pun.kind(), device::Network::Kind::kParallel);
+  EXPECT_EQ(dvt, 4);
+}
+
+TEST(BuildNetworks, DeviceTypesCorrect) {
+  int dvt = 0;
+  const Expr e = Expr::var(0);
+  const auto pdn = build_pulldown(e, Sizing{}, dvt);
+  EXPECT_EQ(pdn.dev().type, device::DeviceType::kNmos);
+  const auto pun = build_pullup(e, Sizing{}, dvt);
+  EXPECT_EQ(pun.dev().type, device::DeviceType::kPmos);
+}
+
+TEST(BuildNetworks, StackSizingWidensSeriesDevices) {
+  int dvt = 0;
+  Sizing s;
+  const Expr nand3 = Expr::all_of({Expr::var(0), Expr::var(1), Expr::var(2)});
+  const auto pdn = build_pulldown(nand3, s, dvt);
+  std::vector<const device::NetworkDevice*> devs;
+  pdn.collect_devices(devs);
+  for (const auto* d : devs) EXPECT_DOUBLE_EQ(d->w_nm, s.wn_nm * 3.0);
+  // Pull-up of NAND3 is parallel: depth 1 widths.
+  const auto pun = build_pullup(nand3, s, dvt);
+  devs.clear();
+  pun.collect_devices(devs);
+  for (const auto* d : devs) EXPECT_DOUBLE_EQ(d->w_nm, s.wp_nm * 1.0);
+}
+
+TEST(BuildNetworks, DriveScalesWidths) {
+  int dvt = 0;
+  Sizing s;
+  s.drive = 4.0;
+  const auto pdn = build_pulldown(Expr::var(0), s, dvt);
+  EXPECT_DOUBLE_EQ(pdn.dev().w_nm, s.wn_nm * 4.0);
+}
+
+}  // namespace
+}  // namespace rgleak::cells

@@ -1,0 +1,80 @@
+// Fuzz-style property test for the stack solver and cell machinery: build
+// cells from random series/parallel expressions and assert the invariants
+// that every valid CMOS topology must satisfy — all states solve to positive
+// finite leakage, leakage decreases monotonically with channel length, the
+// logic output matches direct expression evaluation, and output
+// probabilities are consistent with state enumeration.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cells/cell.h"
+#include "cells/library.h"
+#include "math/rng.h"
+#include "util/require.h"
+
+namespace rgleak::cells {
+namespace {
+
+const device::TechnologyParams kTech{};
+
+// Random series/parallel expression over `num_vars` inputs, depth-bounded.
+Expr random_expr(math::Rng& rng, int num_vars, int depth) {
+  if (depth == 0 || rng.uniform() < 0.35) {
+    return Expr::var(static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(num_vars))));
+  }
+  const std::size_t kids = 2 + rng.uniform_index(2);  // 2..3 operands
+  std::vector<Expr> sub;
+  for (std::size_t i = 0; i < kids; ++i) sub.push_back(random_expr(rng, num_vars, depth - 1));
+  return rng.bernoulli(0.5) ? Expr::all_of(std::move(sub)) : Expr::any_of(std::move(sub));
+}
+
+class RandomCellTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomCellTest, InvariantsHold) {
+  math::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const int num_vars = 2 + static_cast<int>(rng.uniform_index(3));  // 2..4 inputs
+  const Expr f = random_expr(rng, num_vars, 2);
+
+  CellBuilder b("FUZZ", num_vars, Sizing{});
+  b.add_inverting_gate(f);
+  const Cell cell = std::move(b).build();
+
+  for (std::uint32_t s = 0; s < cell.num_states(); ++s) {
+    // 1. All states solve positive and finite.
+    const double i40 = cell.leakage_na(s, 40.0, kTech);
+    ASSERT_TRUE(std::isfinite(i40)) << "state " << s;
+    ASSERT_GT(i40, 0.0) << "state " << s;
+    ASSERT_LT(i40, 1e6) << "state " << s;
+
+    // 2. Monotone decreasing in L.
+    const double i36 = cell.leakage_na(s, 36.0, kTech);
+    const double i44 = cell.leakage_na(s, 44.0, kTech);
+    ASSERT_GT(i36, i40) << "state " << s;
+    ASSERT_GT(i40, i44) << "state " << s;
+
+    // 3. Logic output equals the direct expression evaluation (inverted).
+    std::vector<bool> inputs(static_cast<std::size_t>(num_vars) + 16, false);
+    for (int bit = 0; bit < num_vars; ++bit)
+      inputs[static_cast<std::size_t>(bit)] = (s >> bit) & 1u;
+    ASSERT_EQ(cell.output_value(s), !f.eval(inputs)) << "state " << s;
+  }
+
+  // 4. Output probability at p = 0.5 equals (#states with out=1) / 2^k.
+  std::size_t ones = 0;
+  for (std::uint32_t s = 0; s < cell.num_states(); ++s)
+    if (cell.output_value(s)) ++ones;
+  const std::vector<double> half(static_cast<std::size_t>(num_vars), 0.5);
+  EXPECT_NEAR(cell.output_probability(half),
+              static_cast<double>(ones) / cell.num_states(), 1e-12);
+
+  // 5. Vt shifts on all devices suppress leakage monotonically.
+  std::vector<double> dvt(cell.num_devices(), 0.03);
+  EXPECT_LT(cell.leakage_na(0, 40.0, kTech, dvt), cell.leakage_na(0, 40.0, kTech));
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, RandomCellTest, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace rgleak::cells

@@ -1,0 +1,88 @@
+#include "cells/spice_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cells/library.h"
+#include "util/require.h"
+
+namespace rgleak::cells {
+namespace {
+
+const StdCellLibrary& lib() {
+  static const StdCellLibrary l = build_virtual90_library();
+  return l;
+}
+
+std::size_t count_occurrences(const std::string& hay, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + 1))
+    ++n;
+  return n;
+}
+
+TEST(SpiceWriter, InverterSubckt) {
+  std::stringstream buf;
+  write_spice_subckt(lib().cell(lib().index_of("INV_X1")), buf);
+  const std::string s = buf.str();
+  EXPECT_NE(s.find(".subckt INV_X1 A OUT VDD VSS"), std::string::npos) << s;
+  EXPECT_EQ(count_occurrences(s, "\nM"), 2u);  // one NMOS, one PMOS
+  EXPECT_NE(s.find("nch"), std::string::npos);
+  EXPECT_NE(s.find("pch"), std::string::npos);
+  EXPECT_NE(s.find(".ends INV_X1"), std::string::npos);
+  EXPECT_NE(s.find("R0 OUT"), std::string::npos);
+}
+
+TEST(SpiceWriter, DeviceCountMatchesCell) {
+  for (const char* name : {"NAND3_X1", "AOI22_X1", "XOR2_X1", "DFF_X1", "SRAM6T"}) {
+    const Cell& cell = lib().cell(lib().index_of(name));
+    std::stringstream buf;
+    write_spice_subckt(cell, buf);
+    EXPECT_EQ(count_occurrences(buf.str(), "\nM"), cell.num_devices()) << name;
+  }
+}
+
+TEST(SpiceWriter, SeriesChainsCreateInternalNodes) {
+  // NAND3's 3-deep PDN needs two internal chain nodes.
+  std::stringstream buf;
+  write_spice_subckt(lib().cell(lib().index_of("NAND3_X1")), buf);
+  const std::string s = buf.str();
+  EXPECT_NE(s.find("x0"), std::string::npos);
+  EXPECT_NE(s.find("x1"), std::string::npos);
+}
+
+TEST(SpiceWriter, NmosBulkToVssPmosToVdd) {
+  std::stringstream buf;
+  write_spice_subckt(lib().cell(lib().index_of("INV_X1")), buf);
+  std::string line;
+  bool saw_nmos = false, saw_pmos = false;
+  while (std::getline(buf, line)) {
+    if (line.rfind("M", 0) != 0) continue;
+    if (line.find("nch") != std::string::npos) {
+      EXPECT_NE(line.find(" VSS nch"), std::string::npos) << line;
+      saw_nmos = true;
+    }
+    if (line.find("pch") != std::string::npos) {
+      EXPECT_NE(line.find(" VDD pch"), std::string::npos) << line;
+      saw_pmos = true;
+    }
+  }
+  EXPECT_TRUE(saw_nmos);
+  EXPECT_TRUE(saw_pmos);
+}
+
+TEST(SpiceWriter, FullLibraryDeck) {
+  std::stringstream buf;
+  write_spice_library(lib(), buf);
+  const std::string s = buf.str();
+  EXPECT_EQ(count_occurrences(s, ".subckt "), lib().size());
+  EXPECT_EQ(count_occurrences(s, ".ends "), lib().size());
+  std::size_t devices = 0;
+  for (std::size_t i = 0; i < lib().size(); ++i) devices += lib().cell(i).num_devices();
+  EXPECT_EQ(count_occurrences(s, "\nM"), devices);
+}
+
+}  // namespace
+}  // namespace rgleak::cells

@@ -1,0 +1,163 @@
+#include "charlib/characterize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../test_util.h"
+#include "util/require.h"
+
+namespace rgleak::charlib {
+namespace {
+
+using rgleak::testing::expect_rel_near;
+using rgleak::testing::mini_chars_analytic;
+using rgleak::testing::mini_chars_mc;
+using rgleak::testing::mini_library;
+using rgleak::testing::test_process;
+
+TEST(CharacterizedLibrary, StructureMatchesLibrary) {
+  const auto& chars = mini_chars_analytic();
+  ASSERT_EQ(chars.size(), mini_library().size());
+  for (std::size_t i = 0; i < chars.size(); ++i)
+    EXPECT_EQ(chars.cell(i).states.size(), mini_library().cell(i).num_states());
+  EXPECT_TRUE(chars.has_models());
+  EXPECT_FALSE(mini_chars_mc().has_models());
+}
+
+TEST(Characterize, AnalyticMatchesMonteCarloMean) {
+  // Paper section 2.1.2: mean error < 2% for all gates.
+  const auto& a = mini_chars_analytic();
+  const auto& m = mini_chars_mc();
+  for (std::size_t ci = 0; ci < a.size(); ++ci) {
+    for (std::size_t s = 0; s < a.cell(ci).states.size(); ++s) {
+      expect_rel_near(a.cell(ci).states[s].mean_na, m.cell(ci).states[s].mean_na, 0.03,
+                      mini_library().cell(ci).name().c_str());
+    }
+  }
+}
+
+TEST(Characterize, AnalyticMatchesMonteCarloSigma) {
+  // Paper: sigma errors average 3.1%, max ~10%. Allow MC noise on top.
+  const auto& a = mini_chars_analytic();
+  const auto& m = mini_chars_mc();
+  for (std::size_t ci = 0; ci < a.size(); ++ci) {
+    for (std::size_t s = 0; s < a.cell(ci).states.size(); ++s) {
+      expect_rel_near(a.cell(ci).states[s].sigma_na, m.cell(ci).states[s].sigma_na, 0.12,
+                      mini_library().cell(ci).name().c_str());
+    }
+  }
+}
+
+TEST(Characterize, StackStatesLeakLessOnAverage) {
+  const auto& chars = mini_chars_analytic();
+  const std::size_t nand2 = mini_library().index_of("NAND2_X1");
+  // State 0 (both inputs low, full stack) leaks least.
+  const auto& states = chars.cell(nand2).states;
+  EXPECT_LT(states[0].mean_na, states[1].mean_na);
+  EXPECT_LT(states[0].mean_na, states[2].mean_na);
+}
+
+TEST(FitLogQuadratic, ReproducesLeakageCurve) {
+  const auto& lib = mini_library();
+  const auto& cell = lib.cell(lib.index_of("NAND2_X1"));
+  const math::LogQuadraticModel m =
+      fit_log_quadratic(cell, 3, lib.tech(), 40.0, 2.5);
+  EXPECT_GT(m.a, 0.0);
+  EXPECT_LT(m.b, 0.0);  // leakage decreases with L
+  for (double l = 33.0; l <= 47.0; l += 1.0) {
+    const double direct = cell.leakage_na(3, l, lib.tech());
+    EXPECT_NEAR(m(l), direct, 0.05 * direct) << "l=" << l;
+  }
+}
+
+TEST(StateProbabilities, BernoulliProductForm) {
+  const auto& chars = mini_chars_analytic();
+  const std::size_t nand2 = mini_library().index_of("NAND2_X1");
+  const auto p = chars.state_probabilities(nand2, 0.3);
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_NEAR(p[0], 0.7 * 0.7, 1e-12);
+  EXPECT_NEAR(p[1], 0.3 * 0.7, 1e-12);
+  EXPECT_NEAR(p[2], 0.7 * 0.3, 1e-12);
+  EXPECT_NEAR(p[3], 0.3 * 0.3, 1e-12);
+  double total = 0.0;
+  for (double x : p) total += x;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(StateProbabilities, DegenerateEndpoints) {
+  const auto& chars = mini_chars_analytic();
+  const std::size_t inv = mini_library().index_of("INV_X1");
+  const auto p0 = chars.state_probabilities(inv, 0.0);
+  EXPECT_DOUBLE_EQ(p0[0], 1.0);
+  EXPECT_DOUBLE_EQ(p0[1], 0.0);
+  const auto p1 = chars.state_probabilities(inv, 1.0);
+  EXPECT_DOUBLE_EQ(p1[1], 1.0);
+  EXPECT_THROW(chars.state_probabilities(inv, 1.5), ContractViolation);
+}
+
+TEST(EffectiveStats, MixesStatesCorrectly) {
+  const auto& chars = mini_chars_analytic();
+  const std::size_t inv = mini_library().index_of("INV_X1");
+  const auto& st = chars.cell(inv).states;
+  const EffectiveCellStats eff = chars.effective(inv, {0.25, 0.75});
+  EXPECT_NEAR(eff.mean_na, 0.25 * st[0].mean_na + 0.75 * st[1].mean_na, 1e-9);
+  const double second = 0.25 * (st[0].sigma_na * st[0].sigma_na + st[0].mean_na * st[0].mean_na) +
+                        0.75 * (st[1].sigma_na * st[1].sigma_na + st[1].mean_na * st[1].mean_na);
+  EXPECT_NEAR(eff.sigma_na * eff.sigma_na, second - eff.mean_na * eff.mean_na,
+              1e-6 * second);
+}
+
+TEST(EffectiveStats, DegenerateSingleState) {
+  const auto& chars = mini_chars_analytic();
+  const std::size_t inv = mini_library().index_of("INV_X1");
+  const EffectiveCellStats eff = chars.effective(inv, {1.0, 0.0});
+  EXPECT_NEAR(eff.mean_na, chars.cell(inv).states[0].mean_na, 1e-12);
+  EXPECT_NEAR(eff.sigma_na, chars.cell(inv).states[0].sigma_na, 1e-9);
+}
+
+TEST(EffectiveStats, ContractChecks) {
+  const auto& chars = mini_chars_analytic();
+  EXPECT_THROW(chars.effective(0, {0.5}), ContractViolation);       // wrong count
+  EXPECT_THROW(chars.effective(0, {0.5, 0.2}), ContractViolation);  // not normalized
+  EXPECT_THROW(chars.effective(99, {1.0, 0.0}), ContractViolation);
+}
+
+TEST(Characterize, McSeedReproducible) {
+  McCharOptions opts;
+  opts.samples = 2000;
+  opts.seed = 5;
+  const auto a = characterize_monte_carlo(mini_library(), test_process(), opts);
+  const auto b = characterize_monte_carlo(mini_library(), test_process(), opts);
+  for (std::size_t ci = 0; ci < a.size(); ++ci)
+    for (std::size_t s = 0; s < a.cell(ci).states.size(); ++s)
+      EXPECT_DOUBLE_EQ(a.cell(ci).states[s].mean_na, b.cell(ci).states[s].mean_na);
+}
+
+TEST(Characterize, McOptionContracts) {
+  McCharOptions opts;
+  opts.samples = 1;
+  EXPECT_THROW(characterize_monte_carlo(mini_library(), test_process(), opts),
+               ContractViolation);
+  AnalyticCharOptions aopts;
+  aopts.fit_points = 2;
+  EXPECT_THROW(characterize_analytic(mini_library(), test_process(), aopts),
+               ContractViolation);
+}
+
+TEST(Characterize, SigmaGrowsWithProcessSpread) {
+  // Doubling the length sigma should raise every cell's leakage sigma.
+  auto wide_len = test_process().length();
+  process::LengthVariation len = wide_len;
+  len.sigma_d2d_nm *= 2.0;
+  len.sigma_wid_nm *= 2.0;
+  const process::ProcessVariation wide(len, test_process().vt(),
+                                       test_process().wid_correlation_ptr());
+  const auto narrow_chars = mini_chars_analytic();
+  const auto wide_chars = characterize_analytic(mini_library(), wide);
+  for (std::size_t ci = 0; ci < narrow_chars.size(); ++ci)
+    EXPECT_GT(wide_chars.cell(ci).states[0].sigma_na, narrow_chars.cell(ci).states[0].sigma_na);
+}
+
+}  // namespace
+}  // namespace rgleak::charlib

@@ -1,0 +1,76 @@
+#include "charlib/leakage_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cells/library.h"
+#include "util/require.h"
+
+namespace rgleak::charlib {
+namespace {
+
+const device::TechnologyParams kTech{};
+
+const cells::Cell& inv() {
+  static const cells::StdCellLibrary lib = cells::build_mini_library();
+  static const cells::Cell& c = lib.cell(lib.index_of("INV_X1"));
+  return c;
+}
+
+TEST(LeakageTable, InterpolationMatchesDirectEvaluation) {
+  const LeakageTable table(inv(), 0, kTech, 30.0, 50.0, 257);
+  for (double l = 31.0; l <= 49.0; l += 0.7) {
+    const double direct = inv().leakage_na(0, l, kTech);
+    const double interp = table.eval_na(l);
+    EXPECT_NEAR(interp, direct, 1e-4 * direct) << "l=" << l;
+  }
+}
+
+TEST(LeakageTable, CoarseTableStillAccurate) {
+  // ln I is nearly quadratic, so even 33 points interpolate well.
+  const LeakageTable table(inv(), 0, kTech, 30.0, 50.0, 33);
+  for (double l = 32.0; l <= 48.0; l += 1.1) {
+    const double direct = inv().leakage_na(0, l, kTech);
+    EXPECT_NEAR(table.eval_na(l), direct, 2e-3 * direct);
+  }
+}
+
+TEST(LeakageTable, ExtrapolatesLogLinearly) {
+  const LeakageTable table(inv(), 0, kTech, 35.0, 45.0, 65);
+  // Outside the table the extrapolation must stay positive, finite, and
+  // monotone.
+  const double below = table.eval_na(30.0);
+  const double at_edge = table.eval_na(35.0);
+  const double above = table.eval_na(50.0);
+  EXPECT_GT(below, at_edge);
+  EXPECT_GT(at_edge, above);
+  EXPECT_TRUE(std::isfinite(below) && below > 0.0);
+  EXPECT_TRUE(std::isfinite(above) && above > 0.0);
+}
+
+TEST(LeakageTable, MonotoneDecreasingInLength) {
+  const LeakageTable table(inv(), 0, kTech, 30.0, 50.0, 129);
+  double prev = table.eval_na(30.0);
+  for (double l = 30.5; l <= 50.0; l += 0.5) {
+    const double v = table.eval_na(l);
+    EXPECT_LT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(LeakageTable, PerStateTablesDiffer) {
+  const LeakageTable t0(inv(), 0, kTech, 30.0, 50.0, 65);
+  const LeakageTable t1(inv(), 1, kTech, 30.0, 50.0, 65);
+  EXPECT_NE(t0.eval_na(40.0), t1.eval_na(40.0));
+}
+
+TEST(LeakageTable, ContractChecks) {
+  EXPECT_THROW(LeakageTable(inv(), 0, kTech, 30.0, 50.0, 1), ContractViolation);
+  EXPECT_THROW(LeakageTable(inv(), 0, kTech, 50.0, 30.0, 65), ContractViolation);
+  EXPECT_THROW(LeakageTable(inv(), 0, kTech, -1.0, 50.0, 65), ContractViolation);
+  EXPECT_THROW(LeakageTable(inv(), 7, kTech, 30.0, 50.0, 65), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rgleak::charlib

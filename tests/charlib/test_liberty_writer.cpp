@@ -1,0 +1,77 @@
+#include "charlib/liberty_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../test_util.h"
+#include "util/require.h"
+
+namespace rgleak::charlib {
+namespace {
+
+using rgleak::testing::mini_chars_analytic;
+using rgleak::testing::mini_library;
+
+TEST(LibertyWhen, ConditionFormat) {
+  EXPECT_EQ(liberty_when_condition(0, 0), "");
+  EXPECT_EQ(liberty_when_condition(1, 0), "!A");
+  EXPECT_EQ(liberty_when_condition(1, 1), "A");
+  EXPECT_EQ(liberty_when_condition(2, 2), "!A & B");
+  EXPECT_EQ(liberty_when_condition(3, 5), "A & !B & C");
+  EXPECT_THROW(liberty_when_condition(2, 4), ContractViolation);
+  EXPECT_THROW(liberty_when_condition(27, 0), ContractViolation);
+}
+
+TEST(LibertyWriter, EmitsEveryCellAndState) {
+  std::stringstream buf;
+  write_liberty(mini_chars_analytic(), buf);
+  const std::string lib = buf.str();
+  // Library header and every cell present.
+  EXPECT_NE(lib.find("library (rgleak_virtual90)"), std::string::npos);
+  for (std::size_t ci = 0; ci < mini_library().size(); ++ci)
+    EXPECT_NE(lib.find("cell (" + mini_library().cell(ci).name() + ")"), std::string::npos);
+  // One leakage_power group per state in total.
+  std::size_t expected_states = 0;
+  for (std::size_t ci = 0; ci < mini_library().size(); ++ci)
+    expected_states += mini_library().cell(ci).num_states();
+  std::size_t found = 0;
+  for (std::size_t pos = lib.find("leakage_power ()"); pos != std::string::npos;
+       pos = lib.find("leakage_power ()", pos + 1))
+    ++found;
+  EXPECT_EQ(found, expected_states);
+}
+
+TEST(LibertyWriter, ValuesAreMeanTimesVdd) {
+  std::stringstream buf;
+  write_liberty(mini_chars_analytic(), buf);
+  const std::string lib = buf.str();
+  // The NAND2 state-0 mean (nA) times Vdd (1 V) must appear as a value.
+  const std::size_t nand = mini_library().index_of("NAND2_X1");
+  const double v = mini_chars_analytic().cell(nand).states[0].mean_na *
+                   mini_library().tech().vdd_v;
+  std::ostringstream expect;
+  expect << "value : " << std::setprecision(8) << v;
+  EXPECT_NE(lib.find(expect.str()), std::string::npos) << expect.str();
+}
+
+TEST(LibertyWriter, BalancedBraces) {
+  std::stringstream buf;
+  write_liberty(mini_chars_analytic(), buf);
+  const std::string lib = buf.str();
+  long depth = 0;
+  for (char c : lib) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(LibertyWriter, FileOutput) {
+  const std::string path = ::testing::TempDir() + "/rgleak_test.lib";
+  EXPECT_NO_THROW(write_liberty(mini_chars_analytic(), path));
+}
+
+}  // namespace
+}  // namespace rgleak::charlib

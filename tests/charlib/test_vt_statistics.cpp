@@ -1,0 +1,102 @@
+#include "charlib/vt_statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../test_util.h"
+#include "core/estimators.h"
+#include "util/require.h"
+
+namespace rgleak::charlib {
+namespace {
+
+using rgleak::testing::mini_library;
+
+const process::VtVariation kVt{0.02};
+
+TEST(PelgromSigma, ScalesInverseSqrtArea) {
+  const device::TechnologyParams tech;
+  const double ref = pelgrom_sigma_v(kVt, tech, 120.0, tech.l_nominal_nm);
+  EXPECT_NEAR(ref, kVt.sigma_v, 1e-12);  // reference device
+  const double wide = pelgrom_sigma_v(kVt, tech, 480.0, tech.l_nominal_nm);
+  EXPECT_NEAR(wide, kVt.sigma_v / 2.0, 1e-12);  // 4x area -> half sigma
+  EXPECT_THROW(pelgrom_sigma_v(kVt, tech, 0.0, 40.0), ContractViolation);
+}
+
+TEST(VtCellStats, InverterMeanInflationMatchesLognormalFactor) {
+  // A single off device dominates the inverter's leakage; the MC mean
+  // inflation should be close to the analytic exp(sigma_eff^2/(2 (n vT)^2)).
+  const auto& lib = mini_library();
+  const auto& inv = lib.cell(lib.index_of("INV_X1"));
+  math::Rng rng(1);
+  const VtCellStats st = vt_cell_statistics(inv, 0, lib.tech(), kVt, rng, 60000);
+  EXPECT_GT(st.mean_inflation, 1.0);
+  // The off NMOS (W=120) has sigma_eff = sigma_vt; predict its factor.
+  const double z = kVt.sigma_v / (lib.tech().subthreshold_n * lib.tech().thermal_vt_v);
+  const double predicted = std::exp(0.5 * z * z);
+  EXPECT_NEAR(st.mean_inflation, predicted, 0.02 * predicted);
+}
+
+TEST(VtCellStats, SigmaMatchesLognormalSpread) {
+  const auto& lib = mini_library();
+  const auto& inv = lib.cell(lib.index_of("INV_X1"));
+  math::Rng rng(2);
+  const VtCellStats st = vt_cell_statistics(inv, 0, lib.tech(), kVt, rng, 60000);
+  // For one dominant lognormal device: cv^2 = exp(z^2) - 1.
+  const double z = kVt.sigma_v / (lib.tech().subthreshold_n * lib.tech().thermal_vt_v);
+  const double cv_pred = std::sqrt(std::exp(z * z) - 1.0);
+  EXPECT_NEAR(st.sigma_na / st.mean_na, cv_pred, 0.25 * cv_pred);
+}
+
+TEST(VtCellStats, ZeroSigmaGivesNominal) {
+  const auto& lib = mini_library();
+  const auto& inv = lib.cell(lib.index_of("INV_X1"));
+  math::Rng rng(3);
+  const VtCellStats st =
+      vt_cell_statistics(inv, 0, lib.tech(), process::VtVariation{0.0}, rng, 100);
+  EXPECT_NEAR(st.mean_na, st.nominal_na, 1e-9 * st.nominal_na);
+  EXPECT_NEAR(st.sigma_na, 0.0, 1e-9 * st.nominal_na);
+  EXPECT_NEAR(st.mean_inflation, 1.0, 1e-12);
+}
+
+TEST(VtCellStats, StackedCellLessSensitiveThanInverter) {
+  // In a 2-stack both devices must fluctuate low to raise the current much;
+  // the relative Vt spread of the stacked state is not larger than ~the
+  // single-device case.
+  const auto& lib = mini_library();
+  const auto& inv = lib.cell(lib.index_of("INV_X1"));
+  const auto& nand = lib.cell(lib.index_of("NAND2_X1"));
+  math::Rng rng(4);
+  const VtCellStats si = vt_cell_statistics(inv, 0, lib.tech(), kVt, rng, 40000);
+  const VtCellStats sn = vt_cell_statistics(nand, 0, lib.tech(), kVt, rng, 40000);
+  EXPECT_LT(sn.sigma_na / sn.mean_na, 1.5 * (si.sigma_na / si.mean_na));
+}
+
+TEST(VtCellStats, ContractChecks) {
+  const auto& lib = mini_library();
+  const auto& inv = lib.cell(lib.index_of("INV_X1"));
+  math::Rng rng(5);
+  EXPECT_THROW(vt_cell_statistics(inv, 0, lib.tech(), kVt, rng, 1), ContractViolation);
+  EXPECT_THROW(vt_cell_statistics(inv, 9, lib.tech(), kVt, rng, 10), ContractViolation);
+}
+
+TEST(VtCellStats, ConsistentWithChipMeanFactor) {
+  // The chip-level multiplicative factor used by the facade should sit in the
+  // range spanned by per-cell MC inflations.
+  const auto& lib = mini_library();
+  const double chip_factor = core::vt_mean_factor(kVt, lib.tech());
+  math::Rng rng(6);
+  double lo = 1e300, hi = 0.0;
+  for (const char* name : {"INV_X1", "NAND2_X1", "NOR2_X1"}) {
+    const auto& cell = lib.cell(lib.index_of(name));
+    const VtCellStats st = vt_cell_statistics(cell, 0, lib.tech(), kVt, rng, 20000);
+    lo = std::min(lo, st.mean_inflation);
+    hi = std::max(hi, st.mean_inflation);
+  }
+  EXPECT_GT(chip_factor, 0.8 * lo);
+  EXPECT_LT(chip_factor, 1.2 * hi);
+}
+
+}  // namespace
+}  // namespace rgleak::charlib

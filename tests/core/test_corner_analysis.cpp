@@ -1,0 +1,78 @@
+#include "core/corner_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "cells/library.h"
+#include "util/require.h"
+
+namespace rgleak::core {
+namespace {
+
+using rgleak::testing::mini_library;
+
+netlist::UsageHistogram usage() {
+  netlist::UsageHistogram u;
+  u.alphas.assign(mini_library().size(), 0.0);
+  u.alphas[mini_library().index_of("INV_X1")] = 0.5;
+  u.alphas[mini_library().index_of("NAND2_X1")] = 0.5;
+  return u;
+}
+
+CornerAnalysisOptions mini_opts() {
+  CornerAnalysisOptions o;
+  o.library_factory = [](const device::TechnologyParams& t) {
+    return cells::build_mini_library(t);
+  };
+  return o;
+}
+
+TEST(StandardCorners, SixCornersWithExpectedShifts) {
+  const auto corners = standard_corners(1.77);
+  ASSERT_EQ(corners.size(), 6u);
+  EXPECT_EQ(corners[0].name, "SS/25C");
+  EXPECT_GT(corners[0].delta_l_nm, 0.0);   // slow = longer channel
+  EXPECT_LT(corners[4].delta_l_nm, 0.0);   // FF = shorter
+  EXPECT_THROW(standard_corners(-1.0), ContractViolation);
+}
+
+TEST(CornerAnalysis, LeakageOrdersAcrossCorners) {
+  const auto results =
+      analyze_corners(device::TechnologyParams{}, rgleak::testing::test_process(), usage(),
+                      400, standard_corners(1.77), mini_opts());
+  ASSERT_EQ(results.size(), 6u);
+  auto mean_of = [&](const std::string& name) {
+    for (const auto& r : results)
+      if (r.corner.name == name) return r.estimate.mean_na;
+    ADD_FAILURE() << "missing corner " << name;
+    return 0.0;
+  };
+  // Fast beats typical beats slow, hot beats cold.
+  EXPECT_GT(mean_of("FF/25C"), mean_of("TT/25C"));
+  EXPECT_GT(mean_of("TT/25C"), mean_of("SS/25C"));
+  EXPECT_GT(mean_of("TT/110C"), mean_of("TT/25C"));
+  EXPECT_GT(mean_of("FF/110C"), mean_of("SS/25C") * 3.0);  // large dynamic range
+}
+
+TEST(CornerAnalysis, WorstCornerIsFastHot) {
+  const auto results =
+      analyze_corners(device::TechnologyParams{}, rgleak::testing::test_process(), usage(),
+                      400, standard_corners(1.77), mini_opts());
+  EXPECT_EQ(worst_corner(results).corner.name, "FF/110C");
+}
+
+TEST(CornerAnalysis, ContractChecks) {
+  EXPECT_THROW(analyze_corners(device::TechnologyParams{}, rgleak::testing::test_process(),
+                               usage(), 100, {}, mini_opts()),
+               ContractViolation);
+  ProcessCorner absurd;
+  absurd.name = "absurd";
+  absurd.delta_l_nm = -100.0;  // drives nominal L negative
+  EXPECT_THROW(analyze_corners(device::TechnologyParams{}, rgleak::testing::test_process(),
+                               usage(), 100, {absurd}, mini_opts()),
+               ContractViolation);
+  EXPECT_THROW(worst_corner({}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rgleak::core

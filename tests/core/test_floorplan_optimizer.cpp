@@ -1,0 +1,146 @@
+#include "core/floorplan_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "util/require.h"
+
+namespace rgleak::core {
+namespace {
+
+using rgleak::testing::mini_chars_analytic;
+using rgleak::testing::mini_library;
+
+netlist::UsageHistogram usage_of(const char* name) {
+  netlist::UsageHistogram u;
+  u.alphas.assign(mini_library().size(), 0.0);
+  u.alphas[mini_library().index_of(name)] = 1.0;
+  return u;
+}
+
+BlockSpec block(const std::string& name, netlist::UsageHistogram usage, std::size_t c0,
+                std::size_t r0, std::size_t side) {
+  BlockSpec b;
+  b.name = name;
+  b.usage = std::move(usage);
+  b.col0 = c0;
+  b.row0 = r0;
+  b.cols = side;
+  b.rows = side;
+  return b;
+}
+
+// A worst-case start: the two highest-sigma (NOR-heavy) blocks adjacent in
+// one corner, two quiet (NAND3-stacked) blocks in the other.
+MultiBlockEstimator adversarial_layout() {
+  placement::Floorplan fp;
+  fp.rows = 8;
+  fp.cols = 32;
+  fp.site_w_nm = fp.site_h_nm = 4000.0;
+  return MultiBlockEstimator(mini_chars_analytic(), fp,
+                             {block("hot_a", usage_of("NOR2_X1"), 0, 0, 8),
+                              block("hot_b", usage_of("NOR2_X1"), 8, 0, 8),
+                              block("cool_a", usage_of("NAND3_X1"), 16, 0, 8),
+                              block("cool_b", usage_of("NAND3_X1"), 24, 0, 8)});
+}
+
+TEST(FloorplanOptimizer, ReducesOrKeepsSigma) {
+  MultiBlockEstimator mb = adversarial_layout();
+  FloorplanOptimizerOptions opts;
+  opts.iterations = 200;
+  const FloorplanOptimizerResult r = optimize_floorplan(mb, opts);
+  EXPECT_LE(r.final_sigma_na, r.initial_sigma_na * (1.0 + 1e-12));
+  // Separating the hot blocks must strictly help here.
+  EXPECT_LT(r.final_sigma_na, r.initial_sigma_na);
+  // The estimator reflects the restored best layout.
+  EXPECT_NEAR(mb.chip_estimate().sigma_na, r.final_sigma_na, 1e-9 * r.final_sigma_na);
+}
+
+TEST(FloorplanOptimizer, ReachesExhaustiveOptimum) {
+  // Four equal blocks on four slots: enumerate all distinct hot-pair
+  // placements and check the annealer lands on the global optimum.
+  const std::vector<std::size_t> slots = {0, 8, 16, 24};
+  double best_exhaustive = 1e300;
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      std::vector<std::size_t> cool;
+      for (std::size_t s = 0; s < 4; ++s)
+        if (s != i && s != j) cool.push_back(s);
+      placement::Floorplan fp;
+      fp.rows = 8;
+      fp.cols = 32;
+      fp.site_w_nm = fp.site_h_nm = 4000.0;
+      MultiBlockEstimator mb(
+          mini_chars_analytic(), fp,
+          {block("hot_a", usage_of("NOR2_X1"), slots[i], 0, 8),
+           block("hot_b", usage_of("NOR2_X1"), slots[j], 0, 8),
+           block("cool_a", usage_of("NAND3_X1"), slots[cool[0]], 0, 8),
+           block("cool_b", usage_of("NAND3_X1"), slots[cool[1]], 0, 8)});
+      best_exhaustive = std::min(best_exhaustive, mb.chip_estimate().sigma_na);
+    }
+  }
+
+  MultiBlockEstimator mb = adversarial_layout();
+  FloorplanOptimizerOptions opts;
+  opts.iterations = 400;
+  const FloorplanOptimizerResult r = optimize_floorplan(mb, opts);
+  EXPECT_NEAR(r.final_sigma_na, best_exhaustive, 1e-6 * best_exhaustive);
+}
+
+TEST(FloorplanOptimizer, DeterministicForSeed) {
+  MultiBlockEstimator a = adversarial_layout();
+  MultiBlockEstimator b = adversarial_layout();
+  FloorplanOptimizerOptions opts;
+  opts.iterations = 150;
+  opts.seed = 7;
+  const auto ra = optimize_floorplan(a, opts);
+  const auto rb = optimize_floorplan(b, opts);
+  EXPECT_DOUBLE_EQ(ra.final_sigma_na, rb.final_sigma_na);
+  EXPECT_EQ(ra.positions, rb.positions);
+}
+
+TEST(FloorplanOptimizer, MeanIsPlacementInvariant) {
+  MultiBlockEstimator mb = adversarial_layout();
+  const double mean_before = mb.chip_estimate().mean_na;
+  FloorplanOptimizerOptions opts;
+  opts.iterations = 100;
+  optimize_floorplan(mb, opts);
+  EXPECT_NEAR(mb.chip_estimate().mean_na, mean_before, 1e-9 * mean_before);
+}
+
+TEST(FloorplanOptimizer, ContractChecks) {
+  // No equal-extent pair -> reject.
+  placement::Floorplan fp;
+  fp.rows = 8;
+  fp.cols = 12;
+  fp.site_w_nm = fp.site_h_nm = 1500.0;
+  MultiBlockEstimator mb(mini_chars_analytic(), fp,
+                         {block("a", usage_of("INV_X1"), 0, 0, 4),
+                          [&] {
+                            BlockSpec b = block("b", usage_of("INV_X1"), 4, 0, 4);
+                            b.cols = 8;  // different extent
+                            return b;
+                          }()});
+  EXPECT_THROW(optimize_floorplan(mb), ContractViolation);
+
+  MultiBlockEstimator ok = adversarial_layout();
+  FloorplanOptimizerOptions bad;
+  bad.iterations = 0;
+  EXPECT_THROW(optimize_floorplan(ok, bad), ContractViolation);
+}
+
+TEST(MultiBlockMoves, SetAndSwapValidation) {
+  MultiBlockEstimator mb = adversarial_layout();
+  // Out of bounds.
+  EXPECT_THROW(mb.set_block_position(0, 30, 0), ContractViolation);
+  // Overlap.
+  EXPECT_THROW(mb.set_block_position(0, 9, 0), ContractViolation);
+  // Valid move within the die (block 0 from (0,0) to same place is fine).
+  EXPECT_NO_THROW(mb.set_block_position(0, 0, 0));
+  // Swap requires equal extents (all equal here) and valid indices.
+  EXPECT_THROW(mb.swap_block_positions(0, 9), ContractViolation);
+  EXPECT_NO_THROW(mb.swap_block_positions(0, 3));
+}
+
+}  // namespace
+}  // namespace rgleak::core

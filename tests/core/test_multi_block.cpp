@@ -1,0 +1,173 @@
+#include "core/multi_block.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../test_util.h"
+#include "core/estimators.h"
+#include "util/require.h"
+
+namespace rgleak::core {
+namespace {
+
+using rgleak::testing::mini_chars_analytic;
+using rgleak::testing::mini_library;
+
+netlist::UsageHistogram usage_of(const char* a, double wa, const char* b = nullptr,
+                                 double wb = 0.0) {
+  netlist::UsageHistogram u;
+  u.alphas.assign(mini_library().size(), 0.0);
+  u.alphas[mini_library().index_of(a)] = wa;
+  if (b) u.alphas[mini_library().index_of(b)] = wb;
+  return u;
+}
+
+placement::Floorplan grid(std::size_t rows, std::size_t cols, double pitch = 1500.0) {
+  placement::Floorplan fp;
+  fp.rows = rows;
+  fp.cols = cols;
+  fp.site_w_nm = fp.site_h_nm = pitch;
+  return fp;
+}
+
+BlockSpec make_block(const std::string& name, netlist::UsageHistogram usage, std::size_t c0,
+                     std::size_t r0, std::size_t cols, std::size_t rows) {
+  BlockSpec b;
+  b.name = name;
+  b.usage = std::move(usage);
+  b.col0 = c0;
+  b.row0 = r0;
+  b.cols = cols;
+  b.rows = rows;
+  return b;
+}
+
+TEST(MultiBlock, SingleFullBlockMatchesLinearEstimator) {
+  const auto usage = usage_of("INV_X1", 0.6, "NAND2_X1", 0.4);
+  const placement::Floorplan fp = grid(10, 10);
+  const MultiBlockEstimator mb(mini_chars_analytic(), fp,
+                               {make_block("all", usage, 0, 0, 10, 10)});
+  const RandomGate rg(mini_chars_analytic(), usage, 0.5, CorrelationMode::kAnalytic);
+  const LeakageEstimate direct = estimate_linear(rg, fp);
+  const LeakageEstimate block = mb.block_estimate(0);
+  const LeakageEstimate chip = mb.chip_estimate();
+  EXPECT_NEAR(block.sigma_na, direct.sigma_na, 1e-6 * direct.sigma_na);
+  EXPECT_NEAR(chip.sigma_na, direct.sigma_na, 1e-6 * direct.sigma_na);
+  EXPECT_NEAR(chip.mean_na, direct.mean_na, 1e-9 * direct.mean_na);
+}
+
+TEST(MultiBlock, HomogeneousSplitMatchesWholeGrid) {
+  // Two blocks with identical usage tiling the grid must reproduce the
+  // single-RG result exactly (cross model == within model for equal
+  // mixtures).
+  const auto usage = usage_of("INV_X1", 0.5, "NOR2_X1", 0.5);
+  const placement::Floorplan fp = grid(8, 12);
+  const MultiBlockEstimator mb(mini_chars_analytic(), fp,
+                               {make_block("left", usage, 0, 0, 6, 8),
+                                make_block("right", usage, 6, 0, 6, 8)});
+  const RandomGate rg(mini_chars_analytic(), usage, 0.5, CorrelationMode::kAnalytic);
+  const LeakageEstimate direct = estimate_linear(rg, fp);
+  const LeakageEstimate chip = mb.chip_estimate();
+  EXPECT_NEAR(chip.sigma_na, direct.sigma_na, 2e-3 * direct.sigma_na);
+  EXPECT_NEAR(chip.mean_na, direct.mean_na, 1e-9 * direct.mean_na);
+}
+
+TEST(MultiBlock, HeterogeneousBlocksKeepTheirOwnStatistics) {
+  const auto hot = usage_of("AOI21_X1", 0.5, "NOR2_X1", 0.5);  // wide complex gates
+  const auto cool = usage_of("NAND3_X1", 1.0);                 // deep-stacked
+  const placement::Floorplan fp = grid(8, 8);
+  const MultiBlockEstimator mb(mini_chars_analytic(), fp,
+                               {make_block("hot", hot, 0, 0, 4, 8),
+                                make_block("cool", cool, 4, 0, 4, 8)});
+  const LeakageEstimate e_hot = mb.block_estimate(0);
+  const LeakageEstimate e_cool = mb.block_estimate(1);
+  EXPECT_GT(e_hot.mean_na, e_cool.mean_na);
+  // Chip mean is the sum of block means.
+  EXPECT_NEAR(mb.chip_estimate().mean_na, e_hot.mean_na + e_cool.mean_na, 1e-9);
+}
+
+TEST(MultiBlock, CrossBlockCorrelationPositiveAndBounded) {
+  const placement::Floorplan fp = grid(8, 8);
+  const MultiBlockEstimator mb(
+      mini_chars_analytic(), fp,
+      {make_block("a", usage_of("INV_X1", 1.0), 0, 0, 4, 8),
+       make_block("b", usage_of("NAND2_X1", 1.0), 4, 0, 4, 8)});
+  const double rho = mb.block_correlation(0, 1);
+  EXPECT_GT(rho, 0.0);  // D2D + WID correlation couples the blocks
+  EXPECT_LT(rho, 1.0);
+  EXPECT_NEAR(mb.block_correlation(0, 0), 1.0, 1e-12);
+  // Symmetry.
+  EXPECT_NEAR(mb.block_covariance(0, 1), mb.block_covariance(1, 0), 1e-9);
+}
+
+TEST(MultiBlock, DistantBlocksLessCorrelated) {
+  const auto usage = usage_of("INV_X1", 1.0);
+  const placement::Floorplan fp = grid(4, 40, 5000.0);
+  const MultiBlockEstimator mb(mini_chars_analytic(), fp,
+                               {make_block("a", usage, 0, 0, 4, 4),
+                                make_block("near", usage, 5, 0, 4, 4),
+                                make_block("far", usage, 36, 0, 4, 4)});
+  EXPECT_GT(mb.block_correlation(0, 1), mb.block_correlation(0, 2));
+}
+
+TEST(MultiBlock, VarianceDecompositionIsConsistent) {
+  // chip variance = sum of all entries of the block covariance matrix.
+  const placement::Floorplan fp = grid(6, 6);
+  const MultiBlockEstimator mb(
+      mini_chars_analytic(), fp,
+      {make_block("a", usage_of("INV_X1", 1.0), 0, 0, 3, 6),
+       make_block("b", usage_of("NOR2_X1", 1.0), 3, 0, 3, 6)});
+  const math::Matrix cov = mb.covariance_matrix();
+  double var = 0.0;
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j) var += cov(i, j);
+  EXPECT_NEAR(mb.chip_estimate().sigma_na, std::sqrt(var), 1e-9 * std::sqrt(var));
+  EXPECT_NEAR(cov(0, 0), mb.block_estimate(0).sigma_na * mb.block_estimate(0).sigma_na,
+              1e-6 * cov(0, 0));
+}
+
+TEST(MultiBlock, WhitespaceReducesChipTotal) {
+  // A block covering half the grid leaks half as much as full coverage.
+  const auto usage = usage_of("INV_X1", 1.0);
+  const placement::Floorplan fp = grid(8, 8);
+  const MultiBlockEstimator half(mini_chars_analytic(), fp,
+                                 {make_block("a", usage, 0, 0, 8, 4)});
+  const MultiBlockEstimator full(mini_chars_analytic(), fp,
+                                 {make_block("a", usage, 0, 0, 8, 8)});
+  EXPECT_NEAR(half.chip_estimate().mean_na, 0.5 * full.chip_estimate().mean_na, 1e-9);
+  EXPECT_LT(half.chip_estimate().sigma_na, full.chip_estimate().sigma_na);
+}
+
+TEST(MultiBlock, SimplifiedModeWorks) {
+  const placement::Floorplan fp = grid(6, 6);
+  const MultiBlockEstimator mb(
+      rgleak::testing::mini_chars_mc(), fp,
+      {make_block("a", usage_of("INV_X1", 1.0), 0, 0, 3, 6),
+       make_block("b", usage_of("NAND2_X1", 1.0), 3, 0, 3, 6)},
+      0.5, CorrelationMode::kSimplified);
+  EXPECT_GT(mb.chip_estimate().sigma_na, 0.0);
+  EXPECT_GT(mb.block_correlation(0, 1), 0.0);
+}
+
+TEST(MultiBlock, ContractChecks) {
+  const auto usage = usage_of("INV_X1", 1.0);
+  const placement::Floorplan fp = grid(8, 8);
+  EXPECT_THROW(MultiBlockEstimator(mini_chars_analytic(), fp, {}), ContractViolation);
+  // Out of bounds.
+  EXPECT_THROW(MultiBlockEstimator(mini_chars_analytic(), fp,
+                                   {make_block("a", usage, 5, 0, 4, 4)}),
+               ContractViolation);
+  // Overlap.
+  EXPECT_THROW(MultiBlockEstimator(mini_chars_analytic(), fp,
+                                   {make_block("a", usage, 0, 0, 4, 4),
+                                    make_block("b", usage, 3, 3, 4, 4)}),
+               ContractViolation);
+  const MultiBlockEstimator mb(mini_chars_analytic(), fp,
+                               {make_block("a", usage, 0, 0, 4, 4)});
+  EXPECT_THROW(mb.block_estimate(1), ContractViolation);
+  EXPECT_THROW(mb.block_covariance(0, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rgleak::core

@@ -1,0 +1,133 @@
+#include "core/multi_vt.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../test_util.h"
+#include "cells/library.h"
+#include "core/estimators.h"
+#include "util/require.h"
+
+namespace rgleak::core {
+namespace {
+
+// Multi-Vt mini library (3 flavors of each mini cell) shared across tests.
+const cells::StdCellLibrary& mvt_library() {
+  static const cells::StdCellLibrary lib = [] {
+    const cells::StdCellLibrary base = cells::build_mini_library();
+    std::vector<cells::Cell> cells;
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      cells.push_back(base.cell(i));
+      cells.push_back(base.cell(i).with_vt_flavor("_LVT", -0.06));
+      cells.push_back(base.cell(i).with_vt_flavor("_HVT", +0.08));
+    }
+    return cells::StdCellLibrary(base.tech(), std::move(cells));
+  }();
+  return lib;
+}
+
+const charlib::CharacterizedLibrary& mvt_chars() {
+  static const charlib::CharacterizedLibrary chars =
+      charlib::characterize_analytic(mvt_library(), rgleak::testing::test_process());
+  return chars;
+}
+
+TEST(MultiVtLibrary, FlavorLeakageOrdering) {
+  const auto& lib = mvt_library();
+  const double svt = lib.cell(lib.index_of("INV_X1")).leakage_na(0, 40.0, lib.tech());
+  const double lvt = lib.cell(lib.index_of("INV_X1_LVT")).leakage_na(0, 40.0, lib.tech());
+  const double hvt = lib.cell(lib.index_of("INV_X1_HVT")).leakage_na(0, 40.0, lib.tech());
+  EXPECT_GT(lvt, svt);
+  EXPECT_GT(svt, hvt);
+  // Exponential sensitivity: shifts of -60/+80 mV at n*vT ~ 36 mV per e-fold.
+  const double n_vt = lib.tech().subthreshold_n * lib.tech().thermal_vt_v;
+  EXPECT_NEAR(lvt / svt, std::exp(0.06 / n_vt), 0.15 * lvt / svt);
+  EXPECT_NEAR(svt / hvt, std::exp(0.08 / n_vt), 0.15 * svt / hvt);
+}
+
+TEST(MultiVtLibrary, FullMultiVtBuilderProduces186Cells) {
+  const cells::StdCellLibrary lib = cells::build_virtual90_multivt_library();
+  EXPECT_EQ(lib.size(), 186u);
+  EXPECT_TRUE(lib.contains("SRAM6T_HVT"));
+  EXPECT_TRUE(lib.contains("DFF_X1_LVT"));
+  cells::MultiVtOffsets bad;
+  bad.lvt_shift_v = 0.01;
+  EXPECT_THROW(cells::build_virtual90_multivt_library({}, bad), ContractViolation);
+}
+
+TEST(MultiVtLibrary, FlavorStacksWithRandomDvt) {
+  // The systematic flavor offset combines additively with per-device dvt.
+  const auto& lib = mvt_library();
+  const auto& hvt = lib.cell(lib.index_of("INV_X1_HVT"));
+  const auto& svt = lib.cell(lib.index_of("INV_X1"));
+  std::vector<double> dvt(svt.num_devices(), 0.08);
+  EXPECT_NEAR(hvt.leakage_na(0, 40.0, lib.tech()),
+              svt.leakage_na(0, 40.0, lib.tech(), dvt),
+              1e-9 * hvt.leakage_na(0, 40.0, lib.tech()));
+}
+
+TEST(AlphaPowerDelay, RatioProperties) {
+  const device::TechnologyParams tech;
+  EXPECT_DOUBLE_EQ(alpha_power_delay_ratio(tech, 0.0, 1.3), 1.0);
+  EXPECT_GT(alpha_power_delay_ratio(tech, 0.08, 1.3), 1.0);   // HVT slower
+  EXPECT_LT(alpha_power_delay_ratio(tech, -0.06, 1.3), 1.0);  // LVT faster
+  EXPECT_THROW(alpha_power_delay_ratio(tech, 1.0, 1.3), ContractViolation);
+}
+
+TEST(HvtTradeoff, MonotoneLeakageAndDelay) {
+  netlist::UsageHistogram usage;
+  usage.alphas.assign(mvt_library().size(), 0.0);
+  usage.alphas[mvt_library().index_of("INV_X1")] = 0.5;
+  usage.alphas[mvt_library().index_of("NAND2_X1")] = 0.5;
+  placement::Floorplan fp;
+  fp.rows = fp.cols = 20;
+  fp.site_w_nm = fp.site_h_nm = 1500.0;
+
+  const auto curve = hvt_tradeoff(mvt_chars(), usage, fp, 0.08);
+  ASSERT_EQ(curve.size(), 11u);
+  EXPECT_DOUBLE_EQ(curve.front().hvt_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().hvt_fraction, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LT(curve[i].estimate.mean_na, curve[i - 1].estimate.mean_na);
+    EXPECT_LT(curve[i].estimate.sigma_na, curve[i - 1].estimate.sigma_na);
+    EXPECT_GT(curve[i].delay_penalty, curve[i - 1].delay_penalty);
+  }
+  // Full swap buys roughly the exponential factor.
+  const double n_vt =
+      mvt_library().tech().subthreshold_n * mvt_library().tech().thermal_vt_v;
+  EXPECT_NEAR(curve.front().estimate.mean_na / curve.back().estimate.mean_na,
+              std::exp(0.08 / n_vt), 0.2 * std::exp(0.08 / n_vt));
+}
+
+TEST(HvtTradeoff, EndpointMatchesPureHistograms) {
+  netlist::UsageHistogram usage;
+  usage.alphas.assign(mvt_library().size(), 0.0);
+  usage.alphas[mvt_library().index_of("INV_X1")] = 1.0;
+  placement::Floorplan fp;
+  fp.rows = fp.cols = 10;
+  fp.site_w_nm = fp.site_h_nm = 1500.0;
+  const auto curve = hvt_tradeoff(mvt_chars(), usage, fp, 0.08);
+
+  netlist::UsageHistogram hvt_only;
+  hvt_only.alphas.assign(mvt_library().size(), 0.0);
+  hvt_only.alphas[mvt_library().index_of("INV_X1_HVT")] = 1.0;
+  const RandomGate rg(mvt_chars(), hvt_only, 0.5, CorrelationMode::kAnalytic);
+  const LeakageEstimate pure = estimate_linear(rg, fp);
+  EXPECT_NEAR(curve.back().estimate.mean_na, pure.mean_na, 1e-9 * pure.mean_na);
+  EXPECT_NEAR(curve.back().estimate.sigma_na, pure.sigma_na, 1e-9 * pure.sigma_na);
+}
+
+TEST(HvtTradeoff, ContractChecks) {
+  netlist::UsageHistogram usage;
+  usage.alphas.assign(mvt_library().size(), 0.0);
+  // Using an HVT cell as the "SVT" master: no _HVT_HVT sibling exists.
+  usage.alphas[mvt_library().index_of("INV_X1_HVT")] = 1.0;
+  placement::Floorplan fp;
+  fp.rows = fp.cols = 4;
+  fp.site_w_nm = fp.site_h_nm = 1500.0;
+  EXPECT_THROW(hvt_tradeoff(mvt_chars(), usage, fp, 0.08), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rgleak::core

@@ -1,0 +1,110 @@
+#include "core/region_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../test_util.h"
+#include "core/estimators.h"
+#include "util/require.h"
+
+namespace rgleak::core {
+namespace {
+
+using rgleak::testing::mini_chars_analytic;
+using rgleak::testing::mini_library;
+
+RandomGate test_rg() {
+  netlist::UsageHistogram u;
+  u.alphas.assign(mini_library().size(), 0.0);
+  u.alphas[mini_library().index_of("INV_X1")] = 0.5;
+  u.alphas[mini_library().index_of("NAND2_X1")] = 0.5;
+  return RandomGate(mini_chars_analytic(), u, 0.5, CorrelationMode::kAnalytic);
+}
+
+placement::Floorplan grid(std::size_t rows, std::size_t cols, double pitch = 1500.0) {
+  placement::Floorplan fp;
+  fp.rows = rows;
+  fp.cols = cols;
+  fp.site_w_nm = fp.site_h_nm = pitch;
+  return fp;
+}
+
+TEST(RegionAnalysis, TileEstimateMatchesLinearEstimatorOnTile) {
+  const RandomGate rg = test_rg();
+  const RegionAnalysis region(&rg, grid(12, 12), 4, 3);
+  // Each tile is a 3-col x 4-row subgrid; its stats equal eq. (17) on that
+  // subgrid.
+  const LeakageEstimate tile = region.tile_estimate();
+  const LeakageEstimate direct = estimate_linear(rg, grid(4, 3));
+  EXPECT_NEAR(tile.mean_na, direct.mean_na, 1e-9 * direct.mean_na);
+  EXPECT_NEAR(tile.sigma_na, direct.sigma_na, 1e-9 * direct.sigma_na);
+}
+
+TEST(RegionAnalysis, ChipReassemblyMatchesDirectEstimate) {
+  // Key consistency property: summing the tile covariance matrix reproduces
+  // the full-chip variance of eq. (17) exactly.
+  const RandomGate rg = test_rg();
+  for (const auto& [tx, ty] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {1, 1}, {2, 2}, {4, 4}, {3, 2}, {12, 12}}) {
+    const RegionAnalysis region(&rg, grid(12, 12), tx, ty);
+    const LeakageEstimate sum = region.chip_estimate();
+    const LeakageEstimate direct = estimate_linear(rg, grid(12, 12));
+    EXPECT_NEAR(sum.sigma_na, direct.sigma_na, 1e-9 * direct.sigma_na)
+        << tx << "x" << ty << " tiles";
+    EXPECT_NEAR(sum.mean_na, direct.mean_na, 1e-9 * direct.mean_na);
+  }
+}
+
+TEST(RegionAnalysis, CovarianceSymmetricAndDiagonalDominant) {
+  const RandomGate rg = test_rg();
+  const RegionAnalysis region(&rg, grid(8, 8), 4, 4);
+  const math::Matrix cov = region.covariance_matrix();
+  ASSERT_EQ(cov.rows(), 16u);
+  for (std::size_t a = 0; a < 16; ++a) {
+    for (std::size_t b = 0; b < 16; ++b) {
+      EXPECT_NEAR(cov(a, b), cov(b, a), 1e-9 * std::abs(cov(a, b)));
+      if (a != b) {
+        EXPECT_LT(cov(a, b), cov(a, a));
+      }
+    }
+  }
+  // Positive semidefinite: Cholesky with jitter succeeds.
+  math::Matrix jittered = cov;
+  for (std::size_t i = 0; i < 16; ++i) jittered(i, i) += 1e-9 * cov(i, i);
+  EXPECT_NO_THROW(math::cholesky(jittered));
+}
+
+TEST(RegionAnalysis, CorrelationDecaysWithTileDistance) {
+  const RandomGate rg = test_rg();
+  const RegionAnalysis region(&rg, grid(16, 16, 5000.0), 4, 4);
+  const double near = region.tile_correlation(0, 0, 1, 0);
+  const double far = region.tile_correlation(0, 0, 3, 0);
+  const double diag = region.tile_correlation(0, 0, 3, 3);
+  EXPECT_GT(near, far);
+  EXPECT_GT(far, diag);
+  EXPECT_GT(diag, 0.0);  // D2D keeps everything positively correlated
+  EXPECT_NEAR(region.tile_correlation(2, 2, 2, 2), 1.0, 1e-12);
+}
+
+TEST(RegionAnalysis, TranslationInvariance) {
+  const RandomGate rg = test_rg();
+  const RegionAnalysis region(&rg, grid(12, 12), 4, 4);
+  // Covariance depends only on the tile offset.
+  EXPECT_NEAR(region.tile_covariance(0, 0, 1, 2), region.tile_covariance(2, 1, 3, 3),
+              1e-9 * region.tile_covariance(0, 0, 1, 2));
+  EXPECT_NEAR(region.tile_covariance(0, 0, 2, 0), region.tile_covariance(1, 3, 3, 3),
+              1e-9 * region.tile_covariance(0, 0, 2, 0));
+}
+
+TEST(RegionAnalysis, ContractChecks) {
+  const RandomGate rg = test_rg();
+  EXPECT_THROW(RegionAnalysis(nullptr, grid(8, 8), 2, 2), ContractViolation);
+  EXPECT_THROW(RegionAnalysis(&rg, grid(8, 8), 3, 2), ContractViolation);  // 8 % 3 != 0
+  EXPECT_THROW(RegionAnalysis(&rg, grid(8, 8), 2, 0), ContractViolation);
+  const RegionAnalysis region(&rg, grid(8, 8), 2, 2);
+  EXPECT_THROW(region.tile_covariance(2, 0, 0, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rgleak::core

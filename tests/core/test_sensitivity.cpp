@@ -1,0 +1,77 @@
+#include "core/sensitivity.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "util/require.h"
+
+namespace rgleak::core {
+namespace {
+
+using rgleak::testing::mini_library;
+using rgleak::testing::test_process;
+
+netlist::UsageHistogram usage() {
+  netlist::UsageHistogram u;
+  u.alphas.assign(mini_library().size(), 0.0);
+  u.alphas[mini_library().index_of("INV_X1")] = 0.5;
+  u.alphas[mini_library().index_of("NAND2_X1")] = 0.5;
+  return u;
+}
+
+TEST(Sensitivity, ReportsAllFourKnobs) {
+  const auto entries =
+      process_sensitivities(mini_library(), test_process(), usage(), 400);
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_EQ(entries[0].parameter, "mean_l");
+  EXPECT_EQ(entries[3].parameter, "corr_length");
+  for (const auto& e : entries) EXPECT_GT(e.base_value, 0.0);
+}
+
+TEST(Sensitivity, SignsArePhysical) {
+  const auto entries =
+      process_sensitivities(mini_library(), test_process(), usage(), 400);
+  // Longer channels -> exponentially less leakage: strongly negative mean
+  // elasticity.
+  EXPECT_LT(entries[0].mean_elasticity, -2.0);
+  // More D2D spread -> more chip sigma; negligible mean effect by
+  // comparison.
+  EXPECT_GT(entries[1].sigma_elasticity, 0.1);
+  // Longer correlation length -> less spatial averaging -> more sigma, no
+  // mean effect.
+  EXPECT_GT(entries[3].sigma_elasticity, 0.0);
+  EXPECT_NEAR(entries[3].mean_elasticity, 0.0, 1e-6);
+}
+
+TEST(Sensitivity, SigmaKnobsDominateSigmaNotMean) {
+  const auto entries =
+      process_sensitivities(mini_library(), test_process(), usage(), 400);
+  // sigma_d2d/sigma_wid move sigma much more than the mean.
+  for (std::size_t i : {1u, 2u}) {
+    EXPECT_GT(std::abs(entries[i].sigma_elasticity),
+              5.0 * std::abs(entries[i].mean_elasticity))
+        << entries[i].parameter;
+  }
+}
+
+TEST(Sensitivity, SkipsZeroValuedKnobs) {
+  process::LengthVariation len;
+  len.mean_nm = 40.0;
+  len.sigma_d2d_nm = 0.0;  // pure WID
+  len.sigma_wid_nm = 1.7678;
+  const process::ProcessVariation p(
+      len, process::VtVariation{}, std::make_shared<process::ExponentialCorrelation>(2.0e4));
+  const auto entries = process_sensitivities(mini_library(), p, usage(), 400);
+  ASSERT_EQ(entries.size(), 3u);  // sigma_d2d dropped
+  for (const auto& e : entries) EXPECT_NE(e.parameter, "sigma_d2d");
+}
+
+TEST(Sensitivity, ContractChecks) {
+  SensitivityOptions opts;
+  opts.step = 0.0;
+  EXPECT_THROW(process_sensitivities(mini_library(), test_process(), usage(), 100, 1500.0, opts),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace rgleak::core

@@ -1,0 +1,119 @@
+#include "core/signal_probability.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "util/require.h"
+
+namespace rgleak::core {
+namespace {
+
+using rgleak::testing::mini_chars_analytic;
+using rgleak::testing::mini_library;
+
+netlist::UsageHistogram nand_only() {
+  netlist::UsageHistogram u;
+  u.alphas.assign(mini_library().size(), 0.0);
+  u.alphas[mini_library().index_of("NAND2_X1")] = 1.0;
+  return u;
+}
+
+netlist::UsageHistogram mixed() {
+  netlist::UsageHistogram u;
+  u.alphas.assign(mini_library().size(), 0.0);
+  u.alphas[mini_library().index_of("INV_X1")] = 0.4;
+  u.alphas[mini_library().index_of("NAND2_X1")] = 0.3;
+  u.alphas[mini_library().index_of("NOR2_X1")] = 0.3;
+  return u;
+}
+
+TEST(SignalProbabilitySweep, CurveShapeAndEndpoints) {
+  const auto curve = sweep_signal_probability(mini_chars_analytic(), mixed(), 11);
+  ASSERT_EQ(curve.size(), 11u);
+  EXPECT_DOUBLE_EQ(curve.front().p, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().p, 1.0);
+  for (const auto& pt : curve) {
+    EXPECT_GT(pt.rg_mean_na, 0.0);
+    EXPECT_GT(pt.rg_sigma_na, 0.0);
+  }
+}
+
+TEST(SignalProbabilitySweep, EndpointsMatchPureStates) {
+  // p = 0: every NAND2 is in state 00; the RG mean equals that state's mean.
+  const auto& chars = mini_chars_analytic();
+  const auto curve = sweep_signal_probability(chars, nand_only(), 3);
+  const std::size_t nand = mini_library().index_of("NAND2_X1");
+  EXPECT_NEAR(curve.front().rg_mean_na, chars.cell(nand).states[0].mean_na, 1e-9);
+  EXPECT_NEAR(curve.back().rg_mean_na, chars.cell(nand).states[3].mean_na, 1e-9);
+}
+
+TEST(SignalProbabilitySweep, NandWorstCaseIsHighish) {
+  // For a NAND2, state 00 (full off-stack) leaks least, so the max-mean
+  // setting sits well away from p = 0. (It is not necessarily p = 1: the
+  // mixed 01/10 states leak through a single wide off NMOS and can dominate
+  // the both-high state's off-PMOS pair.)
+  const double p = max_leakage_signal_probability(mini_chars_analytic(), nand_only());
+  EXPECT_GT(p, 0.4);
+  // And the chosen p beats both endpoints.
+  const auto curve = sweep_signal_probability(mini_chars_analytic(), nand_only(), 41);
+  double at_p = 0.0;
+  for (const auto& pt : curve)
+    if (std::abs(pt.p - p) < 1e-9) at_p = pt.rg_mean_na;
+  EXPECT_GE(at_p, curve.front().rg_mean_na);
+  EXPECT_GE(at_p, curve.back().rg_mean_na);
+}
+
+TEST(SignalProbabilitySweep, NorPrefersLowInputs) {
+  netlist::UsageHistogram u;
+  u.alphas.assign(mini_library().size(), 0.0);
+  u.alphas[mini_library().index_of("NOR2_X1")] = 1.0;
+  const double p = max_leakage_signal_probability(mini_chars_analytic(), u);
+  EXPECT_LT(p, 0.1);
+}
+
+TEST(SignalProbabilitySweep, MixedDesignInteriorOrEndpointMax) {
+  const double p = max_leakage_signal_probability(mini_chars_analytic(), mixed());
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+  // The max-mean must dominate a few probe points.
+  const auto curve = sweep_signal_probability(mini_chars_analytic(), mixed(), 41);
+  double best = 0.0;
+  for (const auto& pt : curve) best = std::max(best, pt.rg_mean_na);
+  // Recompute stats at the chosen p.
+  const auto at_p = sweep_signal_probability(mini_chars_analytic(), mixed(), 41);
+  double chosen = 0.0;
+  for (const auto& pt : at_p)
+    if (std::abs(pt.p - p) < 1e-9) chosen = pt.rg_mean_na;
+  EXPECT_NEAR(chosen, best, 1e-9 * best);
+}
+
+TEST(SignalProbabilitySweep, FlatnessComparedToSingleGateSpread) {
+  // Fig. 3: mixing many cell types flattens the p-dependence relative to the
+  // per-state spread of any single gate.
+  const auto& chars = mini_chars_analytic();
+  const auto curve = sweep_signal_probability(chars, mixed(), 21);
+  double lo = 1e300, hi = 0.0;
+  for (const auto& pt : curve) {
+    lo = std::min(lo, pt.rg_mean_na);
+    hi = std::max(hi, pt.rg_mean_na);
+  }
+  // Per-state spread of NAND2 alone.
+  const std::size_t nand = mini_library().index_of("NAND2_X1");
+  double slo = 1e300, shi = 0.0;
+  for (const auto& st : chars.cell(nand).states) {
+    slo = std::min(slo, st.mean_na);
+    shi = std::max(shi, st.mean_na);
+  }
+  EXPECT_LT(hi / lo, shi / slo);
+}
+
+TEST(SignalProbabilitySweep, ContractChecks) {
+  EXPECT_THROW(sweep_signal_probability(mini_chars_analytic(), mixed(), 1),
+               ContractViolation);
+  netlist::UsageHistogram bad;
+  bad.alphas.assign(mini_library().size() + 1, 0.0);
+  EXPECT_THROW(sweep_signal_probability(mini_chars_analytic(), bad, 5), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rgleak::core

@@ -1,0 +1,110 @@
+#include "core/yield.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/rng.h"
+#include "util/require.h"
+
+namespace rgleak::core {
+namespace {
+
+LeakageEstimate est(double mean, double sigma) {
+  LeakageEstimate e;
+  e.mean_na = mean;
+  e.sigma_na = sigma;
+  return e;
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.024997895148220435, 1e-9);
+  EXPECT_NEAR(normal_cdf(3.0), 0.9986501019683699, 1e-10);
+}
+
+TEST(NormalQuantile, InvertsCdf) {
+  for (double q : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 0.999999}) {
+    const double z = normal_quantile(q);
+    EXPECT_NEAR(normal_cdf(z), q, 1e-9) << "q=" << q;
+  }
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.8413447460685429), 1.0, 1e-8);
+}
+
+TEST(NormalQuantile, RejectsOutOfRange) {
+  EXPECT_THROW(normal_quantile(0.0), ContractViolation);
+  EXPECT_THROW(normal_quantile(1.0), ContractViolation);
+  EXPECT_THROW(normal_quantile(-0.5), ContractViolation);
+}
+
+TEST(YieldModel, LognormalMatchesMoments) {
+  // The moment-matched log-normal must reproduce the estimate's mean/sigma.
+  const LeakageYieldModel model(est(1000.0, 300.0));
+  math::Rng rng(5);
+  // Sample from the model via quantile transform and check moments.
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    if (u <= 0.0 || u >= 1.0) continue;
+    const double x = model.quantile(u);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 1000.0, 5.0);
+  EXPECT_NEAR(std::sqrt(var), 300.0, 6.0);
+}
+
+TEST(YieldModel, CdfQuantileRoundTrip) {
+  for (const auto shape : {LeakageDistribution::kLognormal, LeakageDistribution::kNormal}) {
+    const LeakageYieldModel model(est(500.0, 120.0), shape);
+    for (double q : {0.01, 0.2, 0.5, 0.8, 0.99}) {
+      EXPECT_NEAR(model.cdf(model.quantile(q)), q, 1e-8);
+    }
+  }
+}
+
+TEST(YieldModel, MedianBelowMeanForLognormal) {
+  const LeakageYieldModel ln(est(1000.0, 400.0), LeakageDistribution::kLognormal);
+  const LeakageYieldModel no(est(1000.0, 400.0), LeakageDistribution::kNormal);
+  EXPECT_LT(ln.quantile(0.5), 1000.0);       // right-skew
+  EXPECT_NEAR(no.quantile(0.5), 1000.0, 1e-6);
+  // The log-normal upper tail is heavier.
+  EXPECT_GT(ln.quantile(0.999), no.quantile(0.999));
+}
+
+TEST(YieldModel, YieldMonotoneInBudget) {
+  const LeakageYieldModel model(est(1000.0, 250.0));
+  double prev = -1.0;
+  for (double budget = 100.0; budget <= 3000.0; budget += 100.0) {
+    const double y = model.yield(budget);
+    EXPECT_GE(y, prev);
+    EXPECT_GE(y, 0.0);
+    EXPECT_LE(y, 1.0);
+    prev = y;
+  }
+  EXPECT_DOUBLE_EQ(model.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.cdf(-5.0), 0.0);
+}
+
+TEST(YieldModel, DegenerateZeroSigma) {
+  const LeakageYieldModel model(est(100.0, 0.0));
+  EXPECT_DOUBLE_EQ(model.cdf(99.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.cdf(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(model.quantile(0.5), 100.0);
+}
+
+TEST(YieldModel, ContractChecks) {
+  EXPECT_THROW(LeakageYieldModel(est(0.0, 1.0)), ContractViolation);
+  EXPECT_THROW(LeakageYieldModel(est(10.0, -1.0)), ContractViolation);
+  const LeakageYieldModel model(est(100.0, 10.0));
+  EXPECT_THROW(model.quantile(0.0), ContractViolation);
+  EXPECT_THROW(model.quantile(1.5), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rgleak::core

@@ -1,0 +1,118 @@
+#include "device/subthreshold.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace rgleak::device {
+namespace {
+
+const TechnologyParams kTech{};
+
+TEST(EffectiveVt, RollOffIncreasesLeakageAtShortChannel) {
+  // Vt drops as L shrinks (short-channel effect).
+  const double vt_short = effective_vt(kTech, DeviceType::kNmos, 30.0, 0.0, 0.0);
+  const double vt_long = effective_vt(kTech, DeviceType::kNmos, 60.0, 0.0, 0.0);
+  EXPECT_LT(vt_short, vt_long);
+}
+
+TEST(EffectiveVt, DiblLowersVtWithDrainBias) {
+  const double vt0 = effective_vt(kTech, DeviceType::kNmos, 40.0, 0.0, 0.0);
+  const double vt1 = effective_vt(kTech, DeviceType::kNmos, 40.0, 1.0, 0.0);
+  EXPECT_NEAR(vt0 - vt1, kTech.dibl_eta, 1e-12);
+}
+
+TEST(EffectiveVt, RandomShiftAdds) {
+  const double base = effective_vt(kTech, DeviceType::kNmos, 40.0, 0.5, 0.0);
+  EXPECT_NEAR(effective_vt(kTech, DeviceType::kNmos, 40.0, 0.5, 0.03), base + 0.03, 1e-12);
+}
+
+TEST(EffectiveVt, RejectsNonPositiveLength) {
+  EXPECT_THROW(effective_vt(kTech, DeviceType::kNmos, 0.0, 0.0, 0.0), ContractViolation);
+}
+
+TEST(SubthresholdCurrent, ZeroAtZeroVds) {
+  EXPECT_DOUBLE_EQ(subthreshold_current(kTech, DeviceType::kNmos, 120, 40, 0.0, 0.0, 0.0), 0.0);
+}
+
+TEST(SubthresholdCurrent, RejectsNegativeVdsAndWidth) {
+  EXPECT_THROW(subthreshold_current(kTech, DeviceType::kNmos, 120, 40, 0.0, -0.1, 0.0),
+               ContractViolation);
+  EXPECT_THROW(subthreshold_current(kTech, DeviceType::kNmos, 0.0, 40, 0.0, 1.0, 0.0),
+               ContractViolation);
+}
+
+TEST(SubthresholdCurrent, ExponentialInGateVoltage) {
+  // One decade per ~ n vT ln(10) of Vgs.
+  const double i1 = subthreshold_current(kTech, DeviceType::kNmos, 120, 40, 0.0, 1.0, 0.0);
+  const double dv = kTech.subthreshold_n * kTech.thermal_vt_v * std::log(10.0);
+  const double i2 = subthreshold_current(kTech, DeviceType::kNmos, 120, 40, dv, 1.0, 0.0);
+  EXPECT_NEAR(i2 / i1, 10.0, 1e-6);
+}
+
+TEST(SubthresholdCurrent, DecreasesWithLength) {
+  double prev = subthreshold_current(kTech, DeviceType::kNmos, 120, 30, 0.0, 1.0, 0.0);
+  for (double l = 32.0; l <= 55.0; l += 2.0) {
+    const double i = subthreshold_current(kTech, DeviceType::kNmos, 120, l, 0.0, 1.0, 0.0);
+    EXPECT_LT(i, prev) << "l=" << l;
+    prev = i;
+  }
+}
+
+TEST(SubthresholdCurrent, LeakageDropsAboutTenXOverThreeSigmaLength) {
+  // The substitution target: leakage-vs-L steep enough that +-3 sigma of
+  // L (2.5 nm sigma) spans roughly an order of magnitude.
+  const double lo = subthreshold_current(kTech, DeviceType::kNmos, 120, 40.0 - 7.5, 0.0, 1.0, 0.0);
+  const double hi = subthreshold_current(kTech, DeviceType::kNmos, 120, 40.0 + 7.5, 0.0, 1.0, 0.0);
+  EXPECT_GT(lo / hi, 4.0);
+  EXPECT_LT(lo / hi, 100.0);
+}
+
+TEST(SubthresholdCurrent, ProportionalToWidth) {
+  const double i1 = subthreshold_current(kTech, DeviceType::kNmos, 120, 40, 0.0, 1.0, 0.0);
+  const double i2 = subthreshold_current(kTech, DeviceType::kNmos, 240, 40, 0.0, 1.0, 0.0);
+  EXPECT_NEAR(i2 / i1, 2.0, 1e-9);
+}
+
+TEST(SubthresholdCurrent, PmosWeakerByMobilityRatio) {
+  const double in = subthreshold_current(kTech, DeviceType::kNmos, 120, 40, 0.0, 1.0, 0.0);
+  const double ip = subthreshold_current(kTech, DeviceType::kPmos, 120, 40, 0.0, 1.0, 0.0);
+  EXPECT_NEAR(ip / in, kTech.pmos_mobility_ratio, 1e-9);
+}
+
+TEST(SubthresholdCurrent, RandomVtShiftSuppressesCurrent) {
+  const double i0 = subthreshold_current(kTech, DeviceType::kNmos, 120, 40, 0.0, 1.0, 0.0);
+  const double ip = subthreshold_current(kTech, DeviceType::kNmos, 120, 40, 0.0, 1.0, 0.05);
+  const double expect_ratio =
+      std::exp(-0.05 / (kTech.subthreshold_n * kTech.thermal_vt_v));
+  EXPECT_NEAR(ip / i0, expect_ratio, 1e-9);
+}
+
+TEST(SubthresholdCurrent, VdsSaturatesAfterFewThermalVoltages) {
+  const double i1 = subthreshold_current(kTech, DeviceType::kNmos, 120, 40, 0.0, 0.2, 0.0);
+  const double i2 = subthreshold_current(kTech, DeviceType::kNmos, 120, 40, 0.0, 0.3, 0.0);
+  // DIBL still increases current slightly, but the (1 - e^{-Vds/vT}) factor
+  // is saturated: growth should be modest (< 2x), not exponential.
+  EXPECT_LT(i2 / i1, 2.0);
+  EXPECT_GT(i2 / i1, 1.0);
+}
+
+TEST(SubthresholdCurrent, OnCurrentVastlyExceedsOffCurrent) {
+  const double off = subthreshold_current(kTech, DeviceType::kNmos, 120, 40, 0.0, 1.0, 0.0);
+  const double on = subthreshold_current(kTech, DeviceType::kNmos, 120, 40, kTech.vdd_v, 1.0, 0.0);
+  EXPECT_GT(on / off, 1e5);
+}
+
+TEST(SubthresholdCurrent, MonotoneInVds) {
+  double prev = 0.0;
+  for (double vds = 0.01; vds <= 1.0; vds += 0.01) {
+    const double i = subthreshold_current(kTech, DeviceType::kNmos, 120, 40, 0.0, vds, 0.0);
+    EXPECT_GT(i, prev);
+    prev = i;
+  }
+}
+
+}  // namespace
+}  // namespace rgleak::device

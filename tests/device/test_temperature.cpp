@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cells/library.h"
+#include "device/subthreshold.h"
+#include "util/require.h"
+
+namespace rgleak::device {
+namespace {
+
+const TechnologyParams kRef{};
+
+TEST(Temperature, ReferenceIsIdentity) {
+  const TechnologyParams t = at_temperature(kRef, kRef.temperature_k);
+  EXPECT_DOUBLE_EQ(t.thermal_vt_v, kRef.thermal_vt_v);
+  EXPECT_DOUBLE_EQ(t.vt0_n_v, kRef.vt0_n_v);
+  EXPECT_DOUBLE_EQ(t.i0_na, kRef.i0_na);
+}
+
+TEST(Temperature, ThermalVoltageScalesLinearly) {
+  const TechnologyParams hot = at_temperature(kRef, 400.0);
+  EXPECT_NEAR(hot.thermal_vt_v, kRef.thermal_vt_v * 400.0 / 300.0, 1e-12);
+}
+
+TEST(Temperature, VtDropsWithTemperature) {
+  const TechnologyParams hot = at_temperature(kRef, 400.0);
+  EXPECT_NEAR(hot.vt0_n_v, kRef.vt0_n_v - 100.0 * kRef.vt_tempco_v_per_k, 1e-12);
+  const TechnologyParams cold = at_temperature(kRef, 250.0);
+  EXPECT_GT(cold.vt0_n_v, kRef.vt0_n_v);
+}
+
+TEST(Temperature, LeakageRisesStronglyWithTemperature) {
+  // Classic behaviour: subthreshold leakage grows super-linearly with T;
+  // 25C -> 110C should raise it by at least several x.
+  const double i25 =
+      subthreshold_current(at_temperature(kRef, 298.0), DeviceType::kNmos, 120, 40, 0.0, 1.0,
+                           0.0);
+  const double i85 =
+      subthreshold_current(at_temperature(kRef, 358.0), DeviceType::kNmos, 120, 40, 0.0, 1.0,
+                           0.0);
+  const double i110 =
+      subthreshold_current(at_temperature(kRef, 383.0), DeviceType::kNmos, 120, 40, 0.0, 1.0,
+                           0.0);
+  EXPECT_GT(i85 / i25, 2.0);
+  EXPECT_GT(i110 / i85, 1.2);
+  EXPECT_LT(i110 / i25, 1000.0);  // sane magnitude
+}
+
+TEST(Temperature, CellLeakageMonotoneInTemperature) {
+  const cells::StdCellLibrary lib = cells::build_mini_library();
+  const auto& nand = lib.cell(lib.index_of("NAND2_X1"));
+  double prev = 0.0;
+  for (double t_k = 260.0; t_k <= 400.0; t_k += 20.0) {
+    const double i = nand.leakage_na(0, 40.0, at_temperature(kRef, t_k));
+    EXPECT_GT(i, prev) << "T=" << t_k;
+    prev = i;
+  }
+}
+
+TEST(Temperature, RejectsNonPositiveKelvin) {
+  EXPECT_THROW(at_temperature(kRef, 0.0), ContractViolation);
+  EXPECT_THROW(at_temperature(kRef, -10.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rgleak::device

@@ -1,0 +1,157 @@
+// End-to-end integration tests over the FULL 62-cell library: the complete
+// flow the paper describes — characterize, build the RG, estimate, and
+// validate against the exact pairwise analysis and full-chip Monte Carlo —
+// plus the early-mode/late-mode consistency and the yield model against
+// empirical percentiles.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "../test_util.h"
+#include "core/estimators.h"
+#include "core/leakage_estimator.h"
+#include "core/yield.h"
+#include "mc/full_chip_mc.h"
+#include "netlist/iscas85.h"
+#include "netlist/random_circuit.h"
+
+namespace rgleak {
+namespace {
+
+using rgleak::testing::full_chars_analytic;
+using rgleak::testing::full_library;
+
+netlist::UsageHistogram soc_usage() {
+  netlist::UsageHistogram u;
+  u.alphas.assign(full_library().size(), 0.0);
+  u.alphas[full_library().index_of("INV_X1")] = 0.2;
+  u.alphas[full_library().index_of("NAND2_X1")] = 0.2;
+  u.alphas[full_library().index_of("NOR2_X1")] = 0.1;
+  u.alphas[full_library().index_of("XOR2_X1")] = 0.1;
+  u.alphas[full_library().index_of("AOI21_X1")] = 0.1;
+  u.alphas[full_library().index_of("DFF_X1")] = 0.2;
+  u.alphas[full_library().index_of("BUF_X2")] = 0.1;
+  return u;
+}
+
+placement::Floorplan grid(std::size_t side) {
+  placement::Floorplan fp;
+  fp.rows = fp.cols = side;
+  fp.site_w_nm = fp.site_h_nm = 1500.0;
+  return fp;
+}
+
+TEST(EndToEnd, EarlyModeEqualsLateModeForMatchingDesign) {
+  // Early mode: expected characteristics. Late mode: extract from a netlist
+  // that realizes them exactly. The estimates must agree to rounding.
+  const netlist::UsageHistogram usage = soc_usage();
+  const std::size_t side = 40;
+  const core::RandomGate early_rg(full_chars_analytic(), usage, 0.5,
+                                  core::CorrelationMode::kAnalytic);
+  const core::LeakageEstimate early = core::estimate_linear(early_rg, grid(side));
+
+  math::Rng rng(404);
+  const netlist::Netlist nl = netlist::generate_random_circuit(
+      full_library(), usage, side * side, rng, netlist::UsageMatch::kExact);
+  const netlist::UsageHistogram extracted = netlist::extract_usage(nl);
+  const core::RandomGate late_rg(full_chars_analytic(), extracted, 0.5,
+                                 core::CorrelationMode::kAnalytic);
+  const core::LeakageEstimate late = core::estimate_linear(late_rg, grid(side));
+
+  EXPECT_NEAR(early.mean_na, late.mean_na, 1e-6 * early.mean_na);
+  EXPECT_NEAR(early.sigma_na, late.sigma_na, 1e-4 * early.sigma_na);
+}
+
+TEST(EndToEnd, RgEstimateTracksExactForFullLibraryDesign) {
+  const netlist::UsageHistogram usage = soc_usage();
+  const std::size_t side = 30;
+  math::Rng rng(405);
+  const netlist::Netlist nl = netlist::generate_random_circuit(
+      full_library(), usage, side * side, rng, netlist::UsageMatch::kExact);
+  const placement::Placement pl(&nl, grid(side));
+
+  const core::ExactEstimator exact(full_chars_analytic(), 0.5,
+                                   core::CorrelationMode::kAnalytic);
+  const core::LeakageEstimate truth = exact.estimate(pl);
+  const core::RandomGate rg(full_chars_analytic(), usage, 0.5,
+                            core::CorrelationMode::kAnalytic);
+  const core::LeakageEstimate est = core::estimate_linear(rg, grid(side));
+
+  EXPECT_NEAR(est.mean_na, truth.mean_na, 0.01 * truth.mean_na);
+  EXPECT_NEAR(est.sigma_na, truth.sigma_na, 0.02 * truth.sigma_na);
+}
+
+TEST(EndToEnd, MonteCarloConfirmsEstimateAndYieldTail) {
+  const netlist::UsageHistogram usage = soc_usage();
+  const std::size_t side = 20;
+  math::Rng rng(406);
+  const netlist::Netlist nl = netlist::generate_random_circuit(
+      full_library(), usage, side * side, rng, netlist::UsageMatch::kExact);
+  const placement::Placement pl(&nl, grid(side));
+
+  const core::RandomGate rg(full_chars_analytic(), usage, 0.5,
+                            core::CorrelationMode::kAnalytic);
+  const core::LeakageEstimate est = core::estimate_linear(rg, grid(side));
+
+  mc::FullChipMcOptions opts;
+  opts.trials = 4000;
+  opts.resample_states_per_trial = true;
+  mc::FullChipMonteCarlo sim(pl, full_chars_analytic(), opts);
+
+  // Collect the raw totals for percentile checks.
+  std::vector<double> totals(opts.trials);
+  math::Rng mc_rng(777);
+  for (auto& t : totals) t = sim.sample_total_na(mc_rng);
+  std::sort(totals.begin(), totals.end());
+  const double mc_mean = math::mean(totals);
+  const double mc_sigma = math::stddev(totals);
+
+  EXPECT_NEAR(est.mean_na, mc_mean, 0.05 * mc_mean);
+  EXPECT_NEAR(est.sigma_na, mc_sigma, 0.12 * mc_sigma);
+
+  // Yield model: the log-normal P90/P99 should be near the empirical ones.
+  const core::LeakageYieldModel yield(est);
+  const double p90_emp = totals[static_cast<std::size_t>(0.90 * opts.trials)];
+  const double p99_emp = totals[static_cast<std::size_t>(0.99 * opts.trials)];
+  EXPECT_NEAR(yield.quantile(0.90), p90_emp, 0.10 * p90_emp);
+  EXPECT_NEAR(yield.quantile(0.99), p99_emp, 0.15 * p99_emp);
+}
+
+TEST(EndToEnd, Iscas85LateModeUnderOnePercentSigmaError) {
+  // Table-1-style check as a regression test on the two largest circuits.
+  const core::ExactEstimator exact(full_chars_analytic(), 0.5,
+                                   core::CorrelationMode::kAnalytic);
+  math::Rng rng(85);
+  const auto& descriptors = netlist::iscas85_descriptors();
+  for (std::size_t idx : {7u, 8u}) {  // c6288, c7552
+    const netlist::Netlist seed = netlist::make_iscas85(descriptors[idx], full_library(), rng);
+    const placement::Floorplan fp = placement::Floorplan::for_gate_count(seed.size());
+    const netlist::Netlist nl = netlist::generate_random_circuit(
+        full_library(), netlist::extract_usage(seed), fp.num_sites(), rng,
+        netlist::UsageMatch::kExact, seed.name());
+    const placement::Placement pl(&nl, fp);
+    const core::LeakageEstimate truth = exact.estimate(pl);
+    const core::RandomGate rg(full_chars_analytic(), netlist::extract_usage(nl), 0.5,
+                              core::CorrelationMode::kAnalytic);
+    const core::LeakageEstimate est = core::estimate_linear(rg, fp);
+    const double err = std::abs(est.sigma_na - truth.sigma_na) / truth.sigma_na;
+    EXPECT_LT(err, 0.014) << descriptors[idx].name;  // paper's worst case is 1.38%
+  }
+}
+
+TEST(EndToEnd, ConstantTimeMethodsAgreeAtScale) {
+  const netlist::UsageHistogram usage = soc_usage();
+  const core::RandomGate rg(full_chars_analytic(), usage, 0.5,
+                            core::CorrelationMode::kAnalytic);
+  const placement::Floorplan fp = grid(300);  // 90k gates
+  const core::LeakageEstimate lin = core::estimate_linear(rg, fp);
+  const core::LeakageEstimate rect = core::estimate_integral_rect(rg, fp);
+  const core::LeakageEstimate polar = core::estimate_integral_polar(rg, fp);
+  EXPECT_NEAR(rect.sigma_na, lin.sigma_na, 0.002 * lin.sigma_na);
+  EXPECT_NEAR(polar.sigma_na, lin.sigma_na, 0.002 * lin.sigma_na);
+}
+
+}  // namespace
+}  // namespace rgleak

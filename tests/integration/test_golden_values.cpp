@@ -1,0 +1,58 @@
+// Golden-value regression pins: exact reference numbers for the
+// deterministic chain (device model -> cell -> characterization -> RG ->
+// estimator) at the test process corner. A refactor that silently changes
+// the physics or the numerics trips these before anything else does.
+// Tolerances are tight (1e-6 relative) but allow for benign floating-point
+// reassociation.
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "core/estimators.h"
+
+namespace rgleak {
+namespace {
+
+using rgleak::testing::mini_chars_analytic;
+using rgleak::testing::mini_library;
+
+constexpr double kTol = 1e-6;
+
+TEST(GoldenValues, CellLeakageAtNominal) {
+  const auto& lib = mini_library();
+  EXPECT_NEAR(lib.cell(lib.index_of("INV_X1")).leakage_na(0, 40.0, lib.tech()),
+              19.0840830751, kTol * 19.08);
+  EXPECT_NEAR(lib.cell(lib.index_of("NAND2_X1")).leakage_na(3, 40.0, lib.tech()),
+              28.6261246127, kTol * 28.63);
+  EXPECT_NEAR(lib.cell(lib.index_of("AOI21_X1")).leakage_na(5, 36.5, lib.tech()),
+              42.3501450063, kTol * 42.35);
+}
+
+TEST(GoldenValues, CharacterizedMoments) {
+  const auto& chars = mini_chars_analytic();
+  const std::size_t inv = mini_library().index_of("INV_X1");
+  EXPECT_NEAR(chars.cell(inv).states[0].mean_na, 19.9471005274, kTol * 19.95);
+  EXPECT_NEAR(chars.cell(inv).states[0].sigma_na, 5.40231992021, kTol * 5.40);
+}
+
+TEST(GoldenValues, RandomGateAndChipEstimate) {
+  const auto& lib = mini_library();
+  netlist::UsageHistogram u;
+  u.alphas.assign(lib.size(), 0.0);
+  u.alphas[lib.index_of("INV_X1")] = 0.5;
+  u.alphas[lib.index_of("NAND2_X1")] = 0.5;
+  const core::RandomGate rg(mini_chars_analytic(), u, 0.5,
+                            core::CorrelationMode::kAnalytic);
+  EXPECT_NEAR(rg.mean_na(), 22.3179321393, kTol * 22.32);
+  EXPECT_NEAR(rg.variance_na2(), 161.556660174, 1e-5 * 161.56);
+
+  placement::Floorplan fp;
+  fp.rows = fp.cols = 20;
+  fp.site_w_nm = fp.site_h_nm = 1500.0;
+  const core::LeakageEstimate e = core::estimate_linear(rg, fp);
+  EXPECT_NEAR(e.mean_na, 8927.17285574, kTol * 8927.0);
+  EXPECT_NEAR(e.sigma_na, 2083.09120923, 1e-5 * 2083.0);
+}
+
+}  // namespace
+}  // namespace rgleak

@@ -1,0 +1,127 @@
+#include "math/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/rng.h"
+#include "util/require.h"
+
+namespace rgleak::math {
+namespace {
+
+using cvec = std::vector<std::complex<double>>;
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(17), 32u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_THROW(next_pow2(0), ContractViolation);
+}
+
+TEST(Fft, RejectsNonPow2) {
+  cvec v(6);
+  EXPECT_THROW(fft(v, false), ContractViolation);
+}
+
+TEST(Fft, DeltaTransformsToConstant) {
+  cvec v(8, {0.0, 0.0});
+  v[0] = {1.0, 0.0};
+  fft(v, false);
+  for (const auto& x : v) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, ConstantTransformsToDelta) {
+  cvec v(8, {1.0, 0.0});
+  fft(v, false);
+  EXPECT_NEAR(v[0].real(), 8.0, 1e-12);
+  for (std::size_t i = 1; i < 8; ++i) EXPECT_NEAR(std::abs(v[i]), 0.0, 1e-12);
+}
+
+TEST(Fft, SingleToneBin) {
+  const std::size_t n = 64;
+  cvec v(n);
+  for (std::size_t j = 0; j < n; ++j)
+    v[j] = {std::cos(2.0 * M_PI * 5.0 * static_cast<double>(j) / n), 0.0};
+  fft(v, false);
+  EXPECT_NEAR(v[5].real(), n / 2.0, 1e-9);
+  EXPECT_NEAR(v[n - 5].real(), n / 2.0, 1e-9);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k != 5 && k != n - 5) {
+      EXPECT_NEAR(std::abs(v[k]), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Fft, RoundTrip) {
+  Rng rng(3);
+  cvec v(128);
+  for (auto& x : v) x = {rng.normal(), rng.normal()};
+  const cvec orig = v;
+  fft(v, false);
+  fft(v, true);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(v[i].real(), orig[i].real(), 1e-10);
+    EXPECT_NEAR(v[i].imag(), orig[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, Parseval) {
+  Rng rng(5);
+  cvec v(256);
+  double time_energy = 0.0;
+  for (auto& x : v) {
+    x = {rng.normal(), rng.normal()};
+    time_energy += std::norm(x);
+  }
+  fft(v, false);
+  double freq_energy = 0.0;
+  for (const auto& x : v) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy, 256.0 * time_energy, 1e-6 * freq_energy);
+}
+
+TEST(Fft2d, RoundTrip) {
+  Rng rng(7);
+  const std::size_t rows = 16, cols = 32;
+  cvec v(rows * cols);
+  for (auto& x : v) x = {rng.normal(), rng.normal()};
+  const cvec orig = v;
+  fft2d(v, rows, cols, false);
+  fft2d(v, rows, cols, true);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(v[i].real(), orig[i].real(), 1e-10);
+    EXPECT_NEAR(v[i].imag(), orig[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft2d, SeparableTransform) {
+  // FFT2D of an outer product equals the outer product of the 1-D FFTs.
+  const std::size_t n = 8;
+  cvec row(n), col(n);
+  Rng rng(9);
+  for (auto& x : row) x = {rng.normal(), 0.0};
+  for (auto& x : col) x = {rng.normal(), 0.0};
+  cvec grid(n * n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) grid[r * n + c] = col[r] * row[c];
+  fft2d(grid, n, n, false);
+  cvec frow = row, fcol = col;
+  fft(frow, false);
+  fft(fcol, false);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      EXPECT_NEAR(std::abs(grid[r * n + c] - fcol[r] * frow[c]), 0.0, 1e-9);
+}
+
+TEST(Fft2d, RejectsSizeMismatch) {
+  cvec v(15);
+  EXPECT_THROW(fft2d(v, 4, 4, false), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rgleak::math

@@ -1,0 +1,140 @@
+#include "math/gaussian_moments.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/quadrature.h"
+#include "math/rng.h"
+#include "math/stats.h"
+#include "util/require.h"
+
+namespace rgleak::math {
+namespace {
+
+// Reference: 1-D expectation by direct numeric integration over the Gaussian.
+double numeric_1d(double b, double c, double mu, double var) {
+  const double sigma = std::sqrt(var);
+  return integrate_adaptive(
+      [&](double z) {
+        const double l = mu + sigma * z;
+        return std::exp(b * l + c * l * l) * std::exp(-0.5 * z * z) / std::sqrt(2.0 * M_PI);
+      },
+      -12.0, 12.0, {1e-13, 1e-12});
+}
+
+TEST(ExpQuadratic1d, LognormalLimitCZero) {
+  // c = 0: E[exp(bL)] = exp(b mu + b^2 var / 2).
+  const double b = 0.3, mu = 2.0, var = 0.5;
+  EXPECT_NEAR(expectation_exp_quadratic_1d(b, 0.0, mu, var),
+              std::exp(b * mu + 0.5 * b * b * var), 1e-12);
+}
+
+TEST(ExpQuadratic1d, MatchesNumericIntegration) {
+  for (const auto& [b, c] : std::vector<std::pair<double, double>>{
+           {-0.1, 0.002}, {0.2, -0.01}, {-0.05, 0.0005}, {0.0, 0.004}}) {
+    const double mu = 40.0, var = 6.25;
+    const double closed = expectation_exp_quadratic_1d(b, c, mu, var);
+    const double numeric = numeric_1d(b, c, mu, var);
+    EXPECT_NEAR(closed, numeric, 1e-7 * numeric) << "b=" << b << " c=" << c;
+  }
+}
+
+TEST(ExpQuadratic1d, ZeroVarianceIsPointEvaluation) {
+  EXPECT_NEAR(expectation_exp_quadratic_1d(0.5, 0.1, 2.0, 0.0), std::exp(0.5 * 2 + 0.1 * 4),
+              1e-12);
+}
+
+TEST(ExpQuadratic1d, DivergenceThrows) {
+  // 1 - 2 c var <= 0.
+  EXPECT_THROW(expectation_exp_quadratic_1d(0.0, 1.0, 0.0, 1.0), NumericalError);
+}
+
+TEST(ExpQuadratic1d, RejectsNegativeVariance) {
+  EXPECT_THROW(expectation_exp_quadratic_1d(0.0, 0.0, 0.0, -1.0), ContractViolation);
+}
+
+TEST(ExpQuadraticGeneral, MatchesSpecialized1d) {
+  const double b = -0.08, c = 0.003, mu = 40.0, var = 4.0;
+  Matrix a(1, 1);
+  a(0, 0) = c;
+  Matrix sigma(1, 1);
+  sigma(0, 0) = var;
+  EXPECT_NEAR(expectation_exp_quadratic({b}, a, {mu}, sigma),
+              expectation_exp_quadratic_1d(b, c, mu, var), 1e-12);
+}
+
+TEST(ExpQuadraticGeneral, IndependentCaseFactors) {
+  // rho = 0: expectation factors into the two 1-D expectations.
+  const double b1 = -0.1, c1 = 0.002, b2 = 0.05, c2 = 0.001, mu = 40.0, var = 6.25;
+  const double joint = expectation_exp_quadratic_2d(b1, c1, b2, c2, mu, var, 0.0);
+  const double product = expectation_exp_quadratic_1d(b1, c1, mu, var) *
+                         expectation_exp_quadratic_1d(b2, c2, mu, var);
+  EXPECT_NEAR(joint, product, 1e-10 * product);
+}
+
+TEST(ExpQuadratic2d, PerfectCorrelationCollapses) {
+  const double b1 = -0.1, c1 = 0.002, b2 = 0.07, c2 = 0.001, mu = 40.0, var = 6.25;
+  const double collapsed = expectation_exp_quadratic_1d(b1 + b2, c1 + c2, mu, var);
+  EXPECT_NEAR(expectation_exp_quadratic_2d(b1, c1, b2, c2, mu, var, 1.0), collapsed,
+              1e-10 * collapsed);
+  // Just below the degeneracy threshold the general path should be close too.
+  const double near_one = expectation_exp_quadratic_2d(b1, c1, b2, c2, mu, var, 0.999999);
+  EXPECT_NEAR(near_one, collapsed, 1e-3 * collapsed);
+}
+
+TEST(ExpQuadratic2d, AntiCorrelationMatchesSubstitution) {
+  const double b1 = -0.1, c1 = 0.002, b2 = 0.07, c2 = 0.001, mu = 40.0, var = 6.25;
+  // Monte-Carlo reference with L2 = 2 mu - L1.
+  Rng rng(11);
+  RunningStats acc;
+  for (int i = 0; i < 400000; ++i) {
+    const double l1 = rng.normal(mu, std::sqrt(var));
+    const double l2 = 2.0 * mu - l1;
+    acc.add(std::exp(b1 * l1 + c1 * l1 * l1 + b2 * l2 + c2 * l2 * l2));
+  }
+  const double closed = expectation_exp_quadratic_2d(b1, c1, b2, c2, mu, var, -1.0);
+  EXPECT_NEAR(closed, acc.mean(), 4.0 * acc.stddev() / std::sqrt(400000.0));
+}
+
+TEST(ExpQuadratic2d, MonteCarloAgreementAtIntermediateRho) {
+  const double b1 = -0.12, c1 = 0.003, b2 = -0.06, c2 = 0.001, mu = 40.0, var = 6.25;
+  const double rho = 0.6;
+  Rng rng(13);
+  RunningStats acc;
+  const std::size_t n = 500000;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double z1 = rng.normal();
+    const double z2 = rho * z1 + std::sqrt(1.0 - rho * rho) * rng.normal();
+    const double l1 = mu + std::sqrt(var) * z1;
+    const double l2 = mu + std::sqrt(var) * z2;
+    acc.add(std::exp(b1 * l1 + c1 * l1 * l1 + b2 * l2 + c2 * l2 * l2));
+  }
+  const double closed = expectation_exp_quadratic_2d(b1, c1, b2, c2, mu, var, rho);
+  EXPECT_NEAR(closed, acc.mean(), 5.0 * acc.stddev() / std::sqrt(static_cast<double>(n)));
+}
+
+TEST(ExpQuadratic2d, ZeroVarianceIsPointEvaluation) {
+  const double v = expectation_exp_quadratic_2d(0.1, 0.01, 0.2, 0.02, 3.0, 0.0, 0.5);
+  EXPECT_NEAR(v, std::exp(0.3 * 3.0 + 0.03 * 9.0), 1e-12);
+}
+
+TEST(ExpQuadratic2d, RejectsBadRho) {
+  EXPECT_THROW(expectation_exp_quadratic_2d(0, 0, 0, 0, 0, 1.0, 1.5), ContractViolation);
+}
+
+TEST(ExpQuadraticGeneral, RejectsAsymmetricA) {
+  Matrix a(2, 2);
+  a(0, 1) = 0.1;  // a(1,0) stays 0 -> asymmetric
+  Matrix sigma = Matrix::identity(2);
+  EXPECT_THROW(expectation_exp_quadratic({0, 0}, a, {0, 0}, sigma), ContractViolation);
+}
+
+TEST(ExpQuadraticGeneral, DivergenceThrows) {
+  Matrix a = Matrix::identity(2);  // c = 1 with unit variance diverges
+  Matrix sigma = Matrix::identity(2);
+  EXPECT_THROW(expectation_exp_quadratic({0, 0}, a, {0, 0}, sigma), NumericalError);
+}
+
+}  // namespace
+}  // namespace rgleak::math

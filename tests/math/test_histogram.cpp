@@ -1,0 +1,73 @@
+#include "math/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/rng.h"
+#include "util/require.h"
+
+namespace rgleak::math {
+namespace {
+
+TEST(SampleSet, MeanAndStddevMatchRunningStats) {
+  SampleSet s;
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) s.add(rng.normal(3.0, 2.0));
+  EXPECT_NEAR(s.mean(), 3.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+  EXPECT_EQ(s.count(), 10000u);
+}
+
+TEST(SampleSet, PercentilesOfKnownSet) {
+  SampleSet s;
+  for (int i = 1; i <= 5; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.25), 2.0);  // type-7 interpolation
+  EXPECT_DOUBLE_EQ(s.percentile(0.125), 1.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(SampleSet, PercentileUnaffectedByInsertionOrder) {
+  SampleSet a, b;
+  a.add(3);
+  a.add(1);
+  a.add(2);
+  b.add(1);
+  b.add(2);
+  b.add(3);
+  EXPECT_DOUBLE_EQ(a.percentile(0.5), b.percentile(0.5));
+}
+
+TEST(SampleSet, CacheInvalidatedByNewSamples) {
+  SampleSet s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 2.0);
+  s.add(10.0);  // after a percentile query
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 10.0);
+}
+
+TEST(SampleSet, GaussianQuantilesApproximatelyCorrect) {
+  SampleSet s;
+  Rng rng(2);
+  for (int i = 0; i < 200000; ++i) s.add(rng.normal());
+  EXPECT_NEAR(s.percentile(0.5), 0.0, 0.02);
+  EXPECT_NEAR(s.percentile(0.8413), 1.0, 0.03);
+  EXPECT_NEAR(s.percentile(0.9772), 2.0, 0.05);
+}
+
+TEST(SampleSet, ContractChecks) {
+  SampleSet s;
+  EXPECT_THROW(s.mean(), ContractViolation);
+  EXPECT_THROW(s.percentile(0.5), ContractViolation);
+  s.add(1.0);
+  EXPECT_THROW(s.stddev(), ContractViolation);
+  EXPECT_THROW(s.percentile(1.5), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rgleak::math

@@ -1,0 +1,178 @@
+#include "math/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/rng.h"
+#include "util/require.h"
+
+namespace rgleak::math {
+namespace {
+
+Matrix random_spd(std::size_t n, Rng& rng) {
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+  Matrix spd = a * a.transposed();
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  return spd;
+}
+
+TEST(Matrix, IdentityAndIndexing) {
+  const Matrix i3 = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(i3(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, ProductAgainstHand) {
+  Matrix a(2, 3), b(3, 2);
+  double v = 1.0;
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = v++;
+  v = 1.0;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 2; ++c) b(r, c) = v++;
+  const Matrix p = a * b;
+  EXPECT_DOUBLE_EQ(p(0, 0), 22.0);
+  EXPECT_DOUBLE_EQ(p(0, 1), 28.0);
+  EXPECT_DOUBLE_EQ(p(1, 0), 49.0);
+  EXPECT_DOUBLE_EQ(p(1, 1), 64.0);
+}
+
+TEST(Matrix, ProductDimensionMismatchThrows) {
+  Matrix a(2, 3), b(2, 2);
+  EXPECT_THROW(a * b, ContractViolation);
+}
+
+TEST(Matrix, SumDiffScale) {
+  Matrix a(2, 2, 1.0), b(2, 2, 2.0);
+  EXPECT_DOUBLE_EQ((a + b)(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ((b - a)(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ((3.0 * b)(0, 1), 6.0);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Rng rng(5);
+  Matrix a(3, 4);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 4; ++c) a(r, c) = rng.normal();
+  const Matrix att = a.transposed().transposed();
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_DOUBLE_EQ(att(r, c), a(r, c));
+}
+
+TEST(Cholesky, ReconstructsMatrix) {
+  Rng rng(7);
+  const Matrix a = random_spd(6, rng);
+  const Matrix l = cholesky(a);
+  const Matrix back = l * l.transposed();
+  for (std::size_t r = 0; r < 6; ++r)
+    for (std::size_t c = 0; c < 6; ++c) EXPECT_NEAR(back(r, c), a(r, c), 1e-9);
+}
+
+TEST(Cholesky, LowerTriangular) {
+  Rng rng(11);
+  const Matrix l = cholesky(random_spd(5, rng));
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = r + 1; c < 5; ++c) EXPECT_DOUBLE_EQ(l(r, c), 0.0);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = -1.0;
+  EXPECT_THROW(cholesky(a), NumericalError);
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  EXPECT_THROW(cholesky(Matrix(2, 3)), ContractViolation);
+}
+
+TEST(Solves, SpdSolveMatchesDirect) {
+  Rng rng(13);
+  const Matrix a = random_spd(8, rng);
+  std::vector<double> x_true(8);
+  for (auto& x : x_true) x = rng.normal();
+  const std::vector<double> b = a * x_true;
+  const std::vector<double> x = solve_spd(a, b);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(Solves, TriangularSubstitutions) {
+  Matrix l(3, 3);
+  l(0, 0) = 2.0;
+  l(1, 0) = 1.0;
+  l(1, 1) = 3.0;
+  l(2, 0) = 0.5;
+  l(2, 1) = -1.0;
+  l(2, 2) = 1.5;
+  const std::vector<double> b = {2.0, 7.0, 0.0};
+  const std::vector<double> y = forward_substitute(l, b);
+  EXPECT_NEAR(y[0], 1.0, 1e-12);
+  EXPECT_NEAR(y[1], 2.0, 1e-12);
+  EXPECT_NEAR(y[2], 1.0, 1e-12);
+  // L^T x = y round trip: solve and verify.
+  const std::vector<double> x = backward_substitute_transposed(l, y);
+  // Verify L^T x == y.
+  const Matrix lt = l.transposed();
+  const std::vector<double> check = lt * x;
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(check[i], y[i], 1e-12);
+}
+
+TEST(LeastSquares, ExactForSquareSystem) {
+  Rng rng(17);
+  Matrix a(4, 4);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) a(r, c) = rng.normal();
+  std::vector<double> x_true = {1.0, -2.0, 3.0, 0.5};
+  const std::vector<double> b = a * x_true;
+  const std::vector<double> x = solve_least_squares(a, b);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(LeastSquares, MinimizesResidualOnOverdetermined) {
+  // Fit a line to noisy points; compare against the normal-equations result.
+  Rng rng(19);
+  const std::size_t n = 50;
+  Matrix a(n, 2);
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / 10.0;
+    a(i, 0) = 1.0;
+    a(i, 1) = x;
+    b[i] = 2.0 + 0.7 * x + 0.01 * rng.normal();
+  }
+  const std::vector<double> beta = solve_least_squares(a, b);
+  // Normal equations: (A^T A) beta = A^T b.
+  const Matrix ata = a.transposed() * a;
+  const std::vector<double> atb = a.transposed() * b;
+  const std::vector<double> beta_ne = solve_spd(ata, atb);
+  EXPECT_NEAR(beta[0], beta_ne[0], 1e-9);
+  EXPECT_NEAR(beta[1], beta_ne[1], 1e-9);
+  EXPECT_NEAR(beta[0], 2.0, 0.02);
+  EXPECT_NEAR(beta[1], 0.7, 0.02);
+}
+
+TEST(LeastSquares, RejectsUnderdetermined) {
+  EXPECT_THROW(solve_least_squares(Matrix(2, 3), std::vector<double>(2)), ContractViolation);
+}
+
+TEST(LeastSquares, RejectsRankDeficient) {
+  Matrix a(3, 2);
+  for (std::size_t i = 0; i < 3; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = 2.0;  // second column = 2 * first after elimination -> singular R
+  }
+  // Columns are linearly dependent.
+  EXPECT_THROW(solve_least_squares(a, std::vector<double>{1, 2, 3}), NumericalError);
+}
+
+TEST(Helpers, DotAndDet2) {
+  EXPECT_DOUBLE_EQ(dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_THROW(dot({1.0}, {1.0, 2.0}), ContractViolation);
+  EXPECT_DOUBLE_EQ(det2(1, 2, 3, 4), -2.0);
+}
+
+}  // namespace
+}  // namespace rgleak::math

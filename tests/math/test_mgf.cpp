@@ -1,0 +1,118 @@
+#include "math/mgf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/rng.h"
+#include "math/stats.h"
+#include "util/require.h"
+
+namespace rgleak::math {
+namespace {
+
+// Representative cell model: leakage falls ~10x over +3 sigma of length.
+LogQuadraticModel typical_model() {
+  LogQuadraticModel m;
+  m.a = 2.0e4;   // nA
+  m.b = -0.12;   // 1/nm
+  m.c = 0.0025;  // 1/nm^2
+  return m;
+}
+
+TEST(LogQuadraticModel, Evaluation) {
+  const LogQuadraticModel m = typical_model();
+  const double l = 40.0;
+  EXPECT_NEAR(m(l), m.a * std::exp(m.b * l + m.c * l * l), 1e-9);
+}
+
+TEST(LogQuadraticMoments, KParametersMatchPaperEquations) {
+  const LogQuadraticModel m = typical_model();
+  const double mu = 40.0, sigma = 2.5;
+  const LogQuadraticMoments mo(m, mu, sigma);
+  // Eq. (4): K1 = c sigma^2, K2 = (b/(2c) + mu)/sigma.
+  EXPECT_NEAR(mo.k1(), m.c * sigma * sigma, 1e-14);
+  EXPECT_NEAR(mo.k2(), (m.b / (2.0 * m.c) + mu) / sigma, 1e-12);
+  // Eq. (5).
+  const double shift = m.b / (2.0 * m.c) + mu;
+  EXPECT_NEAR(mo.k3(), std::log(m.a) + m.b * mu + m.c * mu * mu - m.c * shift * shift, 1e-10);
+}
+
+TEST(LogQuadraticMoments, MomentsAreMgfAt1And2) {
+  const LogQuadraticMoments mo(typical_model(), 40.0, 2.5);
+  EXPECT_NEAR(mo.mean(), mo.mgf_log(1.0), 1e-10 * mo.mean());
+  EXPECT_NEAR(mo.second_moment(), mo.mgf_log(2.0), 1e-10 * mo.second_moment());
+}
+
+TEST(LogQuadraticMoments, PaperFormEqualsRobustForm) {
+  const LogQuadraticMoments mo(typical_model(), 40.0, 2.5);
+  for (double t : {0.5, 1.0, 1.7, 2.0}) {
+    EXPECT_NEAR(mo.mgf_log_paper_form(t), mo.mgf_log(t), 1e-9 * mo.mgf_log(t)) << "t=" << t;
+  }
+}
+
+TEST(LogQuadraticMoments, MatchesMonteCarlo) {
+  const LogQuadraticModel m = typical_model();
+  const double mu = 40.0, sigma = 2.5;
+  const LogQuadraticMoments mo(m, mu, sigma);
+  Rng rng(37);
+  RunningStats acc;
+  const std::size_t n = 2000000;
+  for (std::size_t i = 0; i < n; ++i) acc.add(m(rng.normal(mu, sigma)));
+  EXPECT_NEAR(mo.mean(), acc.mean(), 5.0 * acc.stddev() / std::sqrt(static_cast<double>(n)));
+  EXPECT_NEAR(mo.stddev(), acc.stddev(), 0.01 * acc.stddev());
+}
+
+TEST(LogQuadraticMoments, LognormalExactForCZero) {
+  LogQuadraticModel m;
+  m.a = 10.0;
+  m.b = -0.1;
+  m.c = 0.0;
+  const double mu = 40.0, sigma = 2.5;
+  const LogQuadraticMoments mo(m, mu, sigma);
+  const double s = -m.b * sigma;  // sigma of ln X
+  const double mean = m.a * std::exp(m.b * mu + 0.5 * s * s);
+  const double second = m.a * m.a * std::exp(2.0 * m.b * mu + 2.0 * s * s);
+  EXPECT_NEAR(mo.mean(), mean, 1e-10 * mean);
+  EXPECT_NEAR(mo.second_moment(), second, 1e-10 * second);
+  EXPECT_THROW(mo.k2(), ContractViolation);
+  // mgf_log still valid (robust path).
+  EXPECT_NEAR(mo.mgf_log(1.0), mean, 1e-10 * mean);
+  EXPECT_THROW(mo.mgf_log_paper_form(1.0), ContractViolation);
+}
+
+TEST(LogQuadraticMoments, ZeroSigmaDegeneratesToPoint) {
+  const LogQuadraticModel m = typical_model();
+  const LogQuadraticMoments mo(m, 40.0, 0.0);
+  EXPECT_NEAR(mo.mean(), m(40.0), 1e-10 * m(40.0));
+  EXPECT_NEAR(mo.variance(), 0.0, 1e-8 * mo.mean() * mo.mean());
+}
+
+TEST(LogQuadraticMoments, VarianceIsPositiveForSpreadLength) {
+  const LogQuadraticMoments mo(typical_model(), 40.0, 2.5);
+  EXPECT_GT(mo.variance(), 0.0);
+  EXPECT_GT(mo.stddev() / mo.mean(), 0.1);  // leakage varies substantially
+}
+
+TEST(LogQuadraticMoments, DivergentSecondMomentThrows) {
+  LogQuadraticModel m;
+  m.a = 1.0;
+  m.b = 0.0;
+  m.c = 0.05;  // 1 - 4 c sigma^2 < 0 for sigma = 2.5
+  EXPECT_THROW(LogQuadraticMoments(m, 40.0, 2.5), NumericalError);
+}
+
+TEST(LogQuadraticMoments, RejectsNonPositiveScale) {
+  LogQuadraticModel m;
+  m.a = 0.0;
+  EXPECT_THROW(LogQuadraticMoments(m, 40.0, 1.0), ContractViolation);
+}
+
+TEST(LogQuadraticMoments, MgfDivergenceThrows) {
+  const LogQuadraticMoments mo(typical_model(), 40.0, 2.5);
+  // Large t pushes 1 - 2 K1 t negative for positive K1.
+  EXPECT_THROW(mo.mgf_log_paper_form(1.0e4), NumericalError);
+}
+
+}  // namespace
+}  // namespace rgleak::math

@@ -1,0 +1,62 @@
+#include "math/polyfit.h"
+
+#include <gtest/gtest.h>
+
+#include "math/rng.h"
+#include "util/require.h"
+
+namespace rgleak::math {
+namespace {
+
+TEST(Polyfit, RecoversExactQuadratic) {
+  const std::vector<double> truth = {1.5, -2.0, 0.25};
+  std::vector<double> x, y;
+  for (int i = 0; i < 7; ++i) {
+    x.push_back(static_cast<double>(i));
+    y.push_back(polyval(truth, x.back()));
+  }
+  const auto c = polyfit(x, y, 2);
+  ASSERT_EQ(c.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(c[i], truth[i], 1e-9);
+}
+
+TEST(Polyfit, RecoversLineFromNoisyData) {
+  Rng rng(3);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(i * 0.1);
+    y.push_back(3.0 - 0.5 * x.back() + 0.001 * rng.normal());
+  }
+  const auto c = polyfit(x, y, 1);
+  EXPECT_NEAR(c[0], 3.0, 1e-3);
+  EXPECT_NEAR(c[1], -0.5, 1e-3);
+}
+
+TEST(Polyfit, DegreeZeroIsMean) {
+  const auto c = polyfit({1, 2, 3}, {4.0, 6.0, 8.0}, 0);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_NEAR(c[0], 6.0, 1e-12);
+}
+
+TEST(Polyfit, RejectsTooFewSamples) {
+  EXPECT_THROW(polyfit({1.0, 2.0}, {1.0, 2.0}, 2), ContractViolation);
+}
+
+TEST(Polyfit, RejectsMismatchedSizes) {
+  EXPECT_THROW(polyfit({1.0, 2.0, 3.0}, {1.0, 2.0}, 1), ContractViolation);
+}
+
+TEST(Polyfit, RejectsCoincidentAbscissae) {
+  // All x identical -> Vandermonde rank-deficient.
+  EXPECT_THROW(polyfit({2.0, 2.0, 2.0}, {1.0, 2.0, 3.0}, 1), NumericalError);
+}
+
+TEST(Polyval, HornerAgainstDirect) {
+  const std::vector<double> c = {1.0, -1.0, 2.0, 0.5};
+  const double x = 1.7;
+  EXPECT_NEAR(polyval(c, x), 1.0 - x + 2 * x * x + 0.5 * x * x * x, 1e-12);
+  EXPECT_DOUBLE_EQ(polyval({}, 3.0), 0.0);
+}
+
+}  // namespace
+}  // namespace rgleak::math

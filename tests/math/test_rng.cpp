@@ -1,0 +1,129 @@
+#include "math/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "math/stats.h"
+#include "util/require.h"
+
+namespace rgleak::math {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    s.add(u);
+  }
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformRangeRejectsInverted) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(1.0, 0.0), ContractViolation);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.variance(), 1.0, 0.03);
+}
+
+TEST(Rng, NormalSkewAndTails) {
+  Rng rng(13);
+  double third = 0.0;
+  std::size_t beyond3 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    third += z * z * z;
+    if (std::abs(z) > 3.0) ++beyond3;
+  }
+  EXPECT_NEAR(third / n, 0.0, 0.05);
+  // P(|Z| > 3) = 0.0027.
+  EXPECT_NEAR(static_cast<double>(beyond3) / n, 0.0027, 0.001);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng(17);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, NormalRejectsNegativeSigma) {
+  Rng rng(1);
+  EXPECT_THROW(rng.normal(0.0, -1.0), ContractViolation);
+}
+
+TEST(Rng, UniformIndexBoundsAndCoverage) {
+  Rng rng(19);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const auto k = rng.uniform_index(10);
+    ASSERT_LT(k, 10u);
+    hits[k]++;
+  }
+  for (int h : hits) EXPECT_GT(h, 700);  // roughly uniform
+  EXPECT_THROW(rng.uniform_index(0), ContractViolation);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(23);
+  int ones = 0;
+  for (int i = 0; i < 100000; ++i) ones += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(ones / 100000.0, 0.3, 0.01);
+  EXPECT_THROW(rng.bernoulli(1.5), ContractViolation);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng rng(29);
+  Rng child = rng.fork();
+  RunningCovariance cov;
+  for (int i = 0; i < 50000; ++i) cov.add(rng.normal(), child.normal());
+  EXPECT_NEAR(cov.correlation(), 0.0, 0.02);
+}
+
+TEST(Rng, NormalVectorSizeAndIndependence) {
+  Rng rng(31);
+  const auto v = rng.normal_vector(10000);
+  EXPECT_EQ(v.size(), 10000u);
+  RunningCovariance lag1;
+  for (std::size_t i = 0; i + 1 < v.size(); ++i) lag1.add(v[i], v[i + 1]);
+  EXPECT_NEAR(lag1.correlation(), 0.0, 0.03);
+}
+
+}  // namespace
+}  // namespace rgleak::math

@@ -1,0 +1,118 @@
+#include "math/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/rng.h"
+#include "util/require.h"
+
+namespace rgleak::math {
+namespace {
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.5, -3.0, 7.0, 0.5};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_NEAR(s.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(s.variance(), variance(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
+TEST(RunningStats, StableUnderLargeOffset) {
+  // Catastrophic cancellation check: values near 1e12 with unit variance.
+  Rng rng(3);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(1e12 + rng.normal());
+  EXPECT_NEAR(s.variance(), 1.0, 0.05);
+}
+
+TEST(RunningStats, MergeEqualsPooled) {
+  Rng rng(5);
+  RunningStats a, b, pooled;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    (i % 2 ? a : b).add(x);
+    pooled.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), pooled.count());
+  EXPECT_NEAR(a.mean(), pooled.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), pooled.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), pooled.min());
+  EXPECT_DOUBLE_EQ(a.max(), pooled.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double m = a.mean();
+  a.merge(empty);
+  EXPECT_NEAR(a.mean(), m, 1e-15);
+  RunningStats c;
+  c.merge(a);
+  EXPECT_NEAR(c.mean(), m, 1e-15);
+}
+
+TEST(RunningStats, PreconditionErrors) {
+  RunningStats s;
+  EXPECT_THROW(s.mean(), ContractViolation);
+  s.add(1.0);
+  EXPECT_THROW(s.variance(), ContractViolation);
+}
+
+TEST(RunningCovariance, MatchesDirect) {
+  RunningCovariance c;
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 5, 4, 5};
+  for (std::size_t i = 0; i < x.size(); ++i) c.add(x[i], y[i]);
+  // Direct: cov = E[(x - mx)(y - my)] * n/(n-1).
+  double mx = mean(x), my = mean(y), cov = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) cov += (x[i] - mx) * (y[i] - my);
+  cov /= static_cast<double>(x.size() - 1);
+  EXPECT_NEAR(c.covariance(), cov, 1e-12);
+  EXPECT_NEAR(c.correlation(), correlation(x, y), 1e-12);
+}
+
+TEST(RunningCovariance, PerfectCorrelation) {
+  RunningCovariance c;
+  for (int i = 0; i < 100; ++i) c.add(i, 2.0 * i + 1.0);
+  EXPECT_NEAR(c.correlation(), 1.0, 1e-12);
+  RunningCovariance d;
+  for (int i = 0; i < 100; ++i) d.add(i, -0.5 * i);
+  EXPECT_NEAR(d.correlation(), -1.0, 1e-12);
+}
+
+TEST(RunningCovariance, IndependentNearZero) {
+  Rng rng(7);
+  RunningCovariance c;
+  for (int i = 0; i < 100000; ++i) c.add(rng.normal(), rng.normal());
+  EXPECT_NEAR(c.correlation(), 0.0, 0.02);
+}
+
+TEST(RunningCovariance, DegenerateMarginalThrows) {
+  RunningCovariance c;
+  c.add(1.0, 1.0);
+  c.add(1.0, 2.0);
+  EXPECT_THROW(c.correlation(), ContractViolation);
+}
+
+TEST(VectorStats, EdgeCases) {
+  EXPECT_THROW(mean({}), ContractViolation);
+  EXPECT_THROW(variance({1.0}), ContractViolation);
+  EXPECT_THROW(correlation({1.0, 2.0}, {1.0}), ContractViolation);
+  EXPECT_DOUBLE_EQ(mean({5.0}), 5.0);
+  EXPECT_NEAR(stddev({1.0, 3.0}), std::sqrt(2.0), 1e-12);
+}
+
+TEST(RelativeError, Definition) {
+  EXPECT_NEAR(relative_error(1.1, 1.0), 0.1, 1e-12);
+  EXPECT_NEAR(relative_error(0.9, 1.0), 0.1, 1e-12);
+  EXPECT_NEAR(relative_error(0.5, 0.0), 0.5, 1e-12);  // absolute fallback
+}
+
+}  // namespace
+}  // namespace rgleak::math

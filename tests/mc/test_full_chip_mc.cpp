@@ -1,0 +1,179 @@
+#include "mc/full_chip_mc.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../test_util.h"
+#include "core/estimators.h"
+#include "netlist/random_circuit.h"
+#include "util/require.h"
+
+namespace rgleak::mc {
+namespace {
+
+using rgleak::testing::mini_chars_analytic;
+using rgleak::testing::mini_library;
+
+netlist::UsageHistogram test_usage() {
+  netlist::UsageHistogram u;
+  u.alphas.assign(mini_library().size(), 0.0);
+  u.alphas[mini_library().index_of("INV_X1")] = 0.6;
+  u.alphas[mini_library().index_of("NAND2_X1")] = 0.4;
+  return u;
+}
+
+placement::Floorplan grid(std::size_t rows, std::size_t cols, double pitch = 1500.0) {
+  placement::Floorplan fp;
+  fp.rows = rows;
+  fp.cols = cols;
+  fp.site_w_nm = pitch;
+  fp.site_h_nm = pitch;
+  return fp;
+}
+
+TEST(FullChipMc, MatchesAnalyticEstimateOnPlacedDesign) {
+  // End-to-end: MC total-leakage statistics of a placed design must match
+  // the O(n^2) exact analytical estimate within sampling error.
+  const std::size_t rows = 16, cols = 16;
+  math::Rng gen(21);
+  const netlist::Netlist nl =
+      generate_random_circuit(mini_library(), test_usage(), rows * cols, gen);
+  const placement::Placement pl(&nl, grid(rows, cols));
+
+  const core::ExactEstimator exact(mini_chars_analytic(), 0.5,
+                                   core::CorrelationMode::kAnalytic);
+  const core::LeakageEstimate analytic = exact.estimate(pl);
+
+  FullChipMcOptions opts;
+  opts.trials = 3000;
+  opts.resample_states_per_trial = true;  // the analytic estimate mixes states
+  FullChipMonteCarlo mc(pl, mini_chars_analytic(), opts);
+  const FullChipMcResult r = mc.run();
+
+  // Mean: MC standard error ~ sigma/sqrt(T).
+  const double mean_se = analytic.sigma_na / std::sqrt(3000.0);
+  EXPECT_NEAR(r.mean_na, analytic.mean_na, 5.0 * mean_se);
+  // Sigma: sampling error of a stddev estimate is ~ sigma/sqrt(2T) but the
+  // total is not Gaussian; allow several percent.
+  EXPECT_NEAR(r.sigma_na, analytic.sigma_na, 0.12 * analytic.sigma_na);
+}
+
+TEST(FullChipMc, FixedStatesReduceVariance) {
+  // With frozen input states, workload variability is removed; sigma must
+  // not exceed the resampled-state sigma (within noise).
+  const std::size_t rows = 12, cols = 12;
+  math::Rng gen(23);
+  const netlist::Netlist nl =
+      generate_random_circuit(mini_library(), test_usage(), rows * cols, gen);
+  const placement::Placement pl(&nl, grid(rows, cols));
+
+  FullChipMcOptions frozen;
+  frozen.trials = 1500;
+  frozen.resample_states_per_trial = false;
+  FullChipMcOptions resampled = frozen;
+  resampled.resample_states_per_trial = true;
+
+  const FullChipMcResult rf = FullChipMonteCarlo(pl, mini_chars_analytic(), frozen).run();
+  const FullChipMcResult rr =
+      FullChipMonteCarlo(pl, mini_chars_analytic(), resampled).run();
+  EXPECT_LT(rf.sigma_na, rr.sigma_na * 1.15);
+}
+
+TEST(FullChipMc, DeterministicForSeed) {
+  const std::size_t rows = 6, cols = 6;
+  math::Rng gen(29);
+  const netlist::Netlist nl =
+      generate_random_circuit(mini_library(), test_usage(), rows * cols, gen);
+  const placement::Placement pl(&nl, grid(rows, cols));
+  FullChipMcOptions opts;
+  opts.trials = 50;
+  opts.seed = 999;
+  const FullChipMcResult a = FullChipMonteCarlo(pl, mini_chars_analytic(), opts).run();
+  const FullChipMcResult b = FullChipMonteCarlo(pl, mini_chars_analytic(), opts).run();
+  EXPECT_DOUBLE_EQ(a.mean_na, b.mean_na);
+  EXPECT_DOUBLE_EQ(a.sigma_na, b.sigma_na);
+}
+
+TEST(FullChipMc, TotalsArePositiveAndScaleWithSize) {
+  math::Rng gen(31);
+  const netlist::Netlist small_nl =
+      generate_random_circuit(mini_library(), test_usage(), 36, gen);
+  const netlist::Netlist big_nl =
+      generate_random_circuit(mini_library(), test_usage(), 144, gen);
+  const placement::Placement small_pl(&small_nl, grid(6, 6));
+  const placement::Placement big_pl(&big_nl, grid(12, 12));
+  FullChipMcOptions opts;
+  opts.trials = 200;
+  const FullChipMcResult rs = FullChipMonteCarlo(small_pl, mini_chars_analytic(), opts).run();
+  const FullChipMcResult rb = FullChipMonteCarlo(big_pl, mini_chars_analytic(), opts).run();
+  EXPECT_GT(rs.mean_na, 0.0);
+  EXPECT_NEAR(rb.mean_na / rs.mean_na, 4.0, 0.5);
+}
+
+TEST(FullChipMc, ThreadedRunMatchesStatistics) {
+  math::Rng gen(41);
+  const netlist::Netlist nl =
+      generate_random_circuit(mini_library(), test_usage(), 100, gen);
+  const placement::Placement pl(&nl, grid(10, 10));
+  FullChipMcOptions serial;
+  serial.trials = 1200;
+  FullChipMcOptions threaded = serial;
+  threaded.threads = 4;
+  const FullChipMcResult rs = FullChipMonteCarlo(pl, mini_chars_analytic(), serial).run();
+  const FullChipMcResult rt = FullChipMonteCarlo(pl, mini_chars_analytic(), threaded).run();
+  // Different sample streams, same distribution: agree within MC error.
+  EXPECT_NEAR(rt.mean_na, rs.mean_na, 0.1 * rs.mean_na);
+  EXPECT_NEAR(rt.sigma_na, rs.sigma_na, 0.25 * rs.sigma_na);
+}
+
+TEST(FullChipMc, ThreadedRunDeterministicForSeedAndThreads) {
+  math::Rng gen(43);
+  const netlist::Netlist nl = generate_random_circuit(mini_library(), test_usage(), 36, gen);
+  const placement::Placement pl(&nl, grid(6, 6));
+  FullChipMcOptions opts;
+  opts.trials = 200;
+  opts.threads = 3;
+  const FullChipMcResult a = FullChipMonteCarlo(pl, mini_chars_analytic(), opts).run();
+  const FullChipMcResult b = FullChipMonteCarlo(pl, mini_chars_analytic(), opts).run();
+  EXPECT_DOUBLE_EQ(a.mean_na, b.mean_na);
+  EXPECT_DOUBLE_EQ(a.sigma_na, b.sigma_na);
+  EXPECT_DOUBLE_EQ(a.p99_na, b.p99_na);
+}
+
+TEST(FullChipMc, ThreadedRejectsStateResampling) {
+  math::Rng gen(47);
+  const netlist::Netlist nl = generate_random_circuit(mini_library(), test_usage(), 16, gen);
+  const placement::Placement pl(&nl, grid(4, 4));
+  FullChipMcOptions opts;
+  opts.trials = 10;
+  opts.threads = 2;
+  opts.resample_states_per_trial = true;
+  FullChipMonteCarlo mc(pl, mini_chars_analytic(), opts);
+  EXPECT_THROW(mc.run(), ContractViolation);
+}
+
+TEST(FullChipMc, PercentilesAreOrderedAndBracketMean) {
+  math::Rng gen(49);
+  const netlist::Netlist nl = generate_random_circuit(mini_library(), test_usage(), 64, gen);
+  const placement::Placement pl(&nl, grid(8, 8));
+  FullChipMcOptions opts;
+  opts.trials = 800;
+  const FullChipMcResult r = FullChipMonteCarlo(pl, mini_chars_analytic(), opts).run();
+  EXPECT_LT(r.p50_na, r.p90_na);
+  EXPECT_LT(r.p90_na, r.p99_na);
+  // Right-skewed: median below mean.
+  EXPECT_LT(r.p50_na, r.mean_na * 1.02);
+}
+
+TEST(FullChipMc, RejectsTooFewTrials) {
+  math::Rng gen(37);
+  const netlist::Netlist nl = generate_random_circuit(mini_library(), test_usage(), 4, gen);
+  const placement::Placement pl(&nl, grid(2, 2));
+  FullChipMcOptions opts;
+  opts.trials = 1;
+  EXPECT_THROW(FullChipMonteCarlo(pl, mini_chars_analytic(), opts), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rgleak::mc

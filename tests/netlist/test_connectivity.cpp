@@ -1,0 +1,180 @@
+#include "netlist/connectivity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../test_util.h"
+#include "util/require.h"
+
+namespace rgleak::netlist {
+namespace {
+
+using rgleak::testing::mini_library;
+
+ConnectedGate gate(const char* cell, std::vector<std::size_t> inputs) {
+  ConnectedGate g;
+  g.cell_index = mini_library().index_of(cell);
+  g.input_nets = std::move(inputs);
+  return g;
+}
+
+TEST(CellLogic, OutputValuesForBasicGates) {
+  const auto& lib = mini_library();
+  const auto& inv = lib.cell(lib.index_of("INV_X1"));
+  EXPECT_TRUE(inv.output_value(0));
+  EXPECT_FALSE(inv.output_value(1));
+  const auto& nand = lib.cell(lib.index_of("NAND2_X1"));
+  EXPECT_TRUE(nand.output_value(0));
+  EXPECT_FALSE(nand.output_value(3));
+  const auto& nor = lib.cell(lib.index_of("NOR2_X1"));
+  EXPECT_TRUE(nor.output_value(0));
+  EXPECT_FALSE(nor.output_value(1));
+}
+
+TEST(CellLogic, OutputProbabilityExact) {
+  const auto& lib = mini_library();
+  const auto& inv = lib.cell(lib.index_of("INV_X1"));
+  EXPECT_NEAR(inv.output_probability({0.3}), 0.7, 1e-12);
+  const auto& nand = lib.cell(lib.index_of("NAND2_X1"));
+  // P(out=1) = 1 - pa*pb.
+  EXPECT_NEAR(nand.output_probability({0.3, 0.8}), 1.0 - 0.24, 1e-12);
+  const auto& nor = lib.cell(lib.index_of("NOR2_X1"));
+  EXPECT_NEAR(nor.output_probability({0.3, 0.8}), 0.7 * 0.2, 1e-12);
+  EXPECT_THROW(inv.output_probability({0.3, 0.4}), ContractViolation);
+  EXPECT_THROW(inv.output_probability({1.5}), ContractViolation);
+}
+
+TEST(CellLogic, MultiStageCellsUseDeclaredOutput) {
+  const auto& lib = rgleak::testing::full_library();
+  const auto& and2 = lib.cell(lib.index_of("AND2_X1"));
+  EXPECT_NEAR(and2.output_probability({0.5, 0.5}), 0.25, 1e-12);
+  const auto& xor2 = lib.cell(lib.index_of("XOR2_X1"));
+  EXPECT_NEAR(xor2.output_probability({0.3, 0.3}), 2 * 0.3 * 0.7, 1e-12);
+  // DFF primary output is Q = D (in the stable characterization state).
+  const auto& dff = lib.cell(lib.index_of("DFF_X1"));
+  EXPECT_TRUE(dff.output_value(1));   // d=1
+  EXPECT_FALSE(dff.output_value(2));  // d=0, clk=1
+}
+
+TEST(ConnectedNetlist, ValidConstructionAndAccess) {
+  const std::vector<ConnectedGate> gates = {
+      gate("INV_X1", {0}),          // net 2 = !pi0
+      gate("NAND2_X1", {1, 2}),     // net 3
+      gate("NOR2_X1", {2, 3}),      // net 4
+  };
+  const ConnectedNetlist nl("t", &mini_library(), 2, gates);
+  EXPECT_EQ(nl.size(), 3u);
+  EXPECT_EQ(nl.num_nets(), 5u);
+  EXPECT_EQ(nl.output_net(0), 2u);
+  const Netlist flat = nl.flatten();
+  EXPECT_EQ(flat.size(), 3u);
+  EXPECT_EQ(flat.gate(1).cell_index, mini_library().index_of("NAND2_X1"));
+}
+
+TEST(ConnectedNetlist, RejectsNonDagAndBadArity) {
+  // Forward reference.
+  EXPECT_THROW(ConnectedNetlist("t", &mini_library(), 1, {gate("INV_X1", {1})}),
+               ContractViolation);
+  // Wrong input count.
+  EXPECT_THROW(ConnectedNetlist("t", &mini_library(), 1, {gate("NAND2_X1", {0})}),
+               ContractViolation);
+  EXPECT_THROW(ConnectedNetlist("t", &mini_library(), 0, {gate("INV_X1", {0})}),
+               ContractViolation);
+}
+
+TEST(Propagation, InverterChainAlternates) {
+  std::vector<ConnectedGate> gates;
+  for (std::size_t g = 0; g < 4; ++g) gates.push_back(gate("INV_X1", {g}));
+  const ConnectedNetlist nl("chain", &mini_library(), 1, gates);
+  const auto probs = propagate_probabilities(nl, 0.2);
+  EXPECT_NEAR(probs[0], 0.2, 1e-12);
+  EXPECT_NEAR(probs[1], 0.8, 1e-12);
+  EXPECT_NEAR(probs[2], 0.2, 1e-12);
+  EXPECT_NEAR(probs[3], 0.8, 1e-12);
+  EXPECT_NEAR(probs[4], 0.2, 1e-12);
+}
+
+TEST(Propagation, NandChainConvergesToFixedPoint) {
+  // NAND2 with one input from the chain and one fresh primary input at 0.5:
+  // f(p) = 1 - 0.5 p, a contraction with fixed point 2/3.
+  std::vector<ConnectedGate> gates;
+  std::size_t prev = 0;
+  for (std::size_t g = 0; g < 30; ++g) {
+    gates.push_back(gate("NAND2_X1", {prev, 0}));
+    prev = 1 + g;
+  }
+  const ConnectedNetlist nl("nands", &mini_library(), 1, gates);
+  const auto probs = propagate_probabilities(nl, 0.5);
+  EXPECT_NEAR(probs.back(), 2.0 / 3.0, 1e-6);
+}
+
+TEST(Propagation, NandSelfCoupledChainHitsTwoCycle) {
+  // With both inputs tied to the previous stage, f(p) = 1 - p^2 whose fixed
+  // point is repelling: the iterates fall into the {0, 1} two-cycle — a nice
+  // sanity check that propagation follows the exact gate function.
+  std::vector<ConnectedGate> gates;
+  std::size_t prev = 0;
+  for (std::size_t g = 0; g < 30; ++g) {
+    gates.push_back(gate("NAND2_X1", {prev, prev}));
+    prev = 1 + g;
+  }
+  const ConnectedNetlist nl("nands", &mini_library(), 1, gates);
+  const auto probs = propagate_probabilities(nl, 0.5);
+  EXPECT_LT(probs[probs.size() - 1] * (1.0 - probs[probs.size() - 1]), 1e-3);
+  EXPECT_NEAR(probs[probs.size() - 1] + probs[probs.size() - 2], 1.0, 1e-3);
+}
+
+TEST(Propagation, HalfProbabilityMayDriftFromHalf) {
+  // The global-p = 0.5 assumption is not a fixed point for NOR2.
+  std::vector<ConnectedGate> gates = {gate("NOR2_X1", {0, 1})};
+  const ConnectedNetlist nl("nor", &mini_library(), 2, gates);
+  const auto probs = propagate_probabilities(nl, 0.5);
+  EXPECT_NEAR(probs[2], 0.25, 1e-12);
+}
+
+TEST(Propagation, GateInputProbabilities) {
+  std::vector<ConnectedGate> gates = {gate("INV_X1", {0}), gate("NAND2_X1", {0, 1})};
+  const ConnectedNetlist nl("t", &mini_library(), 1, gates);
+  const auto probs = propagate_probabilities(nl, 0.3);
+  const auto inputs = gate_input_probabilities(nl, probs);
+  ASSERT_EQ(inputs.size(), 2u);
+  EXPECT_NEAR(inputs[1][0], 0.3, 1e-12);
+  EXPECT_NEAR(inputs[1][1], 0.7, 1e-12);
+  EXPECT_THROW(gate_input_probabilities(nl, std::vector<double>(2)), ContractViolation);
+}
+
+TEST(RandomDag, StructurallyValidAndMatchesHistogram) {
+  UsageHistogram usage;
+  usage.alphas.assign(mini_library().size(), 0.0);
+  usage.alphas[mini_library().index_of("INV_X1")] = 0.4;
+  usage.alphas[mini_library().index_of("NAND2_X1")] = 0.6;
+  math::Rng rng(7);
+  const ConnectedNetlist nl = generate_random_dag(mini_library(), usage, 500, 16, rng);
+  EXPECT_EQ(nl.size(), 500u);
+  // Construction validated DAG-ness; check the histogram.
+  const UsageHistogram got = extract_usage(nl.flatten());
+  EXPECT_NEAR(got.alphas[mini_library().index_of("INV_X1")], 0.4, 0.01);
+  // Propagation must produce valid probabilities everywhere.
+  const auto probs = propagate_probabilities(nl, 0.5);
+  for (double p : probs) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(RandomDag, SeedDeterminism) {
+  UsageHistogram usage;
+  usage.alphas.assign(mini_library().size(), 0.0);
+  usage.alphas[0] = 1.0;
+  math::Rng r1(9), r2(9);
+  const ConnectedNetlist a = generate_random_dag(mini_library(), usage, 50, 4, r1);
+  const ConnectedNetlist b = generate_random_dag(mini_library(), usage, 50, 4, r2);
+  for (std::size_t g = 0; g < a.size(); ++g) {
+    EXPECT_EQ(a.gate(g).cell_index, b.gate(g).cell_index);
+    EXPECT_EQ(a.gate(g).input_nets, b.gate(g).input_nets);
+  }
+}
+
+}  // namespace
+}  // namespace rgleak::netlist

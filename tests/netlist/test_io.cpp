@@ -1,0 +1,81 @@
+#include "netlist/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../test_util.h"
+#include "netlist/random_circuit.h"
+#include "util/require.h"
+
+namespace rgleak::netlist {
+namespace {
+
+using rgleak::testing::mini_library;
+
+Netlist sample_netlist(std::size_t n = 200) {
+  UsageHistogram u;
+  u.alphas.assign(mini_library().size(), 0.0);
+  u.alphas[0] = 0.5;
+  u.alphas[1] = 0.3;
+  u.alphas[2] = 0.2;
+  math::Rng rng(9);
+  return generate_random_circuit(mini_library(), u, n, rng, UsageMatch::kExact, "sample");
+}
+
+TEST(NetlistIo, RoundTripPreservesOrder) {
+  const Netlist orig = sample_netlist();
+  std::stringstream buf;
+  save_netlist(orig, buf);
+  const Netlist loaded = load_netlist(mini_library(), buf);
+  EXPECT_EQ(loaded.name(), "sample");
+  ASSERT_EQ(loaded.size(), orig.size());
+  for (std::size_t i = 0; i < orig.size(); ++i)
+    EXPECT_EQ(loaded.gate(i).cell_index, orig.gate(i).cell_index) << "gate " << i;
+}
+
+TEST(NetlistIo, RunLengthEncodingIsCompact) {
+  // A single-type netlist serializes to one run line.
+  std::vector<GateInstance> gates(1000, {0});
+  const Netlist nl("uniform", &mini_library(), gates);
+  std::stringstream buf;
+  save_netlist(nl, buf);
+  std::size_t lines = 0;
+  std::string line;
+  while (std::getline(buf, line)) ++lines;
+  EXPECT_EQ(lines, 4u);  // magic, name, gates, one run
+}
+
+TEST(NetlistIo, RejectsBadHeaderAndTruncation) {
+  std::stringstream bad("nope\n");
+  EXPECT_THROW(load_netlist(mini_library(), bad), ContractViolation);
+
+  const Netlist orig = sample_netlist(50);
+  std::stringstream buf;
+  save_netlist(orig, buf);
+  const std::string text = buf.str();
+  std::stringstream truncated(text.substr(0, text.size() - 20));
+  EXPECT_THROW(load_netlist(mini_library(), truncated), ContractViolation);
+}
+
+TEST(NetlistIo, RejectsUnknownCell) {
+  std::stringstream buf("rgnl-v1\nname x\ngates 1\nNOT_A_CELL 1\n");
+  EXPECT_THROW(load_netlist(mini_library(), buf), ContractViolation);
+}
+
+TEST(NetlistIo, RejectsOverlongRun) {
+  std::stringstream buf("rgnl-v1\nname x\ngates 2\nINV_X1 5\n");
+  EXPECT_THROW(load_netlist(mini_library(), buf), ContractViolation);
+}
+
+TEST(NetlistIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/rgleak_test.rgnl";
+  const Netlist orig = sample_netlist(100);
+  save_netlist(orig, path);
+  const Netlist loaded = load_netlist(mini_library(), path);
+  EXPECT_EQ(loaded.size(), orig.size());
+  EXPECT_THROW(load_netlist(mini_library(), path + ".missing"), NumericalError);
+}
+
+}  // namespace
+}  // namespace rgleak::netlist

@@ -1,0 +1,52 @@
+#include "netlist/iscas89.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace rgleak::netlist {
+namespace {
+
+TEST(Iscas89, DescriptorsMatchPublishedTotals) {
+  const auto& circuits = iscas89_descriptors();
+  ASSERT_EQ(circuits.size(), 8u);
+  const std::vector<std::pair<std::string, std::size_t>> expected = {
+      {"s298", 133},   {"s344", 175},    {"s641", 398},    {"s1196", 547},
+      {"s5378", 2958}, {"s9234", 5808},  {"s13207", 8589}, {"s38417", 24179}};
+  for (std::size_t i = 0; i < circuits.size(); ++i) {
+    EXPECT_EQ(circuits[i].name, expected[i].first);
+    EXPECT_EQ(circuits[i].total_gates(), expected[i].second) << circuits[i].name;
+  }
+}
+
+TEST(Iscas89, EveryCircuitContainsFlipFlops) {
+  for (const auto& c : iscas89_descriptors()) {
+    bool has_dff = false;
+    for (const auto& [name, count] : c.composition)
+      if (name == "DFF_X1" && count > 0) has_dff = true;
+    EXPECT_TRUE(has_dff) << c.name;
+  }
+}
+
+TEST(Iscas89, InstantiatesOverFullLibrary) {
+  const auto& lib = rgleak::testing::full_library();
+  math::Rng rng(89);
+  const Netlist nl = make_iscas89(iscas89_descriptors()[4], lib, rng);  // s5378
+  EXPECT_EQ(nl.size(), 2958u);
+  EXPECT_EQ(nl.name(), "s5378");
+  const UsageHistogram h = extract_usage(nl);
+  h.validate();
+  EXPECT_GT(h.alphas[lib.index_of("DFF_X1")], 0.05);
+}
+
+TEST(Iscas89, ShuffleIsSeedDeterministic) {
+  const auto& lib = rgleak::testing::full_library();
+  math::Rng r1(5), r2(5);
+  const Netlist a = make_iscas89(iscas89_descriptors()[0], lib, r1);
+  const Netlist b = make_iscas89(iscas89_descriptors()[0], lib, r2);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a.gate(i).cell_index, b.gate(i).cell_index);
+}
+
+}  // namespace
+}  // namespace rgleak::netlist

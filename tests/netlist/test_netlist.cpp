@@ -1,0 +1,144 @@
+#include "netlist/netlist.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "netlist/iscas85.h"
+#include "netlist/random_circuit.h"
+#include "util/require.h"
+
+namespace rgleak::netlist {
+namespace {
+
+using rgleak::testing::mini_library;
+
+TEST(Netlist, ConstructionAndAccess) {
+  const Netlist nl("t", &mini_library(), {{0}, {1}, {0}});
+  EXPECT_EQ(nl.size(), 3u);
+  EXPECT_EQ(nl.gate(1).cell_index, 1u);
+  EXPECT_THROW(nl.gate(3), ContractViolation);
+}
+
+TEST(Netlist, RejectsBadConstruction) {
+  EXPECT_THROW(Netlist("t", nullptr, {{0}}), ContractViolation);
+  EXPECT_THROW(Netlist("t", &mini_library(), {}), ContractViolation);
+  EXPECT_THROW(Netlist("t", &mini_library(), {{99}}), ContractViolation);
+}
+
+TEST(UsageHistogram, ExtractMatchesCounts) {
+  const Netlist nl("t", &mini_library(), {{0}, {0}, {0}, {1}});
+  const UsageHistogram h = extract_usage(nl);
+  EXPECT_NEAR(h.alphas[0], 0.75, 1e-12);
+  EXPECT_NEAR(h.alphas[1], 0.25, 1e-12);
+  h.validate();
+}
+
+TEST(UsageHistogram, FromCounts) {
+  const UsageHistogram h =
+      usage_from_counts(mini_library(), {{"INV_X1", 30}, {"NAND2_X1", 70}});
+  EXPECT_NEAR(h.alphas[mini_library().index_of("INV_X1")], 0.3, 1e-12);
+  EXPECT_NEAR(h.alphas[mini_library().index_of("NAND2_X1")], 0.7, 1e-12);
+  EXPECT_THROW(usage_from_counts(mini_library(), {{"NOPE", 1}}), ContractViolation);
+  EXPECT_THROW(usage_from_counts(mini_library(), {}), ContractViolation);
+}
+
+TEST(UsageHistogram, ValidationErrors) {
+  UsageHistogram h;
+  EXPECT_THROW(h.validate(), ContractViolation);
+  h.alphas = {0.5, 0.4};
+  EXPECT_THROW(h.validate(), ContractViolation);
+  h.alphas = {-0.1, 1.1};
+  EXPECT_THROW(h.validate(), ContractViolation);
+}
+
+TEST(RandomCircuit, ExactMatchReproducesHistogram) {
+  UsageHistogram target;
+  target.alphas.assign(mini_library().size(), 0.0);
+  target.alphas[0] = 0.5;
+  target.alphas[1] = 0.3;
+  target.alphas[2] = 0.2;
+  math::Rng rng(1);
+  const Netlist nl = generate_random_circuit(mini_library(), target, 1000, rng);
+  const UsageHistogram got = extract_usage(nl);
+  for (std::size_t i = 0; i < got.alphas.size(); ++i)
+    EXPECT_NEAR(got.alphas[i], target.alphas[i], 1.0 / 1000.0);
+}
+
+TEST(RandomCircuit, ExactMatchHandlesRoundingRemainder) {
+  UsageHistogram target;
+  target.alphas.assign(mini_library().size(), 0.0);
+  target.alphas[0] = 1.0 / 3.0;
+  target.alphas[1] = 1.0 / 3.0;
+  target.alphas[2] = 1.0 / 3.0;
+  math::Rng rng(2);
+  const Netlist nl = generate_random_circuit(mini_library(), target, 100, rng);
+  EXPECT_EQ(nl.size(), 100u);
+}
+
+TEST(RandomCircuit, IidConvergesToHistogram) {
+  UsageHistogram target;
+  target.alphas.assign(mini_library().size(), 0.0);
+  target.alphas[0] = 0.7;
+  target.alphas[3] = 0.3;
+  math::Rng rng(3);
+  const Netlist nl =
+      generate_random_circuit(mini_library(), target, 20000, rng, UsageMatch::kIid);
+  const UsageHistogram got = extract_usage(nl);
+  EXPECT_NEAR(got.alphas[0], 0.7, 0.02);
+  EXPECT_NEAR(got.alphas[3], 0.3, 0.02);
+  EXPECT_DOUBLE_EQ(got.alphas[1], 0.0);
+}
+
+TEST(RandomCircuit, ShufflesTypesAcrossPositions) {
+  UsageHistogram target;
+  target.alphas.assign(mini_library().size(), 0.0);
+  target.alphas[0] = 0.5;
+  target.alphas[1] = 0.5;
+  math::Rng rng(4);
+  const Netlist nl = generate_random_circuit(mini_library(), target, 1000, rng);
+  // First half should not be all type 0 (probability ~ 0 under shuffling).
+  std::size_t type0_in_front = 0;
+  for (std::size_t i = 0; i < 500; ++i)
+    if (nl.gate(i).cell_index == 0) ++type0_in_front;
+  EXPECT_GT(type0_in_front, 150u);
+  EXPECT_LT(type0_in_front, 350u);
+}
+
+TEST(RandomCircuit, SeedDeterminism) {
+  UsageHistogram target;
+  target.alphas.assign(mini_library().size(), 0.0);
+  target.alphas[0] = 0.5;
+  target.alphas[1] = 0.5;
+  math::Rng r1(7), r2(7);
+  const Netlist a = generate_random_circuit(mini_library(), target, 300, r1);
+  const Netlist b = generate_random_circuit(mini_library(), target, 300, r2);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a.gate(i).cell_index, b.gate(i).cell_index);
+}
+
+TEST(Iscas85, DescriptorsMatchPublishedTotals) {
+  const auto& circuits = iscas85_descriptors();
+  ASSERT_EQ(circuits.size(), 9u);
+  // Published gate counts (see iscas85.cpp header note).
+  const std::vector<std::pair<std::string, std::size_t>> expected = {
+      {"c432", 160},  {"c499", 202},  {"c880", 383},  {"c1355", 546},  {"c1908", 880},
+      {"c2670", 1193}, {"c5315", 2307}, {"c6288", 2416}, {"c7552", 3512}};
+  for (std::size_t i = 0; i < circuits.size(); ++i) {
+    EXPECT_EQ(circuits[i].name, expected[i].first);
+    EXPECT_EQ(circuits[i].total_gates(), expected[i].second) << circuits[i].name;
+  }
+}
+
+TEST(Iscas85, InstantiatesOverFullLibrary) {
+  const auto& lib = rgleak::testing::full_library();
+  math::Rng rng(5);
+  const Netlist nl = make_iscas85(iscas85_descriptors().front(), lib, rng);
+  EXPECT_EQ(nl.size(), 160u);
+  EXPECT_EQ(nl.name(), "c432");
+  const UsageHistogram h = extract_usage(nl);
+  h.validate();
+  EXPECT_GT(h.alphas[lib.index_of("XOR2_X1")], 0.1);  // c432 is XOR-rich
+}
+
+}  // namespace
+}  // namespace rgleak::netlist

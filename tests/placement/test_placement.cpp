@@ -1,0 +1,95 @@
+#include "placement/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../test_util.h"
+#include "util/require.h"
+
+namespace rgleak::placement {
+namespace {
+
+using rgleak::testing::mini_library;
+
+TEST(Floorplan, GeometryAccessors) {
+  Floorplan fp;
+  fp.rows = 3;
+  fp.cols = 5;
+  fp.site_w_nm = 100.0;
+  fp.site_h_nm = 200.0;
+  EXPECT_EQ(fp.num_sites(), 15u);
+  EXPECT_DOUBLE_EQ(fp.width_nm(), 500.0);
+  EXPECT_DOUBLE_EQ(fp.height_nm(), 600.0);
+  EXPECT_DOUBLE_EQ(fp.area_nm2(), 300000.0);
+  EXPECT_DOUBLE_EQ(fp.site_x_nm(0), 50.0);
+  EXPECT_DOUBLE_EQ(fp.site_x_nm(4), 450.0);
+  EXPECT_DOUBLE_EQ(fp.site_y_nm(2), 500.0);
+  EXPECT_THROW(fp.site_x_nm(5), ContractViolation);
+  EXPECT_THROW(fp.site_y_nm(3), ContractViolation);
+}
+
+TEST(Floorplan, ForGateCountCoversAndIsTight) {
+  for (std::size_t n : {1u, 2u, 10u, 100u, 101u, 1000u, 12345u}) {
+    const Floorplan fp = Floorplan::for_gate_count(n);
+    EXPECT_GE(fp.num_sites(), n);
+    // No more than one extra row's worth of slack.
+    EXPECT_LT(fp.num_sites(), n + fp.cols);
+    // Near-square aspect.
+    const double aspect =
+        static_cast<double>(fp.rows) / static_cast<double>(fp.cols);
+    EXPECT_GT(aspect, 0.4);
+    EXPECT_LT(aspect, 2.1);
+  }
+}
+
+TEST(Floorplan, ForGateCountContracts) {
+  EXPECT_THROW(Floorplan::for_gate_count(0), ContractViolation);
+  EXPECT_THROW(Floorplan::for_gate_count(10, 0.0, 1.0), ContractViolation);
+}
+
+TEST(Placement, RowMajorPositions) {
+  const netlist::Netlist nl("t", &mini_library(), {{0}, {0}, {0}, {0}, {0}, {0}});
+  Floorplan fp;
+  fp.rows = 2;
+  fp.cols = 3;
+  fp.site_w_nm = 10.0;
+  fp.site_h_nm = 20.0;
+  const Placement p(&nl, fp);
+  EXPECT_DOUBLE_EQ(p.x_nm(0), 5.0);
+  EXPECT_DOUBLE_EQ(p.y_nm(0), 10.0);
+  EXPECT_DOUBLE_EQ(p.x_nm(4), 15.0);  // site 4 = row 1, col 1
+  EXPECT_DOUBLE_EQ(p.y_nm(4), 30.0);
+}
+
+TEST(Placement, DistanceIsEuclidean) {
+  const netlist::Netlist nl("t", &mini_library(), {{0}, {0}, {0}, {0}});
+  Floorplan fp;
+  fp.rows = 2;
+  fp.cols = 2;
+  fp.site_w_nm = 30.0;
+  fp.site_h_nm = 40.0;
+  const Placement p(&nl, fp);
+  EXPECT_DOUBLE_EQ(p.distance_nm(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(p.distance_nm(0, 1), 30.0);
+  EXPECT_DOUBLE_EQ(p.distance_nm(0, 2), 40.0);
+  EXPECT_DOUBLE_EQ(p.distance_nm(0, 3), 50.0);  // 3-4-5 triangle
+}
+
+TEST(Placement, RejectsOverfullFloorplan) {
+  const netlist::Netlist nl("t", &mini_library(), {{0}, {0}, {0}});
+  Floorplan fp;
+  fp.rows = 1;
+  fp.cols = 2;
+  EXPECT_THROW(Placement(&nl, fp), ContractViolation);
+  EXPECT_THROW(Placement(nullptr, fp), ContractViolation);
+}
+
+TEST(Placement, GateIndexBounds) {
+  const netlist::Netlist nl("t", &mini_library(), {{0}});
+  const Placement p(&nl, Floorplan::for_gate_count(1));
+  EXPECT_THROW(p.site_of(1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rgleak::placement

@@ -1,0 +1,96 @@
+#include "process/correlation_fit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/rng.h"
+#include "process/field_sampler.h"
+#include "util/require.h"
+
+namespace rgleak::process {
+namespace {
+
+std::vector<std::vector<double>> sample_dies(const SpatialCorrelation& rho, std::size_t dies,
+                                             std::size_t rows, std::size_t cols, double pitch,
+                                             std::uint64_t seed) {
+  GridFieldSampler sampler(rows, cols, pitch, pitch, rho, 1.0);
+  math::Rng rng(seed);
+  std::vector<std::vector<double>> out;
+  out.reserve(dies);
+  for (std::size_t d = 0; d < dies; ++d) out.push_back(sampler.sample(rng));
+  return out;
+}
+
+TEST(Correlogram, MatchesGeneratingKernel) {
+  const ExponentialCorrelation rho(5000.0);
+  const auto dies = sample_dies(rho, 150, 16, 16, 1000.0, 1);
+  const auto cg = empirical_correlogram(dies, 16, 16, 1000.0, 1000.0, 12);
+  ASSERT_GE(cg.size(), 6u);
+  for (const auto& bin : cg) {
+    EXPECT_NEAR(bin.correlation, rho(bin.distance_nm), 0.06)
+        << "d=" << bin.distance_nm;
+    EXPECT_GT(bin.pairs, 0u);
+  }
+  // Monotone-ish decay of the binned correlations.
+  EXPECT_GT(cg.front().correlation, cg.back().correlation);
+}
+
+TEST(CorrelationFit, RecoversExponentialScale) {
+  const ExponentialCorrelation rho(5000.0);
+  const auto dies = sample_dies(rho, 200, 16, 16, 1000.0, 2);
+  const auto cg = empirical_correlogram(dies, 16, 16, 1000.0, 1000.0, 12);
+  const CorrelationFit fit = fit_correlation_model(cg, "exponential");
+  EXPECT_NEAR(fit.scale_nm, 5000.0, 0.2 * 5000.0);
+  EXPECT_LT(fit.rms_error, 0.05);
+}
+
+TEST(CorrelationFit, RecoversGaussianScale) {
+  const GaussianCorrelation rho(6000.0);
+  const auto dies = sample_dies(rho, 200, 16, 16, 1000.0, 3);
+  const auto cg = empirical_correlogram(dies, 16, 16, 1000.0, 1000.0, 12);
+  const CorrelationFit fit = fit_correlation_model(cg, "gaussian");
+  EXPECT_NEAR(fit.scale_nm, 6000.0, 0.2 * 6000.0);
+}
+
+TEST(CorrelationFit, FamilySelectionPrefersGeneratingFamily) {
+  // Data from a Gaussian kernel: the Gaussian family should beat the
+  // exponential in RMS (their shapes differ most near the origin).
+  const GaussianCorrelation rho(6000.0);
+  const auto dies = sample_dies(rho, 250, 16, 16, 1000.0, 4);
+  const auto cg = empirical_correlogram(dies, 16, 16, 1000.0, 1000.0, 12);
+  const auto fits = fit_all_families(cg);
+  ASSERT_EQ(fits.size(), 5u);
+  // Sorted by error: first is best.
+  EXPECT_LT(fits.front().rms_error, fits.back().rms_error);
+  double gaussian_err = 0.0, exponential_err = 0.0;
+  for (const auto& f : fits) {
+    if (f.family == "gaussian") gaussian_err = f.rms_error;
+    if (f.family == "exponential") exponential_err = f.rms_error;
+  }
+  EXPECT_LT(gaussian_err, exponential_err);
+}
+
+TEST(CorrelationFit, RoundTripThroughEstimator) {
+  // Extraction loop: sample fields from a known process, fit, and check the
+  // fitted model reproduces correlations within a few percent everywhere.
+  const ExponentialCorrelation truth(8000.0);
+  const auto dies = sample_dies(truth, 300, 20, 20, 1500.0, 5);
+  const auto cg = empirical_correlogram(dies, 20, 20, 1500.0, 1500.0, 16);
+  const CorrelationFit fit = fit_correlation_model(cg, "exponential");
+  for (double d = 1000.0; d <= 15000.0; d += 1000.0)
+    EXPECT_NEAR((*fit.model)(d), truth(d), 0.08) << "d=" << d;
+}
+
+TEST(Correlogram, ContractChecks) {
+  const std::vector<std::vector<double>> one_die(1, std::vector<double>(16, 0.0));
+  EXPECT_THROW(empirical_correlogram(one_die, 4, 4, 1.0, 1.0), ContractViolation);
+  std::vector<std::vector<double>> flat(3, std::vector<double>(16, 1.0));
+  EXPECT_THROW(empirical_correlogram(flat, 4, 4, 1.0, 1.0), ContractViolation);
+  std::vector<std::vector<double>> bad(3, std::vector<double>(15, 0.0));
+  EXPECT_THROW(empirical_correlogram(bad, 4, 4, 1.0, 1.0), ContractViolation);
+  EXPECT_THROW(fit_correlation_model({}, "exponential"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rgleak::process

@@ -1,0 +1,159 @@
+#include "process/field_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/stats.h"
+#include "util/require.h"
+
+namespace rgleak::process {
+namespace {
+
+TEST(GridFieldSampler, MarginalMomentsMatch) {
+  const ExponentialCorrelation rho(500.0);
+  GridFieldSampler sampler(8, 8, 100.0, 100.0, rho, 2.0);
+  math::Rng rng(1);
+  math::RunningStats acc;
+  for (int t = 0; t < 2000; ++t)
+    for (double v : sampler.sample(rng)) acc.add(v);
+  EXPECT_NEAR(acc.mean(), 0.0, 0.05);
+  EXPECT_NEAR(acc.stddev(), 2.0, 0.05);
+}
+
+TEST(GridFieldSampler, LagCorrelationMatchesKernel) {
+  const ExponentialCorrelation rho(300.0);
+  const std::size_t k = 6, m = 6;
+  const double pitch = 100.0;
+  GridFieldSampler sampler(k, m, pitch, pitch, rho, 1.0);
+  math::Rng rng(2);
+
+  // Accumulate correlation between site (0,0) and several offsets.
+  math::RunningCovariance lag_x1, lag_x3, lag_diag;
+  for (int t = 0; t < 30000; ++t) {
+    const auto f = sampler.sample(rng);
+    lag_x1.add(f[0], f[1]);
+    lag_x3.add(f[0], f[3]);
+    lag_diag.add(f[0], f[2 * m + 2]);
+  }
+  EXPECT_NEAR(lag_x1.correlation(), rho(pitch), 0.02);
+  EXPECT_NEAR(lag_x3.correlation(), rho(3 * pitch), 0.02);
+  EXPECT_NEAR(lag_diag.correlation(), rho(std::hypot(2 * pitch, 2 * pitch)), 0.02);
+}
+
+TEST(GridFieldSampler, GaussianKernelCorrelation) {
+  const GaussianCorrelation rho(400.0);
+  GridFieldSampler sampler(4, 4, 150.0, 150.0, rho, 1.5);
+  math::Rng rng(3);
+  math::RunningCovariance lag;
+  math::RunningStats var;
+  for (int t = 0; t < 30000; ++t) {
+    const auto f = sampler.sample(rng);
+    lag.add(f[0], f[2]);
+    var.add(f[5]);
+  }
+  EXPECT_NEAR(lag.correlation(), rho(300.0), 0.02);
+  EXPECT_NEAR(var.variance(), 2.25, 0.1);
+}
+
+TEST(GridFieldSampler, AnisotropicPitch) {
+  const ExponentialCorrelation rho(300.0);
+  GridFieldSampler sampler(4, 4, 100.0, 200.0, rho, 1.0);
+  math::Rng rng(4);
+  math::RunningCovariance row_neighbor, col_neighbor;
+  for (int t = 0; t < 30000; ++t) {
+    const auto f = sampler.sample(rng);
+    row_neighbor.add(f[0], f[1]);      // dx = 100
+    col_neighbor.add(f[0], f[4]);      // dy = 200
+  }
+  EXPECT_NEAR(row_neighbor.correlation(), rho(100.0), 0.02);
+  EXPECT_NEAR(col_neighbor.correlation(), rho(200.0), 0.02);
+}
+
+TEST(GridFieldSampler, EigenvalueClampIsSmallForValidKernels) {
+  const ExponentialCorrelation rho(500.0);
+  const GridFieldSampler sampler(16, 16, 100.0, 100.0, rho, 1.0);
+  EXPECT_LT(sampler.clamped_eigenvalue_fraction(), 1e-6);
+}
+
+TEST(GridFieldSampler, SuccessiveSamplesIndependent) {
+  const ExponentialCorrelation rho(300.0);
+  GridFieldSampler sampler(4, 4, 100.0, 100.0, rho, 1.0);
+  math::Rng rng(5);
+  math::RunningCovariance c;
+  std::vector<double> prev = sampler.sample(rng);
+  for (int t = 0; t < 20000; ++t) {
+    const auto cur = sampler.sample(rng);
+    c.add(prev[0], cur[0]);
+    prev = cur;
+  }
+  EXPECT_NEAR(c.correlation(), 0.0, 0.03);
+}
+
+TEST(GridFieldSampler, ContractChecks) {
+  const ExponentialCorrelation rho(100.0);
+  EXPECT_THROW(GridFieldSampler(0, 4, 1.0, 1.0, rho, 1.0), ContractViolation);
+  EXPECT_THROW(GridFieldSampler(4, 4, 0.0, 1.0, rho, 1.0), ContractViolation);
+  EXPECT_THROW(GridFieldSampler(4, 4, 1.0, 1.0, rho, -1.0), ContractViolation);
+}
+
+TEST(DenseFieldSampler, MatchesKernelCovariance) {
+  const ExponentialCorrelation rho(250.0);
+  std::vector<DenseFieldSampler::Site> sites = {
+      {0.0, 0.0}, {100.0, 0.0}, {0.0, 300.0}, {400.0, 400.0}};
+  const DenseFieldSampler sampler(sites, rho, 1.3);
+  math::Rng rng(6);
+  math::RunningCovariance c01, c02;
+  math::RunningStats v0;
+  for (int t = 0; t < 40000; ++t) {
+    const auto f = sampler.sample(rng);
+    c01.add(f[0], f[1]);
+    c02.add(f[0], f[2]);
+    v0.add(f[0]);
+  }
+  EXPECT_NEAR(v0.variance(), 1.69, 0.05);
+  EXPECT_NEAR(c01.correlation(), rho(100.0), 0.02);
+  EXPECT_NEAR(c02.correlation(), rho(300.0), 0.02);
+}
+
+TEST(DenseFieldSampler, HandlesCoincidentSites) {
+  const ExponentialCorrelation rho(100.0);
+  std::vector<DenseFieldSampler::Site> sites = {{0.0, 0.0}, {0.0, 0.0}};
+  const DenseFieldSampler sampler(sites, rho, 1.0);  // jitter keeps it SPD
+  math::Rng rng(7);
+  math::RunningCovariance c;
+  for (int t = 0; t < 5000; ++t) {
+    const auto f = sampler.sample(rng);
+    c.add(f[0], f[1]);
+  }
+  EXPECT_GT(c.correlation(), 0.99);
+}
+
+TEST(DenseFieldSampler, RejectsEmptySites) {
+  const ExponentialCorrelation rho(100.0);
+  EXPECT_THROW(DenseFieldSampler({}, rho, 1.0), ContractViolation);
+}
+
+TEST(GridVsDense, AgreeOnSmallGrid) {
+  // Both samplers target the same covariance; compare lag-1 correlations.
+  const ExponentialCorrelation rho(200.0);
+  GridFieldSampler grid(3, 3, 100.0, 100.0, rho, 1.0);
+  std::vector<DenseFieldSampler::Site> sites;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      sites.push_back({(c + 0.5) * 100.0, (r + 0.5) * 100.0});
+  const DenseFieldSampler dense(sites, rho, 1.0);
+
+  math::Rng rng(8);
+  math::RunningCovariance g, d;
+  for (int t = 0; t < 30000; ++t) {
+    const auto fg = grid.sample(rng);
+    const auto fd = dense.sample(rng);
+    g.add(fg[0], fg[4]);
+    d.add(fd[0], fd[4]);
+  }
+  EXPECT_NEAR(g.correlation(), d.correlation(), 0.03);
+}
+
+}  // namespace
+}  // namespace rgleak::process

@@ -1,0 +1,96 @@
+#include "process/quadtree_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/stats.h"
+#include "util/require.h"
+
+namespace rgleak::process {
+namespace {
+
+QuadtreeModel model3() {
+  // Three levels: die-wide, quadrant, sixteenth.
+  return QuadtreeModel({1.0, 1.0, 1.0}, 1.0e5, 1.0e5);
+}
+
+TEST(QuadtreeModel, ConstructionContracts) {
+  EXPECT_THROW(QuadtreeModel({}, 1.0, 1.0), ContractViolation);
+  EXPECT_THROW(QuadtreeModel({1.0}, 0.0, 1.0), ContractViolation);
+  EXPECT_THROW(QuadtreeModel({-1.0}, 1.0, 1.0), ContractViolation);
+  EXPECT_THROW(QuadtreeModel({0.0, 0.0}, 1.0, 1.0), ContractViolation);
+  EXPECT_NEAR(model3().total_sigma(), std::sqrt(3.0), 1e-12);
+}
+
+TEST(QuadtreeModel, CorrelationStructure) {
+  const QuadtreeModel m = model3();
+  // Same location: 1.
+  EXPECT_NEAR(m.correlation(1e4, 1e4, 1e4, 1e4), 1.0, 1e-12);
+  // Same deepest (4x4) cell: all three levels shared.
+  EXPECT_NEAR(m.correlation(1e3, 1e3, 2e4, 2e4), 1.0, 1e-12);
+  // Same quadrant, different sixteenth: 2/3.
+  EXPECT_NEAR(m.correlation(1e4, 1e4, 4e4, 4e4), 2.0 / 3.0, 1e-12);
+  // Different quadrants: only the die level shared: 1/3.
+  EXPECT_NEAR(m.correlation(4.9e4, 4.9e4, 5.1e4, 5.1e4), 1.0 / 3.0, 1e-12);
+  EXPECT_THROW(m.correlation(-1.0, 0.0, 0.0, 0.0), ContractViolation);
+}
+
+TEST(QuadtreeModel, BoundaryDiscontinuityBreaksDistanceOnlyAssumption) {
+  // Two pairs at the SAME physical distance, very different correlation —
+  // the property that distance-based rho(d) cannot represent.
+  const QuadtreeModel m = model3();
+  const double d = 2.0e3;
+  const double inside = m.correlation(2.0e4, 2.0e4, 2.0e4 + d, 2.0e4);   // same cell
+  const double straddle = m.correlation(5.0e4 - d / 2, 2.0e4, 5.0e4 + d / 2, 2.0e4);
+  EXPECT_NEAR(inside, 1.0, 1e-12);
+  EXPECT_NEAR(straddle, 1.0 / 3.0, 1e-12);
+}
+
+TEST(QuadtreeModel, SamplerMatchesAnalyticCorrelation) {
+  const QuadtreeModel m = model3();
+  const std::vector<std::pair<double, double>> locs = {
+      {1.0e4, 1.0e4}, {2.0e4, 2.0e4}, {4.0e4, 4.0e4}, {9.0e4, 9.0e4}};
+  math::Rng rng(3);
+  math::RunningCovariance c01, c02, c03;
+  math::RunningStats v0;
+  for (int t = 0; t < 40000; ++t) {
+    const auto f = m.sample(locs, rng);
+    v0.add(f[0]);
+    c01.add(f[0], f[1]);
+    c02.add(f[0], f[2]);
+    c03.add(f[0], f[3]);
+  }
+  EXPECT_NEAR(v0.stddev(), m.total_sigma(), 0.03 * m.total_sigma());
+  EXPECT_NEAR(c01.correlation(), m.correlation(1e4, 1e4, 2e4, 2e4), 0.02);
+  EXPECT_NEAR(c02.correlation(), m.correlation(1e4, 1e4, 4e4, 4e4), 0.02);
+  EXPECT_NEAR(c03.correlation(), m.correlation(1e4, 1e4, 9e4, 9e4), 0.02);
+}
+
+TEST(QuadtreeModel, GridSamplerShapeAndMoments) {
+  const QuadtreeModel m({1.5, 0.5}, 6.0e4, 3.0e4);
+  math::Rng rng(5);
+  math::RunningStats acc;
+  for (int t = 0; t < 3000; ++t)
+    for (double v : m.sample_grid(6, 12, rng)) acc.add(v);
+  EXPECT_NEAR(acc.mean(), 0.0, 0.05);
+  EXPECT_NEAR(acc.stddev(), m.total_sigma(), 0.03 * m.total_sigma());
+}
+
+TEST(QuadtreeModel, DeeperLevelsShortenCorrelationRange) {
+  // Bottom-heavy variance decorrelates faster with distance on average.
+  const QuadtreeModel top_heavy({2.0, 0.5, 0.5}, 1.0e5, 1.0e5);
+  const QuadtreeModel bottom_heavy({0.5, 0.5, 2.0}, 1.0e5, 1.0e5);
+  // Average correlation at a mid-range separation over several pair positions.
+  double avg_top = 0.0, avg_bottom = 0.0;
+  int count = 0;
+  for (double x = 5e3; x < 7e4; x += 7.3e3) {
+    avg_top += top_heavy.correlation(x, 3e4, x + 2.5e4, 3e4);
+    avg_bottom += bottom_heavy.correlation(x, 3e4, x + 2.5e4, 3e4);
+    ++count;
+  }
+  EXPECT_GT(avg_top / count, avg_bottom / count);
+}
+
+}  // namespace
+}  // namespace rgleak::process

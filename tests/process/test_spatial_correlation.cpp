@@ -1,0 +1,103 @@
+#include "process/spatial_correlation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace rgleak::process {
+namespace {
+
+class CorrelationModelTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CorrelationModelTest, BasicProperties) {
+  const auto model = make_correlation(GetParam(), 1000.0);
+  // rho(0) = 1 and rho bounded in [0, 1].
+  EXPECT_DOUBLE_EQ((*model)(0.0), 1.0);
+  double prev = 1.0;
+  for (double d = 0.0; d <= 5000.0; d += 50.0) {
+    const double r = (*model)(d);
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+    EXPECT_LE(r, prev + 1e-12) << "not monotone at d=" << d;
+    prev = r;
+  }
+}
+
+TEST_P(CorrelationModelTest, NegligibleBeyondRange) {
+  const auto model = make_correlation(GetParam(), 1000.0);
+  EXPECT_LE((*model)(model->range_nm()), 1.1e-6);
+}
+
+TEST_P(CorrelationModelTest, RejectsNegativeDistance) {
+  const auto model = make_correlation(GetParam(), 1000.0);
+  EXPECT_THROW((*model)(-1.0), ContractViolation);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, CorrelationModelTest,
+                         ::testing::Values("exponential", "gaussian", "linear", "spherical",
+                                           "matern32"));
+
+TEST(ExponentialCorrelation, KnownValues) {
+  const ExponentialCorrelation rho(100.0);
+  EXPECT_NEAR(rho(100.0), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(rho(250.0), std::exp(-2.5), 1e-12);
+}
+
+TEST(GaussianCorrelation, KnownValues) {
+  const GaussianCorrelation rho(100.0);
+  EXPECT_NEAR(rho(100.0), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(rho(200.0), std::exp(-4.0), 1e-12);
+}
+
+TEST(LinearCorrelation, CompactSupport) {
+  const LinearCorrelation rho(100.0);
+  EXPECT_NEAR(rho(50.0), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(rho(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(rho(200.0), 0.0);
+  EXPECT_DOUBLE_EQ(rho.range_nm(), 100.0);
+}
+
+TEST(SphericalCorrelation, CompactSupportAndShape) {
+  const SphericalCorrelation rho(100.0);
+  EXPECT_DOUBLE_EQ(rho(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(rho(150.0), 0.0);
+  EXPECT_NEAR(rho(50.0), 1.0 - 0.75 + 0.0625, 1e-12);
+}
+
+TEST(Matern32Correlation, SmoothAtOriginAndKnownShape) {
+  const Matern32Correlation rho(1000.0);
+  // Matern 3/2 has zero derivative at the origin (smoother than exponential).
+  EXPECT_GT(rho(1.0), 0.999997);  // 1 - O((d/lc)^2), vs 0.99827 for exponential
+  const double r = std::sqrt(3.0);
+  EXPECT_NEAR(rho(1000.0), (1.0 + r) * std::exp(-r), 1e-12);
+}
+
+TEST(PowerExponentialCorrelation, InterpolatesExponentialAndGaussian) {
+  const PowerExponentialCorrelation p1(500.0, 1.0);
+  const ExponentialCorrelation e(500.0);
+  EXPECT_NEAR(p1(700.0), e(700.0), 1e-12);
+  const PowerExponentialCorrelation p2(500.0, 2.0);
+  const GaussianCorrelation g(500.0);
+  EXPECT_NEAR(p2(700.0), g(700.0), 1e-12);
+  // Fractional exponent sits between the two at moderate distance... heavier
+  // tail than both at large distance when p < 1.
+  const PowerExponentialCorrelation ph(500.0, 0.5);
+  EXPECT_GT(ph(5000.0), e(5000.0));
+  EXPECT_LE(ph(ph.range_nm()), 1.1e-6);
+}
+
+TEST(PowerExponentialCorrelation, RejectsBadExponent) {
+  EXPECT_THROW(PowerExponentialCorrelation(500.0, 0.0), ContractViolation);
+  EXPECT_THROW(PowerExponentialCorrelation(500.0, 2.5), ContractViolation);
+}
+
+TEST(Factory, RejectsUnknownModelAndBadScale) {
+  EXPECT_THROW(make_correlation("nope", 1.0), ContractViolation);
+  EXPECT_THROW(make_correlation("exponential", 0.0), ContractViolation);
+  EXPECT_THROW(make_correlation("linear", -1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rgleak::process

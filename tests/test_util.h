@@ -1,0 +1,67 @@
+#pragma once
+// Shared helpers for the rgleak test suite: relative-error assertions and
+// cached expensive fixtures (characterized libraries).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cells/library.h"
+#include "charlib/characterize.h"
+#include "process/variation.h"
+
+namespace rgleak::testing {
+
+/// EXPECT that a is within rel_tol relative error of b (absolute for b == 0).
+inline void expect_rel_near(double a, double b, double rel_tol, const char* what = "") {
+  const double scale = std::abs(b) > 0.0 ? std::abs(b) : 1.0;
+  EXPECT_NEAR(a, b, rel_tol * scale) << what << " (a=" << a << ", b=" << b << ")";
+}
+
+/// Process with a short correlation length so that grids of test-sized dies
+/// see real correlation decay.
+inline process::ProcessVariation test_process(double corr_length_nm = 2.0e4) {
+  process::LengthVariation len;
+  len.mean_nm = 40.0;
+  len.sigma_d2d_nm = 1.25;
+  len.sigma_wid_nm = 1.25;
+  process::VtVariation vt;
+  vt.sigma_v = 0.02;
+  return process::ProcessVariation(
+      len, vt, std::make_shared<process::ExponentialCorrelation>(corr_length_nm));
+}
+
+/// Mini library characterized analytically, built once per process.
+inline const cells::StdCellLibrary& mini_library() {
+  static const cells::StdCellLibrary lib = cells::build_mini_library();
+  return lib;
+}
+
+inline const charlib::CharacterizedLibrary& mini_chars_analytic() {
+  static const charlib::CharacterizedLibrary chars =
+      charlib::characterize_analytic(mini_library(), test_process());
+  return chars;
+}
+
+inline const charlib::CharacterizedLibrary& mini_chars_mc() {
+  static const charlib::CharacterizedLibrary chars = [] {
+    charlib::McCharOptions opts;
+    opts.samples = 40000;
+    return charlib::characterize_monte_carlo(mini_library(), test_process(), opts);
+  }();
+  return chars;
+}
+
+/// Full 62-cell library characterized analytically (heavier; shared).
+inline const cells::StdCellLibrary& full_library() {
+  static const cells::StdCellLibrary lib = cells::build_virtual90_library();
+  return lib;
+}
+
+inline const charlib::CharacterizedLibrary& full_chars_analytic() {
+  static const charlib::CharacterizedLibrary chars =
+      charlib::characterize_analytic(full_library(), test_process());
+  return chars;
+}
+
+}  // namespace rgleak::testing

@@ -1,0 +1,59 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/require.h"
+
+namespace rgleak::util {
+namespace {
+
+TEST(Table, AlignedOutput) {
+  Table t({"name", "value"});
+  t.row().cell("a").cell(1.5);
+  t.row().cell("long-name").cell(static_cast<long long>(42));
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.row().cell("x").cell(2.0);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\nx,2\n");
+}
+
+TEST(Table, NumericFormatting) {
+  Table t({"v"});
+  t.row().cell(3.14159265, 3);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "v\n3.14\n");
+}
+
+TEST(Table, PartialRowsPrintPadded) {
+  Table t({"a", "b", "c"});
+  t.row().cell("only");
+  std::ostringstream os;
+  EXPECT_NO_THROW(t.print(os));
+}
+
+TEST(Table, ContractChecks) {
+  EXPECT_THROW(Table({}), ContractViolation);
+  Table t({"a"});
+  EXPECT_THROW(t.cell("x"), ContractViolation);  // no row yet
+  t.row().cell("1");
+  EXPECT_THROW(t.cell("overflow"), ContractViolation);  // too many cells
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace rgleak::util

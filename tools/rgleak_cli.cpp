@@ -1,0 +1,352 @@
+// rgleak — command-line front end to the library.
+//
+//   rgleak characterize --out lib.rgchar [process options]
+//   rgleak estimate     --lib lib.rgchar --gates N --die-um WxH
+//                       --usage "INV_X1:0.4,NAND2_X1:0.6"
+//                       [--method linear|rect|polar] [--p VALUE|max]
+//                       [--budget-ua X] [--quantile Q]
+//   rgleak netlist      --lib lib.rgchar --netlist file.rgnl --die-um WxH
+//                       (late mode: extract characteristics, estimate, and
+//                        compare against the exact O(n^2) analysis)
+//   rgleak gen-netlist  --out file.rgnl --gates N
+//                       --usage "INV_X1:0.5,NAND2_X1:0.5" [--seed S]
+//
+// The library ships the virtual 90 nm cell set; the characterization file
+// pins the process corner.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "cells/library.h"
+#include "cells/spice_writer.h"
+#include "charlib/characterize.h"
+#include "core/corner_analysis.h"
+#include "charlib/io.h"
+#include "charlib/liberty_writer.h"
+#include "core/estimators.h"
+#include "core/leakage_estimator.h"
+#include "core/sensitivity.h"
+#include "core/yield.h"
+#include "netlist/io.h"
+#include "netlist/random_circuit.h"
+#include "process/variation.h"
+#include "util/table.h"
+
+using namespace rgleak;
+
+namespace {
+
+[[noreturn]] void usage_exit(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage:\n"
+               "  rgleak characterize --out FILE [--mode analytic|mc] [--mean-l NM]\n"
+               "                      [--sigma-d2d NM] [--sigma-wid NM] [--sigma-vt V]\n"
+               "                      [--corr exponential|gaussian|linear|spherical]\n"
+               "                      [--corr-scale-um UM]\n"
+               "  rgleak estimate --lib FILE --gates N --die-um WxH --usage SPEC\n"
+               "                  [--method auto|linear|rect|polar] [--p VALUE|max]\n"
+               "                  [--budget-ua X] [--quantile Q]\n"
+               "  rgleak netlist --lib FILE --netlist FILE [--exact]\n"
+               "  rgleak gen-netlist --out FILE --gates N --usage SPEC [--seed S]\n"
+               "  rgleak sweep --lib FILE --usage SPEC --die-um WxH\n"
+               "               --gates-from N --gates-to N [--steps K]\n"
+               "  rgleak liberty --lib FILE --out FILE.lib\n"
+               "  rgleak spice --out FILE.sp\n"
+               "  rgleak corners --lib FILE --usage SPEC --gates N\n"
+               "  rgleak sensitivity --lib FILE --usage SPEC --gates N\n"
+               "\n"
+               "usage SPEC: comma-separated cell:weight pairs, e.g. INV_X1:0.4,NAND2_X1:0.6\n");
+  std::exit(2);
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv, int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) usage_exit(("unexpected argument: " + key).c_str());
+    key = key.substr(2);
+    if (i + 1 >= argc) usage_exit(("missing value for --" + key).c_str());
+    flags[key] = argv[++i];
+  }
+  return flags;
+}
+
+std::string flag(const std::map<std::string, std::string>& flags, const std::string& key,
+                 const std::string& fallback = "") {
+  const auto it = flags.find(key);
+  if (it != flags.end()) return it->second;
+  if (fallback.empty()) usage_exit(("required flag missing: --" + key).c_str());
+  return fallback;
+}
+
+bool has_flag(const std::map<std::string, std::string>& flags, const std::string& key) {
+  return flags.count(key) > 0;
+}
+
+netlist::UsageHistogram parse_usage(const cells::StdCellLibrary& lib, const std::string& spec) {
+  netlist::UsageHistogram u;
+  u.alphas.assign(lib.size(), 0.0);
+  std::istringstream ss(spec);
+  std::string item;
+  double total = 0.0;
+  while (std::getline(ss, item, ',')) {
+    const auto colon = item.find(':');
+    if (colon == std::string::npos) usage_exit(("bad usage item: " + item).c_str());
+    const std::string name = item.substr(0, colon);
+    const double w = std::atof(item.c_str() + colon + 1);
+    if (w <= 0.0) usage_exit(("bad usage weight in: " + item).c_str());
+    u.alphas[lib.index_of(name)] += w;
+    total += w;
+  }
+  if (total <= 0.0) usage_exit("usage spec is empty");
+  for (double& a : u.alphas) a /= total;
+  return u;
+}
+
+void parse_die(const std::string& spec, double& w_nm, double& h_nm) {
+  const auto x = spec.find('x');
+  if (x == std::string::npos) usage_exit(("bad --die-um, expected WxH: " + spec).c_str());
+  w_nm = std::atof(spec.substr(0, x).c_str()) * 1000.0;
+  h_nm = std::atof(spec.c_str() + x + 1) * 1000.0;
+  if (w_nm <= 0.0 || h_nm <= 0.0) usage_exit("die dimensions must be positive");
+}
+
+int cmd_characterize(const std::map<std::string, std::string>& flags) {
+  const std::string out = flag(flags, "out");
+  const std::string mode = flag(flags, "mode", "analytic");
+
+  process::LengthVariation len;
+  len.mean_nm = std::atof(flag(flags, "mean-l", "40").c_str());
+  len.sigma_d2d_nm = std::atof(flag(flags, "sigma-d2d", "1.7678").c_str());
+  len.sigma_wid_nm = std::atof(flag(flags, "sigma-wid", "1.7678").c_str());
+  process::VtVariation vt;
+  vt.sigma_v = std::atof(flag(flags, "sigma-vt", "0.02").c_str());
+  const std::string family = flag(flags, "corr", "exponential");
+  const double scale_nm = std::atof(flag(flags, "corr-scale-um", "100").c_str()) * 1000.0;
+  const process::ProcessVariation process(len, vt,
+                                          process::make_correlation(family, scale_nm));
+
+  const cells::StdCellLibrary& lib = cells::build_virtual90_library();
+  std::printf("characterizing %zu cells (%s mode)...\n", lib.size(), mode.c_str());
+  charlib::CharacterizedLibrary chars =
+      mode == "mc" ? charlib::characterize_monte_carlo(lib, process)
+                   : charlib::characterize_analytic(lib, process);
+  charlib::save_characterization(chars, out);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+core::EstimationMethod parse_method(const std::string& m) {
+  if (m == "auto") return core::EstimationMethod::kAuto;
+  if (m == "linear") return core::EstimationMethod::kLinear;
+  if (m == "rect") return core::EstimationMethod::kIntegralRect;
+  if (m == "polar") return core::EstimationMethod::kIntegralPolar;
+  usage_exit(("unknown method: " + m).c_str());
+}
+
+int cmd_estimate(const std::map<std::string, std::string>& flags) {
+  const cells::StdCellLibrary& lib = cells::build_virtual90_library();
+  const charlib::CharacterizedLibrary chars =
+      charlib::load_characterization(lib, flag(flags, "lib"));
+
+  core::DesignCharacteristics d;
+  d.usage = parse_usage(lib, flag(flags, "usage"));
+  d.gate_count = static_cast<std::size_t>(std::atoll(flag(flags, "gates").c_str()));
+  parse_die(flag(flags, "die-um"), d.width_nm, d.height_nm);
+
+  core::EstimatorConfig cfg;
+  cfg.method = parse_method(flag(flags, "method", "auto"));
+  cfg.correlation_mode = chars.has_models() ? core::CorrelationMode::kAnalytic
+                                            : core::CorrelationMode::kSimplified;
+  const std::string p = flag(flags, "p", "max");
+  if (p == "max") {
+    cfg.maximize_signal_probability = true;
+  } else {
+    cfg.maximize_signal_probability = false;
+    cfg.signal_probability = std::atof(p.c_str());
+  }
+
+  const core::LeakageEstimator estimator(chars, cfg);
+  const core::LeakageEstimate e = estimator.estimate(d);
+  std::printf("gates        : %zu\n", d.gate_count);
+  std::printf("die          : %.1f x %.1f um\n", d.width_nm * 1e-3, d.height_nm * 1e-3);
+  std::printf("mean leakage : %.4f uA\n", e.mean_na * 1e-3);
+  std::printf("sigma        : %.4f uA  (%.2f%% of mean)\n", e.sigma_na * 1e-3, 100.0 * e.cv());
+
+  const core::LeakageYieldModel yield(e);
+  if (has_flag(flags, "quantile")) {
+    const double q = std::atof(flag(flags, "quantile").c_str());
+    std::printf("P%.4g leakage: %.4f uA (log-normal model)\n", 100.0 * q,
+                yield.quantile(q) * 1e-3);
+  }
+  if (has_flag(flags, "budget-ua")) {
+    const double budget = std::atof(flag(flags, "budget-ua").c_str()) * 1000.0;
+    std::printf("yield @ %.4g uA: %.4f%%\n", budget * 1e-3, 100.0 * yield.yield(budget));
+  }
+  return 0;
+}
+
+int cmd_netlist(const std::map<std::string, std::string>& flags) {
+  const cells::StdCellLibrary& lib = cells::build_virtual90_library();
+  const charlib::CharacterizedLibrary chars =
+      charlib::load_characterization(lib, flag(flags, "lib"));
+  const netlist::Netlist nl = netlist::load_netlist(lib, flag(flags, "netlist"));
+  const placement::Floorplan fp = placement::Floorplan::for_gate_count(nl.size());
+  const netlist::UsageHistogram usage = netlist::extract_usage(nl);
+
+  const core::CorrelationMode mode = chars.has_models()
+                                         ? core::CorrelationMode::kAnalytic
+                                         : core::CorrelationMode::kSimplified;
+  const core::RandomGate rg(chars, usage, 0.5, mode);
+  const core::LeakageEstimate est = core::estimate_linear(rg, fp);
+  std::printf("netlist      : %s (%zu gates)\n", nl.name().c_str(), nl.size());
+  std::printf("RG estimate  : mean %.4f uA, sigma %.4f uA\n", est.mean_na * 1e-3,
+              est.sigma_na * 1e-3);
+
+  if (has_flag(flags, "exact")) {
+    const placement::Placement pl(&nl, fp);
+    const core::ExactEstimator exact(chars, 0.5, mode);
+    const core::LeakageEstimate truth = exact.estimate(pl);
+    std::printf("exact O(n^2) : mean %.4f uA, sigma %.4f uA\n", truth.mean_na * 1e-3,
+                truth.sigma_na * 1e-3);
+    std::printf("sigma error  : %.4f%%\n",
+                100.0 * std::abs(est.sigma_na - truth.sigma_na) / truth.sigma_na);
+  }
+  return 0;
+}
+
+int cmd_gen_netlist(const std::map<std::string, std::string>& flags) {
+  const cells::StdCellLibrary& lib = cells::build_virtual90_library();
+  const auto n = static_cast<std::size_t>(std::atoll(flag(flags, "gates").c_str()));
+  const netlist::UsageHistogram usage = parse_usage(lib, flag(flags, "usage"));
+  math::Rng rng(static_cast<std::uint64_t>(std::atoll(flag(flags, "seed", "1").c_str())));
+  const netlist::Netlist nl =
+      netlist::generate_random_circuit(lib, usage, n, rng, netlist::UsageMatch::kExact,
+                                       "generated");
+  netlist::save_netlist(nl, flag(flags, "out"));
+  std::printf("wrote %s (%zu gates)\n", flag(flags, "out").c_str(), nl.size());
+  return 0;
+}
+
+int cmd_sweep(const std::map<std::string, std::string>& flags) {
+  const cells::StdCellLibrary& lib = cells::build_virtual90_library();
+  const charlib::CharacterizedLibrary chars =
+      charlib::load_characterization(lib, flag(flags, "lib"));
+  const netlist::UsageHistogram usage = parse_usage(lib, flag(flags, "usage"));
+  double w_nm = 0.0, h_nm = 0.0;
+  parse_die(flag(flags, "die-um"), w_nm, h_nm);
+  const auto from = static_cast<std::size_t>(std::atoll(flag(flags, "gates-from").c_str()));
+  const auto to = static_cast<std::size_t>(std::atoll(flag(flags, "gates-to").c_str()));
+  const auto steps = static_cast<std::size_t>(std::atoll(flag(flags, "steps", "8").c_str()));
+  if (from == 0 || to < from || steps < 2) usage_exit("bad sweep range");
+
+  core::EstimatorConfig cfg;
+  cfg.maximize_signal_probability = false;
+  cfg.correlation_mode = chars.has_models() ? core::CorrelationMode::kAnalytic
+                                            : core::CorrelationMode::kSimplified;
+  const core::LeakageEstimator estimator(chars, cfg);
+
+  util::Table t({"gates", "mean (uA)", "sigma (uA)", "sigma/mean %", "P99 (uA)"});
+  for (std::size_t i = 0; i < steps; ++i) {
+    // Geometric spacing.
+    const double f = static_cast<double>(i) / static_cast<double>(steps - 1);
+    const auto gates = static_cast<std::size_t>(
+        std::round(from * std::pow(static_cast<double>(to) / from, f)));
+    core::DesignCharacteristics d;
+    d.usage = usage;
+    d.gate_count = gates;
+    d.width_nm = w_nm;
+    d.height_nm = h_nm;
+    const core::LeakageEstimate e = estimator.estimate(d);
+    const core::LeakageYieldModel yield(e);
+    t.row()
+        .cell(static_cast<long long>(gates))
+        .cell(e.mean_na * 1e-3, 5)
+        .cell(e.sigma_na * 1e-3, 5)
+        .cell(100.0 * e.cv(), 4)
+        .cell(yield.quantile(0.99) * 1e-3, 5);
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_liberty(const std::map<std::string, std::string>& flags) {
+  const cells::StdCellLibrary& lib = cells::build_virtual90_library();
+  const charlib::CharacterizedLibrary chars =
+      charlib::load_characterization(lib, flag(flags, "lib"));
+  charlib::write_liberty(chars, flag(flags, "out"));
+  std::printf("wrote %s\n", flag(flags, "out").c_str());
+  return 0;
+}
+
+int cmd_spice(const std::map<std::string, std::string>& flags) {
+  const cells::StdCellLibrary& lib = cells::build_virtual90_library();
+  cells::write_spice_library(lib, flag(flags, "out"));
+  std::printf("wrote %s (%zu subcircuits)\n", flag(flags, "out").c_str(), lib.size());
+  return 0;
+}
+
+int cmd_corners(const std::map<std::string, std::string>& flags) {
+  const cells::StdCellLibrary& lib = cells::build_virtual90_library();
+  const charlib::CharacterizedLibrary chars =
+      charlib::load_characterization(lib, flag(flags, "lib"));
+  const netlist::UsageHistogram usage = parse_usage(lib, flag(flags, "usage"));
+  const auto gates = static_cast<std::size_t>(std::atoll(flag(flags, "gates").c_str()));
+  const auto corners =
+      core::standard_corners(chars.process().length().sigma_d2d_nm);
+  const auto results =
+      core::analyze_corners(lib.tech(), chars.process(), usage, gates, corners);
+  util::Table t({"corner", "mean (uA)", "sigma (uA)", "mean+3sigma (uA)"});
+  for (const auto& r : results)
+    t.row()
+        .cell(r.corner.name)
+        .cell(r.estimate.mean_na * 1e-3, 5)
+        .cell(r.estimate.sigma_na * 1e-3, 5)
+        .cell((r.estimate.mean_na + 3 * r.estimate.sigma_na) * 1e-3, 5);
+  t.print(std::cout);
+  std::printf("worst corner: %s\n", core::worst_corner(results).corner.name.c_str());
+  return 0;
+}
+
+int cmd_sensitivity(const std::map<std::string, std::string>& flags) {
+  const cells::StdCellLibrary& lib = cells::build_virtual90_library();
+  const charlib::CharacterizedLibrary chars =
+      charlib::load_characterization(lib, flag(flags, "lib"));
+  const netlist::UsageHistogram usage = parse_usage(lib, flag(flags, "usage"));
+  const auto gates = static_cast<std::size_t>(std::atoll(flag(flags, "gates").c_str()));
+  const auto entries = core::process_sensitivities(lib, chars.process(), usage, gates);
+  util::Table t({"knob", "base value", "dln(mean)/dln(x)", "dln(sigma)/dln(x)"});
+  for (const auto& e : entries)
+    t.row().cell(e.parameter).cell(e.base_value, 5).cell(e.mean_elasticity, 4).cell(
+        e.sigma_elasticity, 4);
+  t.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage_exit();
+  const std::string cmd = argv[1];
+  try {
+    const auto flags = parse_flags(argc, argv, 2);
+    if (cmd == "characterize") return cmd_characterize(flags);
+    if (cmd == "estimate") return cmd_estimate(flags);
+    if (cmd == "netlist") return cmd_netlist(flags);
+    if (cmd == "gen-netlist") return cmd_gen_netlist(flags);
+    if (cmd == "sweep") return cmd_sweep(flags);
+    if (cmd == "liberty") return cmd_liberty(flags);
+    if (cmd == "spice") return cmd_spice(flags);
+    if (cmd == "corners") return cmd_corners(flags);
+    if (cmd == "sensitivity") return cmd_sensitivity(flags);
+    usage_exit(("unknown command: " + cmd).c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
