@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multivt.dir/bench_ablation_multivt.cpp.o"
+  "CMakeFiles/bench_ablation_multivt.dir/bench_ablation_multivt.cpp.o.d"
+  "bench_ablation_multivt"
+  "bench_ablation_multivt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multivt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

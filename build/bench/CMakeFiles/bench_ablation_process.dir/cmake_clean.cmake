@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_process.dir/bench_ablation_process.cpp.o"
+  "CMakeFiles/bench_ablation_process.dir/bench_ablation_process.cpp.o.d"
+  "bench_ablation_process"
+  "bench_ablation_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

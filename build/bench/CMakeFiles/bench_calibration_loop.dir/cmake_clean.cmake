@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_calibration_loop.dir/bench_calibration_loop.cpp.o"
+  "CMakeFiles/bench_calibration_loop.dir/bench_calibration_loop.cpp.o.d"
+  "bench_calibration_loop"
+  "bench_calibration_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_calibration_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

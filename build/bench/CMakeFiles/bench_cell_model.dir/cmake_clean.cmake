@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cell_model.dir/bench_cell_model.cpp.o"
+  "CMakeFiles/bench_cell_model.dir/bench_cell_model.cpp.o.d"
+  "bench_cell_model"
+  "bench_cell_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cell_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

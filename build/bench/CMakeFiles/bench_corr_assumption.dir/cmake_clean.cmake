@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_corr_assumption.dir/bench_corr_assumption.cpp.o"
+  "CMakeFiles/bench_corr_assumption.dir/bench_corr_assumption.cpp.o.d"
+  "bench_corr_assumption"
+  "bench_corr_assumption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_corr_assumption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_corr_assumption.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_iscas89_sequential.cpp" "bench/CMakeFiles/bench_iscas89_sequential.dir/bench_iscas89_sequential.cpp.o" "gcc" "bench/CMakeFiles/bench_iscas89_sequential.dir/bench_iscas89_sequential.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rgleak_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/rgleak_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/charlib/CMakeFiles/rgleak_charlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/rgleak_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/rgleak_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/cells/CMakeFiles/rgleak_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/rgleak_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/process/CMakeFiles/rgleak_process.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/rgleak_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rgleak_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

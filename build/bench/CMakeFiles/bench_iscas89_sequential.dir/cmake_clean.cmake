@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_iscas89_sequential.dir/bench_iscas89_sequential.cpp.o"
+  "CMakeFiles/bench_iscas89_sequential.dir/bench_iscas89_sequential.cpp.o.d"
+  "bench_iscas89_sequential"
+  "bench_iscas89_sequential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_iscas89_sequential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_mismatch.dir/bench_model_mismatch.cpp.o"
+  "CMakeFiles/bench_model_mismatch.dir/bench_model_mismatch.cpp.o.d"
+  "bench_model_mismatch"
+  "bench_model_mismatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_mismatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

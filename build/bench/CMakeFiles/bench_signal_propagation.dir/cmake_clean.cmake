@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_signal_propagation.dir/bench_signal_propagation.cpp.o"
+  "CMakeFiles/bench_signal_propagation.dir/bench_signal_propagation.cpp.o.d"
+  "bench_signal_propagation"
+  "bench_signal_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_signal_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_iscas85.dir/bench_table1_iscas85.cpp.o"
+  "CMakeFiles/bench_table1_iscas85.dir/bench_table1_iscas85.cpp.o.d"
+  "bench_table1_iscas85"
+  "bench_table1_iscas85.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_iscas85.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vt_contribution.dir/bench_vt_contribution.cpp.o"
+  "CMakeFiles/bench_vt_contribution.dir/bench_vt_contribution.cpp.o.d"
+  "bench_vt_contribution"
+  "bench_vt_contribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vt_contribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_floorplan.dir/block_floorplan.cpp.o"
+  "CMakeFiles/block_floorplan.dir/block_floorplan.cpp.o.d"
+  "block_floorplan"
+  "block_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corner_signoff.dir/corner_signoff.cpp.o"
+  "CMakeFiles/corner_signoff.dir/corner_signoff.cpp.o.d"
+  "corner_signoff"
+  "corner_signoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corner_signoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

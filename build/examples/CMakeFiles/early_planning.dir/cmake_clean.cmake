@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/early_planning.dir/early_planning.cpp.o"
+  "CMakeFiles/early_planning.dir/early_planning.cpp.o.d"
+  "early_planning"
+  "early_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/early_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floorplan_optimization.dir/floorplan_optimization.cpp.o"
+  "CMakeFiles/floorplan_optimization.dir/floorplan_optimization.cpp.o.d"
+  "floorplan_optimization"
+  "floorplan_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floorplan_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/late_signoff.dir/late_signoff.cpp.o"
+  "CMakeFiles/late_signoff.dir/late_signoff.cpp.o.d"
+  "late_signoff"
+  "late_signoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/late_signoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leakage_map.dir/leakage_map.cpp.o"
+  "CMakeFiles/leakage_map.dir/leakage_map.cpp.o.d"
+  "leakage_map"
+  "leakage_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leakage_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_flow.dir/netlist_flow.cpp.o"
+  "CMakeFiles/netlist_flow.dir/netlist_flow.cpp.o.d"
+  "netlist_flow"
+  "netlist_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cells/cell.cpp" "src/cells/CMakeFiles/rgleak_cells.dir/cell.cpp.o" "gcc" "src/cells/CMakeFiles/rgleak_cells.dir/cell.cpp.o.d"
+  "/root/repo/src/cells/expr.cpp" "src/cells/CMakeFiles/rgleak_cells.dir/expr.cpp.o" "gcc" "src/cells/CMakeFiles/rgleak_cells.dir/expr.cpp.o.d"
+  "/root/repo/src/cells/library.cpp" "src/cells/CMakeFiles/rgleak_cells.dir/library.cpp.o" "gcc" "src/cells/CMakeFiles/rgleak_cells.dir/library.cpp.o.d"
+  "/root/repo/src/cells/spice_writer.cpp" "src/cells/CMakeFiles/rgleak_cells.dir/spice_writer.cpp.o" "gcc" "src/cells/CMakeFiles/rgleak_cells.dir/spice_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/rgleak_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rgleak_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

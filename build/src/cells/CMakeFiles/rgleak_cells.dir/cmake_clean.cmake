@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgleak_cells.dir/cell.cpp.o"
+  "CMakeFiles/rgleak_cells.dir/cell.cpp.o.d"
+  "CMakeFiles/rgleak_cells.dir/expr.cpp.o"
+  "CMakeFiles/rgleak_cells.dir/expr.cpp.o.d"
+  "CMakeFiles/rgleak_cells.dir/library.cpp.o"
+  "CMakeFiles/rgleak_cells.dir/library.cpp.o.d"
+  "CMakeFiles/rgleak_cells.dir/spice_writer.cpp.o"
+  "CMakeFiles/rgleak_cells.dir/spice_writer.cpp.o.d"
+  "librgleak_cells.a"
+  "librgleak_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgleak_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

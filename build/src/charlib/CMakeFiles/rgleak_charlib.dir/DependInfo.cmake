@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/charlib/characterize.cpp" "src/charlib/CMakeFiles/rgleak_charlib.dir/characterize.cpp.o" "gcc" "src/charlib/CMakeFiles/rgleak_charlib.dir/characterize.cpp.o.d"
+  "/root/repo/src/charlib/correlation_map.cpp" "src/charlib/CMakeFiles/rgleak_charlib.dir/correlation_map.cpp.o" "gcc" "src/charlib/CMakeFiles/rgleak_charlib.dir/correlation_map.cpp.o.d"
+  "/root/repo/src/charlib/io.cpp" "src/charlib/CMakeFiles/rgleak_charlib.dir/io.cpp.o" "gcc" "src/charlib/CMakeFiles/rgleak_charlib.dir/io.cpp.o.d"
+  "/root/repo/src/charlib/leakage_table.cpp" "src/charlib/CMakeFiles/rgleak_charlib.dir/leakage_table.cpp.o" "gcc" "src/charlib/CMakeFiles/rgleak_charlib.dir/leakage_table.cpp.o.d"
+  "/root/repo/src/charlib/liberty_writer.cpp" "src/charlib/CMakeFiles/rgleak_charlib.dir/liberty_writer.cpp.o" "gcc" "src/charlib/CMakeFiles/rgleak_charlib.dir/liberty_writer.cpp.o.d"
+  "/root/repo/src/charlib/vt_statistics.cpp" "src/charlib/CMakeFiles/rgleak_charlib.dir/vt_statistics.cpp.o" "gcc" "src/charlib/CMakeFiles/rgleak_charlib.dir/vt_statistics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cells/CMakeFiles/rgleak_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/process/CMakeFiles/rgleak_process.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/rgleak_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rgleak_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/rgleak_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgleak_charlib.dir/characterize.cpp.o"
+  "CMakeFiles/rgleak_charlib.dir/characterize.cpp.o.d"
+  "CMakeFiles/rgleak_charlib.dir/correlation_map.cpp.o"
+  "CMakeFiles/rgleak_charlib.dir/correlation_map.cpp.o.d"
+  "CMakeFiles/rgleak_charlib.dir/io.cpp.o"
+  "CMakeFiles/rgleak_charlib.dir/io.cpp.o.d"
+  "CMakeFiles/rgleak_charlib.dir/leakage_table.cpp.o"
+  "CMakeFiles/rgleak_charlib.dir/leakage_table.cpp.o.d"
+  "CMakeFiles/rgleak_charlib.dir/liberty_writer.cpp.o"
+  "CMakeFiles/rgleak_charlib.dir/liberty_writer.cpp.o.d"
+  "CMakeFiles/rgleak_charlib.dir/vt_statistics.cpp.o"
+  "CMakeFiles/rgleak_charlib.dir/vt_statistics.cpp.o.d"
+  "librgleak_charlib.a"
+  "librgleak_charlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgleak_charlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/connectivity_estimator.cpp" "src/core/CMakeFiles/rgleak_core.dir/connectivity_estimator.cpp.o" "gcc" "src/core/CMakeFiles/rgleak_core.dir/connectivity_estimator.cpp.o.d"
+  "/root/repo/src/core/corner_analysis.cpp" "src/core/CMakeFiles/rgleak_core.dir/corner_analysis.cpp.o" "gcc" "src/core/CMakeFiles/rgleak_core.dir/corner_analysis.cpp.o.d"
+  "/root/repo/src/core/estimators.cpp" "src/core/CMakeFiles/rgleak_core.dir/estimators.cpp.o" "gcc" "src/core/CMakeFiles/rgleak_core.dir/estimators.cpp.o.d"
+  "/root/repo/src/core/floorplan_optimizer.cpp" "src/core/CMakeFiles/rgleak_core.dir/floorplan_optimizer.cpp.o" "gcc" "src/core/CMakeFiles/rgleak_core.dir/floorplan_optimizer.cpp.o.d"
+  "/root/repo/src/core/leakage_estimator.cpp" "src/core/CMakeFiles/rgleak_core.dir/leakage_estimator.cpp.o" "gcc" "src/core/CMakeFiles/rgleak_core.dir/leakage_estimator.cpp.o.d"
+  "/root/repo/src/core/multi_block.cpp" "src/core/CMakeFiles/rgleak_core.dir/multi_block.cpp.o" "gcc" "src/core/CMakeFiles/rgleak_core.dir/multi_block.cpp.o.d"
+  "/root/repo/src/core/multi_vt.cpp" "src/core/CMakeFiles/rgleak_core.dir/multi_vt.cpp.o" "gcc" "src/core/CMakeFiles/rgleak_core.dir/multi_vt.cpp.o.d"
+  "/root/repo/src/core/random_gate.cpp" "src/core/CMakeFiles/rgleak_core.dir/random_gate.cpp.o" "gcc" "src/core/CMakeFiles/rgleak_core.dir/random_gate.cpp.o.d"
+  "/root/repo/src/core/region_analysis.cpp" "src/core/CMakeFiles/rgleak_core.dir/region_analysis.cpp.o" "gcc" "src/core/CMakeFiles/rgleak_core.dir/region_analysis.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/rgleak_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/rgleak_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/signal_probability.cpp" "src/core/CMakeFiles/rgleak_core.dir/signal_probability.cpp.o" "gcc" "src/core/CMakeFiles/rgleak_core.dir/signal_probability.cpp.o.d"
+  "/root/repo/src/core/yield.cpp" "src/core/CMakeFiles/rgleak_core.dir/yield.cpp.o" "gcc" "src/core/CMakeFiles/rgleak_core.dir/yield.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/charlib/CMakeFiles/rgleak_charlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/rgleak_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/rgleak_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/process/CMakeFiles/rgleak_process.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/rgleak_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rgleak_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cells/CMakeFiles/rgleak_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/rgleak_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgleak_core.dir/connectivity_estimator.cpp.o"
+  "CMakeFiles/rgleak_core.dir/connectivity_estimator.cpp.o.d"
+  "CMakeFiles/rgleak_core.dir/corner_analysis.cpp.o"
+  "CMakeFiles/rgleak_core.dir/corner_analysis.cpp.o.d"
+  "CMakeFiles/rgleak_core.dir/estimators.cpp.o"
+  "CMakeFiles/rgleak_core.dir/estimators.cpp.o.d"
+  "CMakeFiles/rgleak_core.dir/floorplan_optimizer.cpp.o"
+  "CMakeFiles/rgleak_core.dir/floorplan_optimizer.cpp.o.d"
+  "CMakeFiles/rgleak_core.dir/leakage_estimator.cpp.o"
+  "CMakeFiles/rgleak_core.dir/leakage_estimator.cpp.o.d"
+  "CMakeFiles/rgleak_core.dir/multi_block.cpp.o"
+  "CMakeFiles/rgleak_core.dir/multi_block.cpp.o.d"
+  "CMakeFiles/rgleak_core.dir/multi_vt.cpp.o"
+  "CMakeFiles/rgleak_core.dir/multi_vt.cpp.o.d"
+  "CMakeFiles/rgleak_core.dir/random_gate.cpp.o"
+  "CMakeFiles/rgleak_core.dir/random_gate.cpp.o.d"
+  "CMakeFiles/rgleak_core.dir/region_analysis.cpp.o"
+  "CMakeFiles/rgleak_core.dir/region_analysis.cpp.o.d"
+  "CMakeFiles/rgleak_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/rgleak_core.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/rgleak_core.dir/signal_probability.cpp.o"
+  "CMakeFiles/rgleak_core.dir/signal_probability.cpp.o.d"
+  "CMakeFiles/rgleak_core.dir/yield.cpp.o"
+  "CMakeFiles/rgleak_core.dir/yield.cpp.o.d"
+  "librgleak_core.a"
+  "librgleak_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgleak_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgleak_device.dir/network.cpp.o"
+  "CMakeFiles/rgleak_device.dir/network.cpp.o.d"
+  "CMakeFiles/rgleak_device.dir/subthreshold.cpp.o"
+  "CMakeFiles/rgleak_device.dir/subthreshold.cpp.o.d"
+  "librgleak_device.a"
+  "librgleak_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgleak_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/fft.cpp" "src/math/CMakeFiles/rgleak_math.dir/fft.cpp.o" "gcc" "src/math/CMakeFiles/rgleak_math.dir/fft.cpp.o.d"
+  "/root/repo/src/math/gaussian_moments.cpp" "src/math/CMakeFiles/rgleak_math.dir/gaussian_moments.cpp.o" "gcc" "src/math/CMakeFiles/rgleak_math.dir/gaussian_moments.cpp.o.d"
+  "/root/repo/src/math/histogram.cpp" "src/math/CMakeFiles/rgleak_math.dir/histogram.cpp.o" "gcc" "src/math/CMakeFiles/rgleak_math.dir/histogram.cpp.o.d"
+  "/root/repo/src/math/linalg.cpp" "src/math/CMakeFiles/rgleak_math.dir/linalg.cpp.o" "gcc" "src/math/CMakeFiles/rgleak_math.dir/linalg.cpp.o.d"
+  "/root/repo/src/math/mgf.cpp" "src/math/CMakeFiles/rgleak_math.dir/mgf.cpp.o" "gcc" "src/math/CMakeFiles/rgleak_math.dir/mgf.cpp.o.d"
+  "/root/repo/src/math/polyfit.cpp" "src/math/CMakeFiles/rgleak_math.dir/polyfit.cpp.o" "gcc" "src/math/CMakeFiles/rgleak_math.dir/polyfit.cpp.o.d"
+  "/root/repo/src/math/quadrature.cpp" "src/math/CMakeFiles/rgleak_math.dir/quadrature.cpp.o" "gcc" "src/math/CMakeFiles/rgleak_math.dir/quadrature.cpp.o.d"
+  "/root/repo/src/math/rng.cpp" "src/math/CMakeFiles/rgleak_math.dir/rng.cpp.o" "gcc" "src/math/CMakeFiles/rgleak_math.dir/rng.cpp.o.d"
+  "/root/repo/src/math/stats.cpp" "src/math/CMakeFiles/rgleak_math.dir/stats.cpp.o" "gcc" "src/math/CMakeFiles/rgleak_math.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rgleak_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgleak_math.dir/fft.cpp.o"
+  "CMakeFiles/rgleak_math.dir/fft.cpp.o.d"
+  "CMakeFiles/rgleak_math.dir/gaussian_moments.cpp.o"
+  "CMakeFiles/rgleak_math.dir/gaussian_moments.cpp.o.d"
+  "CMakeFiles/rgleak_math.dir/histogram.cpp.o"
+  "CMakeFiles/rgleak_math.dir/histogram.cpp.o.d"
+  "CMakeFiles/rgleak_math.dir/linalg.cpp.o"
+  "CMakeFiles/rgleak_math.dir/linalg.cpp.o.d"
+  "CMakeFiles/rgleak_math.dir/mgf.cpp.o"
+  "CMakeFiles/rgleak_math.dir/mgf.cpp.o.d"
+  "CMakeFiles/rgleak_math.dir/polyfit.cpp.o"
+  "CMakeFiles/rgleak_math.dir/polyfit.cpp.o.d"
+  "CMakeFiles/rgleak_math.dir/quadrature.cpp.o"
+  "CMakeFiles/rgleak_math.dir/quadrature.cpp.o.d"
+  "CMakeFiles/rgleak_math.dir/rng.cpp.o"
+  "CMakeFiles/rgleak_math.dir/rng.cpp.o.d"
+  "CMakeFiles/rgleak_math.dir/stats.cpp.o"
+  "CMakeFiles/rgleak_math.dir/stats.cpp.o.d"
+  "librgleak_math.a"
+  "librgleak_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgleak_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

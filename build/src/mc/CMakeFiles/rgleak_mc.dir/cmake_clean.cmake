@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgleak_mc.dir/full_chip_mc.cpp.o"
+  "CMakeFiles/rgleak_mc.dir/full_chip_mc.cpp.o.d"
+  "librgleak_mc.a"
+  "librgleak_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgleak_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/connectivity.cpp" "src/netlist/CMakeFiles/rgleak_netlist.dir/connectivity.cpp.o" "gcc" "src/netlist/CMakeFiles/rgleak_netlist.dir/connectivity.cpp.o.d"
+  "/root/repo/src/netlist/io.cpp" "src/netlist/CMakeFiles/rgleak_netlist.dir/io.cpp.o" "gcc" "src/netlist/CMakeFiles/rgleak_netlist.dir/io.cpp.o.d"
+  "/root/repo/src/netlist/iscas85.cpp" "src/netlist/CMakeFiles/rgleak_netlist.dir/iscas85.cpp.o" "gcc" "src/netlist/CMakeFiles/rgleak_netlist.dir/iscas85.cpp.o.d"
+  "/root/repo/src/netlist/iscas89.cpp" "src/netlist/CMakeFiles/rgleak_netlist.dir/iscas89.cpp.o" "gcc" "src/netlist/CMakeFiles/rgleak_netlist.dir/iscas89.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/rgleak_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/rgleak_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/random_circuit.cpp" "src/netlist/CMakeFiles/rgleak_netlist.dir/random_circuit.cpp.o" "gcc" "src/netlist/CMakeFiles/rgleak_netlist.dir/random_circuit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cells/CMakeFiles/rgleak_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/rgleak_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rgleak_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/rgleak_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

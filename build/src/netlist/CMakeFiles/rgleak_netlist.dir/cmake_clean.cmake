@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgleak_netlist.dir/connectivity.cpp.o"
+  "CMakeFiles/rgleak_netlist.dir/connectivity.cpp.o.d"
+  "CMakeFiles/rgleak_netlist.dir/io.cpp.o"
+  "CMakeFiles/rgleak_netlist.dir/io.cpp.o.d"
+  "CMakeFiles/rgleak_netlist.dir/iscas85.cpp.o"
+  "CMakeFiles/rgleak_netlist.dir/iscas85.cpp.o.d"
+  "CMakeFiles/rgleak_netlist.dir/iscas89.cpp.o"
+  "CMakeFiles/rgleak_netlist.dir/iscas89.cpp.o.d"
+  "CMakeFiles/rgleak_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/rgleak_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/rgleak_netlist.dir/random_circuit.cpp.o"
+  "CMakeFiles/rgleak_netlist.dir/random_circuit.cpp.o.d"
+  "librgleak_netlist.a"
+  "librgleak_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgleak_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgleak_placement.dir/placement.cpp.o"
+  "CMakeFiles/rgleak_placement.dir/placement.cpp.o.d"
+  "librgleak_placement.a"
+  "librgleak_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgleak_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

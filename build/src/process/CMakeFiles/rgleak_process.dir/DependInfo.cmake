@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/process/correlation_fit.cpp" "src/process/CMakeFiles/rgleak_process.dir/correlation_fit.cpp.o" "gcc" "src/process/CMakeFiles/rgleak_process.dir/correlation_fit.cpp.o.d"
+  "/root/repo/src/process/field_sampler.cpp" "src/process/CMakeFiles/rgleak_process.dir/field_sampler.cpp.o" "gcc" "src/process/CMakeFiles/rgleak_process.dir/field_sampler.cpp.o.d"
+  "/root/repo/src/process/quadtree_model.cpp" "src/process/CMakeFiles/rgleak_process.dir/quadtree_model.cpp.o" "gcc" "src/process/CMakeFiles/rgleak_process.dir/quadtree_model.cpp.o.d"
+  "/root/repo/src/process/spatial_correlation.cpp" "src/process/CMakeFiles/rgleak_process.dir/spatial_correlation.cpp.o" "gcc" "src/process/CMakeFiles/rgleak_process.dir/spatial_correlation.cpp.o.d"
+  "/root/repo/src/process/variation.cpp" "src/process/CMakeFiles/rgleak_process.dir/variation.cpp.o" "gcc" "src/process/CMakeFiles/rgleak_process.dir/variation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/rgleak_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rgleak_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgleak_process.dir/correlation_fit.cpp.o"
+  "CMakeFiles/rgleak_process.dir/correlation_fit.cpp.o.d"
+  "CMakeFiles/rgleak_process.dir/field_sampler.cpp.o"
+  "CMakeFiles/rgleak_process.dir/field_sampler.cpp.o.d"
+  "CMakeFiles/rgleak_process.dir/quadtree_model.cpp.o"
+  "CMakeFiles/rgleak_process.dir/quadtree_model.cpp.o.d"
+  "CMakeFiles/rgleak_process.dir/spatial_correlation.cpp.o"
+  "CMakeFiles/rgleak_process.dir/spatial_correlation.cpp.o.d"
+  "CMakeFiles/rgleak_process.dir/variation.cpp.o"
+  "CMakeFiles/rgleak_process.dir/variation.cpp.o.d"
+  "librgleak_process.a"
+  "librgleak_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgleak_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgleak_util.dir/table.cpp.o"
+  "CMakeFiles/rgleak_util.dir/table.cpp.o.d"
+  "librgleak_util.a"
+  "librgleak_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgleak_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

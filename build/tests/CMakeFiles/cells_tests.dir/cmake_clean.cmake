@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cells_tests.dir/cells/test_cell.cpp.o"
+  "CMakeFiles/cells_tests.dir/cells/test_cell.cpp.o.d"
+  "CMakeFiles/cells_tests.dir/cells/test_expr.cpp.o"
+  "CMakeFiles/cells_tests.dir/cells/test_expr.cpp.o.d"
+  "CMakeFiles/cells_tests.dir/cells/test_library.cpp.o"
+  "CMakeFiles/cells_tests.dir/cells/test_library.cpp.o.d"
+  "CMakeFiles/cells_tests.dir/cells/test_random_cells.cpp.o"
+  "CMakeFiles/cells_tests.dir/cells/test_random_cells.cpp.o.d"
+  "CMakeFiles/cells_tests.dir/cells/test_spice_writer.cpp.o"
+  "CMakeFiles/cells_tests.dir/cells/test_spice_writer.cpp.o.d"
+  "cells_tests"
+  "cells_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cells_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charlib_tests.dir/charlib/test_characterize.cpp.o"
+  "CMakeFiles/charlib_tests.dir/charlib/test_characterize.cpp.o.d"
+  "CMakeFiles/charlib_tests.dir/charlib/test_correlation_map.cpp.o"
+  "CMakeFiles/charlib_tests.dir/charlib/test_correlation_map.cpp.o.d"
+  "CMakeFiles/charlib_tests.dir/charlib/test_io.cpp.o"
+  "CMakeFiles/charlib_tests.dir/charlib/test_io.cpp.o.d"
+  "CMakeFiles/charlib_tests.dir/charlib/test_leakage_table.cpp.o"
+  "CMakeFiles/charlib_tests.dir/charlib/test_leakage_table.cpp.o.d"
+  "CMakeFiles/charlib_tests.dir/charlib/test_liberty_writer.cpp.o"
+  "CMakeFiles/charlib_tests.dir/charlib/test_liberty_writer.cpp.o.d"
+  "CMakeFiles/charlib_tests.dir/charlib/test_vt_statistics.cpp.o"
+  "CMakeFiles/charlib_tests.dir/charlib/test_vt_statistics.cpp.o.d"
+  "charlib_tests"
+  "charlib_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charlib_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_anisotropic_estimation.cpp" "tests/CMakeFiles/core_tests.dir/core/test_anisotropic_estimation.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_anisotropic_estimation.cpp.o.d"
+  "/root/repo/tests/core/test_connectivity_estimator.cpp" "tests/CMakeFiles/core_tests.dir/core/test_connectivity_estimator.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_connectivity_estimator.cpp.o.d"
+  "/root/repo/tests/core/test_corner_analysis.cpp" "tests/CMakeFiles/core_tests.dir/core/test_corner_analysis.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_corner_analysis.cpp.o.d"
+  "/root/repo/tests/core/test_estimators.cpp" "tests/CMakeFiles/core_tests.dir/core/test_estimators.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_estimators.cpp.o.d"
+  "/root/repo/tests/core/test_floorplan_optimizer.cpp" "tests/CMakeFiles/core_tests.dir/core/test_floorplan_optimizer.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_floorplan_optimizer.cpp.o.d"
+  "/root/repo/tests/core/test_leakage_estimator.cpp" "tests/CMakeFiles/core_tests.dir/core/test_leakage_estimator.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_leakage_estimator.cpp.o.d"
+  "/root/repo/tests/core/test_multi_block.cpp" "tests/CMakeFiles/core_tests.dir/core/test_multi_block.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_multi_block.cpp.o.d"
+  "/root/repo/tests/core/test_multi_vt.cpp" "tests/CMakeFiles/core_tests.dir/core/test_multi_vt.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_multi_vt.cpp.o.d"
+  "/root/repo/tests/core/test_properties.cpp" "tests/CMakeFiles/core_tests.dir/core/test_properties.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_properties.cpp.o.d"
+  "/root/repo/tests/core/test_random_gate.cpp" "tests/CMakeFiles/core_tests.dir/core/test_random_gate.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_random_gate.cpp.o.d"
+  "/root/repo/tests/core/test_region_analysis.cpp" "tests/CMakeFiles/core_tests.dir/core/test_region_analysis.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_region_analysis.cpp.o.d"
+  "/root/repo/tests/core/test_sensitivity.cpp" "tests/CMakeFiles/core_tests.dir/core/test_sensitivity.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_sensitivity.cpp.o.d"
+  "/root/repo/tests/core/test_signal_probability.cpp" "tests/CMakeFiles/core_tests.dir/core/test_signal_probability.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_signal_probability.cpp.o.d"
+  "/root/repo/tests/core/test_yield.cpp" "tests/CMakeFiles/core_tests.dir/core/test_yield.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_yield.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rgleak_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/rgleak_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/charlib/CMakeFiles/rgleak_charlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/rgleak_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/rgleak_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/cells/CMakeFiles/rgleak_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/rgleak_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/process/CMakeFiles/rgleak_process.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/rgleak_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rgleak_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/test_anisotropic_estimation.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_anisotropic_estimation.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_connectivity_estimator.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_connectivity_estimator.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_corner_analysis.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_corner_analysis.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_estimators.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_estimators.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_floorplan_optimizer.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_floorplan_optimizer.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_leakage_estimator.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_leakage_estimator.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_multi_block.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_multi_block.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_multi_vt.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_multi_vt.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_properties.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_properties.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_random_gate.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_random_gate.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_region_analysis.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_region_analysis.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_sensitivity.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_sensitivity.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_signal_probability.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_signal_probability.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_yield.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_yield.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_tests.dir/device/test_network.cpp.o"
+  "CMakeFiles/device_tests.dir/device/test_network.cpp.o.d"
+  "CMakeFiles/device_tests.dir/device/test_stack_properties.cpp.o"
+  "CMakeFiles/device_tests.dir/device/test_stack_properties.cpp.o.d"
+  "CMakeFiles/device_tests.dir/device/test_subthreshold.cpp.o"
+  "CMakeFiles/device_tests.dir/device/test_subthreshold.cpp.o.d"
+  "CMakeFiles/device_tests.dir/device/test_temperature.cpp.o"
+  "CMakeFiles/device_tests.dir/device/test_temperature.cpp.o.d"
+  "device_tests"
+  "device_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

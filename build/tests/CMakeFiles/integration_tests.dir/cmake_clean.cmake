@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_tests.dir/integration/test_end_to_end.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/test_end_to_end.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/test_golden_values.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/test_golden_values.cpp.o.d"
+  "integration_tests"
+  "integration_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/math/test_fft.cpp" "tests/CMakeFiles/math_tests.dir/math/test_fft.cpp.o" "gcc" "tests/CMakeFiles/math_tests.dir/math/test_fft.cpp.o.d"
+  "/root/repo/tests/math/test_gaussian_moments.cpp" "tests/CMakeFiles/math_tests.dir/math/test_gaussian_moments.cpp.o" "gcc" "tests/CMakeFiles/math_tests.dir/math/test_gaussian_moments.cpp.o.d"
+  "/root/repo/tests/math/test_histogram.cpp" "tests/CMakeFiles/math_tests.dir/math/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/math_tests.dir/math/test_histogram.cpp.o.d"
+  "/root/repo/tests/math/test_linalg.cpp" "tests/CMakeFiles/math_tests.dir/math/test_linalg.cpp.o" "gcc" "tests/CMakeFiles/math_tests.dir/math/test_linalg.cpp.o.d"
+  "/root/repo/tests/math/test_mgf.cpp" "tests/CMakeFiles/math_tests.dir/math/test_mgf.cpp.o" "gcc" "tests/CMakeFiles/math_tests.dir/math/test_mgf.cpp.o.d"
+  "/root/repo/tests/math/test_polyfit.cpp" "tests/CMakeFiles/math_tests.dir/math/test_polyfit.cpp.o" "gcc" "tests/CMakeFiles/math_tests.dir/math/test_polyfit.cpp.o.d"
+  "/root/repo/tests/math/test_quadrature.cpp" "tests/CMakeFiles/math_tests.dir/math/test_quadrature.cpp.o" "gcc" "tests/CMakeFiles/math_tests.dir/math/test_quadrature.cpp.o.d"
+  "/root/repo/tests/math/test_rng.cpp" "tests/CMakeFiles/math_tests.dir/math/test_rng.cpp.o" "gcc" "tests/CMakeFiles/math_tests.dir/math/test_rng.cpp.o.d"
+  "/root/repo/tests/math/test_stats.cpp" "tests/CMakeFiles/math_tests.dir/math/test_stats.cpp.o" "gcc" "tests/CMakeFiles/math_tests.dir/math/test_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rgleak_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/rgleak_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/charlib/CMakeFiles/rgleak_charlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/rgleak_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/rgleak_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/cells/CMakeFiles/rgleak_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/rgleak_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/process/CMakeFiles/rgleak_process.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/rgleak_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rgleak_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/math_tests.dir/math/test_fft.cpp.o"
+  "CMakeFiles/math_tests.dir/math/test_fft.cpp.o.d"
+  "CMakeFiles/math_tests.dir/math/test_gaussian_moments.cpp.o"
+  "CMakeFiles/math_tests.dir/math/test_gaussian_moments.cpp.o.d"
+  "CMakeFiles/math_tests.dir/math/test_histogram.cpp.o"
+  "CMakeFiles/math_tests.dir/math/test_histogram.cpp.o.d"
+  "CMakeFiles/math_tests.dir/math/test_linalg.cpp.o"
+  "CMakeFiles/math_tests.dir/math/test_linalg.cpp.o.d"
+  "CMakeFiles/math_tests.dir/math/test_mgf.cpp.o"
+  "CMakeFiles/math_tests.dir/math/test_mgf.cpp.o.d"
+  "CMakeFiles/math_tests.dir/math/test_polyfit.cpp.o"
+  "CMakeFiles/math_tests.dir/math/test_polyfit.cpp.o.d"
+  "CMakeFiles/math_tests.dir/math/test_quadrature.cpp.o"
+  "CMakeFiles/math_tests.dir/math/test_quadrature.cpp.o.d"
+  "CMakeFiles/math_tests.dir/math/test_rng.cpp.o"
+  "CMakeFiles/math_tests.dir/math/test_rng.cpp.o.d"
+  "CMakeFiles/math_tests.dir/math/test_stats.cpp.o"
+  "CMakeFiles/math_tests.dir/math/test_stats.cpp.o.d"
+  "math_tests"
+  "math_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/math_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

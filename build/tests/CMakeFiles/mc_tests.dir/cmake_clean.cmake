@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_tests.dir/mc/test_full_chip_mc.cpp.o"
+  "CMakeFiles/mc_tests.dir/mc/test_full_chip_mc.cpp.o.d"
+  "mc_tests"
+  "mc_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

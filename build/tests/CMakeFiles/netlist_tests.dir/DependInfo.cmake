@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/netlist/test_connectivity.cpp" "tests/CMakeFiles/netlist_tests.dir/netlist/test_connectivity.cpp.o" "gcc" "tests/CMakeFiles/netlist_tests.dir/netlist/test_connectivity.cpp.o.d"
+  "/root/repo/tests/netlist/test_io.cpp" "tests/CMakeFiles/netlist_tests.dir/netlist/test_io.cpp.o" "gcc" "tests/CMakeFiles/netlist_tests.dir/netlist/test_io.cpp.o.d"
+  "/root/repo/tests/netlist/test_iscas89.cpp" "tests/CMakeFiles/netlist_tests.dir/netlist/test_iscas89.cpp.o" "gcc" "tests/CMakeFiles/netlist_tests.dir/netlist/test_iscas89.cpp.o.d"
+  "/root/repo/tests/netlist/test_netlist.cpp" "tests/CMakeFiles/netlist_tests.dir/netlist/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/netlist_tests.dir/netlist/test_netlist.cpp.o.d"
+  "/root/repo/tests/placement/test_placement.cpp" "tests/CMakeFiles/netlist_tests.dir/placement/test_placement.cpp.o" "gcc" "tests/CMakeFiles/netlist_tests.dir/placement/test_placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rgleak_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/rgleak_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/charlib/CMakeFiles/rgleak_charlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/rgleak_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/rgleak_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/cells/CMakeFiles/rgleak_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/rgleak_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/process/CMakeFiles/rgleak_process.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/rgleak_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rgleak_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

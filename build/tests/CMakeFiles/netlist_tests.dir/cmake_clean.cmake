@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_tests.dir/netlist/test_connectivity.cpp.o"
+  "CMakeFiles/netlist_tests.dir/netlist/test_connectivity.cpp.o.d"
+  "CMakeFiles/netlist_tests.dir/netlist/test_io.cpp.o"
+  "CMakeFiles/netlist_tests.dir/netlist/test_io.cpp.o.d"
+  "CMakeFiles/netlist_tests.dir/netlist/test_iscas89.cpp.o"
+  "CMakeFiles/netlist_tests.dir/netlist/test_iscas89.cpp.o.d"
+  "CMakeFiles/netlist_tests.dir/netlist/test_netlist.cpp.o"
+  "CMakeFiles/netlist_tests.dir/netlist/test_netlist.cpp.o.d"
+  "CMakeFiles/netlist_tests.dir/placement/test_placement.cpp.o"
+  "CMakeFiles/netlist_tests.dir/placement/test_placement.cpp.o.d"
+  "netlist_tests"
+  "netlist_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

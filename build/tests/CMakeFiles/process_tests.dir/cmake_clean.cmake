@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_tests.dir/process/test_anisotropy.cpp.o"
+  "CMakeFiles/process_tests.dir/process/test_anisotropy.cpp.o.d"
+  "CMakeFiles/process_tests.dir/process/test_correlation_fit.cpp.o"
+  "CMakeFiles/process_tests.dir/process/test_correlation_fit.cpp.o.d"
+  "CMakeFiles/process_tests.dir/process/test_field_sampler.cpp.o"
+  "CMakeFiles/process_tests.dir/process/test_field_sampler.cpp.o.d"
+  "CMakeFiles/process_tests.dir/process/test_quadtree_model.cpp.o"
+  "CMakeFiles/process_tests.dir/process/test_quadtree_model.cpp.o.d"
+  "CMakeFiles/process_tests.dir/process/test_spatial_correlation.cpp.o"
+  "CMakeFiles/process_tests.dir/process/test_spatial_correlation.cpp.o.d"
+  "CMakeFiles/process_tests.dir/process/test_variation.cpp.o"
+  "CMakeFiles/process_tests.dir/process/test_variation.cpp.o.d"
+  "process_tests"
+  "process_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

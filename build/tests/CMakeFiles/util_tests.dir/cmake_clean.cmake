@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_tests.dir/util/test_table.cpp.o"
+  "CMakeFiles/util_tests.dir/util/test_table.cpp.o.d"
+  "util_tests"
+  "util_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(util_tests "/root/repo/build/tests/util_tests")
+set_tests_properties(util_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;13;rgleak_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(math_tests "/root/repo/build/tests/math_tests")
+set_tests_properties(math_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;17;rgleak_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(process_tests "/root/repo/build/tests/process_tests")
+set_tests_properties(process_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;29;rgleak_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(device_tests "/root/repo/build/tests/device_tests")
+set_tests_properties(device_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;38;rgleak_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cells_tests "/root/repo/build/tests/cells_tests")
+set_tests_properties(cells_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;45;rgleak_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(charlib_tests "/root/repo/build/tests/charlib_tests")
+set_tests_properties(charlib_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;53;rgleak_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(netlist_tests "/root/repo/build/tests/netlist_tests")
+set_tests_properties(netlist_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;62;rgleak_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_tests "/root/repo/build/tests/core_tests")
+set_tests_properties(core_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;70;rgleak_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(mc_tests "/root/repo/build/tests/mc_tests")
+set_tests_properties(mc_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;87;rgleak_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_tests "/root/repo/build/tests/integration_tests")
+set_tests_properties(integration_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;91;rgleak_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgleak.dir/rgleak_cli.cpp.o"
+  "CMakeFiles/rgleak.dir/rgleak_cli.cpp.o.d"
+  "rgleak"
+  "rgleak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgleak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
