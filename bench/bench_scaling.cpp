@@ -1,8 +1,20 @@
-// Complexity claims of section 3: runtime scaling of the three estimators —
-// O(n^2) exact pairwise baseline, O(n) distance-histogram (eq. 17), and O(1)
-// integration (eqs 20/25) — using google-benchmark.
+// Complexity claims of section 3: runtime scaling of the estimators —
+// O(n^2) exact pairwise baseline (serial and thread-pool tiled), the
+// O(T^2 n log n) FFT offset-histogram exact path, O(n) distance-histogram
+// (eq. 17), and O(1) integration (eqs 20/25) — using google-benchmark.
+//
+// `bench_scaling --exact-json[=PATH]` skips google-benchmark and instead
+// records the exact-estimator perf trajectory (sites, method, wall_ms,
+// speedup vs the serial direct baseline) to BENCH_exact_estimator.json.
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
 
 #include "bench_util.h"
 #include "core/estimators.h"
@@ -36,18 +48,46 @@ placement::Floorplan square(std::size_t side) {
   return fp;
 }
 
+netlist::Netlist bench_netlist(std::size_t side) {
+  math::Rng rng(1);
+  return netlist::generate_random_circuit(bench::library(), bench_usage(), side * side, rng);
+}
+
 void BM_ExactPairwise(benchmark::State& state) {
   const auto side = static_cast<std::size_t>(state.range(0));
-  math::Rng rng(1);
-  const netlist::Netlist nl = netlist::generate_random_circuit(
-      bench::library(), bench_usage(), side * side, rng);
+  const netlist::Netlist nl = bench_netlist(side);
   const placement::Placement pl(&nl, square(side));
   const core::ExactEstimator exact(bench::chars_analytic(), 0.5,
                                    core::CorrelationMode::kAnalytic);
-  for (auto _ : state) benchmark::DoNotOptimize(exact.estimate(pl));
+  const core::ExactOptions opts{core::ExactMethod::kDirect, 1};
+  for (auto _ : state) benchmark::DoNotOptimize(exact.estimate(pl, opts));
   state.SetComplexityN(static_cast<long long>(side * side));
 }
 BENCHMARK(BM_ExactPairwise)->RangeMultiplier(2)->Range(8, 64)->Complexity();
+
+void BM_ExactPairwiseParallel(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const netlist::Netlist nl = bench_netlist(side);
+  const placement::Placement pl(&nl, square(side));
+  const core::ExactEstimator exact(bench::chars_analytic(), 0.5,
+                                   core::CorrelationMode::kAnalytic);
+  const core::ExactOptions opts{core::ExactMethod::kDirect, 0};  // hardware threads
+  for (auto _ : state) benchmark::DoNotOptimize(exact.estimate(pl, opts));
+  state.SetComplexityN(static_cast<long long>(side * side));
+}
+BENCHMARK(BM_ExactPairwiseParallel)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+void BM_ExactFft(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const netlist::Netlist nl = bench_netlist(side);
+  const placement::Placement pl(&nl, square(side));
+  const core::ExactEstimator exact(bench::chars_analytic(), 0.5,
+                                   core::CorrelationMode::kAnalytic);
+  const core::ExactOptions opts{core::ExactMethod::kFft, 0};
+  for (auto _ : state) benchmark::DoNotOptimize(exact.estimate(pl, opts));
+  state.SetComplexityN(static_cast<long long>(side * side));
+}
+BENCHMARK(BM_ExactFft)->RangeMultiplier(2)->Range(8, 256)->Complexity();
 
 void BM_LinearHistogram(benchmark::State& state) {
   const auto side = static_cast<std::size_t>(state.range(0));
@@ -84,6 +124,83 @@ void BM_Characterization(benchmark::State& state) {
 }
 BENCHMARK(BM_Characterization)->Unit(benchmark::kMillisecond)->Iterations(1);
 
+// --- the exact-estimator perf record ---------------------------------------
+
+double wall_ms(const std::function<core::LeakageEstimate()>& run, int reps,
+               core::LeakageEstimate* out) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    *out = run();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+int exact_bench_json(const std::string& path) {
+  const core::ExactEstimator exact(bench::chars_analytic(), 0.5,
+                                   core::CorrelationMode::kAnalytic);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"exact_estimator\",\n  \"records\": [\n");
+  bool first = true;
+  for (const std::size_t side : {16, 32, 64, 128}) {
+    const netlist::Netlist nl = bench_netlist(side);
+    const placement::Placement pl(&nl, square(side));
+    const std::size_t n = side * side;
+    const int reps = n <= 4096 ? 3 : 1;
+
+    core::LeakageEstimate serial, parallel, fft;
+    const double t_serial = wall_ms(
+        [&] { return exact.estimate(pl, {core::ExactMethod::kDirect, 1}); }, reps, &serial);
+    const double t_parallel = wall_ms(
+        [&] { return exact.estimate(pl, {core::ExactMethod::kDirect, 0}); }, reps, &parallel);
+    const double t_fft = wall_ms(
+        [&] { return exact.estimate(pl, {core::ExactMethod::kFft, 0}); }, reps, &fft);
+
+    const double rel_err = std::abs(fft.sigma_na - serial.sigma_na) / serial.sigma_na;
+    const struct {
+      const char* method;
+      double ms;
+      double sigma_rel_err;
+    } rows[] = {{"direct_serial", t_serial, 0.0},
+                {"direct_parallel", t_parallel,
+                 std::abs(parallel.sigma_na - serial.sigma_na) / serial.sigma_na},
+                {"fft", t_fft, rel_err}};
+    for (const auto& r : rows) {
+      std::fprintf(f, "%s    {\"sites\": %zu, \"method\": \"%s\", \"wall_ms\": %.4f, "
+                      "\"speedup\": %.2f, \"sigma_rel_err\": %.3e}",
+                   first ? "" : ",\n", n, r.method, r.ms, t_serial / r.ms, r.sigma_rel_err);
+      first = false;
+    }
+    std::printf("sites %6zu  direct %10.2f ms  parallel %10.2f ms (%.1fx)  "
+                "fft %8.2f ms (%.1fx)  fft rel err %.2e\n",
+                n, t_serial, t_parallel, t_serial / t_parallel, t_fft, t_serial / t_fft,
+                rel_err);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--exact-json", 0) == 0) {
+      std::string path = "BENCH_exact_estimator.json";
+      if (const auto eq = arg.find('='); eq != std::string::npos) path = arg.substr(eq + 1);
+      return exact_bench_json(path);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# ThreadSanitizer pass over the concurrency-sensitive tests: the thread pool,
+# the parallel/concurrent exact-estimator paths, and threaded Monte Carlo.
+# Part of the tier-1 verify flow (see ROADMAP.md). Uses its own build tree so
+# the regular build stays uninstrumented.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=build-tsan
+cmake -B "$BUILD" -S . -DRGLEAK_SANITIZE=thread >/dev/null
+cmake --build "$BUILD" --target util_tests core_tests mc_tests -j "$(nproc)"
+
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+"$BUILD"/tests/util_tests --gtest_filter='ThreadPool.*'
+"$BUILD"/tests/core_tests --gtest_filter='*Concurrent*:*ThreadCounts*:*FftPathMatchesDirectPath*'
+"$BUILD"/tests/mc_tests --gtest_filter='*Threaded*'
+echo "tsan_check: OK"

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "math/fft.h"
 #include "util/require.h"
 
 namespace rgleak::core {
@@ -75,8 +76,11 @@ LeakageEstimate estimate_integral_polar(const RandomGate& rg, const placement::F
 
 ExactEstimator::ExactEstimator(const charlib::CharacterizedLibrary& chars,
                                double signal_probability, CorrelationMode mode)
-    : chars_(&chars), signal_probability_(signal_probability), mode_(mode) {
-  num_types_ = chars.size();
+    : chars_(&chars),
+      signal_probability_(signal_probability),
+      mode_(mode),
+      num_types_(chars.size()),
+      pair_grid_(mode == CorrelationMode::kAnalytic ? chars.size() * chars.size() : 0) {
   effective_.resize(num_types_);
   proc_sigma_.resize(num_types_);
   state_probs_.resize(num_types_);
@@ -94,7 +98,6 @@ ExactEstimator::ExactEstimator(const charlib::CharacterizedLibrary& chars,
   if (mode_ == CorrelationMode::kAnalytic) {
     RGLEAK_REQUIRE(chars.has_models(),
                    "analytic correlation mode needs an analytically characterized library");
-    pair_grid_.resize(num_types_ * num_types_);
   }
 }
 
@@ -120,17 +123,22 @@ double ExactEstimator::exact_pair_covariance(std::size_t m, std::size_t n, doubl
 }
 
 const std::vector<double>& ExactEstimator::pair_grid(std::size_t m, std::size_t n) const {
-  auto& slot = pair_grid_[m * num_types_ + n];
-  if (!slot) {
-    std::vector<double> grid(kRhoGrid);
-    for (std::size_t i = 0; i < kRhoGrid; ++i) {
-      const double rho = static_cast<double>(i) / static_cast<double>(kRhoGrid - 1);
-      grid[i] = exact_pair_covariance(m, n, rho);
-    }
-    slot = std::move(grid);
-    if (m != n) pair_grid_[n * num_types_ + m] = slot;  // symmetric
+  std::atomic<const std::vector<double>*>& slot = pair_grid_[m * num_types_ + n];
+  if (const std::vector<double>* g = slot.load(std::memory_order_acquire)) return *g;
+
+  std::lock_guard<std::mutex> lock(pair_grid_mutex_);
+  if (const std::vector<double>* g = slot.load(std::memory_order_relaxed)) return *g;
+  auto grid = std::make_unique<std::vector<double>>(kRhoGrid);
+  for (std::size_t i = 0; i < kRhoGrid; ++i) {
+    const double rho = static_cast<double>(i) / static_cast<double>(kRhoGrid - 1);
+    (*grid)[i] = exact_pair_covariance(m, n, rho);
   }
-  return *slot;
+  const std::vector<double>* ptr = grid.get();
+  pair_grid_owned_.push_back(std::move(grid));
+  if (m != n)
+    pair_grid_[n * num_types_ + m].store(ptr, std::memory_order_release);  // symmetric
+  slot.store(ptr, std::memory_order_release);
+  return *ptr;
 }
 
 double ExactEstimator::type_covariance(std::size_t type_m, std::size_t type_n,
@@ -146,22 +154,7 @@ double ExactEstimator::type_covariance(std::size_t type_m, std::size_t type_n,
   return grid[idx] + frac * (grid[idx + 1] - grid[idx]);
 }
 
-LeakageEstimate ExactEstimator::estimate(const placement::Placement& placement) const {
-  const netlist::Netlist& nl = placement.netlist();
-  const std::size_t n = nl.size();
-  const placement::Floorplan& fp = placement.floorplan();
-
-  // Pre-resolve gate types and warm the pair grids for used types.
-  std::vector<std::size_t> type(n);
-  for (std::size_t i = 0; i < n; ++i) type[i] = nl.gate(i).cell_index;
-  if (mode_ == CorrelationMode::kAnalytic) {
-    std::vector<bool> used(num_types_, false);
-    for (std::size_t t : type) used[t] = true;
-    for (std::size_t a = 0; a < num_types_; ++a)
-      for (std::size_t b = a; b < num_types_; ++b)
-        if (used[a] && used[b]) (void)pair_grid(a, b);
-  }
-
+std::vector<double> ExactEstimator::offset_rho(const placement::Floorplan& fp) const {
   // Per-offset length correlation: distances on the grid repeat, so compute
   // rho_L once per (|drow|, |dcol|) offset.
   const std::size_t k = fp.rows, m = fp.cols;
@@ -171,21 +164,172 @@ LeakageEstimate ExactEstimator::estimate(const placement::Placement& placement) 
       rho[j * m + i] = chars_->process().total_length_correlation_xy(
           static_cast<double>(i) * fp.site_w_nm, static_cast<double>(j) * fp.site_h_nm);
     }
+  return rho;
+}
+
+LeakageEstimate ExactEstimator::estimate(const placement::Placement& placement,
+                                         const ExactOptions& options) const {
+  ExactMethod method = options.method;
+  if (method == ExactMethod::kAuto) {
+    // The FFT transform wins everywhere except grids so small the padding
+    // overhead dominates.
+    method = placement.floorplan().num_sites() >= 64 ? ExactMethod::kFft : ExactMethod::kDirect;
+  }
+  std::unique_ptr<util::ThreadPool> local;
+  util::ThreadPool* pool = &util::ThreadPool::shared();
+  if (options.threads != 0) {
+    local = std::make_unique<util::ThreadPool>(options.threads);
+    pool = local.get();
+  }
+  return method == ExactMethod::kFft ? estimate_fft(placement, *pool)
+                                     : estimate_direct(placement, *pool);
+}
+
+LeakageEstimate ExactEstimator::estimate_direct(const placement::Placement& placement,
+                                                util::ThreadPool& pool) const {
+  const netlist::Netlist& nl = placement.netlist();
+  const std::size_t n = nl.size();
+  const placement::Floorplan& fp = placement.floorplan();
+  const std::size_t m = fp.cols;
+
+  // Pre-resolve gate types/coordinates and warm the pair grids for used
+  // types, so the tiled loop below is read-only on shared state.
+  std::vector<std::size_t> type(n), row(n), col(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    type[i] = nl.gate(i).cell_index;
+    const std::size_t site = placement.site_of(i);
+    row[i] = site / m;
+    col[i] = site % m;
+  }
+  if (mode_ == CorrelationMode::kAnalytic) {
+    std::vector<bool> used(num_types_, false);
+    for (std::size_t t : type) used[t] = true;
+    for (std::size_t a = 0; a < num_types_; ++a)
+      for (std::size_t b = a; b < num_types_; ++b)
+        if (used[a] && used[b]) (void)pair_grid(a, b);
+  }
+
+  const std::vector<double> rho = offset_rho(fp);
 
   double mean = 0.0, var = 0.0;
   for (std::size_t i = 0; i < n; ++i) mean += effective_[type[i]].mean_na;
-  for (std::size_t a = 0; a < n; ++a) {
-    const std::size_t ra = a / m, ca = a % m;
-    const double sa = effective_[type[a]].sigma_na;
-    // Diagonal: same gate, same location -> its own variance.
-    var += sa * sa;
-    for (std::size_t b = a + 1; b < n; ++b) {
-      const std::size_t rb = b / m, cb = b % m;
-      const std::size_t dr = ra > rb ? ra - rb : rb - ra;
-      const std::size_t dc = ca > cb ? ca - cb : cb - ca;
-      var += 2.0 * type_covariance(type[a], type[b], rho[dr * m + dc]);
+  // Diagonal: same gate, same location -> its own variance.
+  for (std::size_t i = 0; i < n; ++i) var += effective_[type[i]].sigma_na * effective_[type[i]].sigma_na;
+
+  // Off-diagonal pairs, tiled over blocks of `a` rows. The tiling is fixed
+  // (independent of the thread count) and the per-tile partial sums are
+  // reduced in tile order, so the result is identical for any thread count.
+  constexpr std::size_t kTile = 64;
+  const std::size_t tiles = (n + kTile - 1) / kTile;
+  std::vector<double> partial(tiles, 0.0);
+  pool.parallel_for(tiles, [&](std::size_t ti) {
+    const std::size_t a_end = std::min(n, (ti + 1) * kTile);
+    double s = 0.0;
+    for (std::size_t a = ti * kTile; a < a_end; ++a) {
+      const std::size_t ra = row[a], ca = col[a], ta = type[a];
+      for (std::size_t b = a + 1; b < n; ++b) {
+        const std::size_t dr = ra > row[b] ? ra - row[b] : row[b] - ra;
+        const std::size_t dc = ca > col[b] ? ca - col[b] : col[b] - ca;
+        s += type_covariance(ta, type[b], rho[dr * m + dc]);
+      }
     }
+    partial[ti] = s;
+  });
+  for (std::size_t ti = 0; ti < tiles; ++ti) var += 2.0 * partial[ti];
+
+  LeakageEstimate e;
+  e.mean_na = mean;
+  e.sigma_na = std::sqrt(std::max(0.0, var));
+  return e;
+}
+
+LeakageEstimate ExactEstimator::estimate_fft(const placement::Placement& placement,
+                                             util::ThreadPool& pool) const {
+  const netlist::Netlist& nl = placement.netlist();
+  const std::size_t n = nl.size();
+  const placement::Floorplan& fp = placement.floorplan();
+  const std::size_t k = fp.rows, m = fp.cols;
+
+  double mean = 0.0, diag = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& eff = effective_[nl.gate(i).cell_index];
+    mean += eff.mean_na;
+    diag += eff.sigma_na * eff.sigma_na;
   }
+
+  const std::vector<double> rho = offset_rho(fp);
+  const math::CrossCorrelator2D xcorr(k, m);
+  const std::size_t out_cols = xcorr.out_cols();
+
+  // Dot an offset-count map (signed offsets) against a per-|offset| weight
+  // table, skipping (0, 0) — the self pairs are the `diag` term above.
+  const auto fold_dot = [&](const std::vector<double>& counts,
+                            const std::vector<double>& weight, bool integer_counts) {
+    double s = 0.0;
+    for (std::size_t r = 0; r < xcorr.out_rows(); ++r) {
+      const std::size_t dr =
+          r >= k - 1 ? r - (k - 1) : (k - 1) - r;  // |signed row offset|
+      for (std::size_t c = 0; c < out_cols; ++c) {
+        const std::size_t dc = c >= m - 1 ? c - (m - 1) : (m - 1) - c;
+        if (dr == 0 && dc == 0) continue;
+        // The FFT returns near-integers for indicator grids; snap them so the
+        // histogram is exact and the path matches the direct sum to rounding.
+        const double cnt =
+            integer_counts ? std::round(counts[r * out_cols + c]) : counts[r * out_cols + c];
+        if (cnt != 0.0) s += cnt * weight[dr * m + dc];
+      }
+    }
+    return s;
+  };
+
+  double var = diag;
+  if (mode_ == CorrelationMode::kSimplified) {
+    // cov(t, u, rho) = ps_t ps_u rho separates, so a single autocorrelation
+    // of the ps-weighted occupancy grid carries all type pairs at once.
+    std::vector<double> weighted(k * m, 0.0);
+    for (std::size_t g = 0; g < n; ++g)
+      weighted[placement.site_of(g)] = proc_sigma_[nl.gate(g).cell_index];
+    const auto ft = xcorr.transform(weighted);
+    var += fold_dot(xcorr.correlate(ft, ft), rho, /*integer_counts=*/false);
+  } else {
+    // Local ids for the types actually present; one indicator grid each.
+    std::vector<std::ptrdiff_t> local(num_types_, -1);
+    std::vector<std::size_t> types;
+    for (std::size_t g = 0; g < n; ++g) {
+      const std::size_t t = nl.gate(g).cell_index;
+      if (local[t] < 0) {
+        local[t] = static_cast<std::ptrdiff_t>(types.size());
+        types.push_back(t);
+      }
+    }
+    std::vector<std::vector<double>> occupancy(types.size(),
+                                               std::vector<double>(k * m, 0.0));
+    for (std::size_t g = 0; g < n; ++g)
+      occupancy[static_cast<std::size_t>(local[nl.gate(g).cell_index])]
+                [placement.site_of(g)] = 1.0;
+
+    std::vector<std::vector<std::complex<double>>> ft(types.size());
+    pool.parallel_for(types.size(), [&](std::size_t i) { ft[i] = xcorr.transform(occupancy[i]); });
+
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;
+    for (std::size_t i = 0; i < types.size(); ++i)
+      for (std::size_t j = i; j < types.size(); ++j) pairs.emplace_back(i, j);
+
+    // Per-pair partials, reduced in fixed order (thread-count independent).
+    std::vector<double> partial(pairs.size(), 0.0);
+    pool.parallel_for(pairs.size(), [&](std::size_t p) {
+      const auto [i, j] = pairs[p];
+      std::vector<double> cov(k * m);
+      for (std::size_t off = 0; off < k * m; ++off)
+        cov[off] = type_covariance(types[i], types[j], rho[off]);
+      // Ordered-pair counts for (i, j) summed over signed offsets equal those
+      // for (j, i), so off-diagonal type pairs carry weight 2.
+      partial[p] = (i == j ? 1.0 : 2.0) *
+                   fold_dot(xcorr.correlate(ft[i], ft[j]), cov, /*integer_counts=*/true);
+    });
+    for (double p : partial) var += p;
+  }
+
   LeakageEstimate e;
   e.mean_na = mean;
   e.sigma_na = std::sqrt(std::max(0.0, var));

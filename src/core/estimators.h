@@ -10,17 +10,28 @@
 //                           range to fit inside min(W, H), else falls back to
 //                           the 2-D form.
 //  * ExactEstimator       — the "true leakage" of a specific placed design:
-//                           full pairwise covariance sum, O(n^2). This is the
+//                           the full pairwise covariance sum. This is the
 //                           baseline the paper compares against (Table 1,
-//                           Fig. 6).
+//                           Fig. 6). Two evaluation paths: the direct O(n^2)
+//                           double loop (reference; thread-pool tiled), and
+//                           an exact offset-histogram transform — pairs on
+//                           the k x m grid are fully described by (cell-type
+//                           pair, |drow|, |dcol|), so the sum collapses to
+//                           sum_offsets sum_(t,u) count * cov, with the
+//                           per-type-pair offset counts obtained by 2-D FFT
+//                           cross-correlation of type-occupancy indicator
+//                           grids in O(T^2 n log n).
 
-#include <optional>
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/estimate.h"
 #include "core/random_gate.h"
 #include "math/quadrature.h"
 #include "placement/placement.h"
+#include "util/thread_pool.h"
 
 namespace rgleak::core {
 
@@ -40,18 +51,37 @@ LeakageEstimate estimate_integral_polar(const RandomGate& rg, const placement::F
                                         const math::QuadratureOptions& opts = {},
                                         bool* used_polar = nullptr);
 
-/// The O(n^2) "true leakage" of a placed design. The covariance between two
-/// placed gates mixes the per-state pairwise covariances of their cell types
-/// under the signal-probability state distribution; in analytic mode these
-/// come from the f_{m,n} mapping (cached per type pair on a rho grid), in
-/// simplified mode cov = sigma_m sigma_n rho_L(d).
+/// Evaluation path for the exact pairwise sum.
+enum class ExactMethod {
+  kAuto,    ///< FFT for large grids, direct for tiny ones.
+  kDirect,  ///< O(n^2) pairwise double loop (tiled over the thread pool).
+  kFft,     ///< O(T^2 n log n) FFT offset histogram.
+};
+
+struct ExactOptions {
+  ExactMethod method = ExactMethod::kAuto;
+  /// Worker threads; 0 = hardware concurrency. Results are identical for
+  /// every thread count (fixed tiling, fixed-order reduction).
+  std::size_t threads = 0;
+};
+
+/// The "true leakage" of a placed design. The covariance between two placed
+/// gates mixes the per-state pairwise covariances of their cell types under
+/// the signal-probability state distribution; in analytic mode these come
+/// from the f_{m,n} mapping (cached per type pair on a rho grid), in
+/// simplified mode cov = sigma_m sigma_n rho_L(d). Thread-safe: concurrent
+/// estimate() / type_covariance() calls are allowed.
 class ExactEstimator {
  public:
   ExactEstimator(const charlib::CharacterizedLibrary& chars, double signal_probability,
                  CorrelationMode mode);
 
+  ExactEstimator(const ExactEstimator&) = delete;
+  ExactEstimator& operator=(const ExactEstimator&) = delete;
+
   /// Full pairwise estimate for a placed netlist.
-  LeakageEstimate estimate(const placement::Placement& placement) const;
+  LeakageEstimate estimate(const placement::Placement& placement,
+                           const ExactOptions& options = {}) const;
 
   /// Pairwise covariance of cell types (m, n) at length correlation rho_l
   /// (exposed for validation).
@@ -64,14 +94,25 @@ class ExactEstimator {
   std::vector<charlib::EffectiveCellStats> effective_;     // per library cell
   std::vector<double> proc_sigma_;                         // state-weighted process sigma
   std::vector<std::vector<double>> state_probs_;           // per library cell
+  std::size_t num_types_ = 0;
 
   // Analytic mode: per type pair, covariance sampled on a uniform rho grid.
+  // Lazily built, double-checked: a published slot is immutable, so the hot
+  // path is a single acquire load; misses build under the mutex.
   static constexpr std::size_t kRhoGrid = 33;
-  mutable std::vector<std::optional<std::vector<double>>> pair_grid_;  // p*p entries
-  std::size_t num_types_ = 0;
+  mutable std::vector<std::atomic<const std::vector<double>*>> pair_grid_;  // p*p slots
+  mutable std::vector<std::unique_ptr<const std::vector<double>>> pair_grid_owned_;
+  mutable std::mutex pair_grid_mutex_;
 
   const std::vector<double>& pair_grid(std::size_t m, std::size_t n) const;
   double exact_pair_covariance(std::size_t m, std::size_t n, double rho_l) const;
+
+  /// rho_L per grid offset (|drow| * cols + |dcol|), shared by both paths.
+  std::vector<double> offset_rho(const placement::Floorplan& fp) const;
+  LeakageEstimate estimate_direct(const placement::Placement& placement,
+                                  util::ThreadPool& pool) const;
+  LeakageEstimate estimate_fft(const placement::Placement& placement,
+                               util::ThreadPool& pool) const;
 };
 
 /// Multiplicative correction to the chip mean leakage from random Vt

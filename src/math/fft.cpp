@@ -73,4 +73,50 @@ void fft2d(std::vector<std::complex<double>>& data, std::size_t rows, std::size_
   }
 }
 
+CrossCorrelator2D::CrossCorrelator2D(std::size_t rows, std::size_t cols)
+    : rows_(rows),
+      cols_(cols),
+      pad_rows_(next_pow2(2 * rows - 1)),
+      pad_cols_(next_pow2(2 * cols - 1)) {
+  RGLEAK_REQUIRE(rows >= 1 && cols >= 1, "cross-correlation needs a non-empty grid");
+}
+
+std::vector<std::complex<double>> CrossCorrelator2D::transform(
+    const std::vector<double>& grid) const {
+  RGLEAK_REQUIRE(grid.size() == rows_ * cols_, "cross-correlation: grid size mismatch");
+  std::vector<std::complex<double>> padded(pad_rows_ * pad_cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) padded[r * pad_cols_ + c] = grid[r * cols_ + c];
+  fft2d(padded, pad_rows_, pad_cols_, /*inverse=*/false);
+  return padded;
+}
+
+std::vector<double> CrossCorrelator2D::correlate(
+    const std::vector<std::complex<double>>& fa,
+    const std::vector<std::complex<double>>& fb) const {
+  RGLEAK_REQUIRE(fa.size() == pad_rows_ * pad_cols_ && fb.size() == fa.size(),
+                 "cross-correlation: transform size mismatch");
+  std::vector<std::complex<double>> prod(fa.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) prod[i] = std::conj(fa[i]) * fb[i];
+  fft2d(prod, pad_rows_, pad_cols_, /*inverse=*/true);
+
+  // Circular result: offset (dr, dc) lives at ((dr mod R), (dc mod C)); the
+  // padding guarantees the residues of the valid offsets are distinct.
+  std::vector<double> out(out_rows() * out_cols());
+  for (std::ptrdiff_t dr = -(static_cast<std::ptrdiff_t>(rows_) - 1);
+       dr < static_cast<std::ptrdiff_t>(rows_); ++dr) {
+    const std::size_t src_r =
+        static_cast<std::size_t>(dr + static_cast<std::ptrdiff_t>(pad_rows_)) % pad_rows_;
+    for (std::ptrdiff_t dc = -(static_cast<std::ptrdiff_t>(cols_) - 1);
+         dc < static_cast<std::ptrdiff_t>(cols_); ++dc) {
+      const std::size_t src_c =
+          static_cast<std::size_t>(dc + static_cast<std::ptrdiff_t>(pad_cols_)) % pad_cols_;
+      out[static_cast<std::size_t>(dr + static_cast<std::ptrdiff_t>(rows_) - 1) * out_cols() +
+          static_cast<std::size_t>(dc + static_cast<std::ptrdiff_t>(cols_) - 1)] =
+          prod[src_r * pad_cols_ + src_c].real();
+    }
+  }
+  return out;
+}
+
 }  // namespace rgleak::math

@@ -19,4 +19,34 @@ void fft2d(std::vector<std::complex<double>>& data, std::size_t rows, std::size_
 /// Smallest power of two >= n (n >= 1).
 std::size_t next_pow2(std::size_t n);
 
+/// Linear (zero-padded, non-circular) 2-D cross-correlation of real
+/// rows x cols grids via the FFT. Splitting the transform from the product
+/// lets callers correlate T grids pairwise with T forward transforms instead
+/// of one per pair (the exact-estimator offset histogram does exactly this).
+class CrossCorrelator2D {
+ public:
+  CrossCorrelator2D(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  /// Output dims: signed offsets dr in [-(rows-1), rows-1], dc likewise.
+  std::size_t out_rows() const { return 2 * rows_ - 1; }
+  std::size_t out_cols() const { return 2 * cols_ - 1; }
+
+  /// Forward transform of a row-major rows x cols real grid, zero-padded to
+  /// the internal power-of-two dims.
+  std::vector<std::complex<double>> transform(const std::vector<double>& grid) const;
+
+  /// Cross-correlation from two forward transforms:
+  ///   out(dr, dc) = sum_{r,c} a(r, c) * b(r + dr, c + dc),
+  /// returned row-major on an out_rows() x out_cols() grid with (0, 0) at
+  /// index (rows()-1, cols()-1).
+  std::vector<double> correlate(const std::vector<std::complex<double>>& fa,
+                                const std::vector<std::complex<double>>& fb) const;
+
+ private:
+  std::size_t rows_, cols_;
+  std::size_t pad_rows_, pad_cols_;
+};
+
 }  // namespace rgleak::math

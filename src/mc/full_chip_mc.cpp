@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "util/require.h"
+#include "util/thread_pool.h"
 
 namespace rgleak::mc {
 
@@ -56,6 +57,34 @@ const charlib::LeakageTable* FullChipMonteCarlo::table_for(std::size_t cell_inde
   return ptr;
 }
 
+void FullChipMonteCarlo::build_all_state_tables() {
+  const netlist::Netlist& nl = placement_->netlist();
+  std::vector<bool> seen(chars_->library().size(), false);
+  for (std::size_t g = 0; g < nl.size(); ++g) {
+    const std::size_t ci = nl.gate(g).cell_index;
+    if (seen[ci]) continue;
+    seen[ci] = true;
+    const std::uint32_t states = 1u << chars_->library().cell(ci).num_inputs();
+    for (std::uint32_t s = 0; s < states; ++s) (void)table_for(ci, s);
+  }
+}
+
+void FullChipMonteCarlo::draw_states_into(
+    math::Rng& rng, std::vector<const charlib::LeakageTable*>& table) const {
+  const netlist::Netlist& nl = placement_->netlist();
+  for (std::size_t g = 0; g < nl.size(); ++g) {
+    const std::size_t ci = nl.gate(g).cell_index;
+    const cells::Cell& cell = chars_->library().cell(ci);
+    std::uint32_t s = 0;
+    for (int bit = 0; bit < cell.num_inputs(); ++bit)
+      if (rng.bernoulli(options_.signal_probability)) s |= (1u << bit);
+    const std::uint64_t key = (static_cast<std::uint64_t>(ci) << 32) | s;
+    const auto it = table_index_.find(key);
+    RGLEAK_REQUIRE(it != table_index_.end(), "state table not prebuilt");
+    table[g] = it->second;
+  }
+}
+
 double FullChipMonteCarlo::sample_total_na(math::Rng& rng) {
   if (options_.resample_states_per_trial) draw_states(rng);
   return sample_total_with(field_, rng);
@@ -63,6 +92,12 @@ double FullChipMonteCarlo::sample_total_na(math::Rng& rng) {
 
 double FullChipMonteCarlo::sample_total_with(process::GridFieldSampler& field,
                                              math::Rng& rng) const {
+  return sample_total_tables(field, rng, table_);
+}
+
+double FullChipMonteCarlo::sample_total_tables(
+    process::GridFieldSampler& field, math::Rng& rng,
+    const std::vector<const charlib::LeakageTable*>& table) const {
   const double mu = chars_->process().length().mean_nm;
   const double d2d = rng.normal(0.0, chars_->process().length().sigma_d2d_nm);
   const std::vector<double> wid = field.sample(rng);
@@ -73,7 +108,7 @@ double FullChipMonteCarlo::sample_total_with(process::GridFieldSampler& field,
     const std::size_t site = placement_->site_of(g);
     const std::size_t row = site / fp.cols, col = site % fp.cols;
     const double l = mu + d2d + wid[row * fp.cols + col];
-    total += table_[g]->eval_na(l);
+    total += table[g]->eval_na(l);
   }
   return total;
 }
@@ -81,34 +116,37 @@ double FullChipMonteCarlo::sample_total_with(process::GridFieldSampler& field,
 FullChipMcResult FullChipMonteCarlo::run() {
   math::SampleSet acc;
   acc.reserve(options_.trials);
-  const std::size_t threads = std::max<std::size_t>(options_.threads, 1);
-  RGLEAK_REQUIRE(threads == 1 || !options_.resample_states_per_trial,
-                 "per-trial state resampling mutates shared state; use threads = 1");
+  std::size_t threads = options_.threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
   if (threads == 1) {
     for (std::size_t t = 0; t < options_.trials; ++t) acc.add(sample_total_na(rng_));
   } else {
-    // Each worker gets a forked RNG stream and its own field-sampler copy
-    // (the sampler caches the second field of each FFT). Workers fill
-    // disjoint slices so the merged sample set is deterministic.
+    // Each worker gets a forked RNG stream, its own field-sampler copy (the
+    // sampler caches the second field of each FFT) and, when resampling, its
+    // own per-gate table vector fed from the prebuilt shared cache. Workers
+    // fill disjoint slices so the merged sample set is deterministic.
+    if (options_.resample_states_per_trial) build_all_state_tables();
     std::vector<math::Rng> rngs;
     rngs.reserve(threads);
     for (std::size_t w = 0; w < threads; ++w) rngs.push_back(rng_.fork());
     std::vector<std::vector<double>> slices(threads);
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (std::size_t w = 0; w < threads; ++w) {
+    util::ThreadPool pool(threads);
+    pool.parallel_for(threads, [&](std::size_t w) {
+      process::GridFieldSampler field = field_;  // thread-local copy
+      std::vector<const charlib::LeakageTable*> table = table_;
       const std::size_t begin = w * options_.trials / threads;
       const std::size_t end = (w + 1) * options_.trials / threads;
-      pool.emplace_back([this, w, begin, end, &rngs, &slices] {
-        process::GridFieldSampler field = field_;  // thread-local copy
-        std::vector<double> out;
-        out.reserve(end - begin);
-        for (std::size_t t = begin; t < end; ++t)
-          out.push_back(sample_total_with(field, rngs[w]));
-        slices[w] = std::move(out);
-      });
-    }
-    for (auto& th : pool) th.join();
+      std::vector<double> out;
+      out.reserve(end - begin);
+      for (std::size_t t = begin; t < end; ++t) {
+        if (options_.resample_states_per_trial) draw_states_into(rngs[w], table);
+        out.push_back(sample_total_tables(field, rngs[w], table));
+      }
+      slices[w] = std::move(out);
+    });
     for (const auto& s : slices)
       for (double v : s) acc.add(v);
   }

@@ -30,10 +30,11 @@ struct FullChipMcOptions {
   /// variability in addition to process variability).
   bool resample_states_per_trial = false;
   std::size_t table_points = 129;
-  /// Worker threads for run(). 1 = serial. Results are deterministic for a
-  /// fixed (seed, threads) pair; different thread counts reorder the per-
-  /// thread RNG streams and therefore produce different (equally valid)
-  /// samples.
+  /// Worker threads for run(). 1 = serial, 0 = hardware concurrency. Results
+  /// are deterministic for a fixed (seed, threads) pair; different thread
+  /// counts reorder the per-thread RNG streams and therefore produce
+  /// different (equally valid) samples. Threaded runs support per-trial
+  /// state resampling: workers draw states into thread-local tables.
   std::size_t threads = 1;
 };
 
@@ -73,6 +74,16 @@ class FullChipMonteCarlo {
 
   const charlib::LeakageTable* table_for(std::size_t cell_index, std::uint32_t state);
   void draw_states(math::Rng& rng);
+  /// Eagerly build the lookup tables for every input state of every cell used
+  /// by the netlist, so threaded workers can resample states without touching
+  /// the shared cache.
+  void build_all_state_tables();
+  /// Thread-safe state draw into a caller-owned per-gate table vector; the
+  /// tables must have been prebuilt. Mirrors draw_states' RNG consumption.
+  void draw_states_into(math::Rng& rng,
+                        std::vector<const charlib::LeakageTable*>& table) const;
+  double sample_total_tables(process::GridFieldSampler& field, math::Rng& rng,
+                             const std::vector<const charlib::LeakageTable*>& table) const;
 };
 
 }  // namespace rgleak::mc

@@ -1,0 +1,124 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rgleak::util {
+
+struct ThreadPool::Impl {
+  std::size_t threads = 1;
+  std::vector<std::thread> workers;
+
+  std::mutex mutex;
+  std::condition_variable work_cv;   // signals workers: new job or shutdown
+  std::condition_variable done_cv;   // signals caller: job finished
+  bool shutdown = false;
+
+  // Current job. Workers claim indices from `next`; the last one to finish
+  // (tracked by `remaining`) wakes the caller. `generation` lets sleeping
+  // workers distinguish a new job from a spurious wakeup; a worker that wakes
+  // after the job drained simply finds next >= count and never touches `fn`.
+  std::uint64_t generation = 0;
+  std::size_t count = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> remaining{0};
+  std::exception_ptr error;
+  // Set while a parallel_for is in flight so reentrant calls (from inside a
+  // task, or from a second thread) run inline instead of corrupting the slot.
+  std::atomic<bool> busy{false};
+
+  void run_indices() {
+    const std::size_t n = count;
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+      }
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(mutex);
+        done_cv.notify_all();
+      }
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_cv.wait(lock, [&] { return shutdown || generation != seen; });
+        if (shutdown) return;
+        seen = generation;
+      }
+      run_indices();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(std::make_unique<Impl>()) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  impl_->threads = threads;
+  impl_->workers.reserve(threads - 1);
+  for (std::size_t w = 0; w + 1 < threads; ++w)
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->shutdown = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+}
+
+std::size_t ThreadPool::size() const { return impl_->threads; }
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (impl_->threads > 1 && count > 1 &&
+      !impl_->busy.exchange(true, std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> lock(impl_->mutex);
+      impl_->count = count;
+      impl_->fn = &fn;
+      impl_->next.store(0, std::memory_order_relaxed);
+      impl_->remaining.store(count, std::memory_order_relaxed);
+      impl_->error = nullptr;
+      ++impl_->generation;
+    }
+    impl_->work_cv.notify_all();
+    impl_->run_indices();  // the caller participates
+    {
+      std::unique_lock<std::mutex> lock(impl_->mutex);
+      impl_->done_cv.wait(
+          lock, [&] { return impl_->remaining.load(std::memory_order_acquire) == 0; });
+      impl_->fn = nullptr;
+    }
+    impl_->busy.store(false, std::memory_order_release);
+    if (impl_->error) std::rethrow_exception(impl_->error);
+    return;
+  }
+  // Serial pool, trivial job, or reentrant call: run inline.
+  for (std::size_t i = 0; i < count; ++i) fn(i);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+}  // namespace rgleak::util

@@ -1,0 +1,48 @@
+#pragma once
+// Reusable fixed-size worker pool with a blocking parallel_for.
+//
+// Design goals, in order:
+//  * determinism — parallel_for runs an indexed task set; callers that write
+//    per-index results and reduce them in index order get results that are
+//    independent of the thread count and of scheduling;
+//  * reuse — workers persist across parallel_for calls, so per-call cost is a
+//    wakeup, not a thread spawn (the MC engine and the exact estimator issue
+//    many small parallel regions);
+//  * safety — exceptions thrown by tasks are captured and rethrown on the
+//    calling thread once the region completes.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace rgleak::util {
+
+class ThreadPool {
+ public:
+  /// `threads` = total worker count used by parallel_for (the calling thread
+  /// participates, so only threads-1 workers are spawned). 0 picks the
+  /// hardware concurrency.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of threads parallel_for spreads work over (>= 1).
+  std::size_t size() const;
+
+  /// Run fn(i) for every i in [0, count), spread over the pool; blocks until
+  /// all indices are done. Indices are claimed dynamically, so `fn` must not
+  /// assume any execution order; determinism comes from indexed outputs.
+  /// Reentrant calls from inside a task run inline on the calling thread.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool sized to the hardware, built on first use.
+  static ThreadPool& shared();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace rgleak::util

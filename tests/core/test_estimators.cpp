@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
 
 #include "../test_util.h"
 #include "math/stats.h"
@@ -207,6 +208,78 @@ TEST(ExactEstimator, RandomDesignsConvergeToRgEstimate) {
     EXPECT_NEAR(e.mean_na, model.mean_na, 0.02 * model.mean_na);
     EXPECT_NEAR(e.sigma_na, model.sigma_na, 0.03 * model.sigma_na);
   }
+}
+
+TEST(ExactEstimator, FftPathMatchesDirectPath) {
+  // The FFT offset histogram is an exact transformation of the pairwise sum:
+  // both paths must agree to rounding for mixed cell types in both
+  // correlation modes, on square, oblong and degenerate (1-row) grids.
+  math::Rng rng(77);
+  for (const CorrelationMode mode :
+       {CorrelationMode::kAnalytic, CorrelationMode::kSimplified}) {
+    const ExactEstimator est(mini_chars_analytic(), 0.5, mode);
+    for (const auto& fp : {grid(6, 6), grid(5, 9), grid(1, 17), grid(12, 7)}) {
+      const netlist::Netlist nl = generate_random_circuit(
+          mini_library(), test_usage(), fp.num_sites(), rng);
+      const placement::Placement pl(&nl, fp);
+      const LeakageEstimate direct = est.estimate(pl, {ExactMethod::kDirect, 1});
+      const LeakageEstimate fft = est.estimate(pl, {ExactMethod::kFft, 1});
+      EXPECT_NEAR(fft.sigma_na, direct.sigma_na, 1e-9 * direct.sigma_na)
+          << fp.rows << "x" << fp.cols << " mode=" << static_cast<int>(mode);
+      EXPECT_NEAR(fft.mean_na, direct.mean_na, 1e-12 * direct.mean_na);
+    }
+  }
+}
+
+TEST(ExactEstimator, DeterministicAcrossThreadCounts) {
+  // Fixed tiling + fixed-order reduction: the thread count must not change a
+  // single bit of the result, for either path.
+  math::Rng rng(78);
+  const std::size_t side = 12;
+  const netlist::Netlist nl =
+      generate_random_circuit(mini_library(), test_usage(), side * side, rng);
+  const placement::Placement pl(&nl, grid(side, side));
+  const ExactEstimator est(mini_chars_analytic(), 0.5, CorrelationMode::kAnalytic);
+  for (const ExactMethod method : {ExactMethod::kDirect, ExactMethod::kFft}) {
+    const LeakageEstimate one = est.estimate(pl, {method, 1});
+    const LeakageEstimate eight = est.estimate(pl, {method, 8});
+    EXPECT_DOUBLE_EQ(one.sigma_na, eight.sigma_na) << static_cast<int>(method);
+    EXPECT_DOUBLE_EQ(one.mean_na, eight.mean_na);
+  }
+}
+
+TEST(ExactEstimator, AutoSelectionMatchesExplicitMethods) {
+  math::Rng rng(79);
+  const netlist::Netlist nl = generate_random_circuit(mini_library(), test_usage(), 100, rng);
+  const placement::Placement pl(&nl, grid(10, 10));
+  const ExactEstimator est(mini_chars_analytic(), 0.5, CorrelationMode::kAnalytic);
+  const LeakageEstimate autod = est.estimate(pl);
+  const LeakageEstimate direct = est.estimate(pl, {ExactMethod::kDirect, 1});
+  EXPECT_NEAR(autod.sigma_na, direct.sigma_na, 1e-9 * direct.sigma_na);
+}
+
+TEST(ExactEstimator, ConcurrentEstimatesAreSafe) {
+  // Regression for the pair-grid lazy-init data race: a fresh analytic
+  // estimator hammered by concurrent estimate() calls must agree with the
+  // serial answer (run under TSan via RGLEAK_SANITIZE=thread).
+  math::Rng rng(81);
+  const std::size_t side = 8;
+  const netlist::Netlist nl =
+      generate_random_circuit(mini_library(), test_usage(), side * side, rng);
+  const placement::Placement pl(&nl, grid(side, side));
+  const ExactEstimator warm(mini_chars_analytic(), 0.5, CorrelationMode::kAnalytic);
+  const LeakageEstimate expected = warm.estimate(pl, {ExactMethod::kDirect, 1});
+
+  const ExactEstimator cold(mini_chars_analytic(), 0.5, CorrelationMode::kAnalytic);
+  std::vector<LeakageEstimate> results(4);
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < results.size(); ++i)
+    threads.emplace_back([&, i] {
+      results[i] = cold.estimate(pl, {i % 2 == 0 ? ExactMethod::kDirect : ExactMethod::kFft, 2});
+    });
+  for (auto& t : threads) t.join();
+  for (const LeakageEstimate& r : results)
+    EXPECT_NEAR(r.sigma_na, expected.sigma_na, 1e-9 * expected.sigma_na);
 }
 
 TEST(VtMeanFactor, LognormalFormula) {

@@ -123,5 +123,49 @@ TEST(Fft2d, RejectsSizeMismatch) {
   EXPECT_THROW(fft2d(v, 4, 4, false), ContractViolation);
 }
 
+TEST(CrossCorrelator2D, MatchesBruteForceOnRandomGrids) {
+  Rng rng(7);
+  for (const auto [rows, cols] : {std::pair<std::size_t, std::size_t>{4, 4},
+                                  {3, 7},
+                                  {1, 5},
+                                  {6, 2}}) {
+    std::vector<double> a(rows * cols), b(rows * cols);
+    for (auto& x : a) x = rng.normal();
+    for (auto& x : b) x = rng.normal();
+    const CrossCorrelator2D xc(rows, cols);
+    const std::vector<double> got = xc.correlate(xc.transform(a), xc.transform(b));
+    ASSERT_EQ(got.size(), (2 * rows - 1) * (2 * cols - 1));
+    for (std::ptrdiff_t dr = -(std::ptrdiff_t)(rows - 1); dr < (std::ptrdiff_t)rows; ++dr)
+      for (std::ptrdiff_t dc = -(std::ptrdiff_t)(cols - 1); dc < (std::ptrdiff_t)cols; ++dc) {
+        double want = 0.0;
+        for (std::size_t r = 0; r < rows; ++r)
+          for (std::size_t c = 0; c < cols; ++c) {
+            const std::ptrdiff_t r2 = (std::ptrdiff_t)r + dr, c2 = (std::ptrdiff_t)c + dc;
+            if (r2 < 0 || c2 >= (std::ptrdiff_t)cols || c2 < 0 ||
+                r2 >= (std::ptrdiff_t)rows)
+              continue;
+            want += a[r * cols + c] * b[(std::size_t)r2 * cols + (std::size_t)c2];
+          }
+        const std::size_t idx =
+            (std::size_t)(dr + (std::ptrdiff_t)rows - 1) * (2 * cols - 1) +
+            (std::size_t)(dc + (std::ptrdiff_t)cols - 1);
+        EXPECT_NEAR(got[idx], want, 1e-9) << rows << "x" << cols << " d=(" << dr << "," << dc
+                                          << ")";
+      }
+  }
+}
+
+TEST(CrossCorrelator2D, IndicatorGridCountsAreIntegers) {
+  // The estimator relies on indicator-grid correlations landing on integers
+  // to FFT precision.
+  const std::size_t rows = 8, cols = 8;
+  std::vector<double> occ(rows * cols, 0.0);
+  Rng rng(9);
+  for (std::size_t i = 0; i < occ.size(); ++i) occ[i] = rng.uniform() < 0.4 ? 1.0 : 0.0;
+  const CrossCorrelator2D xc(rows, cols);
+  const std::vector<double> counts = xc.correlate(xc.transform(occ), xc.transform(occ));
+  for (double c : counts) EXPECT_NEAR(c, std::round(c), 1e-7);
+}
+
 }  // namespace
 }  // namespace rgleak::math

@@ -141,16 +141,37 @@ TEST(FullChipMc, ThreadedRunDeterministicForSeedAndThreads) {
   EXPECT_DOUBLE_EQ(a.p99_na, b.p99_na);
 }
 
-TEST(FullChipMc, ThreadedRejectsStateResampling) {
+TEST(FullChipMc, ThreadedStateResamplingMatchesSerialStatistics) {
+  // Per-trial state resampling used to force threads = 1; workers now draw
+  // states into thread-local tables, so the threaded run must reproduce the
+  // serial distribution within MC error.
   math::Rng gen(47);
-  const netlist::Netlist nl = generate_random_circuit(mini_library(), test_usage(), 16, gen);
-  const placement::Placement pl(&nl, grid(4, 4));
+  const netlist::Netlist nl = generate_random_circuit(mini_library(), test_usage(), 100, gen);
+  const placement::Placement pl(&nl, grid(10, 10));
+  FullChipMcOptions serial;
+  serial.trials = 1200;
+  serial.resample_states_per_trial = true;
+  FullChipMcOptions threaded = serial;
+  threaded.threads = 4;
+  const FullChipMcResult rs = FullChipMonteCarlo(pl, mini_chars_analytic(), serial).run();
+  const FullChipMcResult rt = FullChipMonteCarlo(pl, mini_chars_analytic(), threaded).run();
+  EXPECT_NEAR(rt.mean_na, rs.mean_na, 0.1 * rs.mean_na);
+  EXPECT_NEAR(rt.sigma_na, rs.sigma_na, 0.25 * rs.sigma_na);
+}
+
+TEST(FullChipMc, ThreadedStateResamplingDeterministic) {
+  math::Rng gen(53);
+  const netlist::Netlist nl = generate_random_circuit(mini_library(), test_usage(), 36, gen);
+  const placement::Placement pl(&nl, grid(6, 6));
   FullChipMcOptions opts;
-  opts.trials = 10;
-  opts.threads = 2;
+  opts.trials = 200;
+  opts.threads = 3;
   opts.resample_states_per_trial = true;
-  FullChipMonteCarlo mc(pl, mini_chars_analytic(), opts);
-  EXPECT_THROW(mc.run(), ContractViolation);
+  const FullChipMcResult a = FullChipMonteCarlo(pl, mini_chars_analytic(), opts).run();
+  const FullChipMcResult b = FullChipMonteCarlo(pl, mini_chars_analytic(), opts).run();
+  EXPECT_DOUBLE_EQ(a.mean_na, b.mean_na);
+  EXPECT_DOUBLE_EQ(a.sigma_na, b.sigma_na);
+  EXPECT_DOUBLE_EQ(a.p99_na, b.p99_na);
 }
 
 TEST(FullChipMc, PercentilesAreOrderedAndBracketMean) {

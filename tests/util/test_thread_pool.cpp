@@ -1,0 +1,90 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace rgleak::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, IndexedOutputsAreDeterministic) {
+  // The documented usage pattern: write out[i], reduce in index order. The
+  // reduction must not depend on the pool size.
+  const std::size_t n = 4096;
+  std::vector<double> expected(n);
+  for (std::size_t i = 0; i < n; ++i) expected[i] = 1.0 / static_cast<double>(i + 1);
+  double serial_sum = 0.0;
+  for (double v : expected) serial_sum += v;
+
+  for (const std::size_t threads : {1u, 2u, 7u}) {
+    ThreadPool pool(threads);
+    std::vector<double> out(n, 0.0);
+    pool.parallel_for(n, [&](std::size_t i) { out[i] = 1.0 / static_cast<double>(i + 1); });
+    double sum = 0.0;
+    for (double v : out) sum += v;
+    EXPECT_DOUBLE_EQ(sum, serial_sum) << threads;
+  }
+}
+
+TEST(ThreadPool, SerialPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<int> order;
+  pool.parallel_for(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(3);
+  for (int job = 0; job < 200; ++job) {
+    std::atomic<int> sum{0};
+    pool.parallel_for(17, [&](std::size_t i) { sum.fetch_add(static_cast<int>(i)); });
+    EXPECT_EQ(sum.load(), 17 * 16 / 2);
+  }
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(8,
+                                 [&](std::size_t i) {
+                                   if (i == 3) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool survives the failed job.
+  std::atomic<int> count{0};
+  pool.parallel_for(8, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, ReentrantCallsRunInline) {
+  ThreadPool pool(2);
+  std::atomic<int> inner{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(3, [&](std::size_t) { inner.fetch_add(1); });
+  });
+  EXPECT_EQ(inner.load(), 12);
+}
+
+TEST(ThreadPool, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [&](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, SharedPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+  EXPECT_GE(ThreadPool::shared().size(), 1u);
+}
+
+}  // namespace
+}  // namespace rgleak::util

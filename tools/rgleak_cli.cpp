@@ -51,7 +51,8 @@ namespace {
                "  rgleak estimate --lib FILE --gates N --die-um WxH --usage SPEC\n"
                "                  [--method auto|linear|rect|polar] [--p VALUE|max]\n"
                "                  [--budget-ua X] [--quantile Q]\n"
-               "  rgleak netlist --lib FILE --netlist FILE [--exact]\n"
+               "  rgleak netlist --lib FILE --netlist FILE [--exact 1]\n"
+               "                 [--exact-method auto|direct|fft] [--threads N]\n"
                "  rgleak gen-netlist --out FILE --gates N --usage SPEC [--seed S]\n"
                "  rgleak sweep --lib FILE --usage SPEC --die-um WxH\n"
                "               --gates-from N --gates-to N [--steps K]\n"
@@ -208,12 +209,26 @@ int cmd_netlist(const std::map<std::string, std::string>& flags) {
   std::printf("RG estimate  : mean %.4f uA, sigma %.4f uA\n", est.mean_na * 1e-3,
               est.sigma_na * 1e-3);
 
-  if (has_flag(flags, "exact")) {
+  if (has_flag(flags, "exact") || has_flag(flags, "exact-method")) {
+    core::ExactOptions opts;
+    const std::string method = flag(flags, "exact-method", "auto");
+    if (method == "auto") {
+      opts.method = core::ExactMethod::kAuto;
+    } else if (method == "direct") {
+      opts.method = core::ExactMethod::kDirect;
+    } else if (method == "fft") {
+      opts.method = core::ExactMethod::kFft;
+    } else {
+      usage_exit(("unknown exact method: " + method).c_str());
+    }
+    const long long threads = std::atoll(flag(flags, "threads", "0").c_str());
+    if (threads < 0) usage_exit("--threads must be >= 0 (0 = hardware concurrency)");
+    opts.threads = static_cast<std::size_t>(threads);
     const placement::Placement pl(&nl, fp);
     const core::ExactEstimator exact(chars, 0.5, mode);
-    const core::LeakageEstimate truth = exact.estimate(pl);
-    std::printf("exact O(n^2) : mean %.4f uA, sigma %.4f uA\n", truth.mean_na * 1e-3,
-                truth.sigma_na * 1e-3);
+    const core::LeakageEstimate truth = exact.estimate(pl, opts);
+    std::printf("exact (%s) : mean %.4f uA, sigma %.4f uA\n", method.c_str(),
+                truth.mean_na * 1e-3, truth.sigma_na * 1e-3);
     std::printf("sigma error  : %.4f%%\n",
                 100.0 * std::abs(est.sigma_na - truth.sigma_na) / truth.sigma_na);
   }
