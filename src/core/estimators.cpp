@@ -175,14 +175,10 @@ LeakageEstimate ExactEstimator::estimate(const placement::Placement& placement,
     // overhead dominates.
     method = placement.floorplan().num_sites() >= 64 ? ExactMethod::kFft : ExactMethod::kDirect;
   }
-  std::unique_ptr<util::ThreadPool> local;
-  util::ThreadPool* pool = &util::ThreadPool::shared();
-  if (options.threads != 0) {
-    local = std::make_unique<util::ThreadPool>(options.threads);
-    pool = local.get();
-  }
-  return method == ExactMethod::kFft ? estimate_fft(placement, *pool)
-                                     : estimate_direct(placement, *pool);
+  util::ThreadPool& pool =
+      options.pool ? *options.pool : util::ThreadPool::shared(options.threads);
+  return method == ExactMethod::kFft ? estimate_fft(placement, pool)
+                                     : estimate_direct(placement, pool);
 }
 
 LeakageEstimate ExactEstimator::estimate_direct(const placement::Placement& placement,

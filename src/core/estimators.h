@@ -61,8 +61,11 @@ enum class ExactMethod {
 struct ExactOptions {
   ExactMethod method = ExactMethod::kAuto;
   /// Worker threads; 0 = hardware concurrency. Results are identical for
-  /// every thread count (fixed tiling, fixed-order reduction).
+  /// every thread count (fixed tiling, fixed-order reduction). Pools are
+  /// cached per thread count, so repeated estimates reuse workers.
   std::size_t threads = 0;
+  /// Optional caller-provided pool; overrides `threads` when non-null.
+  util::ThreadPool* pool = nullptr;
 };
 
 /// The "true leakage" of a placed design. The covariance between two placed

@@ -133,7 +133,7 @@ FullChipMcResult FullChipMonteCarlo::run() {
     rngs.reserve(threads);
     for (std::size_t w = 0; w < threads; ++w) rngs.push_back(rng_.fork());
     std::vector<std::vector<double>> slices(threads);
-    util::ThreadPool pool(threads);
+    util::ThreadPool& pool = util::ThreadPool::shared(threads);
     pool.parallel_for(threads, [&](std::size_t w) {
       process::GridFieldSampler field = field_;  // thread-local copy
       std::vector<const charlib::LeakageTable*> table = table_;

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <exception>
+#include <map>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -15,37 +16,37 @@ struct ThreadPool::Impl {
 
   std::mutex mutex;
   std::condition_variable work_cv;   // signals workers: new job or shutdown
-  std::condition_variable done_cv;   // signals caller: job finished
+  std::condition_variable done_cv;   // signals caller: all participants exited
   bool shutdown = false;
 
-  // Current job. Workers claim indices from `next`; the last one to finish
-  // (tracked by `remaining`) wakes the caller. `generation` lets sleeping
-  // workers distinguish a new job from a spurious wakeup; a worker that wakes
-  // after the job drained simply finds next >= count and never touches `fn`.
+  // Current job. Workers snapshot (count, fn) under the mutex when they pick
+  // up a generation, then claim indices from `next`. `inflight` (also guarded
+  // by the mutex) counts workers currently inside run_indices; the caller
+  // waits for it to drop to zero, so no straggler can still be claiming
+  // indices — or reading `fn` — when parallel_for returns and the next job
+  // resets the slot. `generation` lets sleeping workers distinguish a new job
+  // from a spurious wakeup; a worker that wakes after the job was torn down
+  // snapshots count == 0 and never touches `next` or `fn`.
   std::uint64_t generation = 0;
   std::size_t count = 0;
   const std::function<void(std::size_t)>* fn = nullptr;
   std::atomic<std::size_t> next{0};
-  std::atomic<std::size_t> remaining{0};
+  std::size_t inflight = 0;
   std::exception_ptr error;
   // Set while a parallel_for is in flight so reentrant calls (from inside a
   // task, or from a second thread) run inline instead of corrupting the slot.
   std::atomic<bool> busy{false};
 
-  void run_indices() {
-    const std::size_t n = count;
+  void run_indices(std::size_t n, const std::function<void(std::size_t)>* f) {
+    if (n == 0) return;  // stale wakeup between jobs: nothing to claim
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) break;
       try {
-        (*fn)(i);
+        (*f)(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex);
         if (!error) error = std::current_exception();
-      }
-      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(mutex);
-        done_cv.notify_all();
       }
     }
   }
@@ -53,13 +54,22 @@ struct ThreadPool::Impl {
   void worker_loop() {
     std::uint64_t seen = 0;
     for (;;) {
+      std::size_t n = 0;
+      const std::function<void(std::size_t)>* f = nullptr;
       {
         std::unique_lock<std::mutex> lock(mutex);
         work_cv.wait(lock, [&] { return shutdown || generation != seen; });
         if (shutdown) return;
         seen = generation;
+        n = count;
+        f = fn;
+        ++inflight;
       }
-      run_indices();
+      run_indices(n, f);
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (--inflight == 0) done_cv.notify_all();
+      }
     }
   }
 };
@@ -96,20 +106,25 @@ void ThreadPool::parallel_for(std::size_t count,
       impl_->count = count;
       impl_->fn = &fn;
       impl_->next.store(0, std::memory_order_relaxed);
-      impl_->remaining.store(count, std::memory_order_relaxed);
       impl_->error = nullptr;
       ++impl_->generation;
     }
     impl_->work_cv.notify_all();
-    impl_->run_indices();  // the caller participates
+    // The caller participates. When its claim loop exits, every index has
+    // been claimed — by the caller (and already executed) or by a worker
+    // counted in `inflight` — so inflight == 0 implies the job is complete
+    // AND no worker can still touch the job slot.
+    impl_->run_indices(count, &fn);
+    std::exception_ptr error;
     {
       std::unique_lock<std::mutex> lock(impl_->mutex);
-      impl_->done_cv.wait(
-          lock, [&] { return impl_->remaining.load(std::memory_order_acquire) == 0; });
+      impl_->done_cv.wait(lock, [&] { return impl_->inflight == 0; });
       impl_->fn = nullptr;
+      impl_->count = 0;
+      error = impl_->error;
     }
     impl_->busy.store(false, std::memory_order_release);
-    if (impl_->error) std::rethrow_exception(impl_->error);
+    if (error) std::rethrow_exception(error);
     return;
   }
   // Serial pool, trivial job, or reentrant call: run inline.
@@ -119,6 +134,16 @@ void ThreadPool::parallel_for(std::size_t count,
 ThreadPool& ThreadPool::shared() {
   static ThreadPool pool(0);
   return pool;
+}
+
+ThreadPool& ThreadPool::shared(std::size_t threads) {
+  if (threads == 0) return shared();
+  static std::mutex mutex;
+  static std::map<std::size_t, std::unique_ptr<ThreadPool>> pools;
+  std::lock_guard<std::mutex> lock(mutex);
+  std::unique_ptr<ThreadPool>& slot = pools[threads];
+  if (!slot) slot = std::make_unique<ThreadPool>(threads);
+  return *slot;
 }
 
 }  // namespace rgleak::util

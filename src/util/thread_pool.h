@@ -40,6 +40,11 @@ class ThreadPool {
   /// Process-wide pool sized to the hardware, built on first use.
   static ThreadPool& shared();
 
+  /// Process-wide pool with exactly `threads` workers, built on first use and
+  /// cached per thread count, so repeated calls with a pinned count reuse
+  /// workers instead of respawning them. `threads` = 0 returns shared().
+  static ThreadPool& shared(std::size_t threads);
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;

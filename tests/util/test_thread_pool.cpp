@@ -81,6 +81,30 @@ TEST(ThreadPool, ZeroCountIsNoop) {
   pool.parallel_for(0, [&](std::size_t) { FAIL() << "must not run"; });
 }
 
+TEST(ThreadPool, BackToBackJobsWithShrinkingCounts) {
+  // Regression for a straggler race: parallel_for must not return while a
+  // worker is still inside the previous job's claim loop, or a back-to-back
+  // call with a smaller count would hand the straggler out-of-bounds indices
+  // (and a stale fn). Alternating big/small jobs makes sanitizers catch it.
+  ThreadPool pool(4);
+  const std::size_t big = 512, small = 2;
+  for (int round = 0; round < 500; ++round) {
+    std::vector<std::atomic<int>> a(big);
+    pool.parallel_for(big, [&](std::size_t i) { a[i].fetch_add(1); });
+    std::vector<std::atomic<int>> b(small);
+    pool.parallel_for(small, [&](std::size_t i) { b[i].fetch_add(1); });
+    for (const auto& h : a) ASSERT_EQ(h.load(), 1);
+    for (const auto& h : b) ASSERT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, SharedKeyedPoolIsCachedPerThreadCount) {
+  ThreadPool& a = ThreadPool::shared(3);
+  EXPECT_EQ(&a, &ThreadPool::shared(3));
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(&ThreadPool::shared(0), &ThreadPool::shared());
+}
+
 TEST(ThreadPool, SharedPoolIsSingleton) {
   EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
   EXPECT_GE(ThreadPool::shared().size(), 1u);

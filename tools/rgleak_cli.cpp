@@ -14,6 +14,7 @@
 // The library ships the virtual 90 nm cell set; the characterization file
 // pins the process corner.
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -221,8 +222,12 @@ int cmd_netlist(const std::map<std::string, std::string>& flags) {
     } else {
       usage_exit(("unknown exact method: " + method).c_str());
     }
-    const long long threads = std::atoll(flag(flags, "threads", "0").c_str());
-    if (threads < 0) usage_exit("--threads must be >= 0 (0 = hardware concurrency)");
+    const std::string threads_str = flag(flags, "threads", "0");
+    char* end = nullptr;
+    errno = 0;
+    const long long threads = std::strtoll(threads_str.c_str(), &end, 10);
+    if (errno != 0 || end == threads_str.c_str() || *end != '\0' || threads < 0)
+      usage_exit("--threads must be a non-negative integer (0 = hardware concurrency)");
     opts.threads = static_cast<std::size_t>(threads);
     const placement::Placement pl(&nl, fp);
     const core::ExactEstimator exact(chars, 0.5, mode);
