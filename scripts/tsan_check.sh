@@ -8,10 +8,13 @@ cd "$(dirname "$0")/.."
 
 BUILD=build-tsan
 cmake -B "$BUILD" -S . -DRGLEAK_SANITIZE=thread >/dev/null
-cmake --build "$BUILD" --target util_tests core_tests mc_tests -j "$(nproc)"
+cmake --build "$BUILD" --target util_tests core_tests mc_tests robustness_tests -j "$(nproc)"
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD"/tests/util_tests --gtest_filter='ThreadPool.*'
 "$BUILD"/tests/core_tests --gtest_filter='*Concurrent*:*ThreadCounts*:*FftPathMatchesDirectPath*'
 "$BUILD"/tests/mc_tests --gtest_filter='*Threaded*'
+# Fault injection under TSan: a worker throwing mid-job must not race the
+# pool's rendezvous or leave it unusable.
+"$BUILD"/tests/robustness_tests --gtest_filter='*Concurrent*'
 echo "tsan_check: OK"

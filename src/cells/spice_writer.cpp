@@ -4,6 +4,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "util/error.h"
+#include "util/failpoint.h"
 #include "util/require.h"
 
 namespace rgleak::cells {
@@ -99,10 +101,12 @@ void write_spice_library(const StdCellLibrary& library, std::ostream& os,
 
 void write_spice_library(const StdCellLibrary& library, const std::string& path,
                          const SpiceWriterOptions& options) {
+  RGLEAK_FAILPOINT("cells.spice.write");
   std::ofstream os(path);
-  if (!os) throw NumericalError("cannot open for writing: " + path);
+  if (!os) throw IoError("cannot open for writing: " + path);
   write_spice_library(library, os, options);
-  if (!os) throw NumericalError("write failed: " + path);
+  os.flush();
+  if (!os) throw IoError("write failed: " + path);
 }
 
 }  // namespace rgleak::cells

@@ -1,6 +1,7 @@
 #include "charlib/characterize.h"
 
 #include <cmath>
+#include <sstream>
 
 #include "math/polyfit.h"
 #include "math/stats.h"
@@ -118,7 +119,19 @@ math::LogQuadraticModel fit_log_quadratic(const cells::Cell& cell, std::uint32_t
     ls[i] = l - mu_l_nm;  // center the regressor for conditioning
     logs[i] = std::log(leak);
   }
-  const std::vector<double> coef = math::polyfit(ls, logs, 2);
+  math::PolyfitInfo fit_info;
+  const std::vector<double> coef = math::polyfit(ls, logs, 2, &fit_info);
+  // Centered regressors keep the Vandermonde well conditioned; a huge
+  // condition number means the fit span collapsed and the coefficients are
+  // garbage — better to refuse than to ship a bogus (a, b, c).
+  constexpr double kMaxFitCondition = 1e10;
+  if (fit_info.condition > kMaxFitCondition) {
+    std::ostringstream os;
+    os << "log-quadratic fit for cell " << cell.name() << " state " << state
+       << " is ill-conditioned (condition " << fit_info.condition << " over L in [" << lo << ", "
+       << hi << "] nm)";
+    throw NumericalError(os.str());
+  }
   // Un-center: ln I = k0 + k1 (L - mu) + k2 (L - mu)^2
   //                 = (k0 - k1 mu + k2 mu^2) + (k1 - 2 k2 mu) L + k2 L^2.
   math::LogQuadraticModel m;

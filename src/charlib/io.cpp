@@ -5,6 +5,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "util/error.h"
+#include "util/failpoint.h"
 #include "util/require.h"
 
 namespace rgleak::charlib {
@@ -27,7 +29,7 @@ void save_characterization(const CharacterizedLibrary& chars, std::ostream& os) 
   // parameter the format does not store).
   try {
     (void)process::make_correlation(family, 1.0);
-  } catch (const ContractViolation&) {
+  } catch (const ConfigError&) {
     throw ContractViolation("correlation family '" + family + "' is not serializable");
   }
   os << "process " << p.length().mean_nm << ' ' << p.length().sigma_d2d_nm << ' '
@@ -47,18 +49,35 @@ void save_characterization(const CharacterizedLibrary& chars, std::ostream& os) 
 }
 
 void save_characterization(const CharacterizedLibrary& chars, const std::string& path) {
+  RGLEAK_FAILPOINT("charlib.io.write");
   std::ofstream os(path);
-  if (!os) throw NumericalError("cannot open for writing: " + path);
+  if (!os) throw IoError("cannot open for writing: " + path);
   save_characterization(chars, os);
-  if (!os) throw NumericalError("write failed: " + path);
+  os.flush();
+  if (!os) throw IoError("write failed: " + path);
 }
 
-CharacterizedLibrary load_characterization(const cells::StdCellLibrary& library,
-                                           std::istream& is) {
+CharacterizedLibrary load_characterization(const cells::StdCellLibrary& library, std::istream& is,
+                                           const std::string& source_name) {
+  std::size_t line_no = 0;
   std::string line;
-  RGLEAK_REQUIRE(std::getline(is, line) && line == kMagic, "bad .rgchar header");
+  const auto next_line = [&](const char* what) {
+    RGLEAK_FAILPOINT("charlib.io.read_line");
+    if (!std::getline(is, line)) {
+      if (is.bad()) throw IoError("read failed: " + source_name);
+      throw ParseError(source_name, line_no + 1, 0,
+                       std::string("unexpected end of file, expected ") + what);
+    }
+    ++line_no;
+  };
+  const auto fail = [&](const std::string& msg, const std::string& token = "") -> void {
+    throw ParseError(source_name, line_no, 0, msg, token);
+  };
 
-  RGLEAK_REQUIRE(static_cast<bool>(std::getline(is, line)), "missing process line");
+  next_line("the rgchar-v1 header");
+  if (line != kMagic) fail("bad .rgchar header, expected 'rgchar-v1'", line);
+
+  next_line("a process line");
   std::istringstream ps(line);
   std::string tag, family;
   process::LengthVariation len;
@@ -66,58 +85,73 @@ CharacterizedLibrary load_characterization(const cells::StdCellLibrary& library,
   double scale = 0.0;
   ps >> tag >> len.mean_nm >> len.sigma_d2d_nm >> len.sigma_wid_nm >> vt.sigma_v >> family >>
       scale;
-  RGLEAK_REQUIRE(static_cast<bool>(ps) && tag == "process", "bad process line");
+  if (!ps || tag != "process") fail("bad process line", line);
   process::CorrelationAnisotropy aniso;
   // Optional trailing anisotropy pair (older files omit it).
   if (!(ps >> aniso.scale_x >> aniso.scale_y)) aniso = {};
-  process::ProcessVariation process(len, vt, process::make_correlation(family, scale), aniso);
+  std::shared_ptr<const process::SpatialCorrelation> corr;
+  try {
+    corr = process::make_correlation(family, scale);
+  } catch (const ConfigError&) {
+    fail("unknown correlation family '" + family + "'", family);
+  }
+  process::ProcessVariation process(len, vt, std::move(corr), aniso);
 
-  RGLEAK_REQUIRE(static_cast<bool>(std::getline(is, line)), "missing cells line");
+  next_line("a cells line");
   std::istringstream cs(line);
   std::size_t count = 0;
   cs >> tag >> count;
-  RGLEAK_REQUIRE(static_cast<bool>(cs) && tag == "cells", "bad cells line");
-  RGLEAK_REQUIRE(count == library.size(), "cell count does not match target library");
+  if (!cs || tag != "cells") fail("bad cells line, expected 'cells <count>'", line);
+  if (count != library.size())
+    fail("cell count " + std::to_string(count) + " does not match the target library (" +
+         std::to_string(library.size()) + " cells)");
 
   std::vector<CellChar> cells(library.size());
+  std::vector<bool> filled(library.size(), false);
   for (std::size_t i = 0; i < count; ++i) {
-    RGLEAK_REQUIRE(static_cast<bool>(std::getline(is, line)), "missing cell line");
+    next_line("a cell line");
     std::istringstream hs(line);
     std::string name;
     std::size_t states = 0;
     hs >> tag >> name >> states;
-    RGLEAK_REQUIRE(static_cast<bool>(hs) && tag == "cell", "bad cell line");
+    if (!hs || tag != "cell") fail("bad cell line, expected 'cell <name> <states>'", line);
+    if (!library.contains(name)) fail("unknown cell '" + name + "'", name);
     const std::size_t idx = library.index_of(name);
-    RGLEAK_REQUIRE(states == library.cell(idx).num_states(),
-                   "state count mismatch for cell " + name);
+    if (filled[idx]) fail("duplicate cell entry '" + name + "'", name);
+    if (states != library.cell(idx).num_states())
+      fail("state count mismatch for cell " + name + " (file has " + std::to_string(states) +
+               ", library expects " + std::to_string(library.cell(idx).num_states()) + ")",
+           name);
     CellChar cc;
     cc.states.resize(states);
     for (std::size_t s = 0; s < states; ++s) {
-      RGLEAK_REQUIRE(static_cast<bool>(std::getline(is, line)), "missing state line");
+      next_line("a state line");
       std::istringstream ss(line);
       StateChar st;
       ss >> tag >> st.mean_na >> st.sigma_na;
-      RGLEAK_REQUIRE(static_cast<bool>(ss) && tag == "state", "bad state line");
+      if (!ss || tag != "state") fail("bad state line, expected 'state <mean> <sigma>'", line);
       std::string model_tag;
       if (ss >> model_tag) {
-        RGLEAK_REQUIRE(model_tag == "model", "unexpected token on state line");
+        if (model_tag != "model") fail("unexpected token on state line", model_tag);
         math::LogQuadraticModel m;
         ss >> m.a >> m.b >> m.c;
-        RGLEAK_REQUIRE(static_cast<bool>(ss), "bad model triplet");
+        if (!ss) fail("bad model triplet, expected 'model <a> <b> <c>'", line);
         st.model = m;
       }
       cc.states[s] = st;
     }
     cells[idx] = std::move(cc);
+    filled[idx] = true;
   }
   return CharacterizedLibrary(&library, std::move(process), std::move(cells));
 }
 
 CharacterizedLibrary load_characterization(const cells::StdCellLibrary& library,
                                            const std::string& path) {
+  RGLEAK_FAILPOINT("charlib.io.open");
   std::ifstream is(path);
-  if (!is) throw NumericalError("cannot open for reading: " + path);
-  return load_characterization(library, is);
+  if (!is) throw IoError("cannot open for reading: " + path);
+  return load_characterization(library, is, path);
 }
 
 }  // namespace rgleak::charlib

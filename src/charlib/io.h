@@ -7,6 +7,10 @@
 // description and the per-(cell, state) statistics plus, when present, the
 // fitted (a,b,c) triplets. Loading binds the data back against a concrete
 // StdCellLibrary by cell name and validates state counts.
+//
+// Failure contract: malformed or mismatching content throws rgleak::ParseError
+// naming the source and 1-based line; OS-level open/read/write failures throw
+// rgleak::IoError. A throwing load never returns a partially-filled library.
 
 #include <iosfwd>
 #include <string>
@@ -18,14 +22,13 @@ namespace rgleak::charlib {
 /// Writes a characterized library (process + per-cell statistics) to a
 /// stream in the .rgchar text format.
 void save_characterization(const CharacterizedLibrary& chars, std::ostream& os);
-/// Convenience: writes to a file path. Throws NumericalError on I/O failure.
+/// Convenience: writes to a file path. Throws rgleak::IoError on I/O failure.
 void save_characterization(const CharacterizedLibrary& chars, const std::string& path);
 
 /// Reads a .rgchar stream and rebinds it against `library` (cell names and
-/// state counts must match). Throws ContractViolation on format or binding
-/// errors.
-CharacterizedLibrary load_characterization(const cells::StdCellLibrary& library,
-                                           std::istream& is);
+/// state counts must match). `source_name` labels ParseErrors.
+CharacterizedLibrary load_characterization(const cells::StdCellLibrary& library, std::istream& is,
+                                           const std::string& source_name = "<stream>");
 CharacterizedLibrary load_characterization(const cells::StdCellLibrary& library,
                                            const std::string& path);
 

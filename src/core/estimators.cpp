@@ -1,11 +1,38 @@
 #include "core/estimators.h"
 
 #include <cmath>
+#include <sstream>
 
 #include "math/fft.h"
+#include "util/failpoint.h"
 #include "util/require.h"
 
 namespace rgleak::core {
+
+namespace {
+
+// Shared post-condition for every estimator: mean and variance must be finite
+// and the variance non-negative up to accumulated rounding. Tiny negative
+// variances (cancellation in the pair sums) are clamped to zero downstream; a
+// materially negative or non-finite result means the inputs are inconsistent
+// and is reported instead of propagating NaN into reports.
+LeakageEstimate checked_estimate(const char* estimator, double mean, double var,
+                                 std::size_t gates, const placement::Floorplan& fp) {
+  constexpr double kVarSlack = 1e-6;
+  if (!std::isfinite(mean) || !std::isfinite(var) || var < -kVarSlack * (mean * mean + 1.0)) {
+    std::ostringstream os;
+    os << estimator << ": non-physical result (mean " << mean << " nA, variance " << var
+       << " nA^2) for " << gates << " gates on a " << fp.rows << "x" << fp.cols << " site grid ("
+       << fp.width_nm() * 1e-3 << " x " << fp.height_nm() * 1e-3 << " um)";
+    throw NumericalError(os.str());
+  }
+  LeakageEstimate e;
+  e.mean_na = mean;
+  e.sigma_na = std::sqrt(std::max(0.0, var));
+  return e;
+}
+
+}  // namespace
 
 LeakageEstimate estimate_linear(const RandomGate& rg, const placement::Floorplan& fp) {
   const std::size_t k = fp.rows, m = fp.cols;
@@ -19,13 +46,10 @@ LeakageEstimate estimate_linear(const RandomGate& rg, const placement::Floorplan
     for (std::size_t j = 0; j < k; ++j) {
       const double wy = (j == 0 ? 1.0 : 2.0) * static_cast<double>(k - j);
       const double dy = static_cast<double>(j) * fp.site_h_nm;
-      var += wx * wy * rg.covariance_at_offset(dx, dy);
+      var += wx * wy * RGLEAK_FAILPOINT_DOUBLE("estimate.linear.cov", rg.covariance_at_offset(dx, dy));
     }
   }
-  LeakageEstimate e;
-  e.mean_na = n * rg.mean_na();
-  e.sigma_na = std::sqrt(var);
-  return e;
+  return checked_estimate("estimate_linear", n * rg.mean_na(), var, fp.num_sites(), fp);
 }
 
 LeakageEstimate estimate_integral_rect(const RandomGate& rg, const placement::Floorplan& fp,
@@ -38,10 +62,8 @@ LeakageEstimate estimate_integral_rect(const RandomGate& rg, const placement::Fl
   const double integral = math::integrate_2d_adaptive(
       [&](double x, double y) { return (w - x) * (h - y) * rg.covariance_at_offset(x, y); },
       0.0, w, 0.0, h, opts);
-  LeakageEstimate e;
-  e.mean_na = n * rg.mean_na();
-  e.sigma_na = std::sqrt(std::max(0.0, 4.0 * n * n / (area * area) * integral));
-  return e;
+  return checked_estimate("estimate_integral_rect", n * rg.mean_na(),
+                          4.0 * n * n / (area * area) * integral, fp.num_sites(), fp);
 }
 
 LeakageEstimate estimate_integral_polar(const RandomGate& rg, const placement::Floorplan& fp,
@@ -67,11 +89,8 @@ LeakageEstimate estimate_integral_polar(const RandomGate& rg, const placement::F
       [&](double r) { return (rg.covariance_at_distance(r) - c_floor) * r * g(r); }, 0.0, d_max,
       opts);
 
-  LeakageEstimate e;
-  e.mean_na = n * rg.mean_na();
   const double var = 4.0 * n * n / (area * area) * integral + n * n * c_floor;
-  e.sigma_na = std::sqrt(std::max(0.0, var));
-  return e;
+  return checked_estimate("estimate_integral_polar", n * rg.mean_na(), var, fp.num_sites(), fp);
 }
 
 ExactEstimator::ExactEstimator(const charlib::CharacterizedLibrary& chars,
@@ -219,6 +238,7 @@ LeakageEstimate ExactEstimator::estimate_direct(const placement::Placement& plac
   const std::size_t tiles = (n + kTile - 1) / kTile;
   std::vector<double> partial(tiles, 0.0);
   pool.parallel_for(tiles, [&](std::size_t ti) {
+    RGLEAK_FAILPOINT("exact.direct_tile");
     const std::size_t a_end = std::min(n, (ti + 1) * kTile);
     double s = 0.0;
     for (std::size_t a = ti * kTile; a < a_end; ++a) {
@@ -233,10 +253,7 @@ LeakageEstimate ExactEstimator::estimate_direct(const placement::Placement& plac
   });
   for (std::size_t ti = 0; ti < tiles; ++ti) var += 2.0 * partial[ti];
 
-  LeakageEstimate e;
-  e.mean_na = mean;
-  e.sigma_na = std::sqrt(std::max(0.0, var));
-  return e;
+  return checked_estimate("ExactEstimator::estimate_direct", mean, var, n, fp);
 }
 
 LeakageEstimate ExactEstimator::estimate_fft(const placement::Placement& placement,
@@ -314,6 +331,7 @@ LeakageEstimate ExactEstimator::estimate_fft(const placement::Placement& placeme
     // Per-pair partials, reduced in fixed order (thread-count independent).
     std::vector<double> partial(pairs.size(), 0.0);
     pool.parallel_for(pairs.size(), [&](std::size_t p) {
+      RGLEAK_FAILPOINT("exact.fft_pair");
       const auto [i, j] = pairs[p];
       std::vector<double> cov(k * m);
       for (std::size_t off = 0; off < k * m; ++off)
@@ -326,10 +344,7 @@ LeakageEstimate ExactEstimator::estimate_fft(const placement::Placement& placeme
     for (double p : partial) var += p;
   }
 
-  LeakageEstimate e;
-  e.mean_na = mean;
-  e.sigma_na = std::sqrt(std::max(0.0, var));
-  return e;
+  return checked_estimate("ExactEstimator::estimate_fft", mean, var, n, fp);
 }
 
 double vt_mean_factor(const process::VtVariation& vt, const device::TechnologyParams& tech) {

@@ -1,6 +1,7 @@
 #include "math/gaussian_moments.h"
 
 #include <cmath>
+#include <sstream>
 
 #include "util/require.h"
 
@@ -13,6 +14,17 @@ struct SpdInverse {
   Matrix inverse;
   double log_det;
 };
+
+// exp() that refuses to overflow to inf: the expectation formulas work in log
+// space, so a huge log_e means the inputs (not rounding) are unrepresentable.
+double guarded_exp(double log_e, const char* where) {
+  if (log_e > 700.0 || !std::isfinite(log_e)) {
+    std::ostringstream os;
+    os << where << ": log-expectation " << log_e << " overflows double";
+    throw NumericalError(os.str());
+  }
+  return std::exp(log_e);
+}
 
 SpdInverse spd_inverse(const Matrix& a) {
   const std::size_t n = a.rows();
@@ -74,7 +86,7 @@ double expectation_exp_quadratic(const std::vector<double>& w, const Matrix& a,
     for (std::size_t j = 0; j < n; ++j) quad_mu += mu[i] * a(i, j) * mu[j];
 
   const double log_e = dot(w, mu) + quad_mu - 0.5 * (si.log_det + log_det_b) + 0.5 * dot(v, binv_v);
-  return std::exp(log_e);
+  return guarded_exp(log_e, "expectation_exp_quadratic");
 }
 
 double expectation_exp_quadratic_1d(double b, double c, double mu, double var) {
@@ -85,7 +97,7 @@ double expectation_exp_quadratic_1d(double b, double c, double mu, double var) {
     throw NumericalError("expectation_exp_quadratic_1d: 1 - 2c*var <= 0; expectation diverges");
   const double v = b + 2.0 * c * mu;
   const double log_e = b * mu + c * mu * mu + 0.5 * v * v * var / denom - 0.5 * std::log(denom);
-  return std::exp(log_e);
+  return guarded_exp(log_e, "expectation_exp_quadratic_1d");
 }
 
 double expectation_exp_quadratic_2d(double b1, double c1, double b2, double c2, double mu,

@@ -1,6 +1,9 @@
 #include "math/linalg.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+#include <sstream>
 
 #include "util/require.h"
 
@@ -72,8 +75,13 @@ Matrix cholesky(const Matrix& a) {
   for (std::size_t j = 0; j < n; ++j) {
     double d = a(j, j);
     for (std::size_t k = 0; k < j; ++k) d -= l(j, k) * l(j, k);
-    if (d <= 0.0 || !std::isfinite(d))
-      throw NumericalError("cholesky: matrix is not positive definite");
+    if (d <= 0.0 || !std::isfinite(d)) {
+      std::ostringstream os;
+      os << "cholesky: " << n << "x" << n
+         << " matrix is not positive definite (pivot " << j << " reduced to " << d
+         << ", diagonal entry " << a(j, j) << ")";
+      throw NumericalError(os.str());
+    }
     const double ljj = std::sqrt(d);
     l(j, j) = ljj;
     for (std::size_t i = j + 1; i < n; ++i) {
@@ -116,7 +124,8 @@ std::vector<double> solve_spd(const Matrix& a, const std::vector<double>& b) {
   return backward_substitute_transposed(l, forward_substitute(l, b));
 }
 
-std::vector<double> solve_least_squares(const Matrix& a, const std::vector<double>& b) {
+std::vector<double> solve_least_squares(const Matrix& a, const std::vector<double>& b,
+                                        LeastSquaresInfo* info) {
   RGLEAK_REQUIRE(a.rows() >= a.cols(), "least squares needs rows >= cols");
   RGLEAK_REQUIRE(a.rows() == b.size(), "least squares dimension mismatch");
   const std::size_t m = a.rows(), n = a.cols();
@@ -152,6 +161,16 @@ std::vector<double> solve_least_squares(const Matrix& a, const std::vector<doubl
               [&](std::size_t i, double x) { r(i, j) = x; });
     reflect([&](std::size_t i) { return rhs[i]; },
             [&](std::size_t i, double x) { rhs[i] = x; });
+  }
+
+  if (info) {
+    double rmax = 0.0, rmin = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < n; ++k) {
+      const double d = std::abs(r(k, k));
+      rmax = std::max(rmax, d);
+      rmin = std::min(rmin, d);
+    }
+    info->condition = rmin > 0.0 ? rmax / rmin : std::numeric_limits<double>::infinity();
   }
 
   std::vector<double> x(n);

@@ -53,9 +53,19 @@ std::vector<double> backward_substitute_transposed(const Matrix& lower, const st
 /// Solves the SPD system A x = b via Cholesky.
 std::vector<double> solve_spd(const Matrix& a, const std::vector<double>& b);
 
+/// Conditioning diagnostics from the QR factorization underlying a
+/// least-squares solve. `condition` estimates cond(A) as max|r_ii| / min|r_ii|
+/// over the R diagonal — cheap, and within a small factor of the true
+/// 2-norm condition number for the Vandermonde systems we build.
+struct LeastSquaresInfo {
+  double condition = 0.0;
+};
+
 /// Least-squares solution of min ||A x - b||_2 via Householder QR.
-/// Requires rows >= cols and full column rank.
-std::vector<double> solve_least_squares(const Matrix& a, const std::vector<double>& b);
+/// Requires rows >= cols and full column rank. When `info` is non-null it
+/// receives conditioning diagnostics.
+std::vector<double> solve_least_squares(const Matrix& a, const std::vector<double>& b,
+                                        LeastSquaresInfo* info = nullptr);
 
 /// Determinant of a 2x2 matrix.
 double det2(double a00, double a01, double a10, double a11);

@@ -1,13 +1,26 @@
 #include "math/mgf.h"
 
 #include <cmath>
+#include <sstream>
 
 #include "math/gaussian_moments.h"
 #include "util/require.h"
 
 namespace rgleak::math {
 
-double LogQuadraticModel::operator()(double l) const { return a * std::exp(b * l + c * l * l); }
+double LogQuadraticModel::operator()(double l) const {
+  const double exponent = b * l + c * l * l;
+  // exp overflows double near 709.8; refuse to return inf silently. Deep
+  // underflow flushes to 0, which is physically sensible (no leakage).
+  if (exponent > 700.0 || !std::isfinite(exponent)) {
+    std::ostringstream os;
+    os << "log-quadratic model overflows at L=" << l << " nm (a=" << a << ", b=" << b
+       << ", c=" << c << ", exponent=" << exponent << ")";
+    throw NumericalError(os.str());
+  }
+  if (exponent < -745.0) return 0.0;
+  return a * std::exp(exponent);
+}
 
 LogQuadraticMoments::LogQuadraticMoments(const LogQuadraticModel& model, double mu_l,
                                          double sigma_l)

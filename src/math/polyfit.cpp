@@ -6,7 +6,7 @@
 namespace rgleak::math {
 
 std::vector<double> polyfit(const std::vector<double>& x, const std::vector<double>& y,
-                            std::size_t degree) {
+                            std::size_t degree, PolyfitInfo* info) {
   RGLEAK_REQUIRE(x.size() == y.size(), "polyfit needs equal-length x and y");
   RGLEAK_REQUIRE(x.size() >= degree + 1, "polyfit needs at least degree+1 samples");
   Matrix a(x.size(), degree + 1);
@@ -17,7 +17,10 @@ std::vector<double> polyfit(const std::vector<double>& x, const std::vector<doub
       p *= x[i];
     }
   }
-  return solve_least_squares(a, y);
+  LeastSquaresInfo ls_info;
+  std::vector<double> coeffs = solve_least_squares(a, y, info ? &ls_info : nullptr);
+  if (info) info->condition = ls_info.condition;
+  return coeffs;
 }
 
 double polyval(const std::vector<double>& coeffs, double x) {

@@ -6,11 +6,19 @@
 
 namespace rgleak::math {
 
+/// Conditioning diagnostics from a polyfit. `condition` is the estimated
+/// condition number of the Vandermonde design matrix; values much above ~1e8
+/// mean the returned coefficients carry few reliable digits.
+struct PolyfitInfo {
+  double condition = 0.0;
+};
+
 /// Fits y ~ c0 + c1 x + ... + c_degree x^degree in the least-squares sense.
 /// Returns the coefficients lowest-order first. Requires at least degree+1
-/// samples and distinct abscissae.
+/// samples and distinct abscissae. When `info` is non-null it receives
+/// conditioning diagnostics.
 std::vector<double> polyfit(const std::vector<double>& x, const std::vector<double>& y,
-                            std::size_t degree);
+                            std::size_t degree, PolyfitInfo* info = nullptr);
 
 /// Evaluates a polynomial given coefficients lowest-order first (Horner).
 double polyval(const std::vector<double>& coeffs, double x);

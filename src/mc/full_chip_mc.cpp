@@ -1,8 +1,10 @@
 #include "mc/full_chip_mc.h"
 
 #include <cmath>
+#include <sstream>
 #include <thread>
 
+#include "util/failpoint.h"
 #include "util/require.h"
 #include "util/thread_pool.h"
 
@@ -98,6 +100,7 @@ double FullChipMonteCarlo::sample_total_with(process::GridFieldSampler& field,
 double FullChipMonteCarlo::sample_total_tables(
     process::GridFieldSampler& field, math::Rng& rng,
     const std::vector<const charlib::LeakageTable*>& table) const {
+  RGLEAK_FAILPOINT("mc.trial");
   const double mu = chars_->process().length().mean_nm;
   const double d2d = rng.normal(0.0, chars_->process().length().sigma_d2d_nm);
   const std::vector<double> wid = field.sample(rng);
@@ -153,6 +156,13 @@ FullChipMcResult FullChipMonteCarlo::run() {
   FullChipMcResult r;
   r.mean_na = acc.mean();
   r.sigma_na = acc.stddev();
+  if (!std::isfinite(r.mean_na) || !std::isfinite(r.sigma_na) || r.sigma_na < 0.0) {
+    std::ostringstream os;
+    os << "full-chip MC: non-physical result (mean " << r.mean_na << " nA, sigma " << r.sigma_na
+       << " nA) after " << options_.trials << " trials on "
+       << placement_->netlist().size() << " gates";
+    throw NumericalError(os.str());
+  }
   r.trials = options_.trials;
   r.p50_na = acc.percentile(0.50);
   r.p90_na = acc.percentile(0.90);

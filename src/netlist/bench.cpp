@@ -1,0 +1,229 @@
+#include "netlist/bench.h"
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+#include "util/failpoint.h"
+
+namespace rgleak::netlist {
+
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == '.' || c == '[' ||
+         c == ']' || c == '-' || c == '/';
+}
+
+std::string upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+/// Single-line scanner tracking the column for located errors.
+struct Cursor {
+  const std::string& text;
+  const std::string& source;
+  std::size_t line;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos])) != 0) ++pos;
+  }
+  bool at_end() {
+    skip_ws();
+    return pos >= text.size();
+  }
+  std::size_t column() const { return pos + 1; }
+
+  [[noreturn]] void fail(const std::string& msg, std::string token = "") const {
+    throw ParseError(source, line, column(), msg, std::move(token));
+  }
+
+  std::string rest_token() const {
+    std::size_t end = pos;
+    while (end < text.size() && std::isspace(static_cast<unsigned char>(text[end])) == 0 &&
+           end - pos < 16)
+      ++end;
+    return text.substr(pos, end - pos);
+  }
+
+  std::string identifier(const char* what) {
+    skip_ws();
+    const std::size_t start = pos;
+    while (pos < text.size() && ident_char(text[pos])) ++pos;
+    if (pos == start) fail(std::string("expected ") + what, rest_token());
+    return text.substr(start, pos - start);
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != c)
+      fail(std::string("expected '") + c + "'", rest_token());
+    ++pos;
+  }
+
+  bool accept(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+};
+
+struct SourcePos {
+  std::size_t line = 0;
+  std::size_t column = 0;
+};
+
+/// Maps a bench function + fan-in to a library cell index; errors point at
+/// the function token.
+std::size_t cell_for_function(const cells::StdCellLibrary& library, const std::string& source,
+                              std::size_t line, std::size_t column, const std::string& func,
+                              std::size_t fanin) {
+  const std::string f = upper(func);
+  std::string cell;
+  if (f == "NOT" || f == "INV") {
+    if (fanin != 1)
+      throw ParseError(source, line, column, "NOT takes exactly one input", func);
+    cell = "INV_X1";
+  } else if (f == "BUF" || f == "BUFF") {
+    if (fanin != 1)
+      throw ParseError(source, line, column, "BUFF takes exactly one input", func);
+    cell = "BUF_X1";
+  } else if (f == "DFF") {
+    if (fanin != 1)
+      throw ParseError(source, line, column, "DFF takes exactly one data input", func);
+    cell = "DFF_X1";
+  } else if (f == "NAND" || f == "NOR" || f == "AND" || f == "OR" || f == "XOR" || f == "XNOR") {
+    if (fanin < 2)
+      throw ParseError(source, line, column, f + " needs at least two inputs", func);
+    cell = f + std::to_string(fanin) + "_X1";
+  } else {
+    throw ParseError(source, line, column, "unknown gate function '" + func + "'", func);
+  }
+  if (!library.contains(cell))
+    throw ParseError(source, line, column,
+                     "no library cell implements " + f + " with " + std::to_string(fanin) +
+                         " inputs (wanted '" + cell + "')",
+                     func);
+  return library.index_of(cell);
+}
+
+std::string stem_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of("/\\");
+  std::string name = slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) name = name.substr(0, dot);
+  return name.empty() ? "bench" : name;
+}
+
+}  // namespace
+
+Netlist load_bench(const cells::StdCellLibrary& library, std::istream& is,
+                   const std::string& source_name) {
+  std::map<std::string, std::size_t> defined_at;  // signal -> defining line
+  std::map<std::string, SourcePos> first_use;     // signal -> first referencing position
+  std::vector<GateInstance> gates;
+
+  const auto note_use = [&](const std::string& sig, std::size_t line, std::size_t column) {
+    first_use.emplace(sig, SourcePos{line, column});
+  };
+  const auto define = [&](const std::string& sig, const Cursor& cur, std::size_t column) {
+    const auto [it, inserted] = defined_at.emplace(sig, cur.line);
+    if (!inserted)
+      throw ParseError(cur.source, cur.line, column,
+                       "duplicate definition of '" + sig + "' (first defined at line " +
+                           std::to_string(it->second) + ")",
+                       sig);
+  };
+
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(is, raw)) {
+    RGLEAK_FAILPOINT("netlist.bench.read_line");
+    ++line_no;
+    if (!raw.empty() && raw.back() == '\r') raw.pop_back();
+    const std::size_t hash = raw.find('#');
+    const std::string text = hash == std::string::npos ? raw : raw.substr(0, hash);
+
+    Cursor cur{text, source_name, line_no};
+    if (cur.at_end()) continue;
+
+    const std::size_t first_col = cur.column();
+    const std::string first = cur.identifier("a signal name or INPUT/OUTPUT");
+    const std::string first_up = upper(first);
+
+    if ((first_up == "INPUT" || first_up == "OUTPUT") && cur.accept('(')) {
+      const std::size_t sig_col = cur.column();
+      const std::string sig = cur.identifier("a signal name");
+      cur.expect(')');
+      if (!cur.at_end()) cur.fail("unexpected trailing characters", cur.rest_token());
+      if (first_up == "INPUT") {
+        define(sig, cur, sig_col);
+      } else {
+        note_use(sig, line_no, sig_col);
+      }
+      continue;
+    }
+
+    // Assignment: sig = FUNC(arg, ...).
+    cur.expect('=');
+    cur.skip_ws();
+    const std::size_t func_col = cur.column();
+    const std::string func = cur.identifier("a gate function");
+    cur.expect('(');
+    std::size_t fanin = 0;
+    if (!cur.accept(')')) {
+      do {
+        const std::size_t arg_col = cur.column();
+        const std::string arg = cur.identifier("a signal name");
+        note_use(arg, line_no, arg_col);
+        ++fanin;
+      } while (cur.accept(','));
+      cur.expect(')');
+    }
+    if (!cur.at_end()) cur.fail("unexpected trailing characters", cur.rest_token());
+    if (fanin == 0)
+      throw ParseError(source_name, line_no, func_col, "gate '" + first + "' has no inputs", func);
+
+    define(first, cur, first_col);
+    gates.push_back({cell_for_function(library, source_name, line_no, func_col, func, fanin)});
+  }
+  if (is.bad()) throw IoError("read failed: " + source_name);
+
+  // A reference to a signal nobody drives means the file is incomplete
+  // (truncation is the classic cause); report the earliest dangling use.
+  const SourcePos* worst = nullptr;
+  const std::string* worst_sig = nullptr;
+  for (const auto& [sig, use] : first_use) {
+    if (defined_at.count(sig) > 0) continue;
+    if (worst == nullptr || use.line < worst->line ||
+        (use.line == worst->line && use.column < worst->column)) {
+      worst = &use;
+      worst_sig = &sig;
+    }
+  }
+  if (worst != nullptr)
+    throw ParseError(source_name, worst->line, worst->column,
+                     "signal '" + *worst_sig + "' is referenced but never defined", *worst_sig);
+
+  if (gates.empty())
+    throw ParseError(source_name, line_no == 0 ? 1 : line_no, 0, "netlist contains no gates");
+
+  return Netlist(stem_of(source_name), &library, std::move(gates));
+}
+
+Netlist load_bench(const cells::StdCellLibrary& library, const std::string& path) {
+  RGLEAK_FAILPOINT("netlist.bench.open");
+  std::ifstream is(path);
+  if (!is) throw IoError("cannot open for reading: " + path);
+  return load_bench(library, is, path);
+}
+
+}  // namespace rgleak::netlist

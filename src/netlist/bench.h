@@ -1,0 +1,39 @@
+#pragma once
+// ISCAS85/89 `.bench` netlist parser.
+//
+// The classic benchmark interchange format:
+//
+//   # comment
+//   INPUT(G1)
+//   OUTPUT(G22)
+//   G10 = NAND(G1, G3)
+//   G11 = DFF(G10)          # ISCAS89 adds flip-flops
+//
+// Each assignment is mapped to a library cell by function name and fan-in
+// (NAND with 2 inputs -> NAND2_X1, NOT -> INV_X1, DFF -> DFF_X1, ...). The
+// paper's flow only needs the gate bag — connectivity does not enter leakage
+// — but every signal reference is still validated so a truncated or corrupted
+// file cannot silently drop gates.
+//
+// Robustness contract: every failure throws rgleak::ParseError carrying the
+// source name, 1-based line and column, and the offending token — bad syntax,
+// duplicate definitions, references to signals that are never defined,
+// unknown functions, and fan-ins the library cannot implement all name their
+// exact location. OS-level failures throw rgleak::IoError.
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace rgleak::netlist {
+
+/// Parses a `.bench` stream against `library`. `source_name` labels errors
+/// (use the file path when known).
+Netlist load_bench(const cells::StdCellLibrary& library, std::istream& is,
+                   const std::string& source_name = "<stream>");
+
+/// Opens and parses `path`; the netlist is named after the file stem.
+Netlist load_bench(const cells::StdCellLibrary& library, const std::string& path);
+
+}  // namespace rgleak::netlist

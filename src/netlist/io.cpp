@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/error.h"
+#include "util/failpoint.h"
 #include "util/require.h"
 
 namespace rgleak::netlist {
@@ -28,49 +30,70 @@ void save_netlist(const Netlist& netlist, std::ostream& os) {
 }
 
 void save_netlist(const Netlist& netlist, const std::string& path) {
+  RGLEAK_FAILPOINT("netlist.io.write");
   std::ofstream os(path);
-  if (!os) throw NumericalError("cannot open for writing: " + path);
+  if (!os) throw IoError("cannot open for writing: " + path);
   save_netlist(netlist, os);
-  if (!os) throw NumericalError("write failed: " + path);
+  os.flush();
+  if (!os) throw IoError("write failed: " + path);
 }
 
-Netlist load_netlist(const cells::StdCellLibrary& library, std::istream& is) {
+Netlist load_netlist(const cells::StdCellLibrary& library, std::istream& is,
+                     const std::string& source_name) {
+  std::size_t line_no = 0;
   std::string line;
-  RGLEAK_REQUIRE(std::getline(is, line) && line == kMagic, "bad .rgnl header");
+  const auto next_line = [&](const char* what) {
+    RGLEAK_FAILPOINT("netlist.io.read_line");
+    if (!std::getline(is, line)) {
+      if (is.bad()) throw IoError("read failed: " + source_name);
+      throw ParseError(source_name, line_no + 1, 0,
+                       std::string("unexpected end of file, expected ") + what);
+    }
+    ++line_no;
+  };
+  const auto fail = [&](const std::string& msg, const std::string& token = "") -> void {
+    throw ParseError(source_name, line_no, 0, msg, token);
+  };
 
-  RGLEAK_REQUIRE(static_cast<bool>(std::getline(is, line)), "missing name line");
+  next_line("the rgnl-v1 header");
+  if (line != kMagic) fail("bad .rgnl header, expected 'rgnl-v1'", line);
+
+  next_line("a name line");
   std::istringstream ns(line);
   std::string tag, name;
   ns >> tag >> name;
-  RGLEAK_REQUIRE(static_cast<bool>(ns) && tag == "name", "bad name line");
+  if (!ns || tag != "name") fail("bad name line, expected 'name <identifier>'", line);
 
-  RGLEAK_REQUIRE(static_cast<bool>(std::getline(is, line)), "missing gates line");
+  next_line("a gates line");
   std::istringstream gs(line);
   std::size_t total = 0;
   gs >> tag >> total;
-  RGLEAK_REQUIRE(static_cast<bool>(gs) && tag == "gates", "bad gates line");
+  if (!gs || tag != "gates") fail("bad gates line, expected 'gates <count>'", line);
 
   std::vector<GateInstance> gates;
   gates.reserve(total);
   while (gates.size() < total) {
-    RGLEAK_REQUIRE(static_cast<bool>(std::getline(is, line)), "truncated gate list");
+    next_line("a '<cell> <count>' gate run");
     if (line.empty()) continue;
     std::istringstream ls(line);
     std::string cell;
     std::size_t count = 0;
     ls >> cell >> count;
-    RGLEAK_REQUIRE(static_cast<bool>(ls) && count > 0, "bad gate run line: " + line);
+    if (!ls || count == 0) fail("bad gate run line, expected '<cell> <count>'", line);
+    if (!library.contains(cell)) fail("unknown cell '" + cell + "'", cell);
     const std::size_t idx = library.index_of(cell);
-    RGLEAK_REQUIRE(gates.size() + count <= total, "gate run exceeds declared total");
+    if (gates.size() + count > total)
+      fail("gate run exceeds the declared total of " + std::to_string(total), cell);
     for (std::size_t k = 0; k < count; ++k) gates.push_back({idx});
   }
   return Netlist(name, &library, std::move(gates));
 }
 
 Netlist load_netlist(const cells::StdCellLibrary& library, const std::string& path) {
+  RGLEAK_FAILPOINT("netlist.io.open");
   std::ifstream is(path);
-  if (!is) throw NumericalError("cannot open for reading: " + path);
-  return load_netlist(library, is);
+  if (!is) throw IoError("cannot open for reading: " + path);
+  return load_netlist(library, is, path);
 }
 
 }  // namespace rgleak::netlist

@@ -2,6 +2,10 @@
 // Netlist serialization: the `.rgnl` line-based text format. Gate order is
 // preserved (placement is row-major in gate order, so order carries the
 // spatial arrangement of types).
+//
+// Failure contract: malformed content throws rgleak::ParseError naming the
+// source and 1-based line; OS-level open/read/write failures throw
+// rgleak::IoError. A throwing load never returns a partially-filled netlist.
 
 #include <iosfwd>
 #include <string>
@@ -14,8 +18,10 @@ namespace rgleak::netlist {
 void save_netlist(const Netlist& netlist, std::ostream& os);
 void save_netlist(const Netlist& netlist, const std::string& path);
 
-/// Reads a .rgnl stream, binding cell names against `library`.
-Netlist load_netlist(const cells::StdCellLibrary& library, std::istream& is);
+/// Reads a .rgnl stream, binding cell names against `library`. `source_name`
+/// labels ParseErrors (the path overload passes the path).
+Netlist load_netlist(const cells::StdCellLibrary& library, std::istream& is,
+                     const std::string& source_name = "<stream>");
 Netlist load_netlist(const cells::StdCellLibrary& library, const std::string& path);
 
 }  // namespace rgleak::netlist

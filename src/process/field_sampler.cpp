@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <complex>
+#include <limits>
+#include <sstream>
 
 #include "math/fft.h"
 #include "util/require.h"
@@ -62,6 +64,20 @@ GridFieldSampler::GridFieldSampler(std::size_t rows, std::size_t cols, double dx
     sqrt_eig_[i] = lambda > 0.0 ? std::sqrt(lambda) : 0.0;
   }
   clamped_fraction_ = max_eig > 0.0 ? -worst_neg / max_eig : 0.0;
+
+  // Mild clamping (imperfect embedding of a valid kernel) is expected —
+  // LinearCorrelation sits around a few percent. A large fraction means the
+  // correlation function itself is not positive semi-definite and the sampled
+  // fields would not have the requested covariance.
+  constexpr double kMaxClampedFraction = 0.25;
+  if (clamped_fraction_ > kMaxClampedFraction) {
+    std::ostringstream os;
+    os << "grid field sampler: correlation '" << rho.name()
+       << "' is not positive semi-definite on the " << prow_ << "x" << pcol_
+       << " periodic embedding (most negative eigenvalue " << worst_neg << ", largest " << max_eig
+       << ", clamped fraction " << clamped_fraction_ << " > " << kMaxClampedFraction << ")";
+    throw NumericalError(os.str());
+  }
 }
 
 std::vector<double> GridFieldSampler::sample(math::Rng& rng) {
@@ -106,7 +122,26 @@ DenseFieldSampler::DenseFieldSampler(std::vector<Site> sites, const SpatialCorre
       cov(i, j) = cov(j, i) = v;
     }
   }
-  chol_ = math::cholesky(cov);
+  try {
+    chol_ = math::cholesky(cov);
+  } catch (const NumericalError& e) {
+    // Gershgorin bound: every eigenvalue lies in some [a_ii - R_i, a_ii + R_i]
+    // with R_i the off-diagonal row sum; the minimum left endpoint bounds the
+    // smallest eigenvalue from below and tells the caller how indefinite the
+    // correlation function is over these sites.
+    double gersh_lo = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      double radius = 0.0;
+      for (std::size_t j = 0; j < n; ++j)
+        if (j != i) radius += std::abs(cov(i, j));
+      gersh_lo = std::min(gersh_lo, cov(i, i) - radius);
+    }
+    std::ostringstream os;
+    os << "dense field sampler: covariance from correlation '" << rho.name() << "' over " << n
+       << " sites is not positive definite (Gershgorin eigenvalue lower bound " << gersh_lo
+       << "); " << e.what();
+    throw NumericalError(os.str());
+  }
 }
 
 std::vector<double> DenseFieldSampler::sample(math::Rng& rng) const {

@@ -121,8 +121,9 @@ std::shared_ptr<const SpatialCorrelation> make_correlation(const std::string& na
   if (name == "linear") return std::make_shared<LinearCorrelation>(scale_nm);
   if (name == "spherical") return std::make_shared<SphericalCorrelation>(scale_nm);
   if (name == "matern32") return std::make_shared<Matern32Correlation>(scale_nm);
-  RGLEAK_REQUIRE(false, "unknown correlation model: " + name);
-  return nullptr;  // unreachable
+  // Typically fed from user input (CLI flag, .rgchar file): a configuration
+  // error, not a caller bug.
+  throw ConfigError("unknown correlation model: " + name);
 }
 
 }  // namespace rgleak::process

@@ -1,0 +1,100 @@
+#include "util/error.h"
+
+#include <sstream>
+
+namespace rgleak {
+
+namespace {
+
+std::string format_parse_error(const std::string& source, std::size_t line, std::size_t column,
+                               const std::string& message, const std::string& token) {
+  std::ostringstream os;
+  os << source << ':' << line;
+  if (column > 0) os << ':' << column;
+  os << ": " << message;
+  if (!token.empty()) os << " (near '" << token << "')";
+  return os.str();
+}
+
+void append_json_string(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kContract: return "contract";
+    case ErrorCode::kNumerical: return "numerical";
+    case ErrorCode::kParse: return "parse";
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kConfig: return "config";
+  }
+  return "unknown";
+}
+
+int exit_code_for(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kContract: return 1;
+    case ErrorCode::kConfig: return 2;
+    case ErrorCode::kParse: return 3;
+    case ErrorCode::kNumerical: return 4;
+    case ErrorCode::kIo: return 5;
+  }
+  return 1;
+}
+
+ParseError::ParseError(std::string source, std::size_t line, std::size_t column,
+                       const std::string& message, std::string token)
+    : std::runtime_error(format_parse_error(source, line, column, message, token)),
+      Error(ErrorCode::kParse, format_parse_error(source, line, column, message, token)),
+      source_(std::move(source)),
+      line_(line),
+      column_(column),
+      token_(std::move(token)) {}
+
+std::string error_json(const Error& error) {
+  std::ostringstream os;
+  os << "{\"error\":\"" << error_code_name(error.code()) << "\",\"exit_code\":"
+     << exit_code_for(error.code()) << ",\"message\":";
+  append_json_string(os, error.message());
+  if (const auto* pe = dynamic_cast<const ParseError*>(&error)) {
+    os << ",\"source\":";
+    append_json_string(os, pe->source());
+    os << ",\"line\":" << pe->line() << ",\"column\":" << pe->column();
+    if (!pe->token().empty()) {
+      os << ",\"token\":";
+      append_json_string(os, pe->token());
+    }
+  }
+  os << '}';
+  return os.str();
+}
+
+std::string error_json(const std::exception& error) {
+  if (const auto* typed = dynamic_cast<const Error*>(&error)) return error_json(*typed);
+  std::ostringstream os;
+  os << "{\"error\":\"internal\",\"exit_code\":1,\"message\":";
+  append_json_string(os, error.what());
+  os << '}';
+  return os.str();
+}
+
+}  // namespace rgleak

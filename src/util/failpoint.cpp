@@ -1,0 +1,115 @@
+#include "util/failpoint.h"
+
+#include <chrono>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace rgleak::util {
+
+namespace {
+
+struct SiteState {
+  FailpointAction action = FailpointAction::kThrow;
+  std::size_t remaining = 0;  // executions left to fire on
+  unsigned delay_ms = 0;
+  std::size_t hits = 0;
+};
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::string, SiteState>& registry() {
+  static std::map<std::string, SiteState> r;
+  return r;
+}
+
+// Decides under the lock whether `site` fires, updates counters, and returns
+// the action to take outside the lock (sleeping or throwing while holding the
+// registry mutex would serialize unrelated sites).
+struct Decision {
+  bool fire = false;
+  FailpointAction action = FailpointAction::kThrow;
+  unsigned delay_ms = 0;
+};
+
+Decision decide(const char* site) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto it = registry().find(site);
+  if (it == registry().end() || it->second.remaining == 0) return {};
+  SiteState& s = it->second;
+  if (s.remaining != std::numeric_limits<std::size_t>::max()) {
+    --s.remaining;
+    // Exhausted sites drop out of the fast-path count so production code goes
+    // back to the single-load path once the injection burst is over.
+    if (s.remaining == 0) Failpoints::armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+  ++s.hits;
+  return {true, s.action, s.delay_ms};
+}
+
+}  // namespace
+
+void Failpoints::arm(const std::string& site, FailpointAction action, std::size_t count,
+                     unsigned delay_ms) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  SiteState& s = registry()[site];
+  const bool was_live = s.remaining > 0;
+  s = SiteState{action, count, delay_ms, 0};
+  if (!was_live && count > 0) armed_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Failpoints::disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto it = registry().find(site);
+  if (it == registry().end()) return;
+  if (it->second.remaining > 0) armed_count.fetch_sub(1, std::memory_order_relaxed);
+  registry().erase(it);
+}
+
+void Failpoints::disarm_all() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  for (const auto& [name, state] : registry())
+    if (state.remaining > 0) armed_count.fetch_sub(1, std::memory_order_relaxed);
+  registry().clear();
+}
+
+std::size_t Failpoints::hits(const std::string& site) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto it = registry().find(site);
+  return it == registry().end() ? 0 : it->second.hits;
+}
+
+void Failpoints::hit(const char* site) {
+  const Decision d = decide(site);
+  if (!d.fire) return;
+  switch (d.action) {
+    case FailpointAction::kThrow:
+      throw FailpointError(site);
+    case FailpointAction::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(d.delay_ms));
+      return;
+    case FailpointAction::kNan:
+      return;  // only meaningful at RGLEAK_FAILPOINT_DOUBLE sites
+  }
+}
+
+double Failpoints::corrupt(const char* site, double value) {
+  const Decision d = decide(site);
+  if (!d.fire) return value;
+  switch (d.action) {
+    case FailpointAction::kNan:
+      return std::numeric_limits<double>::quiet_NaN();
+    case FailpointAction::kThrow:
+      throw FailpointError(site);
+    case FailpointAction::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(d.delay_ms));
+      return value;
+  }
+  return value;
+}
+
+}  // namespace rgleak::util

@@ -1,0 +1,109 @@
+#pragma once
+// Fault-injection points for robustness testing.
+//
+// Library code marks interesting failure sites with
+//
+//   RGLEAK_FAILPOINT("mc.trial");                       // may throw or delay
+//   x = RGLEAK_FAILPOINT_DOUBLE("estimate.linear.cov", x);  // may become NaN
+//
+// In production nothing is armed and each site costs one relaxed atomic load
+// (a single branch on a cold global; zero allocations, zero locks). Tests arm
+// sites by name to make them throw, corrupt a double to NaN, or sleep — which
+// lets the suite prove that worker exceptions propagate without deadlock,
+// that pools stay usable after a failed job, and that partial reads never
+// leak half-constructed objects. Compiling with RGLEAK_DISABLE_FAILPOINTS
+// removes the sites entirely.
+//
+// Arming and firing are thread-safe; fired sites count their hits so tests
+// can assert a site was actually exercised.
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace rgleak::util {
+
+/// What an armed failpoint does when execution reaches it.
+enum class FailpointAction {
+  kThrow,  ///< throw FailpointError from the site
+  kNan,    ///< RGLEAK_FAILPOINT_DOUBLE sites return NaN (plain sites no-op)
+  kDelay,  ///< sleep for the configured delay (races / straggler testing)
+};
+
+/// The exception an armed kThrow failpoint raises. Deliberately outside the
+/// rgleak error taxonomy: it simulates an arbitrary foreign exception
+/// escaping a task, which is exactly what robustness tests need.
+class FailpointError : public std::runtime_error {
+ public:
+  explicit FailpointError(const std::string& site)
+      : std::runtime_error("failpoint '" + site + "' fired"), site_(site) {}
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+class Failpoints {
+ public:
+  /// Fast-path gate: true when at least one site is armed anywhere in the
+  /// process. The macros check this before taking the registry lock.
+  static bool any_armed() { return armed_count.load(std::memory_order_relaxed) > 0; }
+
+  /// Arm `site`. It fires on its next `count` executions (default: until
+  /// disarmed); kDelay sleeps `delay_ms` per hit. Re-arming replaces the
+  /// previous configuration and resets the hit counter.
+  static void arm(const std::string& site, FailpointAction action, std::size_t count = SIZE_MAX,
+                  unsigned delay_ms = 0);
+  static void disarm(const std::string& site);
+  static void disarm_all();
+
+  /// Times `site` fired since it was (last) armed.
+  static std::size_t hits(const std::string& site);
+
+  /// Slow path behind RGLEAK_FAILPOINT; call only when any_armed().
+  static void hit(const char* site);
+  /// Slow path behind RGLEAK_FAILPOINT_DOUBLE: returns NaN when `site` is
+  /// armed with kNan, otherwise behaves like hit() and returns `value`.
+  static double corrupt(const char* site, double value);
+
+  // Fast-path gate; an inline variable so the macro check inlines to one
+  // relaxed load with no function call.
+  static inline std::atomic<int> armed_count{0};
+};
+
+/// RAII arming for tests: arms in the constructor, disarms in the destructor
+/// so a failing assertion cannot leave a site armed for later tests.
+class ScopedFailpoint {
+ public:
+  explicit ScopedFailpoint(std::string site, FailpointAction action = FailpointAction::kThrow,
+                           std::size_t count = SIZE_MAX, unsigned delay_ms = 0)
+      : site_(std::move(site)) {
+    Failpoints::arm(site_, action, count, delay_ms);
+  }
+  ~ScopedFailpoint() { Failpoints::disarm(site_); }
+
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string site_;
+};
+
+}  // namespace rgleak::util
+
+#if defined(RGLEAK_DISABLE_FAILPOINTS)
+#define RGLEAK_FAILPOINT(site) \
+  do {                         \
+  } while (0)
+#define RGLEAK_FAILPOINT_DOUBLE(site, value) (value)
+#else
+#define RGLEAK_FAILPOINT(site)                                                     \
+  do {                                                                             \
+    if (::rgleak::util::Failpoints::any_armed()) ::rgleak::util::Failpoints::hit(site); \
+  } while (0)
+#define RGLEAK_FAILPOINT_DOUBLE(site, value)               \
+  (::rgleak::util::Failpoints::any_armed()                 \
+       ? ::rgleak::util::Failpoints::corrupt(site, (value)) \
+       : (value))
+#endif

@@ -4,26 +4,17 @@
 // RGLEAK_REQUIRE(cond, msg)  — throws rgleak::ContractViolation when `cond` is
 // false. Used for API preconditions; always on (these checks are cheap relative
 // to the numerical work this library does).
+//
+// The exception taxonomy itself (ContractViolation, NumericalError, ParseError,
+// IoError, ConfigError) lives in util/error.h; this header re-exports it so the
+// many existing `#include "util/require.h"` sites keep compiling.
 
 #include <sstream>
-#include <stdexcept>
 #include <string>
 
+#include "util/error.h"
+
 namespace rgleak {
-
-/// Thrown when a documented precondition or invariant of the library is violated.
-class ContractViolation : public std::logic_error {
- public:
-  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
-};
-
-/// Thrown when a numerical routine fails to converge or receives an
-/// ill-conditioned problem (distinct from caller bugs, which are
-/// ContractViolation).
-class NumericalError : public std::runtime_error {
- public:
-  explicit NumericalError(const std::string& what) : std::runtime_error(what) {}
-};
 
 namespace detail {
 [[noreturn]] inline void contract_fail(const char* expr, const char* file, int line,

@@ -1,5 +1,7 @@
 #include "util/thread_pool.h"
 
+#include "util/failpoint.h"
+
 #include <atomic>
 #include <condition_variable>
 #include <exception>
@@ -43,6 +45,7 @@ struct ThreadPool::Impl {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) break;
       try {
+        RGLEAK_FAILPOINT("thread_pool.task");
         (*f)(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex);
@@ -128,7 +131,10 @@ void ThreadPool::parallel_for(std::size_t count,
     return;
   }
   // Serial pool, trivial job, or reentrant call: run inline.
-  for (std::size_t i = 0; i < count; ++i) fn(i);
+  for (std::size_t i = 0; i < count; ++i) {
+    RGLEAK_FAILPOINT("thread_pool.task");
+    fn(i);
+  }
 }
 
 ThreadPool& ThreadPool::shared() {

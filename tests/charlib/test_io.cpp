@@ -84,15 +84,20 @@ TEST(CharIo, RoundTripAnisotropy) {
 
 TEST(CharIo, RejectsBadHeader) {
   std::stringstream buf("not-a-charlib\n");
-  EXPECT_THROW(load_characterization(mini_library(), buf), ContractViolation);
+  try {
+    (void)load_characterization(mini_library(), buf, "bad.rgchar");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.source(), "bad.rgchar");
+    EXPECT_EQ(e.line(), 1u);
+  }
 }
 
 TEST(CharIo, RejectsWrongLibrary) {
   // Serialize the mini library, try to load against the full library.
   std::stringstream buf;
   save_characterization(mini_chars_analytic(), buf);
-  EXPECT_THROW(load_characterization(rgleak::testing::full_library(), buf),
-               ContractViolation);
+  EXPECT_THROW(load_characterization(rgleak::testing::full_library(), buf), ParseError);
 }
 
 TEST(CharIo, RejectsTruncatedFile) {
@@ -100,7 +105,12 @@ TEST(CharIo, RejectsTruncatedFile) {
   save_characterization(mini_chars_analytic(), full);
   const std::string text = full.str();
   std::stringstream truncated(text.substr(0, text.size() / 2));
-  EXPECT_THROW(load_characterization(mini_library(), truncated), ContractViolation);
+  try {
+    (void)load_characterization(mini_library(), truncated);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_GT(e.line(), 1u);
+  }
 }
 
 TEST(CharIo, FileRoundTrip) {
@@ -108,7 +118,7 @@ TEST(CharIo, FileRoundTrip) {
   save_characterization(mini_chars_analytic(), path);
   const CharacterizedLibrary loaded = load_characterization(mini_library(), path);
   EXPECT_EQ(loaded.size(), mini_chars_analytic().size());
-  EXPECT_THROW(load_characterization(mini_library(), path + ".missing"), NumericalError);
+  EXPECT_THROW(load_characterization(mini_library(), path + ".missing"), IoError);
 }
 
 }  // namespace

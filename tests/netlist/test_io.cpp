@@ -46,26 +46,41 @@ TEST(NetlistIo, RunLengthEncodingIsCompact) {
   EXPECT_EQ(lines, 4u);  // magic, name, gates, one run
 }
 
+// Loads from `text` expecting a ParseError; returns it for inspection.
+ParseError parse_failure(const std::string& text, const std::string& source = "<stream>") {
+  std::stringstream buf(text);
+  try {
+    (void)load_netlist(mini_library(), buf, source);
+  } catch (const ParseError& e) {
+    return e;
+  }
+  ADD_FAILURE() << "expected ParseError from: " << text;
+  return ParseError("", 0, 0, "unreached");
+}
+
 TEST(NetlistIo, RejectsBadHeaderAndTruncation) {
-  std::stringstream bad("nope\n");
-  EXPECT_THROW(load_netlist(mini_library(), bad), ContractViolation);
+  const ParseError bad = parse_failure("nope\n", "bad.rgnl");
+  EXPECT_EQ(bad.source(), "bad.rgnl");
+  EXPECT_EQ(bad.line(), 1u);
+  EXPECT_NE(std::string(bad.what()).find("bad.rgnl:1"), std::string::npos);
 
   const Netlist orig = sample_netlist(50);
   std::stringstream buf;
   save_netlist(orig, buf);
   const std::string text = buf.str();
-  std::stringstream truncated(text.substr(0, text.size() - 20));
-  EXPECT_THROW(load_netlist(mini_library(), truncated), ContractViolation);
+  const ParseError trunc = parse_failure(text.substr(0, text.size() - 20));
+  EXPECT_GT(trunc.line(), 1u);
 }
 
 TEST(NetlistIo, RejectsUnknownCell) {
-  std::stringstream buf("rgnl-v1\nname x\ngates 1\nNOT_A_CELL 1\n");
-  EXPECT_THROW(load_netlist(mini_library(), buf), ContractViolation);
+  const ParseError e = parse_failure("rgnl-v1\nname x\ngates 1\nNOT_A_CELL 1\n");
+  EXPECT_EQ(e.line(), 4u);
+  EXPECT_EQ(e.token(), "NOT_A_CELL");
 }
 
 TEST(NetlistIo, RejectsOverlongRun) {
-  std::stringstream buf("rgnl-v1\nname x\ngates 2\nINV_X1 5\n");
-  EXPECT_THROW(load_netlist(mini_library(), buf), ContractViolation);
+  const ParseError e = parse_failure("rgnl-v1\nname x\ngates 2\nINV_X1 5\n");
+  EXPECT_EQ(e.line(), 4u);
 }
 
 TEST(NetlistIo, FileRoundTrip) {
@@ -74,7 +89,7 @@ TEST(NetlistIo, FileRoundTrip) {
   save_netlist(orig, path);
   const Netlist loaded = load_netlist(mini_library(), path);
   EXPECT_EQ(loaded.size(), orig.size());
-  EXPECT_THROW(load_netlist(mini_library(), path + ".missing"), NumericalError);
+  EXPECT_THROW(load_netlist(mini_library(), path + ".missing"), IoError);
 }
 
 }  // namespace

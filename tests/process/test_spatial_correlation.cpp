@@ -94,7 +94,7 @@ TEST(PowerExponentialCorrelation, RejectsBadExponent) {
 }
 
 TEST(Factory, RejectsUnknownModelAndBadScale) {
-  EXPECT_THROW(make_correlation("nope", 1.0), ContractViolation);
+  EXPECT_THROW(make_correlation("nope", 1.0), ConfigError);
   EXPECT_THROW(make_correlation("exponential", 0.0), ContractViolation);
   EXPECT_THROW(make_correlation("linear", -1.0), ContractViolation);
 }

@@ -1,0 +1,97 @@
+// Malformed-input corpus: every bad .bench file must fail with a typed
+// ParseError naming the file and the exact 1-based line — never a crash, a
+// silent zero, or an untyped exception. RGLEAK_TEST_CORPUS_DIR is injected by
+// CMake and points at tests/netlist/corpus.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "../test_util.h"
+#include "netlist/bench.h"
+#include "util/error.h"
+
+namespace rgleak::netlist {
+namespace {
+
+using rgleak::testing::full_library;
+
+std::string corpus(const char* file) {
+  return std::string(RGLEAK_TEST_CORPUS_DIR) + "/" + file;
+}
+
+struct CorpusCase {
+  const char* file;
+  std::size_t line;     // expected 1-based failure line
+  const char* needle;   // must appear in what()
+};
+
+const CorpusCase kMalformed[] = {
+    {"bad_unknown_function.bench", 4, "unknown gate function"},
+    {"bad_wide_nand.bench", 6, "no library cell implements NAND with 5 inputs"},
+    {"bad_missing_paren.bench", 1, "expected ')'"},
+    {"bad_trailing_garbage.bench", 3, "unexpected trailing characters"},
+    {"bad_duplicate_definition.bench", 4, "first defined at line 3"},
+    {"bad_undefined_signal.bench", 2, "'phantom' is referenced but never defined"},
+    {"bad_no_equals.bench", 3, "expected '='"},
+    {"bad_not_fanin.bench", 3, "NOT takes exactly one input"},
+    {"bad_empty_args.bench", 2, "has no inputs"},
+    {"bad_nand_one_input.bench", 2, "NAND needs at least two inputs"},
+    {"bad_only_comments.bench", 2, "netlist contains no gates"},
+};
+
+TEST(BenchCorpus, EveryMalformedFileFailsWithLocatedParseError) {
+  for (const CorpusCase& c : kMalformed) {
+    const std::string path = corpus(c.file);
+    try {
+      (void)load_bench(full_library(), path);
+      ADD_FAILURE() << c.file << ": expected ParseError, parse succeeded";
+    } catch (const ParseError& e) {
+      EXPECT_EQ(e.source(), path) << c.file;
+      EXPECT_EQ(e.line(), c.line) << c.file << ": " << e.what();
+      const std::string what = e.what();
+      EXPECT_NE(what.find(c.needle), std::string::npos) << c.file << ": " << what;
+      // what() leads with "path:line:" so editors can jump to the failure.
+      EXPECT_EQ(what.rfind(path + ":" + std::to_string(c.line), 0), 0u)
+          << c.file << ": " << what;
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << c.file << ": wrong exception type: " << e.what();
+    }
+  }
+}
+
+TEST(BenchCorpus, MalformedColumnsPointIntoTheLine) {
+  // Spot-check the column tracking on a token in mid-line.
+  try {
+    (void)load_bench(full_library(), corpus("bad_unknown_function.bench"));
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.column(), 5u);  // "g = FOO(..." - FOO starts at column 5
+    EXPECT_EQ(e.token(), "FOO");
+  }
+}
+
+TEST(BenchCorpus, GoodC17Loads) {
+  const Netlist nl = load_bench(full_library(), corpus("good_c17.bench"));
+  EXPECT_EQ(nl.name(), "good_c17");
+  ASSERT_EQ(nl.size(), 6u);
+  const std::size_t nand2 = full_library().index_of("NAND2_X1");
+  for (std::size_t i = 0; i < nl.size(); ++i) EXPECT_EQ(nl.gate(i).cell_index, nand2);
+}
+
+TEST(BenchCorpus, GoodS27LoadsWithFlops) {
+  const Netlist nl = load_bench(full_library(), corpus("good_s27.bench"));
+  ASSERT_EQ(nl.size(), 13u);
+  std::size_t dffs = 0;
+  const std::size_t dff = full_library().index_of("DFF_X1");
+  for (std::size_t i = 0; i < nl.size(); ++i)
+    if (nl.gate(i).cell_index == dff) ++dffs;
+  EXPECT_EQ(dffs, 3u);
+}
+
+TEST(BenchCorpus, MissingFileIsIoError) {
+  EXPECT_THROW((void)load_bench(full_library(), corpus("no_such_file.bench")), IoError);
+}
+
+}  // namespace
+}  // namespace rgleak::netlist

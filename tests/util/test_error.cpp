@@ -1,0 +1,103 @@
+// The error taxonomy itself: exit-code mapping, the ParseError location
+// format, catchability through every advertised base, and the JSON renderer.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "util/error.h"
+
+namespace rgleak {
+namespace {
+
+TEST(ErrorTaxonomy, ExitCodesFollowTheDocumentedContract) {
+  EXPECT_EQ(exit_code_for(ErrorCode::kContract), 1);
+  EXPECT_EQ(exit_code_for(ErrorCode::kConfig), 2);
+  EXPECT_EQ(exit_code_for(ErrorCode::kParse), 3);
+  EXPECT_EQ(exit_code_for(ErrorCode::kNumerical), 4);
+  EXPECT_EQ(exit_code_for(ErrorCode::kIo), 5);
+}
+
+TEST(ErrorTaxonomy, CodeNamesAreStable) {
+  EXPECT_STREQ(error_code_name(ErrorCode::kContract), "contract");
+  EXPECT_STREQ(error_code_name(ErrorCode::kNumerical), "numerical");
+  EXPECT_STREQ(error_code_name(ErrorCode::kParse), "parse");
+  EXPECT_STREQ(error_code_name(ErrorCode::kIo), "io");
+  EXPECT_STREQ(error_code_name(ErrorCode::kConfig), "config");
+}
+
+TEST(ErrorTaxonomy, EveryErrorIsCatchableAsStdAndAsTaxonomy) {
+  // Historical catch sites use the std bases; new ones use rgleak::Error.
+  try {
+    throw NumericalError("boom");
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  try {
+    throw ContractViolation("broken invariant");
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(), "broken invariant");
+  }
+  try {
+    throw IoError("disk gone");
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIo);
+    EXPECT_EQ(e.message(), "disk gone");
+  }
+  try {
+    throw ConfigError("no such model");
+  } catch (const Error& e) {
+    EXPECT_EQ(exit_code_for(e.code()), 2);
+  }
+}
+
+TEST(ErrorTaxonomy, ParseErrorFormatsLocation) {
+  const ParseError e("chip.bench", 12, 7, "unknown gate function", "FOO");
+  EXPECT_EQ(e.source(), "chip.bench");
+  EXPECT_EQ(e.line(), 12u);
+  EXPECT_EQ(e.column(), 7u);
+  EXPECT_EQ(e.token(), "FOO");
+  EXPECT_STREQ(e.what(), "chip.bench:12:7: unknown gate function (near 'FOO')");
+  EXPECT_EQ(e.code(), ErrorCode::kParse);
+}
+
+TEST(ErrorTaxonomy, ParseErrorOmitsUnknownColumnAndToken) {
+  const ParseError e("a.rgnl", 3, 0, "bad header");
+  EXPECT_STREQ(e.what(), "a.rgnl:3: bad header");
+}
+
+TEST(ErrorTaxonomy, JsonReportCarriesCodeAndLocation) {
+  const ParseError e("c17.bench", 4, 5, "unknown gate function", "FOO");
+  // Concrete errors derive from both std::exception and Error; bind through
+  // the taxonomy base as handlers do.
+  const Error& err = e;
+  const std::string json = error_json(err);
+  EXPECT_NE(json.find("\"error\":\"parse\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"exit_code\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"source\":\"c17.bench\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"line\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"column\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"token\":\"FOO\""), std::string::npos) << json;
+  EXPECT_EQ(json.find('\n'), std::string::npos) << "must be a single line";
+}
+
+TEST(ErrorTaxonomy, JsonEscapesQuotesAndBackslashes) {
+  const IoError e("cannot open \"C:\\tmp\\x\"");
+  const Error& err = e;
+  const std::string json = error_json(err);
+  EXPECT_NE(json.find("\\\"C:\\\\tmp\\\\x\\\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"error\":\"io\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"exit_code\":5"), std::string::npos) << json;
+}
+
+TEST(ErrorTaxonomy, UntypedExceptionReportsAsInternal) {
+  const std::runtime_error e("what happened");
+  const std::string json = error_json(e);
+  EXPECT_NE(json.find("\"error\":\"internal\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"exit_code\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"message\":\"what happened\""), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace rgleak

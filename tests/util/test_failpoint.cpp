@@ -1,0 +1,98 @@
+// The failpoint registry: disabled by default, arm/fire/count semantics, NaN
+// corruption, delays, and RAII disarming.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+
+#include "util/failpoint.h"
+
+namespace rgleak::util {
+namespace {
+
+double probe(double v) { return RGLEAK_FAILPOINT_DOUBLE("test.site.double", v); }
+void touch() { RGLEAK_FAILPOINT("test.site.plain"); }
+
+TEST(Failpoint, DisarmedSitesAreFree) {
+  Failpoints::disarm_all();
+  EXPECT_FALSE(Failpoints::any_armed());
+  touch();                        // must be a no-op
+  EXPECT_EQ(probe(3.5), 3.5);     // must pass the value through
+  EXPECT_EQ(Failpoints::hits("test.site.plain"), 0u);
+}
+
+TEST(Failpoint, ThrowFiresCountTimesThenStops) {
+  Failpoints::arm("test.site.plain", FailpointAction::kThrow, 2);
+  EXPECT_TRUE(Failpoints::any_armed());
+  EXPECT_THROW(touch(), FailpointError);
+  EXPECT_THROW(touch(), FailpointError);
+  touch();  // budget exhausted: silent
+  EXPECT_EQ(Failpoints::hits("test.site.plain"), 2u);
+  Failpoints::disarm("test.site.plain");
+  EXPECT_FALSE(Failpoints::any_armed());
+}
+
+TEST(Failpoint, ErrorNamesTheSite) {
+  Failpoints::arm("test.site.plain", FailpointAction::kThrow, 1);
+  try {
+    touch();
+    FAIL() << "expected FailpointError";
+  } catch (const FailpointError& e) {
+    EXPECT_EQ(e.site(), "test.site.plain");
+    EXPECT_NE(std::string(e.what()).find("test.site.plain"), std::string::npos);
+  }
+  Failpoints::disarm("test.site.plain");
+}
+
+TEST(Failpoint, NanCorruptsDoubleSitesOnly) {
+  Failpoints::arm("test.site.double", FailpointAction::kNan, 1);
+  EXPECT_TRUE(std::isnan(probe(1.0)));
+  EXPECT_EQ(probe(2.0), 2.0);  // count exhausted
+  // kNan on a plain site is a harmless no-op (there is no value to corrupt).
+  Failpoints::arm("test.site.plain", FailpointAction::kNan);
+  touch();
+  EXPECT_GE(Failpoints::hits("test.site.plain"), 1u);
+  Failpoints::disarm_all();
+}
+
+TEST(Failpoint, DelayReturnsAfterSleeping) {
+  Failpoints::arm("test.site.plain", FailpointAction::kDelay, 1, 20);
+  const auto t0 = std::chrono::steady_clock::now();
+  touch();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 15);
+  Failpoints::disarm("test.site.plain");
+}
+
+TEST(Failpoint, RearmingResetsTheHitCounter) {
+  Failpoints::arm("test.site.plain", FailpointAction::kThrow, 1);
+  EXPECT_THROW(touch(), FailpointError);
+  EXPECT_EQ(Failpoints::hits("test.site.plain"), 1u);
+  Failpoints::arm("test.site.plain", FailpointAction::kThrow, 1);
+  EXPECT_EQ(Failpoints::hits("test.site.plain"), 0u);
+  EXPECT_THROW(touch(), FailpointError);
+  Failpoints::disarm("test.site.plain");
+}
+
+TEST(Failpoint, ScopedFailpointDisarmsOnExit) {
+  {
+    const ScopedFailpoint fp("test.site.plain", FailpointAction::kThrow, SIZE_MAX);
+    EXPECT_TRUE(Failpoints::any_armed());
+    EXPECT_THROW(touch(), FailpointError);
+  }
+  EXPECT_FALSE(Failpoints::any_armed());
+  touch();  // disarmed again
+}
+
+TEST(Failpoint, DisarmAllClearsEverySite) {
+  Failpoints::arm("test.site.plain", FailpointAction::kThrow);
+  Failpoints::arm("test.site.double", FailpointAction::kNan);
+  Failpoints::disarm_all();
+  EXPECT_FALSE(Failpoints::any_armed());
+  touch();
+  EXPECT_EQ(probe(4.0), 4.0);
+}
+
+}  // namespace
+}  // namespace rgleak::util

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/failpoint.h"
+
 namespace rgleak::util {
 namespace {
 
@@ -96,6 +98,25 @@ TEST(ThreadPool, BackToBackJobsWithShrinkingCounts) {
     for (const auto& h : a) ASSERT_EQ(h.load(), 1);
     for (const auto& h : b) ASSERT_EQ(h.load(), 1);
   }
+}
+
+TEST(ThreadPool, FailpointInTaskPropagatesAndPoolStaysUsable) {
+  ThreadPool pool(4);
+  {
+    const ScopedFailpoint fp("thread_pool.task", FailpointAction::kThrow, 1);
+    EXPECT_THROW(pool.parallel_for(64, [&](std::size_t) {}), FailpointError);
+    EXPECT_GE(Failpoints::hits("thread_pool.task"), 1u);
+  }
+  std::atomic<int> count{0};
+  pool.parallel_for(64, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, FailpointFiresOnSerialInlinePathToo) {
+  ThreadPool pool(1);
+  const ScopedFailpoint fp("thread_pool.task", FailpointAction::kThrow, 1);
+  EXPECT_THROW(pool.parallel_for(4, [&](std::size_t) {}), FailpointError);
+  pool.parallel_for(4, [&](std::size_t) {});  // count exhausted: clean
 }
 
 TEST(ThreadPool, SharedKeyedPoolIsCachedPerThreadCount) {

@@ -35,6 +35,7 @@
 #include "netlist/io.h"
 #include "netlist/random_circuit.h"
 #include "process/variation.h"
+#include "util/error.h"
 #include "util/table.h"
 
 using namespace rgleak;
@@ -62,9 +63,14 @@ namespace {
                "  rgleak corners --lib FILE --usage SPEC --gates N\n"
                "  rgleak sensitivity --lib FILE --usage SPEC --gates N\n"
                "\n"
-               "usage SPEC: comma-separated cell:weight pairs, e.g. INV_X1:0.4,NAND2_X1:0.6\n");
+               "usage SPEC: comma-separated cell:weight pairs, e.g. INV_X1:0.4,NAND2_X1:0.6\n"
+               "global flags: --error-json (one-line JSON error reports on stderr)\n"
+               "exit codes: 0 ok, 1 internal, 2 usage/config, 3 parse, 4 numerical, 5 io\n");
   std::exit(2);
 }
+
+// Flags that take no value; present means "1".
+bool is_boolean_flag(const std::string& key) { return key == "error-json"; }
 
 std::map<std::string, std::string> parse_flags(int argc, char** argv, int first) {
   std::map<std::string, std::string> flags;
@@ -72,10 +78,40 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv, int first)
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) usage_exit(("unexpected argument: " + key).c_str());
     key = key.substr(2);
+    if (is_boolean_flag(key)) {
+      flags[key] = "1";
+      continue;
+    }
     if (i + 1 >= argc) usage_exit(("missing value for --" + key).c_str());
     flags[key] = argv[++i];
   }
   return flags;
+}
+
+// Checked numeric parsers: the whole token must convert, no silent atof-style
+// "0 on garbage".
+double parse_double(const std::string& s, const std::string& what) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end == s.c_str() || *end != '\0')
+    usage_exit((what + " expects a number, got: " + s).c_str());
+  return v;
+}
+
+long long parse_int(const std::string& s, const std::string& what) {
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end == s.c_str() || *end != '\0')
+    usage_exit((what + " expects an integer, got: " + s).c_str());
+  return v;
+}
+
+std::size_t parse_count(const std::string& s, const std::string& what) {
+  const long long v = parse_int(s, what);
+  if (v < 0) usage_exit((what + " must be non-negative, got: " + s).c_str());
+  return static_cast<std::size_t>(v);
 }
 
 std::string flag(const std::map<std::string, std::string>& flags, const std::string& key,
@@ -100,7 +136,7 @@ netlist::UsageHistogram parse_usage(const cells::StdCellLibrary& lib, const std:
     const auto colon = item.find(':');
     if (colon == std::string::npos) usage_exit(("bad usage item: " + item).c_str());
     const std::string name = item.substr(0, colon);
-    const double w = std::atof(item.c_str() + colon + 1);
+    const double w = parse_double(item.substr(colon + 1), "usage weight");
     if (w <= 0.0) usage_exit(("bad usage weight in: " + item).c_str());
     u.alphas[lib.index_of(name)] += w;
     total += w;
@@ -113,8 +149,8 @@ netlist::UsageHistogram parse_usage(const cells::StdCellLibrary& lib, const std:
 void parse_die(const std::string& spec, double& w_nm, double& h_nm) {
   const auto x = spec.find('x');
   if (x == std::string::npos) usage_exit(("bad --die-um, expected WxH: " + spec).c_str());
-  w_nm = std::atof(spec.substr(0, x).c_str()) * 1000.0;
-  h_nm = std::atof(spec.c_str() + x + 1) * 1000.0;
+  w_nm = parse_double(spec.substr(0, x), "--die-um width") * 1000.0;
+  h_nm = parse_double(spec.substr(x + 1), "--die-um height") * 1000.0;
   if (w_nm <= 0.0 || h_nm <= 0.0) usage_exit("die dimensions must be positive");
 }
 
@@ -123,13 +159,13 @@ int cmd_characterize(const std::map<std::string, std::string>& flags) {
   const std::string mode = flag(flags, "mode", "analytic");
 
   process::LengthVariation len;
-  len.mean_nm = std::atof(flag(flags, "mean-l", "40").c_str());
-  len.sigma_d2d_nm = std::atof(flag(flags, "sigma-d2d", "1.7678").c_str());
-  len.sigma_wid_nm = std::atof(flag(flags, "sigma-wid", "1.7678").c_str());
+  len.mean_nm = parse_double(flag(flags, "mean-l", "40"), "--mean-l");
+  len.sigma_d2d_nm = parse_double(flag(flags, "sigma-d2d", "1.7678"), "--sigma-d2d");
+  len.sigma_wid_nm = parse_double(flag(flags, "sigma-wid", "1.7678"), "--sigma-wid");
   process::VtVariation vt;
-  vt.sigma_v = std::atof(flag(flags, "sigma-vt", "0.02").c_str());
+  vt.sigma_v = parse_double(flag(flags, "sigma-vt", "0.02"), "--sigma-vt");
   const std::string family = flag(flags, "corr", "exponential");
-  const double scale_nm = std::atof(flag(flags, "corr-scale-um", "100").c_str()) * 1000.0;
+  const double scale_nm = parse_double(flag(flags, "corr-scale-um", "100"), "--corr-scale-um") * 1000.0;
   const process::ProcessVariation process(len, vt,
                                           process::make_correlation(family, scale_nm));
 
@@ -158,7 +194,7 @@ int cmd_estimate(const std::map<std::string, std::string>& flags) {
 
   core::DesignCharacteristics d;
   d.usage = parse_usage(lib, flag(flags, "usage"));
-  d.gate_count = static_cast<std::size_t>(std::atoll(flag(flags, "gates").c_str()));
+  d.gate_count = parse_count(flag(flags, "gates"), "--gates");
   parse_die(flag(flags, "die-um"), d.width_nm, d.height_nm);
 
   core::EstimatorConfig cfg;
@@ -170,7 +206,7 @@ int cmd_estimate(const std::map<std::string, std::string>& flags) {
     cfg.maximize_signal_probability = true;
   } else {
     cfg.maximize_signal_probability = false;
-    cfg.signal_probability = std::atof(p.c_str());
+    cfg.signal_probability = parse_double(p, "--p");
   }
 
   const core::LeakageEstimator estimator(chars, cfg);
@@ -182,12 +218,12 @@ int cmd_estimate(const std::map<std::string, std::string>& flags) {
 
   const core::LeakageYieldModel yield(e);
   if (has_flag(flags, "quantile")) {
-    const double q = std::atof(flag(flags, "quantile").c_str());
+    const double q = parse_double(flag(flags, "quantile"), "--quantile");
     std::printf("P%.4g leakage: %.4f uA (log-normal model)\n", 100.0 * q,
                 yield.quantile(q) * 1e-3);
   }
   if (has_flag(flags, "budget-ua")) {
-    const double budget = std::atof(flag(flags, "budget-ua").c_str()) * 1000.0;
+    const double budget = parse_double(flag(flags, "budget-ua"), "--budget-ua") * 1000.0;
     std::printf("yield @ %.4g uA: %.4f%%\n", budget * 1e-3, 100.0 * yield.yield(budget));
   }
   return 0;
@@ -222,13 +258,7 @@ int cmd_netlist(const std::map<std::string, std::string>& flags) {
     } else {
       usage_exit(("unknown exact method: " + method).c_str());
     }
-    const std::string threads_str = flag(flags, "threads", "0");
-    char* end = nullptr;
-    errno = 0;
-    const long long threads = std::strtoll(threads_str.c_str(), &end, 10);
-    if (errno != 0 || end == threads_str.c_str() || *end != '\0' || threads < 0)
-      usage_exit("--threads must be a non-negative integer (0 = hardware concurrency)");
-    opts.threads = static_cast<std::size_t>(threads);
+    opts.threads = parse_count(flag(flags, "threads", "0"), "--threads");
     const placement::Placement pl(&nl, fp);
     const core::ExactEstimator exact(chars, 0.5, mode);
     const core::LeakageEstimate truth = exact.estimate(pl, opts);
@@ -242,9 +272,9 @@ int cmd_netlist(const std::map<std::string, std::string>& flags) {
 
 int cmd_gen_netlist(const std::map<std::string, std::string>& flags) {
   const cells::StdCellLibrary& lib = cells::build_virtual90_library();
-  const auto n = static_cast<std::size_t>(std::atoll(flag(flags, "gates").c_str()));
+  const std::size_t n = parse_count(flag(flags, "gates"), "--gates");
   const netlist::UsageHistogram usage = parse_usage(lib, flag(flags, "usage"));
-  math::Rng rng(static_cast<std::uint64_t>(std::atoll(flag(flags, "seed", "1").c_str())));
+  math::Rng rng(static_cast<std::uint64_t>(parse_int(flag(flags, "seed", "1"), "--seed")));
   const netlist::Netlist nl =
       netlist::generate_random_circuit(lib, usage, n, rng, netlist::UsageMatch::kExact,
                                        "generated");
@@ -260,9 +290,9 @@ int cmd_sweep(const std::map<std::string, std::string>& flags) {
   const netlist::UsageHistogram usage = parse_usage(lib, flag(flags, "usage"));
   double w_nm = 0.0, h_nm = 0.0;
   parse_die(flag(flags, "die-um"), w_nm, h_nm);
-  const auto from = static_cast<std::size_t>(std::atoll(flag(flags, "gates-from").c_str()));
-  const auto to = static_cast<std::size_t>(std::atoll(flag(flags, "gates-to").c_str()));
-  const auto steps = static_cast<std::size_t>(std::atoll(flag(flags, "steps", "8").c_str()));
+  const std::size_t from = parse_count(flag(flags, "gates-from"), "--gates-from");
+  const std::size_t to = parse_count(flag(flags, "gates-to"), "--gates-to");
+  const std::size_t steps = parse_count(flag(flags, "steps", "8"), "--steps");
   if (from == 0 || to < from || steps < 2) usage_exit("bad sweep range");
 
   core::EstimatorConfig cfg;
@@ -316,7 +346,7 @@ int cmd_corners(const std::map<std::string, std::string>& flags) {
   const charlib::CharacterizedLibrary chars =
       charlib::load_characterization(lib, flag(flags, "lib"));
   const netlist::UsageHistogram usage = parse_usage(lib, flag(flags, "usage"));
-  const auto gates = static_cast<std::size_t>(std::atoll(flag(flags, "gates").c_str()));
+  const std::size_t gates = parse_count(flag(flags, "gates"), "--gates");
   const auto corners =
       core::standard_corners(chars.process().length().sigma_d2d_nm);
   const auto results =
@@ -338,7 +368,7 @@ int cmd_sensitivity(const std::map<std::string, std::string>& flags) {
   const charlib::CharacterizedLibrary chars =
       charlib::load_characterization(lib, flag(flags, "lib"));
   const netlist::UsageHistogram usage = parse_usage(lib, flag(flags, "usage"));
-  const auto gates = static_cast<std::size_t>(std::atoll(flag(flags, "gates").c_str()));
+  const std::size_t gates = parse_count(flag(flags, "gates"), "--gates");
   const auto entries = core::process_sensitivities(lib, chars.process(), usage, gates);
   util::Table t({"knob", "base value", "dln(mean)/dln(x)", "dln(sigma)/dln(x)"});
   for (const auto& e : entries)
@@ -353,6 +383,10 @@ int cmd_sensitivity(const std::map<std::string, std::string>& flags) {
 int main(int argc, char** argv) {
   if (argc < 2) usage_exit();
   const std::string cmd = argv[1];
+  // Detected before flag parsing so even parse-time failures honor it.
+  bool json_errors = false;
+  for (int i = 2; i < argc; ++i)
+    if (std::string(argv[i]) == "--error-json") json_errors = true;
   try {
     const auto flags = parse_flags(argc, argv, 2);
     if (cmd == "characterize") return cmd_characterize(flags);
@@ -365,8 +399,22 @@ int main(int argc, char** argv) {
     if (cmd == "corners") return cmd_corners(flags);
     if (cmd == "sensitivity") return cmd_sensitivity(flags);
     usage_exit(("unknown command: " + cmd).c_str());
+  } catch (const Error& e) {
+    // Exit-code contract: 1 = internal bug, 2 = usage/config, 3 = parse,
+    // 4 = numerical, 5 = io.
+    if (json_errors) {
+      std::fprintf(stderr, "%s\n", error_json(e).c_str());
+    } else {
+      std::fprintf(stderr, "error: %s\n", e.message().c_str());
+      if (e.code() == ErrorCode::kContract)
+        std::fprintf(stderr, "this is a bug in rgleak, not in your input; please report it\n");
+    }
+    return exit_code_for(e.code());
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    if (json_errors)
+      std::fprintf(stderr, "%s\n", error_json(e).c_str());
+    else
+      std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
 }
