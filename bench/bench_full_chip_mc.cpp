@@ -1,0 +1,158 @@
+// Monte-Carlo engine throughput and run-control overhead: trials/s of the
+// full-chip MC reference serial and threaded, the cost of periodic
+// checkpointing, and the cost of carrying an unarmed RunControl token
+// (acceptance: <= 2% — one relaxed atomic load per trial).
+//
+// `bench_full_chip_mc --mc-json[=PATH]` writes the records to
+// BENCH_full_chip_mc.json in addition to the stdout table.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "mc/full_chip_mc.h"
+#include "netlist/random_circuit.h"
+#include "placement/placement.h"
+#include "util/run_control.h"
+
+namespace {
+
+using namespace rgleak;
+
+netlist::UsageHistogram bench_usage() {
+  const auto& lib = bench::library();
+  netlist::UsageHistogram u;
+  u.alphas.assign(lib.size(), 0.0);
+  u.alphas[lib.index_of("INV_X1")] = 0.4;
+  u.alphas[lib.index_of("NAND2_X1")] = 0.4;
+  u.alphas[lib.index_of("NOR2_X1")] = 0.2;
+  return u;
+}
+
+struct McRecord {
+  std::string config;
+  std::size_t trials = 0;
+  std::size_t threads = 0;
+  double wall_ms = 0.0;
+  double trials_per_s = 0.0;
+  /// Wall-clock overhead vs. the matching baseline config, in percent.
+  double overhead_pct = 0.0;
+};
+
+double run_once(const placement::Placement& pl, const mc::FullChipMcOptions& opts) {
+  mc::FullChipMonteCarlo engine(pl, bench::chars_analytic(), opts);
+  const auto t0 = std::chrono::steady_clock::now();
+  const mc::FullChipMcResult r = engine.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  if (r.trials != opts.trials) std::fprintf(stderr, "short run: %zu trials\n", r.trials);
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/// Best-of-reps wall time for each option set, interleaved round-robin so
+/// slow drift in machine load lands on every configuration equally rather
+/// than biasing whichever ran last.
+std::vector<double> best_of_interleaved(const placement::Placement& pl,
+                                        const std::vector<mc::FullChipMcOptions>& variants,
+                                        int reps) {
+  std::vector<double> best(variants.size(), 1e300);
+  for (int r = 0; r < reps; ++r)
+    for (std::size_t v = 0; v < variants.size(); ++v)
+      best[v] = std::min(best[v], run_once(pl, variants[v]));
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--mc-json", 0) == 0) {
+      json_path = "BENCH_full_chip_mc.json";
+      if (const auto eq = arg.find('='); eq != std::string::npos) json_path = arg.substr(eq + 1);
+    }
+  }
+
+  bench::banner("Full-chip MC throughput and run-control overhead", "run control");
+
+  const std::size_t side = 48;
+  math::Rng gen(1);
+  const netlist::Netlist nl =
+      netlist::generate_random_circuit(bench::library(), bench_usage(), side * side, gen);
+  placement::Floorplan fp;
+  fp.rows = fp.cols = side;
+  fp.site_w_nm = fp.site_h_nm = 1500.0;
+  const placement::Placement pl(&nl, fp);
+
+  const std::size_t kTrials = 240;
+  const int kReps = 5;
+  // A fixed pool size keeps the threaded configuration comparable across
+  // machines (threads=0 would degenerate to serial on single-CPU runners).
+  const std::size_t kThreaded = 4;
+  const std::string ckpt = "bench_mc_checkpoint.tmp";
+
+  mc::FullChipMcOptions base;
+  base.trials = kTrials;
+  base.seed = 2024;
+  base.resample_states_per_trial = true;
+
+  std::vector<McRecord> records;
+  const auto record = [&](const char* config, std::size_t threads, double ms,
+                          double baseline_ms) {
+    McRecord r;
+    r.config = config;
+    r.trials = kTrials;
+    r.threads = threads;
+    r.wall_ms = ms;
+    r.trials_per_s = 1000.0 * static_cast<double>(kTrials) / ms;
+    r.overhead_pct = baseline_ms > 0.0 ? 100.0 * (ms - baseline_ms) / baseline_ms : 0.0;
+    records.push_back(r);
+    std::printf("%-28s threads %zu  %9.2f ms  %9.1f trials/s  overhead %+6.2f%%\n", config,
+                threads, ms, r.trials_per_s, r.overhead_pct);
+    return ms;
+  };
+
+  util::RunControl unarmed;  // attached but never armed: the fast path
+  for (const std::size_t threads : {std::size_t{1}, kThreaded}) {
+    mc::FullChipMcOptions plain = base;
+    plain.threads = threads;
+    run_once(pl, plain);  // warm the shared pool and table caches
+
+    mc::FullChipMcOptions token = plain;
+    token.run = &unarmed;
+    mc::FullChipMcOptions ckpting = plain;
+    ckpting.checkpoint_path = ckpt;
+    ckpting.checkpoint_every = kTrials / 8;
+
+    const std::vector<double> t = best_of_interleaved(pl, {plain, token, ckpting}, kReps);
+    const char* prefix = threads == 1 ? "serial" : "threaded";
+    record(threads == 1 ? "serial" : "threaded", threads, t[0], 0.0);
+    record((std::string(prefix) + "+unarmed-token").c_str(), threads, t[1], t[0]);
+    record((std::string(prefix) + "+checkpoints").c_str(), threads, t[2], t[0]);
+    std::remove(ckpt.c_str());
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"full_chip_mc\",\n  \"records\": [\n");
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const McRecord& r = records[i];
+      std::fprintf(f,
+                   "%s    {\"config\": \"%s\", \"trials\": %zu, \"threads\": %zu, "
+                   "\"wall_ms\": %.4f, \"trials_per_s\": %.2f, \"overhead_pct\": %.3f}",
+                   i == 0 ? "" : ",\n", r.config.c_str(), r.trials, r.threads, r.wall_ms,
+                   r.trials_per_s, r.overhead_pct);
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "util/atomic_file.h"
 #include "util/error.h"
 #include "util/failpoint.h"
 #include "util/require.h"
@@ -102,11 +103,8 @@ void write_spice_library(const StdCellLibrary& library, std::ostream& os,
 void write_spice_library(const StdCellLibrary& library, const std::string& path,
                          const SpiceWriterOptions& options) {
   RGLEAK_FAILPOINT("cells.spice.write");
-  std::ofstream os(path);
-  if (!os) throw IoError("cannot open for writing: " + path);
-  write_spice_library(library, os, options);
-  os.flush();
-  if (!os) throw IoError("write failed: " + path);
+  util::atomic_write_file(
+      path, [&](std::ostream& os) { write_spice_library(library, os, options); });
 }
 
 }  // namespace rgleak::cells

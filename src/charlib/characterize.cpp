@@ -88,6 +88,7 @@ CharacterizedLibrary characterize_monte_carlo(const cells::StdCellLibrary& libra
     CellChar cc;
     cc.states.resize(cell.num_states());
     for (std::uint32_t s = 0; s < cell.num_states(); ++s) {
+      if (options.run) options.run->poll("characterize_monte_carlo");
       const LeakageTable table(cell, s, library.tech(), l_min, l_max, options.table_points);
       math::RunningStats acc;
       // One shared stream: cell statistics must not depend on library order,
@@ -153,6 +154,7 @@ CharacterizedLibrary characterize_analytic(const cells::StdCellLibrary& library,
     CellChar cc;
     cc.states.resize(cell.num_states());
     for (std::uint32_t s = 0; s < cell.num_states(); ++s) {
+      if (options.run) options.run->poll("characterize_analytic");
       const math::LogQuadraticModel model =
           fit_log_quadratic(cell, s, library.tech(), mu, sigma, options);
       const math::LogQuadraticMoments moments(model, mu, sigma);

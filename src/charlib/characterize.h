@@ -20,6 +20,7 @@
 #include "math/mgf.h"
 #include "math/rng.h"
 #include "process/variation.h"
+#include "util/run_control.h"
 
 namespace rgleak::charlib {
 
@@ -49,12 +50,17 @@ struct McCharOptions {
   std::size_t table_points = 129;
   double table_span_sigma = 8.0;  ///< table covers mu ± span*sigma
   std::uint64_t seed = 12345;
+  /// Cooperative stop / deadline, polled once per (cell, state); a stop
+  /// throws DeadlineExceeded from the characterizer.
+  const util::RunControl* run = nullptr;
 };
 
 /// Options for the analytic characterizer.
 struct AnalyticCharOptions {
   std::size_t fit_points = 9;    ///< leakage samples for the regression
   double fit_span_sigma = 3.0;   ///< fit window mu ± span*sigma
+  /// Cooperative stop / deadline, polled once per (cell, state).
+  const util::RunControl* run = nullptr;
 };
 
 /// Library + process + per-cell characterization data. Value type.

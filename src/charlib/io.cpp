@@ -5,6 +5,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "util/atomic_file.h"
 #include "util/error.h"
 #include "util/failpoint.h"
 #include "util/require.h"
@@ -50,11 +51,10 @@ void save_characterization(const CharacterizedLibrary& chars, std::ostream& os) 
 
 void save_characterization(const CharacterizedLibrary& chars, const std::string& path) {
   RGLEAK_FAILPOINT("charlib.io.write");
-  std::ofstream os(path);
-  if (!os) throw IoError("cannot open for writing: " + path);
-  save_characterization(chars, os);
-  os.flush();
-  if (!os) throw IoError("write failed: " + path);
+  // Atomic write (temp file + rename): an interrupt or failure mid-write
+  // never leaves a truncated characterization behind.
+  util::atomic_write_file(path,
+                          [&](std::ostream& os) { save_characterization(chars, os); });
 }
 
 CharacterizedLibrary load_characterization(const cells::StdCellLibrary& library, std::istream& is,

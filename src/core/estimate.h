@@ -2,13 +2,24 @@
 // Result type shared by all full-chip leakage estimators.
 
 #include <cmath>
+#include <string>
 
 namespace rgleak::core {
 
-/// Mean and standard deviation of total chip leakage (nA).
+/// Mean and standard deviation of total chip leakage (nA), plus provenance:
+/// which estimator rung produced the numbers and, under a time budget,
+/// whether (and why) the answer was degraded from the requested method.
 struct LeakageEstimate {
   double mean_na = 0.0;
   double sigma_na = 0.0;
+
+  /// Rung that produced this result: "linear", "integral_rect",
+  /// "integral_polar", "exact_direct", or "exact_fft".
+  std::string method;
+  /// Empty when the requested method ran; otherwise why the budgeted
+  /// estimator walked down the accuracy ladder (e.g. "linear predicted
+  /// 120.0 ms > budget 50.0 ms").
+  std::string degradation;
 
   double variance_na2() const { return sigma_na * sigma_na; }
   /// Coefficient of variation sigma/mean.

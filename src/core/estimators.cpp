@@ -16,8 +16,8 @@ namespace {
 // variances (cancellation in the pair sums) are clamped to zero downstream; a
 // materially negative or non-finite result means the inputs are inconsistent
 // and is reported instead of propagating NaN into reports.
-LeakageEstimate checked_estimate(const char* estimator, double mean, double var,
-                                 std::size_t gates, const placement::Floorplan& fp) {
+LeakageEstimate checked_estimate(const char* estimator, const char* method, double mean,
+                                 double var, std::size_t gates, const placement::Floorplan& fp) {
   constexpr double kVarSlack = 1e-6;
   if (!std::isfinite(mean) || !std::isfinite(var) || var < -kVarSlack * (mean * mean + 1.0)) {
     std::ostringstream os;
@@ -29,18 +29,21 @@ LeakageEstimate checked_estimate(const char* estimator, double mean, double var,
   LeakageEstimate e;
   e.mean_na = mean;
   e.sigma_na = std::sqrt(std::max(0.0, var));
+  e.method = method;
   return e;
 }
 
 }  // namespace
 
-LeakageEstimate estimate_linear(const RandomGate& rg, const placement::Floorplan& fp) {
+LeakageEstimate estimate_linear(const RandomGate& rg, const placement::Floorplan& fp,
+                                const util::RunControl* run) {
   const std::size_t k = fp.rows, m = fp.cols;
   const double n = static_cast<double>(fp.num_sites());
   double var = 0.0;
   // Signed offsets (i, j) folded to i, j >= 0 with multiplicity 2 per nonzero
   // axis; n_ij = (m - i)(k - j) occurrences per signed offset (eq. (16)).
   for (std::size_t i = 0; i < m; ++i) {
+    if (run != nullptr) run->poll("estimate_linear");
     const double wx = (i == 0 ? 1.0 : 2.0) * static_cast<double>(m - i);
     const double dx = static_cast<double>(i) * fp.site_w_nm;
     for (std::size_t j = 0; j < k; ++j) {
@@ -49,7 +52,7 @@ LeakageEstimate estimate_linear(const RandomGate& rg, const placement::Floorplan
       var += wx * wy * RGLEAK_FAILPOINT_DOUBLE("estimate.linear.cov", rg.covariance_at_offset(dx, dy));
     }
   }
-  return checked_estimate("estimate_linear", n * rg.mean_na(), var, fp.num_sites(), fp);
+  return checked_estimate("estimate_linear", "linear", n * rg.mean_na(), var, fp.num_sites(), fp);
 }
 
 LeakageEstimate estimate_integral_rect(const RandomGate& rg, const placement::Floorplan& fp,
@@ -62,7 +65,7 @@ LeakageEstimate estimate_integral_rect(const RandomGate& rg, const placement::Fl
   const double integral = math::integrate_2d_adaptive(
       [&](double x, double y) { return (w - x) * (h - y) * rg.covariance_at_offset(x, y); },
       0.0, w, 0.0, h, opts);
-  return checked_estimate("estimate_integral_rect", n * rg.mean_na(),
+  return checked_estimate("estimate_integral_rect", "integral_rect", n * rg.mean_na(),
                           4.0 * n * n / (area * area) * integral, fp.num_sites(), fp);
 }
 
@@ -90,7 +93,8 @@ LeakageEstimate estimate_integral_polar(const RandomGate& rg, const placement::F
       opts);
 
   const double var = 4.0 * n * n / (area * area) * integral + n * n * c_floor;
-  return checked_estimate("estimate_integral_polar", n * rg.mean_na(), var, fp.num_sites(), fp);
+  return checked_estimate("estimate_integral_polar", "integral_polar", n * rg.mean_na(), var,
+                          fp.num_sites(), fp);
 }
 
 ExactEstimator::ExactEstimator(const charlib::CharacterizedLibrary& chars,
@@ -196,12 +200,13 @@ LeakageEstimate ExactEstimator::estimate(const placement::Placement& placement,
   }
   util::ThreadPool& pool =
       options.pool ? *options.pool : util::ThreadPool::shared(options.threads);
-  return method == ExactMethod::kFft ? estimate_fft(placement, pool)
-                                     : estimate_direct(placement, pool);
+  return method == ExactMethod::kFft ? estimate_fft(placement, pool, options.run)
+                                     : estimate_direct(placement, pool, options.run);
 }
 
 LeakageEstimate ExactEstimator::estimate_direct(const placement::Placement& placement,
-                                                util::ThreadPool& pool) const {
+                                                util::ThreadPool& pool,
+                                                const util::RunControl* run) const {
   const netlist::Netlist& nl = placement.netlist();
   const std::size_t n = nl.size();
   const placement::Floorplan& fp = placement.floorplan();
@@ -237,6 +242,8 @@ LeakageEstimate ExactEstimator::estimate_direct(const placement::Placement& plac
   constexpr std::size_t kTile = 64;
   const std::size_t tiles = (n + kTile - 1) / kTile;
   std::vector<double> partial(tiles, 0.0);
+  // `run` is polled before each tile claim: an armed deadline or stop cancels
+  // the estimate within one tile (parallel_for drains and throws).
   pool.parallel_for(tiles, [&](std::size_t ti) {
     RGLEAK_FAILPOINT("exact.direct_tile");
     const std::size_t a_end = std::min(n, (ti + 1) * kTile);
@@ -250,14 +257,15 @@ LeakageEstimate ExactEstimator::estimate_direct(const placement::Placement& plac
       }
     }
     partial[ti] = s;
-  });
+  }, run);
   for (std::size_t ti = 0; ti < tiles; ++ti) var += 2.0 * partial[ti];
 
-  return checked_estimate("ExactEstimator::estimate_direct", mean, var, n, fp);
+  return checked_estimate("ExactEstimator::estimate_direct", "exact_direct", mean, var, n, fp);
 }
 
 LeakageEstimate ExactEstimator::estimate_fft(const placement::Placement& placement,
-                                             util::ThreadPool& pool) const {
+                                             util::ThreadPool& pool,
+                                             const util::RunControl* run) const {
   const netlist::Netlist& nl = placement.netlist();
   const std::size_t n = nl.size();
   const placement::Floorplan& fp = placement.floorplan();
@@ -296,6 +304,7 @@ LeakageEstimate ExactEstimator::estimate_fft(const placement::Placement& placeme
   };
 
   double var = diag;
+  if (run != nullptr) run->poll("exact.fft");
   if (mode_ == CorrelationMode::kSimplified) {
     // cov(t, u, rho) = ps_t ps_u rho separates, so a single autocorrelation
     // of the ps-weighted occupancy grid carries all type pairs at once.
@@ -322,7 +331,8 @@ LeakageEstimate ExactEstimator::estimate_fft(const placement::Placement& placeme
                 [placement.site_of(g)] = 1.0;
 
     std::vector<std::vector<std::complex<double>>> ft(types.size());
-    pool.parallel_for(types.size(), [&](std::size_t i) { ft[i] = xcorr.transform(occupancy[i]); });
+    pool.parallel_for(types.size(),
+                      [&](std::size_t i) { ft[i] = xcorr.transform(occupancy[i]); }, run);
 
     std::vector<std::pair<std::size_t, std::size_t>> pairs;
     for (std::size_t i = 0; i < types.size(); ++i)
@@ -340,11 +350,11 @@ LeakageEstimate ExactEstimator::estimate_fft(const placement::Placement& placeme
       // for (j, i), so off-diagonal type pairs carry weight 2.
       partial[p] = (i == j ? 1.0 : 2.0) *
                    fold_dot(xcorr.correlate(ft[i], ft[j]), cov, /*integer_counts=*/true);
-    });
+    }, run);
     for (double p : partial) var += p;
   }
 
-  return checked_estimate("ExactEstimator::estimate_fft", mean, var, n, fp);
+  return checked_estimate("ExactEstimator::estimate_fft", "exact_fft", mean, var, n, fp);
 }
 
 double vt_mean_factor(const process::VtVariation& vt, const device::TechnologyParams& tech) {

@@ -31,13 +31,16 @@
 #include "core/random_gate.h"
 #include "math/quadrature.h"
 #include "placement/placement.h"
+#include "util/run_control.h"
 #include "util/thread_pool.h"
 
 namespace rgleak::core {
 
 /// Eq. (17): exact O(n) evaluation of the RG-array leakage variance over a
-/// k x m floorplan; mean = n * mu_XI.
-LeakageEstimate estimate_linear(const RandomGate& rg, const placement::Floorplan& fp);
+/// k x m floorplan; mean = n * mu_XI. `run`, when given, is polled once per
+/// offset row, so a deadline cancels the sum at row granularity.
+LeakageEstimate estimate_linear(const RandomGate& rg, const placement::Floorplan& fp,
+                                const util::RunControl* run = nullptr);
 
 /// Eq. (20): constant-time 2-D integral approximation (rectangular
 /// coordinates). `opts` controls the quadrature tolerances.
@@ -66,6 +69,11 @@ struct ExactOptions {
   std::size_t threads = 0;
   /// Optional caller-provided pool; overrides `threads` when non-null.
   util::ThreadPool* pool = nullptr;
+  /// Optional run control: polled between chunks (direct-path tiles, FFT
+  /// transform/type-pair batches), so an armed deadline or a stop request
+  /// cancels the estimate within one chunk (DeadlineExceeded). Unarmed cost
+  /// is one relaxed atomic load per chunk.
+  const util::RunControl* run = nullptr;
 };
 
 /// The "true leakage" of a placed design. The covariance between two placed
@@ -113,9 +121,9 @@ class ExactEstimator {
   /// rho_L per grid offset (|drow| * cols + |dcol|), shared by both paths.
   std::vector<double> offset_rho(const placement::Floorplan& fp) const;
   LeakageEstimate estimate_direct(const placement::Placement& placement,
-                                  util::ThreadPool& pool) const;
+                                  util::ThreadPool& pool, const util::RunControl* run) const;
   LeakageEstimate estimate_fft(const placement::Placement& placement,
-                               util::ThreadPool& pool) const;
+                               util::ThreadPool& pool, const util::RunControl* run) const;
 };
 
 /// Multiplicative correction to the chip mean leakage from random Vt

@@ -1,10 +1,43 @@
 #include "core/leakage_estimator.h"
 
 #include <cmath>
+#include <sstream>
 
 #include "util/require.h"
 
 namespace rgleak::core {
+
+namespace {
+
+const char* rung_name(EstimationMethod m) {
+  switch (m) {
+    case EstimationMethod::kLinear: return "linear";
+    case EstimationMethod::kIntegralRect: return "integral_rect";
+    case EstimationMethod::kIntegralPolar: return "integral_polar";
+    case EstimationMethod::kAuto: break;
+  }
+  return "integral_polar";
+}
+
+std::string over_budget_note(const char* rung, double predicted_ms, double remaining_ms) {
+  std::ostringstream os;
+  os.precision(1);
+  os << std::fixed << rung << " predicted " << predicted_ms << " ms > budget " << remaining_ms
+     << " ms";
+  return os.str();
+}
+
+std::string cancelled_note(const char* rung) {
+  return std::string(rung) + " cancelled at deadline (cost misprediction)";
+}
+
+// Appends `next` to a semicolon-joined degradation trail.
+void append_note(std::string* trail, const std::string& next) {
+  if (!trail->empty()) *trail += "; ";
+  *trail += next;
+}
+
+}  // namespace
 
 placement::Floorplan floorplan_for_design(const DesignCharacteristics& design) {
   RGLEAK_REQUIRE(design.gate_count >= 1, "design needs at least one gate");
@@ -48,20 +81,119 @@ LeakageEstimate LeakageEstimator::estimate(const DesignCharacteristics& design) 
                                         : EstimationMethod::kIntegralPolar;
 
   LeakageEstimate e;
-  switch (method) {
-    case EstimationMethod::kLinear:
-      e = estimate_linear(rg, fp);
-      break;
-    case EstimationMethod::kIntegralRect:
-      e = estimate_integral_rect(rg, fp);
-      break;
-    case EstimationMethod::kIntegralPolar:
-    case EstimationMethod::kAuto:
-      e = estimate_integral_polar(rg, fp);
-      break;
+  if (config_.time_budget_s > 0.0) {
+    e = estimate_budgeted(fp, rg, method);
+  } else {
+    switch (method) {
+      case EstimationMethod::kLinear:
+        e = estimate_linear(rg, fp);
+        break;
+      case EstimationMethod::kIntegralRect:
+        e = estimate_integral_rect(rg, fp);
+        break;
+      case EstimationMethod::kIntegralPolar:
+      case EstimationMethod::kAuto:
+        e = estimate_integral_polar(rg, fp);
+        break;
+    }
   }
   if (config_.apply_vt_mean_factor)
     e.mean_na *= vt_mean_factor(chars_->process().vt(), chars_->library().tech());
+  return e;
+}
+
+LeakageEstimate LeakageEstimator::estimate_budgeted(const placement::Floorplan& fp,
+                                                    const RandomGate& rg,
+                                                    EstimationMethod requested) const {
+  util::RunControl run;
+  run.arm_budget(config_.time_budget_s);
+  const std::size_t sites = fp.num_sites();
+  const CostModel& costs = config_.cost_model;
+  std::string trail;
+
+  // Rung 1: the requested method, if the model says it fits what is left.
+  if (requested == EstimationMethod::kLinear) {
+    const char* rung = rung_name(requested);
+    const double predicted_ms = costs.predict_ms(rung, sites);
+    const double remaining_ms = run.remaining_s() * 1e3;
+    if (predicted_ms <= remaining_ms) {
+      try {
+        LeakageEstimate e = estimate_linear(rg, fp, &run);
+        e.degradation = trail;
+        return e;
+      } catch (const DeadlineExceeded&) {
+        append_note(&trail, cancelled_note(rung));
+      }
+    } else {
+      append_note(&trail, over_budget_note(rung, predicted_ms, remaining_ms));
+    }
+    requested = EstimationMethod::kIntegralPolar;
+  }
+
+  // Rung 2: the O(1) integral forms always answer, even past the deadline —
+  // the caller asked for *an* estimate, and these cost microseconds. Rect is
+  // honored when explicitly requested; otherwise polar (which itself falls
+  // back to rect when its validity condition fails).
+  LeakageEstimate e = requested == EstimationMethod::kIntegralRect
+                          ? estimate_integral_rect(rg, fp)
+                          : estimate_integral_polar(rg, fp);
+  e.degradation = trail;
+  return e;
+}
+
+LeakageEstimate estimate_placed_budgeted(const ExactEstimator& exact, const RandomGate& rg,
+                                         const placement::Placement& placement, double budget_s,
+                                         const CostModel& costs, ExactOptions opts) {
+  RGLEAK_REQUIRE(budget_s > 0.0, "budgeted estimate needs a positive time budget");
+  util::RunControl run;
+  run.arm_budget(budget_s);
+  const placement::Floorplan& fp = placement.floorplan();
+  const std::size_t sites = fp.num_sites();
+  std::string trail;
+
+  // Rung 1: exact pairwise analysis (eq. 14/15).
+  ExactMethod method = opts.method;
+  if (method == ExactMethod::kAuto)
+    method = sites >= 64 ? ExactMethod::kFft : ExactMethod::kDirect;
+  const char* exact_rung = method == ExactMethod::kFft ? "exact_fft" : "exact_direct";
+  {
+    const double predicted_ms = costs.predict_ms(exact_rung, sites);
+    const double remaining_ms = run.remaining_s() * 1e3;
+    if (predicted_ms <= remaining_ms) {
+      try {
+        opts.run = &run;
+        LeakageEstimate e = exact.estimate(placement, opts);
+        e.degradation = trail;
+        return e;
+      } catch (const DeadlineExceeded&) {
+        append_note(&trail, cancelled_note(exact_rung));
+      }
+    } else {
+      append_note(&trail, over_budget_note(exact_rung, predicted_ms, remaining_ms));
+    }
+  }
+
+  // Rung 2: distance histogram (eq. 17).
+  {
+    const double predicted_ms = costs.predict_ms("linear", sites);
+    const double remaining_ms = run.remaining_s() * 1e3;
+    if (predicted_ms <= remaining_ms) {
+      try {
+        LeakageEstimate e = estimate_linear(rg, fp, &run);
+        e.degradation = trail;
+        return e;
+      } catch (const DeadlineExceeded&) {
+        append_note(&trail, cancelled_note("linear"));
+      }
+    } else {
+      append_note(&trail, over_budget_note("linear", predicted_ms, remaining_ms));
+    }
+  }
+
+  // Rung 3: the O(1) integral (eqs. 25/26, rect fallback inside) always
+  // answers.
+  LeakageEstimate e = estimate_integral_polar(rg, fp);
+  e.degradation = trail;
   return e;
 }
 

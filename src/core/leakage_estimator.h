@@ -10,8 +10,10 @@
 
 #include "core/estimate.h"
 #include "core/estimators.h"
+#include "core/method_cost.h"
 #include "core/random_gate.h"
 #include "core/signal_probability.h"
+#include "util/run_control.h"
 
 namespace rgleak::core {
 
@@ -41,6 +43,16 @@ struct EstimatorConfig {
   EstimationMethod method = EstimationMethod::kAuto;
   /// Apply the random-Vt multiplicative mean correction.
   bool apply_vt_mean_factor = true;
+  /// Wall-clock budget for one estimate() call, seconds; 0 = unlimited. With
+  /// a budget set, the estimator walks the accuracy ladder downward
+  /// (linear, eq. 17 → integral, eqs. 20/25) whenever `cost_model` predicts
+  /// the requested rung would blow the budget — and a mispredicted rung is
+  /// cancelled by the armed deadline and answered by the next one. The
+  /// result records the rung that answered and why it degraded.
+  double time_budget_s = 0.0;
+  /// Cost models behind the budget decisions; calibrate from a bench record
+  /// via CostModel::from_bench_json to pin them to the host.
+  CostModel cost_model = CostModel::defaults();
 };
 
 /// Builds the k x m RG floorplan matching a design's gate count and layout
@@ -66,6 +78,20 @@ class LeakageEstimator {
  private:
   const charlib::CharacterizedLibrary* chars_;
   EstimatorConfig config_;
+
+  LeakageEstimate estimate_budgeted(const placement::Floorplan& fp, const RandomGate& rg,
+                                    EstimationMethod requested) const;
 };
+
+/// Budgeted estimate of a *placed* design: the full degradation ladder of the
+/// paper. Runs the exact pairwise analysis (eq. 14/15, FFT or direct per
+/// `opts`) when the cost model predicts it fits `budget_s`, else falls back
+/// to the distance histogram (eq. 17), else to the integral forms
+/// (eqs. 20/25). A rung that overruns its prediction is cancelled by the
+/// armed deadline and the next rung answers; the last rung (O(1) integral)
+/// always answers. The result names the rung and the degradation reason.
+LeakageEstimate estimate_placed_budgeted(const ExactEstimator& exact, const RandomGate& rg,
+                                         const placement::Placement& placement, double budget_s,
+                                         const CostModel& costs, ExactOptions opts = {});
 
 }  // namespace rgleak::core

@@ -1,0 +1,122 @@
+#include "core/method_cost.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace rgleak::core {
+
+double MethodCostModel::basis_value(std::size_t sites) const {
+  const double n = static_cast<double>(sites);
+  switch (basis) {
+    case Basis::kConstant: return 1.0;
+    case Basis::kLinear: return n;
+    case Basis::kNLogN: return n * std::log2(std::max(2.0, n));
+    case Basis::kQuadratic: return n * n;
+  }
+  return 1.0;
+}
+
+CostModel CostModel::defaults() {
+  // Coefficients are deliberately pessimistic (slow-core magnitudes): an
+  // uncalibrated model should degrade too eagerly rather than blow a budget.
+  CostModel m;
+  m.rungs_["exact_direct"] = {{MethodCostModel::Basis::kQuadratic, 5e-5}, 0.0};
+  m.rungs_["exact_fft"] = {{MethodCostModel::Basis::kNLogN, 5e-3}, 0.0};
+  m.rungs_["linear"] = {{MethodCostModel::Basis::kLinear, 2e-3}, 0.0};
+  m.rungs_["integral_rect"] = {{MethodCostModel::Basis::kConstant, 50.0}, 0.0};
+  m.rungs_["integral_polar"] = {{MethodCostModel::Basis::kConstant, 5.0}, 0.0};
+  return m;
+}
+
+void CostModel::calibrate(const std::string& method, std::size_t sites, double wall_ms) {
+  // Bench records name the exact paths by implementation; fold them onto the
+  // rung they predict. The serial direct row is a baseline, not a rung.
+  std::string rung = method;
+  if (method == "direct_parallel") rung = "exact_direct";
+  if (method == "fft") rung = "exact_fft";
+  if (method == "direct_serial") return;
+  const auto it = rungs_.find(rung);
+  if (it == rungs_.end() || sites == 0 || !(wall_ms >= 0.0)) return;
+  const double coeff = wall_ms / it->second.model.basis_value(sites);
+  if (coeff > it->second.calibrated_coeff_ms) it->second.calibrated_coeff_ms = coeff;
+}
+
+double CostModel::predict_ms(const std::string& method, std::size_t sites) const {
+  const auto it = rungs_.find(method);
+  if (it == rungs_.end()) return std::numeric_limits<double>::infinity();
+  const Entry& e = it->second;
+  const double coeff = e.calibrated_coeff_ms > 0.0 ? e.calibrated_coeff_ms : e.model.coeff_ms;
+  return coeff * e.model.basis_value(sites);
+}
+
+namespace {
+
+// Minimal field scanners for the flat one-record-per-object shape the bench
+// writes; not a general JSON parser.
+bool scan_string_field(const std::string& obj, const std::string& key, std::string* out) {
+  const auto k = obj.find("\"" + key + "\"");
+  if (k == std::string::npos) return false;
+  const auto q1 = obj.find('"', obj.find(':', k));
+  if (q1 == std::string::npos) return false;
+  const auto q2 = obj.find('"', q1 + 1);
+  if (q2 == std::string::npos) return false;
+  *out = obj.substr(q1 + 1, q2 - q1 - 1);
+  return true;
+}
+
+bool scan_number_field(const std::string& obj, const std::string& key, double* out) {
+  const auto k = obj.find("\"" + key + "\"");
+  if (k == std::string::npos) return false;
+  const auto colon = obj.find(':', k);
+  if (colon == std::string::npos) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(obj.c_str() + colon + 1, &end);
+  if (errno != 0 || end == obj.c_str() + colon + 1) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+CostModel CostModel::from_bench_json(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw IoError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  if (is.bad()) throw IoError("read failed: " + path);
+  const std::string text = buffer.str();
+
+  CostModel model = defaults();
+  const auto records = text.find("\"records\"");
+  if (records == std::string::npos)
+    throw ParseError(path, 1, 0, "bench record has no \"records\" array");
+  std::size_t pos = records;
+  std::size_t parsed = 0;
+  while ((pos = text.find('{', pos)) != std::string::npos) {
+    const auto close = text.find('}', pos);
+    if (close == std::string::npos)
+      throw ParseError(path, 1, 0, "unterminated record object");
+    const std::string obj = text.substr(pos, close - pos + 1);
+    std::string method;
+    double sites = 0.0, wall_ms = 0.0;
+    if (!scan_string_field(obj, "method", &method) ||
+        !scan_number_field(obj, "sites", &sites) ||
+        !scan_number_field(obj, "wall_ms", &wall_ms))
+      throw ParseError(path, 1, 0,
+                       "record needs \"sites\", \"method\", and \"wall_ms\" fields", obj);
+    model.calibrate(method, static_cast<std::size_t>(sites), wall_ms);
+    ++parsed;
+    pos = close + 1;
+  }
+  if (parsed == 0) throw ParseError(path, 1, 0, "bench record holds no records");
+  return model;
+}
+
+}  // namespace rgleak::core

@@ -1,0 +1,67 @@
+#pragma once
+// Per-method wall-clock cost models for the estimator ladder.
+//
+// Each rung of the paper's accuracy-vs-cost ladder has a known complexity in
+// the site count n: the exact pairwise sum is O(n^2) (direct) or
+// O(T^2 n log n) (FFT offset histogram), eq. (17) is O(n), and the integral
+// forms (eq. 20, eqs. 25/26) are O(1). A CostModel carries one fitted
+// coefficient per rung, so a budgeted estimator can predict, *before*
+// running, whether a method fits its remaining time budget and walk down the
+// ladder when it would not.
+//
+// Coefficients ship with conservative built-in defaults and can be
+// calibrated from a BENCH_exact_estimator.json-style perf record
+// ({"sites": N, "method": "...", "wall_ms": X} rows, see
+// bench_scaling --exact-json), which pins the model to the actual host.
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace rgleak::core {
+
+/// One rung's scaling law: wall_ms ≈ coeff_ms * basis(n).
+struct MethodCostModel {
+  enum class Basis { kConstant, kLinear, kNLogN, kQuadratic };
+  Basis basis = Basis::kConstant;
+  double coeff_ms = 0.0;
+
+  double basis_value(std::size_t sites) const;
+  double predict_ms(std::size_t sites) const { return coeff_ms * basis_value(sites); }
+};
+
+/// Rung names understood by the model (and reported in LeakageEstimate):
+/// "exact_direct", "exact_fft", "linear", "integral_rect", "integral_polar".
+class CostModel {
+ public:
+  /// Built-in conservative coefficients (commodity-core magnitudes, rounded
+  /// up; calibration tightens them).
+  static CostModel defaults();
+
+  /// defaults() tightened by a BENCH_exact_estimator.json-style record.
+  /// Recognizes the bench method names ("direct_serial" is ignored,
+  /// "direct_parallel" calibrates exact_direct, "fft" calibrates exact_fft)
+  /// as well as the rung names themselves. Throws IoError / ParseError on an
+  /// unreadable or malformed record.
+  static CostModel from_bench_json(const std::string& path);
+
+  /// Folds one measurement into the model: the rung's coefficient becomes
+  /// max(existing fit, wall_ms / basis(sites)) — conservative, so a budget
+  /// decision never trusts the fastest outlier. Unknown names are ignored.
+  void calibrate(const std::string& method, std::size_t sites, double wall_ms);
+
+  /// Predicted wall time of `method` at `sites` sites; +infinity for names
+  /// the model does not know (callers treat unknown as "does not fit").
+  double predict_ms(const std::string& method, std::size_t sites) const;
+
+ private:
+  // Per rung: the shipped default and the largest calibrated coefficient so
+  // far (0 until a measurement arrives).
+  struct Entry {
+    MethodCostModel model;
+    double calibrated_coeff_ms = 0.0;
+  };
+  std::map<std::string, Entry> rungs_;
+};
+
+}  // namespace rgleak::core

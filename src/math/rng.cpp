@@ -1,5 +1,6 @@
 #include "math/rng.h"
 
+#include <bit>
 #include <cmath>
 
 #include "util/require.h"
@@ -90,5 +91,19 @@ bool Rng::bernoulli(double p) {
 }
 
 Rng Rng::fork() { return Rng((*this)()); }
+
+Rng::State Rng::state() const {
+  State st;
+  st.s = state_;
+  st.spare_bits = std::bit_cast<std::uint64_t>(spare_);
+  st.has_spare = has_spare_;
+  return st;
+}
+
+void Rng::set_state(const State& st) {
+  state_ = st.s;
+  spare_ = std::bit_cast<double>(st.spare_bits);
+  has_spare_ = st.has_spare;
+}
 
 }  // namespace rgleak::math

@@ -44,6 +44,17 @@ class Rng {
   /// give parallel experiments decorrelated generators.
   Rng fork();
 
+  /// Complete engine state. Restoring it resumes the stream bit-identically,
+  /// including the cached Marsaglia spare (stored as its exact bit pattern so
+  /// round-tripping through text is lossless).
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    std::uint64_t spare_bits = 0;
+    bool has_spare = false;
+  };
+  State state() const;
+  void set_state(const State& st);
+
  private:
   std::array<std::uint64_t, 4> state_;
   double spare_ = 0.0;

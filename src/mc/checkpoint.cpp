@@ -1,0 +1,151 @@
+#include "mc/checkpoint.h"
+
+#include <bit>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/atomic_file.h"
+#include "util/error.h"
+
+namespace rgleak::mc {
+
+namespace {
+
+constexpr const char* kMagic = "rgmcckpt-v1";
+
+void put_bits(std::ostream& os, double v) {
+  os << std::hex << std::bit_cast<std::uint64_t>(v) << std::dec;
+}
+
+[[noreturn]] void fail(const std::string& path, const std::string& message,
+                       const std::string& token = "") {
+  throw ParseError(path, 0, 0, message, token);
+}
+
+std::string next_token(std::istream& is, const std::string& path, const char* what) {
+  std::string tok;
+  if (!(is >> tok)) fail(path, std::string("unexpected end of checkpoint, wanted ") + what);
+  return tok;
+}
+
+void expect(std::istream& is, const std::string& path, const char* keyword) {
+  const std::string tok = next_token(is, path, keyword);
+  if (tok != keyword)
+    fail(path, std::string("expected keyword '") + keyword + "'", tok);
+}
+
+std::uint64_t read_u64(std::istream& is, const std::string& path, const char* what) {
+  const std::string tok = next_token(is, path, what);
+  try {
+    std::size_t used = 0;
+    const std::uint64_t v = std::stoull(tok, &used, 10);
+    if (used != tok.size()) throw std::invalid_argument(tok);
+    return v;
+  } catch (const std::exception&) {
+    fail(path, std::string("expected an unsigned integer for ") + what, tok);
+  }
+}
+
+std::uint64_t read_hex64(std::istream& is, const std::string& path, const char* what) {
+  const std::string tok = next_token(is, path, what);
+  try {
+    std::size_t used = 0;
+    const std::uint64_t v = std::stoull(tok, &used, 16);
+    if (used != tok.size()) throw std::invalid_argument(tok);
+    return v;
+  } catch (const std::exception&) {
+    fail(path, std::string("expected a hex word for ") + what, tok);
+  }
+}
+
+double read_bits(std::istream& is, const std::string& path, const char* what) {
+  return std::bit_cast<double>(read_hex64(is, path, what));
+}
+
+}  // namespace
+
+void save_mc_checkpoint(const std::string& path, const McCheckpoint& ckpt) {
+  util::atomic_write_file(path, [&](std::ostream& os) {
+    os << kMagic << "\n";
+    os << "seed " << ckpt.seed << "\n";
+    os << "threads " << ckpt.threads << "\n";
+    os << "trials " << ckpt.trials << "\n";
+    os << "resample " << (ckpt.resample_states_per_trial ? 1 : 0) << "\n";
+    os << "table_points " << ckpt.table_points << "\n";
+    os << "gates " << ckpt.gate_count << "\n";
+    os << "workers " << ckpt.workers.size() << "\n";
+    for (std::size_t w = 0; w < ckpt.workers.size(); ++w) {
+      const McWorkerState& ws = ckpt.workers[w];
+      os << "worker " << w << "\n";
+      os << "rng" << std::hex;
+      for (std::uint64_t word : ws.rng.s) os << ' ' << word;
+      os << ' ' << ws.rng.spare_bits << std::dec << ' ' << (ws.rng.has_spare ? 1 : 0)
+         << "\n";
+      os << "cached " << ws.cached_field.size();
+      for (double v : ws.cached_field) {
+        os << ' ';
+        put_bits(os, v);
+      }
+      os << "\n";
+      os << "samples " << ws.samples.size();
+      for (double v : ws.samples) {
+        os << ' ';
+        put_bits(os, v);
+      }
+      os << "\n";
+    }
+    os << "end\n";
+  });
+}
+
+McCheckpoint load_mc_checkpoint(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw IoError("cannot open for reading: " + path);
+
+  const std::string magic = next_token(is, path, "magic header");
+  if (magic != kMagic)
+    fail(path, std::string("not a checkpoint (wanted header '") + kMagic + "')", magic);
+
+  McCheckpoint ckpt;
+  expect(is, path, "seed");
+  ckpt.seed = read_u64(is, path, "seed");
+  expect(is, path, "threads");
+  ckpt.threads = static_cast<std::size_t>(read_u64(is, path, "threads"));
+  expect(is, path, "trials");
+  ckpt.trials = static_cast<std::size_t>(read_u64(is, path, "trials"));
+  expect(is, path, "resample");
+  ckpt.resample_states_per_trial = read_u64(is, path, "resample") != 0;
+  expect(is, path, "table_points");
+  ckpt.table_points = static_cast<std::size_t>(read_u64(is, path, "table_points"));
+  expect(is, path, "gates");
+  ckpt.gate_count = static_cast<std::size_t>(read_u64(is, path, "gates"));
+  expect(is, path, "workers");
+  const std::size_t nworkers = static_cast<std::size_t>(read_u64(is, path, "worker count"));
+  if (nworkers == 0 || nworkers != ckpt.threads)
+    fail(path, "worker count must equal the checkpointed thread count");
+
+  ckpt.workers.resize(nworkers);
+  for (std::size_t w = 0; w < nworkers; ++w) {
+    McWorkerState& ws = ckpt.workers[w];
+    expect(is, path, "worker");
+    if (read_u64(is, path, "worker index") != w)
+      fail(path, "worker records out of order");
+    expect(is, path, "rng");
+    for (auto& word : ws.rng.s) word = read_hex64(is, path, "rng state word");
+    ws.rng.spare_bits = read_hex64(is, path, "rng spare bits");
+    ws.rng.has_spare = read_u64(is, path, "rng spare flag") != 0;
+    expect(is, path, "cached");
+    const std::size_t ncached = static_cast<std::size_t>(read_u64(is, path, "cached size"));
+    ws.cached_field.resize(ncached);
+    for (auto& v : ws.cached_field) v = read_bits(is, path, "cached field value");
+    expect(is, path, "samples");
+    const std::size_t nsamples = static_cast<std::size_t>(read_u64(is, path, "sample count"));
+    ws.samples.resize(nsamples);
+    for (auto& v : ws.samples) v = read_bits(is, path, "sample value");
+  }
+  expect(is, path, "end");
+  return ckpt;
+}
+
+}  // namespace rgleak::mc

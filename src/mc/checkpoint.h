@@ -1,0 +1,53 @@
+#pragma once
+// Checkpoint/resume state for the full-chip Monte-Carlo engine.
+//
+// A checkpoint captures everything a fresh process needs to continue a run
+// bit-identically: per-worker RNG engine state (including the Marsaglia
+// spare), the field sampler's spare-field cache, and every completed sample
+// (the percentile estimates need the raw values, not just moments). All
+// doubles are stored as exact 64-bit hex patterns so the text round-trip is
+// lossless. An identity header (seed, threads, trials, ...) guards against
+// resuming with a different run setup.
+//
+// Format "rgmcckpt-v1" is documented in docs/FORMATS.md. Files are written
+// atomically (temp file + rename), so an interrupted save never leaves a
+// truncated checkpoint behind.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "math/rng.h"
+
+namespace rgleak::mc {
+
+/// One worker's stochastic state at a checkpoint boundary.
+struct McWorkerState {
+  math::Rng::State rng;
+  /// Spare field pending in the worker's GridFieldSampler (empty when none).
+  std::vector<double> cached_field;
+  /// Completed trial samples of this worker's slice, in trial order.
+  std::vector<double> samples;
+};
+
+struct McCheckpoint {
+  // Identity guard: resume refuses a checkpoint whose run setup differs.
+  std::uint64_t seed = 0;
+  std::size_t threads = 0;
+  std::size_t trials = 0;
+  bool resample_states_per_trial = false;
+  std::size_t table_points = 0;
+  std::size_t gate_count = 0;
+
+  std::vector<McWorkerState> workers;
+};
+
+/// Writes the checkpoint atomically (temp file + rename). Throws IoError.
+void save_mc_checkpoint(const std::string& path, const McCheckpoint& ckpt);
+
+/// Loads and validates a checkpoint. Throws IoError on an unreadable file and
+/// ParseError on a malformed or wrong-version one.
+McCheckpoint load_mc_checkpoint(const std::string& path);
+
+}  // namespace rgleak::mc

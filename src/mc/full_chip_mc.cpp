@@ -1,9 +1,11 @@
 #include "mc/full_chip_mc.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <thread>
 
+#include "mc/checkpoint.h"
 #include "util/failpoint.h"
 #include "util/require.h"
 #include "util/thread_pool.h"
@@ -116,43 +118,133 @@ double FullChipMonteCarlo::sample_total_tables(
   return total;
 }
 
+void FullChipMonteCarlo::restore(const std::string& path, std::size_t threads,
+                                 std::vector<math::Rng>& rngs,
+                                 std::vector<process::GridFieldSampler>& fields,
+                                 std::vector<std::vector<double>>& slices) const {
+  const McCheckpoint ckpt = load_mc_checkpoint(path);
+  const auto mismatch = [&](const char* field, auto have, auto want) {
+    std::ostringstream os;
+    os << "checkpoint " << path << " does not match this run: " << field << " is " << want
+       << " in the checkpoint but " << have << " here (resume needs identical seed, threads, "
+          "trials, resampling, table points, and netlist)";
+    throw ConfigError(os.str());
+  };
+  if (ckpt.seed != options_.seed) mismatch("seed", options_.seed, ckpt.seed);
+  if (ckpt.threads != threads) mismatch("threads", threads, ckpt.threads);
+  if (ckpt.trials != options_.trials) mismatch("trials", options_.trials, ckpt.trials);
+  if (ckpt.resample_states_per_trial != options_.resample_states_per_trial)
+    mismatch("resample_states_per_trial", options_.resample_states_per_trial,
+             ckpt.resample_states_per_trial);
+  if (ckpt.table_points != options_.table_points)
+    mismatch("table_points", options_.table_points, ckpt.table_points);
+  if (ckpt.gate_count != placement_->netlist().size())
+    mismatch("gate count", placement_->netlist().size(), ckpt.gate_count);
+
+  for (std::size_t w = 0; w < threads; ++w) {
+    const McWorkerState& ws = ckpt.workers[w];
+    const std::size_t slice =
+        (w + 1) * options_.trials / threads - w * options_.trials / threads;
+    if (ws.samples.size() > slice)
+      mismatch("worker sample count", slice, ws.samples.size());
+    rngs[w].set_state(ws.rng);
+    if (!ws.cached_field.empty()) fields[w].set_cached_field(ws.cached_field);
+    slices[w] = ws.samples;
+  }
+}
+
 FullChipMcResult FullChipMonteCarlo::run() {
-  math::SampleSet acc;
-  acc.reserve(options_.trials);
   std::size_t threads = options_.threads;
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
   }
+  const util::RunControl* rc = options_.run;
+
+  // Each worker gets its own RNG stream, field-sampler copy (the sampler
+  // caches the second field of each FFT, and that cache must live as long as
+  // the stream) and per-gate table vector, and fills a disjoint slice of the
+  // trials so the merged sample set is deterministic for a fixed
+  // (seed, threads). The serial case is worker 0 continuing rng_ itself,
+  // matching the historical serial stream. All of this state persists across
+  // checkpoint rounds, which is what makes the result independent of the
+  // checkpoint cadence and of interrupt/resume cycles.
+  if (options_.resample_states_per_trial) build_all_state_tables();
+  std::vector<math::Rng> rngs;
+  rngs.reserve(threads);
   if (threads == 1) {
-    for (std::size_t t = 0; t < options_.trials; ++t) acc.add(sample_total_na(rng_));
+    rngs.push_back(rng_);
   } else {
-    // Each worker gets a forked RNG stream, its own field-sampler copy (the
-    // sampler caches the second field of each FFT) and, when resampling, its
-    // own per-gate table vector fed from the prebuilt shared cache. Workers
-    // fill disjoint slices so the merged sample set is deterministic.
-    if (options_.resample_states_per_trial) build_all_state_tables();
-    std::vector<math::Rng> rngs;
-    rngs.reserve(threads);
     for (std::size_t w = 0; w < threads; ++w) rngs.push_back(rng_.fork());
-    std::vector<std::vector<double>> slices(threads);
-    util::ThreadPool& pool = util::ThreadPool::shared(threads);
-    pool.parallel_for(threads, [&](std::size_t w) {
-      process::GridFieldSampler field = field_;  // thread-local copy
-      std::vector<const charlib::LeakageTable*> table = table_;
-      const std::size_t begin = w * options_.trials / threads;
-      const std::size_t end = (w + 1) * options_.trials / threads;
-      std::vector<double> out;
-      out.reserve(end - begin);
-      for (std::size_t t = begin; t < end; ++t) {
-        if (options_.resample_states_per_trial) draw_states_into(rngs[w], table);
-        out.push_back(sample_total_tables(field, rngs[w], table));
-      }
-      slices[w] = std::move(out);
-    });
-    for (const auto& s : slices)
-      for (double v : s) acc.add(v);
   }
+  std::vector<process::GridFieldSampler> fields(threads, field_);
+  std::vector<std::vector<const charlib::LeakageTable*>> tables(threads, table_);
+  std::vector<std::vector<double>> slices(threads);
+  std::vector<std::size_t> slice_size(threads);
+  for (std::size_t w = 0; w < threads; ++w)
+    slice_size[w] = (w + 1) * options_.trials / threads - w * options_.trials / threads;
+
+  if (!options_.resume_path.empty()) restore(options_.resume_path, threads, rngs, fields, slices);
+
+  const auto checkpoint_now = [&] {
+    McCheckpoint ckpt;
+    ckpt.seed = options_.seed;
+    ckpt.threads = threads;
+    ckpt.trials = options_.trials;
+    ckpt.resample_states_per_trial = options_.resample_states_per_trial;
+    ckpt.table_points = options_.table_points;
+    ckpt.gate_count = placement_->netlist().size();
+    ckpt.workers.resize(threads);
+    for (std::size_t w = 0; w < threads; ++w) {
+      ckpt.workers[w].rng = rngs[w].state();
+      if (fields[w].has_cached_field()) ckpt.workers[w].cached_field = fields[w].cached_field();
+      ckpt.workers[w].samples = slices[w];
+    }
+    save_mc_checkpoint(options_.checkpoint_path, ckpt);
+  };
+  const auto all_done = [&] {
+    for (std::size_t w = 0; w < threads; ++w)
+      if (slices[w].size() < slice_size[w]) return false;
+    return true;
+  };
+
+  // Round loop: each round advances every worker by at most `chunk` trials,
+  // then checkpoints. Workers poll the run control per trial and drain (the
+  // control is deliberately NOT handed to parallel_for — a worker that stops
+  // must keep its partial state for the final checkpoint).
+  const std::size_t chunk = options_.checkpoint_every == 0
+                                ? options_.trials
+                                : std::max<std::size_t>(1, options_.checkpoint_every / threads);
+  const auto worker_round = [&](std::size_t w) {
+    math::Rng& rng = rngs[w];
+    process::GridFieldSampler& field = fields[w];
+    std::vector<const charlib::LeakageTable*>& table = tables[w];
+    std::vector<double>& out = slices[w];
+    out.reserve(slice_size[w]);
+    for (std::size_t did = 0; out.size() < slice_size[w] && did < chunk; ++did) {
+      if (rc && rc->should_stop()) break;
+      if (options_.resample_states_per_trial) draw_states_into(rng, table);
+      out.push_back(sample_total_tables(field, rng, table));
+    }
+  };
+
+  while (!all_done()) {
+    if (threads == 1) {
+      worker_round(0);
+    } else {
+      util::ThreadPool::shared(threads).parallel_for(threads, worker_round);
+    }
+    const bool stopping = rc && rc->should_stop() && !all_done();
+    if (!options_.checkpoint_path.empty() && (options_.checkpoint_every > 0 || stopping))
+      checkpoint_now();
+    if (stopping) throw rc->make_error("mc.run");
+  }
+
+  if (threads == 1) rng_ = rngs[0];
+  math::SampleSet acc;
+  acc.reserve(options_.trials);
+  for (const auto& s : slices)
+    for (double v : s) acc.add(v);
   FullChipMcResult r;
   r.mean_na = acc.mean();
   r.sigma_na = acc.stddev();

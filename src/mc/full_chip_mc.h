@@ -8,6 +8,7 @@
 // mean/sigma of total chip leakage, which the RG estimates must match.
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "math/stats.h"
 #include "placement/placement.h"
 #include "process/field_sampler.h"
+#include "util/run_control.h"
 
 namespace rgleak::mc {
 
@@ -36,6 +38,23 @@ struct FullChipMcOptions {
   /// different (equally valid) samples. Threaded runs support per-trial
   /// state resampling: workers draw states into thread-local tables.
   std::size_t threads = 1;
+  /// Cooperative stop / deadline. Workers poll it once per trial (one relaxed
+  /// atomic load when unarmed) and drain; run() then writes a final
+  /// checkpoint (when checkpoint_path is set) and throws DeadlineExceeded.
+  const util::RunControl* run = nullptr;
+  /// Total trials between periodic checkpoints (split across workers);
+  /// 0 disables periodic checkpoints. Checkpoint cadence never changes the
+  /// result: worker state persists across rounds, so the sample stream is
+  /// bit-identical whatever the cadence — or whether the run was interrupted
+  /// and resumed — for a fixed (seed, threads).
+  std::size_t checkpoint_every = 0;
+  /// Where checkpoints are written (atomic temp-file + rename). Empty
+  /// disables checkpointing entirely.
+  std::string checkpoint_path;
+  /// Resume from this checkpoint instead of starting fresh. The checkpoint's
+  /// identity header must match (seed, threads, trials, resampling, table
+  /// points, gate count), else ConfigError.
+  std::string resume_path;
 };
 
 struct FullChipMcResult {
@@ -84,6 +103,11 @@ class FullChipMonteCarlo {
                         std::vector<const charlib::LeakageTable*>& table) const;
   double sample_total_tables(process::GridFieldSampler& field, math::Rng& rng,
                              const std::vector<const charlib::LeakageTable*>& table) const;
+  /// Loads `path`, verifies its identity header against this run's setup
+  /// (ConfigError on mismatch), and installs the per-worker state.
+  void restore(const std::string& path, std::size_t threads, std::vector<math::Rng>& rngs,
+               std::vector<process::GridFieldSampler>& fields,
+               std::vector<std::vector<double>>& slices) const;
 };
 
 }  // namespace rgleak::mc

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/atomic_file.h"
 #include "util/error.h"
 #include "util/failpoint.h"
 #include "util/require.h"
@@ -31,11 +32,7 @@ void save_netlist(const Netlist& netlist, std::ostream& os) {
 
 void save_netlist(const Netlist& netlist, const std::string& path) {
   RGLEAK_FAILPOINT("netlist.io.write");
-  std::ofstream os(path);
-  if (!os) throw IoError("cannot open for writing: " + path);
-  save_netlist(netlist, os);
-  os.flush();
-  if (!os) throw IoError("write failed: " + path);
+  util::atomic_write_file(path, [&](std::ostream& os) { save_netlist(netlist, os); });
 }
 
 Netlist load_netlist(const cells::StdCellLibrary& library, std::istream& is,

@@ -106,6 +106,13 @@ std::vector<double> GridFieldSampler::sample(math::Rng& rng) {
   return field;
 }
 
+void GridFieldSampler::set_cached_field(std::vector<double> field) {
+  RGLEAK_REQUIRE(field.size() == rows_ * cols_,
+                 "cached field must match the sampler grid");
+  cached_ = std::move(field);
+  has_cached_ = true;
+}
+
 DenseFieldSampler::DenseFieldSampler(std::vector<Site> sites, const SpatialCorrelation& rho,
                                      double sigma)
     : sites_(std::move(sites)) {

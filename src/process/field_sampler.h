@@ -41,6 +41,15 @@ class GridFieldSampler {
   /// non-negative). Diagnostic for kernel validity.
   double clamped_eigenvalue_fraction() const { return clamped_fraction_; }
 
+  /// Checkpoint access to the spare-field cache: each FFT yields two
+  /// independent fields, and the second is held for the next sample() call.
+  /// A resumed run must restore this cache or its stream diverges from the
+  /// uninterrupted one.
+  bool has_cached_field() const { return has_cached_; }
+  const std::vector<double>& cached_field() const { return cached_; }
+  /// Restores a cache captured by cached_field(); size must be rows*cols.
+  void set_cached_field(std::vector<double> field);
+
  private:
   std::size_t rows_, cols_;      // requested grid
   std::size_t prow_, pcol_;      // padded periodic grid (powers of two)

@@ -1,0 +1,49 @@
+#include "util/atomic_file.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.h"
+#include "util/failpoint.h"
+
+#if defined(_WIN32)
+#include <process.h>
+#define RGLEAK_GETPID _getpid
+#else
+#include <unistd.h>
+#define RGLEAK_GETPID getpid
+#endif
+
+namespace rgleak::util {
+
+namespace {
+
+// Removes the temp file on every exit path that did not commit it.
+struct TempGuard {
+  std::string path;
+  bool committed = false;
+  ~TempGuard() {
+    if (!committed) std::remove(path.c_str());
+  }
+};
+
+}  // namespace
+
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& emit) {
+  TempGuard tmp{path + ".tmp." + std::to_string(RGLEAK_GETPID())};
+  {
+    std::ofstream os(tmp.path, std::ios::trunc);
+    if (!os) throw IoError("cannot open for writing: " + tmp.path);
+    RGLEAK_FAILPOINT("util.atomic_file.write");
+    emit(os);
+    os.flush();
+    if (!os) throw IoError("write failed: " + tmp.path);
+  }
+  RGLEAK_FAILPOINT("util.atomic_file.commit");
+  if (std::rename(tmp.path.c_str(), path.c_str()) != 0)
+    throw IoError("cannot rename " + tmp.path + " onto " + path);
+  tmp.committed = true;
+}
+
+}  // namespace rgleak::util

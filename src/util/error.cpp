@@ -46,6 +46,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kParse: return "parse";
     case ErrorCode::kIo: return "io";
     case ErrorCode::kConfig: return "config";
+    case ErrorCode::kDeadline: return "deadline";
   }
   return "unknown";
 }
@@ -57,6 +58,7 @@ int exit_code_for(ErrorCode code) {
     case ErrorCode::kParse: return 3;
     case ErrorCode::kNumerical: return 4;
     case ErrorCode::kIo: return 5;
+    case ErrorCode::kDeadline: return 6;
   }
   return 1;
 }

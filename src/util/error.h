@@ -21,6 +21,11 @@
 //   ConfigError        — structurally valid input that asks for something
 //                        impossible (unknown correlation family, bad option
 //                        combination). Exit code 2, like a usage error.
+//   DeadlineExceeded   — the run was stopped cooperatively before it
+//                        finished: an armed deadline expired, or a stop was
+//                        requested (SIGINT, ThreadPool::stop()). The work
+//                        that was interrupted may have checkpointed; the
+//                        message says where. Exit code 6.
 //
 // Concrete errors derive from the std exception the pre-taxonomy code threw
 // (logic_error for contracts, runtime_error otherwise) *and* from the
@@ -40,14 +45,16 @@ enum class ErrorCode {
   kParse,
   kIo,
   kConfig,
+  kDeadline,
 };
 
 /// Short stable name for an error code ("contract", "numerical", "parse",
-/// "io", "config"); used by error reports and logs.
+/// "io", "config", "deadline"); used by error reports and logs.
 const char* error_code_name(ErrorCode code);
 
 /// The documented CLI exit code for an error class: 2 = usage/config,
-/// 3 = parse, 4 = numerical, 5 = io, 1 = contract (internal bug).
+/// 3 = parse, 4 = numerical, 5 = io, 6 = deadline/cancelled,
+/// 1 = contract (internal bug).
 int exit_code_for(ErrorCode code);
 
 /// Mixin carried by every typed rgleak error alongside its std exception
@@ -95,6 +102,16 @@ class ConfigError : public std::runtime_error, public Error {
  public:
   explicit ConfigError(const std::string& what)
       : std::runtime_error(what), Error(ErrorCode::kConfig, what) {}
+};
+
+/// Thrown when a run is stopped cooperatively before completing: an armed
+/// deadline expired or a stop was requested (SIGINT, another thread). Not a
+/// failure of the computation itself — partial work may have been
+/// checkpointed, and the message names the interrupted site.
+class DeadlineExceeded : public std::runtime_error, public Error {
+ public:
+  explicit DeadlineExceeded(const std::string& what)
+      : std::runtime_error(what), Error(ErrorCode::kDeadline, what) {}
 };
 
 /// Thrown on malformed input text. what() reads

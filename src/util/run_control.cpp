@@ -1,0 +1,75 @@
+#include "util/run_control.h"
+
+#include <limits>
+#include <string>
+
+namespace rgleak::util {
+
+void RunControl::latch(StopReason reason) const {
+  // First reason wins: only transition 0 -> reason.
+  std::uint8_t expected = 0;
+  reason_.compare_exchange_strong(expected, static_cast<std::uint8_t>(reason),
+                                  std::memory_order_relaxed);
+  state_.fetch_or(kStopBit, std::memory_order_release);
+}
+
+void RunControl::request_stop(StopReason reason) {
+  if (reason == StopReason::kNone) reason = StopReason::kCancelled;
+  latch(reason);
+}
+
+void RunControl::arm_deadline(Clock::time_point when) {
+  deadline_ticks_.store(when.time_since_epoch().count(), std::memory_order_relaxed);
+  state_.fetch_or(kDeadlineBit, std::memory_order_release);
+}
+
+void RunControl::arm_budget(double budget_s) {
+  if (budget_s <= 0.0) {
+    latch(StopReason::kDeadline);
+    return;
+  }
+  arm_deadline(Clock::now() +
+               std::chrono::duration_cast<Clock::duration>(std::chrono::duration<double>(budget_s)));
+}
+
+bool RunControl::should_stop() const {
+  const int s = state_.load(std::memory_order_relaxed);
+  if (s == kIdle) return false;  // the one-load fast path
+  if (s & kStopBit) return true;
+  // Deadline armed but not yet latched: read the clock.
+  const auto deadline =
+      Clock::time_point(Clock::duration(deadline_ticks_.load(std::memory_order_relaxed)));
+  if (Clock::now() >= deadline) {
+    latch(StopReason::kDeadline);
+    return true;
+  }
+  return false;
+}
+
+StopReason RunControl::reason() const {
+  return static_cast<StopReason>(reason_.load(std::memory_order_relaxed));
+}
+
+double RunControl::remaining_s() const {
+  const int s = state_.load(std::memory_order_acquire);
+  if (s & kStopBit) return 0.0;
+  if (!(s & kDeadlineBit)) return std::numeric_limits<double>::infinity();
+  const auto deadline =
+      Clock::time_point(Clock::duration(deadline_ticks_.load(std::memory_order_relaxed)));
+  const double left = std::chrono::duration<double>(deadline - Clock::now()).count();
+  return left > 0.0 ? left : 0.0;
+}
+
+DeadlineExceeded RunControl::make_error(const char* site) const {
+  const StopReason why = reason();
+  std::string msg(site);
+  msg += why == StopReason::kDeadline ? ": deadline exceeded, run stopped cooperatively"
+                                      : ": run cancelled (stop requested)";
+  return DeadlineExceeded(msg);
+}
+
+void RunControl::poll(const char* site) const {
+  if (should_stop()) throw make_error(site);
+}
+
+}  // namespace rgleak::util

@@ -1,0 +1,93 @@
+#pragma once
+// Deadline-aware run control: cooperative cancellation for long-running work.
+//
+// A RunControl is shared between a driver (which arms a deadline, or requests
+// a stop from a signal handler or another thread) and the compute kernels
+// (which poll it between chunks of work). Design constraints, in order:
+//
+//  * unarmed cost — a poll on a RunControl with no deadline and no stop
+//    request is ONE relaxed atomic load (same budget discipline as the
+//    failpoint registry), so run control can stay threaded through every hot
+//    path permanently;
+//  * signal safety — request_stop() touches only lock-free atomics, so a
+//    SIGINT handler may call it directly;
+//  * latching — once stopped (explicitly or by deadline expiry) the state
+//    never un-stops, and the first reason wins; kernels several layers deep
+//    all observe the same verdict.
+//
+// Kernels poll at chunk granularity (a tile of the exact pairwise sum, one
+// FFT type-pair batch, one MC trial), so cancellation latency is bounded by
+// one chunk plus whatever delay a task injects (see the failpoint tests).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "util/error.h"
+
+namespace rgleak::util {
+
+/// Why a run was stopped.
+enum class StopReason : std::uint8_t {
+  kNone = 0,       ///< still running
+  kCancelled = 1,  ///< request_stop(): SIGINT, another thread, pool stop()
+  kDeadline = 2,   ///< the armed deadline passed
+};
+
+class RunControl {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  RunControl() = default;
+  RunControl(const RunControl&) = delete;
+  RunControl& operator=(const RunControl&) = delete;
+
+  /// Request a cooperative stop. Async-signal-safe and thread-safe; the first
+  /// recorded reason wins. `reason` defaults to explicit cancellation.
+  void request_stop(StopReason reason = StopReason::kCancelled);
+
+  /// Arm a wall-clock deadline `budget_s` seconds from now. A non-positive
+  /// budget stops the run immediately (reason kDeadline).
+  void arm_budget(double budget_s);
+  /// Arm an absolute deadline.
+  void arm_deadline(Clock::time_point when);
+
+  /// True once a deadline has been armed or a stop requested (i.e. polls can
+  /// no longer take the single-load fast path).
+  bool armed() const { return state_.load(std::memory_order_relaxed) != kIdle; }
+
+  /// Should the work stop? Fast path (nothing armed): one relaxed atomic
+  /// load. With a deadline armed this also reads the clock and latches
+  /// kDeadline on expiry.
+  bool should_stop() const;
+
+  /// Reason the run stopped (kNone while still running).
+  StopReason reason() const;
+
+  /// Seconds left before the armed deadline; +infinity when no deadline is
+  /// armed, clamped at 0 once expired.
+  double remaining_s() const;
+
+  /// Poll-and-throw: raises DeadlineExceeded (naming `site` and the reason)
+  /// when the run should stop. Kernels call this between chunks.
+  void poll(const char* site) const;
+
+  /// Builds the DeadlineExceeded a stopped run should raise; poll() and
+  /// drivers that need to checkpoint before throwing both use this.
+  DeadlineExceeded make_error(const char* site) const;
+
+ private:
+  // state_ bit set: kStopBit latched stop, kDeadlineBit deadline armed.
+  static constexpr int kIdle = 0;
+  static constexpr int kStopBit = 1;
+  static constexpr int kDeadlineBit = 2;
+
+  mutable std::atomic<int> state_{kIdle};
+  mutable std::atomic<std::uint8_t> reason_{0};  // StopReason, first writer wins
+  // Written before kDeadlineBit is released, read after it is acquired.
+  std::atomic<Clock::time_point::rep> deadline_ticks_{0};
+
+  void latch(StopReason reason) const;
+};
+
+}  // namespace rgleak::util

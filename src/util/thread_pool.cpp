@@ -21,27 +21,42 @@ struct ThreadPool::Impl {
   std::condition_variable done_cv;   // signals caller: all participants exited
   bool shutdown = false;
 
-  // Current job. Workers snapshot (count, fn) under the mutex when they pick
-  // up a generation, then claim indices from `next`. `inflight` (also guarded
-  // by the mutex) counts workers currently inside run_indices; the caller
-  // waits for it to drop to zero, so no straggler can still be claiming
-  // indices — or reading `fn` — when parallel_for returns and the next job
-  // resets the slot. `generation` lets sleeping workers distinguish a new job
-  // from a spurious wakeup; a worker that wakes after the job was torn down
-  // snapshots count == 0 and never touches `next` or `fn`.
+  // Current job. Workers snapshot (count, fn, run, cancel) under the mutex
+  // when they pick up a generation, then claim indices from `next`.
+  // `inflight` (also guarded by the mutex) counts workers currently inside
+  // run_indices; the caller waits for it to drop to zero, so no straggler can
+  // still be claiming indices — or reading `fn` — when parallel_for returns
+  // and the next job resets the slot. `generation` lets sleeping workers
+  // distinguish a new job from a spurious wakeup; a worker that wakes after
+  // the job was torn down snapshots count == 0 and never touches `next` or
+  // `fn`.
   std::uint64_t generation = 0;
   std::size_t count = 0;
   const std::function<void(std::size_t)>* fn = nullptr;
+  const RunControl* run = nullptr;
   std::atomic<std::size_t> next{0};
   std::size_t inflight = 0;
   std::exception_ptr error;
   // Set while a parallel_for is in flight so reentrant calls (from inside a
   // task, or from a second thread) run inline instead of corrupting the slot.
   std::atomic<bool> busy{false};
+  // Cancel flag of the job in flight; lives in parallel_for's frame and is
+  // registered here (guarded by the mutex) so stop() can reach it. Null when
+  // no top-level job is active.
+  std::atomic<bool>* active_cancel = nullptr;
 
-  void run_indices(std::size_t n, const std::function<void(std::size_t)>* f) {
+  // True once this job should claim no more indices. One relaxed atomic load
+  // when nothing is armed (`run` null checks compile to a register test).
+  static bool drained(const RunControl* run, const std::atomic<bool>* cancel) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) return true;
+    return run != nullptr && run->should_stop();
+  }
+
+  void run_indices(std::size_t n, const std::function<void(std::size_t)>* f,
+                   const RunControl* rc, const std::atomic<bool>* cancel) {
     if (n == 0) return;  // stale wakeup between jobs: nothing to claim
     for (;;) {
+      if (drained(rc, cancel)) break;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) break;
       try {
@@ -59,6 +74,8 @@ struct ThreadPool::Impl {
     for (;;) {
       std::size_t n = 0;
       const std::function<void(std::size_t)>* f = nullptr;
+      const RunControl* rc = nullptr;
+      std::atomic<bool>* cancel = nullptr;
       {
         std::unique_lock<std::mutex> lock(mutex);
         work_cv.wait(lock, [&] { return shutdown || generation != seen; });
@@ -66,9 +83,11 @@ struct ThreadPool::Impl {
         seen = generation;
         n = count;
         f = fn;
+        rc = run;
+        cancel = active_cancel;
         ++inflight;
       }
-      run_indices(n, f);
+      run_indices(n, f, rc, cancel);
       {
         std::lock_guard<std::mutex> lock(mutex);
         if (--inflight == 0) done_cv.notify_all();
@@ -99,39 +118,92 @@ ThreadPool::~ThreadPool() {
 
 std::size_t ThreadPool::size() const { return impl_->threads; }
 
+void ThreadPool::stop() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (impl_->active_cancel != nullptr)
+    impl_->active_cancel->store(true, std::memory_order_relaxed);
+}
+
 void ThreadPool::parallel_for(std::size_t count,
-                              const std::function<void(std::size_t)>& fn) {
+                              const std::function<void(std::size_t)>& fn,
+                              const RunControl* run) {
   if (count == 0) return;
-  if (impl_->threads > 1 && count > 1 &&
-      !impl_->busy.exchange(true, std::memory_order_acquire)) {
-    {
-      std::lock_guard<std::mutex> lock(impl_->mutex);
-      impl_->count = count;
-      impl_->fn = &fn;
-      impl_->next.store(0, std::memory_order_relaxed);
-      impl_->error = nullptr;
-      ++impl_->generation;
+  if (!impl_->busy.exchange(true, std::memory_order_acquire)) {
+    // Top-level job: owns the slot; its cancel flag lives in this frame and
+    // is registered so stop() (from any thread) can drain it.
+    std::atomic<bool> cancelled{false};
+    if (impl_->threads > 1 && count > 1) {
+      {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        impl_->count = count;
+        impl_->fn = &fn;
+        impl_->run = run;
+        impl_->active_cancel = &cancelled;
+        impl_->next.store(0, std::memory_order_relaxed);
+        impl_->error = nullptr;
+        ++impl_->generation;
+      }
+      impl_->work_cv.notify_all();
+      // The caller participates. When its claim loop exits, every index has
+      // been claimed or the job was drained; inflight == 0 then implies no
+      // worker can still touch the job slot (or this frame's cancel flag).
+      impl_->run_indices(count, &fn, run, &cancelled);
+      std::exception_ptr error;
+      bool complete = false;
+      {
+        std::unique_lock<std::mutex> lock(impl_->mutex);
+        impl_->done_cv.wait(lock, [&] { return impl_->inflight == 0; });
+        // Every claimed index was executed (the drain check sits before the
+        // claim), so a claim counter past `count` means the job finished.
+        complete = impl_->next.load(std::memory_order_relaxed) >= count;
+        impl_->fn = nullptr;
+        impl_->count = 0;
+        impl_->run = nullptr;
+        impl_->active_cancel = nullptr;
+        error = impl_->error;
+      }
+      impl_->busy.store(false, std::memory_order_release);
+      if (error) std::rethrow_exception(error);
+      if (complete) return;  // a stop that lands after the last index is moot
+    } else {
+      // Serial pool or single-index job: run inline, still stoppable.
+      {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        impl_->active_cancel = &cancelled;
+      }
+      std::size_t done = 0;
+      try {
+        for (; done < count; ++done) {
+          if (Impl::drained(run, &cancelled)) break;
+          RGLEAK_FAILPOINT("thread_pool.task");
+          fn(done);
+        }
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(impl_->mutex);
+          impl_->active_cancel = nullptr;
+        }
+        impl_->busy.store(false, std::memory_order_release);
+        throw;
+      }
+      {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        impl_->active_cancel = nullptr;
+      }
+      impl_->busy.store(false, std::memory_order_release);
+      if (done >= count) return;
     }
-    impl_->work_cv.notify_all();
-    // The caller participates. When its claim loop exits, every index has
-    // been claimed — by the caller (and already executed) or by a worker
-    // counted in `inflight` — so inflight == 0 implies the job is complete
-    // AND no worker can still touch the job slot.
-    impl_->run_indices(count, &fn);
-    std::exception_ptr error;
-    {
-      std::unique_lock<std::mutex> lock(impl_->mutex);
-      impl_->done_cv.wait(lock, [&] { return impl_->inflight == 0; });
-      impl_->fn = nullptr;
-      impl_->count = 0;
-      error = impl_->error;
-    }
-    impl_->busy.store(false, std::memory_order_release);
-    if (error) std::rethrow_exception(error);
+    // Drained jobs surface as DeadlineExceeded on the calling thread; a task
+    // exception (rethrown above) takes precedence.
+    if (run != nullptr && run->should_stop()) throw run->make_error("thread_pool.parallel_for");
+    if (cancelled.load(std::memory_order_relaxed))
+      throw DeadlineExceeded("thread_pool.parallel_for: run cancelled (pool stop())");
     return;
   }
-  // Serial pool, trivial job, or reentrant call: run inline.
+  // Reentrant call (from inside a task, or from a second thread while a job
+  // is in flight): run inline; only the caller's RunControl can stop it.
   for (std::size_t i = 0; i < count; ++i) {
+    if (run != nullptr && run->should_stop()) throw run->make_error("thread_pool.parallel_for");
     RGLEAK_FAILPOINT("thread_pool.task");
     fn(i);
   }

@@ -9,11 +9,19 @@
 //    wakeup, not a thread spawn (the MC engine and the exact estimator issue
 //    many small parallel regions);
 //  * safety — exceptions thrown by tasks are captured and rethrown on the
-//    calling thread once the region completes.
+//    calling thread once the region completes;
+//  * cooperative stop — a job can be cancelled mid-flight, either through a
+//    RunControl passed to parallel_for (deadline or external stop) or through
+//    stop() on the pool itself. Workers drain: each finishes the index it is
+//    executing and claims no more, so cancellation latency is bounded by one
+//    index. A drained job raises DeadlineExceeded on the calling thread; the
+//    pool itself stays usable (shared pools are never torn down by a stop).
 
 #include <cstddef>
 #include <functional>
 #include <memory>
+
+#include "util/run_control.h"
 
 namespace rgleak::util {
 
@@ -35,7 +43,20 @@ class ThreadPool {
   /// all indices are done. Indices are claimed dynamically, so `fn` must not
   /// assume any execution order; determinism comes from indexed outputs.
   /// Reentrant calls from inside a task run inline on the calling thread.
-  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+  ///
+  /// When `run` is non-null it is polled (one relaxed load unarmed) before
+  /// every index claim; once it reports stop, workers drain and parallel_for
+  /// throws DeadlineExceeded after the rendezvous. A task exception takes
+  /// precedence over cancellation.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                    const RunControl* run = nullptr);
+
+  /// Cooperatively cancels the parallel_for currently in flight on this pool
+  /// (no-op when idle): workers finish their current index, drain, and the
+  /// blocked parallel_for call throws DeadlineExceeded. The pool remains
+  /// usable for subsequent jobs — this is how a long-running job on a shared
+  /// (process-wide, never-destroyed) pool is interrupted.
+  void stop();
 
   /// Process-wide pool sized to the hardware, built on first use.
   static ThreadPool& shared();

@@ -1,0 +1,283 @@
+// Checkpoint/resume of the full-chip Monte-Carlo engine: a run interrupted
+// at an arbitrary point and resumed from its checkpoint must reproduce the
+// uninterrupted result bit for bit (fixed seed and thread count), the
+// checkpoint cadence must not change the result, mismatched identities must
+// be refused, and the atomic writer must never leave truncated artifacts.
+// The *Concurrent* test also runs under TSan via scripts/tsan_check.sh.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "../test_util.h"
+#include "mc/checkpoint.h"
+#include "mc/full_chip_mc.h"
+#include "netlist/io.h"
+#include "netlist/random_circuit.h"
+#include "placement/placement.h"
+#include "util/error.h"
+#include "util/failpoint.h"
+#include "util/run_control.h"
+
+namespace rgleak::mc {
+namespace {
+
+using rgleak::testing::mini_chars_analytic;
+using rgleak::testing::mini_library;
+using util::FailpointAction;
+using util::RunControl;
+using util::ScopedFailpoint;
+
+netlist::UsageHistogram test_usage() {
+  netlist::UsageHistogram u;
+  u.alphas.assign(mini_library().size(), 0.0);
+  u.alphas[0] = 0.6;
+  u.alphas[1] = 0.4;
+  return u;
+}
+
+struct Fixture {
+  netlist::Netlist nl;
+  placement::Placement pl;
+
+  explicit Fixture(std::size_t rows = 8, std::size_t cols = 8)
+      : nl([&] {
+          math::Rng gen(41);
+          return generate_random_circuit(mini_library(), test_usage(), rows * cols, gen);
+        }()),
+        pl(&nl, [&] {
+          placement::Floorplan fp;
+          fp.rows = rows;
+          fp.cols = cols;
+          fp.site_w_nm = 1500.0;
+          fp.site_h_nm = 1500.0;
+          return fp;
+        }()) {}
+};
+
+// Temp path helper; gtest runs tests in the build tree's working directory.
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+void expect_bit_identical(const FullChipMcResult& a, const FullChipMcResult& b) {
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.mean_na, b.mean_na);
+  EXPECT_EQ(a.sigma_na, b.sigma_na);
+  EXPECT_EQ(a.p50_na, b.p50_na);
+  EXPECT_EQ(a.p90_na, b.p90_na);
+  EXPECT_EQ(a.p99_na, b.p99_na);
+}
+
+FullChipMcOptions base_options(std::size_t threads) {
+  FullChipMcOptions opts;
+  opts.trials = 120;
+  opts.seed = 99;
+  opts.threads = threads;
+  opts.resample_states_per_trial = true;
+  return opts;
+}
+
+// Interrupt a run partway (per-trial delay + stopper thread), then resume
+// from the final checkpoint and compare against the uninterrupted reference.
+void check_resume_bit_identical(std::size_t threads, const char* ckpt_name) {
+  const Fixture fx;
+  const std::string ckpt = temp_path(ckpt_name);
+  std::remove(ckpt.c_str());
+
+  FullChipMcResult reference;
+  {
+    FullChipMonteCarlo engine(fx.pl, mini_chars_analytic(), base_options(threads));
+    reference = engine.run();
+  }
+
+  bool interrupted = false;
+  {
+    FullChipMcOptions opts = base_options(threads);
+    opts.checkpoint_path = ckpt;
+    opts.checkpoint_every = 12;
+    RunControl run;
+    opts.run = &run;
+    FullChipMonteCarlo engine(fx.pl, mini_chars_analytic(), opts);
+    const ScopedFailpoint fp("mc.trial", FailpointAction::kDelay, SIZE_MAX, 1);
+    std::thread stopper([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(15));
+      run.request_stop();
+    });
+    try {
+      const FullChipMcResult r = engine.run();
+      // The stop lost the race and the run completed: still a valid outcome,
+      // and it must match the reference.
+      expect_bit_identical(r, reference);
+    } catch (const DeadlineExceeded&) {
+      interrupted = true;
+    }
+    stopper.join();
+  }
+
+  if (interrupted) {
+    FullChipMcOptions opts = base_options(threads);
+    opts.resume_path = ckpt;
+    FullChipMonteCarlo engine(fx.pl, mini_chars_analytic(), opts);
+    expect_bit_identical(engine.run(), reference);
+  }
+  std::remove(ckpt.c_str());
+}
+
+TEST(CheckpointResume, SerialRunResumesBitIdentical) {
+  check_resume_bit_identical(1, "rgleak_ckpt_serial.txt");
+}
+
+TEST(CheckpointResume, ConcurrentThreadedRunResumesBitIdentical) {
+  check_resume_bit_identical(3, "rgleak_ckpt_threaded.txt");
+}
+
+TEST(CheckpointResume, CheckpointCadenceDoesNotChangeTheResult) {
+  const Fixture fx;
+  FullChipMcResult results[3];
+  const std::size_t cadences[3] = {0, 7, 1000};
+  for (int i = 0; i < 3; ++i) {
+    FullChipMcOptions opts = base_options(3);
+    opts.checkpoint_every = cadences[i];
+    if (cadences[i] != 0) opts.checkpoint_path = temp_path("rgleak_ckpt_cadence.txt");
+    FullChipMonteCarlo engine(fx.pl, mini_chars_analytic(), opts);
+    results[i] = engine.run();
+  }
+  expect_bit_identical(results[1], results[0]);
+  expect_bit_identical(results[2], results[0]);
+  std::remove(temp_path("rgleak_ckpt_cadence.txt").c_str());
+}
+
+TEST(CheckpointResume, StopBeforeFirstTrialResumesToFullResult) {
+  // Deterministic interruption: a control stopped before run() begins drains
+  // at trial zero; the checkpoint then carries only initial RNG/field state.
+  const Fixture fx;
+  const std::string ckpt = temp_path("rgleak_ckpt_zero.txt");
+  std::remove(ckpt.c_str());
+
+  FullChipMcResult reference;
+  {
+    FullChipMonteCarlo engine(fx.pl, mini_chars_analytic(), base_options(1));
+    reference = engine.run();
+  }
+  {
+    FullChipMcOptions opts = base_options(1);
+    opts.checkpoint_path = ckpt;
+    RunControl run;
+    run.request_stop();
+    opts.run = &run;
+    FullChipMonteCarlo engine(fx.pl, mini_chars_analytic(), opts);
+    EXPECT_THROW(engine.run(), DeadlineExceeded);
+  }
+  const McCheckpoint ckpt_data = load_mc_checkpoint(ckpt);
+  EXPECT_EQ(ckpt_data.workers.size(), 1u);
+  EXPECT_TRUE(ckpt_data.workers[0].samples.empty());
+  {
+    FullChipMcOptions opts = base_options(1);
+    opts.resume_path = ckpt;
+    FullChipMonteCarlo engine(fx.pl, mini_chars_analytic(), opts);
+    expect_bit_identical(engine.run(), reference);
+  }
+  std::remove(ckpt.c_str());
+}
+
+TEST(CheckpointResume, MismatchedIdentityIsRefused) {
+  const Fixture fx;
+  const std::string ckpt = temp_path("rgleak_ckpt_mismatch.txt");
+  {
+    FullChipMcOptions opts = base_options(1);
+    opts.checkpoint_path = ckpt;
+    RunControl run;
+    run.request_stop();
+    opts.run = &run;
+    FullChipMonteCarlo engine(fx.pl, mini_chars_analytic(), opts);
+    EXPECT_THROW(engine.run(), DeadlineExceeded);
+  }
+  FullChipMcOptions opts = base_options(1);
+  opts.seed = 100;  // differs from the checkpointed 99
+  opts.resume_path = ckpt;
+  FullChipMonteCarlo engine(fx.pl, mini_chars_analytic(), opts);
+  EXPECT_THROW(engine.run(), ConfigError);
+  std::remove(ckpt.c_str());
+}
+
+TEST(CheckpointResume, TruncatedCheckpointIsAParseError) {
+  const std::string path = temp_path("rgleak_ckpt_truncated.txt");
+  {
+    std::ofstream os(path);
+    os << "rgmcckpt-v1\nseed 99\nthreads 1\n";  // cut off mid-header
+  }
+  EXPECT_THROW(load_mc_checkpoint(path), ParseError);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_mc_checkpoint(path), IoError);  // now missing entirely
+}
+
+TEST(CheckpointResume, FailedCheckpointWriteLeavesNoTruncatedArtifact) {
+  // The atomic writer must either publish a complete checkpoint or nothing:
+  // a failure injected mid-write leaves neither the target nor a temp file.
+  McCheckpoint ckpt;
+  ckpt.seed = 1;
+  ckpt.threads = 1;
+  ckpt.trials = 10;
+  ckpt.workers.resize(1);
+  const std::string path = temp_path("rgleak_ckpt_atomic.txt");
+  std::remove(path.c_str());
+  {
+    const ScopedFailpoint fp("util.atomic_file.write", FailpointAction::kThrow, 1);
+    EXPECT_THROW(save_mc_checkpoint(path, ckpt), util::FailpointError);
+  }
+  EXPECT_FALSE(std::ifstream(path).good());
+  // A later clean save works and round-trips.
+  save_mc_checkpoint(path, ckpt);
+  const McCheckpoint loaded = load_mc_checkpoint(path);
+  EXPECT_EQ(loaded.seed, 1u);
+  EXPECT_EQ(loaded.trials, 10u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, FailureAtCommitAlsoLeavesNoArtifact) {
+  McCheckpoint ckpt;
+  ckpt.seed = 2;
+  ckpt.threads = 1;
+  ckpt.trials = 4;
+  ckpt.workers.resize(1);
+  const std::string path = temp_path("rgleak_ckpt_commit.txt");
+  std::remove(path.c_str());
+  {
+    const ScopedFailpoint fp("util.atomic_file.commit", FailpointAction::kThrow, 1);
+    EXPECT_THROW(save_mc_checkpoint(path, ckpt), util::FailpointError);
+  }
+  EXPECT_FALSE(std::ifstream(path).good());
+}
+
+TEST(CheckpointResume, InterruptedNetlistSaveKeepsThePreviousFile) {
+  // End-to-end interrupt-safety of a retrofitted writer: with a good file
+  // already on disk, a failed re-save must leave the original intact.
+  math::Rng gen(7);
+  const netlist::Netlist nl = generate_random_circuit(mini_library(), test_usage(), 16, gen);
+  const std::string path = temp_path("rgleak_atomic_netlist.rgnl");
+  netlist::save_netlist(nl, path);
+  std::string before;
+  {
+    std::ifstream is(path);
+    before.assign(std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>());
+  }
+  {
+    const ScopedFailpoint fp("util.atomic_file.write", FailpointAction::kThrow, 1);
+    EXPECT_THROW(netlist::save_netlist(nl, path), util::FailpointError);
+  }
+  std::string after;
+  {
+    std::ifstream is(path);
+    after.assign(std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>());
+  }
+  EXPECT_EQ(before, after);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rgleak::mc

@@ -17,6 +17,7 @@ TEST(ErrorTaxonomy, ExitCodesFollowTheDocumentedContract) {
   EXPECT_EQ(exit_code_for(ErrorCode::kParse), 3);
   EXPECT_EQ(exit_code_for(ErrorCode::kNumerical), 4);
   EXPECT_EQ(exit_code_for(ErrorCode::kIo), 5);
+  EXPECT_EQ(exit_code_for(ErrorCode::kDeadline), 6);
 }
 
 TEST(ErrorTaxonomy, CodeNamesAreStable) {
@@ -25,6 +26,7 @@ TEST(ErrorTaxonomy, CodeNamesAreStable) {
   EXPECT_STREQ(error_code_name(ErrorCode::kParse), "parse");
   EXPECT_STREQ(error_code_name(ErrorCode::kIo), "io");
   EXPECT_STREQ(error_code_name(ErrorCode::kConfig), "config");
+  EXPECT_STREQ(error_code_name(ErrorCode::kDeadline), "deadline");
 }
 
 TEST(ErrorTaxonomy, EveryErrorIsCatchableAsStdAndAsTaxonomy) {
@@ -49,6 +51,17 @@ TEST(ErrorTaxonomy, EveryErrorIsCatchableAsStdAndAsTaxonomy) {
     throw ConfigError("no such model");
   } catch (const Error& e) {
     EXPECT_EQ(exit_code_for(e.code()), 2);
+  }
+  try {
+    throw DeadlineExceeded("mc.run: deadline exceeded");
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "mc.run: deadline exceeded");
+  }
+  try {
+    throw DeadlineExceeded("stopped");
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDeadline);
+    EXPECT_EQ(exit_code_for(e.code()), 6);
   }
 }
 

@@ -1,0 +1,93 @@
+// RunControl semantics: the unarmed fast path, latching, first-reason-wins,
+// deadline arithmetic, and the poll/throw contract.
+
+#include "util/run_control.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <thread>
+
+namespace rgleak::util {
+namespace {
+
+TEST(RunControl, UnarmedControlNeverStops) {
+  RunControl run;
+  EXPECT_FALSE(run.armed());
+  EXPECT_FALSE(run.should_stop());
+  EXPECT_EQ(run.reason(), StopReason::kNone);
+  EXPECT_TRUE(std::isinf(run.remaining_s()));
+  EXPECT_NO_THROW(run.poll("test"));
+}
+
+TEST(RunControl, RequestStopLatchesCancelled) {
+  RunControl run;
+  run.request_stop();
+  EXPECT_TRUE(run.armed());
+  EXPECT_TRUE(run.should_stop());
+  EXPECT_EQ(run.reason(), StopReason::kCancelled);
+  EXPECT_THROW(run.poll("worker"), DeadlineExceeded);
+  try {
+    run.poll("worker");
+  } catch (const DeadlineExceeded& e) {
+    EXPECT_NE(std::string(e.what()).find("worker"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("cancelled"), std::string::npos);
+    EXPECT_EQ(exit_code_for(e.code()), 6);
+  }
+}
+
+TEST(RunControl, NonPositiveBudgetStopsImmediatelyWithDeadlineReason) {
+  RunControl run;
+  run.arm_budget(0.0);
+  EXPECT_TRUE(run.should_stop());
+  EXPECT_EQ(run.reason(), StopReason::kDeadline);
+  EXPECT_EQ(run.remaining_s(), 0.0);
+  try {
+    run.poll("estimate");
+  } catch (const DeadlineExceeded& e) {
+    EXPECT_NE(std::string(e.what()).find("deadline"), std::string::npos);
+  }
+}
+
+TEST(RunControl, ArmedBudgetExpires) {
+  RunControl run;
+  run.arm_budget(1e-4);
+  EXPECT_TRUE(run.armed());
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(run.should_stop());
+  EXPECT_EQ(run.reason(), StopReason::kDeadline);
+}
+
+TEST(RunControl, GenerousBudgetDoesNotStop) {
+  RunControl run;
+  run.arm_budget(3600.0);
+  EXPECT_TRUE(run.armed());
+  EXPECT_FALSE(run.should_stop());
+  EXPECT_GT(run.remaining_s(), 3500.0);
+  EXPECT_NO_THROW(run.poll("test"));
+}
+
+TEST(RunControl, FirstReasonWins) {
+  RunControl run;
+  run.request_stop(StopReason::kCancelled);
+  run.arm_budget(0.0);  // would latch kDeadline, but the stop came first
+  EXPECT_EQ(run.reason(), StopReason::kCancelled);
+
+  RunControl run2;
+  run2.arm_budget(0.0);
+  run2.request_stop(StopReason::kCancelled);
+  EXPECT_EQ(run2.reason(), StopReason::kDeadline);
+}
+
+TEST(RunControl, MakeErrorNamesTheSite) {
+  RunControl run;
+  run.request_stop();
+  const DeadlineExceeded e = run.make_error("mc.run");
+  EXPECT_NE(std::string(e.what()).find("mc.run"), std::string::npos);
+  EXPECT_EQ(e.code(), ErrorCode::kDeadline);
+}
+
+}  // namespace
+}  // namespace rgleak::util

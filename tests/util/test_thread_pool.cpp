@@ -3,11 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/failpoint.h"
+#include "util/run_control.h"
 
 namespace rgleak::util {
 namespace {
@@ -117,6 +120,82 @@ TEST(ThreadPool, FailpointFiresOnSerialInlinePathToo) {
   const ScopedFailpoint fp("thread_pool.task", FailpointAction::kThrow, 1);
   EXPECT_THROW(pool.parallel_for(4, [&](std::size_t) {}), FailpointError);
   pool.parallel_for(4, [&](std::size_t) {});  // count exhausted: clean
+}
+
+TEST(ThreadPool, StopCancelsInFlightJobAndPoolSurvives) {
+  ThreadPool pool(3);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(pool.parallel_for(100000,
+                                 [&](std::size_t i) {
+                                   if (i == 0) pool.stop();
+                                   executed.fetch_add(1);
+                                 }),
+               DeadlineExceeded);
+  // Drain semantics: every claimed index completed, but far from all of them.
+  EXPECT_GE(executed.load(), 1);
+  EXPECT_LT(executed.load(), 100000);
+  std::atomic<int> count{0};
+  pool.parallel_for(16, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPool, StopCancelsSerialInlineJobToo) {
+  ThreadPool pool(1);
+  int executed = 0;
+  EXPECT_THROW(pool.parallel_for(1000,
+                                 [&](std::size_t i) {
+                                   if (i == 2) pool.stop();
+                                   ++executed;
+                                 }),
+               DeadlineExceeded);
+  EXPECT_EQ(executed, 3);  // indices 0..2 ran; the drain check stopped 3
+  pool.parallel_for(4, [&](std::size_t) {});
+}
+
+TEST(ThreadPool, StoppedRunControlPreventsAnyWork) {
+  ThreadPool pool(2);
+  RunControl run;
+  run.request_stop();
+  std::atomic<int> executed{0};
+  EXPECT_THROW(
+      pool.parallel_for(64, [&](std::size_t) { executed.fetch_add(1); }, &run),
+      DeadlineExceeded);
+  EXPECT_EQ(executed.load(), 0);
+}
+
+TEST(ThreadPool, CompletedJobWinsOverLateStop) {
+  // A stop that lands after every index has been claimed and executed must
+  // not throw away the finished result.
+  for (const std::size_t threads : {1u, 3u}) {
+    ThreadPool pool(threads);
+    RunControl run;
+    std::atomic<int> executed{0};
+    pool.parallel_for(1, [&](std::size_t) {
+      executed.fetch_add(1);
+      run.request_stop();  // job is complete by the time the pool re-checks
+    }, &run);
+    EXPECT_EQ(executed.load(), 1);
+  }
+}
+
+TEST(ThreadPool, RunControlDeadlineCancelsJob) {
+  ThreadPool pool(3);
+  RunControl run;
+  run.arm_budget(1e-4);
+  std::atomic<int> executed{0};
+  try {
+    pool.parallel_for(
+        1000000,
+        [&](std::size_t) {
+          executed.fetch_add(1);
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        },
+        &run);
+    FAIL() << "deadline did not fire";
+  } catch (const DeadlineExceeded& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDeadline);
+  }
+  EXPECT_LT(executed.load(), 1000000);
 }
 
 TEST(ThreadPool, SharedKeyedPoolIsCachedPerThreadCount) {

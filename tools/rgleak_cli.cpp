@@ -15,6 +15,7 @@
 // pins the process corner.
 
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -30,17 +31,27 @@
 #include "charlib/liberty_writer.h"
 #include "core/estimators.h"
 #include "core/leakage_estimator.h"
+#include "core/method_cost.h"
 #include "core/sensitivity.h"
 #include "core/yield.h"
+#include "mc/full_chip_mc.h"
 #include "netlist/io.h"
 #include "netlist/random_circuit.h"
 #include "process/variation.h"
 #include "util/error.h"
+#include "util/run_control.h"
 #include "util/table.h"
 
 using namespace rgleak;
 
 namespace {
+
+// Process-wide run control: commands that support cooperative cancellation
+// arm it (--time-budget) and install handle_signal so Ctrl-C drains cleanly
+// (checkpoint, exit code 6) instead of killing the process mid-write.
+util::RunControl g_run;
+
+extern "C" void handle_signal(int) { g_run.request_stop(util::StopReason::kCancelled); }
 
 [[noreturn]] void usage_exit(const char* msg = nullptr) {
   if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
@@ -55,6 +66,11 @@ namespace {
                "                  [--budget-ua X] [--quantile Q]\n"
                "  rgleak netlist --lib FILE --netlist FILE [--exact 1]\n"
                "                 [--exact-method auto|direct|fft] [--threads N]\n"
+               "                 [--time-budget SECONDS] [--cost-model BENCH.json]\n"
+               "  rgleak mc --lib FILE --netlist FILE [--trials N] [--seed S]\n"
+               "            [--threads N] [--p VALUE] [--resample]\n"
+               "            [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]\n"
+               "            [--time-budget SECONDS]\n"
                "  rgleak gen-netlist --out FILE --gates N --usage SPEC [--seed S]\n"
                "  rgleak sweep --lib FILE --usage SPEC --die-um WxH\n"
                "               --gates-from N --gates-to N [--steps K]\n"
@@ -65,12 +81,15 @@ namespace {
                "\n"
                "usage SPEC: comma-separated cell:weight pairs, e.g. INV_X1:0.4,NAND2_X1:0.6\n"
                "global flags: --error-json (one-line JSON error reports on stderr)\n"
-               "exit codes: 0 ok, 1 internal, 2 usage/config, 3 parse, 4 numerical, 5 io\n");
+               "exit codes: 0 ok, 1 internal, 2 usage/config, 3 parse, 4 numerical, 5 io,\n"
+               "            6 deadline/cancelled (SIGINT or --time-budget expiry)\n");
   std::exit(2);
 }
 
 // Flags that take no value; present means "1".
-bool is_boolean_flag(const std::string& key) { return key == "error-json"; }
+bool is_boolean_flag(const std::string& key) {
+  return key == "error-json" || key == "resample";
+}
 
 std::map<std::string, std::string> parse_flags(int argc, char** argv, int first) {
   std::map<std::string, std::string> flags;
@@ -267,6 +286,75 @@ int cmd_netlist(const std::map<std::string, std::string>& flags) {
     std::printf("sigma error  : %.4f%%\n",
                 100.0 * std::abs(est.sigma_na - truth.sigma_na) / truth.sigma_na);
   }
+
+  if (has_flag(flags, "time-budget")) {
+    // Budgeted ladder: exact -> linear -> integral, degrading whenever the
+    // cost model predicts the next rung would blow the remaining budget.
+    const double budget_s = parse_double(flag(flags, "time-budget"), "--time-budget");
+    if (budget_s <= 0.0) usage_exit("--time-budget must be positive");
+    const core::CostModel costs = has_flag(flags, "cost-model")
+                                      ? core::CostModel::from_bench_json(flag(flags, "cost-model"))
+                                      : core::CostModel::defaults();
+    core::ExactOptions opts;
+    opts.threads = parse_count(flag(flags, "threads", "0"), "--threads");
+    const placement::Placement pl(&nl, fp);
+    const core::ExactEstimator exact(chars, 0.5, mode);
+    const core::LeakageEstimate e =
+        core::estimate_placed_budgeted(exact, rg, pl, budget_s, costs, opts);
+    std::printf("budgeted (%.3gs): mean %.4f uA, sigma %.4f uA [method %s]\n", budget_s,
+                e.mean_na * 1e-3, e.sigma_na * 1e-3, e.method.c_str());
+    if (!e.degradation.empty()) std::printf("degraded     : %s\n", e.degradation.c_str());
+  }
+  return 0;
+}
+
+int cmd_mc(const std::map<std::string, std::string>& flags) {
+  const cells::StdCellLibrary& lib = cells::build_virtual90_library();
+  const charlib::CharacterizedLibrary chars =
+      charlib::load_characterization(lib, flag(flags, "lib"));
+  const netlist::Netlist nl = netlist::load_netlist(lib, flag(flags, "netlist"));
+  const placement::Floorplan fp = placement::Floorplan::for_gate_count(nl.size());
+  const placement::Placement pl(&nl, fp);
+
+  mc::FullChipMcOptions opts;
+  opts.trials = parse_count(flag(flags, "trials", "500"), "--trials");
+  opts.seed = static_cast<std::uint64_t>(parse_int(flag(flags, "seed", "777"), "--seed"));
+  opts.threads = parse_count(flag(flags, "threads", "1"), "--threads");
+  opts.signal_probability = parse_double(flag(flags, "p", "0.5"), "--p");
+  opts.resample_states_per_trial = has_flag(flags, "resample");
+  if (has_flag(flags, "checkpoint")) opts.checkpoint_path = flag(flags, "checkpoint");
+  opts.checkpoint_every = parse_count(flag(flags, "checkpoint-every", "0"), "--checkpoint-every");
+  if (has_flag(flags, "resume")) opts.resume_path = flag(flags, "resume");
+
+  // SIGINT/SIGTERM request a cooperative stop; a time budget arms the same
+  // control. Either way the engine drains within one trial per worker, writes
+  // a final checkpoint when --checkpoint is set, and exits with code 6.
+  opts.run = &g_run;
+  if (has_flag(flags, "time-budget")) {
+    const double budget_s = parse_double(flag(flags, "time-budget"), "--time-budget");
+    if (budget_s <= 0.0) usage_exit("--time-budget must be positive");
+    g_run.arm_budget(budget_s);
+  }
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  mc::FullChipMonteCarlo engine(pl, chars, opts);
+  mc::FullChipMcResult r;
+  try {
+    r = engine.run();
+  } catch (const DeadlineExceeded&) {
+    if (!opts.checkpoint_path.empty())
+      std::fprintf(stderr, "checkpoint written to %s (continue with --resume %s)\n",
+                   opts.checkpoint_path.c_str(), opts.checkpoint_path.c_str());
+    throw;
+  }
+  std::printf("netlist      : %s (%zu gates)\n", nl.name().c_str(), nl.size());
+  std::printf("trials       : %zu\n", r.trials);
+  std::printf("MC mean      : %.4f uA\n", r.mean_na * 1e-3);
+  std::printf("MC sigma     : %.4f uA  (%.2f%% of mean)\n", r.sigma_na * 1e-3,
+              100.0 * r.sigma_na / r.mean_na);
+  std::printf("P50/P90/P99  : %.4f / %.4f / %.4f uA\n", r.p50_na * 1e-3, r.p90_na * 1e-3,
+              r.p99_na * 1e-3);
   return 0;
 }
 
@@ -392,6 +480,7 @@ int main(int argc, char** argv) {
     if (cmd == "characterize") return cmd_characterize(flags);
     if (cmd == "estimate") return cmd_estimate(flags);
     if (cmd == "netlist") return cmd_netlist(flags);
+    if (cmd == "mc") return cmd_mc(flags);
     if (cmd == "gen-netlist") return cmd_gen_netlist(flags);
     if (cmd == "sweep") return cmd_sweep(flags);
     if (cmd == "liberty") return cmd_liberty(flags);
