@@ -1,7 +1,9 @@
 // Monte-Carlo engine throughput and run-control overhead: trials/s of the
 // full-chip MC reference serial and threaded, the cost of periodic
-// checkpointing, and the cost of carrying an unarmed RunControl token
-// (acceptance: <= 2% — one relaxed atomic load per trial).
+// checkpointing, the cost of carrying an unarmed RunControl token, and the
+// cost of running the same work through the batch service layer's queue /
+// retry / watchdog machinery with nothing armed (acceptance: <= 2% each —
+// a handful of relaxed atomic loads per trial/job).
 //
 // `bench_full_chip_mc --mc-json[=PATH]` writes the records to
 // BENCH_full_chip_mc.json in addition to the stdout table.
@@ -16,6 +18,7 @@
 #include "mc/full_chip_mc.h"
 #include "netlist/random_circuit.h"
 #include "placement/placement.h"
+#include "service/batch_runner.h"
 #include "util/run_control.h"
 
 namespace {
@@ -62,6 +65,63 @@ std::vector<double> best_of_interleaved(const placement::Placement& pl,
     for (std::size_t v = 0; v < variants.size(); ++v)
       best[v] = std::min(best[v], run_once(pl, variants[v]));
   return best;
+}
+
+/// Runs the engine once per option set, directly (no orchestration).
+double run_jobs_direct(const placement::Placement& pl,
+                       const std::vector<mc::FullChipMcOptions>& jobs) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const mc::FullChipMcOptions& opts : jobs) {
+    mc::FullChipMonteCarlo engine(pl, bench::chars_analytic(), opts);
+    (void)engine.run();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/// The same engine runs, but marshalled through run_batch: bounded queue,
+/// per-job watchdog RunControl (parent-linked, no deadline), retry loop and
+/// backoff state all in place but never armed. Measures pure orchestration
+/// overhead per job.
+class McJobExecutor : public service::Executor {
+ public:
+  McJobExecutor(const placement::Placement& pl, const std::vector<mc::FullChipMcOptions>& jobs)
+      : pl_(&pl), jobs_(&jobs) {}
+
+  service::JobOutput execute(const service::JobSpec& job, const util::RunControl* watchdog,
+                             int) override {
+    mc::FullChipMcOptions opts = (*jobs_)[static_cast<std::size_t>(std::stoul(job.id))];
+    opts.run = watchdog;
+    mc::FullChipMonteCarlo engine(*pl_, bench::chars_analytic(), opts);
+    const mc::FullChipMcResult r = engine.run();
+    service::JobOutput out;
+    out.mean_na = r.mean_na;
+    out.sigma_na = r.sigma_na;
+    out.method = "mc";
+    return out;
+  }
+
+ private:
+  const placement::Placement* pl_;
+  const std::vector<mc::FullChipMcOptions>* jobs_;
+};
+
+double run_jobs_batched(const placement::Placement& pl,
+                        const std::vector<mc::FullChipMcOptions>& jobs) {
+  std::vector<service::JobSpec> specs(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    specs[i].id = std::to_string(i);
+    specs[i].kind = "mc";
+  }
+  McJobExecutor executor(pl, jobs);
+  service::BatchOptions opts;
+  opts.workers = 1;  // same serial work as the direct loop
+  const auto t0 = std::chrono::steady_clock::now();
+  service::Journal journal = service::Journal::open("");
+  const service::BatchSummary s = service::run_batch(specs, executor, journal, opts);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (s.succeeded != jobs.size()) std::fprintf(stderr, "batch: %zu/%zu ok\n", s.succeeded, jobs.size());
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
 }  // namespace
@@ -133,6 +193,27 @@ int main(int argc, char** argv) {
     record((std::string(prefix) + "+unarmed-token").c_str(), threads, t[1], t[0]);
     record((std::string(prefix) + "+checkpoints").c_str(), threads, t[2], t[0]);
     std::remove(ckpt.c_str());
+  }
+
+  // Batch service layer overhead: the same kTrials of serial MC work, split
+  // into 8 jobs, run directly vs. marshalled through run_batch (queue +
+  // watchdog + retry machinery in place, nothing armed).
+  {
+    const std::size_t kJobs = 8;
+    std::vector<mc::FullChipMcOptions> jobs(kJobs, base);
+    for (std::size_t i = 0; i < kJobs; ++i) {
+      jobs[i].threads = 1;
+      jobs[i].trials = kTrials / kJobs;
+      jobs[i].seed = base.seed + i;
+    }
+    run_jobs_batched(pl, jobs);  // warm-up
+    double direct_ms = 1e300, batched_ms = 1e300;
+    for (int r = 0; r < kReps; ++r) {
+      direct_ms = std::min(direct_ms, run_jobs_direct(pl, jobs));
+      batched_ms = std::min(batched_ms, run_jobs_batched(pl, jobs));
+    }
+    record("serial-8jobs-direct", 1, direct_ms, 0.0);
+    record("serial-8jobs-batch-service", 1, batched_ms, direct_ms);
   }
 
   if (!json_path.empty()) {

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # AddressSanitizer pass over the failure-path tests: fault injection, the
-# malformed-input corpus, and the exception-unwinding pool paths. Exceptions
+# malformed-input corpora (netlist + checkpoint), the exception-unwinding pool
+# paths, and the batch service layer (ctest label: robustness). Exceptions
 # flying out of worker threads and aborted parses are exactly where leaks and
 # use-after-frees hide; ASan proves the error paths release what they took.
 # Uses its own build tree so the regular build stays uninstrumented.
@@ -9,9 +10,11 @@ cd "$(dirname "$0")/.."
 
 BUILD=build-asan
 cmake -B "$BUILD" -S . -DRGLEAK_SANITIZE=address >/dev/null
-cmake --build "$BUILD" --target util_tests robustness_tests -j "$(nproc)"
+cmake --build "$BUILD" --target util_tests service_tests robustness_tests -j "$(nproc)"
 
 export ASAN_OPTIONS="detect_leaks=1 halt_on_error=1 ${ASAN_OPTIONS:-}"
-"$BUILD"/tests/util_tests --gtest_filter='ThreadPool.*:Failpoint.*:ErrorTaxonomy.*'
-"$BUILD"/tests/robustness_tests
+"$BUILD"/tests/util_tests --gtest_filter='ThreadPool.*:Failpoint.*:ErrorTaxonomy.*:Backoff.*:FakeClock.*'
+# Everything labelled robustness in ctest: the service suite and the fault
+# injection / corpus / soak suite.
+(cd "$BUILD" && ctest -L robustness --output-on-failure)
 echo "asan_check: OK"

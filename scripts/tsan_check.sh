@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # ThreadSanitizer pass over the concurrency-sensitive tests: the thread pool,
-# the parallel/concurrent exact-estimator paths, and threaded Monte Carlo.
+# the parallel/concurrent exact-estimator paths, threaded Monte Carlo, and the
+# batch service layer (MPMC job queue, concurrent batch soak).
 # Part of the tier-1 verify flow (see ROADMAP.md). Uses its own build tree so
 # the regular build stays uninstrumented.
 set -euo pipefail
@@ -8,12 +9,16 @@ cd "$(dirname "$0")/.."
 
 BUILD=build-tsan
 cmake -B "$BUILD" -S . -DRGLEAK_SANITIZE=thread >/dev/null
-cmake --build "$BUILD" --target util_tests core_tests mc_tests robustness_tests -j "$(nproc)"
+cmake --build "$BUILD" --target util_tests core_tests mc_tests service_tests robustness_tests -j "$(nproc)"
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD"/tests/util_tests --gtest_filter='ThreadPool.*'
 "$BUILD"/tests/core_tests --gtest_filter='*Concurrent*:*ThreadCounts*:*FftPathMatchesDirectPath*'
 "$BUILD"/tests/mc_tests --gtest_filter='*Threaded*'
+# The service layer's shared-state hot spots: blocked producers/consumers on
+# the bounded queue, the shared retry budget, and workers appending to one
+# journal while the 200-job soak injects faults.
+"$BUILD"/tests/service_tests --gtest_filter='*Concurrent*'
 # Fault injection under TSan: a worker throwing mid-job must not race the
 # pool's rendezvous or leave it unusable.
 "$BUILD"/tests/robustness_tests --gtest_filter='*Concurrent*'

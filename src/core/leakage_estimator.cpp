@@ -31,6 +31,14 @@ std::string cancelled_note(const char* rung) {
   return std::string(rung) + " cancelled at deadline (cost misprediction)";
 }
 
+// A rung cancelled by the *budget deadline* degrades to the next rung; a rung
+// cancelled by an *external stop* (SIGINT, a batch shutdown forwarded through
+// the parent link) must propagate — the caller wants out, not a cheaper
+// answer.
+void rethrow_if_external(const util::RunControl& run) {
+  if (run.reason() == util::StopReason::kCancelled) throw;
+}
+
 // Appends `next` to a semicolon-joined degradation trail.
 void append_note(std::string* trail, const std::string& next) {
   if (!trail->empty()) *trail += "; ";
@@ -86,7 +94,7 @@ LeakageEstimate LeakageEstimator::estimate(const DesignCharacteristics& design) 
   } else {
     switch (method) {
       case EstimationMethod::kLinear:
-        e = estimate_linear(rg, fp);
+        e = estimate_linear(rg, fp, config_.run);
         break;
       case EstimationMethod::kIntegralRect:
         e = estimate_integral_rect(rg, fp);
@@ -106,6 +114,7 @@ LeakageEstimate LeakageEstimator::estimate_budgeted(const placement::Floorplan& 
                                                     const RandomGate& rg,
                                                     EstimationMethod requested) const {
   util::RunControl run;
+  run.set_parent(config_.run);
   run.arm_budget(config_.time_budget_s);
   const std::size_t sites = fp.num_sites();
   const CostModel& costs = config_.cost_model;
@@ -122,6 +131,7 @@ LeakageEstimate LeakageEstimator::estimate_budgeted(const placement::Floorplan& 
         e.degradation = trail;
         return e;
       } catch (const DeadlineExceeded&) {
+        rethrow_if_external(run);
         append_note(&trail, cancelled_note(rung));
       }
     } else {
@@ -143,9 +153,11 @@ LeakageEstimate LeakageEstimator::estimate_budgeted(const placement::Floorplan& 
 
 LeakageEstimate estimate_placed_budgeted(const ExactEstimator& exact, const RandomGate& rg,
                                          const placement::Placement& placement, double budget_s,
-                                         const CostModel& costs, ExactOptions opts) {
+                                         const CostModel& costs, ExactOptions opts,
+                                         const util::RunControl* parent) {
   RGLEAK_REQUIRE(budget_s > 0.0, "budgeted estimate needs a positive time budget");
   util::RunControl run;
+  run.set_parent(parent);
   run.arm_budget(budget_s);
   const placement::Floorplan& fp = placement.floorplan();
   const std::size_t sites = fp.num_sites();
@@ -166,6 +178,7 @@ LeakageEstimate estimate_placed_budgeted(const ExactEstimator& exact, const Rand
         e.degradation = trail;
         return e;
       } catch (const DeadlineExceeded&) {
+        rethrow_if_external(run);
         append_note(&trail, cancelled_note(exact_rung));
       }
     } else {
@@ -183,6 +196,7 @@ LeakageEstimate estimate_placed_budgeted(const ExactEstimator& exact, const Rand
         e.degradation = trail;
         return e;
       } catch (const DeadlineExceeded&) {
+        rethrow_if_external(run);
         append_note(&trail, cancelled_note("linear"));
       }
     } else {

@@ -53,6 +53,10 @@ struct EstimatorConfig {
   /// Cost models behind the budget decisions; calibrate from a bench record
   /// via CostModel::from_bench_json to pin them to the host.
   CostModel cost_model = CostModel::defaults();
+  /// External stop source (SIGINT handler, batch watchdog): polled by the
+  /// linear rung, and linked as the parent of the budgeted path's internal
+  /// deadline, so an outer cancellation stops an estimate mid-rung.
+  const util::RunControl* run = nullptr;
 };
 
 /// Builds the k x m RG floorplan matching a design's gate count and layout
@@ -90,8 +94,12 @@ class LeakageEstimator {
 /// (eqs. 20/25). A rung that overruns its prediction is cancelled by the
 /// armed deadline and the next rung answers; the last rung (O(1) integral)
 /// always answers. The result names the rung and the degradation reason.
+/// `parent`, when given, is linked as the parent of the ladder's internal
+/// deadline control, so an external stop (SIGINT, a batch watchdog) cancels
+/// the running rung; the ladder still answers with the O(1) integral.
 LeakageEstimate estimate_placed_budgeted(const ExactEstimator& exact, const RandomGate& rg,
                                          const placement::Placement& placement, double budget_s,
-                                         const CostModel& costs, ExactOptions opts = {});
+                                         const CostModel& costs, ExactOptions opts = {},
+                                         const util::RunControl* parent = nullptr);
 
 }  // namespace rgleak::core

@@ -1,0 +1,181 @@
+#include "service/batch_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "util/backoff.h"
+#include "util/error.h"
+#include "util/require.h"
+
+namespace rgleak::service {
+
+namespace {
+
+struct BatchState {
+  Executor* executor = nullptr;
+  Journal* journal = nullptr;
+  const BatchOptions* opts = nullptr;
+  util::Clock* clock = nullptr;
+  RetryBudget* budget = nullptr;
+
+  std::atomic<std::size_t> succeeded{0};
+  std::atomic<std::size_t> failed{0};
+  std::atomic<std::size_t> interrupted{0};
+  std::atomic<std::size_t> retries{0};
+
+  bool stopping() const { return opts->run != nullptr && opts->run->should_stop(); }
+};
+
+// Sleeps `ms` on the batch clock in small chunks, polling the stop source
+// between chunks so a SIGINT does not have to wait out a long backoff.
+void backoff_sleep(BatchState& st, double ms) {
+  constexpr double kChunkMs = 25.0;
+  while (ms > 0.0 && !st.stopping()) {
+    const double chunk = std::min(ms, kChunkMs);
+    st.clock->sleep_ms(chunk);
+    ms -= chunk;
+  }
+}
+
+void record_terminal(BatchState& st, JobRecord rec) {
+  if (rec.status == JobStatus::kSucceeded)
+    st.succeeded.fetch_add(1, std::memory_order_relaxed);
+  else
+    st.failed.fetch_add(1, std::memory_order_relaxed);
+  st.journal->append(rec);
+}
+
+// Runs one job to a terminal outcome (or abandons it on batch stop). Never
+// lets an exception escape: that is the fault-isolation contract.
+void run_one(BatchState& st, const JobSpec& job) {
+  JobRecord rec;
+  rec.id = job.id;
+  int degrade = 0;
+  util::BackoffState backoff =
+      util::backoff_state_for(st.opts->jitter_seed ^ util::backoff_job_hash(job.id.c_str()));
+
+  for (;;) {
+    if (st.stopping()) {
+      st.interrupted.fetch_add(1, std::memory_order_relaxed);
+      return;  // no record: the job re-runs on resume
+    }
+    ++rec.attempts;
+
+    util::RunControl watchdog;
+    watchdog.set_parent(st.opts->run);
+    if (st.opts->job_deadline_s > 0.0) watchdog.arm_budget(st.opts->job_deadline_s);
+
+    bool retry = false;
+    const double t0 = st.clock->now_ms();
+    try {
+      const JobOutput out = st.executor->execute(job, &watchdog, degrade);
+      rec.wall_ms += st.clock->now_ms() - t0;
+      rec.status = JobStatus::kSucceeded;
+      rec.mean_na = out.mean_na;
+      rec.sigma_na = out.sigma_na;
+      rec.method = out.method;
+      rec.error.clear();
+      record_terminal(st, rec);
+      return;
+    } catch (const rgleak::Error& e) {
+      rec.wall_ms += st.clock->now_ms() - t0;
+      rec.error = error_json(e);
+      retry = retryable(e.code());
+    } catch (const std::exception& e) {
+      // Outside the taxonomy (e.g. an armed failpoint): assume transient.
+      rec.wall_ms += st.clock->now_ms() - t0;
+      rec.error = error_json(e);
+      retry = true;
+    }
+
+    if (st.stopping()) {
+      // The failure is indistinguishable from a cancellation side effect
+      // (the watchdog forwards the batch stop into the engines); abandon
+      // without a record so the job re-runs cleanly on resume.
+      st.interrupted.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (!retry || rec.attempts >= st.opts->retry.max_attempts || !st.budget->try_take()) {
+      rec.status = JobStatus::kFailed;
+      record_terminal(st, rec);
+      return;
+    }
+    st.retries.fetch_add(1, std::memory_order_relaxed);
+    ++degrade;  // next attempt answers from a cheaper rung
+    backoff_sleep(st, util::next_backoff_ms(st.opts->retry.backoff, backoff));
+  }
+}
+
+JobRecord shed_record(const JobSpec& job, ShedPolicy policy) {
+  JobRecord rec;
+  rec.id = job.id;
+  rec.status = JobStatus::kShed;
+  rec.error = std::string("{\"error\":\"shed\",\"message\":\"queue full (policy ") +
+              shed_policy_name(policy) + "): job shed before execution\"}";
+  return rec;
+}
+
+}  // namespace
+
+BatchSummary run_batch(const std::vector<JobSpec>& jobs, Executor& executor, Journal& journal,
+                       const BatchOptions& options) {
+  RGLEAK_REQUIRE(options.retry.max_attempts >= 1, "batch needs max_attempts >= 1");
+  RGLEAK_REQUIRE(options.queue_depth >= 1, "batch needs queue_depth >= 1");
+
+  BatchSummary summary;
+  summary.total = jobs.size();
+
+  RetryBudget budget(options.retry.batch_retry_budget);
+  BatchState st;
+  st.executor = &executor;
+  st.journal = &journal;
+  st.opts = &options;
+  st.clock = options.clock != nullptr ? options.clock : &util::SystemClock::instance();
+  st.budget = &budget;
+
+  std::size_t workers = options.workers;
+  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+
+  JobQueue queue(options.queue_depth, options.shed_policy);
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&st, &queue] {
+      while (auto job = queue.pop()) run_one(st, *job);
+    });
+  }
+
+  std::size_t shed = 0;
+  for (const JobSpec& job : jobs) {
+    if (journal.has(job.id)) {
+      ++summary.skipped;  // crash-only resume: terminal outcomes never re-run
+      continue;
+    }
+    if (st.stopping()) {
+      st.interrupted.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    JobQueue::PushResult result = queue.push(job);
+    if (result.shed.has_value()) {
+      ++shed;
+      journal.append(shed_record(*result.shed, options.shed_policy));
+    }
+    if (result.closed) st.interrupted.fetch_add(1, std::memory_order_relaxed);
+  }
+  queue.close();
+  for (std::thread& t : pool) t.join();
+
+  summary.succeeded = st.succeeded.load();
+  summary.failed = st.failed.load();
+  summary.shed = shed;
+  summary.interrupted = st.interrupted.load();
+  summary.retries = st.retries.load();
+  summary.journal_write_failures = journal.write_failures();
+  summary.queue_high_watermark = queue.high_watermark();
+  summary.stopped = st.stopping();
+  return summary;
+}
+
+}  // namespace rgleak::service

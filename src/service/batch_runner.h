@@ -1,0 +1,82 @@
+#pragma once
+// Batch orchestration: manifest in, journal out, failures isolated.
+//
+// run_batch() feeds a manifest's jobs through a bounded JobQueue into a pool
+// of worker threads, each attempt wrapped in a per-job watchdog RunControl
+// (deadline + parent link to the batch-level stop source). The contract is
+// fault isolation: a job that throws, returns NaN, or blows its deadline
+// produces a structured JobRecord in the journal — the batch itself never
+// dies and never wedges.
+//
+// Retry loop per job: a retryable failure (see service/retry.h) is retried up
+// to RetryPolicy::max_attempts times, gated by the shared per-batch
+// RetryBudget, with exponential backoff + decorrelated jitter between
+// attempts (seeded per job id, so schedules are deterministic and
+// worker-independent). Each retry also bumps the executor's `degrade` level,
+// walking estimate jobs down the cost ladder so the retry is cheaper than the
+// attempt that failed.
+//
+// Stop semantics: when the batch-level RunControl stops (SIGINT, a test),
+// jobs already finished keep their records, jobs mid-flight or still queued
+// get NO record — the crash-only journal re-runs them on resume. Backoff
+// sleeps are chunked and poll the stop source, so cancellation latency is
+// bounded by one chunk, not one backoff.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "service/executor.h"
+#include "service/job_queue.h"
+#include "service/journal.h"
+#include "service/retry.h"
+#include "util/clock.h"
+#include "util/run_control.h"
+
+namespace rgleak::service {
+
+struct BatchOptions {
+  RetryPolicy retry;
+  /// Queue bound; the backpressure knob.
+  std::size_t queue_depth = 32;
+  ShedPolicy shed_policy = ShedPolicy::kBlock;
+  /// Worker threads. 0 = hardware concurrency.
+  std::size_t workers = 1;
+  /// Per-job watchdog deadline, seconds; 0 = none. Applies to each *attempt*.
+  double job_deadline_s = 0.0;
+  /// Seed for the backoff jitter streams (combined with each job id).
+  std::uint64_t jitter_seed = 0x5eedULL;
+  /// Time source for backoff sleeps; null = the shared SystemClock.
+  util::Clock* clock = nullptr;
+  /// Batch-level stop source (SIGINT handler, a test). Linked as the parent
+  /// of every per-job watchdog.
+  const util::RunControl* run = nullptr;
+};
+
+struct BatchSummary {
+  std::size_t total = 0;        ///< jobs in the manifest
+  std::size_t skipped = 0;      ///< already terminal in the journal (resume)
+  std::size_t succeeded = 0;
+  std::size_t failed = 0;       ///< terminal structured failures
+  std::size_t shed = 0;         ///< load-shed by the queue (structured records)
+  std::size_t interrupted = 0;  ///< batch stopped first; no record, will re-run
+  std::size_t retries = 0;      ///< retry attempts consumed across the batch
+  std::size_t journal_write_failures = 0;
+  std::size_t queue_high_watermark = 0;
+  bool stopped = false;         ///< the batch-level stop source fired
+
+  /// Every manifest job is accounted for exactly once.
+  std::size_t accounted() const {
+    return skipped + succeeded + failed + shed + interrupted;
+  }
+};
+
+/// Runs `jobs` to terminal outcomes. Jobs already present in `journal` are
+/// skipped (crash-only resume); every other job ends as exactly one of
+/// succeeded / failed / shed (with a journal record) or interrupted (no
+/// record, batch stop). Never throws for job-level failures; throws only for
+/// batch-level misconfiguration (ContractViolation).
+BatchSummary run_batch(const std::vector<JobSpec>& jobs, Executor& executor, Journal& journal,
+                       const BatchOptions& options = {});
+
+}  // namespace rgleak::service

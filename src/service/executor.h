@@ -1,0 +1,39 @@
+#pragma once
+// The execution boundary of the batch layer.
+//
+// BatchRunner owns orchestration (queue, retries, watchdogs, journal);
+// Executors own domain work. Keeping the boundary a one-method interface
+// lets tests and benchmarks drive the full orchestration machinery with
+// synthetic jobs (a lambda that sleeps, throws, or returns a constant), and
+// keeps the production adapters (service/job_runner.h) free of any
+// scheduling concerns.
+
+#include "service/job.h"
+#include "util/run_control.h"
+
+namespace rgleak::service {
+
+/// What a successful job execution produced.
+struct JobOutput {
+  double mean_na = 0.0;
+  double sigma_na = 0.0;
+  /// Estimator rung / engine that answered ("exact_fft", "linear", "mc", ...).
+  std::string method;
+};
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Runs one job attempt. `watchdog` carries the per-job deadline and any
+  /// forwarded batch-level stop; implementations thread it into every kernel
+  /// they call so a wedged job cancels within one chunk. `degrade` counts
+  /// prior retryable failures of this job — implementations that own an
+  /// accuracy ladder walk one rung down per degradation step (see
+  /// job_runner.h). Failures are reported by throwing (taxonomy errors
+  /// preferred; anything else is classified as transient).
+  virtual JobOutput execute(const JobSpec& job, const util::RunControl* watchdog,
+                            int degrade) = 0;
+};
+
+}  // namespace rgleak::service

@@ -1,0 +1,128 @@
+#include "service/job.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "service/jsonio.h"
+#include "util/error.h"
+#include "util/failpoint.h"
+
+namespace rgleak::service {
+
+namespace {
+
+std::string take_required(JsonObject& obj, const char* key, const std::string& source,
+                          std::size_t line) {
+  const auto it = obj.find(key);
+  if (it == obj.end() || it->second.empty())
+    throw ParseError(source, line, 0, std::string("job needs a non-empty \"") + key + "\"");
+  std::string value = it->second;
+  obj.erase(it);
+  return value;
+}
+
+double parse_number(const std::string& tok, const char* what, const std::string& source,
+                    std::size_t line) {
+  std::size_t used = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(tok, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != tok.size())
+    throw ParseError(source, line, 0, std::string("expected a number for ") + what, tok);
+  return v;
+}
+
+}  // namespace
+
+const char* job_status_name(JobStatus status) {
+  switch (status) {
+    case JobStatus::kSucceeded: return "ok";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kShed: return "shed";
+  }
+  return "unknown";
+}
+
+std::vector<JobSpec> parse_manifest(std::istream& is, const std::string& source) {
+  std::vector<JobSpec> jobs;
+  std::set<std::string> seen;
+  std::string text;
+  std::size_t line = 0;
+  while (std::getline(is, text)) {
+    ++line;
+    RGLEAK_FAILPOINT("service.manifest.read_line");
+    const auto first = text.find_first_not_of(" \t\r");
+    if (first == std::string::npos || text[first] == '#') continue;
+    JsonObject obj = parse_json_object(text, source, line);
+    JobSpec job;
+    job.line = line;
+    job.id = take_required(obj, "id", source, line);
+    job.kind = take_required(obj, "kind", source, line);
+    if (!seen.insert(job.id).second)
+      throw ParseError(source, line, 0, "duplicate job id", job.id);
+    job.params = std::move(obj);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::vector<JobSpec> load_manifest(const std::string& path) {
+  RGLEAK_FAILPOINT("service.manifest.open");
+  std::ifstream is(path);
+  if (!is) throw IoError("cannot open manifest for reading: " + path);
+  return parse_manifest(is, path);
+}
+
+std::string journal_record_json(const JobRecord& rec) {
+  std::ostringstream os;
+  os << "{\"job\":" << json_string(rec.id) << ",\"status\":\""
+     << job_status_name(rec.status) << "\",\"attempts\":" << rec.attempts;
+  os << ",\"wall_ms\":";
+  {
+    std::ostringstream ms;
+    ms.precision(4);
+    ms << std::fixed << rec.wall_ms;
+    os << ms.str();
+  }
+  if (rec.status == JobStatus::kSucceeded) {
+    std::ostringstream vals;
+    vals.precision(17);
+    vals << ",\"mean_na\":" << rec.mean_na << ",\"sigma_na\":" << rec.sigma_na;
+    os << vals.str();
+    if (!rec.method.empty()) os << ",\"method\":" << json_string(rec.method);
+  }
+  if (!rec.error.empty()) os << ",\"error\":" << json_string(rec.error);
+  os << "}";
+  return os.str();
+}
+
+JobRecord parse_journal_record(const std::string& text, const std::string& source,
+                               std::size_t line) {
+  JsonObject obj = parse_json_object(text, source, line);
+  JobRecord rec;
+  rec.id = take_required(obj, "job", source, line);
+  const std::string status = take_required(obj, "status", source, line);
+  if (status == "ok") rec.status = JobStatus::kSucceeded;
+  else if (status == "failed") rec.status = JobStatus::kFailed;
+  else if (status == "shed") rec.status = JobStatus::kShed;
+  else throw ParseError(source, line, 0, "unknown job status", status);
+  if (const auto it = obj.find("attempts"); it != obj.end())
+    rec.attempts = static_cast<int>(parse_number(it->second, "attempts", source, line));
+  if (const auto it = obj.find("wall_ms"); it != obj.end())
+    rec.wall_ms = parse_number(it->second, "wall_ms", source, line);
+  if (const auto it = obj.find("mean_na"); it != obj.end())
+    rec.mean_na = parse_number(it->second, "mean_na", source, line);
+  if (const auto it = obj.find("sigma_na"); it != obj.end())
+    rec.sigma_na = parse_number(it->second, "sigma_na", source, line);
+  if (const auto it = obj.find("method"); it != obj.end()) rec.method = it->second;
+  if (const auto it = obj.find("error"); it != obj.end()) rec.error = it->second;
+  if (rec.status == JobStatus::kSucceeded && obj.find("mean_na") == obj.end())
+    throw ParseError(source, line, 0, "succeeded record is missing mean_na", rec.id);
+  return rec;
+}
+
+}  // namespace rgleak::service

@@ -1,0 +1,104 @@
+#include "service/journal.h"
+
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "util/atomic_file.h"
+#include "util/error.h"
+#include "util/failpoint.h"
+
+namespace rgleak::service {
+
+namespace {
+constexpr const char* kMagic = "rgbatch-journal-v1";
+}
+
+Journal::Journal(Journal&& other) noexcept
+    : path_(std::move(other.path_)),
+      records_(std::move(other.records_)),
+      order_(std::move(other.order_)),
+      write_failures_(other.write_failures_) {}
+
+Journal Journal::open(const std::string& path) {
+  Journal j;
+  j.path_ = path;
+  if (path.empty()) return j;
+
+  std::ifstream is(path);
+  if (!is) {
+    // Missing file = fresh journal; an existing file we cannot read is an
+    // IoError (silently re-running a whole batch would be worse).
+    std::error_code ec;
+    if (std::filesystem::exists(path, ec))
+      throw IoError("cannot open journal for reading: " + path);
+    return j;
+  }
+  std::string line;
+  std::size_t lineno = 0;
+  if (!std::getline(is, line)) return j;  // empty file: fresh journal
+  ++lineno;
+  if (line != kMagic)
+    throw ParseError(path, lineno, 0,
+                     std::string("not a batch journal (wanted header '") + kMagic + "')", line);
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    JobRecord rec = parse_journal_record(line, path, lineno);
+    if (j.records_.count(rec.id))
+      throw ParseError(path, lineno, 0, "duplicate journal record for job", rec.id);
+    j.order_.push_back(rec.id);
+    j.records_.emplace(rec.id, std::move(rec));
+  }
+  return j;
+}
+
+bool Journal::has(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.count(id) > 0;
+}
+
+std::map<std::string, JobRecord> Journal::records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+std::size_t Journal::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+void Journal::append(const JobRecord& rec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (records_.count(rec.id) == 0) order_.push_back(rec.id);
+  records_[rec.id] = rec;
+  if (path_.empty()) return;
+  try {
+    RGLEAK_FAILPOINT("service.journal.append");
+    persist_locked();
+  } catch (const std::exception&) {
+    // Absorbed: the batch must outlive a flaky disk. The in-memory record is
+    // kept; the next successful append (or flush) persists it too.
+    ++write_failures_;
+  }
+}
+
+std::size_t Journal::write_failures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return write_failures_;
+}
+
+void Journal::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (path_.empty()) return;
+  persist_locked();
+}
+
+void Journal::persist_locked() {
+  util::atomic_write_file(path_, [&](std::ostream& os) {
+    os << kMagic << "\n";
+    for (const std::string& id : order_) os << journal_record_json(records_.at(id)) << "\n";
+  });
+}
+
+}  // namespace rgleak::service

@@ -1,0 +1,19 @@
+#include "service/retry.h"
+
+namespace rgleak::service {
+
+bool retryable(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kNumerical:
+    case ErrorCode::kDeadline:
+    case ErrorCode::kIo:
+      return true;
+    case ErrorCode::kParse:
+    case ErrorCode::kConfig:
+    case ErrorCode::kContract:
+      return false;
+  }
+  return true;
+}
+
+}  // namespace rgleak::service

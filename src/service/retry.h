@@ -1,0 +1,62 @@
+#pragma once
+// Retry classification and budgets for batch jobs.
+//
+// Retryability derives from the error taxonomy (util/error.h), not from
+// string matching:
+//
+//   retryable  — NumericalError (an injected NaN or an ill-conditioned draw
+//                may not recur; the executor also degrades the method one
+//                rung down the PR-3 cost ladder on each retry),
+//                DeadlineExceeded (the per-job watchdog fired; a degraded,
+//                cheaper method may fit), IoError (transient OS refusals),
+//                and foreign / unclassified exceptions (e.g. an armed
+//                failpoint) — what we cannot classify we assume transient.
+//   permanent  — ParseError and ConfigError (the input will not improve on a
+//                second read), ContractViolation (a bug; retrying hides it).
+//
+// Retries are bounded twice: per job (max_attempts) and per batch
+// (RetryBudget, a shared atomic), so a pathological manifest cannot turn
+// into an unbounded retry storm.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/backoff.h"
+#include "util/error.h"
+
+namespace rgleak::service {
+
+/// Whether a failed attempt may be retried.
+bool retryable(ErrorCode code);
+
+struct RetryPolicy {
+  /// Total attempts per job (1 = no retries).
+  int max_attempts = 3;
+  util::BackoffPolicy backoff;
+  /// Total retries allowed across the whole batch; SIZE_MAX = unbounded.
+  std::size_t batch_retry_budget = SIZE_MAX;
+};
+
+/// Shared per-batch retry budget. try_take() atomically consumes one retry;
+/// once it returns false, every job's next retry is denied and its failure
+/// becomes terminal.
+class RetryBudget {
+ public:
+  explicit RetryBudget(std::size_t budget) : remaining_(budget) {}
+
+  bool try_take() {
+    std::size_t cur = remaining_.load(std::memory_order_relaxed);
+    while (cur > 0) {
+      if (remaining_.compare_exchange_weak(cur, cur - 1, std::memory_order_relaxed)) return true;
+    }
+    return false;
+  }
+
+  std::size_t remaining() const { return remaining_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::size_t> remaining_;
+};
+
+}  // namespace rgleak::service

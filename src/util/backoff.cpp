@@ -1,0 +1,48 @@
+#include "util/backoff.h"
+
+#include <algorithm>
+
+namespace rgleak::util {
+
+namespace {
+
+// SplitMix64 (Steele et al.): tiny, full-period, and good enough for jitter.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double uniform01(std::uint64_t& state) {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+double next_backoff_ms(const BackoffPolicy& policy, BackoffState& state) {
+  const double base = std::max(0.0, policy.base_ms);
+  const double hi = std::max(base, state.prev_ms * std::max(1.0, policy.multiplier));
+  double delay = base + (hi - base) * uniform01(state.rng);
+  delay = std::min(delay, policy.cap_ms);
+  state.prev_ms = delay;
+  return delay;
+}
+
+BackoffState backoff_state_for(std::uint64_t seed) {
+  BackoffState st;
+  st.rng = seed ^ 0x9e3779b97f4a7c15ULL;
+  return st;
+}
+
+std::uint64_t backoff_job_hash(const char* id) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char* p = id; *p != '\0'; ++p) {
+    h ^= static_cast<unsigned char>(*p);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace rgleak::util

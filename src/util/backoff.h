@@ -1,0 +1,44 @@
+#pragma once
+// Retry backoff with decorrelated jitter.
+//
+// The batch service layer retries transient job failures. Plain exponential
+// backoff synchronizes retries across workers (every failed job re-fires at
+// the same instants); "decorrelated jitter" (Brooker, AWS architecture blog)
+// avoids that: each delay is drawn uniformly from [base, prev * multiplier]
+// and clamped at a cap, so consecutive delays grow roughly exponentially in
+// expectation but individual workers spread out.
+//
+// The draw is deterministic given the BackoffState's seed (a self-contained
+// SplitMix64, so util stays dependency-free), which lets tests assert exact
+// schedules and lets the batch runner derive per-job seeds for reproducible
+// soak runs.
+
+#include <cstdint>
+
+namespace rgleak::util {
+
+struct BackoffPolicy {
+  double base_ms = 50.0;    ///< minimum delay, and the first delay
+  double cap_ms = 5000.0;   ///< upper clamp on any delay
+  double multiplier = 3.0;  ///< decorrelated growth factor (>= 1)
+};
+
+/// Per-retry-sequence state: the previous delay and the jitter stream.
+struct BackoffState {
+  double prev_ms = 0.0;
+  std::uint64_t rng = 0x9e3779b97f4a7c15ULL;
+};
+
+/// Next delay of the sequence: uniform in [base, max(base, prev * multiplier)]
+/// clamped to cap, starting at exactly base_ms for the first call. Updates
+/// `state` in place and returns the delay in milliseconds.
+double next_backoff_ms(const BackoffPolicy& policy, BackoffState& state);
+
+/// State seeded for one retry sequence; mixing in a stable per-job hash keeps
+/// schedules reproducible whichever worker picks the job up.
+BackoffState backoff_state_for(std::uint64_t seed);
+
+/// FNV-1a hash of a job id, for backoff_state_for(seed ^ job_hash(id)).
+std::uint64_t backoff_job_hash(const char* id);
+
+}  // namespace rgleak::util

@@ -1,0 +1,53 @@
+#include "util/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace rgleak::util {
+
+double SystemClock::now_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SystemClock::sleep_ms(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+SystemClock& SystemClock::instance() {
+  static SystemClock clock;
+  return clock;
+}
+
+double FakeClock::now_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return now_ms_;
+}
+
+void FakeClock::sleep_ms(double ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ms > 0.0) now_ms_ += ms;
+  sleeps_.push_back(ms);
+}
+
+void FakeClock::advance_ms(double ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  now_ms_ += ms;
+}
+
+std::vector<double> FakeClock::sleeps() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sleeps_;
+}
+
+double FakeClock::total_slept_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double total = 0.0;
+  for (double s : sleeps_)
+    if (s > 0.0) total += s;
+  return total;
+}
+
+}  // namespace rgleak::util

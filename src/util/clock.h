@@ -1,0 +1,64 @@
+#pragma once
+// Injectable time source for retry/backoff logic.
+//
+// The batch service layer sleeps between retry attempts. Unit tests must not
+// actually sleep (a retry test that waits out real exponential backoff is a
+// suite-killer), so everything that waits takes a Clock. Production code uses
+// SystemClock (steady_clock + sleep_for); tests inject a FakeClock whose
+// sleep_ms() advances virtual time instantly and records the request, which
+// makes backoff schedules assertable to the millisecond with zero wall time.
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace rgleak::util {
+
+/// Monotonic time + sleep, virtualized for tests. Implementations must be
+/// thread-safe: the batch runner's workers share one clock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic milliseconds since an arbitrary epoch.
+  virtual double now_ms() const = 0;
+
+  /// Blocks (or pretends to) for `ms` milliseconds. Negative / zero is a
+  /// no-op. Callers that must stay cancellable sleep in small chunks and poll
+  /// their RunControl between chunks.
+  virtual void sleep_ms(double ms) = 0;
+};
+
+/// The real thing: std::chrono::steady_clock and std::this_thread::sleep_for.
+class SystemClock : public Clock {
+ public:
+  double now_ms() const override;
+  void sleep_ms(double ms) override;
+
+  /// Shared process-wide instance (stateless; cheaper than passing new ones).
+  static SystemClock& instance();
+};
+
+/// Deterministic virtual clock for tests: now_ms() only moves when advance_ms
+/// or sleep_ms is called. Every sleep request is recorded so tests can assert
+/// the exact backoff schedule.
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(double start_ms = 0.0) : now_ms_(start_ms) {}
+
+  double now_ms() const override;
+  /// Advances virtual time by `ms` and records the request (no real wait).
+  void sleep_ms(double ms) override;
+
+  void advance_ms(double ms);
+  /// Every sleep_ms() request so far, in call order.
+  std::vector<double> sleeps() const;
+  double total_slept_ms() const;
+
+ private:
+  mutable std::mutex mutex_;
+  double now_ms_ = 0.0;
+  std::vector<double> sleeps_;
+};
+
+}  // namespace rgleak::util

@@ -32,16 +32,28 @@ void RunControl::arm_budget(double budget_s) {
                std::chrono::duration_cast<Clock::duration>(std::chrono::duration<double>(budget_s)));
 }
 
+void RunControl::set_parent(const RunControl* parent) {
+  parent_ = parent;
+  if (parent != nullptr) state_.fetch_or(kParentBit, std::memory_order_release);
+}
+
 bool RunControl::should_stop() const {
   const int s = state_.load(std::memory_order_relaxed);
   if (s == kIdle) return false;  // the one-load fast path
   if (s & kStopBit) return true;
-  // Deadline armed but not yet latched: read the clock.
-  const auto deadline =
-      Clock::time_point(Clock::duration(deadline_ticks_.load(std::memory_order_relaxed)));
-  if (Clock::now() >= deadline) {
-    latch(StopReason::kDeadline);
+  if ((s & kParentBit) && parent_->should_stop()) {
+    const StopReason why = parent_->reason();
+    latch(why == StopReason::kNone ? StopReason::kCancelled : why);
     return true;
+  }
+  if (s & kDeadlineBit) {
+    // Deadline armed but not yet latched: read the clock.
+    const auto deadline =
+        Clock::time_point(Clock::duration(deadline_ticks_.load(std::memory_order_relaxed)));
+    if (Clock::now() >= deadline) {
+      latch(StopReason::kDeadline);
+      return true;
+    }
   }
   return false;
 }

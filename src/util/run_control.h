@@ -52,6 +52,14 @@ class RunControl {
   /// Arm an absolute deadline.
   void arm_deadline(Clock::time_point when);
 
+  /// Link a parent control: once the parent stops, polls on this control stop
+  /// too (the parent's reason is latched here). This is how a nested control
+  /// — a budgeted estimator's internal deadline, a batch job's watchdog —
+  /// composes with an outer stop source (SIGINT, batch shutdown) without
+  /// merging their deadlines. Call before sharing this control across
+  /// threads; the parent must outlive this control.
+  void set_parent(const RunControl* parent);
+
   /// True once a deadline has been armed or a stop requested (i.e. polls can
   /// no longer take the single-load fast path).
   bool armed() const { return state_.load(std::memory_order_relaxed) != kIdle; }
@@ -77,15 +85,18 @@ class RunControl {
   DeadlineExceeded make_error(const char* site) const;
 
  private:
-  // state_ bit set: kStopBit latched stop, kDeadlineBit deadline armed.
+  // state_ bit set: kStopBit latched stop, kDeadlineBit deadline armed,
+  // kParentBit parent linked (polls must consult it).
   static constexpr int kIdle = 0;
   static constexpr int kStopBit = 1;
   static constexpr int kDeadlineBit = 2;
+  static constexpr int kParentBit = 4;
 
   mutable std::atomic<int> state_{kIdle};
   mutable std::atomic<std::uint8_t> reason_{0};  // StopReason, first writer wins
   // Written before kDeadlineBit is released, read after it is acquired.
   std::atomic<Clock::time_point::rep> deadline_ticks_{0};
+  const RunControl* parent_ = nullptr;  // set before sharing, then read-only
 
   void latch(StopReason reason) const;
 };

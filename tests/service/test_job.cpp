@@ -1,0 +1,115 @@
+// Manifest parsing and journal-record round-trips.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/job.h"
+#include "util/error.h"
+#include "util/failpoint.h"
+
+namespace rgleak::service {
+namespace {
+
+std::vector<JobSpec> parse(const std::string& text) {
+  std::istringstream is(text);
+  return parse_manifest(is, "jobs.jsonl");
+}
+
+TEST(Manifest, ParsesJobsSkippingBlanksAndComments) {
+  const auto jobs = parse(
+      "# a comment\n"
+      "\n"
+      "{\"id\":\"a\",\"kind\":\"mc\",\"trials\":50,\"lib\":\"x.rgchar\"}\n"
+      "   \t\n"
+      "{\"id\":\"b\",\"kind\":\"estimate\"}\n");
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].id, "a");
+  EXPECT_EQ(jobs[0].kind, "mc");
+  EXPECT_EQ(jobs[0].line, 3u);
+  EXPECT_EQ(jobs[0].params.at("trials"), "50");
+  EXPECT_EQ(jobs[0].params.at("lib"), "x.rgchar");
+  EXPECT_EQ(jobs[0].params.count("id"), 0u);  // id/kind are lifted out
+  EXPECT_EQ(jobs[1].id, "b");
+  EXPECT_EQ(jobs[1].line, 5u);
+}
+
+TEST(Manifest, MissingIdOrKindIsALocatedParseError) {
+  try {
+    parse("{\"id\":\"a\",\"kind\":\"mc\"}\n{\"kind\":\"mc\"}\n");
+    ADD_FAILURE() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.source(), "jobs.jsonl");
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_NE(std::string(e.what()).find("\"id\""), std::string::npos) << e.what();
+  }
+  EXPECT_THROW(parse("{\"id\":\"a\"}\n"), ParseError);
+  EXPECT_THROW(parse("{\"id\":\"\",\"kind\":\"mc\"}\n"), ParseError);
+}
+
+TEST(Manifest, DuplicateIdIsAParseError) {
+  try {
+    parse("{\"id\":\"a\",\"kind\":\"mc\"}\n{\"id\":\"a\",\"kind\":\"mc\"}\n");
+    ADD_FAILURE() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_NE(std::string(e.what()).find("duplicate job id"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Manifest, ReadLineFailpointPropagates) {
+  const util::ScopedFailpoint fp("service.manifest.read_line", util::FailpointAction::kThrow, 1);
+  EXPECT_THROW(parse("{\"id\":\"a\",\"kind\":\"mc\"}\n"), util::FailpointError);
+}
+
+TEST(Manifest, MissingFileIsIoError) {
+  EXPECT_THROW(load_manifest("/nonexistent/jobs.jsonl"), IoError);
+}
+
+TEST(JournalRecord, SucceededRoundTrips) {
+  JobRecord rec;
+  rec.id = "job-1";
+  rec.status = JobStatus::kSucceeded;
+  rec.attempts = 2;
+  rec.wall_ms = 12.3456;
+  rec.mean_na = 1234.5678901234567;
+  rec.sigma_na = 98.765;
+  rec.method = "exact_fft";
+  const JobRecord back = parse_journal_record(journal_record_json(rec), "j", 1);
+  EXPECT_EQ(back.id, rec.id);
+  EXPECT_EQ(back.status, JobStatus::kSucceeded);
+  EXPECT_EQ(back.attempts, 2);
+  EXPECT_NEAR(back.wall_ms, rec.wall_ms, 1e-4);
+  EXPECT_EQ(back.mean_na, rec.mean_na);  // 17 significant digits: bit-exact
+  EXPECT_EQ(back.sigma_na, rec.sigma_na);
+  EXPECT_EQ(back.method, "exact_fft");
+}
+
+TEST(JournalRecord, FailedAndShedRoundTrip) {
+  JobRecord rec;
+  rec.id = "bad";
+  rec.status = JobStatus::kFailed;
+  rec.attempts = 3;
+  rec.error = "{\"error\":\"numerical\",\"message\":\"nan \\\"quoted\\\"\"}";
+  JobRecord back = parse_journal_record(journal_record_json(rec), "j", 1);
+  EXPECT_EQ(back.status, JobStatus::kFailed);
+  EXPECT_EQ(back.error, rec.error);
+
+  rec.status = JobStatus::kShed;
+  rec.attempts = 0;
+  back = parse_journal_record(journal_record_json(rec), "j", 1);
+  EXPECT_EQ(back.status, JobStatus::kShed);
+  EXPECT_EQ(back.attempts, 0);
+}
+
+TEST(JournalRecord, MalformedRecordsAreParseErrors) {
+  EXPECT_THROW(parse_journal_record("{\"job\":\"a\"}", "j", 4), ParseError);  // no status
+  EXPECT_THROW(parse_journal_record("{\"job\":\"a\",\"status\":\"meh\"}", "j", 4), ParseError);
+  // A succeeded record without its payload is corrupt, not "mean zero".
+  EXPECT_THROW(parse_journal_record("{\"job\":\"a\",\"status\":\"ok\"}", "j", 4), ParseError);
+}
+
+}  // namespace
+}  // namespace rgleak::service

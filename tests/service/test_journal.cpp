@@ -1,0 +1,164 @@
+// The crash-only batch journal: atomic whole-file persistence, resume
+// semantics, malformed-file refusal, and absorbed write failures.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "service/journal.h"
+#include "util/error.h"
+#include "util/failpoint.h"
+
+namespace rgleak::service {
+namespace {
+
+using util::FailpointAction;
+using util::ScopedFailpoint;
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+JobRecord ok_record(const std::string& id, double mean) {
+  JobRecord rec;
+  rec.id = id;
+  rec.status = JobStatus::kSucceeded;
+  rec.attempts = 1;
+  rec.mean_na = mean;
+  rec.sigma_na = mean / 10.0;
+  rec.method = "linear";
+  return rec;
+}
+
+TEST(Journal, MissingFileIsAFreshJournal) {
+  const std::string path = temp_path("rgleak_journal_fresh.jsonl");
+  std::remove(path.c_str());
+  const Journal j = Journal::open(path);
+  EXPECT_EQ(j.size(), 0u);
+  EXPECT_FALSE(j.has("anything"));
+}
+
+TEST(Journal, AppendPersistsAndReopenRestores) {
+  const std::string path = temp_path("rgleak_journal_roundtrip.jsonl");
+  std::remove(path.c_str());
+  {
+    Journal j = Journal::open(path);
+    j.append(ok_record("a", 100.0));
+    j.append(ok_record("b", 200.0));
+    JobRecord bad;
+    bad.id = "c";
+    bad.status = JobStatus::kFailed;
+    bad.attempts = 3;
+    bad.error = "{\"error\":\"numerical\",\"message\":\"nan\"}";
+    j.append(bad);
+    EXPECT_EQ(j.write_failures(), 0u);
+  }
+  const Journal j = Journal::open(path);
+  EXPECT_EQ(j.size(), 3u);
+  EXPECT_TRUE(j.has("a"));
+  EXPECT_TRUE(j.has("c"));
+  const auto records = j.records();
+  EXPECT_EQ(records.at("b").mean_na, 200.0);
+  EXPECT_EQ(records.at("c").status, JobStatus::kFailed);
+  EXPECT_EQ(records.at("c").error, "{\"error\":\"numerical\",\"message\":\"nan\"}");
+  std::remove(path.c_str());
+}
+
+TEST(Journal, EmptyPathIsInMemoryOnly) {
+  Journal j = Journal::open("");
+  j.append(ok_record("a", 1.0));
+  EXPECT_TRUE(j.has("a"));
+  EXPECT_EQ(j.path(), "");
+}
+
+TEST(Journal, MalformedFilesAreRefusedWithLocatedErrors) {
+  const std::string path = temp_path("rgleak_journal_bad.jsonl");
+  const auto write = [&](const char* text) {
+    std::ofstream os(path);
+    os << text;
+  };
+
+  write("not-a-journal\n");
+  try {
+    (void)Journal::open(path);
+    ADD_FAILURE() << "expected ParseError for bad magic";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.source(), path);
+    EXPECT_EQ(e.line(), 1u);
+  }
+
+  write("rgbatch-journal-v1\n{\"job\":\"a\",\"status\":\"ok\",\"mean_na\":1}\n{\"job\":\"a\"");
+  try {
+    (void)Journal::open(path);
+    ADD_FAILURE() << "expected ParseError for torn record";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+
+  write(
+      "rgbatch-journal-v1\n"
+      "{\"job\":\"a\",\"status\":\"ok\",\"mean_na\":1}\n"
+      "{\"job\":\"a\",\"status\":\"ok\",\"mean_na\":2}\n");
+  try {
+    (void)Journal::open(path);
+    ADD_FAILURE() << "expected ParseError for duplicate record";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_NE(std::string(e.what()).find("duplicate journal record"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Journal, WriteFailureIsAbsorbedAndHealedByTheNextAppend) {
+  const std::string path = temp_path("rgleak_journal_absorb.jsonl");
+  std::remove(path.c_str());
+  Journal j = Journal::open(path);
+  {
+    const ScopedFailpoint fp("util.atomic_file.write", FailpointAction::kThrow, 1);
+    j.append(ok_record("a", 1.0));  // persistence fails, record kept in memory
+  }
+  EXPECT_EQ(j.write_failures(), 1u);
+  EXPECT_TRUE(j.has("a"));
+  EXPECT_FALSE(std::ifstream(path).good());  // atomic writer left nothing
+
+  j.append(ok_record("b", 2.0));  // healthy append persists both records
+  EXPECT_EQ(j.write_failures(), 1u);
+  const Journal back = Journal::open(path);
+  EXPECT_EQ(back.size(), 2u);
+  EXPECT_TRUE(back.has("a"));
+  EXPECT_TRUE(back.has("b"));
+  std::remove(path.c_str());
+}
+
+TEST(Journal, JournalAppendFailpointIsAbsorbedToo) {
+  const std::string path = temp_path("rgleak_journal_failpoint.jsonl");
+  std::remove(path.c_str());
+  Journal j = Journal::open(path);
+  {
+    const ScopedFailpoint fp("service.journal.append", FailpointAction::kThrow, 2);
+    j.append(ok_record("a", 1.0));
+    j.append(ok_record("b", 2.0));
+  }
+  EXPECT_EQ(j.write_failures(), 2u);
+  EXPECT_TRUE(j.has("a"));
+  EXPECT_TRUE(j.has("b"));
+  j.flush();  // explicit flush persists what the failed appends could not
+  const Journal back = Journal::open(path);
+  EXPECT_EQ(back.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, FlushRethrowsWhatAppendAbsorbs) {
+  const std::string path = temp_path("rgleak_journal_flushfail.jsonl");
+  std::remove(path.c_str());
+  Journal j = Journal::open(path);
+  j.append(ok_record("a", 1.0));
+  const ScopedFailpoint fp("util.atomic_file.write", FailpointAction::kThrow, 1);
+  EXPECT_THROW(j.flush(), util::FailpointError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rgleak::service

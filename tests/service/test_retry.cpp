@@ -1,0 +1,65 @@
+// Retry classification must follow the error taxonomy, and the shared batch
+// budget must hand out exactly as many retries as configured under
+// contention.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "service/retry.h"
+#include "util/error.h"
+
+namespace rgleak::service {
+namespace {
+
+TEST(Retryable, FollowsTheTaxonomy) {
+  // Transient-looking failures retry (with method degradation)...
+  EXPECT_TRUE(retryable(ErrorCode::kNumerical));
+  EXPECT_TRUE(retryable(ErrorCode::kDeadline));
+  EXPECT_TRUE(retryable(ErrorCode::kIo));
+  // ...while failures the input guarantees to repeat are permanent, and a
+  // contract violation is a bug that retrying would only hide.
+  EXPECT_FALSE(retryable(ErrorCode::kParse));
+  EXPECT_FALSE(retryable(ErrorCode::kConfig));
+  EXPECT_FALSE(retryable(ErrorCode::kContract));
+}
+
+TEST(RetryBudget, HandsOutExactlyTheBudget) {
+  RetryBudget budget(3);
+  EXPECT_EQ(budget.remaining(), 3u);
+  EXPECT_TRUE(budget.try_take());
+  EXPECT_TRUE(budget.try_take());
+  EXPECT_TRUE(budget.try_take());
+  EXPECT_FALSE(budget.try_take());
+  EXPECT_FALSE(budget.try_take());  // stays denied
+  EXPECT_EQ(budget.remaining(), 0u);
+}
+
+TEST(RetryBudget, ZeroBudgetDeniesTheFirstRetry) {
+  RetryBudget budget(0);
+  EXPECT_FALSE(budget.try_take());
+}
+
+TEST(RetryBudget, ConcurrentTakersNeverOverdraw) {
+  constexpr std::size_t kBudget = 100;
+  constexpr int kThreads = 8;
+  constexpr int kAttemptsPerThread = 50;  // 400 attempts chasing 100 retries
+  RetryBudget budget(kBudget);
+  std::atomic<std::size_t> granted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kAttemptsPerThread; ++i) {
+        if (budget.try_take()) granted.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(granted.load(), kBudget);
+  EXPECT_EQ(budget.remaining(), 0u);
+}
+
+}  // namespace
+}  // namespace rgleak::service

@@ -1,0 +1,103 @@
+// Backoff jitter and the injectable clock: schedules must be deterministic
+// per seed, bounded by [base, cap], and testable with zero real sleeping.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/backoff.h"
+#include "util/clock.h"
+
+namespace rgleak::util {
+namespace {
+
+TEST(Backoff, FirstDelayIsExactlyBase) {
+  BackoffPolicy policy;
+  policy.base_ms = 40.0;
+  BackoffState state = backoff_state_for(7);
+  EXPECT_EQ(next_backoff_ms(policy, state), 40.0);
+}
+
+TEST(Backoff, EveryDelayStaysWithinBaseAndCap) {
+  BackoffPolicy policy;
+  policy.base_ms = 10.0;
+  policy.cap_ms = 200.0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    BackoffState state = backoff_state_for(seed);
+    for (int i = 0; i < 50; ++i) {
+      const double d = next_backoff_ms(policy, state);
+      EXPECT_GE(d, policy.base_ms) << "seed " << seed << " step " << i;
+      EXPECT_LE(d, policy.cap_ms) << "seed " << seed << " step " << i;
+    }
+  }
+}
+
+TEST(Backoff, SchedulesAreDeterministicPerSeed) {
+  BackoffPolicy policy;
+  BackoffState a = backoff_state_for(123);
+  BackoffState b = backoff_state_for(123);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(next_backoff_ms(policy, a), next_backoff_ms(policy, b)) << "step " << i;
+}
+
+TEST(Backoff, DifferentSeedsDecorrelate) {
+  // The whole point of jitter: two jobs failing together must not retry in
+  // lockstep. After the (deterministic) first delay, schedules diverge.
+  BackoffPolicy policy;
+  BackoffState a = backoff_state_for(1);
+  BackoffState b = backoff_state_for(2);
+  next_backoff_ms(policy, a);
+  next_backoff_ms(policy, b);
+  bool diverged = false;
+  for (int i = 0; i < 5 && !diverged; ++i)
+    diverged = next_backoff_ms(policy, a) != next_backoff_ms(policy, b);
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Backoff, DelaysGrowTowardTheCap) {
+  BackoffPolicy policy;
+  policy.base_ms = 10.0;
+  policy.cap_ms = 1e6;
+  policy.multiplier = 3.0;
+  BackoffState state = backoff_state_for(5);
+  double max_seen = 0.0;
+  for (int i = 0; i < 20; ++i) max_seen = std::max(max_seen, next_backoff_ms(policy, state));
+  EXPECT_GT(max_seen, 10.0 * policy.base_ms);  // grows roughly exponentially
+}
+
+TEST(Backoff, JobHashIsStableAndSpreads) {
+  EXPECT_EQ(backoff_job_hash("job-a"), backoff_job_hash("job-a"));
+  std::set<std::uint64_t> hashes;
+  const char* ids[] = {"a", "b", "job-1", "job-2", "job-10", ""};
+  for (const char* id : ids) hashes.insert(backoff_job_hash(id));
+  EXPECT_EQ(hashes.size(), 6u);
+}
+
+TEST(FakeClock, AdvancesOnlyVirtually) {
+  FakeClock clock(100.0);
+  EXPECT_EQ(clock.now_ms(), 100.0);
+  clock.sleep_ms(40.0);
+  EXPECT_EQ(clock.now_ms(), 140.0);
+  clock.advance_ms(10.0);
+  EXPECT_EQ(clock.now_ms(), 150.0);
+  clock.sleep_ms(2.5);
+  const std::vector<double> sleeps = clock.sleeps();
+  ASSERT_EQ(sleeps.size(), 2u);
+  EXPECT_EQ(sleeps[0], 40.0);
+  EXPECT_EQ(sleeps[1], 2.5);
+  EXPECT_EQ(clock.total_slept_ms(), 42.5);
+}
+
+TEST(SystemClock, IsMonotonic) {
+  SystemClock& clock = SystemClock::instance();
+  const double a = clock.now_ms();
+  const double b = clock.now_ms();
+  EXPECT_GE(b, a);
+  clock.sleep_ms(0.0);  // no-op, must not block
+  clock.sleep_ms(-5.0);
+}
+
+}  // namespace
+}  // namespace rgleak::util

@@ -22,6 +22,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "cells/library.h"
 #include "cells/spice_writer.h"
@@ -38,7 +39,10 @@
 #include "netlist/io.h"
 #include "netlist/random_circuit.h"
 #include "process/variation.h"
+#include "service/batch_runner.h"
+#include "service/job_runner.h"
 #include "util/error.h"
+#include "util/failpoint.h"
 #include "util/run_control.h"
 #include "util/table.h"
 
@@ -71,6 +75,11 @@ extern "C" void handle_signal(int) { g_run.request_stop(util::StopReason::kCance
                "            [--threads N] [--p VALUE] [--resample]\n"
                "            [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]\n"
                "            [--time-budget SECONDS]\n"
+               "  rgleak batch --manifest JOBS.jsonl [--journal FILE] [--workers N]\n"
+               "               [--max-retries N] [--backoff MS] [--backoff-cap MS]\n"
+               "               [--retry-budget N] [--queue-depth N]\n"
+               "               [--shed-policy block|reject-new|drop-oldest]\n"
+               "               [--job-deadline SECONDS] [--jitter-seed S]\n"
                "  rgleak gen-netlist --out FILE --gates N --usage SPEC [--seed S]\n"
                "  rgleak sweep --lib FILE --usage SPEC --die-um WxH\n"
                "               --gates-from N --gates-to N [--steps K]\n"
@@ -81,8 +90,11 @@ extern "C" void handle_signal(int) { g_run.request_stop(util::StopReason::kCance
                "\n"
                "usage SPEC: comma-separated cell:weight pairs, e.g. INV_X1:0.4,NAND2_X1:0.6\n"
                "global flags: --error-json (one-line JSON error reports on stderr)\n"
+               "              --failpoint SITE:ACTION[:COUNT[:DELAY_MS]] (repeatable;\n"
+               "              ACTION is throw, nan, or delay — fault injection for tests)\n"
                "exit codes: 0 ok, 1 internal, 2 usage/config, 3 parse, 4 numerical, 5 io,\n"
-               "            6 deadline/cancelled (SIGINT or --time-budget expiry)\n");
+               "            6 deadline/cancelled (SIGINT or --time-budget expiry),\n"
+               "            7 batch completed but some jobs failed or were shed\n");
   std::exit(2);
 }
 
@@ -99,6 +111,14 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv, int first)
     key = key.substr(2);
     if (is_boolean_flag(key)) {
       flags[key] = "1";
+      continue;
+    }
+    if (key == "failpoint") {
+      // Repeatable: accumulate newline-separated specs.
+      if (i + 1 >= argc) usage_exit("missing value for --failpoint");
+      std::string& specs = flags["failpoint"];
+      if (!specs.empty()) specs += '\n';
+      specs += argv[++i];
       continue;
     }
     if (i + 1 >= argc) usage_exit(("missing value for --" + key).c_str());
@@ -143,6 +163,37 @@ std::string flag(const std::map<std::string, std::string>& flags, const std::str
 
 bool has_flag(const std::map<std::string, std::string>& flags, const std::string& key) {
   return flags.count(key) > 0;
+}
+
+// Arms every --failpoint SITE:ACTION[:COUNT[:DELAY_MS]] spec. ConfigError
+// (exit 2) on an unknown action or a malformed spec — fault injection is a
+// test facility, and a typo'd site that silently never fires would make a
+// robustness run vacuous, so at least the spelling of the spec is checked.
+void arm_failpoints(const std::string& specs) {
+  std::istringstream ss(specs);
+  std::string spec;
+  while (std::getline(ss, spec)) {
+    std::vector<std::string> parts;
+    std::istringstream fields(spec);
+    std::string field;
+    while (std::getline(fields, field, ':')) parts.push_back(field);
+    if (parts.size() < 2 || parts.size() > 4 || parts[0].empty())
+      throw ConfigError("bad --failpoint '" + spec +
+                        "', expected SITE:ACTION[:COUNT[:DELAY_MS]]");
+    util::FailpointAction action;
+    if (parts[1] == "throw") action = util::FailpointAction::kThrow;
+    else if (parts[1] == "nan") action = util::FailpointAction::kNan;
+    else if (parts[1] == "delay") action = util::FailpointAction::kDelay;
+    else
+      throw ConfigError("unknown failpoint action '" + parts[1] + "' in '" + spec +
+                        "' (expected throw, nan, or delay)");
+    std::size_t count = SIZE_MAX;
+    unsigned delay_ms = 0;
+    if (parts.size() >= 3) count = parse_count(parts[2], "--failpoint count");
+    if (parts.size() >= 4)
+      delay_ms = static_cast<unsigned>(parse_count(parts[3], "--failpoint delay_ms"));
+    util::Failpoints::arm(parts[0], action, count, delay_ms);
+  }
 }
 
 netlist::UsageHistogram parse_usage(const cells::StdCellLibrary& lib, const std::string& spec) {
@@ -190,9 +241,18 @@ int cmd_characterize(const std::map<std::string, std::string>& flags) {
 
   const cells::StdCellLibrary& lib = cells::build_virtual90_library();
   std::printf("characterizing %zu cells (%s mode)...\n", lib.size(), mode.c_str());
-  charlib::CharacterizedLibrary chars =
-      mode == "mc" ? charlib::characterize_monte_carlo(lib, process)
-                   : charlib::characterize_analytic(lib, process);
+  // Ctrl-C stops between (cell, state) pairs with exit code 6; the output
+  // file is only written on completion, so no partial artifact appears.
+  charlib::CharacterizedLibrary chars = [&] {
+    if (mode == "mc") {
+      charlib::McCharOptions opts;
+      opts.run = &g_run;
+      return charlib::characterize_monte_carlo(lib, process, opts);
+    }
+    charlib::AnalyticCharOptions opts;
+    opts.run = &g_run;
+    return charlib::characterize_analytic(lib, process, opts);
+  }();
   charlib::save_characterization(chars, out);
   std::printf("wrote %s\n", out.c_str());
   return 0;
@@ -217,6 +277,7 @@ int cmd_estimate(const std::map<std::string, std::string>& flags) {
   parse_die(flag(flags, "die-um"), d.width_nm, d.height_nm);
 
   core::EstimatorConfig cfg;
+  cfg.run = &g_run;
   cfg.method = parse_method(flag(flags, "method", "auto"));
   cfg.correlation_mode = chars.has_models() ? core::CorrelationMode::kAnalytic
                                             : core::CorrelationMode::kSimplified;
@@ -260,7 +321,7 @@ int cmd_netlist(const std::map<std::string, std::string>& flags) {
                                          ? core::CorrelationMode::kAnalytic
                                          : core::CorrelationMode::kSimplified;
   const core::RandomGate rg(chars, usage, 0.5, mode);
-  const core::LeakageEstimate est = core::estimate_linear(rg, fp);
+  const core::LeakageEstimate est = core::estimate_linear(rg, fp, &g_run);
   std::printf("netlist      : %s (%zu gates)\n", nl.name().c_str(), nl.size());
   std::printf("RG estimate  : mean %.4f uA, sigma %.4f uA\n", est.mean_na * 1e-3,
               est.sigma_na * 1e-3);
@@ -278,6 +339,7 @@ int cmd_netlist(const std::map<std::string, std::string>& flags) {
       usage_exit(("unknown exact method: " + method).c_str());
     }
     opts.threads = parse_count(flag(flags, "threads", "0"), "--threads");
+    opts.run = &g_run;
     const placement::Placement pl(&nl, fp);
     const core::ExactEstimator exact(chars, 0.5, mode);
     const core::LeakageEstimate truth = exact.estimate(pl, opts);
@@ -300,7 +362,7 @@ int cmd_netlist(const std::map<std::string, std::string>& flags) {
     const placement::Placement pl(&nl, fp);
     const core::ExactEstimator exact(chars, 0.5, mode);
     const core::LeakageEstimate e =
-        core::estimate_placed_budgeted(exact, rg, pl, budget_s, costs, opts);
+        core::estimate_placed_budgeted(exact, rg, pl, budget_s, costs, opts, &g_run);
     std::printf("budgeted (%.3gs): mean %.4f uA, sigma %.4f uA [method %s]\n", budget_s,
                 e.mean_na * 1e-3, e.sigma_na * 1e-3, e.method.c_str());
     if (!e.degradation.empty()) std::printf("degraded     : %s\n", e.degradation.c_str());
@@ -326,17 +388,16 @@ int cmd_mc(const std::map<std::string, std::string>& flags) {
   opts.checkpoint_every = parse_count(flag(flags, "checkpoint-every", "0"), "--checkpoint-every");
   if (has_flag(flags, "resume")) opts.resume_path = flag(flags, "resume");
 
-  // SIGINT/SIGTERM request a cooperative stop; a time budget arms the same
-  // control. Either way the engine drains within one trial per worker, writes
-  // a final checkpoint when --checkpoint is set, and exits with code 6.
+  // SIGINT/SIGTERM request a cooperative stop (installed in main); a time
+  // budget arms the same control. Either way the engine drains within one
+  // trial per worker, writes a final checkpoint when --checkpoint is set,
+  // and exits with code 6.
   opts.run = &g_run;
   if (has_flag(flags, "time-budget")) {
     const double budget_s = parse_double(flag(flags, "time-budget"), "--time-budget");
     if (budget_s <= 0.0) usage_exit("--time-budget must be positive");
     g_run.arm_budget(budget_s);
   }
-  std::signal(SIGINT, handle_signal);
-  std::signal(SIGTERM, handle_signal);
 
   mc::FullChipMonteCarlo engine(pl, chars, opts);
   mc::FullChipMcResult r;
@@ -356,6 +417,68 @@ int cmd_mc(const std::map<std::string, std::string>& flags) {
   std::printf("P50/P90/P99  : %.4f / %.4f / %.4f uA\n", r.p50_na * 1e-3, r.p90_na * 1e-3,
               r.p99_na * 1e-3);
   return 0;
+}
+
+int cmd_batch(const std::map<std::string, std::string>& flags) {
+  const cells::StdCellLibrary& lib = cells::build_virtual90_library();
+  const std::vector<service::JobSpec> jobs = service::load_manifest(flag(flags, "manifest"));
+  service::Journal journal =
+      service::Journal::open(has_flag(flags, "journal") ? flag(flags, "journal") : std::string());
+
+  service::BatchOptions opts;
+  opts.retry.max_attempts =
+      1 + static_cast<int>(parse_count(flag(flags, "max-retries", "2"), "--max-retries"));
+  opts.retry.backoff.base_ms = parse_double(flag(flags, "backoff", "50"), "--backoff");
+  opts.retry.backoff.cap_ms = parse_double(flag(flags, "backoff-cap", "5000"), "--backoff-cap");
+  if (opts.retry.backoff.base_ms < 0.0 || opts.retry.backoff.cap_ms < opts.retry.backoff.base_ms)
+    usage_exit("--backoff must be >= 0 and <= --backoff-cap");
+  if (has_flag(flags, "retry-budget"))
+    opts.retry.batch_retry_budget = parse_count(flag(flags, "retry-budget"), "--retry-budget");
+  opts.queue_depth = parse_count(flag(flags, "queue-depth", "32"), "--queue-depth");
+  if (opts.queue_depth == 0) usage_exit("--queue-depth must be positive");
+  opts.shed_policy = service::parse_shed_policy(flag(flags, "shed-policy", "block"));
+  opts.workers = parse_count(flag(flags, "workers", "0"), "--workers");
+  if (has_flag(flags, "job-deadline")) {
+    opts.job_deadline_s = parse_double(flag(flags, "job-deadline"), "--job-deadline");
+    if (opts.job_deadline_s <= 0.0) usage_exit("--job-deadline must be positive");
+  }
+  opts.jitter_seed =
+      static_cast<std::uint64_t>(parse_int(flag(flags, "jitter-seed", "24029"), "--jitter-seed"));
+  opts.run = &g_run;
+
+  service::JobRunner runner(lib);
+  const service::BatchSummary s = service::run_batch(jobs, runner, journal, opts);
+
+  std::printf("jobs         : %zu", s.total);
+  if (s.skipped > 0) std::printf("  (%zu already done, skipped)", s.skipped);
+  std::printf("\n");
+  std::printf("succeeded    : %zu\n", s.succeeded);
+  std::printf("failed       : %zu\n", s.failed);
+  if (s.shed > 0) std::printf("shed         : %zu (policy %s)\n", s.shed,
+                              service::shed_policy_name(opts.shed_policy));
+  if (s.retries > 0) std::printf("retries      : %zu\n", s.retries);
+  std::printf("queue depth  : %zu peak of %zu\n", s.queue_high_watermark, opts.queue_depth);
+  if (s.journal_write_failures > 0)
+    std::fprintf(stderr, "warning: %zu journal writes failed (records kept in memory)\n",
+                 s.journal_write_failures);
+  // Exit over the manifest's *terminal* outcomes, this run or a previous one
+  // (a resume that skips failed jobs must not report success).
+  std::size_t terminal_failures = 0;
+  const auto records = journal.records();
+  for (const service::JobSpec& job : jobs) {
+    const auto it = records.find(job.id);
+    if (it == records.end() || it->second.status == service::JobStatus::kSucceeded) continue;
+    ++terminal_failures;
+    std::fprintf(stderr, "%s\n", service::journal_record_json(it->second).c_str());
+  }
+  if (s.stopped) {
+    std::fprintf(stderr, "batch stopped; %zu jobs unfinished", s.interrupted);
+    if (!journal.path().empty())
+      std::fprintf(stderr, " (re-run with the same --journal to resume)");
+    std::fprintf(stderr, "\n");
+    return 6;
+  }
+  return terminal_failures > 0 ? 7 : 0;
 }
 
 int cmd_gen_netlist(const std::map<std::string, std::string>& flags) {
@@ -384,6 +507,7 @@ int cmd_sweep(const std::map<std::string, std::string>& flags) {
   if (from == 0 || to < from || steps < 2) usage_exit("bad sweep range");
 
   core::EstimatorConfig cfg;
+  cfg.run = &g_run;
   cfg.maximize_signal_probability = false;
   cfg.correlation_mode = chars.has_models() ? core::CorrelationMode::kAnalytic
                                             : core::CorrelationMode::kSimplified;
@@ -475,12 +599,18 @@ int main(int argc, char** argv) {
   bool json_errors = false;
   for (int i = 2; i < argc; ++i)
     if (std::string(argv[i]) == "--error-json") json_errors = true;
+  // Every long-running command drains through g_run on Ctrl-C / SIGTERM and
+  // exits with code 6, leaving artifacts (checkpoints, journals) intact.
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
   try {
     const auto flags = parse_flags(argc, argv, 2);
+    if (has_flag(flags, "failpoint")) arm_failpoints(flags.at("failpoint"));
     if (cmd == "characterize") return cmd_characterize(flags);
     if (cmd == "estimate") return cmd_estimate(flags);
     if (cmd == "netlist") return cmd_netlist(flags);
     if (cmd == "mc") return cmd_mc(flags);
+    if (cmd == "batch") return cmd_batch(flags);
     if (cmd == "gen-netlist") return cmd_gen_netlist(flags);
     if (cmd == "sweep") return cmd_sweep(flags);
     if (cmd == "liberty") return cmd_liberty(flags);
