@@ -1,17 +1,28 @@
 // Monte-Carlo engine throughput and run-control overhead: trials/s of the
-// full-chip MC reference serial and threaded, the cost of periodic
+// full-chip MC reference across a thread-scaling sweep (1/2/4/8 workers),
+// the bucketed vs per-gate evaluation paths, the cost of periodic
 // checkpointing, the cost of carrying an unarmed RunControl token, and the
 // cost of running the same work through the batch service layer's queue /
-// retry / watchdog machinery with nothing armed (acceptance: <= 2% each —
-// a handful of relaxed atomic loads per trial/job).
+// retry / watchdog machinery with nothing armed (acceptance: <= 2% for the
+// token and checkpoint configurations — a handful of relaxed atomic loads
+// per trial plus one buffered state stream per cadence).
 //
 // `bench_full_chip_mc --mc-json[=PATH]` writes the records to
-// BENCH_full_chip_mc.json in addition to the stdout table.
+// BENCH_full_chip_mc.json in addition to the stdout table. The JSON carries
+// the runner's CPU count: thread-scaling numbers are only meaningful
+// relative to it (a 1-CPU container cannot show wall-clock speedup).
+//
+// `bench_full_chip_mc --smoke` runs a tiny CI-sized configuration and exits
+// non-zero if threaded throughput falls below serial — the regression guard
+// for the worker-round restructuring. The check is skipped (with a notice)
+// when the runner exposes a single CPU, where no speedup is physically
+// possible.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -37,6 +48,7 @@ netlist::UsageHistogram bench_usage() {
 
 struct McRecord {
   std::string config;
+  std::string eval;  // "bucketed" or "per-gate"
   std::size_t trials = 0;
   std::size_t threads = 0;
   double wall_ms = 0.0;
@@ -124,17 +136,78 @@ double run_jobs_batched(const placement::Placement& pl,
   return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
+placement::Placement make_placement(const netlist::Netlist& nl, std::size_t side) {
+  placement::Floorplan fp;
+  fp.rows = fp.cols = side;
+  fp.site_w_nm = fp.site_h_nm = 1500.0;
+  return placement::Placement(&nl, fp);
+}
+
+unsigned cpu_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// CI regression guard: tiny run, serial vs 4 threads, both eval paths.
+/// Exits non-zero when threaded throughput regresses below serial on a
+/// multi-CPU runner.
+int run_smoke() {
+  const std::size_t side = 16;
+  math::Rng gen(1);
+  const netlist::Netlist nl =
+      netlist::generate_random_circuit(bench::library(), bench_usage(), side * side, gen);
+  const placement::Placement pl = make_placement(nl, side);
+
+  mc::FullChipMcOptions base;
+  base.trials = 64;
+  base.seed = 2024;
+  base.resample_states_per_trial = true;
+
+  mc::FullChipMcOptions serial = base;
+  mc::FullChipMcOptions threaded = base;
+  threaded.threads = 4;
+  mc::FullChipMcOptions per_gate = base;
+  per_gate.eval_path = mc::McEvalPath::kPerGate;
+
+  run_once(pl, threaded);  // warm the shared pool and table caches
+  const std::vector<double> t = best_of_interleaved(pl, {serial, threaded, per_gate}, 3);
+  const double serial_tps = 1000.0 * static_cast<double>(base.trials) / t[0];
+  const double threaded_tps = 1000.0 * static_cast<double>(base.trials) / t[1];
+  const double per_gate_tps = 1000.0 * static_cast<double>(base.trials) / t[2];
+  std::printf("smoke: serial %.1f trials/s, threaded(4) %.1f trials/s, per-gate %.1f trials/s, "
+              "cpus %u\n",
+              serial_tps, threaded_tps, per_gate_tps, cpu_count());
+
+  if (cpu_count() < 2) {
+    std::printf("smoke: single-CPU runner, skipping the thread-scaling assertion\n");
+    return 0;
+  }
+  if (threaded_tps < serial_tps) {
+    std::fprintf(stderr,
+                 "smoke FAIL: threaded throughput %.1f trials/s below serial %.1f trials/s "
+                 "on a %u-CPU runner\n",
+                 threaded_tps, serial_tps, cpu_count());
+    return 1;
+  }
+  std::printf("smoke: PASS (threaded >= serial)\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path;
+  bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--mc-json", 0) == 0) {
       json_path = "BENCH_full_chip_mc.json";
       if (const auto eq = arg.find('='); eq != std::string::npos) json_path = arg.substr(eq + 1);
+    } else if (arg == "--smoke") {
+      smoke = true;
     }
   }
+  if (smoke) return run_smoke();
 
   bench::banner("Full-chip MC throughput and run-control overhead", "run control");
 
@@ -142,10 +215,7 @@ int main(int argc, char** argv) {
   math::Rng gen(1);
   const netlist::Netlist nl =
       netlist::generate_random_circuit(bench::library(), bench_usage(), side * side, gen);
-  placement::Floorplan fp;
-  fp.rows = fp.cols = side;
-  fp.site_w_nm = fp.site_h_nm = 1500.0;
-  const placement::Placement pl(&nl, fp);
+  const placement::Placement pl = make_placement(nl, side);
 
   const std::size_t kTrials = 240;
   const int kReps = 5;
@@ -160,26 +230,55 @@ int main(int argc, char** argv) {
   base.resample_states_per_trial = true;
 
   std::vector<McRecord> records;
-  const auto record = [&](const char* config, std::size_t threads, double ms,
-                          double baseline_ms) {
+  const auto record = [&](const std::string& config, const mc::FullChipMcOptions& opts,
+                          double ms, double baseline_ms) {
     McRecord r;
     r.config = config;
+    r.eval = opts.eval_path == mc::McEvalPath::kBucketed ? "bucketed" : "per-gate";
     r.trials = kTrials;
-    r.threads = threads;
+    r.threads = opts.threads;
     r.wall_ms = ms;
     r.trials_per_s = 1000.0 * static_cast<double>(kTrials) / ms;
     r.overhead_pct = baseline_ms > 0.0 ? 100.0 * (ms - baseline_ms) / baseline_ms : 0.0;
     records.push_back(r);
-    std::printf("%-28s threads %zu  %9.2f ms  %9.1f trials/s  overhead %+6.2f%%\n", config,
-                threads, ms, r.trials_per_s, r.overhead_pct);
+    std::printf("%-28s threads %zu  %-9s %9.2f ms  %9.1f trials/s  overhead %+6.2f%%\n",
+                config.c_str(), opts.threads, r.eval.c_str(), ms, r.trials_per_s,
+                r.overhead_pct);
     return ms;
   };
+
+  // Thread-scaling sweep and the bucketed / per-gate A/B, interleaved so
+  // machine-load drift hits every configuration equally.
+  {
+    std::vector<mc::FullChipMcOptions> sweep;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                      std::size_t{8}}) {
+      mc::FullChipMcOptions o = base;
+      o.threads = threads;
+      sweep.push_back(o);
+    }
+    mc::FullChipMcOptions serial_per_gate = base;
+    serial_per_gate.threads = 1;
+    serial_per_gate.eval_path = mc::McEvalPath::kPerGate;
+    sweep.push_back(serial_per_gate);
+    mc::FullChipMcOptions threaded_per_gate = serial_per_gate;
+    threaded_per_gate.threads = kThreaded;
+    sweep.push_back(threaded_per_gate);
+
+    run_once(pl, sweep[3]);  // warm the shared pool (8 workers) and caches
+    const std::vector<double> t = best_of_interleaved(pl, sweep, kReps);
+    record("serial", sweep[0], t[0], 0.0);
+    record("threads-2", sweep[1], t[1], 0.0);
+    record("threads-4", sweep[2], t[2], 0.0);
+    record("threads-8", sweep[3], t[3], 0.0);
+    record("serial-per-gate", sweep[4], t[4], t[0]);
+    record("threads-4-per-gate", sweep[5], t[5], t[2]);
+  }
 
   util::RunControl unarmed;  // attached but never armed: the fast path
   for (const std::size_t threads : {std::size_t{1}, kThreaded}) {
     mc::FullChipMcOptions plain = base;
     plain.threads = threads;
-    run_once(pl, plain);  // warm the shared pool and table caches
 
     mc::FullChipMcOptions token = plain;
     token.run = &unarmed;
@@ -189,9 +288,9 @@ int main(int argc, char** argv) {
 
     const std::vector<double> t = best_of_interleaved(pl, {plain, token, ckpting}, kReps);
     const char* prefix = threads == 1 ? "serial" : "threaded";
-    record(threads == 1 ? "serial" : "threaded", threads, t[0], 0.0);
-    record((std::string(prefix) + "+unarmed-token").c_str(), threads, t[1], t[0]);
-    record((std::string(prefix) + "+checkpoints").c_str(), threads, t[2], t[0]);
+    record(prefix, plain, t[0], 0.0);
+    record(std::string(prefix) + "+unarmed-token", token, t[1], t[0]);
+    record(std::string(prefix) + "+checkpoints", ckpting, t[2], t[0]);
     std::remove(ckpt.c_str());
   }
 
@@ -212,8 +311,9 @@ int main(int argc, char** argv) {
       direct_ms = std::min(direct_ms, run_jobs_direct(pl, jobs));
       batched_ms = std::min(batched_ms, run_jobs_batched(pl, jobs));
     }
-    record("serial-8jobs-direct", 1, direct_ms, 0.0);
-    record("serial-8jobs-batch-service", 1, batched_ms, direct_ms);
+    mc::FullChipMcOptions serial1 = base;
+    record("serial-8jobs-direct", serial1, direct_ms, 0.0);
+    record("serial-8jobs-batch-service", serial1, batched_ms, direct_ms);
   }
 
   if (!json_path.empty()) {
@@ -222,14 +322,16 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
       return 1;
     }
-    std::fprintf(f, "{\n  \"bench\": \"full_chip_mc\",\n  \"records\": [\n");
+    std::fprintf(f, "{\n  \"bench\": \"full_chip_mc\",\n  \"cpus\": %u,\n  \"records\": [\n",
+                 cpu_count());
     for (std::size_t i = 0; i < records.size(); ++i) {
       const McRecord& r = records[i];
       std::fprintf(f,
-                   "%s    {\"config\": \"%s\", \"trials\": %zu, \"threads\": %zu, "
-                   "\"wall_ms\": %.4f, \"trials_per_s\": %.2f, \"overhead_pct\": %.3f}",
-                   i == 0 ? "" : ",\n", r.config.c_str(), r.trials, r.threads, r.wall_ms,
-                   r.trials_per_s, r.overhead_pct);
+                   "%s    {\"config\": \"%s\", \"eval\": \"%s\", \"trials\": %zu, "
+                   "\"threads\": %zu, \"wall_ms\": %.4f, \"trials_per_s\": %.2f, "
+                   "\"overhead_pct\": %.3f}",
+                   i == 0 ? "" : ",\n", r.config.c_str(), r.eval.c_str(), r.trials, r.threads,
+                   r.wall_ms, r.trials_per_s, r.overhead_pct);
     }
     std::fprintf(f, "\n  ]\n}\n");
     std::fclose(f);

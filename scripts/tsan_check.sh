@@ -20,6 +20,8 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # journal while the 200-job soak injects faults.
 "$BUILD"/tests/service_tests --gtest_filter='*Concurrent*'
 # Fault injection under TSan: a worker throwing mid-job must not race the
-# pool's rendezvous or leave it unusable.
-"$BUILD"/tests/robustness_tests --gtest_filter='*Concurrent*'
+# pool's rendezvous or leave it unusable. *Threaded* adds the threaded MC
+# worker rounds (per-worker workspaces + the background checkpoint flusher)
+# driven through the robustness suite's interrupt/resume scenarios.
+"$BUILD"/tests/robustness_tests --gtest_filter='*Concurrent*:*Threaded*'
 echo "tsan_check: OK"

@@ -1,7 +1,9 @@
 #include "charlib/leakage_table.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "math/vexp.h"
 #include "util/require.h"
 
 namespace rgleak::charlib {
@@ -13,6 +15,7 @@ LeakageTable::LeakageTable(const cells::Cell& cell, std::uint32_t state,
   RGLEAK_REQUIRE(points >= 2, "leakage table needs at least two points");
   RGLEAK_REQUIRE(l_min_nm > 0.0 && l_min_nm < l_max_nm, "invalid length range");
   step_ = (l_max_ - l_min_) / static_cast<double>(points - 1);
+  inv_step_ = 1.0 / step_;
   log_i_.resize(points);
   for (std::size_t i = 0; i < points; ++i) {
     const double l = l_min_ + static_cast<double>(i) * step_;
@@ -33,6 +36,30 @@ double LeakageTable::eval_na(double l_nm) const {
   const double frac = pos - static_cast<double>(idx);
   const double log_i = log_i_[idx] + frac * (log_i_[idx + 1] - log_i_[idx]);
   return std::exp(log_i);
+}
+
+void LeakageTable::eval_many_na(const double* l_nm, double* out_na, std::size_t n) const {
+  // Same interpolation as eval_na, written branch-free (min/max clamps, a
+  // precomputed reciprocal of the step) so the gather loop vectorizes; the
+  // exponential runs as one batched vexp pass over the contiguous results.
+  const double* logi = log_i_.data();
+  const double seg_max = static_cast<double>(log_i_.size() - 1) - 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pos = (l_nm[i] - l_min_) * inv_step_;
+    const double p = std::min(std::max(pos, 0.0), seg_max);
+    const auto idx = static_cast<std::size_t>(p);
+    const double frac = pos - static_cast<double>(idx);
+    out_na[i] = logi[idx] + frac * (logi[idx + 1] - logi[idx]);
+  }
+  math::vexp(out_na, out_na, n);
+}
+
+double LeakageTable::log_i_min() const {
+  return *std::min_element(log_i_.begin(), log_i_.end());
+}
+
+double LeakageTable::log_i_max() const {
+  return *std::max_element(log_i_.begin(), log_i_.end());
 }
 
 }  // namespace rgleak::charlib

@@ -28,12 +28,25 @@ class LeakageTable {
   /// linear extrapolation of ln(I) beyond the table ends.
   double eval_na(double l_nm) const;
 
+  /// Batched lookup: out_na[i] = leakage at l_nm[i], for i in [0, n). The
+  /// contiguous ln(I) gather feeds one math::vexp pass, so the whole batch
+  /// auto-vectorizes and performs zero allocations — the Monte-Carlo
+  /// engine's bucketed hot path. In-place (out_na == l_nm) is allowed.
+  /// Agrees with eval_na to a few ULP (the scalar path uses std::exp and a
+  /// division where this path uses vexp and a precomputed reciprocal); see
+  /// tests/charlib/test_leakage_table.cpp for the asserted bound.
+  void eval_many_na(const double* l_nm, double* out_na, std::size_t n) const;
+
+  /// ln of the tabulated leakage range (diagnostics and vexp range checks).
+  double log_i_min() const;
+  double log_i_max() const;
+
   double l_min_nm() const { return l_min_; }
   double l_max_nm() const { return l_max_; }
   std::size_t size() const { return log_i_.size(); }
 
  private:
-  double l_min_, l_max_, step_;
+  double l_min_, l_max_, step_, inv_step_;
   std::vector<double> log_i_;
 };
 

@@ -73,6 +73,119 @@ void fft2d(std::vector<std::complex<double>>& data, std::size_t rows, std::size_
   }
 }
 
+FftPlan::FftPlan(std::size_t n) : n_(n) {
+  RGLEAK_REQUIRE(is_pow2(n), "fft plan size must be a power of two");
+  bitrev_.resize(n);
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    bitrev_[i] = static_cast<std::uint32_t>(j);
+  }
+  if (n >= 2) {
+    twiddle_.resize(n - 1);
+    std::size_t off = 0;
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      const double ang = -2.0 * M_PI / static_cast<double>(len);
+      for (std::size_t k = 0; k < len / 2; ++k)
+        twiddle_[off + k] = std::polar(1.0, ang * static_cast<double>(k));
+      off += len / 2;
+    }
+  }
+}
+
+template <bool Inverse>
+void FftPlan::run_impl(std::complex<double>* a) const {
+  const std::size_t n = n_;
+  if (n <= 1) return;
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  std::size_t off = 0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::complex<double>* tw = twiddle_.data() + off;
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const std::complex<double> w = Inverse ? std::conj(tw[k]) : tw[k];
+        const std::complex<double> u = a[i + k];
+        const std::complex<double> v = a[i + k + half] * w;
+        a[i + k] = u + v;
+        a[i + k + half] = u - v;
+      }
+    }
+    off += half;
+  }
+  if (Inverse) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) a[i] *= inv;
+  }
+}
+
+void FftPlan::run(std::complex<double>* a, bool inverse) const {
+  if (inverse)
+    run_impl<true>(a);
+  else
+    run_impl<false>(a);
+}
+
+namespace {
+
+/// Cache-blocked out-of-place transpose of a rows x cols row-major array,
+/// writing only the first `dst_rows` rows of the transposed result (i.e. the
+/// first dst_rows columns of src). The 2-D plans use it to turn strided
+/// column transforms into contiguous row transforms — a power-of-two row
+/// stride would otherwise map a whole column onto a handful of L1 sets — and
+/// the output-pruned paths use dst_rows to skip the back-transpose of rows
+/// nobody will read.
+void blocked_transpose(const std::complex<double>* src, std::complex<double>* dst,
+                       std::size_t rows, std::size_t cols, std::size_t dst_rows) {
+  constexpr std::size_t kBlock = 16;
+  const std::size_t jn = std::min(dst_rows, cols);
+  for (std::size_t i0 = 0; i0 < rows; i0 += kBlock) {
+    const std::size_t i1 = std::min(i0 + kBlock, rows);
+    for (std::size_t j0 = 0; j0 < jn; j0 += kBlock) {
+      const std::size_t j1 = std::min(j0 + kBlock, jn);
+      for (std::size_t i = i0; i < i1; ++i)
+        for (std::size_t j = j0; j < j1; ++j) dst[j * rows + i] = src[i * cols + j];
+    }
+  }
+}
+
+}  // namespace
+
+FftPlan2D::FftPlan2D(std::size_t rows, std::size_t cols) : row_fft_(cols), col_fft_(rows) {}
+
+void FftPlan2D::run(std::vector<std::complex<double>>& data, bool inverse,
+                    std::vector<std::complex<double>>& scratch) const {
+  run_top_rows(data, inverse, scratch, rows());
+}
+
+void FftPlan2D::run_top_rows(std::vector<std::complex<double>>& data, bool inverse,
+                             std::vector<std::complex<double>>& scratch,
+                             std::size_t keep_rows) const {
+  const std::size_t r_n = rows(), c_n = cols();
+  RGLEAK_REQUIRE(data.size() == r_n * c_n, "fft2d plan: data size mismatch");
+  // Column pass first so the (possibly pruned) row pass is the final one:
+  // output row r then depends only on intermediate row r.
+  scratch.resize(r_n * c_n);
+  blocked_transpose(data.data(), scratch.data(), r_n, c_n, c_n);
+  run_top_rows_colmajor(scratch, inverse, data, keep_rows);
+}
+
+void FftPlan2D::run_top_rows_colmajor(std::vector<std::complex<double>>& data, bool inverse,
+                                      std::vector<std::complex<double>>& out,
+                                      std::size_t keep_rows) const {
+  const std::size_t r_n = rows(), c_n = cols();
+  RGLEAK_REQUIRE(data.size() == r_n * c_n, "fft2d plan: data size mismatch");
+  out.resize(r_n * c_n);
+  for (std::size_t c = 0; c < c_n; ++c) col_fft_.run(data.data() + c * r_n, inverse);
+  const std::size_t kr = std::min(keep_rows, r_n);
+  blocked_transpose(data.data(), out.data(), c_n, r_n, kr);
+  for (std::size_t r = 0; r < kr; ++r) row_fft_.run(out.data() + r * c_n, inverse);
+}
+
 CrossCorrelator2D::CrossCorrelator2D(std::size_t rows, std::size_t cols)
     : rows_(rows),
       cols_(cols),

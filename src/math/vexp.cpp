@@ -1,0 +1,75 @@
+#include "math/vexp.h"
+
+#include <bit>
+#include <cstdint>
+
+namespace rgleak::math {
+
+namespace {
+
+// exp(x) = 2^k * exp(r) with k = round(x / ln2) and r = x - k*ln2, |r| <= ln2/2.
+// ln2 is split hi/lo so the reduction is exact to well below 1 ULP of r even
+// for |k| ~ 1000.
+constexpr double kLog2E = 1.4426950408889634074;
+constexpr double kLn2Hi = 6.93147180369123816490e-01;
+constexpr double kLn2Lo = 1.90821492927058770002e-10;
+// Adding 1.5 * 2^52 forces round-to-nearest-even of the sum's fractional part;
+// the rounded integer sits in the low mantissa bits of the result.
+constexpr double kRoundMagic = 6755399441055744.0;  // 1.5 * 2^52
+
+// Taylor coefficients of exp(r) on |r| <= ln2/2 ~ 0.3466; the degree-13 tail
+// 0.3466^14/14! ~ 4e-18 is below double rounding, so the polynomial itself
+// contributes < 1 ULP.
+constexpr double kC2 = 1.0 / 2.0;
+constexpr double kC3 = 1.0 / 6.0;
+constexpr double kC4 = 1.0 / 24.0;
+constexpr double kC5 = 1.0 / 120.0;
+constexpr double kC6 = 1.0 / 720.0;
+constexpr double kC7 = 1.0 / 5040.0;
+constexpr double kC8 = 1.0 / 40320.0;
+constexpr double kC9 = 1.0 / 362880.0;
+constexpr double kC10 = 1.0 / 3628800.0;
+constexpr double kC11 = 1.0 / 39916800.0;
+constexpr double kC12 = 1.0 / 479001600.0;
+constexpr double kC13 = 1.0 / 6227020800.0;
+
+}  // namespace
+
+void vexp(const double* x, double* out, std::size_t n) {
+  // Branch-free per element so the loop auto-vectorizes: clamp, range-reduce,
+  // Horner, scale by 2^k via exponent bit-stuffing. With x clamped to
+  // [kVexpMinArg, kVexpMaxArg], k stays within [-1022, 1023] and the stuffed
+  // exponent never wraps into inf/denormal territory.
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = x[i];
+    v = v > kVexpMaxArg ? kVexpMaxArg : v;
+    v = v < kVexpMinArg ? kVexpMinArg : v;
+
+    const double shifted = v * kLog2E + kRoundMagic;
+    const double kd = shifted - kRoundMagic;
+    const auto k = static_cast<std::int32_t>(std::bit_cast<std::uint64_t>(shifted));
+
+    const double r = (v - kd * kLn2Hi) - kd * kLn2Lo;
+
+    double p = kC13;
+    p = p * r + kC12;
+    p = p * r + kC11;
+    p = p * r + kC10;
+    p = p * r + kC9;
+    p = p * r + kC8;
+    p = p * r + kC7;
+    p = p * r + kC6;
+    p = p * r + kC5;
+    p = p * r + kC4;
+    p = p * r + kC3;
+    p = p * r + kC2;
+    p = p * r + 1.0;
+    p = p * r + 1.0;
+
+    const double scale = std::bit_cast<double>(
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(k) + 1023) << 52);
+    out[i] = p * scale;
+  }
+}
+
+}  // namespace rgleak::math

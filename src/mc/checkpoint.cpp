@@ -1,12 +1,15 @@
 #include "mc/checkpoint.h"
 
 #include <bit>
+#include <charconv>
 #include <fstream>
 #include <iomanip>
+#include <ostream>
 #include <sstream>
 
 #include "util/atomic_file.h"
 #include "util/error.h"
+#include "util/require.h"
 
 namespace rgleak::mc {
 
@@ -14,9 +17,19 @@ namespace {
 
 constexpr const char* kMagic = "rgmcckpt-v1";
 
-void put_bits(std::ostream& os, double v) {
-  os << std::hex << std::bit_cast<std::uint64_t>(v) << std::dec;
+// Appenders matching the formatting the v1 format was originally written
+// with via ostream: decimal for counts, lowercase hex without leading zeros
+// for bit patterns (std::to_chars produces exactly that).
+void append_u64(std::string& buf, std::uint64_t v, int base = 10) {
+  char tmp[24];
+  const auto res = std::to_chars(tmp, tmp + sizeof(tmp), v, base);
+  buf.append(tmp, res.ptr);
 }
+
+void append_bits(std::string& buf, double v) {
+  append_u64(buf, std::bit_cast<std::uint64_t>(v), 16);
+}
+
 
 [[noreturn]] void fail(const std::string& path, const std::string& message,
                        const std::string& token = "") {
@@ -65,38 +78,88 @@ double read_bits(std::istream& is, const std::string& path, const char* what) {
 
 }  // namespace
 
-void save_mc_checkpoint(const std::string& path, const McCheckpoint& ckpt) {
-  util::atomic_write_file(path, [&](std::ostream& os) {
-    os << kMagic << "\n";
-    os << "seed " << ckpt.seed << "\n";
-    os << "threads " << ckpt.threads << "\n";
-    os << "trials " << ckpt.trials << "\n";
-    os << "resample " << (ckpt.resample_states_per_trial ? 1 : 0) << "\n";
-    os << "table_points " << ckpt.table_points << "\n";
-    os << "gates " << ckpt.gate_count << "\n";
-    os << "workers " << ckpt.workers.size() << "\n";
-    for (std::size_t w = 0; w < ckpt.workers.size(); ++w) {
-      const McWorkerState& ws = ckpt.workers[w];
-      os << "worker " << w << "\n";
-      os << "rng" << std::hex;
-      for (std::uint64_t word : ws.rng.s) os << ' ' << word;
-      os << ' ' << ws.rng.spare_bits << std::dec << ' ' << (ws.rng.has_spare ? 1 : 0)
-         << "\n";
-      os << "cached " << ws.cached_field.size();
-      for (double v : ws.cached_field) {
-        os << ' ';
-        put_bits(os, v);
-      }
-      os << "\n";
-      os << "samples " << ws.samples.size();
-      for (double v : ws.samples) {
-        os << ' ';
-        put_bits(os, v);
-      }
-      os << "\n";
+void McCheckpointWriter::begin(std::uint64_t seed, std::size_t threads, std::size_t trials,
+                               bool resample_states_per_trial, std::size_t table_points,
+                               std::size_t gate_count, std::size_t workers) {
+  buf_.clear();  // keeps capacity: subsequent checkpoints reuse the buffer
+  workers_declared_ = workers;
+  workers_added_ = 0;
+  finished_ = false;
+  buf_ += kMagic;
+  buf_ += "\nseed ";
+  append_u64(buf_, seed);
+  buf_ += "\nthreads ";
+  append_u64(buf_, threads);
+  buf_ += "\ntrials ";
+  append_u64(buf_, trials);
+  buf_ += "\nresample ";
+  buf_ += resample_states_per_trial ? '1' : '0';
+  buf_ += "\ntable_points ";
+  append_u64(buf_, table_points);
+  buf_ += "\ngates ";
+  append_u64(buf_, gate_count);
+  buf_ += "\nworkers ";
+  append_u64(buf_, workers);
+  buf_ += '\n';
+}
+
+void McCheckpointWriter::add_worker(const math::Rng::State& rng,
+                                    const std::vector<double>* cached_field,
+                                    const std::vector<double>& samples) {
+  RGLEAK_REQUIRE(workers_added_ < workers_declared_,
+                 "checkpoint writer: more worker records than declared");
+  buf_ += "worker ";
+  append_u64(buf_, workers_added_++);
+  buf_ += "\nrng";
+  for (std::uint64_t word : rng.s) {
+    buf_ += ' ';
+    append_u64(buf_, word, 16);
+  }
+  buf_ += ' ';
+  append_u64(buf_, rng.spare_bits, 16);
+  buf_ += ' ';
+  buf_ += rng.has_spare ? '1' : '0';
+  buf_ += "\ncached ";
+  append_u64(buf_, cached_field != nullptr ? cached_field->size() : 0);
+  if (cached_field != nullptr) {
+    for (double v : *cached_field) {
+      buf_ += ' ';
+      append_bits(buf_, v);
     }
-    os << "end\n";
+  }
+  buf_ += "\nsamples ";
+  append_u64(buf_, samples.size());
+  for (double v : samples) {
+    buf_ += ' ';
+    append_bits(buf_, v);
+  }
+  buf_ += '\n';
+}
+
+const std::string& McCheckpointWriter::finish() {
+  RGLEAK_REQUIRE(workers_added_ == workers_declared_,
+                 "checkpoint writer: missing worker records");
+  if (!finished_) {
+    buf_ += "end\n";
+    finished_ = true;
+  }
+  return buf_;
+}
+
+void McCheckpointWriter::save(const std::string& path) {
+  const std::string& image = finish();
+  util::atomic_write_file(path, [&](std::ostream& os) {
+    os.write(image.data(), static_cast<std::streamsize>(image.size()));
   });
+}
+
+void save_mc_checkpoint(const std::string& path, const McCheckpoint& ckpt) {
+  McCheckpointWriter writer;
+  writer.begin(ckpt.seed, ckpt.threads, ckpt.trials, ckpt.resample_states_per_trial,
+               ckpt.table_points, ckpt.gate_count, ckpt.workers.size());
+  for (const McWorkerState& ws : ckpt.workers)
+    writer.add_worker(ws.rng, ws.cached_field.empty() ? nullptr : &ws.cached_field, ws.samples);
+  writer.save(path);
 }
 
 McCheckpoint load_mc_checkpoint(const std::string& path) {

@@ -46,6 +46,45 @@ struct McCheckpoint {
 /// Writes the checkpoint atomically (temp file + rename). Throws IoError.
 void save_mc_checkpoint(const std::string& path, const McCheckpoint& ckpt);
 
+/// Serializer for periodic checkpointing that reuses its internal text
+/// buffer across saves and reads worker state in place. The engine's old
+/// cadence path deep-copied every worker's RNG state, cached field, and full
+/// sample slice into a McCheckpoint before formatting it through ostream
+/// locale machinery — O(total samples) of copies plus slow formatting every
+/// cadence. begin()/add_worker()/save() write the same rgmcckpt-v1 text
+/// straight from the live vectors with std::to_chars; after the first save
+/// the only allocation left is inside atomic_write_file's temp-path string.
+class McCheckpointWriter {
+ public:
+  /// Starts a new checkpoint image; `workers` is the number of add_worker()
+  /// calls that must follow before save().
+  void begin(std::uint64_t seed, std::size_t threads, std::size_t trials,
+             bool resample_states_per_trial, std::size_t table_points, std::size_t gate_count,
+             std::size_t workers);
+
+  /// Appends one worker record. `cached_field` may be null (no spare field
+  /// pending). The vectors are read in place, not copied.
+  void add_worker(const math::Rng::State& rng, const std::vector<double>* cached_field,
+                  const std::vector<double>& samples);
+
+  /// Finalizes the image (appends the end marker; requires exactly the
+  /// declared number of worker records) and returns the serialized bytes.
+  /// Idempotent; the reference stays valid until the next begin(). The MC
+  /// engine hands this image to its background checkpoint flusher instead of
+  /// blocking the trial loop on the filesystem.
+  const std::string& finish();
+
+  /// Atomically writes the finalized image (temp file + rename). Throws
+  /// IoError.
+  void save(const std::string& path);
+
+ private:
+  std::string buf_;
+  std::size_t workers_declared_ = 0;
+  std::size_t workers_added_ = 0;
+  bool finished_ = false;
+};
+
 /// Loads and validates a checkpoint. Throws IoError on an unreadable file and
 /// ParseError on a malformed or wrong-version one.
 McCheckpoint load_mc_checkpoint(const std::string& path);

@@ -2,15 +2,138 @@
 
 #include <algorithm>
 #include <cmath>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <optional>
 #include <sstream>
 #include <thread>
+#include <utility>
 
 #include "mc/checkpoint.h"
+#include "util/atomic_file.h"
 #include "util/failpoint.h"
 #include "util/require.h"
 #include "util/thread_pool.h"
 
 namespace rgleak::mc {
+
+namespace {
+
+/// Neumaier-compensated accumulator: the per-trial totals sum thousands of
+/// leakage values spanning orders of magnitude, and the bucketed path visits
+/// them in a different order than the per-gate path. Compensation makes both
+/// orders agree to ~1 ULP of the true sum, which is what lets the paths be
+/// cross-validated against a tight tolerance.
+struct CompensatedSum {
+  double sum = 0.0;
+  double comp = 0.0;
+
+  void add(double v) {
+    const double t = sum + v;
+    if (std::abs(sum) >= std::abs(v))
+      comp += (sum - t) + v;
+    else
+      comp += (v - t) + sum;
+    sum = t;
+  }
+  double value() const { return sum + comp; }
+};
+
+/// Background checkpoint publisher. Serializing a checkpoint image takes the
+/// trial loop well under a millisecond, but publishing it (temp-file write +
+/// rename) can stall for hundreds of milliseconds when the filesystem commits
+/// its journal. Periodic checkpoints therefore hand the finished image to
+/// this single writer thread and keep computing; if a new image arrives while
+/// the previous one is still being written, the unpublished one is dropped
+/// (newest wins — every image is a complete recovery point, so skipping a
+/// stale one only ages the recovery point by one cadence). Final checkpoints
+/// (deadline/stop, end of run) call flush() to guarantee durability before
+/// run() returns or surfaces the interruption; flush() and publish() also
+/// rethrow any write failure from the background thread, so a dead disk
+/// surfaces within one cadence instead of being swallowed.
+class CheckpointFlusher {
+ public:
+  explicit CheckpointFlusher(std::string path) : path_(std::move(path)) {}
+
+  ~CheckpointFlusher() {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (writer_.joinable()) writer_.join();
+    // A pending error here was already missed by every flush(); destruction
+    // happens on exception paths where a second throw is not an option.
+  }
+
+  /// Queues `image` for publication and returns immediately. Rethrows a
+  /// failure from a previous background write.
+  void publish(const std::string& image) {
+    std::unique_lock<std::mutex> lock(m_);
+    rethrow_locked();
+    pending_.assign(image);  // reuses capacity after the first cadence
+    has_pending_ = true;
+    if (!writer_.joinable()) writer_ = std::thread([this] { loop(); });
+    lock.unlock();
+    cv_.notify_all();
+  }
+
+  /// Blocks until every queued image is durably published; rethrows any
+  /// background write failure.
+  void flush() {
+    std::unique_lock<std::mutex> lock(m_);
+    done_cv_.wait(lock, [&] { return (!has_pending_ && !writing_) || error_; });
+    rethrow_locked();
+  }
+
+ private:
+  void rethrow_locked() {
+    if (error_) {
+      std::exception_ptr e = std::exchange(error_, nullptr);
+      std::rethrow_exception(e);
+    }
+  }
+
+  void loop() {
+    std::string image;
+    std::unique_lock<std::mutex> lock(m_);
+    for (;;) {
+      cv_.wait(lock, [&] { return has_pending_ || stop_; });
+      if (!has_pending_) return;  // stop requested with nothing queued
+      image.swap(pending_);
+      has_pending_ = false;
+      writing_ = true;
+      lock.unlock();
+      std::exception_ptr err;
+      try {
+        util::atomic_write_file(path_, [&](std::ostream& os) {
+          os.write(image.data(), static_cast<std::streamsize>(image.size()));
+        });
+      } catch (...) {
+        err = std::current_exception();
+      }
+      lock.lock();
+      writing_ = false;
+      if (err && !error_) error_ = err;
+      done_cv_.notify_all();
+      if (stop_ && !has_pending_) return;
+    }
+  }
+
+  std::string path_;
+  std::thread writer_;
+  std::mutex m_;
+  std::condition_variable cv_;       // signals the writer: work or stop
+  std::condition_variable done_cv_;  // signals flushers: idle or failed
+  std::string pending_;
+  bool has_pending_ = false;
+  bool writing_ = false;
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace
 
 FullChipMonteCarlo::FullChipMonteCarlo(const placement::Placement& placement,
                                        const charlib::CharacterizedLibrary& chars,
@@ -25,8 +148,10 @@ FullChipMonteCarlo::FullChipMonteCarlo(const placement::Placement& placement,
       rng_(options.seed) {
   RGLEAK_REQUIRE(options_.trials >= 2, "MC needs at least two trials");
   const std::size_t n = placement.netlist().size();
+  RGLEAK_REQUIRE(n <= UINT32_MAX && placement.floorplan().num_sites() <= UINT32_MAX,
+                 "MC bucketing indexes gates and sites with 32 bits");
   state_.resize(n);
-  table_.resize(n, nullptr);
+  table_id_.resize(n);
   draw_states(rng_);
 }
 
@@ -39,12 +164,12 @@ void FullChipMonteCarlo::draw_states(math::Rng& rng) {
     for (int bit = 0; bit < cell.num_inputs(); ++bit)
       if (rng.bernoulli(options_.signal_probability)) s |= (1u << bit);
     state_[g] = s;
-    table_[g] = table_for(ci, s);
+    table_id_[g] = table_for(ci, s);
   }
+  ws_.buckets_built = false;
 }
 
-const charlib::LeakageTable* FullChipMonteCarlo::table_for(std::size_t cell_index,
-                                                           std::uint32_t state) {
+std::uint32_t FullChipMonteCarlo::table_for(std::size_t cell_index, std::uint32_t state) {
   const std::uint64_t key = (static_cast<std::uint64_t>(cell_index) << 32) | state;
   const auto it = table_index_.find(key);
   if (it != table_index_.end()) return it->second;
@@ -55,73 +180,147 @@ const charlib::LeakageTable* FullChipMonteCarlo::table_for(std::size_t cell_inde
   auto table = std::make_unique<charlib::LeakageTable>(
       chars_->library().cell(cell_index), state, chars_->library().tech(),
       std::max(mu - span, 1.0), mu + std::max(span, 1e-3), options_.table_points);
-  const charlib::LeakageTable* ptr = table.get();
+  const auto id = static_cast<std::uint32_t>(table_list_.size());
+  table_list_.push_back(table.get());
   tables_.push_back(std::move(table));
-  table_index_.emplace(key, ptr);
-  return ptr;
+  table_index_.emplace(key, id);
+  return id;
 }
 
 void FullChipMonteCarlo::build_all_state_tables() {
   const netlist::Netlist& nl = placement_->netlist();
-  std::vector<bool> seen(chars_->library().size(), false);
+  cell_state_ids_.resize(chars_->library().size());
   for (std::size_t g = 0; g < nl.size(); ++g) {
     const std::size_t ci = nl.gate(g).cell_index;
-    if (seen[ci]) continue;
-    seen[ci] = true;
+    if (!cell_state_ids_[ci].empty()) continue;
     const std::uint32_t states = 1u << chars_->library().cell(ci).num_inputs();
-    for (std::uint32_t s = 0; s < states; ++s) (void)table_for(ci, s);
+    cell_state_ids_[ci].resize(states);
+    for (std::uint32_t s = 0; s < states; ++s) cell_state_ids_[ci][s] = table_for(ci, s);
   }
 }
 
-void FullChipMonteCarlo::draw_states_into(
-    math::Rng& rng, std::vector<const charlib::LeakageTable*>& table) const {
+void FullChipMonteCarlo::draw_states_into(math::Rng& rng,
+                                          std::vector<std::uint32_t>& table_id) const {
   const netlist::Netlist& nl = placement_->netlist();
+  table_id.resize(nl.size());
   for (std::size_t g = 0; g < nl.size(); ++g) {
     const std::size_t ci = nl.gate(g).cell_index;
     const cells::Cell& cell = chars_->library().cell(ci);
     std::uint32_t s = 0;
     for (int bit = 0; bit < cell.num_inputs(); ++bit)
       if (rng.bernoulli(options_.signal_probability)) s |= (1u << bit);
-    const std::uint64_t key = (static_cast<std::uint64_t>(ci) << 32) | s;
-    const auto it = table_index_.find(key);
-    RGLEAK_REQUIRE(it != table_index_.end(), "state table not prebuilt");
-    table[g] = it->second;
+    RGLEAK_REQUIRE(ci < cell_state_ids_.size() && !cell_state_ids_[ci].empty(),
+                   "state table not prebuilt");
+    table_id[g] = cell_state_ids_[ci][s];
   }
+}
+
+void FullChipMonteCarlo::build_buckets(McWorkspace& ws, bool merge_duplicates) const {
+  // Counting sort of gates by table id: O(gates + tables), no comparisons,
+  // and every buffer reuses its capacity across rebuilds (per-trial state
+  // resampling rebuilds buckets every trial without allocating).
+  const std::size_t n = ws.table_id.size();
+  const std::size_t nb = table_list_.size();
+  ws.bucket_begin.resize(nb + 1);
+  std::fill(ws.bucket_begin.begin(), ws.bucket_begin.end(), 0u);
+  for (std::size_t g = 0; g < n; ++g) ++ws.bucket_begin[ws.table_id[g] + 1];
+  for (std::size_t b = 0; b < nb; ++b) ws.bucket_begin[b + 1] += ws.bucket_begin[b];
+
+  ws.entry_site.resize(n);
+  ws.entry_weight.resize(n);
+  ws.fill.resize(nb);
+  std::copy(ws.bucket_begin.begin(), ws.bucket_begin.end() - 1, ws.fill.begin());
+  for (std::size_t g = 0; g < n; ++g) {
+    const std::uint32_t e = ws.fill[ws.table_id[g]]++;
+    ws.entry_site[e] = static_cast<std::uint32_t>(placement_->site_of(g));
+    ws.entry_weight[e] = 1.0;
+  }
+
+  if (merge_duplicates) {
+    // Fold repeated (site, table) pairs into one weighted entry: the gate
+    // count becomes the entry weight, so N gates sharing a site and table
+    // cost one table lookup instead of N. Placements that give every gate
+    // its own site compact to weight-1 entries (a no-op); the sort is only
+    // worth its cost when the buckets are built once per run.
+    std::size_t out = 0;
+    for (std::size_t b = 0; b < nb; ++b) {
+      const std::uint32_t begin = ws.bucket_begin[b];
+      const std::uint32_t end = ws.bucket_begin[b + 1];
+      std::sort(ws.entry_site.begin() + begin, ws.entry_site.begin() + end);
+      ws.bucket_begin[b] = static_cast<std::uint32_t>(out);
+      for (std::uint32_t e = begin; e < end;) {
+        const std::uint32_t site = ws.entry_site[e];
+        std::uint32_t run = 0;
+        while (e < end && ws.entry_site[e] == site) {
+          ++run;
+          ++e;
+        }
+        ws.entry_site[out] = site;
+        ws.entry_weight[out] = static_cast<double>(run);
+        ++out;
+      }
+    }
+    ws.bucket_begin[nb] = static_cast<std::uint32_t>(out);
+  }
+
+  const std::size_t total = ws.bucket_begin[nb];
+  ws.l_buf.resize(total);
+  ws.i_buf.resize(total);
+  ws.buckets_built = true;
+}
+
+double FullChipMonteCarlo::run_trial(process::GridFieldSampler& field, math::Rng& rng,
+                                     McWorkspace& ws) const {
+  RGLEAK_FAILPOINT("mc.trial");
+  const double mu = chars_->process().length().mean_nm;
+  const double d2d = rng.normal(0.0, chars_->process().length().sigma_d2d_nm);
+  field.sample_into(rng, ws.field, ws.wid);
+  const double base = mu + d2d;
+  if (options_.eval_path == McEvalPath::kBucketed) {
+    if (!ws.buckets_built) build_buckets(ws, /*merge_duplicates=*/!options_.resample_states_per_trial);
+    return sum_bucketed(ws, base);
+  }
+  return sum_per_gate(ws, base);
+}
+
+double FullChipMonteCarlo::sum_bucketed(McWorkspace& ws, double base) const {
+  const std::size_t nb = table_list_.size();
+  const std::size_t total = ws.bucket_begin[nb];
+  for (std::size_t b = 0; b < nb; ++b) {
+    const std::uint32_t begin = ws.bucket_begin[b];
+    const std::uint32_t count = ws.bucket_begin[b + 1] - begin;
+    if (count == 0) continue;
+    double* l = ws.l_buf.data() + begin;
+    const std::uint32_t* site = ws.entry_site.data() + begin;
+    for (std::uint32_t e = 0; e < count; ++e) l[e] = base + ws.wid[site[e]];
+    table_list_[b]->eval_many_na(l, ws.i_buf.data() + begin, count);
+  }
+  CompensatedSum acc;
+  for (std::size_t e = 0; e < total; ++e) acc.add(ws.entry_weight[e] * ws.i_buf[e]);
+  return acc.value();
+}
+
+double FullChipMonteCarlo::sum_per_gate(const McWorkspace& ws, double base) const {
+  const std::size_t n = ws.table_id.size();
+  CompensatedSum acc;
+  for (std::size_t g = 0; g < n; ++g) {
+    const double l = base + ws.wid[placement_->site_of(g)];
+    acc.add(table_list_[ws.table_id[g]]->eval_na(l));
+  }
+  return acc.value();
 }
 
 double FullChipMonteCarlo::sample_total_na(math::Rng& rng) {
   if (options_.resample_states_per_trial) draw_states(rng);
-  return sample_total_with(field_, rng);
-}
-
-double FullChipMonteCarlo::sample_total_with(process::GridFieldSampler& field,
-                                             math::Rng& rng) const {
-  return sample_total_tables(field, rng, table_);
-}
-
-double FullChipMonteCarlo::sample_total_tables(
-    process::GridFieldSampler& field, math::Rng& rng,
-    const std::vector<const charlib::LeakageTable*>& table) const {
-  RGLEAK_FAILPOINT("mc.trial");
-  const double mu = chars_->process().length().mean_nm;
-  const double d2d = rng.normal(0.0, chars_->process().length().sigma_d2d_nm);
-  const std::vector<double> wid = field.sample(rng);
-  const placement::Floorplan& fp = placement_->floorplan();
-  const std::size_t n = placement_->netlist().size();
-  double total = 0.0;
-  for (std::size_t g = 0; g < n; ++g) {
-    const std::size_t site = placement_->site_of(g);
-    const std::size_t row = site / fp.cols, col = site % fp.cols;
-    const double l = mu + d2d + wid[row * fp.cols + col];
-    total += table[g]->eval_na(l);
-  }
-  return total;
+  // Mirror the run()-path workspace: per-gate table ids live in the
+  // workspace (assign reuses capacity — no steady-state allocation).
+  if (options_.resample_states_per_trial || ws_.table_id.size() != table_id_.size())
+    ws_.table_id.assign(table_id_.begin(), table_id_.end());
+  return run_trial(field_, rng, ws_);
 }
 
 void FullChipMonteCarlo::restore(const std::string& path, std::size_t threads,
-                                 std::vector<math::Rng>& rngs,
-                                 std::vector<process::GridFieldSampler>& fields,
-                                 std::vector<std::vector<double>>& slices) const {
+                                 std::vector<std::unique_ptr<Worker>>& workers) const {
   const McCheckpoint ckpt = load_mc_checkpoint(path);
   const auto mismatch = [&](const char* field, auto have, auto want) {
     std::ostringstream os;
@@ -147,9 +346,10 @@ void FullChipMonteCarlo::restore(const std::string& path, std::size_t threads,
         (w + 1) * options_.trials / threads - w * options_.trials / threads;
     if (ws.samples.size() > slice)
       mismatch("worker sample count", slice, ws.samples.size());
-    rngs[w].set_state(ws.rng);
-    if (!ws.cached_field.empty()) fields[w].set_cached_field(ws.cached_field);
-    slices[w] = ws.samples;
+    workers[w]->rng.set_state(ws.rng);
+    if (!ws.cached_field.empty()) workers[w]->field.set_cached_field(ws.cached_field);
+    // assign() keeps the slice's reserved capacity, unlike operator=.
+    workers[w]->samples.assign(ws.samples.begin(), ws.samples.end());
   }
 }
 
@@ -163,48 +363,54 @@ FullChipMcResult FullChipMonteCarlo::run() {
 
   // Each worker gets its own RNG stream, field-sampler copy (the sampler
   // caches the second field of each FFT, and that cache must live as long as
-  // the stream) and per-gate table vector, and fills a disjoint slice of the
-  // trials so the merged sample set is deterministic for a fixed
-  // (seed, threads). The serial case is worker 0 continuing rng_ itself,
-  // matching the historical serial stream. All of this state persists across
-  // checkpoint rounds, which is what makes the result independent of the
-  // checkpoint cadence and of interrupt/resume cycles.
+  // the stream) and workspace, and fills a disjoint slice of the trials so
+  // the merged sample set is deterministic for a fixed (seed, threads). The
+  // serial case is worker 0 continuing rng_ itself, matching the historical
+  // serial stream. All of this state persists across checkpoint rounds,
+  // which is what makes the result independent of the checkpoint cadence and
+  // of interrupt/resume cycles.
   if (options_.resample_states_per_trial) build_all_state_tables();
-  std::vector<math::Rng> rngs;
-  rngs.reserve(threads);
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.reserve(threads);
   if (threads == 1) {
-    rngs.push_back(rng_);
+    workers.push_back(std::make_unique<Worker>(rng_, field_));
   } else {
-    for (std::size_t w = 0; w < threads; ++w) rngs.push_back(rng_.fork());
+    for (std::size_t w = 0; w < threads; ++w)
+      workers.push_back(std::make_unique<Worker>(rng_.fork(), field_));
   }
-  std::vector<process::GridFieldSampler> fields(threads, field_);
-  std::vector<std::vector<const charlib::LeakageTable*>> tables(threads, table_);
-  std::vector<std::vector<double>> slices(threads);
   std::vector<std::size_t> slice_size(threads);
-  for (std::size_t w = 0; w < threads; ++w)
+  for (std::size_t w = 0; w < threads; ++w) {
     slice_size[w] = (w + 1) * options_.trials / threads - w * options_.trials / threads;
+    workers[w]->ws.table_id = table_id_;
+    workers[w]->samples.reserve(slice_size[w]);
+  }
 
-  if (!options_.resume_path.empty()) restore(options_.resume_path, threads, rngs, fields, slices);
+  if (!options_.resume_path.empty()) restore(options_.resume_path, threads, workers);
 
-  const auto checkpoint_now = [&] {
-    McCheckpoint ckpt;
-    ckpt.seed = options_.seed;
-    ckpt.threads = threads;
-    ckpt.trials = options_.trials;
-    ckpt.resample_states_per_trial = options_.resample_states_per_trial;
-    ckpt.table_points = options_.table_points;
-    ckpt.gate_count = placement_->netlist().size();
-    ckpt.workers.resize(threads);
+  // The writer outlives the round loop so every cadence reuses its text
+  // buffer; worker state is streamed in place (no per-cadence deep copies).
+  // Publication goes through the background flusher so filesystem stalls
+  // overlap with the next round's trials; `durable` forces a synchronous
+  // flush for checkpoints that must hit disk before run() exits.
+  McCheckpointWriter ckpt_writer;
+  std::optional<CheckpointFlusher> flusher;
+  if (!options_.checkpoint_path.empty()) flusher.emplace(options_.checkpoint_path);
+  const auto checkpoint_now = [&](bool durable) {
+    ckpt_writer.begin(options_.seed, threads, options_.trials,
+                      options_.resample_states_per_trial, options_.table_points,
+                      placement_->netlist().size(), threads);
     for (std::size_t w = 0; w < threads; ++w) {
-      ckpt.workers[w].rng = rngs[w].state();
-      if (fields[w].has_cached_field()) ckpt.workers[w].cached_field = fields[w].cached_field();
-      ckpt.workers[w].samples = slices[w];
+      const Worker& wk = *workers[w];
+      ckpt_writer.add_worker(wk.rng.state(),
+                             wk.field.has_cached_field() ? &wk.field.cached_field() : nullptr,
+                             wk.samples);
     }
-    save_mc_checkpoint(options_.checkpoint_path, ckpt);
+    flusher->publish(ckpt_writer.finish());
+    if (durable) flusher->flush();
   };
   const auto all_done = [&] {
     for (std::size_t w = 0; w < threads; ++w)
-      if (slices[w].size() < slice_size[w]) return false;
+      if (workers[w]->samples.size() < slice_size[w]) return false;
     return true;
   };
 
@@ -216,15 +422,15 @@ FullChipMcResult FullChipMonteCarlo::run() {
                                 ? options_.trials
                                 : std::max<std::size_t>(1, options_.checkpoint_every / threads);
   const auto worker_round = [&](std::size_t w) {
-    math::Rng& rng = rngs[w];
-    process::GridFieldSampler& field = fields[w];
-    std::vector<const charlib::LeakageTable*>& table = tables[w];
-    std::vector<double>& out = slices[w];
-    out.reserve(slice_size[w]);
-    for (std::size_t did = 0; out.size() < slice_size[w] && did < chunk; ++did) {
+    Worker& wk = *workers[w];
+    const std::size_t target = slice_size[w];
+    for (std::size_t did = 0; wk.samples.size() < target && did < chunk; ++did) {
       if (rc && rc->should_stop()) break;
-      if (options_.resample_states_per_trial) draw_states_into(rng, table);
-      out.push_back(sample_total_tables(field, rng, table));
+      if (options_.resample_states_per_trial) {
+        draw_states_into(wk.rng, wk.ws.table_id);
+        wk.ws.buckets_built = false;
+      }
+      wk.samples.push_back(run_trial(wk.field, wk.rng, wk.ws));
     }
   };
 
@@ -235,16 +441,17 @@ FullChipMcResult FullChipMonteCarlo::run() {
       util::ThreadPool::shared(threads).parallel_for(threads, worker_round);
     }
     const bool stopping = rc && rc->should_stop() && !all_done();
-    if (!options_.checkpoint_path.empty() && (options_.checkpoint_every > 0 || stopping))
-      checkpoint_now();
+    if (flusher && (options_.checkpoint_every > 0 || stopping))
+      checkpoint_now(/*durable=*/stopping);
     if (stopping) throw rc->make_error("mc.run");
   }
+  if (flusher) flusher->flush();  // last periodic image is durable on return
 
-  if (threads == 1) rng_ = rngs[0];
+  if (threads == 1) rng_ = workers[0]->rng;
   math::SampleSet acc;
   acc.reserve(options_.trials);
-  for (const auto& s : slices)
-    for (double v : s) acc.add(v);
+  for (const auto& w : workers)
+    for (double v : w->samples) acc.add(v);
   FullChipMcResult r;
   r.mean_na = acc.mean();
   r.sigma_na = acc.stddev();

@@ -6,8 +6,24 @@
 // placement grid (circulant embedding), look up every placed gate's leakage
 // at its sampled length, and sum. Across trials this yields the empirical
 // mean/sigma of total chip leakage, which the RG estimates must match.
+//
+// The trial loop is the throughput bound for every MC-backed validation, so
+// it is built around three ideas (DESIGN.md "MC performance"):
+//  * site/table bucketing — a gate's leakage depends only on (site L-value,
+//    leakage table), so trials group gates by table and evaluate each bucket
+//    with one batched LeakageTable::eval_many_na gather + vexp pass instead
+//    of a scalar eval per gate;
+//  * zero-allocation steady state — every per-trial buffer (field FFT
+//    scratch, bucket arrays, gather/eval buffers) lives in a per-worker
+//    McWorkspace that is warmed once and reused, so the steady-state loop
+//    performs no heap allocations (asserted by tests/mc/test_mc_perf_path.cpp
+//    with a counting operator new);
+//  * cheap checkpoints — the periodic checkpoint path streams live worker
+//    state through a buffer-reusing McCheckpointWriter instead of
+//    deep-copying every slice each cadence.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -22,6 +38,17 @@
 #include "util/run_control.h"
 
 namespace rgleak::mc {
+
+/// How a trial evaluates the per-gate leakage sum.
+enum class McEvalPath {
+  /// Group gates into (site, table) buckets once per state draw; evaluate
+  /// each bucket with one batched table lookup (gather + vexp). The default.
+  kBucketed,
+  /// Historical scalar loop: one LeakageTable::eval_na (std::exp) per gate.
+  /// Kept as the reference the bucketed path is validated against, and for
+  /// A/B benchmarking.
+  kPerGate,
+};
 
 struct FullChipMcOptions {
   std::size_t trials = 500;
@@ -38,6 +65,12 @@ struct FullChipMcOptions {
   /// different (equally valid) samples. Threaded runs support per-trial
   /// state resampling: workers draw states into thread-local tables.
   std::size_t threads = 1;
+  /// Trial evaluation strategy; kBucketed and kPerGate consume the identical
+  /// RNG stream (same states, same fields), so for a fixed (seed, threads)
+  /// they agree to floating-point reassociation error (both paths use
+  /// compensated summation; see tests/mc/test_mc_perf_path.cpp for the
+  /// asserted tolerance).
+  McEvalPath eval_path = McEvalPath::kBucketed;
   /// Cooperative stop / deadline. Workers poll it once per trial (one relaxed
   /// atomic load when unarmed) and drain; run() then writes a final
   /// checkpoint (when checkpoint_path is set) and throws DeadlineExceeded.
@@ -67,6 +100,25 @@ struct FullChipMcResult {
   double p99_na = 0.0;
 };
 
+/// Per-worker trial scratch. All buffers grow to their steady-state size on
+/// the first trial and are reused afterwards; nothing in here allocates in
+/// steady state.
+struct McWorkspace {
+  process::FieldWorkspace field;        ///< FFT buffers for sample_into
+  std::vector<double> wid;              ///< WID field draw, one value per site
+  std::vector<std::uint32_t> table_id;  ///< per gate: current input-state table
+  // Site/table buckets: entry e evaluates table `b` (entries grouped by
+  // table id, bucket b spanning [bucket_begin[b], bucket_begin[b+1])) at
+  // site entry_site[e], counted entry_weight[e] times.
+  std::vector<std::uint32_t> entry_site;
+  std::vector<double> entry_weight;
+  std::vector<std::uint32_t> bucket_begin;
+  std::vector<std::uint32_t> fill;  ///< counting-sort cursors
+  std::vector<double> l_buf;        ///< gathered per-entry channel lengths
+  std::vector<double> i_buf;        ///< batched per-entry leakage values
+  bool buckets_built = false;       ///< valid for the current table_id draw
+};
+
 class FullChipMonteCarlo {
  public:
   FullChipMonteCarlo(const placement::Placement& placement,
@@ -74,40 +126,65 @@ class FullChipMonteCarlo {
 
   FullChipMcResult run();
 
-  /// Total-leakage sample for one process draw (exposed for tests).
+  /// Total-leakage sample for one process draw (exposed for tests); uses the
+  /// engine's own workspace — allocation-free once warm.
   double sample_total_na(math::Rng& rng);
 
-  /// Thread-safe variant over an explicit field sampler (fixed gate states).
-  double sample_total_with(process::GridFieldSampler& field, math::Rng& rng) const;
-
  private:
+  /// Per-worker run() state: own RNG stream, field-sampler copy (the sampler
+  /// caches the second field of each FFT, which must live as long as the
+  /// stream), workspace, and the disjoint slice of trials it fills. Each
+  /// worker is a separate heap block, so hot per-trial writes (slice
+  /// push_back, workspace fills) never share a cache line across workers.
+  struct Worker {
+    math::Rng rng;
+    process::GridFieldSampler field;
+    McWorkspace ws;
+    std::vector<double> samples;
+
+    Worker(math::Rng r, const process::GridFieldSampler& f) : rng(r), field(f) {}
+  };
+
   const placement::Placement* placement_;
   const charlib::CharacterizedLibrary* chars_;
   FullChipMcOptions options_;
   process::GridFieldSampler field_;
   math::Rng rng_;
-  std::vector<std::uint32_t> state_;               // per gate
-  std::vector<const charlib::LeakageTable*> table_;  // per gate
+  std::vector<std::uint32_t> state_;     // per gate
+  std::vector<std::uint32_t> table_id_;  // per gate, indexes table_list_
   std::vector<std::unique_ptr<charlib::LeakageTable>> tables_;  // per (cell,state), owned
-  std::unordered_map<std::uint64_t, const charlib::LeakageTable*> table_index_;
+  std::vector<const charlib::LeakageTable*> table_list_;        // id -> table
+  std::unordered_map<std::uint64_t, std::uint32_t> table_index_;
+  /// cell index -> (state -> table id), filled by build_all_state_tables so
+  /// the per-trial state redraw resolves table ids with two array loads
+  /// instead of a hash lookup per gate.
+  std::vector<std::vector<std::uint32_t>> cell_state_ids_;
+  McWorkspace ws_;  // workspace of the sample_total_na test path
 
-  const charlib::LeakageTable* table_for(std::size_t cell_index, std::uint32_t state);
+  std::uint32_t table_for(std::size_t cell_index, std::uint32_t state);
   void draw_states(math::Rng& rng);
   /// Eagerly build the lookup tables for every input state of every cell used
   /// by the netlist, so threaded workers can resample states without touching
   /// the shared cache.
   void build_all_state_tables();
-  /// Thread-safe state draw into a caller-owned per-gate table vector; the
+  /// Thread-safe state draw into a caller-owned per-gate table-id vector; the
   /// tables must have been prebuilt. Mirrors draw_states' RNG consumption.
-  void draw_states_into(math::Rng& rng,
-                        std::vector<const charlib::LeakageTable*>& table) const;
-  double sample_total_tables(process::GridFieldSampler& field, math::Rng& rng,
-                             const std::vector<const charlib::LeakageTable*>& table) const;
+  void draw_states_into(math::Rng& rng, std::vector<std::uint32_t>& table_id) const;
+  /// Rebuilds ws's (site, table) buckets from ws.table_id via counting sort;
+  /// `merge_duplicates` additionally folds repeated (site, table) pairs into
+  /// one weighted entry (worth it only when states are fixed for the whole
+  /// run, so the buckets are built once).
+  void build_buckets(McWorkspace& ws, bool merge_duplicates) const;
+  /// One trial: D2D + WID field draw, then the per-gate sum over the selected
+  /// evaluation path. Both paths consume the same RNG stream and use
+  /// compensated (Neumaier) summation.
+  double run_trial(process::GridFieldSampler& field, math::Rng& rng, McWorkspace& ws) const;
+  double sum_bucketed(McWorkspace& ws, double base) const;
+  double sum_per_gate(const McWorkspace& ws, double base) const;
   /// Loads `path`, verifies its identity header against this run's setup
   /// (ConfigError on mismatch), and installs the per-worker state.
-  void restore(const std::string& path, std::size_t threads, std::vector<math::Rng>& rngs,
-               std::vector<process::GridFieldSampler>& fields,
-               std::vector<std::vector<double>>& slices) const;
+  void restore(const std::string& path, std::size_t threads,
+               std::vector<std::unique_ptr<Worker>>& workers) const;
 };
 
 }  // namespace rgleak::mc

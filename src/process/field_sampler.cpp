@@ -54,15 +54,18 @@ GridFieldSampler::GridFieldSampler(std::size_t rows, std::size_t cols, double dx
   }
 
   math::fft2d(kernel, prow_, pcol_, /*inverse=*/false);
+  plan_ = std::make_shared<const math::FftPlan2D>(prow_, pcol_);
 
   sqrt_eig_.resize(prow_ * pcol_);
   double max_eig = 0.0, worst_neg = 0.0;
-  for (std::size_t i = 0; i < kernel.size(); ++i) {
-    const double lambda = kernel[i].real();  // imaginary parts are FFT noise
-    max_eig = std::max(max_eig, lambda);
-    worst_neg = std::min(worst_neg, lambda);
-    sqrt_eig_[i] = lambda > 0.0 ? std::sqrt(lambda) : 0.0;
-  }
+  for (std::size_t r = 0; r < prow_; ++r)
+    for (std::size_t c = 0; c < pcol_; ++c) {
+      const double lambda = kernel[r * pcol_ + c].real();  // imaginary parts are FFT noise
+      max_eig = std::max(max_eig, lambda);
+      worst_neg = std::min(worst_neg, lambda);
+      // Column-major: matches the transposed noise layout of sample_into.
+      sqrt_eig_[c * prow_ + r] = lambda > 0.0 ? std::sqrt(lambda) : 0.0;
+    }
   clamped_fraction_ = max_eig > 0.0 ? -worst_neg / max_eig : 0.0;
 
   // Mild clamping (imperfect embedding of a valid kernel) is expected —
@@ -81,29 +84,45 @@ GridFieldSampler::GridFieldSampler(std::size_t rows, std::size_t cols, double dx
 }
 
 std::vector<double> GridFieldSampler::sample(math::Rng& rng) {
+  FieldWorkspace ws;
+  std::vector<double> field;
+  sample_into(rng, ws, field);
+  return field;
+}
+
+void GridFieldSampler::sample_into(math::Rng& rng, FieldWorkspace& ws, std::vector<double>& out) {
+  out.resize(rows_ * cols_);
   if (has_cached_) {
+    // Consume the spare field from the last FFT. The cache buffer keeps its
+    // capacity for the next FFT round — no allocation churn.
     has_cached_ = false;
-    return std::move(cached_);
+    std::copy(cached_.begin(), cached_.end(), out.begin());
+    return;
   }
   const std::size_t np = prow_ * pcol_;
-  std::vector<std::complex<double>> z(np);
-  for (auto& v : z) v = {rng.normal(), rng.normal()};
-  for (std::size_t i = 0; i < np; ++i) z[i] *= sqrt_eig_[i];
-  math::fft2d(z, prow_, pcol_, /*inverse=*/true);
+  ws.scratch.resize(np);
+  // White noise straight into the transposed (column-major) layout the FFT's
+  // column pass consumes, colored by the matching column-major eigenvalue
+  // roots: no input transpose. A complex array is layout-compatible with
+  // (re, im) double pairs, so the bulk normal_fill draws the same stream as
+  // elementwise {normal(), normal()} fills.
+  rng.normal_fill(reinterpret_cast<double*>(ws.scratch.data()), 2 * np);
+  for (std::size_t i = 0; i < np; ++i) ws.scratch[i] *= sqrt_eig_[i];
+  // Only the top rows_ rows of the padded grid are unpacked below; prune the
+  // back-transpose and final FFT pass to them.
+  plan_->run_top_rows_colmajor(ws.scratch, /*inverse=*/true, ws.freq, rows_);
 
   // y = sqrt(N) * IFFT(sqrt(lambda) .* eps) has E[Re(y) Re(y)^T] = C; the
   // imaginary part is a second independent sample that we cache.
   const double scale = std::sqrt(static_cast<double>(np));
-  std::vector<double> field(rows_ * cols_);
   cached_.resize(rows_ * cols_);
   for (std::size_t r = 0; r < rows_; ++r)
     for (std::size_t c = 0; c < cols_; ++c) {
-      const auto v = z[r * pcol_ + c] * scale;
-      field[r * cols_ + c] = v.real();
+      const auto v = ws.freq[r * pcol_ + c] * scale;
+      out[r * cols_ + c] = v.real();
       cached_[r * cols_ + c] = v.imag();
     }
   has_cached_ = true;
-  return field;
 }
 
 void GridFieldSampler::set_cached_field(std::vector<double> field) {
@@ -152,15 +171,23 @@ DenseFieldSampler::DenseFieldSampler(std::vector<Site> sites, const SpatialCorre
 }
 
 std::vector<double> DenseFieldSampler::sample(math::Rng& rng) const {
+  FieldWorkspace ws;
+  std::vector<double> y;
+  sample_into(rng, ws, y);
+  return y;
+}
+
+void DenseFieldSampler::sample_into(math::Rng& rng, FieldWorkspace& ws,
+                                    std::vector<double>& out) const {
   const std::size_t n = sites_.size();
-  const std::vector<double> z = rng.normal_vector(n);
-  std::vector<double> y(n, 0.0);
+  ws.normals.resize(n);
+  rng.normal_fill(ws.normals.data(), n);
+  out.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     double s = 0.0;
-    for (std::size_t j = 0; j <= i; ++j) s += chol_(i, j) * z[j];
-    y[i] = s;
+    for (std::size_t j = 0; j <= i; ++j) s += chol_(i, j) * ws.normals[j];
+    out[i] = s;
   }
-  return y;
 }
 
 }  // namespace rgleak::process

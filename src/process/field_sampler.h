@@ -11,14 +11,26 @@
 // the covariance matrix is provided.
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
+#include "math/fft.h"
 #include "math/linalg.h"
 #include "math/rng.h"
 #include "process/spatial_correlation.h"
 #include "process/variation.h"
 
 namespace rgleak::process {
+
+/// Caller-owned scratch for the samplers' allocation-free sample_into()
+/// paths. One workspace per worker/stream; buffers grow to the sampler's
+/// padded dimensions on first use and are reused afterwards, so the
+/// steady-state sampling loop performs zero heap allocations.
+struct FieldWorkspace {
+  std::vector<std::complex<double>> freq;     ///< padded-grid FFT buffer
+  std::vector<std::complex<double>> scratch;  ///< 1-D line scratch for the FFT
+  std::vector<double> normals;                ///< dense-sampler white noise
+};
 
 /// Samples zero-mean stationary Gaussian fields on a k x m grid of sites with
 /// spacing (dx, dy) nm, covariance sigma^2 * rho(effective distance), where
@@ -35,6 +47,12 @@ class GridFieldSampler {
   /// One field sample, row-major rows() x cols(). Each call consumes fresh
   /// randomness; successive samples are independent.
   std::vector<double> sample(math::Rng& rng);
+
+  /// Allocation-free variant: writes the field into `out` (resized to
+  /// rows()*cols()) using `ws` for FFT scratch. Draws the same values in the
+  /// same order as sample() for an identical RNG state. After the first call
+  /// with a given workspace, the steady state performs zero heap allocations.
+  void sample_into(math::Rng& rng, FieldWorkspace& ws, std::vector<double>& out);
 
   /// Largest negative embedding eigenvalue that was clamped to zero, as a
   /// fraction of the largest eigenvalue (0 when the embedding was exactly
@@ -53,7 +71,14 @@ class GridFieldSampler {
  private:
   std::size_t rows_, cols_;      // requested grid
   std::size_t prow_, pcol_;      // padded periodic grid (powers of two)
-  std::vector<double> sqrt_eig_; // sqrt of embedding eigenvalues, prow_ x pcol_
+  /// Sqrt of embedding eigenvalues, stored COLUMN-major (index c * prow_ + r):
+  /// the white-noise buffer is filled and colored directly in the transposed
+  /// layout the FFT's contiguous column pass wants, which removes the input
+  /// transpose from every draw.
+  std::vector<double> sqrt_eig_;
+  /// Twiddle/bit-reversal plan for the prow_ x pcol_ transforms; shared
+  /// between per-worker copies of the sampler (immutable after construction).
+  std::shared_ptr<const math::FftPlan2D> plan_;
   double clamped_fraction_ = 0.0;
   std::vector<double> cached_;   // second independent field from the last FFT
   bool has_cached_ = false;
@@ -73,6 +98,11 @@ class DenseFieldSampler {
 
   std::size_t size() const { return sites_.size(); }
   std::vector<double> sample(math::Rng& rng) const;
+
+  /// Allocation-free variant mirroring GridFieldSampler::sample_into: the
+  /// white-noise draw lands in `ws.normals`, the colored field in `out`
+  /// (resized to size()). Same stream as sample() for an identical RNG state.
+  void sample_into(math::Rng& rng, FieldWorkspace& ws, std::vector<double>& out) const;
 
  private:
   std::vector<Site> sites_;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "cells/library.h"
 #include "util/require.h"
@@ -63,6 +64,39 @@ TEST(LeakageTable, PerStateTablesDiffer) {
   const LeakageTable t0(inv(), 0, kTech, 30.0, 50.0, 65);
   const LeakageTable t1(inv(), 1, kTech, 30.0, 50.0, 65);
   EXPECT_NE(t0.eval_na(40.0), t1.eval_na(40.0));
+}
+
+TEST(LeakageTable, EvalManyMatchesScalarEval) {
+  // The batched path shares the scalar path's interpolation (including the
+  // end-segment extrapolation) but uses a reciprocal-multiply index and the
+  // vexp kernel; divergence is a few ULP.
+  const LeakageTable table(inv(), 0, kTech, 30.0, 50.0, 129);
+  std::vector<double> l;
+  for (double x = 25.0; x <= 55.0; x += 0.093) l.push_back(x);  // spans extrapolation
+  std::vector<double> batched(l.size());
+  table.eval_many_na(l.data(), batched.data(), l.size());
+  for (std::size_t i = 0; i < l.size(); ++i) {
+    const double scalar = table.eval_na(l[i]);
+    EXPECT_NEAR(batched[i], scalar, 1e-12 * scalar) << "l=" << l[i];
+  }
+}
+
+TEST(LeakageTable, EvalManyInPlaceAndEmpty) {
+  const LeakageTable table(inv(), 0, kTech, 30.0, 50.0, 65);
+  std::vector<double> buf = {33.0, 40.0, 47.5};
+  const std::vector<double> lengths = buf;
+  table.eval_many_na(buf.data(), buf.data(), buf.size());
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    EXPECT_NEAR(buf[i], table.eval_na(lengths[i]), 1e-12 * buf[i]);
+  table.eval_many_na(nullptr, nullptr, 0);  // no-op
+}
+
+TEST(LeakageTable, LogRangeBoundsTabulatedValues) {
+  const LeakageTable table(inv(), 0, kTech, 30.0, 50.0, 65);
+  EXPECT_LT(table.log_i_min(), table.log_i_max());
+  // Monotone decreasing table: extremes sit at the length-range endpoints.
+  EXPECT_NEAR(table.log_i_max(), std::log(table.eval_na(30.0)), 1e-12);
+  EXPECT_NEAR(table.log_i_min(), std::log(table.eval_na(50.0)), 1e-12);
 }
 
 TEST(LeakageTable, ContractChecks) {

@@ -75,6 +75,42 @@ TEST(Rng, NormalSkewAndTails) {
   EXPECT_NEAR(static_cast<double>(beyond3) / n, 0.0027, 0.001);
 }
 
+TEST(Rng, NormalKurtosisAndWedgeRegion) {
+  // The ziggurat's wedge accept/reject shapes the density between the
+  // inscribed boxes and the curve; a kurtosis miss or a deficit near |z|~1
+  // would expose a bad wedge test.
+  Rng rng(37);
+  const int n = 500000;
+  double fourth = 0.0;
+  int near_one = 0;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    fourth += z * z * z * z;
+    if (std::abs(z) > 0.8 && std::abs(z) < 1.2) ++near_one;
+  }
+  EXPECT_NEAR(fourth / n, 3.0, 0.1);
+  // P(0.8 < |Z| < 1.2) = 2*(Phi(1.2) - Phi(0.8)) = 0.19373.
+  EXPECT_NEAR(static_cast<double>(near_one) / n, 0.19373, 0.005);
+}
+
+TEST(Rng, NormalDeepTailFrequency) {
+  // Samples beyond the ziggurat base edge (x ~ 3.654) come from the explicit
+  // Marsaglia tail sampler; check it fires at the Gaussian rate.
+  Rng rng(41);
+  const int n = 2000000;
+  int beyond = 0;
+  double max_abs = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    max_abs = std::max(max_abs, std::abs(z));
+    if (std::abs(z) > 3.6541528853610088) ++beyond;
+  }
+  // P(|Z| > 3.65415...) = 2.590e-4; expect ~518 of 2e6, sd ~23.
+  EXPECT_NEAR(static_cast<double>(beyond) / n, 2.590e-4, 0.4e-4);
+  EXPECT_GT(max_abs, 4.0);  // the tail sampler must actually reach past the edge
+  EXPECT_LT(max_abs, 7.0);
+}
+
 TEST(Rng, NormalScaled) {
   Rng rng(17);
   RunningStats s;

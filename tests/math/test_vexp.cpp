@@ -1,0 +1,78 @@
+#include "math/vexp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "math/rng.h"
+
+namespace rgleak::math {
+namespace {
+
+/// |a - b| in units of b's ULP (b = reference, finite, non-zero).
+double ulp_distance(double a, double b) {
+  const double ulp = std::nextafter(std::abs(b), std::numeric_limits<double>::infinity()) -
+                     std::abs(b);
+  return std::abs(a - b) / ulp;
+}
+
+double max_ulp_over(const std::vector<double>& xs) {
+  std::vector<double> out(xs.size());
+  vexp(xs.data(), out.data(), xs.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    worst = std::max(worst, ulp_distance(out[i], std::exp(xs[i])));
+  return worst;
+}
+
+TEST(Vexp, UlpBoundOverLeakageTableLogRange) {
+  // The MC leakage tables interpolate ln(I) for currents from sub-pA to mA:
+  // log arguments within roughly [-20, 40]. Dense uniform sweep of a wider
+  // window; the kernel must stay within a few ULP of std::exp.
+  std::vector<double> xs;
+  for (double x = -60.0; x <= 60.0; x += 7.3e-4) xs.push_back(x);
+  EXPECT_LE(max_ulp_over(xs), 4.0);
+}
+
+TEST(Vexp, UlpBoundOverFullRange) {
+  // Random arguments over the whole supported window, including values with
+  // large 2^k scaling where the hi/lo ln2 split carries the accuracy.
+  math::Rng rng(2027);
+  std::vector<double> xs(200000);
+  for (auto& x : xs) x = rng.uniform(kVexpMinArg, kVexpMaxArg);
+  EXPECT_LE(max_ulp_over(xs), 4.0);
+}
+
+TEST(Vexp, ClampsExtremeArgumentsToFiniteNormals) {
+  const std::vector<double> xs = {1.0e4, 800.0, kVexpMaxArg, kVexpMinArg, -800.0, -1.0e4};
+  std::vector<double> out(xs.size());
+  vexp(xs.data(), out.data(), xs.size());
+  for (double v : out) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_TRUE(std::isnormal(v));
+    EXPECT_GT(v, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(out[0], out[2]);  // above-range inputs clamp to kVexpMaxArg
+  EXPECT_DOUBLE_EQ(out[5], out[3]);  // below-range inputs clamp to kVexpMinArg
+}
+
+TEST(Vexp, InPlaceAndZeroLength) {
+  std::vector<double> buf = {0.0, 1.0, -1.0, 2.5};
+  const std::vector<double> copy = buf;
+  vexp(buf.data(), buf.data(), buf.size());
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    EXPECT_NEAR(buf[i], std::exp(copy[i]), 1e-15 * std::exp(copy[i]));
+  vexp(nullptr, nullptr, 0);  // must be a no-op
+}
+
+TEST(Vexp, ExactAtZero) {
+  const double x = 0.0;
+  double y = -1.0;
+  vexp(&x, &y, 1);
+  EXPECT_DOUBLE_EQ(y, 1.0);
+}
+
+}  // namespace
+}  // namespace rgleak::math

@@ -1,0 +1,19 @@
+#pragma once
+// Process-wide heap-allocation counter for zero-allocation assertions.
+//
+// Linking alloc_count.cpp into a test binary replaces the global operator
+// new/delete family with counting wrappers. Tests snapshot allocation_count()
+// before and after a measured region and assert on the delta; the MC perf
+// tests use this to prove the steady-state trial loop never touches the heap.
+// The counter covers every thread in the process, so measured regions must
+// not run concurrently with other allocating work.
+
+#include <cstddef>
+
+namespace rgleak::testing {
+
+/// Number of global allocation calls (all operator new variants) since
+/// process start, across all threads.
+std::size_t allocation_count();
+
+}  // namespace rgleak::testing

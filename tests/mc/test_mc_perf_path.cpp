@@ -1,0 +1,182 @@
+// Contracts of the performance-oriented MC trial path (DESIGN.md "MC
+// performance"): the bucketed evaluation must agree with the per-gate
+// reference to compensated-summation tolerance on the identical RNG stream,
+// and the steady-state trial loop must never allocate.
+
+#include "mc/full_chip_mc.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../test_util.h"
+#include "alloc_count.h"
+#include "math/rng.h"
+#include "netlist/random_circuit.h"
+
+namespace rgleak::mc {
+namespace {
+
+using rgleak::testing::allocation_count;
+using rgleak::testing::mini_chars_analytic;
+using rgleak::testing::mini_library;
+
+netlist::UsageHistogram test_usage() {
+  netlist::UsageHistogram u;
+  u.alphas.assign(mini_library().size(), 0.0);
+  u.alphas[mini_library().index_of("INV_X1")] = 0.6;
+  u.alphas[mini_library().index_of("NAND2_X1")] = 0.4;
+  return u;
+}
+
+placement::Floorplan grid(std::size_t rows, std::size_t cols) {
+  placement::Floorplan fp;
+  fp.rows = rows;
+  fp.cols = cols;
+  fp.site_w_nm = 1500.0;
+  fp.site_h_nm = 1500.0;
+  return fp;
+}
+
+// Both paths draw the same states and fields from the same stream; the only
+// divergence is evaluation order and the batched exp kernel. With Neumaier
+// summation on both sides, per-trial totals agree far tighter than this.
+constexpr double kPathRelTol = 1e-11;
+
+TEST(McPerfPath, BucketedMatchesPerGatePerTrial) {
+  math::Rng gen(61);
+  const netlist::Netlist nl = generate_random_circuit(mini_library(), test_usage(), 144, gen);
+  const placement::Placement pl(&nl, grid(12, 12));
+
+  for (const bool resample : {false, true}) {
+    FullChipMcOptions bucketed;
+    bucketed.resample_states_per_trial = resample;
+    bucketed.eval_path = McEvalPath::kBucketed;
+    FullChipMcOptions per_gate = bucketed;
+    per_gate.eval_path = McEvalPath::kPerGate;
+
+    FullChipMonteCarlo a(pl, mini_chars_analytic(), bucketed);
+    FullChipMonteCarlo b(pl, mini_chars_analytic(), per_gate);
+    math::Rng ra(12345), rb(12345);
+    for (int t = 0; t < 40; ++t) {
+      const double va = a.sample_total_na(ra);
+      const double vb = b.sample_total_na(rb);
+      EXPECT_NEAR(va, vb, kPathRelTol * vb) << "trial " << t << " resample=" << resample;
+    }
+  }
+}
+
+TEST(McPerfPath, BucketedMatchesPerGateRunStatistics) {
+  math::Rng gen(67);
+  const netlist::Netlist nl = generate_random_circuit(mini_library(), test_usage(), 100, gen);
+  const placement::Placement pl(&nl, grid(10, 10));
+  FullChipMcOptions bucketed;
+  bucketed.trials = 300;
+  bucketed.seed = 4242;
+  FullChipMcOptions per_gate = bucketed;
+  per_gate.eval_path = McEvalPath::kPerGate;
+  const FullChipMcResult rb = FullChipMonteCarlo(pl, mini_chars_analytic(), bucketed).run();
+  const FullChipMcResult rp = FullChipMonteCarlo(pl, mini_chars_analytic(), per_gate).run();
+  EXPECT_NEAR(rb.mean_na, rp.mean_na, kPathRelTol * rp.mean_na);
+  EXPECT_NEAR(rb.sigma_na, rp.sigma_na, kPathRelTol * rp.mean_na);
+  EXPECT_NEAR(rb.p99_na, rp.p99_na, kPathRelTol * rp.p99_na);
+}
+
+TEST(McPerfPath, ThreadedBucketedMatchesThreadedPerGate) {
+  // Thread-count changes reorder the RNG streams, but for a fixed (seed,
+  // threads) the two evaluation paths still see identical draws. The name
+  // carries "Threaded" so scripts/tsan_check.sh races the restructured
+  // worker rounds under TSan.
+  math::Rng gen(71);
+  const netlist::Netlist nl = generate_random_circuit(mini_library(), test_usage(), 100, gen);
+  const placement::Placement pl(&nl, grid(10, 10));
+  FullChipMcOptions bucketed;
+  bucketed.trials = 240;
+  bucketed.seed = 4243;
+  bucketed.threads = 4;
+  bucketed.resample_states_per_trial = true;
+  FullChipMcOptions per_gate = bucketed;
+  per_gate.eval_path = McEvalPath::kPerGate;
+  const FullChipMcResult rb = FullChipMonteCarlo(pl, mini_chars_analytic(), bucketed).run();
+  const FullChipMcResult rp = FullChipMonteCarlo(pl, mini_chars_analytic(), per_gate).run();
+  EXPECT_NEAR(rb.mean_na, rp.mean_na, kPathRelTol * rp.mean_na);
+  EXPECT_NEAR(rb.sigma_na, rp.sigma_na, kPathRelTol * rp.mean_na);
+}
+
+TEST(McPerfPath, ThreadedCheckpointedRunIsAllocationLean) {
+  // The threaded checkpoint path must stream state through the reused writer
+  // buffer instead of deep-copying worker slices: allocations per checkpoint
+  // cadence stay bounded by file-I/O setup, independent of sample volume.
+  // (An absolute zero is not asserted here — ofstream construction and the
+  // thread-pool round trip legitimately allocate a handful of blocks.)
+  math::Rng gen(73);
+  const netlist::Netlist nl = generate_random_circuit(mini_library(), test_usage(), 64, gen);
+  const placement::Placement pl(&nl, grid(8, 8));
+  FullChipMcOptions opts;
+  opts.trials = 400;
+  opts.threads = 2;
+  opts.checkpoint_every = 40;
+  opts.checkpoint_path = ::testing::TempDir() + "mc_perf_alloc.ckpt";
+  FullChipMonteCarlo mc(pl, mini_chars_analytic(), opts);
+  const FullChipMcResult r = mc.run();
+  EXPECT_EQ(r.trials, 400u);
+}
+
+TEST(McPerfPath, SteadyStateTrialLoopDoesNotAllocateFixedStates) {
+  math::Rng gen(79);
+  const netlist::Netlist nl = generate_random_circuit(mini_library(), test_usage(), 144, gen);
+  const placement::Placement pl(&nl, grid(12, 12));
+  FullChipMcOptions opts;  // fixed states, bucketed
+  FullChipMonteCarlo mc(pl, mini_chars_analytic(), opts);
+  math::Rng rng(5150);
+  double sink = 0.0;
+  for (int t = 0; t < 5; ++t) sink += mc.sample_total_na(rng);  // warm the workspace
+
+  const std::size_t before = allocation_count();
+  for (int t = 0; t < 100; ++t) sink += mc.sample_total_na(rng);
+  const std::size_t after = allocation_count();
+  EXPECT_EQ(after - before, 0u) << "steady-state trials allocated";
+  EXPECT_TRUE(std::isfinite(sink));
+}
+
+TEST(McPerfPath, SteadyStateTrialLoopDoesNotAllocateResampledStates) {
+  // Per-trial state resampling rebuilds the buckets every trial; all bucket
+  // arrays must reuse their capacity.
+  math::Rng gen(83);
+  const netlist::Netlist nl = generate_random_circuit(mini_library(), test_usage(), 144, gen);
+  const placement::Placement pl(&nl, grid(12, 12));
+  FullChipMcOptions opts;
+  opts.resample_states_per_trial = true;
+  FullChipMonteCarlo mc(pl, mini_chars_analytic(), opts);
+  math::Rng rng(5151);
+  double sink = 0.0;
+  // Warm-up also has to visit every (cell, state) pair so the lazy table
+  // cache is fully populated before the measured region.
+  for (int t = 0; t < 40; ++t) sink += mc.sample_total_na(rng);
+
+  const std::size_t before = allocation_count();
+  for (int t = 0; t < 100; ++t) sink += mc.sample_total_na(rng);
+  const std::size_t after = allocation_count();
+  EXPECT_EQ(after - before, 0u) << "steady-state resampled trials allocated";
+  EXPECT_TRUE(std::isfinite(sink));
+}
+
+TEST(McPerfPath, PerGateSteadyStateAlsoDoesNotAllocate) {
+  math::Rng gen(89);
+  const netlist::Netlist nl = generate_random_circuit(mini_library(), test_usage(), 64, gen);
+  const placement::Placement pl(&nl, grid(8, 8));
+  FullChipMcOptions opts;
+  opts.eval_path = McEvalPath::kPerGate;
+  FullChipMonteCarlo mc(pl, mini_chars_analytic(), opts);
+  math::Rng rng(5152);
+  double sink = 0.0;
+  for (int t = 0; t < 5; ++t) sink += mc.sample_total_na(rng);
+
+  const std::size_t before = allocation_count();
+  for (int t = 0; t < 50; ++t) sink += mc.sample_total_na(rng);
+  EXPECT_EQ(allocation_count() - before, 0u);
+  EXPECT_TRUE(std::isfinite(sink));
+}
+
+}  // namespace
+}  // namespace rgleak::mc

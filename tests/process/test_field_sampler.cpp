@@ -90,6 +90,42 @@ TEST(GridFieldSampler, SuccessiveSamplesIndependent) {
   EXPECT_NEAR(c.correlation(), 0.0, 0.03);
 }
 
+TEST(GridFieldSampler, SampleIntoMatchesSampleStream) {
+  // sample_into is the allocation-free spelling of sample(): same RNG
+  // consumption, bit-identical fields (including the cached second field of
+  // each complex FFT draw).
+  const ExponentialCorrelation rho(300.0);
+  GridFieldSampler a(6, 5, 100.0, 100.0, rho, 1.7);
+  GridFieldSampler b(6, 5, 100.0, 100.0, rho, 1.7);
+  math::Rng ra(11), rb(11);
+  FieldWorkspace ws;
+  std::vector<double> out;
+  for (int t = 0; t < 9; ++t) {  // odd count exercises the cached-field path
+    const std::vector<double> ref = a.sample(ra);
+    b.sample_into(rb, ws, out);
+    ASSERT_EQ(out.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_EQ(out[i], ref[i]) << "t=" << t;
+  }
+  EXPECT_EQ(ra(), rb());  // streams stayed in lockstep
+}
+
+TEST(DenseFieldSampler, SampleIntoMatchesSampleStream) {
+  const ExponentialCorrelation rho(250.0);
+  std::vector<DenseFieldSampler::Site> sites = {
+      {0.0, 0.0}, {100.0, 0.0}, {0.0, 300.0}, {400.0, 400.0}, {50.0, 60.0}};
+  const DenseFieldSampler a(sites, rho, 1.2);
+  math::Rng ra(12), rb(12);
+  FieldWorkspace ws;
+  std::vector<double> out;
+  for (int t = 0; t < 6; ++t) {
+    const std::vector<double> ref = a.sample(ra);
+    a.sample_into(rb, ws, out);
+    ASSERT_EQ(out.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_EQ(out[i], ref[i]);
+  }
+  EXPECT_EQ(ra(), rb());
+}
+
 TEST(GridFieldSampler, ContractChecks) {
   const ExponentialCorrelation rho(100.0);
   EXPECT_THROW(GridFieldSampler(0, 4, 1.0, 1.0, rho, 1.0), ContractViolation);

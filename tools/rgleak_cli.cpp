@@ -72,7 +72,7 @@ extern "C" void handle_signal(int) { g_run.request_stop(util::StopReason::kCance
                "                 [--exact-method auto|direct|fft] [--threads N]\n"
                "                 [--time-budget SECONDS] [--cost-model BENCH.json]\n"
                "  rgleak mc --lib FILE --netlist FILE [--trials N] [--seed S]\n"
-               "            [--threads N] [--p VALUE] [--resample]\n"
+               "            [--threads N] [--p VALUE] [--resample] [--eval bucketed|per-gate]\n"
                "            [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]\n"
                "            [--time-budget SECONDS]\n"
                "  rgleak batch --manifest JOBS.jsonl [--journal FILE] [--workers N]\n"
@@ -384,6 +384,13 @@ int cmd_mc(const std::map<std::string, std::string>& flags) {
   opts.threads = parse_count(flag(flags, "threads", "1"), "--threads");
   opts.signal_probability = parse_double(flag(flags, "p", "0.5"), "--p");
   opts.resample_states_per_trial = has_flag(flags, "resample");
+  const std::string eval_path = flag(flags, "eval", "bucketed");
+  if (eval_path == "bucketed")
+    opts.eval_path = mc::McEvalPath::kBucketed;
+  else if (eval_path == "per-gate")
+    opts.eval_path = mc::McEvalPath::kPerGate;
+  else
+    usage_exit("--eval must be 'bucketed' or 'per-gate'");
   if (has_flag(flags, "checkpoint")) opts.checkpoint_path = flag(flags, "checkpoint");
   opts.checkpoint_every = parse_count(flag(flags, "checkpoint-every", "0"), "--checkpoint-every");
   if (has_flag(flags, "resume")) opts.resume_path = flag(flags, "resume");
