@@ -5,13 +5,16 @@
 //
 // `bench_scaling --exact-json[=PATH]` skips google-benchmark and instead
 // records the exact-estimator perf trajectory (sites, method, wall_ms,
-// speedup vs the serial direct baseline) to BENCH_exact_estimator.json.
+// speedup vs the serial direct baseline, peak RSS, and the per-method
+// MemoryBudget high-water mark used by `rgleak batch --mem-model`) to
+// BENCH_exact_estimator.json.
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -154,27 +157,40 @@ int exact_bench_json(const std::string& path) {
     const std::size_t n = side * side;
     const int reps = n <= 4096 ? 3 : 1;
 
+    // reset_peak between methods: the exact estimators release their arena
+    // charges after each run, so the per-method high-water mark isolates
+    // that method's footprint for --mem-model calibration.
+    auto& budget = util::MemoryBudget::process();
     core::LeakageEstimate serial, parallel, fft;
+    budget.reset_peak();
     const double t_serial = wall_ms(
         [&] { return exact.estimate(pl, {core::ExactMethod::kDirect, 1}); }, reps, &serial);
+    const std::uint64_t b_serial = budget.peak();
+    budget.reset_peak();
     const double t_parallel = wall_ms(
         [&] { return exact.estimate(pl, {core::ExactMethod::kDirect, 0}); }, reps, &parallel);
+    const std::uint64_t b_parallel = budget.peak();
+    budget.reset_peak();
     const double t_fft = wall_ms(
         [&] { return exact.estimate(pl, {core::ExactMethod::kFft, 0}); }, reps, &fft);
+    const std::uint64_t b_fft = budget.peak();
 
     const double rel_err = std::abs(fft.sigma_na - serial.sigma_na) / serial.sigma_na;
     const struct {
       const char* method;
       double ms;
       double sigma_rel_err;
-    } rows[] = {{"direct_serial", t_serial, 0.0},
+      std::uint64_t budget_bytes;
+    } rows[] = {{"direct_serial", t_serial, 0.0, b_serial},
                 {"direct_parallel", t_parallel,
-                 std::abs(parallel.sigma_na - serial.sigma_na) / serial.sigma_na},
-                {"fft", t_fft, rel_err}};
+                 std::abs(parallel.sigma_na - serial.sigma_na) / serial.sigma_na, b_parallel},
+                {"fft", t_fft, rel_err, b_fft}};
     for (const auto& r : rows) {
       std::fprintf(f, "%s    {\"sites\": %zu, \"method\": \"%s\", \"wall_ms\": %.4f, "
-                      "\"speedup\": %.2f, \"sigma_rel_err\": %.3e}",
-                   first ? "" : ",\n", n, r.method, r.ms, t_serial / r.ms, r.sigma_rel_err);
+                      "\"speedup\": %.2f, \"sigma_rel_err\": %.3e, "
+                      "\"peak_rss_kb\": %.0f, \"budget_peak_bytes\": %llu}",
+                   first ? "" : ",\n", n, r.method, r.ms, t_serial / r.ms, r.sigma_rel_err,
+                   bench::peak_rss_kb(), static_cast<unsigned long long>(r.budget_bytes));
       first = false;
     }
     std::printf("sites %6zu  direct %10.2f ms  parallel %10.2f ms (%.1fx)  "

@@ -4,11 +4,17 @@
 // figure of the paper (see DESIGN.md §4) and prints the corresponding rows.
 
 #include <cmath>
+#include <cstdint>
 #include <iostream>
+
+#if !defined(_WIN32)
+#include <sys/resource.h>
+#endif
 
 #include "cells/library.h"
 #include "charlib/characterize.h"
 #include "process/variation.h"
+#include "util/memory.h"
 
 namespace rgleak::bench {
 
@@ -49,6 +55,27 @@ inline const charlib::CharacterizedLibrary& chars_mc() {
     return charlib::characterize_monte_carlo(library(), bench_process(), opts);
   }();
   return chars;
+}
+
+/// Peak resident set size of this process in KiB (0 where unavailable).
+/// Monotone over the process lifetime — per-record deltas are not meaningful,
+/// but the high-water mark is exactly what memory-model calibration wants.
+inline double peak_rss_kb() {
+#if defined(_WIN32)
+  return 0.0;
+#else
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+  return static_cast<double>(ru.ru_maxrss);  // Linux reports KiB
+#endif
+}
+
+/// High-water mark of bytes charged against the process MemoryBudget by the
+/// tracked arenas (FFT plans, sampler caches, MC worker workspaces). With no
+/// limit set, charging is pure bookkeeping — this is the number
+/// MemoryCostModel::from_bench_json calibrates admission control from.
+inline std::uint64_t budget_peak_bytes() {
+  return util::MemoryBudget::process().peak();
 }
 
 inline void banner(const char* title, const char* paper_ref) {

@@ -16,9 +16,10 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD"/tests/core_tests --gtest_filter='*Concurrent*:*ThreadCounts*:*FftPathMatchesDirectPath*'
 "$BUILD"/tests/mc_tests --gtest_filter='*Threaded*'
 # The service layer's shared-state hot spots: blocked producers/consumers on
-# the bounded queue, the shared retry budget, and workers appending to one
-# journal while the 200-job soak injects faults.
-"$BUILD"/tests/service_tests --gtest_filter='*Concurrent*'
+# the bounded queue, the shared retry budget, workers appending to one
+# journal while the 200-job soak injects faults, and the stall watchdog's
+# monitor thread sampling worker heartbeats while slots publish and clear.
+"$BUILD"/tests/service_tests --gtest_filter='*Concurrent*:*Stall*'
 # Fault injection under TSan: a worker throwing mid-job must not race the
 # pool's rendezvous or leave it unusable. *Threaded* adds the threaded MC
 # worker rounds (per-worker workspaces + the background checkpoint flusher)

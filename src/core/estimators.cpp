@@ -3,8 +3,10 @@
 #include <cmath>
 #include <sstream>
 
+#include "core/memory_cost.h"
 #include "math/fft.h"
 #include "util/failpoint.h"
+#include "util/memory.h"
 #include "util/require.h"
 
 namespace rgleak::core {
@@ -200,8 +202,20 @@ LeakageEstimate ExactEstimator::estimate(const placement::Placement& placement,
   }
   util::ThreadPool& pool =
       options.pool ? *options.pool : util::ThreadPool::shared(options.threads);
-  return method == ExactMethod::kFft ? estimate_fft(placement, pool, options.run)
-                                     : estimate_direct(placement, pool, options.run);
+  try {
+    return method == ExactMethod::kFft ? estimate_fft(placement, pool, options.run)
+                                       : estimate_direct(placement, pool, options.run);
+  } catch (const std::bad_alloc&) {
+    // Translate allocation failure (real or injected at the *.alloc
+    // failpoints) into a located taxonomy error so a starved estimate fails
+    // typed instead of crashing its process.
+    std::ostringstream os;
+    os << "ExactEstimator::estimate: out of memory on the "
+       << (method == ExactMethod::kFft ? "fft" : "direct") << " path ("
+       << placement.netlist().size() << " gates, " << placement.floorplan().rows << "x"
+       << placement.floorplan().cols << " sites)";
+    throw ResourceError(os.str());
+  }
 }
 
 LeakageEstimate ExactEstimator::estimate_direct(const placement::Placement& placement,
@@ -211,6 +225,12 @@ LeakageEstimate ExactEstimator::estimate_direct(const placement::Placement& plac
   const std::size_t n = nl.size();
   const placement::Floorplan& fp = placement.floorplan();
   const std::size_t m = fp.cols;
+
+  // Charge this path's arenas (gate tables + offset grid + tile partials)
+  // against the process memory budget for the duration of the estimate.
+  RGLEAK_FAILPOINT("core.exact.direct.alloc");
+  const util::MemoryReservation arena(
+      MemoryCostModel::exact_direct_bytes(n, fp.rows, fp.cols), "core.exact.direct");
 
   // Pre-resolve gate types/coordinates and warm the pair grids for used
   // types, so the tiled loop below is read-only on shared state.
@@ -277,6 +297,15 @@ LeakageEstimate ExactEstimator::estimate_fft(const placement::Placement& placeme
     mean += eff.mean_na;
     diag += eff.sigma_na * eff.sigma_na;
   }
+
+  // Conservative preflight charge: the per-type padded transforms dominate.
+  // Distinct placed types are not known until the scan below, so charge for
+  // the library's full type count (an upper bound; released at return).
+  RGLEAK_FAILPOINT("core.exact.fft.alloc");
+  const util::MemoryReservation arena(
+      MemoryCostModel::exact_fft_bytes(k, m,
+                                       mode_ == CorrelationMode::kSimplified ? 1 : num_types_),
+      "core.exact.fft");
 
   const std::vector<double> rho = offset_rho(fp);
   const math::CrossCorrelator2D xcorr(k, m);

@@ -1,0 +1,168 @@
+#include "core/memory_cost.h"
+
+#include <cerrno>
+#include <cmath>
+#include <complex>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "math/fft.h"
+#include "util/error.h"
+
+namespace rgleak::core {
+
+double MethodMemoryModel::basis_value(std::size_t sites) const {
+  const double n = static_cast<double>(sites);
+  switch (basis) {
+    case Basis::kConstant: return 1.0;
+    case Basis::kLinear: return n;
+    case Basis::kNLogN: return n * std::log2(std::max(2.0, n));
+    case Basis::kQuadratic: return n * n;
+  }
+  return 1.0;
+}
+
+MemoryCostModel MemoryCostModel::defaults() {
+  // Bytes-per-basis coefficients, rounded up hard. The FFT rung's linear
+  // coefficient must absorb the worst-case power-of-two padding (up to ~16x
+  // the site count in padded cells) times 16-byte complex cells times a few
+  // live buffers; MC likewise carries padded sampler grids per worker.
+  MemoryCostModel m;
+  m.rungs_["exact_direct"] = {{MethodMemoryModel::Basis::kLinear, 256.0}, 0.0};
+  m.rungs_["exact_fft"] = {{MethodMemoryModel::Basis::kLinear, 8192.0}, 0.0};
+  m.rungs_["linear"] = {{MethodMemoryModel::Basis::kConstant, 64 << 10}, 0.0};
+  m.rungs_["integral_rect"] = {{MethodMemoryModel::Basis::kConstant, 32 << 10}, 0.0};
+  m.rungs_["integral_polar"] = {{MethodMemoryModel::Basis::kConstant, 32 << 10}, 0.0};
+  m.rungs_["mc"] = {{MethodMemoryModel::Basis::kLinear, 4096.0}, 0.0};
+  return m;
+}
+
+void MemoryCostModel::calibrate(const std::string& method, std::size_t sites,
+                                std::uint64_t bytes) {
+  std::string rung = method;
+  if (method == "direct_parallel") rung = "exact_direct";
+  if (method == "fft") rung = "exact_fft";
+  if (method == "direct_serial") return;
+  const auto it = rungs_.find(rung);
+  if (it == rungs_.end() || sites == 0 || bytes == 0) return;
+  const double coeff = static_cast<double>(bytes) / it->second.model.basis_value(sites);
+  if (coeff > it->second.calibrated_coeff_bytes) it->second.calibrated_coeff_bytes = coeff;
+}
+
+std::uint64_t MemoryCostModel::predict_bytes(const std::string& method,
+                                             std::size_t sites) const {
+  const auto it = rungs_.find(method);
+  if (it == rungs_.end()) return std::numeric_limits<std::uint64_t>::max();
+  const Entry& e = it->second;
+  const double coeff =
+      e.calibrated_coeff_bytes > 0.0 ? e.calibrated_coeff_bytes : e.model.coeff_bytes;
+  return static_cast<std::uint64_t>(coeff * e.model.basis_value(sites));
+}
+
+std::uint64_t MemoryCostModel::exact_direct_bytes(std::size_t gates, std::size_t rows,
+                                                  std::size_t cols) {
+  const std::uint64_t n = gates;
+  const std::uint64_t sites = static_cast<std::uint64_t>(rows) * cols;
+  const std::uint64_t tiles = (n + 63) / 64;
+  // type/row/col index vectors + offset-rho grid + tile partials.
+  return 3 * n * sizeof(std::size_t) + sites * sizeof(double) + tiles * sizeof(double);
+}
+
+std::uint64_t MemoryCostModel::exact_fft_bytes(std::size_t rows, std::size_t cols,
+                                               std::size_t types) {
+  const std::uint64_t pad = static_cast<std::uint64_t>(math::next_pow2(2 * rows - 1)) *
+                            math::next_pow2(2 * cols - 1);
+  const std::uint64_t sites = static_cast<std::uint64_t>(rows) * cols;
+  const std::uint64_t out = static_cast<std::uint64_t>(2 * rows - 1) * (2 * cols - 1);
+  const std::uint64_t t = types > 0 ? types : 1;
+  // Per type: occupancy grid + retained forward transform. Plus transform /
+  // correlate scratch (two padded complex grids live at once), the
+  // correlation output, and the per-offset rho and cov tables.
+  return t * (sites * sizeof(double) + pad * sizeof(std::complex<double>)) +
+         2 * pad * sizeof(std::complex<double>) + out * sizeof(double) +
+         2 * sites * sizeof(double);
+}
+
+std::uint64_t MemoryCostModel::mc_worker_bytes(std::size_t padded_rows, std::size_t padded_cols,
+                                               std::size_t rows, std::size_t cols,
+                                               std::size_t gates) {
+  const std::uint64_t pad = static_cast<std::uint64_t>(padded_rows) * padded_cols;
+  const std::uint64_t sites = static_cast<std::uint64_t>(rows) * cols;
+  const std::uint64_t g = gates;
+  // Sampler copy: column-major sqrt-eigenvalue table + spare-field cache
+  // (the FFT plan is shared between copies and charged once by the owner).
+  const std::uint64_t sampler = pad * sizeof(double) + sites * sizeof(double);
+  // FieldWorkspace: freq + scratch padded complex buffers.
+  const std::uint64_t field_ws = 2 * pad * sizeof(std::complex<double>);
+  // McWorkspace: wid field + per-gate table ids + bucket entries
+  // (site u32 + weight f64), cursors/begins, gather/eval buffers.
+  const std::uint64_t mc_ws = sites * sizeof(double) + g * sizeof(std::uint32_t) +
+                              g * (sizeof(std::uint32_t) + sizeof(double)) +
+                              2 * g * sizeof(std::uint32_t) + 2 * g * sizeof(double);
+  return sampler + field_ws + mc_ws;
+}
+
+namespace {
+
+bool scan_string_field(const std::string& obj, const std::string& key, std::string* out) {
+  const auto k = obj.find("\"" + key + "\"");
+  if (k == std::string::npos) return false;
+  const auto q1 = obj.find('"', obj.find(':', k));
+  if (q1 == std::string::npos) return false;
+  const auto q2 = obj.find('"', q1 + 1);
+  if (q2 == std::string::npos) return false;
+  *out = obj.substr(q1 + 1, q2 - q1 - 1);
+  return true;
+}
+
+bool scan_number_field(const std::string& obj, const std::string& key, double* out) {
+  const auto k = obj.find("\"" + key + "\"");
+  if (k == std::string::npos) return false;
+  const auto colon = obj.find(':', k);
+  if (colon == std::string::npos) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(obj.c_str() + colon + 1, &end);
+  if (errno != 0 || end == obj.c_str() + colon + 1) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+MemoryCostModel MemoryCostModel::from_bench_json(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw IoError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  if (is.bad()) throw IoError("read failed: " + path);
+  const std::string text = buffer.str();
+
+  MemoryCostModel model = defaults();
+  const auto records = text.find("\"records\"");
+  if (records == std::string::npos)
+    throw ParseError(path, 1, 0, "bench record has no \"records\" array");
+  std::size_t pos = records;
+  while ((pos = text.find('{', pos)) != std::string::npos) {
+    const auto close = text.find('}', pos);
+    if (close == std::string::npos) throw ParseError(path, 1, 0, "unterminated record object");
+    const std::string obj = text.substr(pos, close - pos + 1);
+    pos = close + 1;
+    std::string method;
+    double sites = 0.0;
+    if (!scan_string_field(obj, "method", &method) || !scan_number_field(obj, "sites", &sites))
+      continue;  // shared files hold non-memory records too
+    double bytes = 0.0, rss_kb = 0.0;
+    if (scan_number_field(obj, "budget_peak_bytes", &bytes) && bytes > 0.0)
+      model.calibrate(method, static_cast<std::size_t>(sites),
+                      static_cast<std::uint64_t>(bytes));
+    else if (scan_number_field(obj, "peak_rss_kb", &rss_kb) && rss_kb > 0.0)
+      model.calibrate(method, static_cast<std::size_t>(sites),
+                      static_cast<std::uint64_t>(rss_kb * 1024.0));
+  }
+  return model;
+}
+
+}  // namespace rgleak::core

@@ -1,0 +1,97 @@
+#pragma once
+// Per-method peak-memory cost models for the estimator ladder — the memory
+// analogue of method_cost.h's wall-clock CostModel.
+//
+// Each rung of the ladder has a known arena structure: the direct exact path
+// pins O(n) gate/offset tables, the FFT path pins per-type padded complex
+// grids (the padding is a power of two >= 2n-1 per axis, so the constant is
+// large), eq. (17) and the integrals are effectively O(1), and the MC engine
+// pins one field sampler + FFT workspace + bucket scratch per worker. A
+// MemoryCostModel predicts peak bytes for (method, sites) *before* running,
+// so the admission layer can walk a job down the ladder — or tile MC worker
+// counts — until the prediction fits the budget.
+//
+// Two prediction styles live here:
+//  * structural helpers (exact_*_bytes, mc_bytes) compute the arena sizes
+//    from the same formulas the arenas themselves use — these are what
+//    estimators/MC actually charge against the MemoryBudget, so prediction
+//    and charge agree by construction;
+//  * the fitted per-rung model (predict_bytes) mirrors CostModel: a
+//    conservative bytes-per-basis coefficient per rung, calibratable from
+//    bench JSON records carrying "budget_peak_bytes" or "peak_rss_kb"
+//    (see bench_full_chip_mc --mc-json / bench_scaling --exact-json).
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace rgleak::core {
+
+/// One rung's memory scaling law: bytes ≈ coeff_bytes * basis(n).
+struct MethodMemoryModel {
+  enum class Basis { kConstant, kLinear, kNLogN, kQuadratic };
+  Basis basis = Basis::kConstant;
+  double coeff_bytes = 0.0;
+
+  double basis_value(std::size_t sites) const;
+  std::uint64_t predict_bytes(std::size_t sites) const {
+    return static_cast<std::uint64_t>(coeff_bytes * basis_value(sites));
+  }
+};
+
+/// Rung names understood by the model: "exact_direct", "exact_fft",
+/// "linear", "integral_rect", "integral_polar", and "mc" (per worker
+/// thread — admission multiplies by the thread count).
+class MemoryCostModel {
+ public:
+  /// Built-in conservative coefficients: deliberately generous so an
+  /// uncalibrated model degrades too eagerly rather than admit an OOM.
+  static MemoryCostModel defaults();
+
+  /// defaults() tightened by a bench JSON record whose entries carry
+  /// "method", "sites", and one of "budget_peak_bytes" (preferred) or
+  /// "peak_rss_kb". Entries without a memory field are skipped (wall-clock
+  /// records share the files). Throws IoError on an unreadable file and
+  /// ParseError when the file has no "records" array.
+  static MemoryCostModel from_bench_json(const std::string& path);
+
+  /// Folds one measurement in: the rung coefficient becomes
+  /// max(existing fit, bytes / basis(sites)) — conservative-max, same
+  /// discipline as CostModel. Unknown method names are ignored.
+  void calibrate(const std::string& method, std::size_t sites, std::uint64_t bytes);
+
+  /// Predicted peak bytes of `method` at `sites` sites; UINT64_MAX for
+  /// unknown names (treated as "does not fit").
+  std::uint64_t predict_bytes(const std::string& method, std::size_t sites) const;
+
+  // ---- structural arena formulas (what the code actually charges) ----
+
+  /// Arenas of ExactEstimator::estimate_direct: gate type/row/col tables,
+  /// the per-offset rho grid, and the tile partials.
+  static std::uint64_t exact_direct_bytes(std::size_t gates, std::size_t rows, std::size_t cols);
+
+  /// Arenas of ExactEstimator::estimate_fft: per-type occupancy grids and
+  /// padded forward transforms (padding next_pow2(2n-1) per axis), transform
+  /// scratch, the correlation output, and the rho/cov offset grids. `types`
+  /// is the number of distinct cell types placed (pass the library size for
+  /// a conservative preflight).
+  static std::uint64_t exact_fft_bytes(std::size_t rows, std::size_t cols, std::size_t types);
+
+  /// Per-worker arenas of the MC engine: the worker's field-sampler copy
+  /// (eigenvalue table + spare-field cache on the padded grid), FFT
+  /// workspace, WID field buffer, and (site, table) bucket scratch.
+  /// `padded_rows/cols` come from GridFieldSampler::padded_dim (or the
+  /// sampler's accessors once built).
+  static std::uint64_t mc_worker_bytes(std::size_t padded_rows, std::size_t padded_cols,
+                                       std::size_t rows, std::size_t cols, std::size_t gates);
+
+ private:
+  struct Entry {
+    MethodMemoryModel model;
+    double calibrated_coeff_bytes = 0.0;
+  };
+  std::map<std::string, Entry> rungs_;
+};
+
+}  // namespace rgleak::core

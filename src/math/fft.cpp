@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/failpoint.h"
 #include "util/require.h"
 
 namespace rgleak::math {
@@ -75,6 +76,9 @@ void fft2d(std::vector<std::complex<double>>& data, std::size_t rows, std::size_
 
 FftPlan::FftPlan(std::size_t n) : n_(n) {
   RGLEAK_REQUIRE(is_pow2(n), "fft plan size must be a power of two");
+  // The twiddle/bit-reversal tables are the plan's arena; an injected (or
+  // real) bad_alloc here is translated to ResourceError by callers.
+  RGLEAK_FAILPOINT("math.fft.plan.alloc");
   bitrev_.resize(n);
   for (std::size_t i = 1, j = 0; i < n; ++i) {
     std::size_t bit = n >> 1;

@@ -32,6 +32,14 @@ class FftPlan {
 
   std::size_t size() const { return n_; }
 
+  /// Bytes held by the precomputed tables (twiddles + bit-reversal). The
+  /// memory cost model charges plans by this, not by transform length, so
+  /// budget accounting matches what the plan actually pins.
+  std::size_t plan_bytes() const {
+    return bitrev_.capacity() * sizeof(std::uint32_t) +
+           twiddle_.capacity() * sizeof(std::complex<double>);
+  }
+
   /// In-place transform of `a[0..n)`. Same transform (and scaling convention)
   /// as fft(): `inverse` conjugates the twiddles and applies 1/N.
   void run(std::complex<double>* a, bool inverse) const;
@@ -61,6 +69,9 @@ class FftPlan2D {
 
   std::size_t rows() const { return col_fft_.size(); }
   std::size_t cols() const { return row_fft_.size(); }
+
+  /// Bytes pinned by the two 1-D plans (see FftPlan::plan_bytes).
+  std::size_t plan_bytes() const { return row_fft_.plan_bytes() + col_fft_.plan_bytes(); }
 
   /// Full 2-D transform; `scratch` grows to rows*cols and is reused.
   void run(std::vector<std::complex<double>>& data, bool inverse,

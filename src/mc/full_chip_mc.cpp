@@ -10,9 +10,11 @@
 #include <thread>
 #include <utility>
 
+#include "core/memory_cost.h"
 #include "mc/checkpoint.h"
 #include "util/atomic_file.h"
 #include "util/failpoint.h"
+#include "util/memory.h"
 #include "util/require.h"
 #include "util/thread_pool.h"
 
@@ -359,7 +361,34 @@ FullChipMcResult FullChipMonteCarlo::run() {
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
   }
+  try {
+    return run_with_threads(threads);
+  } catch (const std::bad_alloc&) {
+    // Real or injected ("mc.workspace.alloc") allocation failure: surface it
+    // typed and located so one starved MC job cannot crash a batch.
+    std::ostringstream os;
+    os << "full-chip MC: out of memory allocating " << threads << " worker workspace(s) for "
+       << placement_->netlist().size() << " gates on a " << field_.rows() << "x" << field_.cols()
+       << " site grid (padded " << field_.padded_rows() << "x" << field_.padded_cols() << ")";
+    throw ResourceError(os.str());
+  }
+}
+
+FullChipMcResult FullChipMonteCarlo::run_with_threads(std::size_t threads) {
   const util::RunControl* rc = options_.run;
+
+  // Charge the per-worker arenas (sampler copy + FFT workspace + bucket
+  // scratch) and the sample slices against the process memory budget up
+  // front; the reservation lives until run() returns. This is the tracked
+  // backstop behind the admission layer's preflight — if the budget cannot
+  // take it, the job fails typed here instead of OOM-killing the process.
+  RGLEAK_FAILPOINT("mc.workspace.alloc");
+  const util::MemoryReservation arena(
+      threads * core::MemoryCostModel::mc_worker_bytes(field_.padded_rows(), field_.padded_cols(),
+                                                       field_.rows(), field_.cols(),
+                                                       placement_->netlist().size()) +
+          std::uint64_t{options_.trials} * sizeof(double),
+      "mc.workspace");
 
   // Each worker gets its own RNG stream, field-sampler copy (the sampler
   // caches the second field of each FFT, and that cache must live as long as

@@ -161,6 +161,9 @@ class FullChipMonteCarlo {
   std::vector<std::vector<std::uint32_t>> cell_state_ids_;
   McWorkspace ws_;  // workspace of the sample_total_na test path
 
+  /// run() with the thread count resolved (0 already mapped to hardware
+  /// concurrency) and bad_alloc translation applied by the caller.
+  FullChipMcResult run_with_threads(std::size_t threads);
   std::uint32_t table_for(std::size_t cell_index, std::uint32_t state);
   void draw_states(math::Rng& rng);
   /// Eagerly build the lookup tables for every input state of every cell used

@@ -7,9 +7,22 @@
 #include <sstream>
 
 #include "math/fft.h"
+#include "util/failpoint.h"
 #include "util/require.h"
 
 namespace rgleak::process {
+
+std::size_t GridFieldSampler::padded_dim(std::size_t n, double pitch_nm, double range_nm) {
+  const double range_sites = range_nm / pitch_nm;
+  const double want =
+      static_cast<double>(n) + std::min(range_sites, 4.0 * static_cast<double>(n));
+  return math::next_pow2(std::max<std::size_t>(static_cast<std::size_t>(std::ceil(want)), 2));
+}
+
+std::size_t GridFieldSampler::footprint_bytes() const {
+  return sqrt_eig_.capacity() * sizeof(double) + cached_.capacity() * sizeof(double) +
+         (plan_ != nullptr ? plan_->plan_bytes() : 0);
+}
 
 GridFieldSampler::GridFieldSampler(std::size_t rows, std::size_t cols, double dx_nm, double dy_nm,
                                    const SpatialCorrelation& rho, double sigma,
@@ -30,14 +43,13 @@ GridFieldSampler::GridFieldSampler(std::size_t rows, std::size_t cols, double dx
   // correlation); pad up to that point, capped at 4x the grid to bound
   // memory for very long-range kernels (the residual shows up in
   // clamped_eigenvalue_fraction()).
-  const auto padded = [&](std::size_t n, double pitch) {
-    const double range_sites = rho.range_nm() / pitch;
-    const double want = static_cast<double>(n) +
-                        std::min(range_sites, 4.0 * static_cast<double>(n));
-    return math::next_pow2(std::max<std::size_t>(static_cast<std::size_t>(std::ceil(want)), 2));
-  };
-  prow_ = padded(rows, dy_nm);
-  pcol_ = padded(cols, dx_nm);
+  prow_ = padded_dim(rows, dy_nm, rho.range_nm());
+  pcol_ = padded_dim(cols, dx_nm, rho.range_nm());
+
+  // The big arena of this constructor: the padded kernel grid, the FFT plan,
+  // and the eigenvalue table all scale with prow_*pcol_. An injected (or
+  // real) bad_alloc here is translated to ResourceError by callers.
+  RGLEAK_FAILPOINT("process.sampler.alloc");
 
   // First row of the block-circulant covariance: wrap-around distances.
   std::vector<std::complex<double>> kernel(prow_ * pcol_);

@@ -44,6 +44,28 @@ class GridFieldSampler {
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
 
+  /// Padded periodic embedding dims (powers of two >= rows/cols); the FFT
+  /// buffers and eigenvalue table are this size, so they dominate footprint.
+  std::size_t padded_rows() const { return prow_; }
+  std::size_t padded_cols() const { return pcol_; }
+
+  /// The padded dimension the constructor would choose for `n` sites at
+  /// `pitch_nm` spacing under a kernel of range `range_nm` — exposed so the
+  /// memory cost model can preflight footprints without building a sampler.
+  static std::size_t padded_dim(std::size_t n, double pitch_nm, double range_nm);
+
+  /// Bytes pinned by this sampler instance for its lifetime: the eigenvalue
+  /// table, the spare-field cache, and this copy's share of the (shared,
+  /// immutable) FFT plan. Per-draw FFT scratch lives in FieldWorkspace and is
+  /// charged by the owner of the workspace instead.
+  std::size_t footprint_bytes() const;
+
+  /// Bytes a FieldWorkspace grows to when used with this sampler (freq +
+  /// scratch buffers at the padded dims).
+  std::size_t workspace_bytes() const {
+    return 2 * prow_ * pcol_ * sizeof(std::complex<double>);
+  }
+
   /// One field sample, row-major rows() x cols(). Each call consumes fresh
   /// randomness; successive samples are independent.
   std::vector<double> sample(math::Rng& rng);

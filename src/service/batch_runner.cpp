@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <exception>
+#include <memory>
+#include <mutex>
 #include <thread>
 
 #include "util/backoff.h"
@@ -13,19 +17,58 @@ namespace rgleak::service {
 
 namespace {
 
+// One published attempt per worker, observed by the stall monitor. The mutex
+// orders publish/clear in the worker against the monitor's beat sampling, so
+// the monitor never reads a RunControl whose attempt already returned (the
+// control is stack-local to the attempt).
+struct WorkerSlot {
+  std::mutex m;
+  util::RunControl* active = nullptr;  // null between attempts
+  std::uint64_t last_beats = 0;
+  std::chrono::steady_clock::time_point last_change{};
+  bool fired = false;  // stop already requested for this flat stretch
+};
+
 struct BatchState {
   Executor* executor = nullptr;
   Journal* journal = nullptr;
   const BatchOptions* opts = nullptr;
   util::Clock* clock = nullptr;
   RetryBudget* budget = nullptr;
+  // unique_ptr for stable addresses: workers and the monitor hold raw slots.
+  std::vector<std::unique_ptr<WorkerSlot>> slots;
 
   std::atomic<std::size_t> succeeded{0};
   std::atomic<std::size_t> failed{0};
   std::atomic<std::size_t> interrupted{0};
   std::atomic<std::size_t> retries{0};
+  std::atomic<std::size_t> stalls{0};
 
   bool stopping() const { return opts->run != nullptr && opts->run->should_stop(); }
+};
+
+// Publishes the current attempt's watchdog to the worker's slot for the
+// monitor to sample, and clears it on every exit path from the attempt.
+class SlotGuard {
+ public:
+  SlotGuard(WorkerSlot* slot, util::RunControl* watchdog) : slot_(slot) {
+    if (slot_ == nullptr) return;
+    std::lock_guard<std::mutex> lock(slot_->m);
+    slot_->active = watchdog;
+    slot_->last_beats = watchdog->beats();
+    slot_->last_change = std::chrono::steady_clock::now();
+    slot_->fired = false;
+  }
+  ~SlotGuard() {
+    if (slot_ == nullptr) return;
+    std::lock_guard<std::mutex> lock(slot_->m);
+    slot_->active = nullptr;
+  }
+  SlotGuard(const SlotGuard&) = delete;
+  SlotGuard& operator=(const SlotGuard&) = delete;
+
+ private:
+  WorkerSlot* slot_;
 };
 
 // Sleeps `ms` on the batch clock in small chunks, polling the stop source
@@ -49,7 +92,7 @@ void record_terminal(BatchState& st, JobRecord rec) {
 
 // Runs one job to a terminal outcome (or abandons it on batch stop). Never
 // lets an exception escape: that is the fault-isolation contract.
-void run_one(BatchState& st, const JobSpec& job) {
+void run_one(BatchState& st, const JobSpec& job, WorkerSlot* slot) {
   JobRecord rec;
   rec.id = job.id;
   int degrade = 0;
@@ -66,26 +109,31 @@ void run_one(BatchState& st, const JobSpec& job) {
     util::RunControl watchdog;
     watchdog.set_parent(st.opts->run);
     if (st.opts->job_deadline_s > 0.0) watchdog.arm_budget(st.opts->job_deadline_s);
+    const SlotGuard guard(slot, &watchdog);
 
     bool retry = false;
     const double t0 = st.clock->now_ms();
     try {
       const JobOutput out = st.executor->execute(job, &watchdog, degrade);
       rec.wall_ms += st.clock->now_ms() - t0;
+      rec.beats += watchdog.beats();
       rec.status = JobStatus::kSucceeded;
       rec.mean_na = out.mean_na;
       rec.sigma_na = out.sigma_na;
       rec.method = out.method;
+      rec.degradation = out.degradation;
       rec.error.clear();
       record_terminal(st, rec);
       return;
     } catch (const rgleak::Error& e) {
       rec.wall_ms += st.clock->now_ms() - t0;
+      rec.beats += watchdog.beats();
       rec.error = error_json(e);
       retry = retryable(e.code());
     } catch (const std::exception& e) {
       // Outside the taxonomy (e.g. an armed failpoint): assume transient.
       rec.wall_ms += st.clock->now_ms() - t0;
+      rec.beats += watchdog.beats();
       rec.error = error_json(e);
       retry = true;
     }
@@ -138,12 +186,56 @@ BatchSummary run_batch(const std::vector<JobSpec>& jobs, Executor& executor, Jou
   std::size_t workers = options.workers;
   if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
 
+  const bool stall_watch = options.stall_timeout_s > 0.0;
+  if (stall_watch) {
+    st.slots.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+      st.slots.push_back(std::make_unique<WorkerSlot>());
+  }
+
   JobQueue queue(options.queue_depth, options.shed_policy);
   std::vector<std::thread> pool;
   pool.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
-    pool.emplace_back([&st, &queue] {
-      while (auto job = queue.pop()) run_one(st, *job);
+    WorkerSlot* slot = stall_watch ? st.slots[w].get() : nullptr;
+    pool.emplace_back([&st, &queue, slot] {
+      while (auto job = queue.pop()) run_one(st, *job, slot);
+    });
+  }
+
+  // The stall monitor samples every worker's published heartbeat counter and
+  // cancels (reason kStalled) any attempt whose counter stays flat past the
+  // timeout. Sampling never beats (beats()/reason() are observation-only), so
+  // the monitor cannot mask a stall it is watching for.
+  std::mutex monitor_m;
+  std::condition_variable monitor_cv;
+  bool monitor_quit = false;
+  std::thread monitor;
+  if (stall_watch) {
+    monitor = std::thread([&] {
+      const std::chrono::duration<double> timeout(options.stall_timeout_s);
+      const std::chrono::duration<double> poll(
+          std::min(options.stall_timeout_s / 4.0, 0.05));
+      std::unique_lock<std::mutex> lock(monitor_m);
+      while (!monitor_quit) {
+        monitor_cv.wait_for(lock, poll, [&] { return monitor_quit; });
+        if (monitor_quit) return;
+        const auto now = std::chrono::steady_clock::now();
+        for (const auto& slot_ptr : st.slots) {
+          WorkerSlot& slot = *slot_ptr;
+          std::lock_guard<std::mutex> slock(slot.m);
+          if (slot.active == nullptr) continue;
+          const std::uint64_t beats = slot.active->beats();
+          if (beats != slot.last_beats) {
+            slot.last_beats = beats;
+            slot.last_change = now;
+          } else if (!slot.fired && now - slot.last_change >= timeout) {
+            slot.active->request_stop(util::StopReason::kStalled);
+            slot.fired = true;
+            st.stalls.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
     });
   }
 
@@ -166,12 +258,21 @@ BatchSummary run_batch(const std::vector<JobSpec>& jobs, Executor& executor, Jou
   }
   queue.close();
   for (std::thread& t : pool) t.join();
+  if (monitor.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(monitor_m);
+      monitor_quit = true;
+    }
+    monitor_cv.notify_one();
+    monitor.join();
+  }
 
   summary.succeeded = st.succeeded.load();
   summary.failed = st.failed.load();
   summary.shed = shed;
   summary.interrupted = st.interrupted.load();
   summary.retries = st.retries.load();
+  summary.stalls = st.stalls.load();
   summary.journal_write_failures = journal.write_failures();
   summary.queue_high_watermark = queue.high_watermark();
   summary.stopped = st.stopping();

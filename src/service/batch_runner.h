@@ -44,6 +44,12 @@ struct BatchOptions {
   std::size_t workers = 1;
   /// Per-job watchdog deadline, seconds; 0 = none. Applies to each *attempt*.
   double job_deadline_s = 0.0;
+  /// Stall watchdog: cancel a job attempt whose progress heartbeat
+  /// (RunControl::beats) stays flat this long, seconds; 0 = off. Unlike the
+  /// deadline, a stalled stop is keyed to *progress*, not elapsed time — a
+  /// slow-but-polling job is left alone. Cancellation latency is bounded by
+  /// one watchdog poll interval (timeout/4, at most 50 ms) past the timeout.
+  double stall_timeout_s = 0.0;
   /// Seed for the backoff jitter streams (combined with each job id).
   std::uint64_t jitter_seed = 0x5eedULL;
   /// Time source for backoff sleeps; null = the shared SystemClock.
@@ -61,6 +67,7 @@ struct BatchSummary {
   std::size_t shed = 0;         ///< load-shed by the queue (structured records)
   std::size_t interrupted = 0;  ///< batch stopped first; no record, will re-run
   std::size_t retries = 0;      ///< retry attempts consumed across the batch
+  std::size_t stalls = 0;       ///< job attempts cancelled by the stall watchdog
   std::size_t journal_write_failures = 0;
   std::size_t queue_high_watermark = 0;
   bool stopped = false;         ///< the batch-level stop source fired

@@ -19,6 +19,10 @@ struct JobOutput {
   double sigma_na = 0.0;
   /// Estimator rung / engine that answered ("exact_fft", "linear", "mc", ...).
   std::string method;
+  /// Non-empty when the job did not run as requested: the admission /
+  /// retry ladder walk that was applied (e.g. "mem: exact_fft->linear").
+  /// Journaled with the record.
+  std::string degradation;
 };
 
 class Executor {

@@ -95,6 +95,8 @@ std::string journal_record_json(const JobRecord& rec) {
     os << vals.str();
     if (!rec.method.empty()) os << ",\"method\":" << json_string(rec.method);
   }
+  if (!rec.degradation.empty()) os << ",\"degradation\":" << json_string(rec.degradation);
+  if (rec.beats > 0) os << ",\"beats\":" << rec.beats;
   if (!rec.error.empty()) os << ",\"error\":" << json_string(rec.error);
   os << "}";
   return os.str();
@@ -119,6 +121,9 @@ JobRecord parse_journal_record(const std::string& text, const std::string& sourc
   if (const auto it = obj.find("sigma_na"); it != obj.end())
     rec.sigma_na = parse_number(it->second, "sigma_na", source, line);
   if (const auto it = obj.find("method"); it != obj.end()) rec.method = it->second;
+  if (const auto it = obj.find("degradation"); it != obj.end()) rec.degradation = it->second;
+  if (const auto it = obj.find("beats"); it != obj.end())
+    rec.beats = static_cast<std::uint64_t>(parse_number(it->second, "beats", source, line));
   if (const auto it = obj.find("error"); it != obj.end()) rec.error = it->second;
   if (rec.status == JobStatus::kSucceeded && obj.find("mean_na") == obj.end())
     throw ParseError(source, line, 0, "succeeded record is missing mean_na", rec.id);

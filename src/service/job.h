@@ -17,6 +17,7 @@
 // are what the journal persists and what `rgleak batch` reports.
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <string>
@@ -54,6 +55,13 @@ struct JobRecord {
   double sigma_na = 0.0;
   /// Estimator rung / engine that answered ("exact_fft", "linear", "mc", ...).
   std::string method;
+  /// Non-empty when the job ran below its requested rung: the admission /
+  /// retry ladder walk (e.g. "mem: exact_fft->linear", "mem: mc threads
+  /// 8->2").
+  std::string degradation;
+  /// Progress heartbeats observed across all attempts (RunControl::beats);
+  /// 0 when heartbeat tracking was off. Diagnostic for stall post-mortems.
+  std::uint64_t beats = 0;
   /// For kFailed / kShed: the one-line error_json rendering of the failure.
   std::string error;
 };

@@ -1,6 +1,7 @@
 #include "service/job_runner.h"
 
 #include <cmath>
+#include <new>
 #include <sstream>
 
 #include "charlib/io.h"
@@ -124,10 +125,18 @@ JobOutput output_of(const core::LeakageEstimate& e) {
 JobOutput JobRunner::execute(const JobSpec& job, const util::RunControl* watchdog, int degrade) {
   RGLEAK_FAILPOINT("service.job.execute");
   if (watchdog != nullptr) watchdog->poll("service.job.execute");
-  if (job.kind == "estimate") return run_estimate(job, watchdog, degrade);
-  if (job.kind == "netlist") return run_netlist(job, watchdog, degrade);
-  if (job.kind == "mc") return run_mc(job, watchdog);
-  if (job.kind == "characterize") return run_characterize(job, watchdog);
+  try {
+    if (job.kind == "estimate") return run_estimate(job, watchdog, degrade);
+    if (job.kind == "netlist") return run_netlist(job, watchdog, degrade);
+    if (job.kind == "mc") return run_mc(job, watchdog);
+    if (job.kind == "characterize") return run_characterize(job, watchdog);
+  } catch (const std::bad_alloc&) {
+    // Engines translate their own arena failures; this is the last line of
+    // defense for allocations outside any charged arena (library loads,
+    // caches). Keep it typed so the batch classifies it retryable.
+    throw ResourceError("job '" + job.id + "' (" + job.kind +
+                        "): allocation failed (std::bad_alloc) outside a charged arena");
+  }
   throw ConfigError("job '" + job.id + "': unknown kind '" + job.kind +
                     "' (expected estimate, netlist, mc, or characterize)");
 }
@@ -172,6 +181,21 @@ JobOutput JobRunner::run_estimate(const JobSpec& job, const util::RunControl* wa
   // integral rung instead of re-running the rung that failed.
   if (degrade >= 1) cfg.method = core::EstimationMethod::kIntegralPolar;
 
+  std::string degradation;
+  if (governor_ != nullptr) {
+    // Admission sees the most expensive rung this job could occupy: auto
+    // resolves to at most the linear rung on this path.
+    std::string requested = "linear";
+    if (cfg.method == core::EstimationMethod::kIntegralRect) requested = "integral_rect";
+    if (cfg.method == core::EstimationMethod::kIntegralPolar) requested = "integral_polar";
+    const placement::Floorplan fp = placement::Floorplan::for_gate_count(d.gate_count);
+    const Admission adm = admit_estimate(*governor_, fp.rows * fp.cols, requested);
+    if (!adm.degradation.empty()) {
+      if (adm.method == "integral_polar") cfg.method = core::EstimationMethod::kIntegralPolar;
+      degradation = adm.degradation;
+    }
+  }
+
   const std::string p = param(job, "p", "max");
   if (p == "max") {
     cfg.maximize_signal_probability = true;
@@ -181,7 +205,9 @@ JobOutput JobRunner::run_estimate(const JobSpec& job, const util::RunControl* wa
   }
 
   const core::LeakageEstimator estimator(chars, cfg);
-  return output_of(estimator.estimate(d));
+  JobOutput out = output_of(estimator.estimate(d));
+  out.degradation = degradation;
+  return out;
 }
 
 JobOutput JobRunner::run_netlist(const JobSpec& job, const util::RunControl* watchdog,
@@ -198,11 +224,6 @@ JobOutput JobRunner::run_netlist(const JobSpec& job, const util::RunControl* wat
   const double budget_s = num_param(job, "time_budget_s", 0.0);
   const bool want_exact = bool_param(job, "exact", false) || job.params.count("exact_method") > 0;
 
-  // The cost ladder, walked down one rung per retry degradation step.
-  if (degrade >= 2) return output_of(core::estimate_integral_polar(rg, fp));
-  if (degrade >= 1 || (!want_exact && budget_s <= 0.0))
-    return output_of(core::estimate_linear(rg, fp, watchdog));
-
   core::ExactOptions opts;
   opts.threads = count_param(job, "threads", 1);
   const std::string method = param(job, "exact_method", "auto");
@@ -211,15 +232,44 @@ JobOutput JobRunner::run_netlist(const JobSpec& job, const util::RunControl* wat
   else if (method == "fft") opts.method = core::ExactMethod::kFft;
   else throw ConfigError("job '" + job.id + "': unknown exact_method '" + method + "'");
 
-  const placement::Placement pl(&nl, fp);
-  const core::ExactEstimator exact(chars, p, mode);
-  if (budget_s > 0.0) {
-    const core::CostModel costs = core::CostModel::defaults();
-    return output_of(
-        core::estimate_placed_budgeted(exact, rg, pl, budget_s, costs, opts, watchdog));
+  // The cost ladder: retry degradation picks the requested rung (one down per
+  // retryable failure), then memory admission may walk further down still.
+  // Auto is admitted at the FFT rung — the most memory it could occupy.
+  std::string requested;
+  if (degrade >= 2) requested = "integral_polar";
+  else if (degrade >= 1 || (!want_exact && budget_s <= 0.0)) requested = "linear";
+  else requested = opts.method == core::ExactMethod::kDirect ? "exact_direct" : "exact_fft";
+
+  std::string admitted = requested;
+  std::string degradation;
+  if (governor_ != nullptr) {
+    const Admission adm =
+        admit_estimate(*governor_, static_cast<std::size_t>(fp.rows) * fp.cols, requested);
+    admitted = adm.method;
+    degradation = adm.degradation;
   }
-  opts.run = watchdog;
-  return output_of(exact.estimate(pl, opts));
+
+  JobOutput out;
+  if (admitted == "integral_polar") {
+    out = output_of(core::estimate_integral_polar(rg, fp));
+  } else if (admitted == "linear") {
+    out = output_of(core::estimate_linear(rg, fp, watchdog));
+  } else {
+    if (admitted == "exact_direct" && requested == "exact_fft")
+      opts.method = core::ExactMethod::kDirect;
+    const placement::Placement pl(&nl, fp);
+    const core::ExactEstimator exact(chars, p, mode);
+    if (budget_s > 0.0) {
+      const core::CostModel costs = core::CostModel::defaults();
+      out = output_of(
+          core::estimate_placed_budgeted(exact, rg, pl, budget_s, costs, opts, watchdog));
+    } else {
+      opts.run = watchdog;
+      out = output_of(exact.estimate(pl, opts));
+    }
+  }
+  out.degradation = degradation;
+  return out;
 }
 
 JobOutput JobRunner::run_mc(const JobSpec& job, const util::RunControl* watchdog) {
@@ -236,12 +286,21 @@ JobOutput JobRunner::run_mc(const JobSpec& job, const util::RunControl* watchdog
   opts.resample_states_per_trial = bool_param(job, "resample", false);
   opts.run = watchdog;
 
+  std::string degradation;
+  if (governor_ != nullptr) {
+    const Admission adm = admit_mc(
+        *governor_, static_cast<std::size_t>(fp.rows) * fp.cols, opts.threads);
+    opts.threads = adm.threads;
+    degradation = adm.degradation;
+  }
+
   mc::FullChipMonteCarlo engine(pl, chars, opts);
   const mc::FullChipMcResult r = engine.run();
   JobOutput out;
   out.mean_na = r.mean_na;
   out.sigma_na = r.sigma_na;
   out.method = "mc";
+  out.degradation = degradation;
   if (!std::isfinite(out.mean_na) || !std::isfinite(out.sigma_na))
     throw NumericalError("mc produced a non-finite result");
   return out;

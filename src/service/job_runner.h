@@ -37,6 +37,7 @@
 #include "cells/library.h"
 #include "charlib/characterize.h"
 #include "netlist/netlist.h"
+#include "service/admission.h"
 #include "service/executor.h"
 
 namespace rgleak::service {
@@ -45,11 +46,18 @@ class JobRunner : public Executor {
  public:
   explicit JobRunner(const cells::StdCellLibrary& library) : library_(&library) {}
 
+  /// Installs memory admission control. `gov` must outlive the runner; pass
+  /// nullptr (the default state) to run every job exactly as requested.
+  /// Admitted jobs that ran below their requested rung report the walk in
+  /// JobOutput::degradation.
+  void set_governor(const ResourceGovernor* gov) { governor_ = gov; }
+
   JobOutput execute(const JobSpec& job, const util::RunControl* watchdog,
                     int degrade) override;
 
  private:
   const cells::StdCellLibrary* library_;
+  const ResourceGovernor* governor_ = nullptr;
 
   std::mutex cache_mutex_;
   std::map<std::string, charlib::CharacterizedLibrary> chars_cache_;

@@ -7,6 +7,9 @@ bool retryable(ErrorCode code) {
     case ErrorCode::kNumerical:
     case ErrorCode::kDeadline:
     case ErrorCode::kIo:
+    // Resource pressure is transient at batch scope: peers finishing release
+    // budget, and the retry ladder re-admits at a cheaper rung.
+    case ErrorCode::kResource:
       return true;
     case ErrorCode::kParse:
     case ErrorCode::kConfig:

@@ -1,8 +1,8 @@
 // Counting replacements for the global allocation functions (see
-// alloc_count.h). Every variant funnels through counting_alloc so the counter
-// sees aligned, nothrow, and array forms alike.
+// alloc_count.h). Every variant funnels through counting_alloc so the
+// counters see aligned, nothrow, and array forms alike.
 
-#include "alloc_count.h"
+#include "util/alloc_count.h"
 
 #include <atomic>
 #include <cstdlib>
@@ -11,14 +11,17 @@
 namespace {
 
 std::atomic<std::size_t> g_allocations{0};
+std::atomic<std::size_t> g_bytes{0};
 
 void* counting_alloc(std::size_t size) noexcept {
   g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
   return std::malloc(size != 0 ? size : 1);
 }
 
 void* counting_alloc_aligned(std::size_t size, std::size_t align) noexcept {
   g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
   void* p = nullptr;
   if (posix_memalign(&p, align, size != 0 ? size : align) != 0) return nullptr;
   return p;
@@ -26,11 +29,12 @@ void* counting_alloc_aligned(std::size_t size, std::size_t align) noexcept {
 
 }  // namespace
 
-namespace rgleak::testing {
+namespace rgleak::util {
 
 std::size_t allocation_count() { return g_allocations.load(std::memory_order_relaxed); }
+std::size_t allocated_bytes() { return g_bytes.load(std::memory_order_relaxed); }
 
-}  // namespace rgleak::testing
+}  // namespace rgleak::util
 
 void* operator new(std::size_t size) {
   if (void* p = counting_alloc(size)) return p;

@@ -1,0 +1,37 @@
+#pragma once
+// Process-wide heap-allocation accounting for zero-allocation assertions and
+// memory-budget calibration.
+//
+// Linking the rgleak_alloc_count library into a binary replaces the global
+// operator new/delete family with counting wrappers. Tests snapshot
+// allocation_count() before and after a measured region and assert on the
+// delta; the MC perf tests use this to prove the steady-state trial loop
+// never touches the heap, and the memory-budget tests cross-check
+// MemoryBudget charges against allocated_bytes(). The counters cover every
+// thread in the process, so measured regions must not run concurrently with
+// other allocating work.
+//
+// This hook is deliberately NOT part of rgleak_util: replacing the global
+// allocation functions is a process-wide decision a binary opts into by
+// linking rgleak_alloc_count (tests and benches do; the CLI does not).
+
+#include <cstddef>
+
+namespace rgleak::util {
+
+/// Number of global allocation calls (all operator new variants) since
+/// process start, across all threads.
+std::size_t allocation_count();
+
+/// Cumulative bytes requested from operator new (all variants) since process
+/// start. Bytes are counted as requested, not as rounded by the allocator;
+/// frees are not subtracted (this is a throughput odometer, not a live-bytes
+/// gauge — MemoryBudget tracks live reservations).
+std::size_t allocated_bytes();
+
+}  // namespace rgleak::util
+
+namespace rgleak::testing {
+// Back-compat alias for the pre-promotion tests/mc/alloc_count.h location.
+using rgleak::util::allocation_count;
+}  // namespace rgleak::testing

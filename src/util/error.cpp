@@ -47,6 +47,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kIo: return "io";
     case ErrorCode::kConfig: return "config";
     case ErrorCode::kDeadline: return "deadline";
+    case ErrorCode::kResource: return "resource";
   }
   return "unknown";
 }
@@ -59,6 +60,7 @@ int exit_code_for(ErrorCode code) {
     case ErrorCode::kNumerical: return 4;
     case ErrorCode::kIo: return 5;
     case ErrorCode::kDeadline: return 6;
+    case ErrorCode::kResource: return 8;
   }
   return 1;
 }

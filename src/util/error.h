@@ -46,14 +46,16 @@ enum class ErrorCode {
   kIo,
   kConfig,
   kDeadline,
+  kResource,
 };
 
 /// Short stable name for an error code ("contract", "numerical", "parse",
-/// "io", "config", "deadline"); used by error reports and logs.
+/// "io", "config", "deadline", "resource"); used by error reports and logs.
 const char* error_code_name(ErrorCode code);
 
 /// The documented CLI exit code for an error class: 2 = usage/config,
 /// 3 = parse, 4 = numerical, 5 = io, 6 = deadline/cancelled,
+/// 8 = resource (over memory budget / allocation failure),
 /// 1 = contract (internal bug).
 int exit_code_for(ErrorCode code);
 
@@ -112,6 +114,19 @@ class DeadlineExceeded : public std::runtime_error, public Error {
  public:
   explicit DeadlineExceeded(const std::string& what)
       : std::runtime_error(what), Error(ErrorCode::kDeadline, what) {}
+};
+
+/// Thrown when a run cannot be granted the memory it needs: a job's
+/// preflighted footprint exceeds the configured budget even at the floor of
+/// the degradation ladder, a tracked reservation would overshoot the
+/// process-wide MemoryBudget, or an arena allocation raised std::bad_alloc.
+/// The message names the site and the bytes involved so operators can size
+/// budgets from failures. Retryable in the batch service: a retry walks the
+/// degradation ladder further down, and transient pressure may have cleared.
+class ResourceError : public std::runtime_error, public Error {
+ public:
+  explicit ResourceError(const std::string& what)
+      : std::runtime_error(what), Error(ErrorCode::kResource, what) {}
 };
 
 /// Thrown on malformed input text. what() reads

@@ -4,6 +4,7 @@
 #include <limits>
 #include <map>
 #include <mutex>
+#include <new>
 #include <thread>
 
 namespace rgleak::util {
@@ -89,6 +90,8 @@ void Failpoints::hit(const char* site) {
   switch (d.action) {
     case FailpointAction::kThrow:
       throw FailpointError(site);
+    case FailpointAction::kAlloc:
+      throw std::bad_alloc();
     case FailpointAction::kDelay:
       std::this_thread::sleep_for(std::chrono::milliseconds(d.delay_ms));
       return;
@@ -105,6 +108,8 @@ double Failpoints::corrupt(const char* site, double value) {
       return std::numeric_limits<double>::quiet_NaN();
     case FailpointAction::kThrow:
       throw FailpointError(site);
+    case FailpointAction::kAlloc:
+      throw std::bad_alloc();
     case FailpointAction::kDelay:
       std::this_thread::sleep_for(std::chrono::milliseconds(d.delay_ms));
       return value;

@@ -29,6 +29,7 @@ enum class FailpointAction {
   kThrow,  ///< throw FailpointError from the site
   kNan,    ///< RGLEAK_FAILPOINT_DOUBLE sites return NaN (plain sites no-op)
   kDelay,  ///< sleep for the configured delay (races / straggler testing)
+  kAlloc,  ///< throw std::bad_alloc (simulated allocation failure at arenas)
 };
 
 /// The exception an armed kThrow failpoint raises. Deliberately outside the

@@ -38,6 +38,7 @@ void RunControl::set_parent(const RunControl* parent) {
 }
 
 bool RunControl::should_stop() const {
+  beat();  // a poll is a progress heartbeat: wedged workers stop polling
   const int s = state_.load(std::memory_order_relaxed);
   if (s == kIdle) return false;  // the one-load fast path
   if (s & kStopBit) return true;
@@ -75,8 +76,17 @@ double RunControl::remaining_s() const {
 DeadlineExceeded RunControl::make_error(const char* site) const {
   const StopReason why = reason();
   std::string msg(site);
-  msg += why == StopReason::kDeadline ? ": deadline exceeded, run stopped cooperatively"
-                                      : ": run cancelled (stop requested)";
+  switch (why) {
+    case StopReason::kDeadline:
+      msg += ": deadline exceeded, run stopped cooperatively";
+      break;
+    case StopReason::kStalled:
+      msg += ": run stalled (no progress heartbeat), stopped by watchdog";
+      break;
+    default:
+      msg += ": run cancelled (stop requested)";
+      break;
+  }
   return DeadlineExceeded(msg);
 }
 

@@ -32,6 +32,7 @@ enum class StopReason : std::uint8_t {
   kNone = 0,       ///< still running
   kCancelled = 1,  ///< request_stop(): SIGINT, another thread, pool stop()
   kDeadline = 2,   ///< the armed deadline passed
+  kStalled = 3,    ///< a watchdog saw no progress heartbeat for too long
 };
 
 class RunControl {
@@ -69,8 +70,19 @@ class RunControl {
   /// kDeadline on expiry.
   bool should_stop() const;
 
-  /// Reason the run stopped (kNone while still running).
+  /// Reason the run stopped (kNone while still running). Does NOT beat: a
+  /// watchdog may read it without registering as the worker's progress.
   StopReason reason() const;
+
+  /// Record one unit of cooperative progress (one trial, one tile, one pool
+  /// tick). poll() and should_stop() beat automatically, so any kernel that
+  /// already polls publishes a heartbeat for free; a wedged kernel that stops
+  /// polling goes flat — which is exactly the signal a stall watchdog needs.
+  /// One relaxed fetch_add; safe from any thread.
+  void beat() const { beats_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Monotonic heartbeat counter since construction. Does NOT beat.
+  std::uint64_t beats() const { return beats_.load(std::memory_order_relaxed); }
 
   /// Seconds left before the armed deadline; +infinity when no deadline is
   /// armed, clamped at 0 once expired.
@@ -94,6 +106,7 @@ class RunControl {
 
   mutable std::atomic<int> state_{kIdle};
   mutable std::atomic<std::uint8_t> reason_{0};  // StopReason, first writer wins
+  mutable std::atomic<std::uint64_t> beats_{0};  // progress heartbeat counter
   // Written before kDeadlineBit is released, read after it is acquired.
   std::atomic<Clock::time_point::rep> deadline_ticks_{0};
   const RunControl* parent_ = nullptr;  // set before sharing, then read-only

@@ -10,7 +10,7 @@
 #include <cmath>
 
 #include "../test_util.h"
-#include "alloc_count.h"
+#include "util/alloc_count.h"
 #include "math/rng.h"
 #include "netlist/random_circuit.h"
 

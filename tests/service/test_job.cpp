@@ -104,6 +104,30 @@ TEST(JournalRecord, FailedAndShedRoundTrip) {
   EXPECT_EQ(back.attempts, 0);
 }
 
+TEST(JournalRecord, DegradationAndBeatsAreOptionalFields) {
+  JobRecord rec;
+  rec.id = "job-2";
+  rec.status = JobStatus::kSucceeded;
+  rec.attempts = 1;
+  rec.mean_na = 1.0;
+  rec.sigma_na = 0.5;
+  rec.method = "linear";
+
+  // Defaulted fields stay off the wire: old journals and new readers agree.
+  const std::string bare = journal_record_json(rec);
+  EXPECT_EQ(bare.find("degradation"), std::string::npos) << bare;
+  EXPECT_EQ(bare.find("beats"), std::string::npos) << bare;
+  JobRecord back = parse_journal_record(bare, "j", 1);
+  EXPECT_TRUE(back.degradation.empty());
+  EXPECT_EQ(back.beats, 0u);
+
+  rec.degradation = "mem: exact_fft->exact_direct";
+  rec.beats = 77;
+  back = parse_journal_record(journal_record_json(rec), "j", 1);
+  EXPECT_EQ(back.degradation, "mem: exact_fft->exact_direct");
+  EXPECT_EQ(back.beats, 77u);
+}
+
 TEST(JournalRecord, MalformedRecordsAreParseErrors) {
   EXPECT_THROW(parse_journal_record("{\"job\":\"a\"}", "j", 4), ParseError);  // no status
   EXPECT_THROW(parse_journal_record("{\"job\":\"a\",\"status\":\"meh\"}", "j", 4), ParseError);

@@ -1,0 +1,189 @@
+// The stall watchdog: a wedged job (no progress heartbeat) is cancelled
+// within a bounded delay, a slow-but-polling job is left alone, and a stalled
+// attempt is classified retryable. All tests here run real threads and real
+// time (no FakeClock: the monitor samples wall-clock heartbeats) and are part
+// of the TSan filter (*Stall*) in scripts/tsan_check.sh.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/batch_runner.h"
+#include "util/error.h"
+#include "util/run_control.h"
+
+namespace rgleak::service {
+namespace {
+
+class FnExecutor : public Executor {
+ public:
+  using Fn = std::function<JobOutput(const JobSpec&, const util::RunControl*, int)>;
+  explicit FnExecutor(Fn fn) : fn_(std::move(fn)) {}
+  JobOutput execute(const JobSpec& job, const util::RunControl* watchdog, int degrade) override {
+    return fn_(job, watchdog, degrade);
+  }
+
+ private:
+  Fn fn_;
+};
+
+JobSpec job(const std::string& id) {
+  JobSpec j;
+  j.id = id;
+  j.kind = "test";
+  return j;
+}
+
+JobOutput ok_output() {
+  JobOutput out;
+  out.mean_na = 1.0;
+  out.sigma_na = 0.1;
+  out.method = "fake";
+  return out;
+}
+
+// A wedged worker: never beats (reason() is observation-only), notices the
+// stop within 5 ms, reports how long it was wedged, then raises the stop as
+// the engines would.
+double wedge_until_stopped(const util::RunControl* wd) {
+  const auto t0 = std::chrono::steady_clock::now();
+  while (wd->reason() == util::StopReason::kNone)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+TEST(StallWatchdog, CancelsWedgedJobWithinTwoTimeouts) {
+  constexpr double kStallS = 0.4;
+  std::atomic<double> wedged_s{0.0};
+  std::atomic<int> reason{0};
+  FnExecutor exec([&](const JobSpec&, const util::RunControl* wd, int) -> JobOutput {
+    wedged_s.store(wedge_until_stopped(wd));
+    reason.store(static_cast<int>(wd->reason()));
+    throw wd->make_error("test.wedge");
+  });
+  Journal journal = Journal::open("");
+  BatchOptions opts;
+  opts.retry.max_attempts = 1;
+  opts.stall_timeout_s = kStallS;
+  const BatchSummary s = run_batch({job("wedge")}, exec, journal, opts);
+
+  EXPECT_EQ(s.stalls, 1u);
+  EXPECT_EQ(s.failed, 1u);
+  EXPECT_EQ(static_cast<util::StopReason>(reason.load()), util::StopReason::kStalled);
+  EXPECT_GE(wedged_s.load(), kStallS) << "fired before the timeout elapsed";
+  EXPECT_LE(wedged_s.load(), 2.0 * kStallS) << "cancellation latency over 2x the timeout";
+  const JobRecord rec = journal.records().at("wedge");
+  EXPECT_EQ(rec.status, JobStatus::kFailed);
+  EXPECT_NE(rec.error.find("stalled"), std::string::npos) << rec.error;
+}
+
+TEST(StallWatchdog, LeavesSlowButBeatingJobAlone) {
+  constexpr double kStallS = 0.15;
+  FnExecutor exec([&](const JobSpec&, const util::RunControl* wd, int) {
+    // Runs for 3x the stall timeout, but polls (and therefore beats) the
+    // whole way — progress-keyed, not time-keyed.
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::duration<double>(3.0 * kStallS);
+    while (std::chrono::steady_clock::now() < until) {
+      EXPECT_FALSE(wd->should_stop());
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return ok_output();
+  });
+  Journal journal = Journal::open("");
+  BatchOptions opts;
+  opts.retry.max_attempts = 1;
+  opts.stall_timeout_s = kStallS;
+  const BatchSummary s = run_batch({job("slow")}, exec, journal, opts);
+
+  EXPECT_EQ(s.stalls, 0u);
+  EXPECT_EQ(s.succeeded, 1u);
+  const JobRecord rec = journal.records().at("slow");
+  EXPECT_EQ(rec.status, JobStatus::kSucceeded);
+  EXPECT_GT(rec.beats, 0u) << "heartbeats must be journaled for post-mortems";
+}
+
+TEST(StallWatchdog, StalledAttemptIsRetriedAndCanSucceed) {
+  std::atomic<int> attempts{0};
+  FnExecutor exec([&](const JobSpec&, const util::RunControl* wd, int) -> JobOutput {
+    if (attempts.fetch_add(1) == 0) {
+      wedge_until_stopped(wd);
+      throw wd->make_error("test.flaky");  // kStalled -> DeadlineExceeded: retryable
+    }
+    return ok_output();
+  });
+  Journal journal = Journal::open("");
+  BatchOptions opts;
+  opts.retry.max_attempts = 2;
+  opts.retry.backoff.base_ms = 1.0;
+  opts.retry.backoff.cap_ms = 2.0;
+  opts.stall_timeout_s = 0.15;
+  const BatchSummary s = run_batch({job("flaky")}, exec, journal, opts);
+
+  EXPECT_EQ(s.stalls, 1u);
+  EXPECT_EQ(s.retries, 1u);
+  EXPECT_EQ(s.succeeded, 1u);
+  const JobRecord rec = journal.records().at("flaky");
+  EXPECT_EQ(rec.status, JobStatus::kSucceeded);
+  EXPECT_EQ(rec.attempts, 2);
+}
+
+TEST(StallWatchdog, OffByDefaultNeverFires) {
+  FnExecutor exec([&](const JobSpec&, const util::RunControl*, int) {
+    // No heartbeat for longer than any timeout used above; with the watchdog
+    // off this must simply complete.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    return ok_output();
+  });
+  Journal journal = Journal::open("");
+  BatchOptions opts;
+  opts.retry.max_attempts = 1;
+  const BatchSummary s = run_batch({job("quiet")}, exec, journal, opts);
+  EXPECT_EQ(s.stalls, 0u);
+  EXPECT_EQ(s.succeeded, 1u);
+}
+
+TEST(StallWatchdog, ConcurrentWorkersStallIndependently) {
+  // Generous timeout: four workers plus the monitor share whatever cores the
+  // CI runner has, and a healthy worker descheduled past the timeout would
+  // read as a spurious stall.
+  constexpr double kStallS = 0.35;
+  std::atomic<int> stalled_count{0};
+  FnExecutor exec([&](const JobSpec& j, const util::RunControl* wd, int) -> JobOutput {
+    if (j.id.rfind("wedge", 0) == 0) {
+      wedge_until_stopped(wd);
+      stalled_count.fetch_add(1);
+      throw wd->make_error("test.multi");
+    }
+    // Healthy neighbors keep polling well past the wedged jobs' cancellation.
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::duration<double>(2.0 * kStallS);
+    while (std::chrono::steady_clock::now() < until) {
+      EXPECT_FALSE(wd->should_stop());
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return ok_output();
+  });
+  Journal journal = Journal::open("");
+  BatchOptions opts;
+  opts.retry.max_attempts = 1;
+  opts.workers = 4;
+  opts.stall_timeout_s = kStallS;
+  const std::vector<JobSpec> jobs = {job("wedge-1"), job("ok-1"), job("wedge-2"), job("ok-2")};
+  const BatchSummary s = run_batch(jobs, exec, journal, opts);
+
+  EXPECT_EQ(s.stalls, 2u);
+  EXPECT_EQ(stalled_count.load(), 2);
+  EXPECT_EQ(s.succeeded, 2u);
+  EXPECT_EQ(s.failed, 2u);
+  EXPECT_EQ(journal.records().at("ok-1").status, JobStatus::kSucceeded);
+  EXPECT_EQ(journal.records().at("ok-2").status, JobStatus::kSucceeded);
+}
+
+}  // namespace
+}  // namespace rgleak::service

@@ -1,0 +1,95 @@
+// The atomic writer's durability contract: fsync-before-rename means a sync
+// failure aborts the commit cleanly, while a directory-sync failure after the
+// rename reports an error for a file that IS already committed.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/atomic_file.h"
+#include "util/error.h"
+#include "util/failpoint.h"
+
+namespace rgleak::util {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+void write_text(const std::string& path, const std::string& text) {
+  atomic_write_file(path, [&](std::ostream& os) { os << text; });
+}
+
+bool exists(const std::string& path) { return std::ifstream(path).good(); }
+
+TEST(AtomicFile, WriteCommitsAndOverwrites) {
+  const std::string path = temp_path("rgleak_atomic_ok.txt");
+  std::remove(path.c_str());
+  write_text(path, "v1\n");
+  EXPECT_EQ(slurp(path), "v1\n");
+  write_text(path, "v2\n");
+  EXPECT_EQ(slurp(path), "v2\n");
+  EXPECT_FALSE(exists(path + ".tmp"));  // no litter on the happy path
+  std::remove(path.c_str());
+}
+
+#if !defined(_WIN32)
+TEST(AtomicFile, FsyncFailureBeforeRenameAbortsCleanly) {
+  const std::string path = temp_path("rgleak_atomic_fsync.txt");
+  std::remove(path.c_str());
+  write_text(path, "old content\n");
+
+  const ScopedFailpoint fp("util.atomic_file.fsync", FailpointAction::kThrow, 1);
+  EXPECT_THROW(write_text(path, "new content\n"), FailpointError);
+  // The commit never happened: the destination still holds the old bytes and
+  // the temp file was swept up by the guard.
+  EXPECT_EQ(slurp(path), "old content\n");
+  EXPECT_EQ(Failpoints::hits("util.atomic_file.fsync"), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, DirectorySyncFailureReportsButTheFileIsCommitted) {
+  const std::string path = temp_path("rgleak_atomic_fsyncdir.txt");
+  std::remove(path.c_str());
+
+  const ScopedFailpoint fp("util.atomic_file.fsync_dir", FailpointAction::kThrow, 1);
+  EXPECT_THROW(write_text(path, "committed\n"), FailpointError);
+  // The rename preceded the directory sync: callers see an error, but the
+  // destination already holds the new content (the documented asymmetry).
+  EXPECT_EQ(slurp(path), "committed\n");
+  std::remove(path.c_str());
+}
+#endif
+
+TEST(AtomicFile, CommitFailpointLeavesDestinationUntouched) {
+  const std::string path = temp_path("rgleak_atomic_commit.txt");
+  std::remove(path.c_str());
+  write_text(path, "old\n");
+  const ScopedFailpoint fp("util.atomic_file.commit", FailpointAction::kThrow, 1);
+  EXPECT_THROW(write_text(path, "new\n"), FailpointError);
+  EXPECT_EQ(slurp(path), "old\n");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, EmitExceptionRemovesTheTempFile) {
+  const std::string path = temp_path("rgleak_atomic_emit.txt");
+  std::remove(path.c_str());
+  EXPECT_THROW(atomic_write_file(path,
+                                 [](std::ostream&) { throw IoError("emit failed"); }),
+               IoError);
+  EXPECT_FALSE(exists(path));
+}
+
+}  // namespace
+}  // namespace rgleak::util

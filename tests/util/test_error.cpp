@@ -18,6 +18,7 @@ TEST(ErrorTaxonomy, ExitCodesFollowTheDocumentedContract) {
   EXPECT_EQ(exit_code_for(ErrorCode::kNumerical), 4);
   EXPECT_EQ(exit_code_for(ErrorCode::kIo), 5);
   EXPECT_EQ(exit_code_for(ErrorCode::kDeadline), 6);
+  EXPECT_EQ(exit_code_for(ErrorCode::kResource), 8);
 }
 
 TEST(ErrorTaxonomy, CodeNamesAreStable) {
@@ -27,6 +28,7 @@ TEST(ErrorTaxonomy, CodeNamesAreStable) {
   EXPECT_STREQ(error_code_name(ErrorCode::kIo), "io");
   EXPECT_STREQ(error_code_name(ErrorCode::kConfig), "config");
   EXPECT_STREQ(error_code_name(ErrorCode::kDeadline), "deadline");
+  EXPECT_STREQ(error_code_name(ErrorCode::kResource), "resource");
 }
 
 TEST(ErrorTaxonomy, EveryErrorIsCatchableAsStdAndAsTaxonomy) {
@@ -62,6 +64,17 @@ TEST(ErrorTaxonomy, EveryErrorIsCatchableAsStdAndAsTaxonomy) {
   } catch (const Error& e) {
     EXPECT_EQ(e.code(), ErrorCode::kDeadline);
     EXPECT_EQ(exit_code_for(e.code()), 6);
+  }
+  try {
+    throw ResourceError("arena over budget");
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "arena over budget");
+  }
+  try {
+    throw ResourceError("arena over budget");
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kResource);
+    EXPECT_EQ(exit_code_for(e.code()), 8);
   }
 }
 

@@ -56,6 +56,16 @@ TEST(Failpoint, NanCorruptsDoubleSitesOnly) {
   Failpoints::disarm_all();
 }
 
+TEST(Failpoint, AllocThrowsBadAllocOnBothSiteKinds) {
+  Failpoints::arm("test.site.plain", FailpointAction::kAlloc, 1);
+  EXPECT_THROW(touch(), std::bad_alloc);
+  touch();  // count exhausted
+  Failpoints::arm("test.site.double", FailpointAction::kAlloc, 1);
+  EXPECT_THROW(probe(1.0), std::bad_alloc);
+  EXPECT_EQ(probe(2.0), 2.0);
+  Failpoints::disarm_all();
+}
+
 TEST(Failpoint, DelayReturnsAfterSleeping) {
   Failpoints::arm("test.site.plain", FailpointAction::kDelay, 1, 20);
   const auto t0 = std::chrono::steady_clock::now();

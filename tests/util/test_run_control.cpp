@@ -89,5 +89,31 @@ TEST(RunControl, MakeErrorNamesTheSite) {
   EXPECT_EQ(e.code(), ErrorCode::kDeadline);
 }
 
+TEST(RunControl, PollsBeatButObserversDoNot) {
+  RunControl run;
+  EXPECT_EQ(run.beats(), 0u);
+  EXPECT_FALSE(run.should_stop());  // every poll is a heartbeat
+  EXPECT_EQ(run.beats(), 1u);
+  run.poll("test");
+  EXPECT_EQ(run.beats(), 2u);
+  run.beat();
+  EXPECT_EQ(run.beats(), 3u);
+  // Watchdog-side reads must not register as the worker's progress.
+  (void)run.reason();
+  (void)run.armed();
+  (void)run.beats();
+  EXPECT_EQ(run.beats(), 3u);
+}
+
+TEST(RunControl, StalledReasonLatchesAndReportsRetryably) {
+  RunControl run;
+  run.request_stop(StopReason::kStalled);
+  EXPECT_TRUE(run.should_stop());
+  EXPECT_EQ(run.reason(), StopReason::kStalled);
+  const DeadlineExceeded e = run.make_error("worker");
+  EXPECT_NE(std::string(e.what()).find("stalled"), std::string::npos) << e.what();
+  EXPECT_EQ(e.code(), ErrorCode::kDeadline) << "stalls classify as deadline (retryable)";
+}
+
 }  // namespace
 }  // namespace rgleak::util

@@ -32,6 +32,7 @@
 #include "charlib/liberty_writer.h"
 #include "core/estimators.h"
 #include "core/leakage_estimator.h"
+#include "core/memory_cost.h"
 #include "core/method_cost.h"
 #include "core/sensitivity.h"
 #include "core/yield.h"
@@ -43,6 +44,7 @@
 #include "service/job_runner.h"
 #include "util/error.h"
 #include "util/failpoint.h"
+#include "util/memory.h"
 #include "util/run_control.h"
 #include "util/table.h"
 
@@ -79,7 +81,9 @@ extern "C" void handle_signal(int) { g_run.request_stop(util::StopReason::kCance
                "               [--max-retries N] [--backoff MS] [--backoff-cap MS]\n"
                "               [--retry-budget N] [--queue-depth N]\n"
                "               [--shed-policy block|reject-new|drop-oldest]\n"
-               "               [--job-deadline SECONDS] [--jitter-seed S]\n"
+               "               [--job-deadline SECONDS] [--stall-timeout SECONDS]\n"
+               "               [--mem-budget auto|none|SIZE] [--mem-model BENCH.json]\n"
+               "               [--jitter-seed S]\n"
                "  rgleak gen-netlist --out FILE --gates N --usage SPEC [--seed S]\n"
                "  rgleak sweep --lib FILE --usage SPEC --die-um WxH\n"
                "               --gates-from N --gates-to N [--steps K]\n"
@@ -91,10 +95,13 @@ extern "C" void handle_signal(int) { g_run.request_stop(util::StopReason::kCance
                "usage SPEC: comma-separated cell:weight pairs, e.g. INV_X1:0.4,NAND2_X1:0.6\n"
                "global flags: --error-json (one-line JSON error reports on stderr)\n"
                "              --failpoint SITE:ACTION[:COUNT[:DELAY_MS]] (repeatable;\n"
-               "              ACTION is throw, nan, or delay — fault injection for tests)\n"
+               "              ACTION is throw, nan, delay, or alloc — fault injection)\n"
+               "mem-budget SIZE: bytes with an optional k/m/g suffix, e.g. 512m;\n"
+               "              auto = detect from cgroup / RLIMIT_AS, none = unlimited\n"
                "exit codes: 0 ok, 1 internal, 2 usage/config, 3 parse, 4 numerical, 5 io,\n"
                "            6 deadline/cancelled (SIGINT or --time-budget expiry),\n"
-               "            7 batch completed but some jobs failed or were shed\n");
+               "            7 batch completed but some jobs failed or were shed,\n"
+               "            8 resource (memory budget exceeded or allocation failed)\n");
   std::exit(2);
 }
 
@@ -184,9 +191,10 @@ void arm_failpoints(const std::string& specs) {
     if (parts[1] == "throw") action = util::FailpointAction::kThrow;
     else if (parts[1] == "nan") action = util::FailpointAction::kNan;
     else if (parts[1] == "delay") action = util::FailpointAction::kDelay;
+    else if (parts[1] == "alloc") action = util::FailpointAction::kAlloc;
     else
       throw ConfigError("unknown failpoint action '" + parts[1] + "' in '" + spec +
-                        "' (expected throw, nan, or delay)");
+                        "' (expected throw, nan, delay, or alloc)");
     std::size_t count = SIZE_MAX;
     unsigned delay_ms = 0;
     if (parts.size() >= 3) count = parse_count(parts[2], "--failpoint count");
@@ -449,12 +457,33 @@ int cmd_batch(const std::map<std::string, std::string>& flags) {
     opts.job_deadline_s = parse_double(flag(flags, "job-deadline"), "--job-deadline");
     if (opts.job_deadline_s <= 0.0) usage_exit("--job-deadline must be positive");
   }
+  if (has_flag(flags, "stall-timeout")) {
+    opts.stall_timeout_s = parse_double(flag(flags, "stall-timeout"), "--stall-timeout");
+    if (opts.stall_timeout_s <= 0.0) usage_exit("--stall-timeout must be positive");
+  }
   opts.jitter_seed =
       static_cast<std::uint64_t>(parse_int(flag(flags, "jitter-seed", "24029"), "--jitter-seed"));
   opts.run = &g_run;
 
+  // Memory governance: the admission budget (predictive) and the process-wide
+  // reservation limit (enforcing) are set to the same ceiling.
+  const std::string mem_spec = flag(flags, "mem-budget", "auto");
+  std::uint64_t mem_budget = 0;
+  if (mem_spec == "auto") mem_budget = util::detect_memory_limit();
+  else if (mem_spec != "none") mem_budget = util::parse_memory_size(mem_spec);
+  util::MemoryBudget::process().set_limit(mem_budget);
+  service::ResourceGovernor governor;
+  governor.mem_budget_bytes = mem_budget;
+  if (has_flag(flags, "mem-model"))
+    governor.memory = core::MemoryCostModel::from_bench_json(flag(flags, "mem-model"));
+
   service::JobRunner runner(lib);
+  runner.set_governor(&governor);
   const service::BatchSummary s = service::run_batch(jobs, runner, journal, opts);
+  if (mem_budget > 0)
+    std::printf("mem budget   : %.1f MiB (peak charged %.1f MiB)\n",
+                static_cast<double>(mem_budget) / (1024.0 * 1024.0),
+                static_cast<double>(util::MemoryBudget::process().peak()) / (1024.0 * 1024.0));
 
   std::printf("jobs         : %zu", s.total);
   if (s.skipped > 0) std::printf("  (%zu already done, skipped)", s.skipped);
@@ -464,6 +493,7 @@ int cmd_batch(const std::map<std::string, std::string>& flags) {
   if (s.shed > 0) std::printf("shed         : %zu (policy %s)\n", s.shed,
                               service::shed_policy_name(opts.shed_policy));
   if (s.retries > 0) std::printf("retries      : %zu\n", s.retries);
+  if (s.stalls > 0) std::printf("stalls       : %zu (cancelled by the stall watchdog)\n", s.stalls);
   std::printf("queue depth  : %zu peak of %zu\n", s.queue_high_watermark, opts.queue_depth);
   if (s.journal_write_failures > 0)
     std::fprintf(stderr, "warning: %zu journal writes failed (records kept in memory)\n",
@@ -636,6 +666,13 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "this is a bug in rgleak, not in your input; please report it\n");
     }
     return exit_code_for(e.code());
+  } catch (const std::bad_alloc&) {
+    // An allocation that escaped every charged arena: still a typed exit.
+    if (json_errors)
+      std::fprintf(stderr, "{\"error\":\"resource\",\"message\":\"allocation failed\"}\n");
+    else
+      std::fprintf(stderr, "error: allocation failed (out of memory)\n");
+    return 8;
   } catch (const std::exception& e) {
     if (json_errors)
       std::fprintf(stderr, "%s\n", error_json(e).c_str());
