@@ -15,6 +15,11 @@ cmake --build "$BUILD" --target util_tests service_tests robustness_tests -j "$(
 export ASAN_OPTIONS="detect_leaks=1 halt_on_error=1 ${ASAN_OPTIONS:-}"
 "$BUILD"/tests/util_tests --gtest_filter='ThreadPool.*:Failpoint.*:ErrorTaxonomy.*:Backoff.*:FakeClock.*'
 # Everything labelled robustness in ctest: the service suite and the fault
-# injection / corpus / soak suite.
-(cd "$BUILD" && ctest -L robustness --output-on-failure)
+# injection / corpus / soak suite. handle_segv=0/handle_abort=0: the process
+# isolation tests deliberately segfault/abort sandboxed children, and those
+# must die on the real signal (so the supervisor classifies them) instead of
+# being turned into an ASan report.
+(cd "$BUILD" && \
+  ASAN_OPTIONS="handle_segv=0 handle_abort=0 $ASAN_OPTIONS" \
+  ctest -L robustness --output-on-failure)
 echo "asan_check: OK"

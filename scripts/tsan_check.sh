@@ -25,4 +25,15 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # worker rounds (per-worker workspaces + the background checkpoint flusher)
 # driven through the robustness suite's interrupt/resume scenarios.
 "$BUILD"/tests/robustness_tests --gtest_filter='*Concurrent*:*Threaded*'
+# Process isolation: the fork-per-job supervisor (shared-memory heartbeat
+# page, concurrent stall monitor, supervisor reap loop) and the crash-matrix
+# soak. TSan kills forked children of a multithreaded parent by default;
+# die_after_fork=0 is safe here because sandboxed children are single-threaded
+# by construction (fork only, no thread creation before _exit). handle_segv=0
+# handle_abort=0: injected child crashes must die on the real signal so the
+# supervisor classifies a SIGSEGV/SIGABRT wait status, not a sanitizer exit.
+TSAN_OPTIONS="die_after_fork=0 handle_segv=0 handle_abort=0 $TSAN_OPTIONS" \
+  "$BUILD"/tests/service_tests --gtest_filter='*Isolate*'
+TSAN_OPTIONS="die_after_fork=0 handle_segv=0 handle_abort=0 $TSAN_OPTIONS" \
+  "$BUILD"/tests/robustness_tests --gtest_filter='*Isolate*'
 echo "tsan_check: OK"

@@ -6,8 +6,10 @@
 #include <iomanip>
 #include <ostream>
 #include <sstream>
+#include <string_view>
 
 #include "util/atomic_file.h"
+#include "util/crc32.h"
 #include "util/error.h"
 #include "util/require.h"
 
@@ -141,6 +143,13 @@ const std::string& McCheckpointWriter::finish() {
                  "checkpoint writer: missing worker records");
   if (!finished_) {
     buf_ += "end\n";
+    // Integrity trailer: CRC32 of every byte above it. The loader verifies
+    // and strips this line, so a checkpoint torn mid-write or bit-flipped at
+    // rest is rejected instead of silently resuming a corrupted MC run.
+    const std::uint32_t crc = util::crc32(buf_);
+    buf_ += "crc32 ";
+    buf_ += util::crc32_hex(crc);
+    buf_ += '\n';
     finished_ = true;
   }
   return buf_;
@@ -163,8 +172,35 @@ void save_mc_checkpoint(const std::string& path, const McCheckpoint& ckpt) {
 }
 
 McCheckpoint load_mc_checkpoint(const std::string& path) {
-  std::ifstream is(path);
-  if (!is) throw IoError("cannot open for reading: " + path);
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw IoError("cannot open for reading: " + path);
+  std::ostringstream whole;
+  whole << file.rdbuf();
+  std::string text = whole.str();
+
+  // Verify and strip the integrity trailer ("crc32 <8 hex>" as the last
+  // line, covering every byte before it). Legacy checkpoints without a
+  // trailer still load; a trailer that is present but malformed or wrong
+  // means corruption and must not parse. A file truncated above the trailer
+  // loses the trailer line itself and is caught here too (the remaining
+  // payload no longer matches the checksum).
+  std::string payload = text;
+  {
+    std::string_view tail(text);
+    if (!tail.empty() && tail.back() == '\n') tail.remove_suffix(1);
+    const auto nl = tail.rfind('\n');
+    const std::string_view last =
+        nl == std::string_view::npos ? tail : tail.substr(nl + 1);
+    if (last.substr(0, 6) == "crc32 ") {
+      std::uint32_t want = 0;
+      if (!util::parse_crc32_hex(last.substr(6), want))
+        fail(path, "malformed checkpoint checksum trailer", std::string(last));
+      payload = nl == std::string_view::npos ? std::string() : text.substr(0, nl + 1);
+      if (util::crc32(payload) != want)
+        fail(path, "checkpoint checksum mismatch (corrupt or truncated file)");
+    }
+  }
+  std::istringstream is(payload);
 
   const std::string magic = next_token(is, path, "magic header");
   if (magic != kMagic)

@@ -3,14 +3,19 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
+#include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <memory>
 #include <mutex>
 #include <thread>
 
+#include "service/subprocess.h"
 #include "util/backoff.h"
 #include "util/error.h"
+#include "util/memory.h"
 #include "util/require.h"
 
 namespace rgleak::service {
@@ -35,6 +40,9 @@ struct BatchState {
   const BatchOptions* opts = nullptr;
   util::Clock* clock = nullptr;
   RetryBudget* budget = nullptr;
+  // Resolved isolation: when true every attempt forks a sandboxed child.
+  bool use_subprocess = false;
+  SubprocessOptions sub_opts;
   // unique_ptr for stable addresses: workers and the monitor hold raw slots.
   std::vector<std::unique_ptr<WorkerSlot>> slots;
 
@@ -43,6 +51,7 @@ struct BatchState {
   std::atomic<std::size_t> interrupted{0};
   std::atomic<std::size_t> retries{0};
   std::atomic<std::size_t> stalls{0};
+  std::atomic<std::size_t> crashes{0};
 
   bool stopping() const { return opts->run != nullptr && opts->run->should_stop(); }
 };
@@ -96,6 +105,7 @@ void run_one(BatchState& st, const JobSpec& job, WorkerSlot* slot) {
   JobRecord rec;
   rec.id = job.id;
   int degrade = 0;
+  int crash_count = 0;  // kCrash outcomes for this job, capped separately
   util::BackoffState backoff =
       util::backoff_state_for(st.opts->jitter_seed ^ util::backoff_job_hash(job.id.c_str()));
 
@@ -114,7 +124,10 @@ void run_one(BatchState& st, const JobSpec& job, WorkerSlot* slot) {
     bool retry = false;
     const double t0 = st.clock->now_ms();
     try {
-      const JobOutput out = st.executor->execute(job, &watchdog, degrade);
+      const JobOutput out =
+          st.use_subprocess
+              ? run_job_in_subprocess(*st.executor, job, &watchdog, degrade, st.sub_opts)
+              : st.executor->execute(job, &watchdog, degrade);
       rec.wall_ms += st.clock->now_ms() - t0;
       rec.beats += watchdog.beats();
       rec.status = JobStatus::kSucceeded;
@@ -128,13 +141,28 @@ void run_one(BatchState& st, const JobSpec& job, WorkerSlot* slot) {
     } catch (const rgleak::Error& e) {
       rec.wall_ms += st.clock->now_ms() - t0;
       rec.beats += watchdog.beats();
-      rec.error = error_json(e);
+      // An error reconstructed from a sandboxed child carries the child's own
+      // error_json rendering; using it keeps journal records byte-identical
+      // to in-process mode (ParseError location fields survive the pipe).
+      const auto* child = dynamic_cast<const ChildReport*>(&e);
+      rec.error = (child != nullptr && !child->error_json_line().empty())
+                      ? child->error_json_line()
+                      : error_json(e);
       retry = retryable(e.code());
+      if (e.code() == ErrorCode::kCrash) {
+        st.crashes.fetch_add(1, std::memory_order_relaxed);
+        // Crashes get their own, tighter cap: a deterministic segfault should
+        // fail after max_crash_retries fresh children, not max_attempts.
+        if (++crash_count > st.opts->retry.max_crash_retries) retry = false;
+      }
     } catch (const std::exception& e) {
       // Outside the taxonomy (e.g. an armed failpoint): assume transient.
       rec.wall_ms += st.clock->now_ms() - t0;
       rec.beats += watchdog.beats();
-      rec.error = error_json(e);
+      const auto* child = dynamic_cast<const ChildReport*>(&e);
+      rec.error = (child != nullptr && !child->error_json_line().empty())
+                      ? child->error_json_line()
+                      : error_json(e);
       retry = true;
     }
 
@@ -182,6 +210,35 @@ BatchSummary run_batch(const std::vector<JobSpec>& jobs, Executor& executor, Jou
   st.opts = &options;
   st.clock = options.clock != nullptr ? options.clock : &util::SystemClock::instance();
   st.budget = &budget;
+
+  // Resolve attempt isolation. kDefault consults RGLEAK_ISOLATE so CI can
+  // force sandboxing through an unmodified call site; an explicit kInProcess
+  // or kProcess from the caller always wins (tests that assert on in-parent
+  // side effects pin kInProcess).
+  ExecIsolation isolate = options.isolate;
+  if (isolate == ExecIsolation::kDefault) {
+    const char* env = std::getenv("RGLEAK_ISOLATE");
+    isolate = (env != nullptr && std::strcmp(env, "process") == 0) ? ExecIsolation::kProcess
+                                                                   : ExecIsolation::kInProcess;
+  }
+  if (isolate == ExecIsolation::kProcess) {
+    if (!subprocess_supported())
+      throw ConfigError("process isolation requested but not supported on this platform");
+    st.use_subprocess = true;
+    st.sub_opts.term_grace_s = options.isolate_grace_s;
+    st.sub_opts.as_limit_bytes = options.isolate_as_limit_bytes;
+    if (st.sub_opts.as_limit_bytes == 0) {
+      // Derive the hard cap from the soft (tracked) budget: the MemoryBudget
+      // the child inherits still throws typed ResourceErrors first; the
+      // rlimit only catches what the accountant never saw.
+      const std::uint64_t soft = util::MemoryBudget::process().limit();
+      if (soft > 0) st.sub_opts.as_limit_bytes = soft * 2 + (256ULL << 20);
+    }
+    st.sub_opts.cpu_limit_s = options.isolate_cpu_limit_s;
+    if (st.sub_opts.cpu_limit_s == 0 && options.job_deadline_s > 0.0)
+      st.sub_opts.cpu_limit_s =
+          static_cast<std::uint64_t>(std::ceil(options.job_deadline_s * 4.0)) + 5;
+  }
 
   std::size_t workers = options.workers;
   if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
@@ -273,6 +330,7 @@ BatchSummary run_batch(const std::vector<JobSpec>& jobs, Executor& executor, Jou
   summary.interrupted = st.interrupted.load();
   summary.retries = st.retries.load();
   summary.stalls = st.stalls.load();
+  summary.crashes = st.crashes.load();
   summary.journal_write_failures = journal.write_failures();
   summary.queue_high_watermark = queue.high_watermark();
   summary.stopped = st.stopping();

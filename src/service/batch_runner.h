@@ -35,6 +35,21 @@
 
 namespace rgleak::service {
 
+/// How job attempts execute relative to the supervisor process.
+enum class ExecIsolation {
+  /// Resolve from the RGLEAK_ISOLATE environment variable ("process" forces
+  /// process isolation); otherwise in-process. The CLI leaves this default so
+  /// CI can force sandboxing across an existing test matrix.
+  kDefault,
+  /// Attempts run on the worker thread, in the batch process (the historical
+  /// behavior; fastest, but a segfaulting job kills the whole batch).
+  kInProcess,
+  /// Every attempt forks a sandboxed, rlimited child (service/subprocess.h).
+  /// A crashing job becomes a journaled CrashError instead of killing the
+  /// batch. POSIX only: run_batch throws ConfigError where unsupported.
+  kProcess,
+};
+
 struct BatchOptions {
   RetryPolicy retry;
   /// Queue bound; the backpressure knob.
@@ -57,6 +72,21 @@ struct BatchOptions {
   /// Batch-level stop source (SIGINT handler, a test). Linked as the parent
   /// of every per-job watchdog.
   const util::RunControl* run = nullptr;
+  /// Attempt isolation mode (see ExecIsolation).
+  ExecIsolation isolate = ExecIsolation::kDefault;
+  /// Process isolation: seconds between the cooperative SIGTERM and the
+  /// SIGKILL when stopping a sandboxed child.
+  double isolate_grace_s = 2.0;
+  /// Process isolation: RLIMIT_AS for each child, bytes. 0 = derive — twice
+  /// the process MemoryBudget limit plus slack when one is set (the tracked
+  /// budget stays the soft limit that throws typed ResourceErrors; the rlimit
+  /// is the hard backstop for untracked leaks), unlimited otherwise.
+  std::uint64_t isolate_as_limit_bytes = 0;
+  /// Process isolation: RLIMIT_CPU for each child, seconds. 0 = derive from
+  /// job_deadline_s (4x the deadline plus slack — a hard backstop well above
+  /// the cooperative watchdog, for children wedged in signal-blind loops);
+  /// unlimited when no deadline is set either.
+  std::uint64_t isolate_cpu_limit_s = 0;
 };
 
 struct BatchSummary {
@@ -68,6 +98,7 @@ struct BatchSummary {
   std::size_t interrupted = 0;  ///< batch stopped first; no record, will re-run
   std::size_t retries = 0;      ///< retry attempts consumed across the batch
   std::size_t stalls = 0;       ///< job attempts cancelled by the stall watchdog
+  std::size_t crashes = 0;      ///< sandboxed child deaths (ErrorCode::kCrash)
   std::size_t journal_write_failures = 0;
   std::size_t queue_high_watermark = 0;
   bool stopped = false;         ///< the batch-level stop source fired

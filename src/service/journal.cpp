@@ -3,27 +3,65 @@
 #include <filesystem>
 #include <fstream>
 #include <system_error>
+#include <utility>
 
 #include "util/atomic_file.h"
 #include "util/error.h"
 #include "util/failpoint.h"
 
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#endif
+
 namespace rgleak::service {
 
 namespace {
 constexpr const char* kMagic = "rgbatch-journal-v1";
+
+// Takes the exclusive single-writer lock for `path`. The lock lives on a
+// `.lock` sidecar because the journal itself is atomically rewritten (temp +
+// rename) on every append — its inode, and any flock on it, would vanish with
+// the first record. Returns the held fd; flock releases on close (including
+// process death, so a SIGKILL'd batch never leaves a stale lock).
+int take_writer_lock(const std::string& path) {
+#if defined(_WIN32)
+  (void)path;
+  return -1;
+#else
+  const std::string lock_path = path + ".lock";
+  const int fd = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (fd < 0) throw IoError("cannot open journal lock file: " + lock_path);
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    ::close(fd);
+    throw IoError("journal '" + path + "' is already open in another batch (writer lock '" +
+                  lock_path + "' is held); two writers would lose each other's records");
+  }
+  return fd;
+#endif
+}
+
+}  // namespace
+
+Journal::~Journal() {
+#if !defined(_WIN32)
+  if (lock_fd_ >= 0) ::close(lock_fd_);  // releases the flock
+#endif
 }
 
 Journal::Journal(Journal&& other) noexcept
     : path_(std::move(other.path_)),
       records_(std::move(other.records_)),
       order_(std::move(other.order_)),
-      write_failures_(other.write_failures_) {}
+      write_failures_(other.write_failures_),
+      lock_fd_(std::exchange(other.lock_fd_, -1)) {}
 
 Journal Journal::open(const std::string& path) {
   Journal j;
   j.path_ = path;
   if (path.empty()) return j;
+  j.lock_fd_ = take_writer_lock(path);
 
   std::ifstream is(path);
   if (!is) {

@@ -34,6 +34,7 @@ class Journal {
  public:
   /// In-memory journal (no persistence); what you get for an empty path.
   Journal() = default;
+  ~Journal();
 
   /// Movable so open() can return by value (a fresh mutex; the source must
   /// not be in concurrent use, which open-time construction guarantees).
@@ -45,6 +46,13 @@ class Journal {
   /// Opens `path`, loading existing records when the file exists (a missing
   /// file is a fresh journal, not an error). Throws IoError on an unreadable
   /// existing file and located ParseError on a malformed one.
+  ///
+  /// Single-writer: open() takes an exclusive advisory flock on a `.lock`
+  /// sidecar (the journal file itself changes inode on every atomic rewrite,
+  /// so the lock must live on a stable path) and holds it for the Journal's
+  /// lifetime. A second batch targeting the same journal fails fast with an
+  /// IoError naming the lock file, instead of the two batches silently
+  /// interleaving rewrites and losing each other's records.
   static Journal open(const std::string& path);
 
   /// True when `id` already has a terminal record (job must not re-run).
@@ -74,6 +82,7 @@ class Journal {
   std::map<std::string, JobRecord> records_;
   std::vector<std::string> order_;  // append order, for stable files
   std::size_t write_failures_ = 0;
+  int lock_fd_ = -1;  // exclusive flock on path_ + ".lock"; -1 = none
 
   void persist_locked();
 };

@@ -10,6 +10,11 @@ bool retryable(ErrorCode code) {
     // Resource pressure is transient at batch scope: peers finishing release
     // budget, and the retry ladder re-admits at a cheaper rung.
     case ErrorCode::kResource:
+    // A crashed sandbox child may have hit a data race or a corrupted cache;
+    // the retry runs in a fresh child. Bounded separately by the per-job
+    // crash cap (RetryPolicy::max_crash_retries) — a reproducible segfault
+    // should fail fast, not burn the whole attempt budget.
+    case ErrorCode::kCrash:
       return true;
     case ErrorCode::kParse:
     case ErrorCode::kConfig:

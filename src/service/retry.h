@@ -36,6 +36,11 @@ struct RetryPolicy {
   util::BackoffPolicy backoff;
   /// Total retries allowed across the whole batch; SIZE_MAX = unbounded.
   std::size_t batch_retry_budget = SIZE_MAX;
+  /// Retries allowed per job for crash outcomes (ErrorCode::kCrash) — a child
+  /// killed by SIGSEGV/SIGABRT/OOM. Capped below max_attempts because a crash
+  /// is usually reproducible: one fresh-child retry catches the flaky case
+  /// without replaying a deterministic segfault N times.
+  int max_crash_retries = 1;
 };
 
 /// Shared per-batch retry budget. try_take() atomically consumes one retry;

@@ -1,5 +1,9 @@
 #include "util/error.h"
 
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <new>
 #include <sstream>
 
 namespace rgleak {
@@ -48,6 +52,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kConfig: return "config";
     case ErrorCode::kDeadline: return "deadline";
     case ErrorCode::kResource: return "resource";
+    case ErrorCode::kCrash: return "crash";
   }
   return "unknown";
 }
@@ -61,8 +66,23 @@ int exit_code_for(ErrorCode code) {
     case ErrorCode::kIo: return 5;
     case ErrorCode::kDeadline: return 6;
     case ErrorCode::kResource: return 8;
+    case ErrorCode::kCrash: return 9;
   }
   return 1;
+}
+
+bool error_code_for_exit(int exit_code, ErrorCode& out) {
+  switch (exit_code) {
+    case 1: out = ErrorCode::kContract; return true;
+    case 2: out = ErrorCode::kConfig; return true;
+    case 3: out = ErrorCode::kParse; return true;
+    case 4: out = ErrorCode::kNumerical; return true;
+    case 5: out = ErrorCode::kIo; return true;
+    case 6: out = ErrorCode::kDeadline; return true;
+    case 8: out = ErrorCode::kResource; return true;
+    case 9: out = ErrorCode::kCrash; return true;
+  }
+  return false;
 }
 
 ParseError::ParseError(std::string source, std::size_t line, std::size_t column,
@@ -99,6 +119,62 @@ std::string error_json(const std::exception& error) {
   append_json_string(os, error.what());
   os << '}';
   return os.str();
+}
+
+namespace {
+
+bool g_terminate_json = false;
+
+// The contract of the installed handler: one structured line on stderr, then
+// the typed exit code — never the bare abort() the default handler produces.
+// Careful with allocations: a bad_alloc may be what got us here, so that
+// branch uses only static strings.
+[[noreturn]] void report_and_exit() {
+  int code = 1;
+  try {
+    if (const auto eptr = std::current_exception()) std::rethrow_exception(eptr);
+    // terminate without an active exception (noexcept violation, direct call).
+    if (g_terminate_json)
+      std::fputs(
+          "{\"error\":\"internal\",\"exit_code\":1,\"message\":\"terminated without an active "
+          "exception\"}\n",
+          stderr);
+    else
+      std::fputs("error: terminated without an active exception\n", stderr);
+  } catch (const std::bad_alloc&) {
+    if (g_terminate_json)
+      std::fputs("{\"error\":\"resource\",\"exit_code\":8,\"message\":\"allocation failed\"}\n",
+                 stderr);
+    else
+      std::fputs("error: allocation failed (out of memory)\n", stderr);
+    code = 8;
+  } catch (const Error& e) {
+    if (g_terminate_json)
+      std::fprintf(stderr, "%s\n", error_json(e).c_str());
+    else
+      std::fprintf(stderr, "error: %s\n", e.message().c_str());
+    code = exit_code_for(e.code());
+  } catch (const std::exception& e) {
+    if (g_terminate_json)
+      std::fprintf(stderr, "%s\n", error_json(e).c_str());
+    else
+      std::fprintf(stderr, "error: %s\n", e.what());
+  } catch (...) {
+    if (g_terminate_json)
+      std::fputs("{\"error\":\"internal\",\"exit_code\":1,\"message\":\"unknown exception\"}\n",
+                 stderr);
+    else
+      std::fputs("error: unknown exception\n", stderr);
+  }
+  std::fflush(stderr);
+  std::_Exit(code);
+}
+
+}  // namespace
+
+void install_terminate_handler(bool json_errors) {
+  g_terminate_json = json_errors;
+  std::set_terminate(report_and_exit);
 }
 
 }  // namespace rgleak

@@ -47,17 +47,26 @@ enum class ErrorCode {
   kConfig,
   kDeadline,
   kResource,
+  kCrash,
 };
 
 /// Short stable name for an error code ("contract", "numerical", "parse",
-/// "io", "config", "deadline", "resource"); used by error reports and logs.
+/// "io", "config", "deadline", "resource", "crash"); used by error reports
+/// and logs.
 const char* error_code_name(ErrorCode code);
 
 /// The documented CLI exit code for an error class: 2 = usage/config,
 /// 3 = parse, 4 = numerical, 5 = io, 6 = deadline/cancelled,
 /// 8 = resource (over memory budget / allocation failure),
+/// 9 = crash (a sandboxed job child died on a signal or without a result),
 /// 1 = contract (internal bug).
 int exit_code_for(ErrorCode code);
+
+/// Maps a CLI exit code back to its error class; false for codes with no
+/// taxonomy meaning (0, 7, 126, ...). The subprocess supervisor uses this to
+/// reconstruct a typed error from a sandboxed child that exited cleanly but
+/// died before writing its result record.
+bool error_code_for_exit(int exit_code, ErrorCode& out);
 
 /// Mixin carried by every typed rgleak error alongside its std exception
 /// base. Catch `const rgleak::Error&` to handle all taxonomy errors
@@ -129,6 +138,20 @@ class ResourceError : public std::runtime_error, public Error {
       : std::runtime_error(what), Error(ErrorCode::kResource, what) {}
 };
 
+/// Thrown by the process-isolation supervisor when a sandboxed job child died
+/// without delivering a result: killed by a signal (SIGSEGV, SIGABRT, SIGBUS,
+/// the kernel OOM-killer's SIGKILL), or exited with a code that carries no
+/// taxonomy meaning. The crash is contained to the job — the supervisor and
+/// every other job keep running — and the message names the signal / exit
+/// code plus a tail of the child's captured stderr. Retryable in the batch
+/// service under a dedicated per-job crash cap (a crashing job gets fewer
+/// retries than a merely flaky one).
+class CrashError : public std::runtime_error, public Error {
+ public:
+  explicit CrashError(const std::string& what)
+      : std::runtime_error(what), Error(ErrorCode::kCrash, what) {}
+};
+
 /// Thrown on malformed input text. what() reads
 /// "source:line:column: message (near 'token')" so editors and humans can
 /// jump straight to the failure; the structured fields are also exposed for
@@ -164,5 +187,13 @@ std::string error_json(const Error& error);
 
 /// Renders an untyped exception the same way, as {"error":"internal",...}.
 std::string error_json(const std::exception& error);
+
+/// Installs a std::terminate handler of last resort: any exception that slips
+/// past main's catch blocks (a throwing destructor during unwinding, a
+/// detached thread, a noexcept violation) is rendered to stderr — as the
+/// one-line error_json record when `json_errors` is set, as a plain
+/// "error: ..." line otherwise — and the process _exits with the taxonomy
+/// exit code instead of aborting with no report. Call once, early in main.
+void install_terminate_handler(bool json_errors);
 
 }  // namespace rgleak

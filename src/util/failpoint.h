@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 
@@ -30,6 +31,12 @@ enum class FailpointAction {
   kNan,    ///< RGLEAK_FAILPOINT_DOUBLE sites return NaN (plain sites no-op)
   kDelay,  ///< sleep for the configured delay (races / straggler testing)
   kAlloc,  ///< throw std::bad_alloc (simulated allocation failure at arenas)
+  // Crash actions for exercising the process-isolation supervisor. These
+  // take the process DOWN — only arm them in a sandboxed job child (via a
+  // job's "failpoint" parameter) or in a test that forks first.
+  kAbort,  ///< std::abort() — die on SIGABRT
+  kSegv,   ///< dereference null — die on SIGSEGV
+  kExit,   ///< _exit(exit_code) — vanish without a result record
 };
 
 /// The exception an armed kThrow failpoint raises. Deliberately outside the
@@ -52,15 +59,36 @@ class Failpoints {
   static bool any_armed() { return armed_count.load(std::memory_order_relaxed) > 0; }
 
   /// Arm `site`. It fires on its next `count` executions (default: until
-  /// disarmed); kDelay sleeps `delay_ms` per hit. Re-arming replaces the
-  /// previous configuration and resets the hit counter.
+  /// disarmed); kDelay sleeps `delay_ms` per hit, kExit exits with
+  /// `exit_code`. Re-arming replaces the previous configuration and resets
+  /// the hit counter.
   static void arm(const std::string& site, FailpointAction action, std::size_t count = SIZE_MAX,
-                  unsigned delay_ms = 0);
+                  unsigned delay_ms = 0, int exit_code = 1);
+
+  /// Arms one textual spec, the grammar shared by the CLI's `--failpoint`
+  /// and a batch job's "failpoint" parameter:
+  ///
+  ///   SITE:ACTION[:COUNT[:DELAY_MS]]   ACTION = throw|nan|delay|alloc|
+  ///                                             abort|segv
+  ///   SITE:exit:CODE[:COUNT]           exit carries its exit code instead
+  ///                                    of a delay
+  ///
+  /// Multiple specs may be joined with newlines. Throws ConfigError on an
+  /// unknown action or a malformed field — a typo'd spec that silently never
+  /// fires would make a robustness run vacuous.
+  static void arm_specs(const std::string& specs);
   static void disarm(const std::string& site);
   static void disarm_all();
 
   /// Times `site` fired since it was (last) armed.
   static std::size_t hits(const std::string& site);
+
+  /// Holds the registry mutex across a fork() so a sandboxed child (which
+  /// inherits the forking thread only) can never find the registry locked by
+  /// a parent thread that no longer exists in its address space. The forking
+  /// thread takes the lock, forks, and both sides release their copy when
+  /// the returned guard leaves scope.
+  static std::unique_lock<std::mutex> hold_for_fork();
 
   /// Slow path behind RGLEAK_FAILPOINT; call only when any_armed().
   static void hit(const char* site);

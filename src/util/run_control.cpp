@@ -39,10 +39,14 @@ void RunControl::set_parent(const RunControl* parent) {
 
 bool RunControl::should_stop() const {
   beat();  // a poll is a progress heartbeat: wedged workers stop polling
+  return stop_pending();
+}
+
+bool RunControl::stop_pending() const {
   const int s = state_.load(std::memory_order_relaxed);
   if (s == kIdle) return false;  // the one-load fast path
   if (s & kStopBit) return true;
-  if ((s & kParentBit) && parent_->should_stop()) {
+  if ((s & kParentBit) && parent_->stop_pending()) {
     const StopReason why = parent_->reason();
     latch(why == StopReason::kNone ? StopReason::kCancelled : why);
     return true;

@@ -70,6 +70,13 @@ class RunControl {
   /// kDeadline on expiry.
   bool should_stop() const;
 
+  /// should_stop() without the heartbeat: evaluates deadline/parent and
+  /// latches exactly the same, but registers no progress. For observers that
+  /// poll on a worker's behalf — the subprocess supervisor watching a
+  /// sandboxed child — where beating would mask the child's own stall from
+  /// the watchdog sampling this control.
+  bool stop_pending() const;
+
   /// Reason the run stopped (kNone while still running). Does NOT beat: a
   /// watchdog may read it without registering as the worker's progress.
   StopReason reason() const;
@@ -79,10 +86,49 @@ class RunControl {
   /// already polls publishes a heartbeat for free; a wedged kernel that stops
   /// polling goes flat — which is exactly the signal a stall watchdog needs.
   /// One relaxed fetch_add; safe from any thread.
-  void beat() const { beats_.fetch_add(1, std::memory_order_relaxed); }
+  void beat() const {
+    beats_.fetch_add(1, std::memory_order_relaxed);
+    if (auto* sink = beat_sink_.load(std::memory_order_relaxed); sink != nullptr)
+      sink->fetch_add(1, std::memory_order_relaxed);
+  }
 
-  /// Monotonic heartbeat counter since construction. Does NOT beat.
-  std::uint64_t beats() const { return beats_.load(std::memory_order_relaxed); }
+  /// Monotonic heartbeat counter since construction. Does NOT beat. When a
+  /// source was adopted (adopt_beats_from) its count is folded in, so a stall
+  /// watchdog sampling this control sees progress published from the other
+  /// side of a process boundary.
+  std::uint64_t beats() const {
+    std::uint64_t n = beats_.load(std::memory_order_relaxed);
+    if (const auto* src = beat_source_.load(std::memory_order_acquire); src != nullptr)
+      n += src->load(std::memory_order_relaxed);
+    return n;
+  }
+
+  /// Mirror every beat() into `sink` as well (a cross-process shared-memory
+  /// counter: a sandboxed job child mirrors its heartbeats into a page the
+  /// parent supervisor maps). `sink` must outlive the control. Null detaches.
+  void mirror_beats_to(std::atomic<std::uint64_t>* sink) {
+    beat_sink_.store(sink, std::memory_order_release);
+  }
+
+  /// Fold an external heartbeat counter into beats() (the parent supervisor
+  /// adopts the shared page its child mirrors into, so the stall monitor
+  /// works unchanged across the process boundary). `source` must stay mapped
+  /// until detach_beat_source().
+  void adopt_beats_from(const std::atomic<std::uint64_t>* source) {
+    beat_source_.store(source, std::memory_order_release);
+  }
+
+  /// Folds the adopted counter's final value into beats() and detaches it.
+  /// Must run before the adopted memory is unmapped; concurrent beats()
+  /// readers (the stall monitor) stay safe throughout — they see at worst a
+  /// momentary double count between the fold and the detach, never a read of
+  /// freed memory.
+  void detach_beat_source() {
+    if (const auto* src = beat_source_.load(std::memory_order_acquire); src != nullptr) {
+      beats_.fetch_add(src->load(std::memory_order_relaxed), std::memory_order_relaxed);
+      beat_source_.store(nullptr, std::memory_order_release);
+    }
+  }
 
   /// Seconds left before the armed deadline; +infinity when no deadline is
   /// armed, clamped at 0 once expired.
@@ -110,6 +156,11 @@ class RunControl {
   // Written before kDeadlineBit is released, read after it is acquired.
   std::atomic<Clock::time_point::rep> deadline_ticks_{0};
   const RunControl* parent_ = nullptr;  // set before sharing, then read-only
+  // Heartbeat bridging across a process boundary. Atomic pointers: the
+  // supervisor attaches/detaches the shared page while the stall monitor
+  // samples beats() concurrently.
+  mutable std::atomic<std::atomic<std::uint64_t>*> beat_sink_{nullptr};
+  std::atomic<const std::atomic<std::uint64_t>*> beat_source_{nullptr};
 
   void latch(StopReason reason) const;
 };

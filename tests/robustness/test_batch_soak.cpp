@@ -142,6 +142,10 @@ struct FailpointMatrix {
 
 BatchOptions soak_options() {
   BatchOptions opts;
+  // These soaks assert on in-parent state (Failpoints::hits, RecordingRunner
+  // side effects): pin in-process even under the CI RGLEAK_ISOLATE override.
+  // The process-isolated crash soak lives in test_process_isolation_soak.cpp.
+  opts.isolate = ExecIsolation::kInProcess;
   opts.workers = 4;
   opts.queue_depth = 8;
   opts.shed_policy = ShedPolicy::kBlock;  // soak measures isolation, not shedding

@@ -35,6 +35,10 @@ const CorpusCase kMalformed[] = {
     {"bad_magic.ckpt", "not a checkpoint"},
     {"bad_hex.ckpt", "expected a hex word"},
     {"dup_worker.ckpt", "worker records out of order"},
+    // Integrity-trailer corpus: a valid file whose trailer was bit-flipped,
+    // and a file torn above a trailer that no longer matches its payload.
+    {"crc_mismatch.ckpt", "checksum mismatch"},
+    {"crc_truncated.ckpt", "checksum mismatch"},
 };
 
 TEST(CheckpointCorpus, EveryMalformedFileFailsWithLocatedParseError) {

@@ -96,6 +96,9 @@ std::vector<JobSpec> mixed_manifest() {
 
 BatchOptions gov_options() {
   BatchOptions opts;
+  // Asserts on in-parent state (MemoryBudget::process() peaks, failpoint hit
+  // counters): pin in-process even under the CI RGLEAK_ISOLATE override.
+  opts.isolate = ExecIsolation::kInProcess;
   opts.workers = 4;
   opts.retry.max_attempts = 2;
   opts.retry.backoff.base_ms = 1.0;

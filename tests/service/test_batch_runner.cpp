@@ -106,6 +106,9 @@ TEST(BatchRunner, PermanentFailureIsTerminalOnTheFirstAttempt) {
   BatchOptions opts;
   opts.clock = &clock;
   opts.retry.max_attempts = 5;  // irrelevant: config errors never retry
+  // Asserts on exec.calls(), recorded in this process: pin in-process even
+  // when the environment (CI's process-isolation job) forces sandboxing.
+  opts.isolate = ExecIsolation::kInProcess;
   const BatchSummary s = run_batch({job("bad")}, exec, journal, opts);
 
   EXPECT_EQ(s.failed, 1u);
@@ -131,6 +134,7 @@ TEST(BatchRunner, RetryableFailureWalksTheDegradeLadderOnTheExactBackoffSchedule
   opts.clock = &clock;
   opts.retry.max_attempts = 4;
   opts.jitter_seed = 0xfeedULL;
+  opts.isolate = ExecIsolation::kInProcess;  // asserts on exec.degrades_for()
   const BatchSummary s = run_batch({job("flaky")}, exec, journal, opts);
 
   EXPECT_EQ(s.succeeded, 1u);
@@ -205,6 +209,8 @@ TEST(BatchRunner, BatchStopAbandonsRemainingJobsWithoutRecords) {
   BatchOptions opts;
   opts.clock = &clock;
   opts.run = &run;
+  // The lambda stops the batch through shared memory: in-process semantics.
+  opts.isolate = ExecIsolation::kInProcess;
   const BatchSummary s = run_batch({job("first"), job("second"), job("third")}, exec, journal, opts);
 
   EXPECT_TRUE(s.stopped);
@@ -229,6 +235,7 @@ TEST(BatchRunner, FailureDuringStopIsInterruptedNotFailed) {
   BatchOptions opts;
   opts.clock = &clock;
   opts.run = &run;
+  opts.isolate = ExecIsolation::kInProcess;  // stop is requested via shared memory
   const BatchSummary s = run_batch({job("only")}, exec, journal, opts);
 
   EXPECT_TRUE(s.stopped);
@@ -251,6 +258,7 @@ TEST(BatchRunner, AlreadyJournaledJobsAreSkippedOnResume) {
   util::FakeClock clock;
   BatchOptions opts;
   opts.clock = &clock;
+  opts.isolate = ExecIsolation::kInProcess;  // asserts on exec.calls()
   const BatchSummary s = run_batch({job("a"), job("b")}, exec, journal, opts);
 
   EXPECT_EQ(s.skipped, 1u);
@@ -317,6 +325,9 @@ TEST(BatchRunner, ConcurrentShedJobsGetStructuredRecords) {
   BatchOptions opts;
   opts.queue_depth = 1;
   opts.shed_policy = ShedPolicy::kRejectNew;
+  // The "slow" lambda watches the journal from inside the executor — shared
+  // memory with the batch, so in-process only.
+  opts.isolate = ExecIsolation::kInProcess;
   const BatchSummary s = run_batch({job("slow"), job("b"), job("c")}, exec, journal, opts);
 
   EXPECT_GE(s.shed, 1u);

@@ -114,17 +114,19 @@ TEST(Journal, MalformedFilesAreRefusedWithLocatedErrors) {
 TEST(Journal, WriteFailureIsAbsorbedAndHealedByTheNextAppend) {
   const std::string path = temp_path("rgleak_journal_absorb.jsonl");
   std::remove(path.c_str());
-  Journal j = Journal::open(path);
   {
-    const ScopedFailpoint fp("util.atomic_file.write", FailpointAction::kThrow, 1);
-    j.append(ok_record("a", 1.0));  // persistence fails, record kept in memory
-  }
-  EXPECT_EQ(j.write_failures(), 1u);
-  EXPECT_TRUE(j.has("a"));
-  EXPECT_FALSE(std::ifstream(path).good());  // atomic writer left nothing
+    Journal j = Journal::open(path);
+    {
+      const ScopedFailpoint fp("util.atomic_file.write", FailpointAction::kThrow, 1);
+      j.append(ok_record("a", 1.0));  // persistence fails, record kept in memory
+    }
+    EXPECT_EQ(j.write_failures(), 1u);
+    EXPECT_TRUE(j.has("a"));
+    EXPECT_FALSE(std::ifstream(path).good());  // atomic writer left nothing
 
-  j.append(ok_record("b", 2.0));  // healthy append persists both records
-  EXPECT_EQ(j.write_failures(), 1u);
+    j.append(ok_record("b", 2.0));  // healthy append persists both records
+    EXPECT_EQ(j.write_failures(), 1u);
+  }  // closing the journal releases the writer lock for the reopen below
   const Journal back = Journal::open(path);
   EXPECT_EQ(back.size(), 2u);
   EXPECT_TRUE(back.has("a"));
@@ -135,19 +137,97 @@ TEST(Journal, WriteFailureIsAbsorbedAndHealedByTheNextAppend) {
 TEST(Journal, JournalAppendFailpointIsAbsorbedToo) {
   const std::string path = temp_path("rgleak_journal_failpoint.jsonl");
   std::remove(path.c_str());
-  Journal j = Journal::open(path);
   {
-    const ScopedFailpoint fp("service.journal.append", FailpointAction::kThrow, 2);
-    j.append(ok_record("a", 1.0));
-    j.append(ok_record("b", 2.0));
+    Journal j = Journal::open(path);
+    {
+      const ScopedFailpoint fp("service.journal.append", FailpointAction::kThrow, 2);
+      j.append(ok_record("a", 1.0));
+      j.append(ok_record("b", 2.0));
+    }
+    EXPECT_EQ(j.write_failures(), 2u);
+    EXPECT_TRUE(j.has("a"));
+    EXPECT_TRUE(j.has("b"));
+    j.flush();  // explicit flush persists what the failed appends could not
   }
-  EXPECT_EQ(j.write_failures(), 2u);
-  EXPECT_TRUE(j.has("a"));
-  EXPECT_TRUE(j.has("b"));
-  j.flush();  // explicit flush persists what the failed appends could not
   const Journal back = Journal::open(path);
   EXPECT_EQ(back.size(), 2u);
   std::remove(path.c_str());
+}
+
+TEST(Journal, SingleWriterLockRefusesASecondOpen) {
+  const std::string path = temp_path("rgleak_journal_locked.jsonl");
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+  {
+    Journal first = Journal::open(path);
+    first.append(ok_record("a", 1.0));
+    try {
+      (void)Journal::open(path);
+      ADD_FAILURE() << "second writer must be refused while the first holds the lock";
+    } catch (const IoError& e) {
+      EXPECT_NE(std::string(e.what()).find("already open"), std::string::npos) << e.what();
+      EXPECT_NE(std::string(e.what()).find(path), std::string::npos) << e.what();
+    }
+  }
+  // Closing the first writer releases the flock: the journal is usable again,
+  // with nothing lost to the refused open.
+  const Journal second = Journal::open(path);
+  EXPECT_EQ(second.size(), 1u);
+  EXPECT_TRUE(second.has("a"));
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+}
+
+TEST(Journal, InMemoryJournalsTakeNoLock) {
+  // Two in-memory journals coexist: no path, no sidecar, no exclusion.
+  Journal a = Journal::open("");
+  Journal b = Journal::open("");
+  a.append(ok_record("a", 1.0));
+  b.append(ok_record("b", 2.0));
+  EXPECT_TRUE(a.has("a"));
+  EXPECT_TRUE(b.has("b"));
+}
+
+std::string corpus(const char* file) {
+  return std::string(RGLEAK_JOURNAL_CORPUS_DIR) + "/" + file;
+}
+
+TEST(Journal, ChecksummedRecordsRoundTripAndCorruptOnesAreRefused) {
+  // Every record the journal writes now carries a "crc" trailer field; the
+  // roundtrip tests above prove checksummed records re-parse. The corpus
+  // holds the two corruption shapes: a payload bit-flipped after the crc was
+  // stamped, and a record torn in the middle with the suffix intact.
+  try {
+    (void)Journal::open(corpus("crc_mismatch.journal"));
+    ADD_FAILURE() << "expected ParseError for checksum mismatch";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u) << "line 2 is valid; the flipped record is line 3";
+    EXPECT_NE(std::string(e.what()).find("checksum mismatch"), std::string::npos) << e.what();
+  }
+  try {
+    (void)Journal::open(corpus("crc_truncated.journal"));
+    ADD_FAILURE() << "expected ParseError for torn record";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_NE(std::string(e.what()).find("checksum mismatch"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Journal, LegacyRecordsWithoutChecksumStillLoad) {
+  // Journals written before record checksumming carry no "crc" field; they
+  // must keep loading so an upgrade never strands a half-finished batch.
+  const std::string path = temp_path("rgleak_journal_legacy.jsonl");
+  {
+    std::ofstream os(path);
+    os << "rgbatch-journal-v1\n"
+       << "{\"job\":\"old\",\"status\":\"ok\",\"attempts\":1,\"wall_ms\":1.0000,"
+          "\"mean_na\":42,\"sigma_na\":4.2}\n";
+  }
+  const Journal j = Journal::open(path);
+  EXPECT_EQ(j.size(), 1u);
+  EXPECT_EQ(j.records().at("old").mean_na, 42.0);
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
 }
 
 TEST(Journal, FlushRethrowsWhatAppendAbsorbs) {

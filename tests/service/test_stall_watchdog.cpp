@@ -47,6 +47,15 @@ JobOutput ok_output() {
   return out;
 }
 
+// All lambdas here report through in-process atomics, so every test pins
+// in-process isolation (the cross-process heartbeat bridge has its own tests
+// in tests/service/test_subprocess.cpp).
+BatchOptions in_process_options() {
+  BatchOptions opts;
+  opts.isolate = ExecIsolation::kInProcess;
+  return opts;
+}
+
 // A wedged worker: never beats (reason() is observation-only), notices the
 // stop within 5 ms, reports how long it was wedged, then raises the stop as
 // the engines would.
@@ -67,7 +76,7 @@ TEST(StallWatchdog, CancelsWedgedJobWithinTwoTimeouts) {
     throw wd->make_error("test.wedge");
   });
   Journal journal = Journal::open("");
-  BatchOptions opts;
+  BatchOptions opts = in_process_options();
   opts.retry.max_attempts = 1;
   opts.stall_timeout_s = kStallS;
   const BatchSummary s = run_batch({job("wedge")}, exec, journal, opts);
@@ -96,7 +105,7 @@ TEST(StallWatchdog, LeavesSlowButBeatingJobAlone) {
     return ok_output();
   });
   Journal journal = Journal::open("");
-  BatchOptions opts;
+  BatchOptions opts = in_process_options();
   opts.retry.max_attempts = 1;
   opts.stall_timeout_s = kStallS;
   const BatchSummary s = run_batch({job("slow")}, exec, journal, opts);
@@ -118,7 +127,7 @@ TEST(StallWatchdog, StalledAttemptIsRetriedAndCanSucceed) {
     return ok_output();
   });
   Journal journal = Journal::open("");
-  BatchOptions opts;
+  BatchOptions opts = in_process_options();
   opts.retry.max_attempts = 2;
   opts.retry.backoff.base_ms = 1.0;
   opts.retry.backoff.cap_ms = 2.0;
@@ -141,7 +150,7 @@ TEST(StallWatchdog, OffByDefaultNeverFires) {
     return ok_output();
   });
   Journal journal = Journal::open("");
-  BatchOptions opts;
+  BatchOptions opts = in_process_options();
   opts.retry.max_attempts = 1;
   const BatchSummary s = run_batch({job("quiet")}, exec, journal, opts);
   EXPECT_EQ(s.stalls, 0u);
@@ -170,7 +179,7 @@ TEST(StallWatchdog, ConcurrentWorkersStallIndependently) {
     return ok_output();
   });
   Journal journal = Journal::open("");
-  BatchOptions opts;
+  BatchOptions opts = in_process_options();
   opts.retry.max_attempts = 1;
   opts.workers = 4;
   opts.stall_timeout_s = kStallS;

@@ -83,7 +83,8 @@ extern "C" void handle_signal(int) { g_run.request_stop(util::StopReason::kCance
                "               [--shed-policy block|reject-new|drop-oldest]\n"
                "               [--job-deadline SECONDS] [--stall-timeout SECONDS]\n"
                "               [--mem-budget auto|none|SIZE] [--mem-model BENCH.json]\n"
-               "               [--jitter-seed S]\n"
+               "               [--jitter-seed S] [--isolate in-process|process]\n"
+               "               [--isolate-grace SECONDS]\n"
                "  rgleak gen-netlist --out FILE --gates N --usage SPEC [--seed S]\n"
                "  rgleak sweep --lib FILE --usage SPEC --die-um WxH\n"
                "               --gates-from N --gates-to N [--steps K]\n"
@@ -94,14 +95,22 @@ extern "C" void handle_signal(int) { g_run.request_stop(util::StopReason::kCance
                "\n"
                "usage SPEC: comma-separated cell:weight pairs, e.g. INV_X1:0.4,NAND2_X1:0.6\n"
                "global flags: --error-json (one-line JSON error reports on stderr)\n"
-               "              --failpoint SITE:ACTION[:COUNT[:DELAY_MS]] (repeatable;\n"
-               "              ACTION is throw, nan, delay, or alloc — fault injection)\n"
+               "              --failpoint SITE:ACTION[:COUNT[:DELAY_MS]] or\n"
+               "              SITE:exit:CODE[:COUNT] (repeatable; ACTION is throw, nan,\n"
+               "              delay, alloc, abort, segv, or exit — fault injection; abort/\n"
+               "              segv/exit kill the process and are meant for sandboxed\n"
+               "              children under --isolate=process)\n"
+               "isolate:      process = fork one rlimited child per job attempt; a\n"
+               "              crashing job becomes a journaled failure (exit code 9 class)\n"
+               "              instead of killing the batch. Default in-process, or the\n"
+               "              RGLEAK_ISOLATE=process environment override.\n"
                "mem-budget SIZE: bytes with an optional k/m/g suffix, e.g. 512m;\n"
                "              auto = detect from cgroup / RLIMIT_AS, none = unlimited\n"
                "exit codes: 0 ok, 1 internal, 2 usage/config, 3 parse, 4 numerical, 5 io,\n"
                "            6 deadline/cancelled (SIGINT or --time-budget expiry),\n"
                "            7 batch completed but some jobs failed or were shed,\n"
-               "            8 resource (memory budget exceeded or allocation failed)\n");
+               "            8 resource (memory budget exceeded or allocation failed),\n"
+               "            9 crash (a sandboxed job child died on a signal)\n");
   std::exit(2);
 }
 
@@ -170,38 +179,6 @@ std::string flag(const std::map<std::string, std::string>& flags, const std::str
 
 bool has_flag(const std::map<std::string, std::string>& flags, const std::string& key) {
   return flags.count(key) > 0;
-}
-
-// Arms every --failpoint SITE:ACTION[:COUNT[:DELAY_MS]] spec. ConfigError
-// (exit 2) on an unknown action or a malformed spec — fault injection is a
-// test facility, and a typo'd site that silently never fires would make a
-// robustness run vacuous, so at least the spelling of the spec is checked.
-void arm_failpoints(const std::string& specs) {
-  std::istringstream ss(specs);
-  std::string spec;
-  while (std::getline(ss, spec)) {
-    std::vector<std::string> parts;
-    std::istringstream fields(spec);
-    std::string field;
-    while (std::getline(fields, field, ':')) parts.push_back(field);
-    if (parts.size() < 2 || parts.size() > 4 || parts[0].empty())
-      throw ConfigError("bad --failpoint '" + spec +
-                        "', expected SITE:ACTION[:COUNT[:DELAY_MS]]");
-    util::FailpointAction action;
-    if (parts[1] == "throw") action = util::FailpointAction::kThrow;
-    else if (parts[1] == "nan") action = util::FailpointAction::kNan;
-    else if (parts[1] == "delay") action = util::FailpointAction::kDelay;
-    else if (parts[1] == "alloc") action = util::FailpointAction::kAlloc;
-    else
-      throw ConfigError("unknown failpoint action '" + parts[1] + "' in '" + spec +
-                        "' (expected throw, nan, delay, or alloc)");
-    std::size_t count = SIZE_MAX;
-    unsigned delay_ms = 0;
-    if (parts.size() >= 3) count = parse_count(parts[2], "--failpoint count");
-    if (parts.size() >= 4)
-      delay_ms = static_cast<unsigned>(parse_count(parts[3], "--failpoint delay_ms"));
-    util::Failpoints::arm(parts[0], action, count, delay_ms);
-  }
 }
 
 netlist::UsageHistogram parse_usage(const cells::StdCellLibrary& lib, const std::string& spec) {
@@ -465,6 +442,19 @@ int cmd_batch(const std::map<std::string, std::string>& flags) {
       static_cast<std::uint64_t>(parse_int(flag(flags, "jitter-seed", "24029"), "--jitter-seed"));
   opts.run = &g_run;
 
+  // Attempt isolation. The flag default stays kDefault (not kInProcess) so
+  // the RGLEAK_ISOLATE environment override can force sandboxing through an
+  // unmodified command line (how CI runs the existing matrix sandboxed).
+  const std::string isolate = flag(flags, "isolate", "default");
+  if (isolate == "process") opts.isolate = service::ExecIsolation::kProcess;
+  else if (isolate == "in-process") opts.isolate = service::ExecIsolation::kInProcess;
+  else if (isolate != "default")
+    usage_exit("--isolate must be 'in-process' or 'process'");
+  if (has_flag(flags, "isolate-grace")) {
+    opts.isolate_grace_s = parse_double(flag(flags, "isolate-grace"), "--isolate-grace");
+    if (opts.isolate_grace_s < 0.0) usage_exit("--isolate-grace must be >= 0");
+  }
+
   // Memory governance: the admission budget (predictive) and the process-wide
   // reservation limit (enforcing) are set to the same ceiling.
   const std::string mem_spec = flag(flags, "mem-budget", "auto");
@@ -494,6 +484,8 @@ int cmd_batch(const std::map<std::string, std::string>& flags) {
                               service::shed_policy_name(opts.shed_policy));
   if (s.retries > 0) std::printf("retries      : %zu\n", s.retries);
   if (s.stalls > 0) std::printf("stalls       : %zu (cancelled by the stall watchdog)\n", s.stalls);
+  if (s.crashes > 0)
+    std::printf("crashes      : %zu (sandboxed child deaths, contained)\n", s.crashes);
   std::printf("queue depth  : %zu peak of %zu\n", s.queue_high_watermark, opts.queue_depth);
   if (s.journal_write_failures > 0)
     std::fprintf(stderr, "warning: %zu journal writes failed (records kept in memory)\n",
@@ -636,13 +628,20 @@ int main(int argc, char** argv) {
   bool json_errors = false;
   for (int i = 2; i < argc; ++i)
     if (std::string(argv[i]) == "--error-json") json_errors = true;
+  // Crash hygiene of last resort: an exception that escapes the catch blocks
+  // below (throwing destructor mid-unwind, detached thread, noexcept
+  // violation) still produces the structured error record and a typed exit
+  // code instead of a bare abort.
+  install_terminate_handler(json_errors);
   // Every long-running command drains through g_run on Ctrl-C / SIGTERM and
   // exits with code 6, leaving artifacts (checkpoints, journals) intact.
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
   try {
     const auto flags = parse_flags(argc, argv, 2);
-    if (has_flag(flags, "failpoint")) arm_failpoints(flags.at("failpoint"));
+    // ConfigError (exit 2) on an unknown action or malformed spec — a typo'd
+    // spec that silently never fired would make a robustness run vacuous.
+    if (has_flag(flags, "failpoint")) util::Failpoints::arm_specs(flags.at("failpoint"));
     if (cmd == "characterize") return cmd_characterize(flags);
     if (cmd == "estimate") return cmd_estimate(flags);
     if (cmd == "netlist") return cmd_netlist(flags);
