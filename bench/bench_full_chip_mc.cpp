@@ -1,10 +1,13 @@
 // Monte-Carlo engine throughput and run-control overhead: trials/s of the
 // full-chip MC reference across a thread-scaling sweep (1/2/4/8 workers),
 // the bucketed vs per-gate evaluation paths, the cost of periodic
-// checkpointing, the cost of carrying an unarmed RunControl token, and the
+// checkpointing, the cost of carrying an unarmed RunControl token, the cost
+// of the always-on metrics instrumentation (the mc.trials counter: one
+// relaxed fetch_add per trial; asserted <= 2% by --smoke, see DESIGN.md
+// "Observability"), and the
 // cost of running the same work through the batch service layer's queue /
 // retry / watchdog machinery with nothing armed (acceptance: <= 2% for the
-// token and checkpoint configurations — a handful of relaxed atomic loads
+// token, checkpoint, and metrics configurations — a handful of relaxed atomic loads
 // per trial plus one buffered state stream per cadence).
 //
 // `bench_full_chip_mc --mc-json[=PATH]` writes the records to
@@ -20,11 +23,14 @@
 // notice) when the runner exposes fewer than four CPUs, where the 4-worker
 // configuration cannot show a real speedup.
 
+#include <time.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
@@ -64,6 +70,32 @@ struct McRecord {
   double peak_rss_kb = 0.0;
   std::uint64_t budget_peak_bytes = 0;
 };
+
+// Process CPU milliseconds: the measurement clock for same-work A/B pairs on
+// shared runners, where wall clock carries scheduler preemption and epoch-
+// scale load drift that dwarf a 2% signal. CPU time counts only cycles this
+// process actually executed.
+double cpu_ms_now() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e3 + static_cast<double>(ts.tv_nsec) * 1e-6;
+}
+
+// One engine run timed on both clocks at once: wall (first) and process CPU
+// (second).
+std::pair<double, double> run_once_both(const placement::Placement& pl,
+                                        const mc::FullChipMcOptions& opts) {
+  mc::FullChipMonteCarlo engine(pl, bench::chars_analytic(), opts);
+  const auto w0 = std::chrono::steady_clock::now();
+  const double c0 = cpu_ms_now();
+  const mc::FullChipMcResult r = engine.run();
+  const double cpu = cpu_ms_now() - c0;
+  const double wall = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - w0)
+                          .count();
+  if (r.trials != opts.trials) std::fprintf(stderr, "short run: %zu trials\n", r.trials);
+  return {wall, cpu};
+}
 
 double run_once(const placement::Placement& pl, const mc::FullChipMcOptions& opts) {
   mc::FullChipMonteCarlo engine(pl, bench::chars_analytic(), opts);
@@ -177,6 +209,9 @@ int run_smoke() {
   mc::FullChipMcOptions per_gate = base;
   per_gate.eval_path = mc::McEvalPath::kPerGate;
 
+  mc::FullChipMcOptions metrics_off = base;
+  metrics_off.metrics = false;
+
   run_once(pl, threaded);  // warm the shared pool and table caches
   const std::vector<double> t = best_of_interleaved(pl, {serial, threaded, per_gate}, 3);
   const double serial_tps = 1000.0 * static_cast<double>(base.trials) / t[0];
@@ -185,6 +220,43 @@ int run_smoke() {
   std::printf("smoke: serial %.1f trials/s, threaded(4) %.1f trials/s, per-gate %.1f trials/s, "
               "cpus %u\n",
               serial_tps, threaded_tps, per_gate_tps, cpu_count());
+
+  // Observability budget: metrics-armed (the default config) vs metrics-off,
+  // same seed and trial stream. The real cost is one relaxed fetch_add per
+  // ~0.2ms trial (≈0.005%), so what this guards against is a regression that
+  // drags heavy work into the loop. On a shared 1-CPU runner every single
+  // clock is noisy — wall time carries scheduler preemption and epoch-scale
+  // load drift (±5% and worse), and even process CPU time shows rare
+  // multi-run excursions — so the estimate is the MINIMUM over two
+  // independent estimators: best-of-N wall and best-of-N CPU, interleaved,
+  // on 4x-length runs. A real regression inflates both clocks at once;
+  // noise essentially never does.
+  mc::FullChipMcOptions metrics_on_long = serial;
+  metrics_on_long.trials = base.trials * 4;
+  mc::FullChipMcOptions metrics_off_long = metrics_off;
+  metrics_off_long.trials = base.trials * 4;
+  double on_wall = 1e300, on_cpu = 1e300, off_wall = 1e300, off_cpu = 1e300;
+  for (int r = 0; r < 9; ++r) {
+    const auto [w_on, c_on] = run_once_both(pl, metrics_on_long);
+    const auto [w_off, c_off] = run_once_both(pl, metrics_off_long);
+    on_wall = std::min(on_wall, w_on);
+    on_cpu = std::min(on_cpu, c_on);
+    off_wall = std::min(off_wall, w_off);
+    off_cpu = std::min(off_cpu, c_off);
+  }
+  const double wall_pct = 100.0 * (on_wall - off_wall) / off_wall;
+  const double cpu_pct = 100.0 * (on_cpu - off_cpu) / off_cpu;
+  const double metrics_overhead_pct = std::min(wall_pct, cpu_pct);
+  std::printf("smoke: metrics overhead %+.2f%% (wall %+.2f%%, cpu %+.2f%%, best-of-9; "
+              "armed %.2f ms vs off %.2f ms cpu-time, budget 2%%)\n",
+              metrics_overhead_pct, wall_pct, cpu_pct, on_cpu, off_cpu);
+  if (metrics_overhead_pct > 2.0) {
+    std::fprintf(stderr,
+                 "smoke FAIL: metrics instrumentation costs %.2f%% of the MC trial loop, "
+                 "budget is 2%%\n",
+                 metrics_overhead_pct);
+    return 1;
+  }
 
   if (cpu_count() < 4) {
     // The threaded configuration runs 4 workers; on fewer cores the result
@@ -301,12 +373,22 @@ int main(int argc, char** argv) {
     mc::FullChipMcOptions ckpting = plain;
     ckpting.checkpoint_path = ckpt;
     ckpting.checkpoint_every = kTrials / 8;
+    // Observability A/B: `plain` runs with the default-armed mc.trials
+    // counter; this strips it. The delta is the full instrumentation cost of
+    // the trial loop (budget: <= 2%, asserted by --smoke).
+    mc::FullChipMcOptions metrics_off = plain;
+    metrics_off.metrics = false;
 
-    const std::vector<double> t = best_of_interleaved(pl, {plain, token, ckpting}, kReps);
+    const std::vector<double> t =
+        best_of_interleaved(pl, {plain, token, ckpting, metrics_off}, kReps);
     const char* prefix = threads == 1 ? "serial" : "threaded";
     record(prefix, plain, t[0], 0.0);
     record(std::string(prefix) + "+unarmed-token", token, t[1], t[0]);
     record(std::string(prefix) + "+checkpoints", ckpting, t[2], t[0]);
+    record(std::string(prefix) + "-metrics-off", metrics_off, t[3], 0.0);
+    // The armed config relative to the stripped one — the number the 2%
+    // budget is written against.
+    record(std::string(prefix) + "+metrics-armed", plain, t[0], t[3]);
     std::remove(ckpt.c_str());
   }
 

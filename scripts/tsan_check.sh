@@ -12,7 +12,9 @@ cmake -B "$BUILD" -S . -DRGLEAK_SANITIZE=thread >/dev/null
 cmake --build "$BUILD" --target util_tests core_tests mc_tests service_tests robustness_tests -j "$(nproc)"
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
-"$BUILD"/tests/util_tests --gtest_filter='ThreadPool.*'
+# *Metrics*: the lock-free instruments (relaxed counters/histograms, the
+# registry mutex, snapshot readers racing recorders) under real threads.
+"$BUILD"/tests/util_tests --gtest_filter='ThreadPool.*:*Metrics*'
 "$BUILD"/tests/core_tests --gtest_filter='*Concurrent*:*ThreadCounts*:*FftPathMatchesDirectPath*'
 "$BUILD"/tests/mc_tests --gtest_filter='*Threaded*'
 # The service layer's shared-state hot spots: blocked producers/consumers on

@@ -6,6 +6,7 @@
 #include "core/memory_cost.h"
 #include "math/fft.h"
 #include "util/failpoint.h"
+#include "util/metrics.h"
 #include "util/memory.h"
 #include "util/require.h"
 
@@ -39,6 +40,13 @@ LeakageEstimate checked_estimate(const char* estimator, const char* method, doub
 
 LeakageEstimate estimate_linear(const RandomGate& rg, const placement::Floorplan& fp,
                                 const util::RunControl* run) {
+  // Per-rung wall-clock histograms: this is what attributes batch cost across
+  // the paper's estimator ladder (exact -> linear -> integral). Instrument
+  // references resolve once per process; after that each call is a scoped
+  // steady_clock read plus one histogram observe.
+  static util::metrics::Histogram& rung_ms =
+      util::metrics::Registry::instance().histogram("estimator.linear_ms");
+  const util::metrics::ScopedTimerMs timer(rung_ms);
   const std::size_t k = fp.rows, m = fp.cols;
   const double n = static_cast<double>(fp.num_sites());
   double var = 0.0;
@@ -59,6 +67,9 @@ LeakageEstimate estimate_linear(const RandomGate& rg, const placement::Floorplan
 
 LeakageEstimate estimate_integral_rect(const RandomGate& rg, const placement::Floorplan& fp,
                                        const math::QuadratureOptions& opts) {
+  static util::metrics::Histogram& rung_ms =
+      util::metrics::Registry::instance().histogram("estimator.integral_rect_ms");
+  const util::metrics::ScopedTimerMs timer(rung_ms);
   const double w = fp.width_nm(), h = fp.height_nm();
   const double n = static_cast<double>(fp.num_sites());
   const double area = fp.area_nm2();
@@ -73,6 +84,9 @@ LeakageEstimate estimate_integral_rect(const RandomGate& rg, const placement::Fl
 
 LeakageEstimate estimate_integral_polar(const RandomGate& rg, const placement::Floorplan& fp,
                                         const math::QuadratureOptions& opts, bool* used_polar) {
+  static util::metrics::Histogram& rung_ms =
+      util::metrics::Registry::instance().histogram("estimator.integral_polar_ms");
+  const util::metrics::ScopedTimerMs timer(rung_ms);
   const double w = fp.width_nm(), h = fp.height_nm();
   const double d_max = rg.process().wid_correlation_range_nm();
   if (d_max >= std::min(w, h) || !rg.process().is_isotropic()) {
@@ -221,6 +235,9 @@ LeakageEstimate ExactEstimator::estimate(const placement::Placement& placement,
 LeakageEstimate ExactEstimator::estimate_direct(const placement::Placement& placement,
                                                 util::ThreadPool& pool,
                                                 const util::RunControl* run) const {
+  static util::metrics::Histogram& rung_ms =
+      util::metrics::Registry::instance().histogram("estimator.exact_direct_ms");
+  const util::metrics::ScopedTimerMs timer(rung_ms);
   const netlist::Netlist& nl = placement.netlist();
   const std::size_t n = nl.size();
   const placement::Floorplan& fp = placement.floorplan();
@@ -286,6 +303,9 @@ LeakageEstimate ExactEstimator::estimate_direct(const placement::Placement& plac
 LeakageEstimate ExactEstimator::estimate_fft(const placement::Placement& placement,
                                              util::ThreadPool& pool,
                                              const util::RunControl* run) const {
+  static util::metrics::Histogram& rung_ms =
+      util::metrics::Registry::instance().histogram("estimator.exact_fft_ms");
+  const util::metrics::ScopedTimerMs timer(rung_ms);
   const netlist::Netlist& nl = placement.netlist();
   const std::size_t n = nl.size();
   const placement::Floorplan& fp = placement.floorplan();

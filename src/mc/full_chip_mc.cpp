@@ -1,6 +1,7 @@
 #include "mc/full_chip_mc.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <exception>
@@ -15,6 +16,7 @@
 #include "util/atomic_file.h"
 #include "util/failpoint.h"
 #include "util/memory.h"
+#include "util/metrics.h"
 #include "util/require.h"
 #include "util/thread_pool.h"
 
@@ -108,6 +110,7 @@ class CheckpointFlusher {
       writing_ = true;
       lock.unlock();
       std::exception_ptr err;
+      const auto flush_t0 = std::chrono::steady_clock::now();
       try {
         util::atomic_write_file(path_, [&](std::ostream& os) {
           os.write(image.data(), static_cast<std::streamsize>(image.size()));
@@ -115,6 +118,9 @@ class CheckpointFlusher {
       } catch (...) {
         err = std::current_exception();
       }
+      flush_ms_.observe(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - flush_t0)
+                            .count());
       lock.lock();
       writing_ = false;
       if (err && !error_) error_ = err;
@@ -133,6 +139,10 @@ class CheckpointFlusher {
   bool writing_ = false;
   bool stop_ = false;
   std::exception_ptr error_;
+  // Publish-to-durable latency of the background write, recorded per cadence
+  // (never on the trial path).
+  util::metrics::Histogram& flush_ms_ =
+      util::metrics::Registry::instance().histogram("mc.checkpoint.flush_ms");
 };
 
 }  // namespace
@@ -450,6 +460,11 @@ FullChipMcResult FullChipMonteCarlo::run_with_threads(std::size_t threads) {
   const std::size_t chunk = options_.checkpoint_every == 0
                                 ? options_.trials
                                 : std::max<std::size_t>(1, options_.checkpoint_every / threads);
+  // Armed once here, then one relaxed fetch_add per trial — the whole cost of
+  // the observability layer on the hot path (a trial is at minimum one grid
+  // FFT, so the add is noise; the bench asserts ≤2% against the off state).
+  util::metrics::Counter* trials_counter =
+      options_.metrics ? &util::metrics::Registry::instance().counter("mc.trials") : nullptr;
   const auto worker_round = [&](std::size_t w) {
     Worker& wk = *workers[w];
     const std::size_t target = slice_size[w];
@@ -460,6 +475,7 @@ FullChipMcResult FullChipMonteCarlo::run_with_threads(std::size_t threads) {
         wk.ws.buckets_built = false;
       }
       wk.samples.push_back(run_trial(wk.field, wk.rng, wk.ws));
+      if (trials_counter != nullptr) trials_counter->add();
     }
   };
 

@@ -88,6 +88,12 @@ struct FullChipMcOptions {
   /// identity header must match (seed, threads, trials, resampling, table
   /// points, gate count), else ConfigError.
   std::string resume_path;
+  /// Record engine metrics (mc.trials counter, checkpoint flush latency) into
+  /// util::metrics::Registry. One relaxed fetch_add per trial when on;
+  /// bench_full_chip_mc runs the armed/off pair and asserts the difference
+  /// stays within the 2% observability budget. Off exists for that A/B
+  /// baseline, not as a recommended configuration.
+  bool metrics = true;
 };
 
 struct FullChipMcResult {

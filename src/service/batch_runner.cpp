@@ -16,7 +16,9 @@
 #include "util/backoff.h"
 #include "util/error.h"
 #include "util/memory.h"
+#include "util/metrics.h"
 #include "util/require.h"
+#include "util/trace.h"
 
 namespace rgleak::service {
 
@@ -34,7 +36,29 @@ struct WorkerSlot {
   bool fired = false;  // stop already requested for this flat stretch
 };
 
+// Batch-level instruments, registered once per run_batch call and recorded
+// with single relaxed atomic ops from workers, the producer, and the stall
+// monitor concurrently (see FORMATS.md metrics-json for the names).
+struct BatchMetrics {
+  util::metrics::Counter& started = util::metrics::Registry::instance().counter("batch.jobs.started");
+  util::metrics::Counter& succeeded =
+      util::metrics::Registry::instance().counter("batch.jobs.succeeded");
+  util::metrics::Counter& failed = util::metrics::Registry::instance().counter("batch.jobs.failed");
+  util::metrics::Counter& retried =
+      util::metrics::Registry::instance().counter("batch.jobs.retried");
+  util::metrics::Counter& crashed =
+      util::metrics::Registry::instance().counter("batch.jobs.crashed");
+  util::metrics::Counter& shed = util::metrics::Registry::instance().counter("batch.jobs.shed");
+  util::metrics::Counter& stalled =
+      util::metrics::Registry::instance().counter("batch.jobs.stalled");
+  util::metrics::Gauge& queue_depth =
+      util::metrics::Registry::instance().gauge("batch.queue.depth");
+  util::metrics::Histogram& attempt_ms =
+      util::metrics::Registry::instance().histogram("batch.attempt_ms");
+};
+
 struct BatchState {
+  BatchMetrics metrics;
   Executor* executor = nullptr;
   Journal* journal = nullptr;
   const BatchOptions* opts = nullptr;
@@ -92,10 +116,13 @@ void backoff_sleep(BatchState& st, double ms) {
 }
 
 void record_terminal(BatchState& st, JobRecord rec) {
-  if (rec.status == JobStatus::kSucceeded)
+  if (rec.status == JobStatus::kSucceeded) {
     st.succeeded.fetch_add(1, std::memory_order_relaxed);
-  else
+    st.metrics.succeeded.add();
+  } else {
     st.failed.fetch_add(1, std::memory_order_relaxed);
+    st.metrics.failed.add();
+  }
   st.journal->append(rec);
 }
 
@@ -109,6 +136,7 @@ void run_one(BatchState& st, const JobSpec& job, WorkerSlot* slot) {
   util::BackoffState backoff =
       util::backoff_state_for(st.opts->jitter_seed ^ util::backoff_job_hash(job.id.c_str()));
 
+  st.metrics.started.add();
   for (;;) {
     if (st.stopping()) {
       st.interrupted.fetch_add(1, std::memory_order_relaxed);
@@ -116,55 +144,70 @@ void run_one(BatchState& st, const JobSpec& job, WorkerSlot* slot) {
     }
     ++rec.attempts;
 
-    util::RunControl watchdog;
-    watchdog.set_parent(st.opts->run);
-    if (st.opts->job_deadline_s > 0.0) watchdog.arm_budget(st.opts->job_deadline_s);
-    const SlotGuard guard(slot, &watchdog);
-
     bool retry = false;
-    const double t0 = st.clock->now_ms();
-    try {
-      const JobOutput out =
-          st.use_subprocess
-              ? run_job_in_subprocess(*st.executor, job, &watchdog, degrade, st.sub_opts)
-              : st.executor->execute(job, &watchdog, degrade);
-      rec.wall_ms += st.clock->now_ms() - t0;
-      rec.beats += watchdog.beats();
-      rec.status = JobStatus::kSucceeded;
-      rec.mean_na = out.mean_na;
-      rec.sigma_na = out.sigma_na;
-      rec.method = out.method;
-      rec.degradation = out.degradation;
-      rec.error.clear();
-      record_terminal(st, rec);
-      return;
-    } catch (const rgleak::Error& e) {
-      rec.wall_ms += st.clock->now_ms() - t0;
-      rec.beats += watchdog.beats();
-      // An error reconstructed from a sandboxed child carries the child's own
-      // error_json rendering; using it keeps journal records byte-identical
-      // to in-process mode (ParseError location fields survive the pipe).
-      const auto* child = dynamic_cast<const ChildReport*>(&e);
-      rec.error = (child != nullptr && !child->error_json_line().empty())
-                      ? child->error_json_line()
-                      : error_json(e);
-      retry = retryable(e.code());
-      if (e.code() == ErrorCode::kCrash) {
-        st.crashes.fetch_add(1, std::memory_order_relaxed);
-        // Crashes get their own, tighter cap: a deterministic segfault should
-        // fail after max_crash_retries fresh children, not max_attempts.
-        if (++crash_count > st.opts->retry.max_crash_retries) retry = false;
+    bool done = false;
+    {
+      // Attempt scope: the trace span and latency histogram cover the
+      // execution only, never the backoff sleep that may follow.
+      util::trace::Span span("attempt", job.id, static_cast<int>(rec.attempts));
+      util::RunControl watchdog;
+      watchdog.set_parent(st.opts->run);
+      if (st.opts->job_deadline_s > 0.0) watchdog.arm_budget(st.opts->job_deadline_s);
+      const SlotGuard guard(slot, &watchdog);
+
+      const double t0 = st.clock->now_ms();
+      try {
+        const JobOutput out =
+            st.use_subprocess
+                ? run_job_in_subprocess(*st.executor, job, &watchdog, degrade, st.sub_opts)
+                : st.executor->execute(job, &watchdog, degrade);
+        rec.wall_ms += st.clock->now_ms() - t0;
+        rec.beats += watchdog.beats();
+        rec.status = JobStatus::kSucceeded;
+        rec.mean_na = out.mean_na;
+        rec.sigma_na = out.sigma_na;
+        rec.method = out.method;
+        rec.degradation = out.degradation;
+        rec.error.clear();
+        record_terminal(st, rec);
+        done = true;
+      } catch (const rgleak::Error& e) {
+        rec.wall_ms += st.clock->now_ms() - t0;
+        rec.beats += watchdog.beats();
+        // An error reconstructed from a sandboxed child carries the child's
+        // own error_json rendering; using it keeps journal records
+        // byte-identical to in-process mode (ParseError location fields
+        // survive the pipe).
+        const auto* child = dynamic_cast<const ChildReport*>(&e);
+        rec.error = (child != nullptr && !child->error_json_line().empty())
+                        ? child->error_json_line()
+                        : error_json(e);
+        retry = retryable(e.code());
+        if (e.code() == ErrorCode::kCrash) {
+          st.crashes.fetch_add(1, std::memory_order_relaxed);
+          st.metrics.crashed.add();
+          span.set_outcome("crash");
+          // Crashes get their own, tighter cap: a deterministic segfault
+          // should fail after max_crash_retries fresh children, not
+          // max_attempts.
+          if (++crash_count > st.opts->retry.max_crash_retries) retry = false;
+        } else {
+          span.set_outcome("error");
+        }
+      } catch (const std::exception& e) {
+        // Outside the taxonomy (e.g. an armed failpoint): assume transient.
+        rec.wall_ms += st.clock->now_ms() - t0;
+        rec.beats += watchdog.beats();
+        const auto* child = dynamic_cast<const ChildReport*>(&e);
+        rec.error = (child != nullptr && !child->error_json_line().empty())
+                        ? child->error_json_line()
+                        : error_json(e);
+        retry = true;
+        span.set_outcome("error");
       }
-    } catch (const std::exception& e) {
-      // Outside the taxonomy (e.g. an armed failpoint): assume transient.
-      rec.wall_ms += st.clock->now_ms() - t0;
-      rec.beats += watchdog.beats();
-      const auto* child = dynamic_cast<const ChildReport*>(&e);
-      rec.error = (child != nullptr && !child->error_json_line().empty())
-                      ? child->error_json_line()
-                      : error_json(e);
-      retry = true;
+      st.metrics.attempt_ms.observe(st.clock->now_ms() - t0);
     }
+    if (done) return;
 
     if (st.stopping()) {
       // The failure is indistinguishable from a cancellation side effect
@@ -179,6 +222,7 @@ void run_one(BatchState& st, const JobSpec& job, WorkerSlot* slot) {
       return;
     }
     st.retries.fetch_add(1, std::memory_order_relaxed);
+    st.metrics.retried.add();
     ++degrade;  // next attempt answers from a cheaper rung
     backoff_sleep(st, util::next_backoff_ms(st.opts->retry.backoff, backoff));
   }
@@ -256,7 +300,10 @@ BatchSummary run_batch(const std::vector<JobSpec>& jobs, Executor& executor, Jou
   for (std::size_t w = 0; w < workers; ++w) {
     WorkerSlot* slot = stall_watch ? st.slots[w].get() : nullptr;
     pool.emplace_back([&st, &queue, slot] {
-      while (auto job = queue.pop()) run_one(st, *job, slot);
+      while (auto job = queue.pop()) {
+        st.metrics.queue_depth.set(static_cast<std::int64_t>(queue.size()));
+        run_one(st, *job, slot);
+      }
     });
   }
 
@@ -290,6 +337,7 @@ BatchSummary run_batch(const std::vector<JobSpec>& jobs, Executor& executor, Jou
             slot.active->request_stop(util::StopReason::kStalled);
             slot.fired = true;
             st.stalls.fetch_add(1, std::memory_order_relaxed);
+            st.metrics.stalled.add();
           }
         }
       }
@@ -307,14 +355,17 @@ BatchSummary run_batch(const std::vector<JobSpec>& jobs, Executor& executor, Jou
       continue;
     }
     JobQueue::PushResult result = queue.push(job);
+    st.metrics.queue_depth.set(static_cast<std::int64_t>(queue.size()));
     if (result.shed.has_value()) {
       ++shed;
+      st.metrics.shed.add();
       journal.append(shed_record(*result.shed, options.shed_policy));
     }
     if (result.closed) st.interrupted.fetch_add(1, std::memory_order_relaxed);
   }
   queue.close();
   for (std::thread& t : pool) t.join();
+  st.metrics.queue_depth.set(0);
   if (monitor.joinable()) {
     {
       std::lock_guard<std::mutex> lock(monitor_m);

@@ -8,6 +8,7 @@
 #include "util/crc32.h"
 #include "util/error.h"
 #include "util/failpoint.h"
+#include "util/format.h"
 
 namespace rgleak::service {
 
@@ -25,14 +26,8 @@ std::string take_required(JsonObject& obj, const char* key, const std::string& s
 
 double parse_number(const std::string& tok, const char* what, const std::string& source,
                     std::size_t line) {
-  std::size_t used = 0;
   double v = 0.0;
-  try {
-    v = std::stod(tok, &used);
-  } catch (const std::exception&) {
-    used = 0;
-  }
-  if (used != tok.size())
+  if (!util::parse_double(tok, v))
     throw ParseError(source, line, 0, std::string("expected a number for ") + what, tok);
   return v;
 }
@@ -82,18 +77,13 @@ std::string journal_record_json(const JobRecord& rec) {
   std::ostringstream os;
   os << "{\"job\":" << json_string(rec.id) << ",\"status\":\""
      << job_status_name(rec.status) << "\",\"attempts\":" << rec.attempts;
-  os << ",\"wall_ms\":";
-  {
-    std::ostringstream ms;
-    ms.precision(4);
-    ms << std::fixed << rec.wall_ms;
-    os << ms.str();
-  }
+  // Numbers go through util::format_double*: ostringstream honors
+  // LC_NUMERIC, and a decimal-comma journal line would fail its own strict
+  // re-parse (and its byte-identity guarantee across locales).
+  os << ",\"wall_ms\":" << util::format_double_fixed(rec.wall_ms, 4);
   if (rec.status == JobStatus::kSucceeded) {
-    std::ostringstream vals;
-    vals.precision(17);
-    vals << ",\"mean_na\":" << rec.mean_na << ",\"sigma_na\":" << rec.sigma_na;
-    os << vals.str();
+    os << ",\"mean_na\":" << util::format_double(rec.mean_na, 17)
+       << ",\"sigma_na\":" << util::format_double(rec.sigma_na, 17);
     if (!rec.method.empty()) os << ",\"method\":" << json_string(rec.method);
   }
   if (!rec.degradation.empty()) os << ",\"degradation\":" << json_string(rec.degradation);

@@ -15,10 +15,40 @@
 #include "process/variation.h"
 #include "util/error.h"
 #include "util/failpoint.h"
+#include "util/format.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace rgleak::service {
 
 namespace {
+
+// One scope per job phase: a trace span (parented to the batch attempt span
+// via the thread-local stack, including across the sandbox fork) plus a
+// latency histogram observation. Instrument references resolve once.
+util::metrics::Histogram& phase_hist(const char* which) {
+  auto& reg = util::metrics::Registry::instance();
+  static util::metrics::Histogram& parse = reg.histogram("job.phase.parse_ms");
+  static util::metrics::Histogram& characterize = reg.histogram("job.phase.characterize_ms");
+  static util::metrics::Histogram& estimate = reg.histogram("job.phase.estimate_ms");
+  static util::metrics::Histogram& write = reg.histogram("job.phase.write_ms");
+  switch (which[0]) {
+    case 'p': return parse;
+    case 'c': return characterize;
+    case 'w': return write;
+    default: return estimate;
+  }
+}
+
+class PhaseScope {
+ public:
+  PhaseScope(const char* span_name, const char* which, const JobSpec& job)
+      : span_(span_name, job.id), timer_(phase_hist(which)) {}
+
+ private:
+  util::trace::Span span_;
+  util::metrics::ScopedTimerMs timer_;
+};
 
 std::string require_param(const JobSpec& job, const char* key) {
   const auto it = job.params.find(key);
@@ -35,14 +65,8 @@ std::string param(const JobSpec& job, const char* key, const std::string& fallba
 double num_param(const JobSpec& job, const char* key, double fallback) {
   const auto it = job.params.find(key);
   if (it == job.params.end()) return fallback;
-  std::size_t used = 0;
   double v = 0.0;
-  try {
-    v = std::stod(it->second, &used);
-  } catch (const std::exception&) {
-    used = 0;
-  }
-  if (used != it->second.size())
+  if (!util::parse_double(it->second, v))
     throw ConfigError("job '" + job.id + "': parameter \"" + key + "\" expects a number, got '" +
                       it->second + "'");
   return v;
@@ -77,11 +101,7 @@ netlist::UsageHistogram parse_usage_spec(const cells::StdCellLibrary& lib, const
       throw ConfigError("job '" + job.id + "': bad usage item '" + item + "'");
     const std::string name = item.substr(0, colon);
     double w = 0.0;
-    try {
-      w = std::stod(item.substr(colon + 1));
-    } catch (const std::exception&) {
-      w = -1.0;
-    }
+    if (!util::parse_double(item.substr(colon + 1), w)) w = -1.0;
     if (w <= 0.0) throw ConfigError("job '" + job.id + "': bad usage weight in '" + item + "'");
     u.alphas[lib.index_of(name)] += w;
     total += w;
@@ -95,12 +115,8 @@ void parse_die_spec(const JobSpec& job, const std::string& spec, double& w_nm, d
   const auto x = spec.find('x');
   double w = 0.0, h = 0.0;
   if (x != std::string::npos) {
-    try {
-      w = std::stod(spec.substr(0, x));
-      h = std::stod(spec.substr(x + 1));
-    } catch (const std::exception&) {
+    if (!util::parse_double(spec.substr(0, x), w) || !util::parse_double(spec.substr(x + 1), h))
       w = h = 0.0;
-    }
   }
   if (w <= 0.0 || h <= 0.0)
     throw ConfigError("job '" + job.id + "': die_um expects WxH in um, got '" + spec + "'");
@@ -158,7 +174,10 @@ const netlist::Netlist& JobRunner::netlist_for(const std::string& path) {
 
 JobOutput JobRunner::run_estimate(const JobSpec& job, const util::RunControl* watchdog,
                                   int degrade) {
-  const charlib::CharacterizedLibrary& chars = chars_for(require_param(job, "lib"));
+  const charlib::CharacterizedLibrary& chars = [&]() -> const charlib::CharacterizedLibrary& {
+    const PhaseScope phase("phase.parse", "parse", job);
+    return chars_for(require_param(job, "lib"));
+  }();
 
   core::DesignCharacteristics d;
   d.usage = parse_usage_spec(*library_, job, require_param(job, "usage"));
@@ -204,6 +223,7 @@ JobOutput JobRunner::run_estimate(const JobSpec& job, const util::RunControl* wa
     cfg.signal_probability = num_param(job, "p", 0.5);
   }
 
+  const PhaseScope phase("phase.estimate", "estimate", job);
   const core::LeakageEstimator estimator(chars, cfg);
   JobOutput out = output_of(estimator.estimate(d));
   out.degradation = degradation;
@@ -212,8 +232,13 @@ JobOutput JobRunner::run_estimate(const JobSpec& job, const util::RunControl* wa
 
 JobOutput JobRunner::run_netlist(const JobSpec& job, const util::RunControl* watchdog,
                                  int degrade) {
-  const charlib::CharacterizedLibrary& chars = chars_for(require_param(job, "lib"));
-  const netlist::Netlist& nl = netlist_for(require_param(job, "netlist"));
+  const auto parse_inputs = [&] {
+    const PhaseScope phase("phase.parse", "parse", job);
+    const charlib::CharacterizedLibrary& chars = chars_for(require_param(job, "lib"));
+    const netlist::Netlist& nl = netlist_for(require_param(job, "netlist"));
+    return std::pair<const charlib::CharacterizedLibrary&, const netlist::Netlist&>(chars, nl);
+  };
+  const auto [chars, nl] = parse_inputs();
   const placement::Floorplan fp = placement::Floorplan::for_gate_count(nl.size());
   const netlist::UsageHistogram usage = netlist::extract_usage(nl);
   const core::CorrelationMode mode = chars.has_models() ? core::CorrelationMode::kAnalytic
@@ -249,6 +274,7 @@ JobOutput JobRunner::run_netlist(const JobSpec& job, const util::RunControl* wat
     degradation = adm.degradation;
   }
 
+  const PhaseScope phase("phase.estimate", "estimate", job);
   JobOutput out;
   if (admitted == "integral_polar") {
     out = output_of(core::estimate_integral_polar(rg, fp));
@@ -273,8 +299,13 @@ JobOutput JobRunner::run_netlist(const JobSpec& job, const util::RunControl* wat
 }
 
 JobOutput JobRunner::run_mc(const JobSpec& job, const util::RunControl* watchdog) {
-  const charlib::CharacterizedLibrary& chars = chars_for(require_param(job, "lib"));
-  const netlist::Netlist& nl = netlist_for(require_param(job, "netlist"));
+  const auto parse_inputs = [&] {
+    const PhaseScope phase("phase.parse", "parse", job);
+    const charlib::CharacterizedLibrary& chars = chars_for(require_param(job, "lib"));
+    const netlist::Netlist& nl = netlist_for(require_param(job, "netlist"));
+    return std::pair<const charlib::CharacterizedLibrary&, const netlist::Netlist&>(chars, nl);
+  };
+  const auto [chars, nl] = parse_inputs();
   const placement::Floorplan fp = placement::Floorplan::for_gate_count(nl.size());
   const placement::Placement pl(&nl, fp);
 
@@ -294,6 +325,7 @@ JobOutput JobRunner::run_mc(const JobSpec& job, const util::RunControl* watchdog
     degradation = adm.degradation;
   }
 
+  const PhaseScope phase("phase.estimate", "estimate", job);
   mc::FullChipMonteCarlo engine(pl, chars, opts);
   const mc::FullChipMcResult r = engine.run();
   JobOutput out;
@@ -323,6 +355,7 @@ JobOutput JobRunner::run_characterize(const JobSpec& job, const util::RunControl
   const process::ProcessVariation process(len, vt, process::make_correlation(family, scale_nm));
 
   charlib::CharacterizedLibrary chars = [&] {
+    const PhaseScope phase("phase.characterize", "characterize", job);
     if (mode == "mc") {
       charlib::McCharOptions opts;
       opts.samples = count_param(job, "samples", 20000);
@@ -333,7 +366,10 @@ JobOutput JobRunner::run_characterize(const JobSpec& job, const util::RunControl
     opts.run = watchdog;
     return charlib::characterize_analytic(*library_, process, opts);
   }();
-  charlib::save_characterization(chars, out_path);
+  {
+    const PhaseScope phase("phase.write", "write", job);
+    charlib::save_characterization(chars, out_path);
+  }
 
   JobOutput out;
   out.method = mode == "mc" ? "characterize_mc" : "characterize_analytic";

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/error.h"
+#include "util/format.h"
 
 namespace rgleak::service {
 
@@ -109,13 +110,11 @@ class Cursor {
     const std::string tok = text_.substr(start, pos_ - start);
     // Validate the literal: number, true, false, or null.
     if (tok == "true" || tok == "false" || tok == "null") return tok;
-    std::size_t used = 0;
-    try {
-      (void)std::stod(tok, &used);
-    } catch (const std::exception&) {
-      used = 0;
-    }
-    if (used != tok.size()) fail("expected a JSON scalar", tok);
+    // util::parse_double, not std::stod: stod honors LC_NUMERIC, so under a
+    // decimal-comma locale it would reject the dot-formatted numbers every
+    // writer in this codebase emits.
+    double ignored = 0.0;
+    if (!util::parse_double(tok, ignored)) fail("expected a JSON scalar", tok);
     return tok;
   }
 

@@ -7,6 +7,8 @@
 #include "service/jsonio.h"
 #include "util/error.h"
 #include "util/failpoint.h"
+#include "util/format.h"
+#include "util/metrics.h"
 #include "util/require.h"
 
 #if !defined(_WIN32)
@@ -224,21 +226,31 @@ void apply_rlimits(const SubprocessOptions& opts) {
   }
 }
 
-std::string child_ok_record(const JobOutput& out) {
+// `metrics` is the child-side registry delta (metrics::Registry::
+// encode_delta against the snapshot taken at job start); it rides the
+// existing result record as one extra string field, so the parent can fold
+// sandboxed work into its own aggregates. Parents that predate the field
+// ignore unknown keys, so the record stays backward/forward compatible.
+std::string child_ok_record(const JobOutput& out, const std::string& metrics) {
   std::ostringstream os;
-  os.precision(17);
-  os << "{\"ok\":true,\"mean_na\":" << out.mean_na << ",\"sigma_na\":" << out.sigma_na;
+  // util::format_double, not stream insertion: the child inherits the
+  // parent's locale, and a decimal comma here would tear the result record.
+  os << "{\"ok\":true,\"mean_na\":" << util::format_double(out.mean_na, 17)
+     << ",\"sigma_na\":" << util::format_double(out.sigma_na, 17);
   if (!out.method.empty()) os << ",\"method\":" << json_string(out.method);
   if (!out.degradation.empty()) os << ",\"degradation\":" << json_string(out.degradation);
+  if (!metrics.empty()) os << ",\"metrics\":" << json_string(metrics);
   os << "}\n";
   return os.str();
 }
 
 std::string child_error_record(const char* code, const std::string& message,
-                               const std::string& json) {
+                               const std::string& json, const std::string& metrics) {
   std::ostringstream os;
   os << "{\"ok\":false,\"code\":\"" << code << "\",\"message\":" << json_string(message)
-     << ",\"json\":" << json_string(json) << "}\n";
+     << ",\"json\":" << json_string(json);
+  if (!metrics.empty()) os << ",\"metrics\":" << json_string(metrics);
+  os << "}\n";
   return os.str();
 }
 
@@ -260,6 +272,14 @@ std::string child_error_record(const char* code, const std::string& message,
   control.mirror_beats_to(shared_beats);
   if (std::isfinite(remaining_deadline_s)) control.arm_budget(remaining_deadline_s);
 
+  // Metrics recorded in the sandbox would die with it: snapshot the forked
+  // registry now (it carries the parent's counts) and ship only the delta on
+  // the result record, whatever the outcome.
+  const util::metrics::Snapshot metrics_base = util::metrics::Registry::instance().snapshot();
+  auto metrics_delta = [&metrics_base] {
+    return util::metrics::Registry::instance().encode_delta(metrics_base);
+  };
+
   std::string record;
   int exit_code = 0;
   try {
@@ -270,17 +290,19 @@ std::string child_error_record(const char* code, const std::string& message,
     if (fp != job.params.end()) util::Failpoints::arm_specs(fp->second);
 
     const JobOutput out = executor.execute(job, &control, degrade);
-    record = child_ok_record(out);
+    record = child_ok_record(out, metrics_delta());
   } catch (const Error& e) {
-    record = child_error_record(error_code_name(e.code()), e.message(), error_json(e));
+    record = child_error_record(error_code_name(e.code()), e.message(), error_json(e),
+                                metrics_delta());
     exit_code = exit_code_for(e.code());
   } catch (const std::exception& e) {
-    record = child_error_record("internal", e.what(), error_json(e));
+    record = child_error_record("internal", e.what(), error_json(e), metrics_delta());
     exit_code = 1;
   } catch (...) {
     record = child_error_record("internal", "unknown exception",
                                 "{\"error\":\"internal\",\"exit_code\":1,"
-                                "\"message\":\"unknown exception\"}");
+                                "\"message\":\"unknown exception\"}",
+                                metrics_delta());
     exit_code = 1;
   }
   write_all(result_fd, record);
@@ -406,14 +428,20 @@ JobOutput run_job_in_subprocess(Executor& executor, const JobSpec& job,
       parsed = false;  // torn record: fall through to crash classification
     }
     if (parsed && obj.count("ok")) {
+      // Fold sandboxed-side metrics (trial counts, phase timings) into this
+      // process's registry before any classification can throw.
+      if (const auto it = obj.find("metrics"); it != obj.end())
+        util::metrics::Registry::instance().merge_delta(it->second);
       if (obj["ok"] == "true") {
         JobOutput out;
-        try {
-          out.mean_na = std::stod(obj.at("mean_na"));
-          out.sigma_na = std::stod(obj.at("sigma_na"));
-        } catch (const std::exception&) {
+        double mean = 0.0;
+        double sigma = 0.0;
+        if (!obj.count("mean_na") || !obj.count("sigma_na") ||
+            !util::parse_double(obj["mean_na"], mean) ||
+            !util::parse_double(obj["sigma_na"], sigma))
           throw CrashError(prefix + "returned a malformed result record" + tail_suffix(tail));
-        }
+        out.mean_na = mean;
+        out.sigma_na = sigma;
         if (const auto it = obj.find("method"); it != obj.end()) out.method = it->second;
         if (const auto it = obj.find("degradation"); it != obj.end())
           out.degradation = it->second;

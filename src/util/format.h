@@ -1,0 +1,29 @@
+#pragma once
+// Locale-independent numeric formatting.
+//
+// printf-family and ostream double formatting honor LC_NUMERIC, so a process
+// started under e.g. LC_ALL=de_DE.UTF-8 emits "3,14" — which the strict JSONL
+// parsers (journal, result pipe, bench JSON) then refuse. Every writer that
+// produces machine-readable numbers goes through these helpers instead; they
+// are specified to match the C locale exactly regardless of the process
+// locale (std::to_chars is locale-independent by definition).
+
+#include <string>
+#include <string_view>
+
+namespace rgleak::util {
+
+/// C-locale equivalent of snprintf("%.*g", precision, value).
+/// Non-finite values format as "nan", "inf", "-inf" (matching glibc printf).
+std::string format_double(double value, int precision = 17);
+
+/// C-locale equivalent of snprintf("%.*f", precision, value).
+std::string format_double_fixed(double value, int precision);
+
+/// Locale-independent strtod over the WHOLE string (decimal or scientific
+/// form, plus "inf"/"nan" spellings). Returns false unless every character
+/// was consumed. Stricter than std::stod: no leading whitespace, no '+'
+/// sign, no hex floats — i.e. exactly the JSON-compatible subset.
+bool parse_double(std::string_view text, double& out);
+
+}  // namespace rgleak::util

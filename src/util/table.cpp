@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <ostream>
 
+#include "util/format.h"
 #include "util/require.h"
 
 namespace rgleak::util {
@@ -25,9 +26,9 @@ Table& Table::cell(std::string value) {
 }
 
 Table& Table::cell(double value, int precision) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.*g", precision, value);
-  return cell(std::string(buf));
+  // Not snprintf("%.*g"): that honors LC_NUMERIC, and CSV output with decimal
+  // commas is ambiguous with the separator.
+  return cell(format_double(value, precision));
 }
 
 Table& Table::cell(long long value) {

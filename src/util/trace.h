@@ -1,0 +1,70 @@
+#pragma once
+// Trace spans: one JSONL record per phase/attempt, appended to a shared file.
+//
+// Arming: trace::open(path) (the CLI's --trace flag) or the RGLEAK_TRACE
+// environment variable (picked up lazily on first span). When unarmed, a
+// Span costs one relaxed atomic load at construction and nothing at
+// destruction — cheap enough to leave permanently in the batch and job
+// runners (spans mark phases and attempts, never per-trial work).
+//
+// Fork safety is the load-bearing constraint: sandboxed job children
+// (--isolate=process) inherit the open O_APPEND descriptor and the
+// thread-local parent-span stack, so a child's phase spans parent naturally
+// to the attempt span opened on the supervisor side. Emission is therefore
+// mutex-free — each span builds its full line in private memory and publishes
+// it with a single ::write() on the O_APPEND fd (atomic append; interleaved
+// writers never shear a line). Span ids are "<pid>:<seq>", unique across the
+// supervisor and every forked child.
+//
+// Record schema (FORMATS.md, trace-span-v1): flat JSON object with a crc32
+// trailer field exactly like journal records —
+//   {"span":"<pid:seq>","parent":"<pid:seq>"|"","name":...,"job":...,
+//    "attempt":N,"t_ns":<steady-clock start>,"wall_ns":N,
+//    "outcome":"ok"|"error"|...,"crc":"<8hex>"}
+
+#include <chrono>
+#include <string>
+#include <string_view>
+
+namespace rgleak::util::trace {
+
+/// Open (create/append) the trace file. Replaces any previous target.
+/// Throws IoError when the path cannot be opened.
+void open(const std::string& path);
+
+/// Close the trace fd; spans become no-ops again. Safe when not open.
+void close();
+
+/// True when a trace target is armed (after open() or via RGLEAK_TRACE).
+bool enabled();
+
+/// RAII span. Construction stamps the start time and pushes this span as the
+/// current parent for the calling thread (and, across fork, for the child);
+/// destruction pops it and appends the record. Outcome defaults to "ok", or
+/// "error" when the span unwinds due to an exception; set_outcome overrides
+/// (e.g. "crash", "retry", "shed", "timeout").
+class Span {
+ public:
+  explicit Span(std::string_view name, std::string_view job = {}, int attempt = -1);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void set_outcome(std::string_view outcome);
+
+  /// This span's id ("" when tracing is unarmed).
+  const std::string& id() const { return id_; }
+
+ private:
+  bool active_ = false;
+  std::string id_;
+  std::string parent_;
+  std::string name_;
+  std::string job_;
+  std::string outcome_;
+  int attempt_ = -1;
+  int uncaught_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace rgleak::util::trace

@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 #include "service/journal.h"
@@ -228,6 +230,55 @@ TEST(Journal, LegacyRecordsWithoutChecksumStillLoad) {
   EXPECT_EQ(j.records().at("old").mean_na, 42.0);
   std::remove(path.c_str());
   std::remove((path + ".lock").c_str());
+}
+
+// Regression for the LC_NUMERIC bug: journal numbers used to flow through
+// locale-honoring formatters, so a process started under a comma-decimal
+// locale wrote "3,5"-style records its own parser then refused. The journal
+// must now be byte-identical whatever the locale, and re-parse exactly.
+TEST(Journal, RoundTripIsByteIdenticalUnderCommaDecimalLocale) {
+  const char* applied = std::setlocale(LC_ALL, "de_DE.UTF-8");
+  if (applied == nullptr) applied = std::setlocale(LC_ALL, "de_DE");
+  if (applied == nullptr)
+    GTEST_SKIP() << "no comma-decimal locale installed; locale hardness not exercised";
+
+  const auto write_journal = [](const std::string& path) {
+    std::remove(path.c_str());
+    Journal j = Journal::open(path);
+    // Fractional values that a comma locale would mangle, including a
+    // full-precision irrational-ish one.
+    JobRecord rec = ok_record("locale-a", 123.456789);
+    rec.sigma_na = 1.0 / 3.0;
+    rec.wall_ms = 12.3456;
+    j.append(rec);
+    j.append(ok_record("locale-b", 2.5e-3));
+  };
+
+  const std::string comma_path = temp_path("rgleak_journal_locale_comma.jsonl");
+  write_journal(comma_path);
+  std::setlocale(LC_ALL, "C");
+  const std::string c_path = temp_path("rgleak_journal_locale_c.jsonl");
+  write_journal(c_path);
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  };
+  const std::string comma_bytes = slurp(comma_path);
+  EXPECT_FALSE(comma_bytes.empty());
+  // Byte identity with the C-locale run is the whole theorem: the C-locale
+  // file cannot contain decimal commas, so neither does this one.
+  EXPECT_EQ(comma_bytes, slurp(c_path));
+
+  // And the comma-locale-written file re-parses to the exact values.
+  const Journal j = Journal::open(comma_path);
+  EXPECT_EQ(j.records().at("locale-a").mean_na, 123.456789);
+  EXPECT_EQ(j.records().at("locale-a").sigma_na, 1.0 / 3.0);
+  EXPECT_EQ(j.records().at("locale-b").mean_na, 2.5e-3);
+  for (const std::string& p : {comma_path, c_path}) {
+    std::remove(p.c_str());
+    std::remove((p + ".lock").c_str());
+  }
 }
 
 TEST(Journal, FlushRethrowsWhatAppendAbsorbs) {

@@ -1,0 +1,108 @@
+// Locale-independent numeric formatting (util/format.h): exact equivalence
+// with C-locale printf, round-trip identity through parse_double, and the
+// parse subset contract (JSON-compatible: no whitespace, '+', or hex floats).
+
+#include "util/format.h"
+
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+namespace rgleak::util {
+namespace {
+
+std::string printf_g(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+  return buf;
+}
+
+std::string printf_f(double v, int precision) {
+  char buf[512];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+TEST(Format, MatchesPrintfGeneralInCLocale) {
+  // The process runs in the C locale here, so printf IS the reference.
+  const double values[] = {0.0,     -0.0,   1.0,       -1.0,    3.14159265358979,
+                           1e-300,  1e300,  2.5e-5,    123456789.0,
+                           0.1,     1.0 / 3.0, 6.02214076e23, -271.828};
+  for (double v : values) {
+    for (int p : {1, 4, 9, 17}) {
+      EXPECT_EQ(format_double(v, p), printf_g(v, p)) << "v=" << v << " p=" << p;
+    }
+  }
+}
+
+TEST(Format, MatchesPrintfFixedInCLocale) {
+  const double values[] = {0.0, 1.0, -1.0, 3.14159265358979, 1234.5678, 1e-8, -0.25};
+  for (double v : values) {
+    for (int p : {0, 2, 4, 9}) {
+      EXPECT_EQ(format_double_fixed(v, p), printf_f(v, p)) << "v=" << v << " p=" << p;
+    }
+  }
+}
+
+TEST(Format, NonFiniteSpellings) {
+  EXPECT_EQ(format_double(std::numeric_limits<double>::quiet_NaN()), "nan");
+  EXPECT_EQ(format_double(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(format_double(-std::numeric_limits<double>::infinity()), "-inf");
+}
+
+TEST(Format, RoundTripIsExactAtPrecision17) {
+  // %.17g is lossless for doubles; parse_double must return the exact bits.
+  const double values[] = {0.1, 1.0 / 3.0, 3.141592653589793, 1e-300, 1e300,
+                           -2.2250738585072014e-308, 6.02214076e23};
+  for (double v : values) {
+    double back = 0.0;
+    ASSERT_TRUE(parse_double(format_double(v, 17), back)) << v;
+    EXPECT_EQ(back, v);
+  }
+}
+
+TEST(Format, ParseAcceptsJsonNumberForms) {
+  double v = 0.0;
+  EXPECT_TRUE(parse_double("0", v));
+  EXPECT_EQ(v, 0.0);
+  EXPECT_TRUE(parse_double("-12.5", v));
+  EXPECT_EQ(v, -12.5);
+  EXPECT_TRUE(parse_double("2e-3", v));
+  EXPECT_EQ(v, 2e-3);
+  EXPECT_TRUE(parse_double("1.25E+4", v));
+  EXPECT_EQ(v, 1.25e4);
+}
+
+TEST(Format, ParseRejectsNonJsonForms) {
+  double v = 0.0;
+  EXPECT_FALSE(parse_double("", v));
+  EXPECT_FALSE(parse_double(" 1.5", v));   // leading whitespace
+  EXPECT_FALSE(parse_double("1.5 ", v));   // trailing junk
+  EXPECT_FALSE(parse_double("+1.5", v));   // explicit plus
+  EXPECT_FALSE(parse_double("0x10", v));   // hex float
+  EXPECT_FALSE(parse_double("1,5", v));    // decimal comma, any locale
+  EXPECT_FALSE(parse_double("12.5x", v));  // partial consumption
+}
+
+TEST(Format, OutputIgnoresLcNumeric) {
+  // The container typically ships only the C/POSIX locales; when a
+  // comma-decimal locale is available, prove the writers ignore it. Loud
+  // skip otherwise so the gap is visible in the test log, not silent.
+  const char* applied = std::setlocale(LC_NUMERIC, "de_DE.UTF-8");
+  if (applied == nullptr) applied = std::setlocale(LC_NUMERIC, "de_DE");
+  if (applied == nullptr)
+    GTEST_SKIP() << "no comma-decimal locale installed; locale hardness not exercised";
+  EXPECT_EQ(format_double(3.5, 17), "3.5");
+  EXPECT_EQ(format_double_fixed(3.5, 2), "3.50");
+  double v = 0.0;
+  EXPECT_TRUE(parse_double("3.5", v));
+  EXPECT_EQ(v, 3.5);
+  std::setlocale(LC_NUMERIC, "C");
+}
+
+}  // namespace
+}  // namespace rgleak::util

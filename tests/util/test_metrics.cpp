@@ -1,0 +1,200 @@
+// util::metrics: lock-free instruments under real concurrency, the child→
+// parent delta protocol, and snapshot serialization. Suite names contain
+// "Metrics" so scripts/tsan_check.sh can race-test them under TSan.
+
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rgleak::util::metrics {
+namespace {
+
+// Unique instrument names per test: the registry is a process singleton, so
+// cross-test interference is prevented by namespacing, not by reset().
+std::string uniq(const char* base) {
+  static std::atomic<int> n{0};
+  return std::string("test.") + base + "." + std::to_string(n.fetch_add(1));
+}
+
+TEST(MetricsCounter, ConcurrentAddsAreExact) {
+  Counter& c = Registry::instance().counter(uniq("counter"));
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsGauge, SetAndAdd) {
+  Gauge& g = Registry::instance().gauge(uniq("gauge"));
+  g.set(5);
+  g.add(-7);
+  EXPECT_EQ(g.value(), -2);
+}
+
+TEST(MetricsHistogram, BucketIndexBoundaries) {
+  // Bucket i covers [2^(i-11), 2^(i-10)); bucket 0 absorbs <2^-10,
+  // non-positive, and non-finite input; the last bucket absorbs the rest.
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(-3.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<double>::quiet_NaN()), 0);
+  EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<double>::infinity()), 0);
+  EXPECT_EQ(Histogram::bucket_index(1e-9), 0);
+  EXPECT_EQ(Histogram::bucket_index(1.0 / 1024.0), 1);   // 2^-10, first edge
+  EXPECT_EQ(Histogram::bucket_index(0.5), 10);
+  EXPECT_EQ(Histogram::bucket_index(1.0), 11);
+  EXPECT_EQ(Histogram::bucket_index(1.999), 11);
+  EXPECT_EQ(Histogram::bucket_index(2.0), 12);
+  EXPECT_EQ(Histogram::bucket_index(1e30), Histogram::kBuckets - 1);
+}
+
+TEST(MetricsHistogram, ConcurrentObservesAreExact) {
+  Histogram& h = Registry::instance().histogram(uniq("hist"));
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  // 1.5 is exactly representable and kThreads*kPerThread*1.5 stays far below
+  // 2^53, so the atomic<double> fetch_add sum is exact in every add order.
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) h.observe(t == 0 && i == 0 ? 3000.0 : 1.5);
+    });
+  for (std::thread& t : threads) t.join();
+  const std::uint64_t total = static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(h.count(), total);
+  EXPECT_EQ(h.sum(), (total - 1) * 1.5 + 3000.0);
+  EXPECT_EQ(h.max(), 3000.0);
+  EXPECT_EQ(h.bucket(Histogram::bucket_index(1.5)), total - 1);
+  EXPECT_EQ(h.bucket(Histogram::bucket_index(3000.0)), 1u);
+}
+
+// The shape the batch layer actually produces: several pool workers hammering
+// counters and the attempt histogram, a checkpoint-flusher-style thread
+// observing its own latency histogram, and a watchdog-style monitor polling
+// values/snapshots the whole time. Totals must come out exact.
+TEST(MetricsRegistry, WorkersFlusherAndMonitorConcurrently) {
+  Registry& reg = Registry::instance();
+  const std::string c_name = uniq("jobs");
+  const std::string h_name = uniq("attempt_ms");
+  const std::string f_name = uniq("flush_ms");
+  constexpr int kWorkers = 4;
+  constexpr int kPerWorker = 5000;
+  constexpr int kFlushes = 2000;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWorkers; ++w)
+    threads.emplace_back([&reg, &c_name, &h_name] {
+      // Registration races against the other threads; recording is lock-free.
+      Counter& c = reg.counter(c_name);
+      Histogram& h = reg.histogram(h_name);
+      for (int i = 0; i < kPerWorker; ++i) {
+        c.add();
+        h.observe(2.0);
+      }
+    });
+  threads.emplace_back([&reg, &f_name] {
+    Histogram& f = reg.histogram(f_name);
+    for (int i = 0; i < kFlushes; ++i) f.observe(0.25);
+  });
+  std::thread monitor([&reg, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::string json = reg.snapshot_json();
+      ASSERT_FALSE(json.empty());
+      (void)reg.snapshot();
+    }
+  });
+
+  for (std::thread& t : threads) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  monitor.join();
+
+  EXPECT_EQ(reg.counter(c_name).value(), static_cast<std::uint64_t>(kWorkers) * kPerWorker);
+  EXPECT_EQ(reg.histogram(h_name).count(), static_cast<std::uint64_t>(kWorkers) * kPerWorker);
+  EXPECT_EQ(reg.histogram(h_name).sum(), kWorkers * kPerWorker * 2.0);
+  EXPECT_EQ(reg.histogram(f_name).count(), static_cast<std::uint64_t>(kFlushes));
+}
+
+TEST(MetricsDelta, EncodeMergeRoundTripIsExact) {
+  Registry& reg = Registry::instance();
+  const std::string c_name = uniq("delta_counter");
+  const std::string h_name = uniq("delta_hist");
+  Counter& c = reg.counter(c_name);
+  Histogram& h = reg.histogram(h_name);
+
+  const Snapshot base = reg.snapshot();
+  c.add(7);
+  h.observe(0.1);     // not exactly representable — exercises the bit-exact path
+  h.observe(1e-7);    // bucket 0
+  h.observe(40000.0);
+  const std::string delta = reg.encode_delta(base);
+  ASSERT_FALSE(delta.empty());
+
+  // Merging the delta replays the child's work on top of the current state.
+  const Snapshot before = reg.snapshot();
+  reg.merge_delta(delta);
+  const Snapshot after = reg.snapshot();
+
+  EXPECT_EQ(after.counters.at(c_name), before.counters.at(c_name) + 7);
+  const Snapshot::Hist& hb = before.histograms.at(h_name);
+  const Snapshot::Hist& ha = after.histograms.at(h_name);
+  EXPECT_EQ(ha.count, hb.count + 3);
+  // sum travels as hex bit patterns, so the merged sum is bit-identical to
+  // adding the child's sum — no decimal round-trip error.
+  EXPECT_EQ(ha.sum, hb.sum + (0.1 + 1e-7 + 40000.0));
+  EXPECT_EQ(ha.max, 40000.0);
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    const std::uint64_t grew = ha.buckets[i] - hb.buckets[i];
+    if (i == Histogram::bucket_index(0.1) || i == Histogram::bucket_index(1e-7) ||
+        i == Histogram::bucket_index(40000.0)) {
+      EXPECT_EQ(grew, 1u) << "bucket " << i;
+    } else {
+      EXPECT_EQ(grew, 0u) << "bucket " << i;
+    }
+  }
+}
+
+TEST(MetricsDelta, EmptyWhenNothingChanged) {
+  Registry& reg = Registry::instance();
+  (void)reg.counter(uniq("idle"));
+  const Snapshot base = reg.snapshot();
+  EXPECT_TRUE(reg.encode_delta(base).empty());
+}
+
+TEST(MetricsDelta, MalformedAndUnknownRecordsAreSkipped) {
+  Registry& reg = Registry::instance();
+  const std::string c_name = uniq("tolerant");
+  // Unknown kind 'x', short record, bad number — none may throw or count;
+  // the one well-formed record still lands (registering the counter).
+  reg.merge_delta("x|future|1;c|;c|" + c_name + "|notanumber;c|" + c_name + "|3");
+  EXPECT_EQ(reg.snapshot().counters.at(c_name), 3u);
+}
+
+TEST(MetricsSnapshot, JsonIsStrictAndContainsInstruments) {
+  Registry& reg = Registry::instance();
+  const std::string c_name = uniq("json_counter");
+  reg.counter(c_name).add(2);
+  const std::string json = reg.snapshot_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find('"' + c_name + "\":2"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+}  // namespace
+}  // namespace rgleak::util::metrics

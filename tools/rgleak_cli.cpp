@@ -15,13 +15,18 @@
 // pins the process corner.
 
 #include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cells/library.h"
@@ -42,11 +47,14 @@
 #include "process/variation.h"
 #include "service/batch_runner.h"
 #include "service/job_runner.h"
+#include "util/atomic_file.h"
 #include "util/error.h"
 #include "util/failpoint.h"
 #include "util/memory.h"
+#include "util/metrics.h"
 #include "util/run_control.h"
 #include "util/table.h"
+#include "util/trace.h"
 
 using namespace rgleak;
 
@@ -95,6 +103,12 @@ extern "C" void handle_signal(int) { g_run.request_stop(util::StopReason::kCance
                "\n"
                "usage SPEC: comma-separated cell:weight pairs, e.g. INV_X1:0.4,NAND2_X1:0.6\n"
                "global flags: --error-json (one-line JSON error reports on stderr)\n"
+               "              --trace FILE (append one JSONL span per phase/attempt;\n"
+               "              sandboxed children inherit it via RGLEAK_TRACE)\n"
+               "              --metrics-json FILE (dump the metrics registry snapshot\n"
+               "              at exit)\n"
+               "              --progress (mc/batch: one status line per second on\n"
+               "              stderr: done/failed/retrying/queue/trials-per-s)\n"
                "              --failpoint SITE:ACTION[:COUNT[:DELAY_MS]] or\n"
                "              SITE:exit:CODE[:COUNT] (repeatable; ACTION is throw, nan,\n"
                "              delay, alloc, abort, segv, or exit — fault injection; abort/\n"
@@ -116,7 +130,7 @@ extern "C" void handle_signal(int) { g_run.request_stop(util::StopReason::kCance
 
 // Flags that take no value; present means "1".
 bool is_boolean_flag(const std::string& key) {
-  return key == "error-json" || key == "resample";
+  return key == "error-json" || key == "resample" || key == "progress";
 }
 
 std::map<std::string, std::string> parse_flags(int argc, char** argv, int first) {
@@ -151,6 +165,11 @@ double parse_double(const std::string& s, const std::string& what) {
   const double v = std::strtod(s.c_str(), &end);
   if (errno != 0 || end == s.c_str() || *end != '\0')
     usage_exit((what + " expects a number, got: " + s).c_str());
+  // strtod happily accepts "nan"/"inf", and NaN slides past every
+  // `<= 0.0` range guard downstream — "--time-budget nan" would arm a NaN
+  // deadline instead of failing. No flag has a meaningful non-finite value,
+  // so reject them all here.
+  if (!std::isfinite(v)) usage_exit((what + " expects a finite number, got: " + s).c_str());
   return v;
 }
 
@@ -180,6 +199,60 @@ std::string flag(const std::map<std::string, std::string>& flags, const std::str
 bool has_flag(const std::map<std::string, std::string>& flags, const std::string& key) {
   return flags.count(key) > 0;
 }
+
+// --progress: a background thread that prints one status line per second on
+// stderr, fed entirely from the metrics registry (the same counters --trace
+// and --metrics-json see). Construction is a no-op when disabled.
+class ProgressPrinter {
+ public:
+  explicit ProgressPrinter(bool enabled) {
+    if (enabled) thread_ = std::thread([this] { loop(); });
+  }
+  ~ProgressPrinter() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      quit_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+  ProgressPrinter(const ProgressPrinter&) = delete;
+  ProgressPrinter& operator=(const ProgressPrinter&) = delete;
+
+ private:
+  void loop() {
+    auto& reg = util::metrics::Registry::instance();
+    util::metrics::Counter& done = reg.counter("batch.jobs.succeeded");
+    util::metrics::Counter& failed = reg.counter("batch.jobs.failed");
+    util::metrics::Counter& retried = reg.counter("batch.jobs.retried");
+    util::metrics::Gauge& queue = reg.gauge("batch.queue.depth");
+    util::metrics::Counter& trials = reg.counter("mc.trials");
+    std::uint64_t last_trials = trials.value();
+    auto last = std::chrono::steady_clock::now();
+    std::unique_lock<std::mutex> lock(m_);
+    while (!quit_) {
+      if (cv_.wait_for(lock, std::chrono::seconds(1), [&] { return quit_; })) return;
+      const auto now = std::chrono::steady_clock::now();
+      const double dt = std::chrono::duration<double>(now - last).count();
+      const std::uint64_t t = trials.value();
+      const double tps = dt > 0.0 ? static_cast<double>(t - last_trials) / dt : 0.0;
+      last_trials = t;
+      last = now;
+      std::fprintf(stderr,
+                   "progress: done %llu failed %llu retrying %llu queue %lld mc %.0f trials/s\n",
+                   static_cast<unsigned long long>(done.value()),
+                   static_cast<unsigned long long>(failed.value()),
+                   static_cast<unsigned long long>(retried.value()),
+                   static_cast<long long>(queue.value()), tps);
+    }
+  }
+
+  std::thread thread_;
+  std::mutex m_;
+  std::condition_variable cv_;
+  bool quit_ = false;
+};
 
 netlist::UsageHistogram parse_usage(const cells::StdCellLibrary& lib, const std::string& spec) {
   netlist::UsageHistogram u;
@@ -295,6 +368,12 @@ int cmd_estimate(const std::map<std::string, std::string>& flags) {
 }
 
 int cmd_netlist(const std::map<std::string, std::string>& flags) {
+  // Validate before the file loads: a malformed --time-budget is a usage
+  // error even when the inputs are missing or slow to parse.
+  if (has_flag(flags, "time-budget")) {
+    if (parse_double(flag(flags, "time-budget"), "--time-budget") <= 0.0)
+      usage_exit("--time-budget must be positive");
+  }
   const cells::StdCellLibrary& lib = cells::build_virtual90_library();
   const charlib::CharacterizedLibrary chars =
       charlib::load_characterization(lib, flag(flags, "lib"));
@@ -356,6 +435,17 @@ int cmd_netlist(const std::map<std::string, std::string>& flags) {
 }
 
 int cmd_mc(const std::map<std::string, std::string>& flags) {
+  // Flag validation before the file loads, so a malformed --time-budget is a
+  // usage error (exit 2) even when --lib points at a missing file. SIGINT/
+  // SIGTERM request a cooperative stop (installed in main); a time budget
+  // arms the same control. Either way the engine drains within one trial per
+  // worker, writes a final checkpoint when --checkpoint is set, and exits
+  // with code 6.
+  if (has_flag(flags, "time-budget")) {
+    const double budget_s = parse_double(flag(flags, "time-budget"), "--time-budget");
+    if (budget_s <= 0.0) usage_exit("--time-budget must be positive");
+    g_run.arm_budget(budget_s);
+  }
   const cells::StdCellLibrary& lib = cells::build_virtual90_library();
   const charlib::CharacterizedLibrary chars =
       charlib::load_characterization(lib, flag(flags, "lib"));
@@ -380,20 +470,13 @@ int cmd_mc(const std::map<std::string, std::string>& flags) {
   opts.checkpoint_every = parse_count(flag(flags, "checkpoint-every", "0"), "--checkpoint-every");
   if (has_flag(flags, "resume")) opts.resume_path = flag(flags, "resume");
 
-  // SIGINT/SIGTERM request a cooperative stop (installed in main); a time
-  // budget arms the same control. Either way the engine drains within one
-  // trial per worker, writes a final checkpoint when --checkpoint is set,
-  // and exits with code 6.
   opts.run = &g_run;
-  if (has_flag(flags, "time-budget")) {
-    const double budget_s = parse_double(flag(flags, "time-budget"), "--time-budget");
-    if (budget_s <= 0.0) usage_exit("--time-budget must be positive");
-    g_run.arm_budget(budget_s);
-  }
 
   mc::FullChipMonteCarlo engine(pl, chars, opts);
   mc::FullChipMcResult r;
+  const ProgressPrinter progress(has_flag(flags, "progress"));
   try {
+    const util::trace::Span span("mc.run");
     r = engine.run();
   } catch (const DeadlineExceeded&) {
     if (!opts.checkpoint_path.empty())
@@ -469,7 +552,12 @@ int cmd_batch(const std::map<std::string, std::string>& flags) {
 
   service::JobRunner runner(lib);
   runner.set_governor(&governor);
-  const service::BatchSummary s = service::run_batch(jobs, runner, journal, opts);
+  const service::BatchSummary s = [&] {
+    // Scoped so the printer joins (and stops writing to stderr) before the
+    // summary block below.
+    const ProgressPrinter progress(has_flag(flags, "progress"));
+    return service::run_batch(jobs, runner, journal, opts);
+  }();
   if (mem_budget > 0)
     std::printf("mem budget   : %.1f MiB (peak charged %.1f MiB)\n",
                 static_cast<double>(mem_budget) / (1024.0 * 1024.0),
@@ -637,23 +725,34 @@ int main(int argc, char** argv) {
   // exits with code 6, leaving artifacts (checkpoints, journals) intact.
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
+  // rc instead of direct returns so the --metrics-json dump below runs on
+  // every path, success and typed failure alike.
+  int rc = 0;
+  std::string metrics_json_path;
   try {
     const auto flags = parse_flags(argc, argv, 2);
     // ConfigError (exit 2) on an unknown action or malformed spec — a typo'd
     // spec that silently never fired would make a robustness run vacuous.
     if (has_flag(flags, "failpoint")) util::Failpoints::arm_specs(flags.at("failpoint"));
-    if (cmd == "characterize") return cmd_characterize(flags);
-    if (cmd == "estimate") return cmd_estimate(flags);
-    if (cmd == "netlist") return cmd_netlist(flags);
-    if (cmd == "mc") return cmd_mc(flags);
-    if (cmd == "batch") return cmd_batch(flags);
-    if (cmd == "gen-netlist") return cmd_gen_netlist(flags);
-    if (cmd == "sweep") return cmd_sweep(flags);
-    if (cmd == "liberty") return cmd_liberty(flags);
-    if (cmd == "spice") return cmd_spice(flags);
-    if (cmd == "corners") return cmd_corners(flags);
-    if (cmd == "sensitivity") return cmd_sensitivity(flags);
-    usage_exit(("unknown command: " + cmd).c_str());
+    // Armed before dispatch so every phase span of the command lands in the
+    // file; sandboxed job children inherit the O_APPEND fd across fork and
+    // append to the same file (atomic single-write lines, no interleaving).
+    if (has_flag(flags, "trace")) util::trace::open(flags.at("trace"));
+    if (has_flag(flags, "metrics-json")) metrics_json_path = flags.at("metrics-json");
+    rc = [&]() -> int {
+      if (cmd == "characterize") return cmd_characterize(flags);
+      if (cmd == "estimate") return cmd_estimate(flags);
+      if (cmd == "netlist") return cmd_netlist(flags);
+      if (cmd == "mc") return cmd_mc(flags);
+      if (cmd == "batch") return cmd_batch(flags);
+      if (cmd == "gen-netlist") return cmd_gen_netlist(flags);
+      if (cmd == "sweep") return cmd_sweep(flags);
+      if (cmd == "liberty") return cmd_liberty(flags);
+      if (cmd == "spice") return cmd_spice(flags);
+      if (cmd == "corners") return cmd_corners(flags);
+      if (cmd == "sensitivity") return cmd_sensitivity(flags);
+      usage_exit(("unknown command: " + cmd).c_str());
+    }();
   } catch (const Error& e) {
     // Exit-code contract: 1 = internal bug, 2 = usage/config, 3 = parse,
     // 4 = numerical, 5 = io.
@@ -664,19 +763,32 @@ int main(int argc, char** argv) {
       if (e.code() == ErrorCode::kContract)
         std::fprintf(stderr, "this is a bug in rgleak, not in your input; please report it\n");
     }
-    return exit_code_for(e.code());
+    rc = exit_code_for(e.code());
   } catch (const std::bad_alloc&) {
     // An allocation that escaped every charged arena: still a typed exit.
     if (json_errors)
       std::fprintf(stderr, "{\"error\":\"resource\",\"message\":\"allocation failed\"}\n");
     else
       std::fprintf(stderr, "error: allocation failed (out of memory)\n");
-    return 8;
+    rc = 8;
   } catch (const std::exception& e) {
     if (json_errors)
       std::fprintf(stderr, "%s\n", error_json(e).c_str());
     else
       std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
+  if (!metrics_json_path.empty()) {
+    // Best effort: a failed observability dump must not change the command's
+    // exit code (the run itself already succeeded or failed on its own terms).
+    try {
+      util::atomic_write_file(metrics_json_path, [](std::ostream& os) {
+        os << util::metrics::Registry::instance().snapshot_json() << "\n";
+      });
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "warning: failed to write --metrics-json %s: %s\n",
+                   metrics_json_path.c_str(), e.what());
+    }
+  }
+  return rc;
 }
